@@ -1,0 +1,113 @@
+(* Shared experiment machinery for the figure-regeneration harness. *)
+
+module S = Ivc_grid.Stencil
+module Cat = Spatial_data.Catalog
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.fprintf fmt "@.=== %s ===@.@." title
+
+let algorithms = Ivc.Algo.all
+let algo_names = Array.of_list Ivc.Algo.names
+
+type run = {
+  entry : Cat.entry;
+  maxcolors : int array; (* per algorithm *)
+  runtimes : float array; (* seconds per algorithm *)
+  clique_lb : int;
+}
+
+(* Run every algorithm on every entry, recording quality and runtime. *)
+let run_catalog entries =
+  List.map
+    (fun (e : Cat.entry) ->
+      let w = (e.Cat.inst : S.t).S.w in
+      let n_alg = List.length algorithms in
+      let maxcolors = Array.make n_alg 0 in
+      let runtimes = Array.make n_alg 0.0 in
+      List.iteri
+        (fun i (a : Ivc.Algo.t) ->
+          let t0 = Unix.gettimeofday () in
+          let starts = a.Ivc.Algo.run e.Cat.inst in
+          runtimes.(i) <- Unix.gettimeofday () -. t0;
+          let mc = Ivc.Coloring.maxcolor ~w starts in
+          if not (Ivc.Coloring.is_valid e.Cat.inst starts) then
+            failwith (a.Ivc.Algo.name ^ " produced an invalid coloring on "
+                      ^ Cat.describe e);
+          maxcolors.(i) <- mc)
+        algorithms;
+      { entry = e; maxcolors; runtimes; clique_lb = Ivc.Bounds.clique_lb e.Cat.inst })
+    entries
+
+(* Performance profile over a set of runs; instances where the best
+   value is 0 (all-zero weights) carry no information and are dropped,
+   mirroring the paper's use of ratios. *)
+let profile_of_runs runs =
+  let rows =
+    runs
+    |> List.filter (fun r -> Array.exists (fun v -> v > 0) r.maxcolors)
+    |> List.map (fun r -> Array.map (fun v -> max v 1) r.maxcolors)
+  in
+  Perfprof.Profile.compute ~algorithms:algo_names (Array.of_list rows)
+
+let print_profiles ?(tau_max = 1.5) title runs =
+  section title;
+  let profiles = profile_of_runs runs in
+  Perfprof.Ascii.render_profiles ~tau_max fmt profiles;
+  Format.fprintf fmt "@."
+
+let print_runtime_table title runs =
+  section title;
+  let n_alg = List.length algorithms in
+  let totals = Array.make n_alg 0.0 in
+  List.iter
+    (fun r -> Array.iteri (fun i t -> totals.(i) <- totals.(i) +. t) r.runtimes)
+    runs;
+  let n = max 1 (List.length runs) in
+  let rows =
+    List.mapi
+      (fun i (a : Ivc.Algo.t) ->
+        [
+          a.Ivc.Algo.name;
+          Printf.sprintf "%.3f" (totals.(i) *. 1000.0 /. Float.of_int n);
+          Printf.sprintf "%.1f" (totals.(i) *. 1000.0);
+          a.Ivc.Algo.description;
+        ])
+      algorithms
+  in
+  Perfprof.Ascii.table fmt
+    ~header:[ "algorithm"; "avg ms/instance"; "total ms"; "description" ]
+    rows;
+  Format.fprintf fmt "@."
+
+let print_quality_summary title runs =
+  section title;
+  let lbs = Array.of_list (List.map (fun r -> r.clique_lb) runs) in
+  let rows =
+    List.mapi
+      (fun i (a : Ivc.Algo.t) ->
+        let values = Array.of_list (List.map (fun r -> r.maxcolors.(i)) runs) in
+        let ratio = Perfprof.Stats.avg_ratio values lbs in
+        let at_lb = Perfprof.Stats.pct_equal values lbs in
+        [
+          a.Ivc.Algo.name;
+          Printf.sprintf "%.4f" ratio;
+          Printf.sprintf "%.1f%%" at_lb;
+        ])
+      algorithms
+  in
+  Perfprof.Ascii.table fmt
+    ~header:[ "algorithm"; "avg maxcolor / K4-K8 LB"; "% matching LB" ]
+    rows;
+  Format.fprintf fmt "@."
+
+let group_by_dataset runs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let key = r.entry.Cat.dataset in
+      Hashtbl.replace tbl key (r :: (Option.value ~default:[] (Hashtbl.find_opt tbl key))))
+    runs;
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []
+  |> List.sort compare

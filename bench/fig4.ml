@@ -1,0 +1,32 @@
+(* Figure 4: xy projections of the four datasets at the largest
+   bandwidth-feasible partitioning, rendered as density heatmaps, plus
+   the summary statistics of Section VI-A. *)
+
+open Common
+module P = Spatial_data.Points
+module G = Spatial_data.Gridding
+
+let run ~scale () =
+  section "Figure 4: dataset projections (xy plane)";
+  let clouds = Spatial_data.Datasets.all ~scale () in
+  List.iter
+    (fun cloud ->
+      let extent = P.extent cloud in
+      let bw = extent /. 128.0 in
+      let u0, u1, v0, v1 = Spatial_data.Project.bbox Spatial_data.Project.XY cloud in
+      let xs = Spatial_data.Catalog.allowed_dims ~size:(u1 -. u0) ~bw in
+      let ys = Spatial_data.Catalog.allowed_dims ~size:(v1 -. v0) ~bw in
+      let x = List.fold_left max 2 xs and y = List.fold_left max 2 ys in
+      (* cap the printed view so the heatmap stays readable *)
+      let x = min x 48 and y = min y 72 in
+      let inst = G.grid2 cloud Spatial_data.Project.XY ~x ~y in
+      Format.fprintf fmt "%a@," P.pp_summary cloud;
+      Format.fprintf fmt "grid %dx%d, sparsity %.1f%%, max cell %d, K4 LB %d@,"
+        x y
+        (100.0 *. G.sparsity inst)
+        (Ivc_grid.Stencil.max_weight inst)
+        (Ivc.Bounds.clique_lb inst);
+      Perfprof.Ascii.heatmap fmt ~x ~y (fun i j ->
+          Ivc_grid.Stencil.weight inst (Ivc_grid.Stencil.id2 inst i j));
+      Format.fprintf fmt "@.")
+    clouds

@@ -1,0 +1,29 @@
+(* Figures 5-8: heuristic quality and runtime over the 2D and 3D
+   instance catalogs, as performance profiles — overall and broken down
+   per dataset. *)
+
+open Common
+
+let run_2d ~runs () =
+  print_runtime_table "Figure 5a: 2D runtime comparison (all instances)" runs;
+  print_profiles "Figure 5b: 2D performance profile (all instances)" runs;
+  print_quality_summary "Section VI-B summary statistics (2D)" runs;
+  List.iter
+    (fun (dataset, group) ->
+      print_profiles
+        (Printf.sprintf "Figure 6: 2D performance profile, dataset %s (%d instances)"
+           dataset (List.length group))
+        group)
+    (group_by_dataset runs)
+
+let run_3d ~runs () =
+  print_runtime_table "Figure 7a: 3D runtime comparison (all instances)" runs;
+  print_profiles "Figure 7b: 3D performance profile (all instances)" runs;
+  print_quality_summary "Section VI-C summary statistics (3D)" runs;
+  List.iter
+    (fun (dataset, group) ->
+      print_profiles
+        (Printf.sprintf "Figure 8: 3D performance profile, dataset %s (%d instances)"
+           dataset (List.length group))
+        group)
+    (group_by_dataset runs)

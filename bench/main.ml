@@ -1,0 +1,52 @@
+(* Experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md for the experiment index) and finishes with bechamel
+   micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe              # reduced catalog (CI-friendly)
+     dune exec bench/main.exe -- --full    # full catalog + real STKDE runs
+     dune exec bench/main.exe -- fig5 fig9 # selected figures only
+     dune exec bench/main.exe -- --no-bechamel *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let figs = List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args in
+  let want f = figs = [] || List.mem f figs in
+  let scale = if full then 1.0 else 0.2 in
+  let subsample = if full then 1 else 6 in
+  let budget = if full then 200_000 else 25_000 in
+  Format.printf "ivc-stencil experiment harness (%s mode)@."
+    (if full then "full" else "reduced");
+
+  if want "fig2" || want "fig3" then Fig_theory.run ();
+  if want "fig4" then Fig4.run ~scale ();
+
+  let runs2d =
+    if want "fig5" || want "fig6" || want "fig9" then begin
+      let entries = Spatial_data.Catalog.entries_2d ~scale ~subsample () in
+      Format.printf "@.2D catalog: %d instances (paper: 852)@." (List.length entries);
+      Common.run_catalog entries
+    end
+    else []
+  in
+  if want "fig5" || want "fig6" then Fig5_8.run_2d ~runs:runs2d ();
+
+  let runs3d =
+    if want "fig7" || want "fig8" || want "fig9" then begin
+      let entries = Spatial_data.Catalog.entries_3d ~scale ~subsample () in
+      Format.printf "@.3D catalog: %d instances (paper: 1587)@." (List.length entries);
+      Common.run_catalog entries
+    end
+    else []
+  in
+  if want "fig7" || want "fig8" then Fig5_8.run_3d ~runs:runs3d ();
+
+  if want "fig9" then
+    Fig9.run ~budget ~time_limit_s:(if full then 10.0 else 0.5) ~runs2d ~runs3d ();
+  if want "fig10" then Fig10.run ~scale ~with_real:full ();
+  if want "ablations" then Ablation.run ();
+
+  if not no_bechamel then Micro.run ();
+  Format.printf "@.done.@."

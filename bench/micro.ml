@@ -1,0 +1,101 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table/figure
+   family, all collected into one grouped run. These measure the cost
+   of the algorithms themselves (the paper's runtime comparisons in
+   Figures 5a and 7a), the exact solver, the reduction, and the STKDE
+   kernel work. *)
+
+open Bechamel
+open Toolkit
+module S = Ivc_grid.Stencil
+
+let inst2 () =
+  let rng = Spatial_data.Rng.create 1234 in
+  S.init2 ~x:32 ~y:32 (fun _ _ -> Spatial_data.Rng.int rng 50)
+
+let inst3 () =
+  let rng = Spatial_data.Rng.create 4321 in
+  S.init3 ~x:8 ~y:8 ~z:8 (fun _ _ _ -> Spatial_data.Rng.int rng 20)
+
+let tests () =
+  let i2 = inst2 () and i3 = inst3 () in
+  let theory_cycle = [| 10; 10; 10; 10; 10; 10; 10; 10; 15 |] in
+  let sat = Nae3sat.Instance.make 4 [ (1, 2, 3); (2, 3, 4); (1, 2, 4) ] in
+  let cloud = Spatial_data.Datasets.dengue ~scale:0.05 () in
+  let small_exact = Util_exact_instance.v in
+  let algo name run inst =
+    Test.make ~name (Staged.stage (fun () -> ignore (run inst)))
+  in
+  let per_algo inst tag =
+    List.map
+      (fun (a : Ivc.Algo.t) -> algo (a.Ivc.Algo.name ^ tag) a.Ivc.Algo.run inst)
+      Ivc.Algo.all
+  in
+  [
+    Test.make_grouped ~name:"fig5a: 2D heuristics (32x32)" (per_algo i2 "/2d");
+    Test.make_grouped ~name:"fig7a: 3D heuristics (8x8x8)" (per_algo i3 "/3d");
+    Test.make_grouped ~name:"fig2-3: theory algorithms"
+      [
+        Test.make ~name:"odd-cycle coloring"
+          (Staged.stage (fun () -> ignore (Ivc.Special.color_odd_cycle theory_cycle)));
+        Test.make ~name:"chain coloring"
+          (Staged.stage (fun () -> ignore (Ivc.Special.color_chain theory_cycle)));
+      ];
+    Test.make_grouped ~name:"fig9: exact solver"
+      [
+        Test.make ~name:"CP optimize 4x4"
+          (Staged.stage (fun () -> ignore (Ivc_exact.Cp.optimize small_exact)));
+        Test.make ~name:"clique lower bound 32x32"
+          (Staged.stage (fun () -> ignore (Ivc.Bounds.clique_lb i2)));
+      ];
+    Test.make_grouped ~name:"sec4: NAE-3SAT reduction"
+      [
+        Test.make ~name:"gadget build"
+          (Staged.stage (fun () -> ignore (Nae3sat.Reduction.build sat)));
+      ];
+    Test.make_grouped ~name:"fig4: dataset gridding"
+      [
+        Test.make ~name:"grid2 16x16"
+          (Staged.stage (fun () ->
+               ignore
+                 (Spatial_data.Gridding.grid2 cloud Spatial_data.Project.XY
+                    ~x:16 ~y:16)));
+      ];
+    Test.make_grouped ~name:"fig10: STKDE scheduling"
+      [
+        Test.make ~name:"DAG build + 6-worker simulation"
+          (Staged.stage
+             (let starts = Ivc.Heuristics.glf i3 in
+              fun () ->
+                let dag =
+                  Taskpar.Dag.of_coloring i3 ~starts ~cost:(fun v ->
+                      1.0 +. Float.of_int (S.weight i3 v))
+                in
+                ignore (Taskpar.Sim.run dag ~workers:6)));
+      ];
+  ]
+
+let run () =
+  Format.printf "@.=== Bechamel micro-benchmarks (one group per table/figure) ===@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let grouped = Test.make_grouped ~name:"ivc" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ v ] -> Printf.sprintf "%.1f ns" v
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Perfprof.Ascii.table Format.std_formatter ~header:[ "benchmark"; "time/run" ] rows;
+  Format.printf "@."

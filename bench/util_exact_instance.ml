@@ -1,0 +1,5 @@
+(* The Figure-3-like instance used by both the harness and the
+   micro-benchmarks: clique LB 18, odd-cycle LB 18, optimum 19. *)
+let v =
+  Ivc_grid.Stencil.make2 ~x:4 ~y:4
+    [| 0; 4; 0; 0; 3; 7; 7; 9; 7; 1; 0; 1; 5; 3; 8; 5 |]

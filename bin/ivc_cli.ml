@@ -1,0 +1,340 @@
+(* Command-line interface to the interval stencil coloring library.
+
+   Subcommands:
+     color    color one instance with one or all algorithms
+     exact    solve one instance exactly (MILP stand-in)
+     catalog  summarize the experiment catalog
+     milp     emit the MILP model in LP format
+     reduce   build the NAE-3SAT -> 3DS-IVC gadget
+     stkde    run the STKDE application with a chosen coloring *)
+
+open Cmdliner
+module S = Ivc_grid.Stencil
+
+(* ---- shared instance construction ---------------------------------- *)
+
+let dataset_of_name scale = function
+  | "dengue" -> Spatial_data.Datasets.dengue ~scale ()
+  | "fluanimal" -> Spatial_data.Datasets.flu_animal ~scale ()
+  | "pollen" -> Spatial_data.Datasets.pollen ~scale ()
+  | "pollenus" -> Spatial_data.Datasets.pollen_us ~scale ()
+  | other -> failwith ("unknown dataset: " ^ other ^ " (dengue|fluanimal|pollen|pollenus)")
+
+let plane_of_name = function
+  | "xy" -> Spatial_data.Project.XY
+  | "xt" -> Spatial_data.Project.XT
+  | "yt" -> Spatial_data.Project.YT
+  | other -> failwith ("unknown plane: " ^ other ^ " (xy|xt|yt)")
+
+let make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound =
+  match from_file with
+  | Some path -> Spatial_data.Io.instance_of_string (Spatial_data.Io.load path)
+  | None ->
+  match dataset with
+  | Some name ->
+      let cloud = dataset_of_name scale name in
+      (match z with
+      | Some z -> Spatial_data.Gridding.grid3 cloud ~x ~y ~z
+      | None -> Spatial_data.Gridding.grid2 cloud (plane_of_name plane) ~x ~y)
+  | None ->
+      (* synthetic random weights *)
+      let rng = Spatial_data.Rng.create seed in
+      let f () = Spatial_data.Rng.int rng (bound + 1) in
+      (match z with
+      | Some z -> S.init3 ~x ~y ~z (fun _ _ _ -> f ())
+      | None -> S.init2 ~x ~y (fun _ _ -> f ()))
+
+(* ---- common options ------------------------------------------------- *)
+
+let dataset_t =
+  Arg.(value & opt (some string) None & info [ "dataset"; "d" ] ~docv:"NAME"
+         ~doc:"Dataset: dengue, fluanimal, pollen or pollenus. Without it, \
+               random weights are used.")
+
+let scale_t =
+  Arg.(value & opt float 0.2 & info [ "scale" ] ~docv:"S"
+         ~doc:"Synthetic dataset size multiplier.")
+
+let plane_t =
+  Arg.(value & opt string "xy" & info [ "plane"; "p" ] ~docv:"P"
+         ~doc:"2D projection plane: xy, xt or yt.")
+
+let x_t = Arg.(value & opt int 16 & info [ "x"; "cols" ] ~docv:"X" ~doc:"Grid columns.")
+let y_t = Arg.(value & opt int 16 & info [ "y"; "rows" ] ~docv:"Y" ~doc:"Grid rows.")
+
+let z_t =
+  Arg.(value & opt (some int) None & info [ "z"; "layers" ] ~docv:"Z"
+         ~doc:"Grid layers; makes the instance a 3D 27-pt stencil.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let bound_t =
+  Arg.(value & opt int 20 & info [ "max-weight" ] ~docv:"W"
+         ~doc:"Maximum random cell weight.")
+
+let from_file_t =
+  Arg.(value & opt (some string) None & info [ "from-file"; "f" ] ~docv:"PATH"
+         ~doc:"Load the instance from a file in the ivc2/ivc3 text format \
+               (see the io module) instead of generating one.")
+
+let instance_t =
+  let combine from_file dataset scale plane x y z seed bound =
+    make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound
+  in
+  Term.(const combine $ from_file_t $ dataset_t $ scale_t $ plane_t $ x_t $ y_t
+        $ z_t $ seed_t $ bound_t)
+
+(* ---- color ----------------------------------------------------------- *)
+
+let color_cmd =
+  let algo_t =
+    Arg.(value & opt string "all" & info [ "algo"; "a" ] ~docv:"A"
+           ~doc:"Algorithm (GLL GZO GLF GKF SGK BD BDP) or 'all'.")
+  in
+  let show_t =
+    Arg.(value & flag & info [ "show" ] ~doc:"Print the coloring grid (2D only).")
+  in
+  let run inst algo show =
+    let lb = Ivc.Bounds.combined inst in
+    Format.printf "instance: %s, clique LB %d@." (S.describe inst) lb;
+    let algos =
+      if algo = "all" then Ivc.Algo.all
+      else
+        match Ivc.Algo.find algo with
+        | Some a -> [ a ]
+        | None -> failwith ("unknown algorithm " ^ algo)
+    in
+    List.iter
+      (fun (a : Ivc.Algo.t) ->
+        let t0 = Unix.gettimeofday () in
+        let starts = a.Ivc.Algo.run inst in
+        let dt = Unix.gettimeofday () -. t0 in
+        let mc = Ivc.Coloring.assert_valid inst starts in
+        Format.printf "%-4s maxcolor %6d  (%.4f of LB)  %.1f ms@." a.Ivc.Algo.name
+          mc
+          (Float.of_int mc /. Float.of_int (max 1 lb))
+          (1000.0 *. dt);
+        if show && not (S.is_3d inst) then
+          Format.printf "%a@." (Ivc.Coloring.pp_grid inst) starts)
+      algos
+  in
+  Cmd.v (Cmd.info "color" ~doc:"Color an instance with the paper's heuristics")
+    Term.(const run $ instance_t $ algo_t $ show_t)
+
+(* ---- exact ------------------------------------------------------------ *)
+
+let exact_cmd =
+  let budget_t =
+    Arg.(value & opt int 200_000 & info [ "budget" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget.")
+  in
+  let time_t =
+    Arg.(value & opt float 30.0 & info [ "time-limit" ] ~docv:"S"
+           ~doc:"CPU time limit in seconds.")
+  in
+  let run inst budget time_limit_s =
+    Format.printf "instance: %s@." (S.describe inst);
+    let o = Ivc_exact.Optimize.solve ~budget ~time_limit_s inst in
+    Format.printf "lower bound %d, upper bound %d (%s)@."
+      o.Ivc_exact.Optimize.lower_bound o.Ivc_exact.Optimize.upper_bound
+      o.Ivc_exact.Optimize.nodes_hint;
+    if o.Ivc_exact.Optimize.proven_optimal then
+      Format.printf "proven optimal: maxcolor* = %d@." o.Ivc_exact.Optimize.upper_bound
+    else Format.printf "gap not closed within budget@."
+  in
+  Cmd.v (Cmd.info "exact" ~doc:"Solve an instance exactly (Gurobi stand-in)")
+    Term.(const run $ instance_t $ budget_t $ time_t)
+
+(* ---- catalog ----------------------------------------------------------- *)
+
+let catalog_cmd =
+  let three_t = Arg.(value & flag & info [ "3d" ] ~doc:"3D catalog instead of 2D.") in
+  let sub_t =
+    Arg.(value & opt int 50 & info [ "subsample" ] ~docv:"K" ~doc:"Keep 1 in K entries.")
+  in
+  let run scale three subsample =
+    let entries =
+      if three then Spatial_data.Catalog.entries_3d ~scale ~subsample ()
+      else Spatial_data.Catalog.entries_2d ~scale ~subsample ()
+    in
+    Format.printf "%d catalog entries (subsample 1/%d):@." (List.length entries) subsample;
+    List.iter
+      (fun e -> Format.printf "  %s@." (Spatial_data.Catalog.describe e))
+      entries
+  in
+  Cmd.v (Cmd.info "catalog" ~doc:"List the experiment instance catalog")
+    Term.(const run $ scale_t $ three_t $ sub_t)
+
+(* ---- milp --------------------------------------------------------------- *)
+
+let milp_cmd =
+  let run inst = print_string (Ivc_exact.Milp.to_string inst) in
+  Cmd.v (Cmd.info "milp" ~doc:"Emit the instance's MILP in LP format (Sec VI-D)")
+    Term.(const run $ instance_t)
+
+(* ---- reduce --------------------------------------------------------------- *)
+
+let reduce_cmd =
+  let n_t = Arg.(value & opt int 4 & info [ "vars"; "n" ] ~docv:"N" ~doc:"Variables.") in
+  let m_t = Arg.(value & opt int 3 & info [ "clauses"; "m" ] ~docv:"M" ~doc:"Clauses.") in
+  let decide_t =
+    Arg.(value & flag & info [ "decide" ]
+           ~doc:"Run the exact decision solver on the gadget (k = 14).")
+  in
+  let run n m seed decide =
+    let sat = Nae3sat.Instance.random ~seed ~n ~m in
+    Format.printf "%a@." Nae3sat.Instance.pp sat;
+    Nae3sat.Reduction.check_structure sat;
+    let inst = Nae3sat.Reduction.build sat in
+    Format.printf "gadget: %s (k = %d)@." (S.describe inst) Nae3sat.Reduction.k;
+    Format.printf "NAE-3SAT satisfiable (brute force): %b@."
+      (Nae3sat.Instance.is_satisfiable sat);
+    if decide then
+      match Ivc_exact.Cp.decide inst ~k:Nae3sat.Reduction.k with
+      | Ivc_exact.Cp.Colorable starts ->
+          let a = Nae3sat.Reduction.assignment_of_coloring sat starts in
+          Format.printf "gadget 14-colorable; extracted assignment satisfies: %b@."
+            (Nae3sat.Instance.satisfies sat a)
+      | Ivc_exact.Cp.Not_colorable -> Format.printf "gadget not 14-colorable@."
+      | Ivc_exact.Cp.Unknown -> Format.printf "solver budget exhausted@."
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Build the Section IV NAE-3SAT -> 3DS-IVC gadget")
+    Term.(const run $ n_t $ m_t $ seed_t $ decide_t)
+
+(* ---- stkde ------------------------------------------------------------------ *)
+
+let stkde_cmd =
+  let workers_t =
+    Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Worker domains.")
+  in
+  let algo_t =
+    Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
+  in
+  let run dataset scale workers algo =
+    let cloud = dataset_of_name scale (Option.value ~default:"dengue" dataset) in
+    let bx, by, bz = (8, 8, 4) in
+    let hs =
+      Float.min
+        ((cloud.Spatial_data.Points.x1 -. cloud.Spatial_data.Points.x0)
+         /. (2.5 *. Float.of_int bx))
+        ((cloud.Spatial_data.Points.y1 -. cloud.Spatial_data.Points.y0)
+         /. (2.5 *. Float.of_int by))
+    in
+    let ht =
+      (cloud.Spatial_data.Points.t1 -. cloud.Spatial_data.Points.t0)
+      /. (2.5 *. Float.of_int bz)
+    in
+    let cfg =
+      Stkde.App.make ~cloud ~voxels:(32, 32, 16) ~boxes:(bx, by, bz) ~hs ~ht
+    in
+    let inst = Stkde.App.coloring_instance cfg in
+    let a =
+      match Ivc.Algo.find algo with
+      | Some a -> a
+      | None -> failwith ("unknown algorithm " ^ algo)
+    in
+    let starts = a.Ivc.Algo.run inst in
+    let mc = Ivc.Coloring.assert_valid inst starts in
+    Format.printf "tasks: %s, %s maxcolor %d@." (S.describe inst) a.Ivc.Algo.name mc;
+    let seq_t0 = Unix.gettimeofday () in
+    let seq = Stkde.App.density_sequential cfg in
+    let seq_t = Unix.gettimeofday () -. seq_t0 in
+    let par, par_t = Stkde.App.density_parallel cfg ~starts ~workers in
+    let sched = Stkde.App.simulate cfg ~starts ~workers ~penalty:0.03 in
+    Format.printf "sequential %.3fs, parallel (%d domains) %.3fs, max density diff %.2e@."
+      seq_t workers par_t (Stkde.App.max_diff seq par);
+    Format.printf "simulated makespan %.1f work units (critical-path bound of the coloring)@."
+      sched.Taskpar.Sim.makespan
+  in
+  Cmd.v
+    (Cmd.info "stkde" ~doc:"Run the space-time kernel density application (Sec VII)")
+    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t)
+
+(* ---- save ------------------------------------------------------------------- *)
+
+let save_cmd =
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH"
+           ~doc:"Destination file.")
+  in
+  let run inst out =
+    Spatial_data.Io.save out (Spatial_data.Io.instance_to_string inst);
+    Format.printf "wrote %s (%s)@." out (S.describe inst)
+  in
+  Cmd.v (Cmd.info "save" ~doc:"Write an instance to the ivc2/ivc3 text format")
+    Term.(const run $ instance_t $ out_t)
+
+(* ---- render ------------------------------------------------------------------ *)
+
+let render_cmd =
+  let algo_t =
+    Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
+  in
+  let out_t =
+    Arg.(value & opt string "ivc" & info [ "out"; "o" ] ~docv:"PREFIX"
+           ~doc:"Output prefix; writes PREFIX-heatmap.svg and PREFIX-gantt.svg.")
+  in
+  let run inst algo out =
+    if S.is_3d inst then failwith "render: 2D instances only";
+    let a =
+      match Ivc.Algo.find algo with
+      | Some a -> a
+      | None -> failwith ("unknown algorithm " ^ algo)
+    in
+    let starts = a.Ivc.Algo.run inst in
+    ignore (Ivc.Coloring.assert_valid inst starts);
+    Spatial_data.Io.save (out ^ "-heatmap.svg") (Ivc.Svg.heatmap inst);
+    Spatial_data.Io.save (out ^ "-gantt.svg") (Ivc.Svg.gantt inst starts);
+    Format.printf "wrote %s-heatmap.svg and %s-gantt.svg@." out out
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Render an instance and a coloring as SVG")
+    Term.(const run $ instance_t $ algo_t $ out_t)
+
+(* ---- orders ------------------------------------------------------------------- *)
+
+let orders_cmd =
+  let run inst =
+    let lb = Ivc.Bounds.combined inst in
+    Format.printf "instance: %s, clique LB %d@." (S.describe inst) lb;
+    List.iter
+      (fun (name, order) ->
+        let starts = Ivc.Greedy.color_in_order inst (order inst) in
+        let mc = Ivc.Coloring.assert_valid inst starts in
+        Format.printf "%-14s maxcolor %6d (%.4f of LB)@." name mc
+          (Float.of_int mc /. Float.of_int (max 1 lb)))
+      Ivc.Order.all
+  in
+  Cmd.v
+    (Cmd.info "orders" ~doc:"Compare greedy vertex orderings on an instance")
+    Term.(const run $ instance_t)
+
+(* ---- parcolor ------------------------------------------------------------------ *)
+
+let parcolor_cmd =
+  let workers_t =
+    Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Domains.")
+  in
+  let run inst workers =
+    let starts, stats = Ivc_parcolor.Parallel_greedy.color ~workers inst in
+    let mc = Ivc.Coloring.assert_valid inst starts in
+    Format.printf
+      "%s: %d colors with %d workers (%d rounds, %d conflicts, %.1f ms)@."
+      (S.describe inst) mc workers stats.Ivc_parcolor.Parallel_greedy.rounds
+      stats.Ivc_parcolor.Parallel_greedy.conflicts_total
+      (1000.0 *. stats.Ivc_parcolor.Parallel_greedy.elapsed_s)
+  in
+  Cmd.v
+    (Cmd.info "parcolor" ~doc:"Speculative parallel greedy coloring on domains")
+    Term.(const run $ instance_t $ workers_t)
+
+let () =
+  let doc = "Interval vertex coloring of 9-pt and 27-pt stencils" in
+  let info = Cmd.info "ivc-stencil" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            color_cmd; exact_cmd; catalog_cmd; milp_cmd; reduce_cmd; stkde_cmd;
+            save_cmd; render_cmd; orders_cmd; parcolor_cmd;
+          ]))

@@ -1,0 +1,47 @@
+(* Quickstart: build a small weighted 9-pt stencil, color it with every
+   algorithm of the paper, check validity, and compare against the
+   lower bound and the exact optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module S = Ivc_grid.Stencil
+
+let () =
+  (* A 6x5 grid of tasks; the weight of a task is, say, how many
+     objects live in that region of space (Figure 1 of the paper). *)
+  let weights =
+    [|
+      3; 1; 0; 2; 9;
+      4; 4; 1; 0; 2;
+      0; 7; 2; 1; 1;
+      5; 2; 2; 8; 0;
+      1; 0; 3; 2; 2;
+      6; 1; 0; 1; 4;
+    |]
+  in
+  let inst = S.make2 ~x:6 ~y:5 weights in
+  Format.printf "Instance (%s):@.%a@.@." (S.describe inst) S.pp inst;
+
+  (* Lower bound: the heaviest 2x2 block is a K4 clique. *)
+  let lb = Ivc.Bounds.clique_lb inst in
+  Format.printf "clique (K4) lower bound: %d colors@.@." lb;
+
+  (* Run the paper's seven algorithms. *)
+  List.iter
+    (fun (name, starts, maxcolor) ->
+      assert (Ivc.Coloring.is_valid inst starts);
+      Format.printf "%-4s colors the instance with %d colors@." name maxcolor)
+    (Ivc.Algo.run_all inst);
+
+  (* Exact optimum, for reference (fast on this size). *)
+  (match Ivc_exact.Optimize.solve inst with
+  | { Ivc_exact.Optimize.proven_optimal = true; upper_bound; _ } ->
+      Format.printf "@.exact optimum: %d colors@." upper_bound
+  | o ->
+      Format.printf "@.exact solver bounds: [%d, %d]@."
+        o.Ivc_exact.Optimize.lower_bound o.Ivc_exact.Optimize.upper_bound);
+
+  (* Show one coloring in full. *)
+  let bdp = Ivc.Bipartite_decomp.bdp inst in
+  Format.printf "@.BDP coloring (start..end intervals per cell):@.%a@."
+    (Ivc.Coloring.pp_grid inst) bdp

@@ -1,0 +1,45 @@
+(* Section VII end-to-end: Space-Time Kernel Density Estimation with
+   coloring-scheduled parallel tasks. Computes the density field of the
+   synthetic Dengue dataset sequentially and in parallel under two
+   different colorings, checks the fields agree, and reports how the
+   number of colors relates to the scheduler-simulated runtime.
+
+   Run with: dune exec examples/stkde_demo.exe *)
+
+module P = Spatial_data.Points
+
+let () =
+  let cloud = Spatial_data.Datasets.dengue ~scale:0.3 () in
+  Format.printf "%a@.@." P.pp_summary cloud;
+  let boxes = (8, 8, 4) in
+  let bx, by, bz = boxes in
+  let hs =
+    Float.min
+      ((cloud.P.x1 -. cloud.P.x0) /. (2.5 *. Float.of_int bx))
+      ((cloud.P.y1 -. cloud.P.y0) /. (2.5 *. Float.of_int by))
+  in
+  let ht = (cloud.P.t1 -. cloud.P.t0) /. (2.5 *. Float.of_int bz) in
+  let cfg = Stkde.App.make ~cloud ~voxels:(48, 48, 24) ~boxes ~hs ~ht in
+  let inst = Stkde.App.coloring_instance cfg in
+  Format.printf "task grid: %s (one task per box, weight = points)@.@."
+    (Ivc_grid.Stencil.describe inst);
+
+  let t0 = Unix.gettimeofday () in
+  let reference = Stkde.App.density_sequential cfg in
+  Format.printf "sequential reference: %.3f s@.@." (Unix.gettimeofday () -. t0);
+
+  List.iter
+    (fun (name, starts, maxcolor) ->
+      let field, elapsed = Stkde.App.density_parallel cfg ~starts ~workers:4 in
+      let diff = Stkde.App.max_diff reference field in
+      let sim = Stkde.App.simulate cfg ~starts ~workers:6 ~penalty:0.03 in
+      Format.printf
+        "%-4s %4d colors | parallel %.3f s (4 domains), max field diff %.1e | \
+         simulated 6-worker makespan %8.1f@."
+        name maxcolor elapsed diff sim.Taskpar.Sim.makespan;
+      assert (diff < 1e-9))
+    (Ivc.Algo.run_all inst);
+
+  Format.printf
+    "@.The density fields agree bit-for-bit-ish under every coloring: the @.\
+     coloring only reorders non-conflicting tasks, which is the whole point.@."

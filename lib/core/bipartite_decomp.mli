@@ -1,0 +1,45 @@
+(** Bipartite Decomposition (Section V-B): the 2-approximation for
+    2DS-IVC (Theorem 8) and the recursive 4-approximation for 3DS-IVC
+    (Theorem 9), plus the greedy post-optimization (BDP). *)
+
+(** Result of the decomposition with its built-in certificate. *)
+type result = {
+  starts : int array;
+  part_colors : int;
+      (** [RC] (2D) or [LC] (3D): the number of colors used by one
+          part. In 2D, [RC] is the max over rows of the optimal chain
+          coloring and is a lower bound on [maxcolor*]; the full
+          coloring uses at most [2 * RC] colors. *)
+  lower_bound : int;
+      (** A lower bound on [maxcolor*] certified by the construction:
+          [RC] in 2D; the max over layers of the layers' own [RC] in
+          3D. *)
+}
+
+(** 2D Bipartite Decomposition. Each of the Y rows (cells sharing a j
+    coordinate, forming a chain along i) is colored optimally; rows of
+    even j keep their colors, rows of odd j are shifted by [RC].
+    Guarantees [maxcolor <= 2 * lower_bound <= 2 * maxcolor*]. *)
+val bd2 : Ivc_grid.Stencil.t -> result
+
+(** 3D Bipartite Decomposition: each z-layer is colored with [bd2];
+    even layers keep their colors, odd layers shift by [LC].
+    Guarantees [maxcolor <= 4 * maxcolor*]. *)
+val bd3 : Ivc_grid.Stencil.t -> result
+
+(** Dimension-dispatching wrapper. *)
+val bd : Ivc_grid.Stencil.t -> result
+
+(** The BDP vertex order: vertices grouped by block clique sorted by
+    non-increasing clique weight, inside a clique by increasing start
+    of the input coloring, first occurrence kept. *)
+val post_order : Ivc_grid.Stencil.t -> int array -> int array
+
+(** [post inst starts] greedily recolors every vertex, one at a time in
+    [post_order], starting from the complete coloring [starts]. The
+    result is valid and never uses more colors for a vertex than a
+    fresh greedy pass would. *)
+val post : Ivc_grid.Stencil.t -> int array -> int array
+
+(** BD followed by [post]. *)
+val bdp : Ivc_grid.Stencil.t -> int array

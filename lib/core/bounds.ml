@@ -1,0 +1,95 @@
+module Stencil = Ivc_grid.Stencil
+module Cycles = Ivc_graph.Cycles
+
+let weight_lb inst = Stencil.max_weight inst
+
+let pair_lb inst =
+  let w = (inst : Stencil.t).w in
+  let n = Stencil.n_vertices inst in
+  let m = ref (Stencil.max_weight inst) in
+  for v = 0 to n - 1 do
+    Stencil.iter_neighbors inst v (fun u ->
+        if u > v && w.(u) + w.(v) > !m then m := w.(u) + w.(v))
+  done;
+  !m
+
+let clique_lb inst =
+  let m = ref 0 in
+  Stencil.iter_cliques inst (fun c ->
+      let s = Stencil.weight_sum inst c in
+      if s > !m then m := s);
+  if !m = 0 then pair_lb inst else max !m (pair_lb inst)
+
+let cycle_bound w_cycle =
+  max (Special.maxpair w_cycle) (Special.minchain3 w_cycle)
+
+let odd_cycle_lb ?(max_len = 9) inst =
+  let w = (inst : Stencil.t).w in
+  let g = Stencil.to_graph inst in
+  let best = ref 0 in
+  Cycles.iter_odd_cycles g ~max_len (fun c ->
+      let wc = Array.map (fun v -> w.(v)) c in
+      let b = cycle_bound wc in
+      if b > !best then best := b);
+  !best
+
+let windowed_odd_cycle_lb ?(window = 3) inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D3 _ -> 0
+  | Stencil.D2 (x, y) ->
+      let w = (inst : Stencil.t).w in
+      if window < 2 then invalid_arg "Bounds.windowed_odd_cycle_lb: window >= 2";
+      (* Odd cycles of one window shape are the same up to translation,
+         so enumerate them once on the template graph and replay the
+         vertex lists on every window position. *)
+      let wx = min window x and wy = min window y in
+      let template = Ivc_graph.Builders.stencil2 wx wy in
+      (* cap the cycle length so the template enumeration stays small
+         even for 4x4 windows (the long cycles rarely help the bound) *)
+      let cycles = ref [] in
+      Cycles.iter_odd_cycles template ~max_len:(min (wx * wy) 9) (fun c ->
+          cycles := c :: !cycles);
+      let cycles = !cycles in
+      let best = ref 0 in
+      for bi = 0 to x - wx do
+        for bj = 0 to y - wy do
+          List.iter
+            (fun c ->
+              let wc =
+                Array.map
+                  (fun tv ->
+                    let ti = tv / wy and tj = tv mod wy in
+                    w.(((bi + ti) * y) + (bj + tj)))
+                  c
+              in
+              let b = cycle_bound wc in
+              if b > !best then best := b)
+            cycles
+        done
+      done;
+      !best
+
+let combined ?(with_odd_cycles = false) inst =
+  let b = clique_lb inst in
+  if with_odd_cycles then max b (odd_cycle_lb inst) else b
+
+let greedy_vertex_ub inst v =
+  let w = (inst : Stencil.t).w in
+  let d = ref 0 and s = ref 0 in
+  Stencil.iter_neighbors inst v (fun u ->
+      incr d;
+      s := !s + w.(u));
+  (* clamp: with zero weights the formula can go negative, but an
+     interval end is never below the vertex weight *)
+  max (!s + ((!d + 1) * w.(v)) - !d) w.(v)
+
+let greedy_ub inst =
+  let n = Stencil.n_vertices inst in
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    let b = greedy_vertex_ub inst v in
+    if b > !m then m := b
+  done;
+  !m
+
+let total_ub inst = Stencil.total_weight inst

@@ -1,0 +1,46 @@
+(** Lower bounds on [maxcolor*] for stencil instances (Section III) and
+    the greedy upper bound of Lemma 7. *)
+
+(** Largest vertex weight; any coloring needs at least this many colors. *)
+val weight_lb : Ivc_grid.Stencil.t -> int
+
+(** Largest edge weight sum [w(u) + w(v)] over stencil edges. *)
+val pair_lb : Ivc_grid.Stencil.t -> int
+
+(** Maximum block-clique weight: max over 2x2 blocks (K4) in 2D, over
+    2x2x2 blocks (K8) in 3D (Section III-A). For degenerate instances
+    without a full block this falls back to [pair_lb]. *)
+val clique_lb : Ivc_grid.Stencil.t -> int
+
+(** Best odd-cycle bound found by enumerating embedded odd cycles of
+    length at most [max_len] (default 9): the maximum over those cycles
+    of [max maxpair minchain3] (Theorem 1). Exponential in [max_len];
+    meant for small instances and tests (Section III-C notes that
+    finding the best odd cycle efficiently is open). *)
+val odd_cycle_lb : ?max_len:int -> Ivc_grid.Stencil.t -> int
+
+(** Polynomial windowed odd-cycle bound: enumerate the odd cycles of
+    length at most 9 embedded in every [window x window] sub-grid
+    (default 3) and take the best [max maxpair minchain3] found. Each
+    window has constant size, so the whole scan is linear in the grid
+    for fixed [window] — a practical answer to the paper's remark that
+    the globally best odd cycle seems hard to find (Section III-C).
+    Sound (never exceeds the unrestricted [odd_cycle_lb]); 2D only
+    (returns 0 on 3D instances). *)
+val windowed_odd_cycle_lb : ?window:int -> Ivc_grid.Stencil.t -> int
+
+(** [combined ?with_odd_cycles inst] is the max of the bounds above;
+    odd-cycle enumeration is off by default. *)
+val combined : ?with_odd_cycles:bool -> Ivc_grid.Stencil.t -> int
+
+(** Lemma 7: any greedy coloring colors vertex [v] with an interval
+    ending at most at [sum_{j in N(v)} w(j) + (d(v) + 1) * w(v) - d(v)].
+    [greedy_vertex_ub inst v] computes that expression. *)
+val greedy_vertex_ub : Ivc_grid.Stencil.t -> int -> int
+
+(** Max of [greedy_vertex_ub] over all vertices: an a-priori upper
+    bound on the maxcolor of any greedy order. *)
+val greedy_ub : Ivc_grid.Stencil.t -> int
+
+(** Trivial upper bound: total weight (color everything sequentially). *)
+val total_ub : Ivc_grid.Stencil.t -> int

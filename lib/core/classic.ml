@@ -1,0 +1,35 @@
+module Stencil = Ivc_grid.Stencil
+
+let unit_instance inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) -> Stencil.init2 ~x ~y (fun _ _ -> 1)
+  | Stencil.D3 (x, y, z) -> Stencil.init3 ~x ~y ~z (fun _ _ _ -> 1)
+
+let greedy inst order =
+  let unit = unit_instance inst in
+  let starts = Greedy.color_in_order unit order in
+  (starts, Coloring.maxcolor ~w:(unit : Stencil.t).w starts)
+
+let chromatic_number inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) -> min x 2 * min y 2
+  | Stencil.D3 (x, y, z) -> min x 2 * min y 2 * min z 2
+
+let tiling inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) ->
+      Array.init (x * y) (fun v -> (2 * (v / y mod 2)) + (v mod y mod 2))
+  | Stencil.D3 (x, y, z) ->
+      Array.init (x * y * z) (fun v ->
+          let k = v mod z in
+          let ij = v / z in
+          let i = ij / y and j = ij mod y in
+          (4 * (i mod 2)) + (2 * (j mod 2)) + (k mod 2))
+
+let max_degree_bound inst =
+  let n = Stencil.n_vertices inst in
+  let d = ref 0 in
+  for v = 0 to n - 1 do
+    if Stencil.degree inst v > !d then d := Stencil.degree inst v
+  done;
+  !d + 1

@@ -1,0 +1,27 @@
+(** Bridge to classic (unit-weight) graph coloring.
+
+    With all weights 1, IVC degenerates to ordinary vertex coloring:
+    [start(v)] is the color of [v] and [maxcolor] the number of colors.
+    This gives the classic guarantees of Section II-B — greedy uses at
+    most [Delta + 1] colors — and known optima for stencils: a 9-pt
+    stencil needs exactly 4 colors and a 27-pt stencil exactly 8 (the
+    2x2(x2) block tilings), for X, Y (, Z) >= 2. *)
+
+(** Unit-weight instance over the same grid. *)
+val unit_instance : Ivc_grid.Stencil.t -> Ivc_grid.Stencil.t
+
+(** Greedy classic coloring of a stencil's conflict graph in the given
+    order; returns (colors array, number of colors). *)
+val greedy : Ivc_grid.Stencil.t -> int array -> int array * int
+
+(** Chromatic number of the stencil's conflict graph: 4 in 2D, 8 in 3D
+    (for all dims at least 2; degenerate 1-wide grids need fewer). *)
+val chromatic_number : Ivc_grid.Stencil.t -> int
+
+(** The optimal tiling coloring: color of (i, j) is
+    [2 * (i mod 2) + (j mod 2)], and the 3D analogue. *)
+val tiling : Ivc_grid.Stencil.t -> int array
+
+(** [max_degree_bound inst order] — number of colors used by greedy is
+    at most [Delta + 1]; exposed for the property tests. *)
+val max_degree_bound : Ivc_grid.Stencil.t -> int

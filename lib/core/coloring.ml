@@ -1,0 +1,82 @@
+module Stencil = Ivc_grid.Stencil
+
+let uncolored = -1
+
+let interval ~w starts v =
+  if starts.(v) < 0 then invalid_arg "Coloring.interval: uncolored vertex";
+  Interval.make ~start:starts.(v) ~len:w.(v)
+
+let maxcolor ~w starts =
+  let m = ref 0 in
+  Array.iteri (fun v s -> if s >= 0 && s + w.(v) > !m then m := s + w.(v)) starts;
+  !m
+
+let pair_ok ~w starts u v =
+  let su = starts.(u) and sv = starts.(v) in
+  let wu = w.(u) and wv = w.(v) in
+  wu = 0 || wv = 0 || su + wu <= sv || sv + wv <= su
+
+let is_valid_graph g ~w starts =
+  let ok = ref true in
+  Array.iter (fun s -> if s < 0 then ok := false) starts;
+  if !ok then
+    Ivc_graph.Csr.iter_edges g (fun u v ->
+        if not (pair_ok ~w starts u v) then ok := false);
+  !ok
+
+let is_valid inst starts =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let ok = ref true in
+  (try
+     for v = 0 to n - 1 do
+       if starts.(v) < 0 then raise Exit;
+       Stencil.iter_neighbors inst v (fun u ->
+           if u > v && not (pair_ok ~w starts u v) then raise Exit)
+     done
+   with Exit -> ok := false);
+  !ok
+
+let violations inst starts =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    Stencil.iter_neighbors inst v (fun u ->
+        if u > v && starts.(v) >= 0 && starts.(u) >= 0
+           && not (pair_ok ~w starts u v)
+        then acc := (v, u) :: !acc)
+  done;
+  List.rev !acc
+
+let assert_valid inst starts =
+  let w = (inst : Stencil.t).w in
+  Array.iteri
+    (fun v s ->
+      if s < 0 then failwith (Printf.sprintf "vertex %d is uncolored" v))
+    starts;
+  (match violations inst starts with
+  | [] -> ()
+  | (u, v) :: _ ->
+      failwith
+        (Printf.sprintf "conflict between %d %s and %d %s" u
+           (Interval.to_string (interval ~w starts u))
+           v
+           (Interval.to_string (interval ~w starts v))));
+  maxcolor ~w starts
+
+let pp_grid inst fmt starts =
+  let w = (inst : Stencil.t).w in
+  match (inst : Stencil.t).dims with
+  | Stencil.D3 _ -> Format.fprintf fmt "<3D coloring, %d vertices>" (Array.length starts)
+  | Stencil.D2 (x, y) ->
+      Format.fprintf fmt "@[<v>";
+      for i = 0 to x - 1 do
+        if i > 0 then Format.fprintf fmt "@,";
+        for j = 0 to y - 1 do
+          let v = (i * y) + j in
+          Format.fprintf fmt "%10s"
+            (Printf.sprintf "[%d,%d)" starts.(v) (starts.(v) + w.(v)))
+        done
+      done;
+      Format.fprintf fmt "@]"

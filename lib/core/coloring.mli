@@ -1,0 +1,37 @@
+(** Interval colorings of weighted conflict graphs.
+
+    A coloring is represented as the array of interval starts,
+    [starts.(v)] being the first color of vertex [v]; vertex [v]
+    occupies [[starts.(v), starts.(v) + w.(v))]. The sentinel [-1]
+    denotes an uncolored vertex in partial colorings. *)
+
+(** Sentinel start value of an uncolored vertex. *)
+val uncolored : int
+
+(** [interval ~w starts v] is the color interval of vertex [v]. Raises
+    [Invalid_argument] if [v] is uncolored. *)
+val interval : w:int array -> int array -> int -> Interval.t
+
+(** [maxcolor ~w starts] is [max_v starts.(v) + w.(v)] over colored
+    vertices (0 if none are colored): the objective of Definition 1. *)
+val maxcolor : w:int array -> int array -> int
+
+(** Validity on an explicit graph: every edge joins vertices with
+    disjoint intervals and every vertex is colored with a non-negative
+    start. *)
+val is_valid_graph : Ivc_graph.Csr.t -> w:int array -> int array -> bool
+
+(** Validity on a stencil instance (uses the implicit 9-pt / 27-pt
+    adjacency, no graph materialization). *)
+val is_valid : Ivc_grid.Stencil.t -> int array -> bool
+
+(** Conflicting pairs of a (possibly invalid) stencil coloring, each
+    reported once with [u < v]. *)
+val violations : Ivc_grid.Stencil.t -> int array -> (int * int) list
+
+(** [assert_valid inst starts] raises [Failure] with a diagnostic
+    message if the coloring is invalid. Returns [maxcolor]. *)
+val assert_valid : Ivc_grid.Stencil.t -> int array -> int
+
+(** Pretty-print a 2D stencil coloring as a grid of [start..end) cells. *)
+val pp_grid : Ivc_grid.Stencil.t -> Format.formatter -> int array -> unit

@@ -1,0 +1,26 @@
+(** Coloring compaction: slide intervals toward color 0 without
+    breaking validity.
+
+    These are the normalization arguments behind the exact order-space
+    search and behind BDP: recoloring vertices by first fit in
+    nondecreasing start order never raises any start, so any valid
+    coloring can be compacted to one where every vertex starts at 0 or
+    abuts a neighbor's finish. *)
+
+(** [compact inst starts] recolors every vertex by first fit in
+    nondecreasing (start, id) order. The result is valid, pointwise no
+    higher than the input, and idempotent up to ties. *)
+val compact : Ivc_grid.Stencil.t -> int array -> int array
+
+(** [slide_fixpoint inst starts] repeatedly decrements any start that
+    can move down by one, until no vertex can move. Equivalent limit
+    object to [compact] but by local moves; exposed for tests. *)
+val slide_fixpoint : Ivc_grid.Stencil.t -> int array -> int array
+
+(** [is_compact inst starts] — every vertex starts at 0 or abuts the
+    finish of some neighbor (positive weights only). *)
+val is_compact : Ivc_grid.Stencil.t -> int array -> bool
+
+(** Total slack: sum over vertices of the distance they could slide
+    down. Zero iff [is_compact]. *)
+val slack : Ivc_grid.Stencil.t -> int array -> int

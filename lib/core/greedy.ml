@@ -1,0 +1,127 @@
+module Stencil = Ivc_grid.Stencil
+module Csr = Ivc_graph.Csr
+
+type state = {
+  inst : Stencil.t;
+  starts : int array;
+  mutable uncolored_count : int;
+  (* scratch buffer of (start, finish) pairs, grown on demand *)
+  mutable buf : (int * int) array;
+}
+
+let create inst =
+  let n = Stencil.n_vertices inst in
+  {
+    inst;
+    starts = Array.make n Coloring.uncolored;
+    uncolored_count = n;
+    buf = Array.make (max 1 (min n 64)) (0, 0);
+  }
+
+let instance st = st.inst
+let start st v = st.starts.(v)
+let is_colored st v = st.starts.(v) >= 0
+
+let ensure_buf st k =
+  if Array.length st.buf < k then
+    st.buf <- Array.make (max k (2 * Array.length st.buf)) (0, 0)
+
+(* Scan sorted (start, finish) pairs for the first gap of width [len].
+   Zero-length vertices can always be placed at 0. *)
+let scan_gap pairs count len =
+  if len = 0 then 0
+  else begin
+    let cur = ref 0 in
+    let placed = ref (-1) in
+    let i = ref 0 in
+    while !placed < 0 && !i < count do
+      let s, f = pairs.(!i) in
+      if !cur + len <= s then placed := !cur
+      else begin
+        if f > !cur then cur := f;
+        incr i
+      end
+    done;
+    if !placed >= 0 then !placed else !cur
+  end
+
+let sort_prefix pairs count =
+  (* Sort only the filled prefix of the scratch buffer. *)
+  let sub = Array.sub pairs 0 count in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sub;
+  Array.blit sub 0 pairs 0 count
+
+let color_vertex st v =
+  if st.starts.(v) >= 0 then st.starts.(v)
+  else begin
+    let w = (st.inst : Stencil.t).w in
+    let len = w.(v) in
+    let count = ref 0 in
+    ensure_buf st (Stencil.stencil_degree st.inst);
+    Stencil.iter_neighbors st.inst v (fun u ->
+        if st.starts.(u) >= 0 && w.(u) > 0 then begin
+          st.buf.(!count) <- (st.starts.(u), st.starts.(u) + w.(u));
+          incr count
+        end);
+    sort_prefix st.buf !count;
+    let s = scan_gap st.buf !count len in
+    st.starts.(v) <- s;
+    st.uncolored_count <- st.uncolored_count - 1;
+    s
+  end
+
+let uncolor st v =
+  if st.starts.(v) >= 0 then begin
+    st.starts.(v) <- Coloring.uncolored;
+    st.uncolored_count <- st.uncolored_count + 1
+  end
+
+let recolor st v =
+  uncolor st v;
+  color_vertex st v
+
+let remaining st = st.uncolored_count
+let maxcolor st = Coloring.maxcolor ~w:(st.inst : Stencil.t).w st.starts
+let starts st = Array.copy st.starts
+
+let color_in_order inst order =
+  let n = Stencil.n_vertices inst in
+  if Array.length order <> n then
+    invalid_arg "Greedy.color_in_order: order length mismatch";
+  let st = create inst in
+  Array.iter (fun v -> ignore (color_vertex st v)) order;
+  if st.uncolored_count <> 0 then
+    invalid_arg "Greedy.color_in_order: order is not a permutation";
+  st.starts
+
+let color_in_order_graph g ~w order =
+  let n = Csr.n_vertices g in
+  let starts = Array.make n Coloring.uncolored in
+  let colored = ref 0 in
+  Array.iter
+    (fun v ->
+      if starts.(v) < 0 then begin
+        let neigh = ref [] in
+        Csr.iter_neighbors g v (fun u ->
+            if starts.(u) >= 0 && w.(u) > 0 then
+              neigh := (starts.(u), starts.(u) + w.(u)) :: !neigh);
+        let pairs = Array.of_list !neigh in
+        Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+        starts.(v) <- scan_gap pairs (Array.length pairs) w.(v);
+        incr colored
+      end)
+    order;
+  if !colored <> n then
+    invalid_arg "Greedy.color_in_order_graph: order is not a permutation";
+  starts
+
+let first_fit ~len intervals =
+  if len < 0 then invalid_arg "Greedy.first_fit: negative length";
+  let pairs =
+    intervals
+    |> List.filter (fun iv -> not (Interval.is_empty iv))
+    |> List.map (fun (iv : Interval.t) -> (iv.start, Interval.finish iv))
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+  scan_gap pairs (Array.length pairs) len

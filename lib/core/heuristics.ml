@@ -1,0 +1,92 @@
+module Stencil = Ivc_grid.Stencil
+
+let gll inst = Greedy.color_in_order inst (Stencil.row_major_order inst)
+let gzo inst = Greedy.color_in_order inst (Stencil.zorder inst)
+
+let largest_first_order inst =
+  let w = (inst : Stencil.t).w in
+  let order = Array.init (Stencil.n_vertices inst) Fun.id in
+  Array.sort
+    (fun a b -> if w.(a) <> w.(b) then compare w.(b) w.(a) else compare a b)
+    order;
+  order
+
+let glf inst = Greedy.color_in_order inst (largest_first_order inst)
+
+let clique_order inst =
+  let cliques = Stencil.cliques inst in
+  let weighted =
+    Array.map (fun c -> (Stencil.weight_sum inst c, c)) cliques
+  in
+  Array.sort
+    (fun (wa, ca) (wb, cb) ->
+      if wa <> wb then compare wb wa else compare ca.(0) cb.(0))
+    weighted;
+  Array.map snd weighted
+
+(* Color clique by clique; [pick] chooses how to color the not-yet
+   colored vertices of one clique given the current greedy state. Any
+   vertex in no block clique (degenerate 1-wide instances) is colored
+   at the end in id order. *)
+let clique_driven inst pick =
+  let st = Greedy.create inst in
+  Array.iter (fun c -> pick st c) (clique_order inst);
+  for v = 0 to Stencil.n_vertices inst - 1 do
+    ignore (Greedy.color_vertex st v)
+  done;
+  Greedy.starts st
+
+let gkf inst =
+  clique_driven inst (fun st c ->
+      Array.iter (fun v -> ignore (Greedy.color_vertex st v)) c)
+
+(* All permutations of a small list. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let sgk_pick_2d st c =
+  let inst = Greedy.instance st in
+  let w = (inst : Stencil.t).w in
+  let todo = Array.to_list c |> List.filter (fun v -> not (Greedy.is_colored st v)) in
+  match todo with
+  | [] -> ()
+  | [ v ] -> ignore (Greedy.color_vertex st v)
+  | todo ->
+      let try_order order =
+        List.iter (fun v -> ignore (Greedy.color_vertex st v)) order;
+        (* local maxcolor of the whole clique, colored or not by us *)
+        let local =
+          Array.fold_left
+            (fun acc v -> max acc (Greedy.start st v + w.(v)))
+            0 c
+        in
+        List.iter (fun v -> Greedy.uncolor st v) order;
+        local
+      in
+      let best_order, _ =
+        List.fold_left
+          (fun (bo, bv) order ->
+            let v = try_order order in
+            if v < bv then (order, v) else (bo, bv))
+          ([], max_int) (permutations todo)
+      in
+      List.iter (fun v -> ignore (Greedy.color_vertex st v)) best_order
+
+let sgk_pick_3d st c =
+  let inst = Greedy.instance st in
+  let w = (inst : Stencil.t).w in
+  let sorted = Array.copy c in
+  Array.sort
+    (fun a b -> if w.(a) <> w.(b) then compare w.(b) w.(a) else compare a b)
+    sorted;
+  Array.iter (fun v -> ignore (Greedy.color_vertex st v)) sorted
+
+let sgk inst =
+  if Stencil.is_3d inst then clique_driven inst sgk_pick_3d
+  else clique_driven inst sgk_pick_2d

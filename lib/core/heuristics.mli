@@ -1,0 +1,33 @@
+(** The greedy heuristics of Section V-A.
+
+    All functions take a stencil instance and return a complete, valid
+    starts array. *)
+
+(** Greedy Line-by-Line: row-major vertex order (line by line, then
+    plane by plane in 3D). *)
+val gll : Ivc_grid.Stencil.t -> int array
+
+(** Greedy Z-Order: Morton-order vertex order. *)
+val gzo : Ivc_grid.Stencil.t -> int array
+
+(** Greedy Largest First: non-increasing weight order (ties by id). *)
+val glf : Ivc_grid.Stencil.t -> int array
+
+(** Greedy Largest Clique First: block cliques (K4 / K8) sorted by
+    non-increasing total weight; vertices inside a clique in id order;
+    already-colored vertices are left untouched. *)
+val gkf : Ivc_grid.Stencil.t -> int array
+
+(** Smart Greedy Largest Clique First. In 2D, all 4! orders of each
+    clique's uncolored vertices are tried and the one minimizing the
+    clique's local maxcolor is kept. In 3D, trying 8! orders is too
+    expensive (as the paper notes), so vertices inside each K8 are
+    sorted by non-increasing weight instead. *)
+val sgk : Ivc_grid.Stencil.t -> int array
+
+(** The vertex order used by [glf]; exposed for tests. *)
+val largest_first_order : Ivc_grid.Stencil.t -> int array
+
+(** The clique order used by [gkf] and [sgk]: block cliques sorted by
+    non-increasing weight sum (ties by first id). *)
+val clique_order : Ivc_grid.Stencil.t -> int array array

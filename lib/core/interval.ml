@@ -1,0 +1,23 @@
+type t = { start : int; len : int }
+
+let make ~start ~len =
+  if start < 0 then invalid_arg "Interval.make: negative start";
+  if len < 0 then invalid_arg "Interval.make: negative length";
+  { start; len }
+
+let finish t = t.start + t.len
+let is_empty t = t.len = 0
+
+let overlaps a b =
+  (not (is_empty a)) && (not (is_empty b))
+  && a.start < finish b && b.start < finish a
+
+let disjoint a b = not (overlaps a b)
+let contains t c = c >= t.start && c < finish t
+
+let compare_start a b =
+  let c = compare a.start b.start in
+  if c <> 0 then c else compare a.len b.len
+
+let pp fmt t = Format.fprintf fmt "[%d,%d)" t.start (finish t)
+let to_string t = Printf.sprintf "[%d,%d)" t.start (finish t)

@@ -1,0 +1,30 @@
+(** Half-open integer color intervals [start, start + len).
+
+    A vertex of weight [w] is colored with an interval of length [w];
+    a zero-length interval is empty and conflicts with nothing
+    (Definition 1 of the paper). *)
+
+type t = { start : int; len : int }
+
+(** [make ~start ~len]. Requires [start >= 0] and [len >= 0]. *)
+val make : start:int -> len:int -> t
+
+(** First color after the interval: [start + len]. *)
+val finish : t -> int
+
+val is_empty : t -> bool
+
+(** Two intervals are disjoint iff they share no color. Empty intervals
+    are disjoint from everything. *)
+val disjoint : t -> t -> bool
+
+val overlaps : t -> t -> bool
+
+(** [contains t c] tests whether color [c] lies in the interval. *)
+val contains : t -> int -> bool
+
+(** Total order by [start], then by [len]. *)
+val compare_start : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

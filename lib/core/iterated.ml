@@ -1,0 +1,74 @@
+module Stencil = Ivc_grid.Stencil
+
+type pass = Reverse | Restart | Cliques | Decreasing_weight
+
+let order_of_pass inst starts = function
+  | Restart ->
+      let order = Array.init (Stencil.n_vertices inst) Fun.id in
+      Array.sort
+        (fun a b ->
+          if starts.(a) <> starts.(b) then compare starts.(a) starts.(b)
+          else compare a b)
+        order;
+      order
+  | Reverse ->
+      let order = Array.init (Stencil.n_vertices inst) Fun.id in
+      Array.sort
+        (fun a b ->
+          if starts.(a) <> starts.(b) then compare starts.(b) starts.(a)
+          else compare a b)
+        order;
+      order
+  | Cliques -> Bipartite_decomp.post_order inst starts
+  | Decreasing_weight -> Heuristics.largest_first_order inst
+
+(* One first-fit recoloring sweep. Dropping a vertex and re-placing it
+   by first fit can always reuse its old start, so validity and
+   non-increase of every vertex's options are preserved throughout. *)
+let apply inst starts pass =
+  let w = (inst : Stencil.t).w in
+  let order = order_of_pass inst starts pass in
+  let cur = Array.copy starts in
+  Array.iter
+    (fun v ->
+      let neigh = ref [] in
+      Stencil.iter_neighbors inst v (fun u ->
+          if w.(u) > 0 then
+            neigh := Interval.make ~start:cur.(u) ~len:w.(u) :: !neigh);
+      cur.(v) <- Greedy.first_fit ~len:w.(v) !neigh)
+    order;
+  cur
+
+let run ?(max_rounds = 10) inst starts ~passes =
+  let w = (inst : Stencil.t).w in
+  let best = ref (Array.copy starts) in
+  let best_mc = ref (Coloring.maxcolor ~w starts) in
+  let cur = ref (Array.copy starts) in
+  (try
+     for _ = 1 to max_rounds do
+       let before = !best_mc in
+       List.iter
+         (fun pass ->
+           cur := apply inst !cur pass;
+           let mc = Coloring.maxcolor ~w !cur in
+           if mc < !best_mc then begin
+             best_mc := mc;
+             best := Array.copy !cur
+           end)
+         passes;
+       if !best_mc >= before then raise Exit
+     done
+   with Exit -> ());
+  !best
+
+let best_effort ?max_rounds inst =
+  let w = (inst : Stencil.t).w in
+  let _, starts, _ =
+    List.fold_left
+      (fun (bn, bs, bmc) (n, s, mc) ->
+        if mc < bmc then (n, s, mc) else (bn, bs, bmc))
+      ("", [||], max_int)
+      (Algo.run_all inst)
+  in
+  ignore w;
+  run ?max_rounds inst starts ~passes:[ Reverse; Cliques; Restart ]

@@ -1,0 +1,35 @@
+(** Iterated greedy recoloring [Culberson 1992], the post-optimization
+    family the paper cites (Section II-B) and instantiates once as BDP.
+
+    Each pass recolors every vertex by first fit following some order
+    derived from the current coloring. Orders that list whole color
+    classes consecutively guarantee the new maxcolor never exceeds the
+    old one; the first-fit recoloring used here guarantees it too
+    (every vertex can always be re-placed at its previous start). *)
+
+type pass =
+  | Reverse  (** non-increasing start: Culberson's classic reversal *)
+  | Restart  (** nondecreasing start: pure compaction *)
+  | Cliques  (** the BDP order: heaviest block cliques first *)
+  | Decreasing_weight  (** heaviest vertices first *)
+
+(** [apply inst starts pass] runs one recoloring pass. The result is
+    valid and its maxcolor is at most the input's. *)
+val apply : Ivc_grid.Stencil.t -> int array -> pass -> int array
+
+(** [run inst starts ~passes] cycles through the pass list until the
+    maxcolor stops improving or [max_rounds] (default 10) full cycles
+    ran. Returns the best coloring found. *)
+val run :
+  ?max_rounds:int ->
+  Ivc_grid.Stencil.t ->
+  int array ->
+  passes:pass list ->
+  int array
+
+(** Iterated greedy on top of the best construction heuristic: runs all
+    of [Algo.all], keeps the best, then improves it with
+    [Reverse; Cliques; Restart] cycles. The strongest (and slowest)
+    polynomial heuristic in this repository; used by the ablation
+    benches as "IGR". *)
+val best_effort : ?max_rounds:int -> Ivc_grid.Stencil.t -> int array

@@ -1,0 +1,170 @@
+module Stencil = Ivc_grid.Stencil
+
+let row_major = Stencil.row_major_order
+let zorder = Stencil.zorder
+
+(* Standard Hilbert curve distance (power-of-two side, cells outside
+   the grid simply never queried). *)
+let hilbert_d side i j =
+  let x = ref i and y = ref j and d = ref 0 in
+  let s = ref (side / 2) in
+  while !s > 0 do
+    let rx = if !x land !s > 0 then 1 else 0 in
+    let ry = if !y land !s > 0 then 1 else 0 in
+    d := !d + (!s * !s * ((3 * rx) lxor ry));
+    (* rotate quadrant *)
+    if ry = 0 then begin
+      if rx = 1 then begin
+        x := !s - 1 - !x;
+        y := !s - 1 - !y
+      end;
+      let t = !x in
+      x := !y;
+      y := t
+    end;
+    s := !s / 2
+  done;
+  !d
+
+let hilbert inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D3 _ -> zorder inst
+  | Stencil.D2 (x, y) ->
+      let side = ref 1 in
+      while !side < max x y do
+        side := 2 * !side
+      done;
+      let keyed =
+        Array.init (x * y) (fun id -> (hilbert_d !side (id / y) (id mod y), id))
+      in
+      Array.sort compare keyed;
+      Array.map snd keyed
+
+let largest_first = Heuristics.largest_first_order
+
+let smallest_last inst =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  (* weighted degree = own weight + sum of remaining neighbors' weights *)
+  let key = Array.make n 0 in
+  for v = 0 to n - 1 do
+    key.(v) <- w.(v);
+    Stencil.iter_neighbors inst v (fun u -> key.(v) <- key.(v) + w.(u))
+  done;
+  let removed = Array.make n false in
+  (* ordered set as a priority queue with exact deletion *)
+  let module H = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let set = ref H.empty in
+  for v = 0 to n - 1 do
+    set := H.add (key.(v), v) !set
+  done;
+  let order_rev = ref [] in
+  for _ = 1 to n do
+    let k, v = H.min_elt !set in
+    assert (k = key.(v) && not removed.(v));
+    set := H.remove (k, v) !set;
+    removed.(v) <- true;
+    order_rev := v :: !order_rev;
+    Stencil.iter_neighbors inst v (fun u ->
+        if not removed.(u) then begin
+          set := H.remove (key.(u), u) !set;
+          key.(u) <- key.(u) - w.(v);
+          set := H.add (key.(u), u) !set
+        end)
+  done;
+  (* color in reverse removal order *)
+  Array.of_list !order_rev
+
+let spiral2 x y =
+  let acc = ref [] in
+  let top = ref 0 and bottom = ref (x - 1) and left = ref 0 and right = ref (y - 1) in
+  let push i j = acc := ((i * y) + j) :: !acc in
+  while !top <= !bottom && !left <= !right do
+    for j = !left to !right do
+      push !top j
+    done;
+    for i = !top + 1 to !bottom do
+      push i !right
+    done;
+    if !top < !bottom then
+      for j = !right - 1 downto !left do
+        push !bottom j
+      done;
+    if !left < !right then
+      for i = !bottom - 1 downto !top + 1 do
+        push i !left
+      done;
+    incr top;
+    decr bottom;
+    incr left;
+    decr right
+  done;
+  Array.of_list (List.rev !acc)
+
+let spiral inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) -> spiral2 x y
+  | Stencil.D3 (x, y, z) ->
+      let per_layer = spiral2 x y in
+      let order = Array.make (x * y * z) 0 in
+      let pos = ref 0 in
+      for k = 0 to z - 1 do
+        Array.iter
+          (fun id2 ->
+            let i = id2 / y and j = id2 mod y in
+            order.(!pos) <- (((i * y) + j) * z) + k;
+            incr pos)
+          per_layer
+      done;
+      order
+
+let diagonal inst =
+  let n = Stencil.n_vertices inst in
+  let key v =
+    match (inst : Stencil.t).dims with
+    | Stencil.D2 _ ->
+        let i, j = Stencil.coord2 inst v in
+        (i + j, v)
+    | Stencil.D3 _ ->
+        let i, j, k = Stencil.coord3 inst v in
+        (i + j + k, v)
+  in
+  let keyed = Array.init n (fun v -> key v) in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let random ~seed inst =
+  let n = Stencil.n_vertices inst in
+  let order = Array.init n Fun.id in
+  let rng = ref (seed lxor 0x5DEECE66D) in
+  let next bound =
+    let x = !rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    rng := x;
+    (x land max_int) mod bound
+  in
+  for i = n - 1 downto 1 do
+    let j = next (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  order
+
+let all =
+  [
+    ("row-major", row_major);
+    ("zorder", zorder);
+    ("hilbert", hilbert);
+    ("largest-first", largest_first);
+    ("smallest-last", smallest_last);
+    ("spiral", spiral);
+    ("diagonal", diagonal);
+    ("random", random ~seed:7);
+  ]

@@ -1,0 +1,40 @@
+(** Vertex orderings for greedy coloring.
+
+    The paper's heuristics use row-major ("line by line"), Z-order and
+    weight orders (Section V-A); the related-work section points at the
+    classic Largest-First [Welsh–Powell] and Smallest-Last
+    [Matula–Beck] orders. This module collects them plus additional
+    locality orders (Hilbert curve, spiral, diagonal) used by the
+    ablation benches. Every function returns a permutation of the
+    vertex ids of the instance. *)
+
+(** Row-major: line by line, then plane by plane. The order behind GLL. *)
+val row_major : Ivc_grid.Stencil.t -> int array
+
+(** Morton / Z-order. The order behind GZO. *)
+val zorder : Ivc_grid.Stencil.t -> int array
+
+(** Hilbert curve order (2D only; falls back to Z-order in 3D). Better
+    locality than Z-order: consecutive cells are always neighbors. *)
+val hilbert : Ivc_grid.Stencil.t -> int array
+
+(** Non-increasing weight, ties by id. The order behind GLF. *)
+val largest_first : Ivc_grid.Stencil.t -> int array
+
+(** Smallest-Last [Matula–Beck 1983]: repeatedly remove a vertex of
+    minimum weighted degree (sum of remaining neighbor weights, plus
+    its own); color in reverse removal order. *)
+val smallest_last : Ivc_grid.Stencil.t -> int array
+
+(** Outward-in spiral over a 2D grid (3D: spiral per layer). *)
+val spiral : Ivc_grid.Stencil.t -> int array
+
+(** Anti-diagonal wavefront order: cells sorted by [i + j (+ k)], then
+    lexicographically. The classic stencil sweep order. *)
+val diagonal : Ivc_grid.Stencil.t -> int array
+
+(** Deterministic pseudo-random shuffle of the ids. *)
+val random : seed:int -> Ivc_grid.Stencil.t -> int array
+
+(** Named catalog of all orders, for benches and the CLI. *)
+val all : (string * (Ivc_grid.Stencil.t -> int array)) list

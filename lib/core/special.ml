@@ -1,0 +1,120 @@
+module Stencil = Ivc_grid.Stencil
+module Csr = Ivc_graph.Csr
+module Traversal = Ivc_graph.Traversal
+
+let color_clique ~w =
+  let n = Array.length w in
+  let starts = Array.make n 0 in
+  let acc = ref 0 in
+  for v = 0 to n - 1 do
+    starts.(v) <- !acc;
+    acc := !acc + w.(v)
+  done;
+  (starts, !acc)
+
+let bipartite_maxcolor g ~w =
+  (* max edge weight sum, but never below the largest vertex weight so
+     that isolated vertices fit in [0, maxcolor). *)
+  let m = ref (Array.fold_left max 0 w) in
+  Csr.iter_edges g (fun u v -> if w.(u) + w.(v) > !m then m := w.(u) + w.(v));
+  !m
+
+let color_bipartite g ~w =
+  match Traversal.bipartition g with
+  | None -> None
+  | Some side ->
+      let mc = bipartite_maxcolor g ~w in
+      let starts =
+        Array.mapi (fun v s -> if s then mc - w.(v) else 0) side
+      in
+      Some (starts, mc)
+
+let color_chain w =
+  let n = Array.length w in
+  let mc = ref (Array.fold_left max 0 w) in
+  for i = 0 to n - 2 do
+    if w.(i) + w.(i + 1) > !mc then mc := w.(i) + w.(i + 1)
+  done;
+  let mc = !mc in
+  let starts =
+    Array.init n (fun i -> if i land 1 = 0 then 0 else mc - w.(i))
+  in
+  (starts, mc)
+
+let maxpair w =
+  let n = Array.length w in
+  if n < 2 then invalid_arg "Special.maxpair: need >= 2 vertices";
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let p = w.(i) + w.((i + 1) mod n) in
+    if p > !m then m := p
+  done;
+  !m
+
+let minchain3 w =
+  let n = Array.length w in
+  if n < 3 then invalid_arg "Special.minchain3: need >= 3 vertices";
+  let m = ref max_int in
+  for i = 0 to n - 1 do
+    let c = w.(i) + w.((i + 1) mod n) + w.((i + 2) mod n) in
+    if c < !m then m := c
+  done;
+  !m
+
+let color_odd_cycle w =
+  let n = Array.length w in
+  if n < 3 || n land 1 = 0 then
+    invalid_arg "Special.color_odd_cycle: need odd length >= 3";
+  let mc = max (maxpair w) (minchain3 w) in
+  (* Rotate so that the minimum 3-chain starts at index 0, then apply
+     the constructive coloring of Lemma 2. *)
+  let best = ref 0 and bestv = ref max_int in
+  for i = 0 to n - 1 do
+    let c = w.(i) + w.((i + 1) mod n) + w.((i + 2) mod n) in
+    if c < !bestv then begin
+      bestv := c;
+      best := i
+    end
+  done;
+  let rot = !best in
+  let starts = Array.make n 0 in
+  for p = 0 to n - 1 do
+    (* p is the position in the rotated cycle; v the original index *)
+    let v = (rot + p) mod n in
+    starts.(v) <-
+      (if p = 0 then 0
+       else if p = 1 then w.(rot)
+       else if p = 2 then mc - w.(v)
+       else if p land 1 = 1 then 0
+       else mc - w.(v))
+  done;
+  (starts, mc)
+
+let color_even_cycle w =
+  let n = Array.length w in
+  if n < 4 || n land 1 = 1 then
+    invalid_arg "Special.color_even_cycle: need even length >= 4";
+  let mc = ref (Array.fold_left max 0 w) in
+  for i = 0 to n - 1 do
+    let p = w.(i) + w.((i + 1) mod n) in
+    if p > !mc then mc := p
+  done;
+  let mc = !mc in
+  let starts =
+    Array.init n (fun i -> if i land 1 = 0 then 0 else mc - w.(i))
+  in
+  (starts, mc)
+
+let color_relaxation inst =
+  let w = (inst : Stencil.t).w in
+  let n = Stencil.n_vertices inst in
+  (* maxcolor over the axis-aligned (relaxed) edges only *)
+  let mc = ref (Array.fold_left max 0 w) in
+  let g = Stencil.relaxed_graph inst in
+  Csr.iter_edges g (fun u v -> if w.(u) + w.(v) > !mc then mc := w.(u) + w.(v));
+  let mc = !mc in
+  let starts =
+    Array.init n (fun v ->
+        if Stencil.checkerboard inst v then mc - w.(v) else 0)
+  in
+  (starts, mc)

@@ -1,0 +1,48 @@
+(** Polynomial special cases of Section III: cliques, bipartite graphs
+    (hence chains, even cycles, and the 5-pt / 7-pt stencil
+    relaxations), and odd cycles.
+
+    Each algorithm returns the starts array together with the number of
+    colors it uses, which is optimal for the corresponding graph
+    class. *)
+
+(** Optimal clique coloring: vertices stacked in index order;
+    [maxcolor* = sum of weights] (Section III-A). O(n). *)
+val color_clique : w:int array -> int array * int
+
+(** Optimal coloring of a bipartite graph (Section III-B): side A gets
+    [start = 0], side B gets [start = maxcolor* - w]. Returns [None]
+    when the graph is not bipartite. [maxcolor*] is the largest edge
+    weight sum (at least the largest vertex weight, so isolated heavy
+    vertices fit). O(E). *)
+val color_bipartite : Ivc_graph.Csr.t -> w:int array -> (int array * int) option
+
+(** Optimal chain (path graph) coloring, a direct O(n) specialization
+    of [color_bipartite] used heavily by Bipartite Decomposition. *)
+val color_chain : int array -> int array * int
+
+(** [maxpair w] for a cycle: maximum weight of two cyclically
+    consecutive vertices (Definition 4). Requires length >= 2. *)
+val maxpair : int array -> int
+
+(** [minchain3 w] for a cycle: minimum weight of three cyclically
+    consecutive vertices (Definition 5). Requires length >= 3. *)
+val minchain3 : int array -> int
+
+(** Optimal odd-cycle coloring (Theorem 1):
+    [maxcolor* = max maxpair minchain3], built by the constructive
+    proof of Lemma 2. Vertex [i] of the array is adjacent to vertices
+    [i-1] and [i+1] modulo the length, which must be odd and >= 3. *)
+val color_odd_cycle : int array -> int array * int
+
+(** Optimal coloring of an even cycle (bipartite), O(n). *)
+val color_even_cycle : int array -> int array * int
+
+(** Optimal coloring of the 5-pt (2D) or 7-pt (3D) relaxation of a
+    stencil instance: the relaxation is bipartite by checkerboard
+    parity, so this is the polynomial case claimed by the abstract.
+    The returned coloring is valid for the relaxed graph (not
+    necessarily for the full stencil); the returned value is the
+    relaxation's optimal maxcolor, a lower bound for nothing but a
+    guide (diagonal conflicts are ignored). *)
+val color_relaxation : Ivc_grid.Stencil.t -> int array * int

@@ -1,0 +1,70 @@
+module Stencil = Ivc_grid.Stencil
+
+let header w h =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    w h w h
+
+let footer = "</svg>\n"
+
+let dims2 inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) -> (x, y)
+  | Stencil.D3 _ -> invalid_arg "Svg: 2D instances only"
+
+let heatmap inst =
+  let x, y = dims2 inst in
+  let cell = 14 in
+  let maxw = max 1 (Stencil.max_weight inst) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (header (y * cell) (x * cell));
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      let w = Stencil.weight inst (Stencil.id2 inst i j) in
+      let shade = 255 - (w * 220 / maxw) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+            fill=\"rgb(%d,%d,255)\" stroke=\"#ccc\"/>\n"
+           (j * cell) (i * cell) cell cell shade shade)
+    done
+  done;
+  Buffer.add_string b footer;
+  Buffer.contents b
+
+let gantt inst starts =
+  let x, y = dims2 inst in
+  if Array.length starts <> Stencil.n_vertices inst then
+    invalid_arg "Svg.gantt: starts length";
+  let w = (inst : Stencil.t).w in
+  let mc = max 1 (Coloring.maxcolor ~w starts) in
+  let width = 640 and row_h = 18 in
+  let scale v = v * width / mc in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (header (width + 40) ((x * row_h) + 10));
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      let v = Stencil.id2 inst i j in
+      if w.(v) > 0 then begin
+        let hue = 360 * j / max 1 y in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+              fill=\"hsl(%d,70%%,55%%)\" stroke=\"#333\">\
+              <title>(%d,%d) w=%d [%d,%d)</title></rect>\n"
+             (20 + scale starts.(v))
+             ((i * row_h) + 5)
+             (max 1 (scale (starts.(v) + w.(v)) - scale starts.(v)))
+             (row_h - 4) hue i j w.(v) starts.(v)
+             (starts.(v) + w.(v)))
+      end
+    done
+  done;
+  Buffer.add_string b footer;
+  Buffer.contents b
+
+let looks_like_svg s =
+  String.length s > 10
+  && String.sub s 0 4 = "<svg"
+  && String.sub s (String.length s - 7) 6 = "</svg>"

@@ -1,0 +1,17 @@
+(** SVG rendering of instances and colorings, for inspection and
+    documentation: a weight heatmap of the grid, and a Gantt-style
+    chart of the color intervals (one row per grid line, colored bars
+    over the color axis) that makes conflicts visually obvious. *)
+
+(** [heatmap inst] — one SVG rect per cell, intensity by weight.
+    2D only; raises [Invalid_argument] on 3D instances. *)
+val heatmap : Ivc_grid.Stencil.t -> string
+
+(** [gantt inst starts] — the color axis runs horizontally; each vertex
+    is a bar from [start] to [start + w] placed on its grid row, hue by
+    column. 2D only. *)
+val gantt : Ivc_grid.Stencil.t -> int array -> string
+
+(** Minimal well-formedness used by the tests: the string starts with
+    an <svg ...> element and ends with </svg>. *)
+val looks_like_svg : string -> bool

@@ -1,0 +1,35 @@
+(** The experimental instance catalog of Section VI-A.
+
+    For each dataset the paper lists, per bandwidth, all powers of two
+    for each grid dimension plus the largest value the bandwidth can
+    accommodate (a region must be at least twice the bandwidth wide).
+    This module regenerates that catalog from the synthetic datasets:
+    852 2D and 1587 3D instances in the paper; several hundred / about
+    a thousand here (see EXPERIMENTS.md for the exact counts). *)
+
+type entry = {
+  dataset : string;
+  plane : string;  (** projection name for 2D entries, "xyz" for 3D *)
+  bandwidth : float;  (** bandwidth as a fraction of the spatial extent *)
+  inst : Ivc_grid.Stencil.t;
+}
+
+val describe : entry -> string
+
+(** Allowed dimension values for an axis of physical size [size] under
+    bandwidth [bw] (same unit): all powers of two of the maximum cell
+    count, plus the maximum itself, all at least 2. *)
+val allowed_dims : size:float -> bw:float -> int list
+
+(** 2D catalog: datasets x 3 projections x bandwidth fractions x all
+    (X, Y) combinations. [scale] scales the synthetic dataset sizes.
+    [subsample] keeps one entry in [subsample] (default 1 = all). *)
+val entries_2d : ?scale:float -> ?subsample:int -> unit -> entry list
+
+(** 3D catalog: datasets x bandwidth fractions x all (X, Y, Z). *)
+val entries_3d : ?scale:float -> ?subsample:int -> unit -> entry list
+
+(** Bandwidth fractions used for the 2D / 3D catalogs. *)
+val bandwidth_fracs_2d : float list
+
+val bandwidth_fracs_3d : float list

@@ -1,0 +1,114 @@
+let count scale base = max 32 (int_of_float (float_of_int base *. scale))
+
+(* Draw a point from a Gaussian spatial cluster with a given temporal
+   profile. *)
+let cluster_point rng ~cx ~cy ~sigma ~tmin ~tmax =
+  let x = Rng.normal rng ~mean:cx ~sigma in
+  let y = Rng.normal rng ~mean:cy ~sigma in
+  let t = Rng.range rng tmin tmax in
+  { Points.x; y; t }
+
+let dengue ?(scale = 1.0) () =
+  let rng = Rng.create 0xD46 in
+  let n = count scale 9_000 in
+  (* Cali-like: ~20x20 km urban box, 8 neighborhood hotspots, two
+     epidemic waves (months 3-9 of year 1 and 2-8 of year 2). *)
+  let hotspots =
+    Array.init 8 (fun _ ->
+        (Rng.range rng 3.0 17.0, Rng.range rng 3.0 17.0, Rng.range rng 0.4 1.6))
+  in
+  let weights = Array.map (fun (_, _, s) -> 1.0 /. s) hotspots in
+  let points =
+    Array.init n (fun _ ->
+        let cx, cy, sigma = hotspots.(Rng.categorical rng weights) in
+        let wave = if Rng.bool rng 0.55 then (3.0, 9.0) else (14.0, 20.0) in
+        let tmin, tmax = wave in
+        cluster_point rng ~cx ~cy ~sigma ~tmin ~tmax)
+  in
+  Points.make "Dengue" points
+
+let flu_animal ?(scale = 1.0) () =
+  let rng = Rng.create 0xF10 in
+  let n = count scale 3_500 in
+  (* Worldwide box (360 x 180), 16 years, a handful of far-apart
+     hotspots with long quiet gaps: extremely sparse cell histograms. *)
+  let hotspots =
+    [|
+      (105.0, 110.0, 4.0); (* SE Asia *)
+      (31.0, 120.0, 3.0); (* Nile delta *)
+      (10.0, 140.0, 5.0); (* West Africa *)
+      (280.0, 135.0, 6.0); (* Americas *)
+      (140.0, 40.0, 5.0); (* Oceania-ish *)
+    |]
+  in
+  let weights = [| 0.45; 0.2; 0.12; 0.13; 0.1 |] in
+  let points =
+    Array.init n (fun _ ->
+        if Rng.bool rng 0.07 then
+          (* isolated confirmed case anywhere on the globe *)
+          {
+            Points.x = Rng.range rng 0.0 360.0;
+            y = Rng.range rng 0.0 180.0;
+            t = Rng.range rng 0.0 192.0;
+          }
+        else begin
+          let cx, cy, sigma = hotspots.(Rng.categorical rng weights) in
+          (* outbreaks come in seasonal bursts *)
+          let year = float_of_int (Rng.int rng 16) in
+          let burst = Rng.range rng 0.0 4.0 in
+          cluster_point rng ~cx ~cy ~sigma ~tmin:((year *. 12.0) +. burst)
+            ~tmax:((year *. 12.0) +. burst +. 2.0)
+        end)
+  in
+  Points.make "FluAnimal" points
+
+let pollen_cloud ~scale ~name ~restrict =
+  let rng = Rng.create 0x607 in
+  let n = count scale 28_000 in
+  (* Continental window [5,55] x [5,25]; population centers of varied
+     size; 10% diffuse noise; 4% of tweets outside the window
+     (Alaska/Hawaii/overseas), dropped by the US restriction. *)
+  let centers =
+    Array.init 40 (fun _ ->
+        (Rng.range rng 6.0 54.0, Rng.range rng 6.0 24.0, Rng.range rng 0.15 0.9))
+  in
+  let weights = Array.init 40 (fun i -> if i < 6 then 8.0 else 1.0) in
+  let raw =
+    Array.init n (fun _ ->
+        if Rng.bool rng 0.04 then
+          {
+            Points.x = Rng.range rng 0.0 80.0;
+            y = Rng.range rng 0.0 40.0;
+            t = Rng.range rng 0.0 13.0;
+          }
+        else if Rng.bool rng 0.10 then
+          {
+            Points.x = Rng.range rng 5.0 55.0;
+            y = Rng.range rng 5.0 25.0;
+            t = Rng.range rng 0.0 13.0;
+          }
+        else begin
+          let cx, cy, sigma = centers.(Rng.categorical rng weights) in
+          (* pollen season ramps up over the 13 weeks *)
+          let t = 13.0 *. sqrt (Rng.float rng) in
+          let p = cluster_point rng ~cx ~cy ~sigma ~tmin:0.0 ~tmax:1.0 in
+          { p with Points.t }
+        end)
+  in
+  let pts =
+    if restrict then
+      Array.of_seq
+        (Seq.filter
+           (fun p ->
+             p.Points.x >= 5.0 && p.Points.x <= 55.0 && p.Points.y >= 5.0
+             && p.Points.y <= 25.0)
+           (Array.to_seq raw))
+    else raw
+  in
+  Points.make name pts
+
+let pollen ?(scale = 1.0) () = pollen_cloud ~scale ~name:"Pollen" ~restrict:false
+let pollen_us ?(scale = 1.0) () = pollen_cloud ~scale ~name:"PollenUS" ~restrict:true
+
+let all ?(scale = 1.0) () =
+  [ dengue ~scale (); flu_animal ~scale (); pollen ~scale (); pollen_us ~scale () ]

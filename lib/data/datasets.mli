@@ -1,0 +1,31 @@
+(** Synthetic stand-ins for the paper's four spatio-temporal datasets
+    (Section VI-A). The real data (Dengue, FluAnimal, Pollen, PollenUS)
+    is proprietary; these generators reproduce the published
+    characteristics that matter to the coloring problem — spatial
+    density, clustering and sparsity of the cell-weight histograms.
+    See DESIGN.md, "Substitutions".
+
+    All generators are deterministic for a given [scale]. [scale]
+    multiplies the point counts (1.0 gives full-size datasets of the
+    order of 10^4 points; the CI harness uses smaller scales). *)
+
+(** Dengue-fever-like: a compact urban area with dense neighborhood
+    clusters and two temporal outbreak waves (Cali 2010–2011). *)
+val dengue : ?scale:float -> unit -> Points.cloud
+
+(** Avian-influenza-surveillance-like: very sparse worldwide events
+    over 16 years, concentrated in a few far-apart hotspots. The paper
+    singles out this dataset's sparsity as the reason heuristic
+    rankings change on it. *)
+val flu_animal : ?scale:float -> unit -> Points.cloud
+
+(** Pollen-allergy-tweet-like: many population-center clusters over a
+    wide area plus diffuse background noise, over a three-month span;
+    includes a fraction of points outside the continental window. *)
+val pollen : ?scale:float -> unit -> Points.cloud
+
+(** [pollen] restricted to the continental window (its dense part). *)
+val pollen_us : ?scale:float -> unit -> Points.cloud
+
+(** All four datasets, with the paper's names. *)
+val all : ?scale:float -> unit -> Points.cloud list

@@ -1,0 +1,81 @@
+module Stencil = Ivc_grid.Stencil
+
+let uniform ~seed ~bound ~x ~y =
+  let rng = Rng.create (seed + 101) in
+  Stencil.init2 ~x ~y (fun _ _ -> Rng.int rng (bound + 1))
+
+let smooth ~seed ~amplitude ~x ~y =
+  let rng = Rng.create (seed + 202) in
+  let waves =
+    Array.init 4 (fun _ ->
+        ( Rng.range rng 0.5 3.0,
+          Rng.range rng 0.5 3.0,
+          Rng.range rng 0.0 (2.0 *. Float.pi) ))
+  in
+  Stencil.init2 ~x ~y (fun i j ->
+      let fi = Float.of_int i /. Float.of_int x in
+      let fj = Float.of_int j /. Float.of_int y in
+      let v =
+        Array.fold_left
+          (fun acc (fx, fy, phase) ->
+            acc +. cos ((2.0 *. Float.pi *. ((fx *. fi) +. (fy *. fj))) +. phase))
+          0.0 waves
+      in
+      (* v in [-4, 4]; map to [0, amplitude] *)
+      int_of_float (Float.of_int amplitude *. (v +. 4.0) /. 8.0))
+
+let hotspots ~seed ~peaks ~amplitude ~x ~y =
+  let rng = Rng.create (seed + 303) in
+  let centers =
+    Array.init peaks (fun _ ->
+        ( Rng.range rng 0.0 (Float.of_int x),
+          Rng.range rng 0.0 (Float.of_int y),
+          Rng.range rng 1.0 (Float.of_int (max 2 (min x y)) /. 2.0) ))
+  in
+  Stencil.init2 ~x ~y (fun i j ->
+      let fi = Float.of_int i and fj = Float.of_int j in
+      let v =
+        Array.fold_left
+          (fun acc (cx, cy, sigma) ->
+            let d2 = ((fi -. cx) ** 2.0) +. ((fj -. cy) ** 2.0) in
+            acc +. (Float.of_int amplitude *. exp (-.d2 /. (2.0 *. sigma *. sigma))))
+          1.0 centers
+      in
+      int_of_float v)
+
+let zipf ~seed ~bound ~x ~y =
+  let rng = Rng.create (seed + 404) in
+  Stencil.init2 ~x ~y (fun _ _ ->
+      (* inverse-CDF sample of P(X >= k) ~ 1/k *)
+      let u = Float.max 1e-9 (Rng.float rng) in
+      min bound (int_of_float (1.0 /. u ** 0.7)))
+
+let bd_adversarial ~amplitude ~x ~y =
+  (* heavy cells only on even rows (j even), alternating columns, so
+     each row chain alone is cheap but row offsetting doubles RC *)
+  Stencil.init2 ~x ~y (fun i j ->
+      if j mod 2 = 0 && i mod 2 = 0 then amplitude else 1)
+
+let sparse ~seed ~sparsity ~bound ~x ~y =
+  let rng = Rng.create (seed + 505) in
+  Stencil.init2 ~x ~y (fun _ _ ->
+      if Rng.bool rng sparsity then 0 else 1 + Rng.int rng bound)
+
+let uniform3 ~seed ~bound ~x ~y ~z =
+  let rng = Rng.create (seed + 606) in
+  Stencil.init3 ~x ~y ~z (fun _ _ _ -> Rng.int rng (bound + 1))
+
+let sparse3 ~seed ~sparsity ~bound ~x ~y ~z =
+  let rng = Rng.create (seed + 707) in
+  Stencil.init3 ~x ~y ~z (fun _ _ _ ->
+      if Rng.bool rng sparsity then 0 else 1 + Rng.int rng bound)
+
+let all_2d ~seed ~x ~y =
+  [
+    ("uniform", uniform ~seed ~bound:50 ~x ~y);
+    ("smooth", smooth ~seed ~amplitude:50 ~x ~y);
+    ("hotspots", hotspots ~seed ~peaks:4 ~amplitude:50 ~x ~y);
+    ("zipf", zipf ~seed ~bound:200 ~x ~y);
+    ("bd-adversarial", bd_adversarial ~amplitude:50 ~x ~y);
+    ("sparse", sparse ~seed ~sparsity:0.6 ~bound:50 ~x ~y);
+  ]

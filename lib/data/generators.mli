@@ -1,0 +1,49 @@
+(** Structured synthetic weight fields, beyond the dataset-driven
+    instances: used by the ablation benches and the property tests to
+    probe the heuristics on qualitatively different weight landscapes
+    (the paper concludes that "specific distributions of weights will
+    be advantageous to different algorithms"). *)
+
+(** Uniform random weights in [0, bound]. *)
+val uniform : seed:int -> bound:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** Smooth field: sum of a few random cosine waves, non-negative.
+    Neighboring cells have similar weights (the "smooth load" regime
+    where BD's row chains are nearly balanced). *)
+val smooth : seed:int -> amplitude:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** A few sharp Gaussian hotspots on a light background (the Dengue
+    regime). *)
+val hotspots :
+  seed:int -> peaks:int -> amplitude:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** Heavy-tailed independent weights (Zipf-like exponent ~2): rare huge
+    tasks dominate (the regime where GLF shines). *)
+val zipf : seed:int -> bound:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** Adversarial checkerboard for BD: heavy cells on one parity of rows
+    so the row-chain bound RC is tight but the row offsetting doubles
+    it. *)
+val bd_adversarial : amplitude:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** Sparse field: each cell is zero with probability [sparsity], else
+    uniform in [1, bound] (the FluAnimal regime). *)
+val sparse :
+  seed:int -> sparsity:float -> bound:int -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** 3D variants of [uniform] and [sparse]. *)
+val uniform3 :
+  seed:int -> bound:int -> x:int -> y:int -> z:int -> Ivc_grid.Stencil.t
+
+val sparse3 :
+  seed:int ->
+  sparsity:float ->
+  bound:int ->
+  x:int ->
+  y:int ->
+  z:int ->
+  Ivc_grid.Stencil.t
+
+(** Named catalog of the 2D generators at default parameters, for the
+    ablation benches. *)
+val all_2d : seed:int -> x:int -> y:int -> (string * Ivc_grid.Stencil.t) list

@@ -1,0 +1,42 @@
+module Stencil = Ivc_grid.Stencil
+
+let cell_of ~lo ~hi ~cells u =
+  if cells <= 0 then invalid_arg "Gridding.cell_of: cells must be positive";
+  let span = hi -. lo in
+  if span <= 0.0 then 0
+  else begin
+    let i = int_of_float (Float.of_int cells *. ((u -. lo) /. span)) in
+    if i < 0 then 0 else if i >= cells then cells - 1 else i
+  end
+
+let grid2 cloud plane ~x ~y =
+  let u0, u1, v0, v1 = Project.bbox plane cloud in
+  let w = Array.make (x * y) 0 in
+  Array.iter
+    (fun p ->
+      let u, v = Project.coords plane p in
+      let i = cell_of ~lo:u0 ~hi:u1 ~cells:x u in
+      let j = cell_of ~lo:v0 ~hi:v1 ~cells:y v in
+      w.((i * y) + j) <- w.((i * y) + j) + 1)
+    cloud.Points.points;
+  Stencil.make2 ~x ~y w
+
+let grid3 cloud ~x ~y ~z =
+  let w = Array.make (x * y * z) 0 in
+  Array.iter
+    (fun p ->
+      let i = cell_of ~lo:cloud.Points.x0 ~hi:cloud.Points.x1 ~cells:x p.Points.x in
+      let j = cell_of ~lo:cloud.Points.y0 ~hi:cloud.Points.y1 ~cells:y p.Points.y in
+      let k = cell_of ~lo:cloud.Points.t0 ~hi:cloud.Points.t1 ~cells:z p.Points.t in
+      let id = (((i * y) + j) * z) + k in
+      w.(id) <- w.(id) + 1)
+    cloud.Points.points;
+  Stencil.make3 ~x ~y ~z w
+
+let sparsity inst =
+  let n = Stencil.n_vertices inst in
+  let zero = ref 0 in
+  for v = 0 to n - 1 do
+    if Stencil.weight inst v = 0 then incr zero
+  done;
+  Float.of_int !zero /. Float.of_int n

@@ -1,0 +1,20 @@
+(** Uniform grid decomposition of a point cloud into a weighted stencil
+    instance: the weight of a cell is the number of events that fall in
+    it, exactly the task-weight model of the paper (Figure 1 and
+    Section VI-A). *)
+
+(** [grid2 cloud plane ~x ~y] decomposes the projection of the cloud on
+    [plane] into an [x] by [y] 9-pt stencil instance. *)
+val grid2 : Points.cloud -> Project.plane -> x:int -> y:int -> Ivc_grid.Stencil.t
+
+(** [grid3 cloud ~x ~y ~z] decomposes the cloud into an [x * y * z]
+    27-pt stencil instance (z along time). *)
+val grid3 : Points.cloud -> x:int -> y:int -> z:int -> Ivc_grid.Stencil.t
+
+(** [cell_of ~lo ~hi ~cells u] maps a coordinate to its cell index,
+    clamped to [0, cells). Exposed for tests. *)
+val cell_of : lo:float -> hi:float -> cells:int -> float -> int
+
+(** Fraction of zero-weight cells: the sparsity measure used to discuss
+    the FluAnimal results (Section VI-B). *)
+val sparsity : Ivc_grid.Stencil.t -> float

@@ -1,0 +1,98 @@
+module Stencil = Ivc_grid.Stencil
+
+let cloud_to_csv (c : Points.cloud) =
+  let b = Buffer.create (16 * Points.size c) in
+  Buffer.add_string b "x,y,t\n";
+  Array.iter
+    (fun (p : Points.point) ->
+      Buffer.add_string b
+        (Printf.sprintf "%.9g,%.9g,%.9g\n" p.Points.x p.Points.y p.Points.t))
+    c.Points.points;
+  Buffer.contents b
+
+let cloud_of_csv ~name s =
+  let lines = String.split_on_char '\n' s in
+  let parse lineno line =
+    match String.split_on_char ',' (String.trim line) with
+    | [ x; y; t ] -> (
+        try
+          Some { Points.x = float_of_string x; y = float_of_string y; t = float_of_string t }
+        with Failure _ ->
+          failwith (Printf.sprintf "Io.cloud_of_csv: bad number on line %d" lineno))
+    | _ -> failwith (Printf.sprintf "Io.cloud_of_csv: expected 3 fields on line %d" lineno)
+  in
+  let points =
+    List.filteri (fun i _ -> i > 0) lines
+    |> List.concat_map (fun line ->
+           if String.trim line = "" then []
+           else [ line ])
+    |> List.mapi (fun i line -> parse (i + 2) line)
+    |> List.filter_map Fun.id
+  in
+  (match lines with
+  | header :: _ when String.trim header = "x,y,t" -> ()
+  | _ -> failwith "Io.cloud_of_csv: missing 'x,y,t' header");
+  Points.make name (Array.of_list points)
+
+let instance_to_string inst =
+  let b = Buffer.create 1024 in
+  (match (inst : Stencil.t).dims with
+  | Stencil.D2 (x, y) -> Buffer.add_string b (Printf.sprintf "ivc2 %d %d\n" x y)
+  | Stencil.D3 (x, y, z) ->
+      Buffer.add_string b (Printf.sprintf "ivc3 %d %d %d\n" x y z));
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string b (string_of_int w);
+      Buffer.add_char b (if (i + 1) mod 16 = 0 then '\n' else ' '))
+    (inst : Stencil.t).w;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let tokens_of s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> String.trim t <> "")
+
+let instance_of_string s =
+  match tokens_of s with
+  | "ivc2" :: xs :: ys :: rest ->
+      let x = int_of_string xs and y = int_of_string ys in
+      let w =
+        try Array.of_list (List.map int_of_string rest)
+        with Failure _ -> failwith "Io.instance_of_string: bad weight token"
+      in
+      if Array.length w <> x * y then
+        failwith
+          (Printf.sprintf "Io.instance_of_string: expected %d weights, got %d"
+             (x * y) (Array.length w));
+      Stencil.make2 ~x ~y w
+  | "ivc3" :: xs :: ys :: zs :: rest ->
+      let x = int_of_string xs and y = int_of_string ys and z = int_of_string zs in
+      let w =
+        try Array.of_list (List.map int_of_string rest)
+        with Failure _ -> failwith "Io.instance_of_string: bad weight token"
+      in
+      if Array.length w <> x * y * z then
+        failwith
+          (Printf.sprintf "Io.instance_of_string: expected %d weights, got %d"
+             (x * y * z) (Array.length w));
+      Stencil.make3 ~x ~y ~z w
+  | _ -> failwith "Io.instance_of_string: expected 'ivc2 X Y' or 'ivc3 X Y Z' header"
+
+let coloring_to_string starts =
+  String.concat " " (Array.to_list (Array.map string_of_int starts))
+
+let coloring_of_string s =
+  try Array.of_list (List.map int_of_string (tokens_of s))
+  with Failure _ -> failwith "Io.coloring_of_string: bad token"
+
+let save path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

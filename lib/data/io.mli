@@ -1,0 +1,27 @@
+(** Text formats for point clouds, stencil instances and colorings, so
+    downstream users can run the algorithms on their own data.
+
+    Point clouds: CSV with a [x,y,t] header line, one event per line.
+    Instances: a small self-describing text format
+      line 1: [ivc2 X Y] or [ivc3 X Y Z]
+      then the weights, row-major, whitespace-separated.
+    Colorings: the starts, whitespace-separated, in one line. *)
+
+val cloud_to_csv : Points.cloud -> string
+
+(** [cloud_of_csv ~name s] parses the CSV (header required, blank lines
+    skipped). Raises [Failure] with a line diagnostic on bad input. *)
+val cloud_of_csv : name:string -> string -> Points.cloud
+
+val instance_to_string : Ivc_grid.Stencil.t -> string
+
+(** Parses the instance format above. Raises [Failure] on bad input. *)
+val instance_of_string : string -> Ivc_grid.Stencil.t
+
+val coloring_to_string : int array -> string
+val coloring_of_string : string -> int array
+
+(** File helpers. *)
+val save : string -> string -> unit
+
+val load : string -> string

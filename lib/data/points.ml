@@ -1,0 +1,29 @@
+type point = { x : float; y : float; t : float }
+
+type cloud = {
+  name : string;
+  points : point array;
+  x0 : float;
+  x1 : float;
+  y0 : float;
+  y1 : float;
+  t0 : float;
+  t1 : float;
+}
+
+let make name points =
+  if Array.length points = 0 then invalid_arg "Points.make: empty cloud";
+  let fold f init proj = Array.fold_left (fun a p -> f a (proj p)) init points in
+  let x0 = fold min infinity (fun p -> p.x) and x1 = fold max neg_infinity (fun p -> p.x) in
+  let y0 = fold min infinity (fun p -> p.y) and y1 = fold max neg_infinity (fun p -> p.y) in
+  let t0 = fold min infinity (fun p -> p.t) and t1 = fold max neg_infinity (fun p -> p.t) in
+  let widen lo hi = if hi -. lo <= 0.0 then (lo, lo +. 1.0) else (lo, hi) in
+  let x0, x1 = widen x0 x1 and y0, y1 = widen y0 y1 and t0, t1 = widen t0 t1 in
+  { name; points; x0; x1; y0; y1; t0; t1 }
+
+let size c = Array.length c.points
+let extent c = max (c.x1 -. c.x0) (c.y1 -. c.y0)
+
+let pp_summary fmt c =
+  Format.fprintf fmt "%s: %d points, x=[%.2f,%.2f] y=[%.2f,%.2f] t=[%.2f,%.2f]"
+    c.name (size c) c.x0 c.x1 c.y0 c.y1 c.t0 c.t1

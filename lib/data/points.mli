@@ -1,0 +1,30 @@
+(** Spatio-temporal event points: the raw material of the paper's
+    datasets. Every event has a spatial position (x, y) and a time t,
+    exactly the (lat, long, time) triples of Section VI-A. *)
+
+type point = { x : float; y : float; t : float }
+
+type cloud = {
+  name : string;
+  points : point array;
+  (* axis-aligned bounding box *)
+  x0 : float;
+  x1 : float;
+  y0 : float;
+  y1 : float;
+  t0 : float;
+  t1 : float;
+}
+
+(** [make name points] computes the bounding box. Requires at least one
+    point. Degenerate (zero-width) dimensions are widened by 1.0 so
+    gridding is always well-defined. *)
+val make : string -> point array -> cloud
+
+val size : cloud -> int
+
+(** Spatial extent (max of width and height), used to express
+    bandwidths as fractions of the domain. *)
+val extent : cloud -> float
+
+val pp_summary : Format.formatter -> cloud -> unit

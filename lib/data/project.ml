@@ -1,0 +1,16 @@
+type plane = XY | XT | YT
+
+let plane_name = function XY -> "xy" | XT -> "xt" | YT -> "yt"
+let all_planes = [ XY; XT; YT ]
+
+let coords plane (p : Points.point) =
+  match plane with
+  | XY -> (p.Points.x, p.Points.y)
+  | XT -> (p.Points.x, p.Points.t)
+  | YT -> (p.Points.y, p.Points.t)
+
+let bbox plane (c : Points.cloud) =
+  match plane with
+  | XY -> (c.Points.x0, c.Points.x1, c.Points.y0, c.Points.y1)
+  | XT -> (c.Points.x0, c.Points.x1, c.Points.t0, c.Points.t1)
+  | YT -> (c.Points.y0, c.Points.y1, c.Points.t0, c.Points.t1)

@@ -1,0 +1,13 @@
+(** 2D projections of a spatio-temporal cloud. For 2DS-IVC the paper
+    projects each dataset on the xy, xt and yt planes (Section VI-A). *)
+
+type plane = XY | XT | YT
+
+val plane_name : plane -> string
+val all_planes : plane list
+
+(** [coords plane p] is the (u, v) pair of the point in the plane. *)
+val coords : plane -> Points.point -> float * float
+
+(** Bounding box of the cloud in the plane: [(u0, u1, v0, v1)]. *)
+val bbox : plane -> Points.cloud -> float * float * float * float

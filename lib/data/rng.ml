@@ -1,0 +1,50 @@
+(* splitmix64 with the high bit cleared (OCaml ints are 63-bit). *)
+
+type t = { mutable state : int }
+
+let create seed = { state = seed }
+
+(* constants are the splitmix64 ones truncated to fit OCaml's 63-bit
+   ints; arithmetic wraps modulo 2^63 which keeps the mixing sound *)
+let next t =
+  t.state <- t.state + 0x1E3779B97F4A7C15;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t = Float.of_int (next t) /. Float.of_int max_int
+
+let range t lo hi = lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  let u1 = max (float t) 1e-12 and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let normal t ~mean ~sigma = mean +. (sigma *. gaussian t)
+let bool t p = float t < p
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.categorical: weights sum to zero";
+  let x = float t *. total in
+  let acc = ref 0.0 and pick = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if x < !acc then begin
+           pick := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !pick
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (max (float t) 1e-12) /. rate

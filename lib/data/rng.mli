@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All synthetic datasets are generated from fixed seeds so that
+    every run of the experiment harness sees the exact same instances
+    (the paper's datasets are fixed files; ours are fixed streams). *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 62-bit non-negative integer. *)
+val next : t -> int
+
+(** Uniform integer in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val range : t -> float -> float -> float
+
+(** Standard normal deviate (Box–Muller). *)
+val gaussian : t -> float
+
+(** Normal deviate with the given mean and standard deviation. *)
+val normal : t -> mean:float -> sigma:float -> float
+
+(** Bernoulli draw. *)
+val bool : t -> float -> bool
+
+(** Pick an index according to a weight vector (weights must be
+    non-negative, not all zero). *)
+val categorical : t -> float array -> int
+
+(** Exponential deviate with the given rate. *)
+val exponential : t -> rate:float -> float

@@ -1,0 +1,217 @@
+module Stencil = Ivc_grid.Stencil
+
+type verdict = Colorable of int array | Not_colorable | Unknown
+
+(* Domains are boolean arrays over candidate starts [0, k - w(v)].
+   The disjointness constraint between two intervals only depends on
+   the extremes of the other domain, so bounds reasoning gives exact
+   arc consistency:
+   a value [s] of [u] is supported by [v] iff
+   [max dom(v) >= s + w(u)] or [min dom(v) <= s - w(v)]. *)
+
+type node = {
+  dom : bool array array; (* per constrained-vertex candidate starts *)
+  size : int array;
+}
+
+exception Empty_domain
+
+let dom_min d =
+  let i = ref 0 in
+  while !i < Array.length d && not d.(!i) do incr i done;
+  if !i >= Array.length d then raise Empty_domain else !i
+
+let dom_max d =
+  let i = ref (Array.length d - 1) in
+  while !i >= 0 && not d.(!i) do decr i done;
+  if !i < 0 then raise Empty_domain else !i
+
+let copy_node n = { dom = Array.map Array.copy n.dom; size = Array.copy n.size }
+
+(* Core engine over an abstract neighborhood function. [iter_nbr v f]
+   must enumerate the neighbors of [v] among all [n_all] vertices. *)
+let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
+  let deadline =
+    match time_limit_s with None -> infinity | Some s -> Sys.time () +. s
+  in
+  (* Constrained vertices: positive weight. *)
+  let ids = ref [] in
+  for v = n_all - 1 downto 0 do
+    if w_all.(v) > 0 then ids := v :: !ids
+  done;
+  let ids = Array.of_list !ids in
+  let n = Array.length ids in
+  let index = Array.make n_all (-1) in
+  Array.iteri (fun i v -> index.(v) <- i) ids;
+  let w = Array.map (fun v -> w_all.(v)) ids in
+  let infeasible = Array.exists (fun wi -> wi > k) w in
+  if infeasible then Not_colorable
+  else if n = 0 then Colorable (Array.make n_all 0)
+  else if n * (k + 1) > 50_000_000 then Unknown
+  else begin
+    let adj =
+      Array.init n (fun i ->
+          let acc = ref [] in
+          iter_nbr ids.(i) (fun u ->
+              if index.(u) >= 0 then acc := index.(u) :: !acc);
+          Array.of_list !acc)
+    in
+    let root =
+      {
+        dom = Array.init n (fun i -> Array.make (k - w.(i) + 1) true);
+        size = Array.init n (fun i -> k - w.(i) + 1);
+      }
+    in
+    let nodes = ref 0 in
+    (* Revise dom(i) against neighbor j; true if dom(i) changed. *)
+    let revise node i j =
+      let dj = node.dom.(j) in
+      let mn = dom_min dj and mx = dom_max dj in
+      let di = node.dom.(i) in
+      let changed = ref false in
+      for s = 0 to Array.length di - 1 do
+        if di.(s) && not (mx >= s + w.(i) || mn <= s - w.(j)) then begin
+          di.(s) <- false;
+          node.size.(i) <- node.size.(i) - 1;
+          changed := true
+        end
+      done;
+      if node.size.(i) = 0 then raise Empty_domain;
+      !changed
+    in
+    let propagate node seeds =
+      let q = Queue.create () in
+      let inq = Array.make n false in
+      List.iter
+        (fun v ->
+          Queue.add v q;
+          inq.(v) <- true)
+        seeds;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        inq.(v) <- false;
+        Array.iter
+          (fun u ->
+            if revise node u v && not inq.(u) then begin
+              Queue.add u q;
+              inq.(u) <- true
+            end)
+          adj.(v)
+      done
+    in
+    let solution node =
+      let starts = Array.make n_all 0 in
+      Array.iteri (fun i v -> starts.(v) <- dom_min node.dom.(i)) ids;
+      starts
+    in
+    let exception Found of int array in
+    let exception Out_of_budget in
+    let rec search node =
+      incr nodes;
+      if !nodes > budget then raise Out_of_budget;
+      if !nodes land 255 = 0 && Sys.time () > deadline then raise Out_of_budget;
+      (* MRV choice *)
+      let best = ref (-1) and bestsz = ref max_int in
+      for i = 0 to n - 1 do
+        if node.size.(i) > 1 && node.size.(i) < !bestsz then begin
+          best := i;
+          bestsz := node.size.(i)
+        end
+      done;
+      if !best < 0 then raise (Found (solution node))
+      else begin
+        let i = !best in
+        let di = node.dom.(i) in
+        for s = 0 to Array.length di - 1 do
+          if di.(s) then begin
+            let child = copy_node node in
+            Array.fill child.dom.(i) 0 (Array.length child.dom.(i)) false;
+            child.dom.(i).(s) <- true;
+            child.size.(i) <- 1;
+            match propagate child [ i ] with
+            | () -> search child
+            | exception Empty_domain -> ()
+          end
+        done
+      end
+    in
+    try
+      (match propagate root (List.init n Fun.id) with
+      | () -> search root
+      | exception Empty_domain -> ());
+      Not_colorable
+    with
+    | Found starts -> Colorable starts
+    | Out_of_budget -> Unknown
+  end
+
+let decide ?(budget = 10_000_000) ?time_limit_s inst ~k =
+  decide_gen ~budget ~time_limit_s
+    ~n_all:(Stencil.n_vertices inst)
+    ~w_all:(inst : Stencil.t).w
+    ~iter_nbr:(fun v f -> Stencil.iter_neighbors inst v f)
+    ~k
+
+let decide_graph ?(budget = 10_000_000) ?time_limit_s g ~w ~k =
+  decide_gen ~budget ~time_limit_s
+    ~n_all:(Ivc_graph.Csr.n_vertices g)
+    ~w_all:w
+    ~iter_nbr:(fun v f -> Ivc_graph.Csr.iter_neighbors g v f)
+    ~k
+
+let optimize_graph ?(budget = 10_000_000) g ~w =
+  let ub = Array.fold_left ( + ) 0 w in
+  let lb =
+    let m = ref (Array.fold_left max 0 w) in
+    Ivc_graph.Csr.iter_edges g (fun u v ->
+        if w.(u) + w.(v) > !m then m := w.(u) + w.(v));
+    !m
+  in
+  let rec go lo hi best_starts =
+    if lo >= hi then Some (hi, best_starts)
+    else
+      let mid = (lo + hi) / 2 in
+      match decide_graph ~budget g ~w ~k:mid with
+      | Colorable s -> go lo mid s
+      | Not_colorable -> go (mid + 1) hi best_starts
+      | Unknown -> None
+  in
+  (* color everything sequentially as the trivially feasible witness *)
+  let trivial =
+    let acc = ref 0 in
+    Array.map
+      (fun wi ->
+        let s = !acc in
+        acc := !acc + wi;
+        s)
+      w
+  in
+  go lb ub trivial
+
+let optimize ?(budget = 10_000_000) ?time_limit_s inst =
+  let t0 = Sys.time () in
+  let remaining () =
+    match time_limit_s with
+    | None -> None
+    | Some s -> Some (Float.max 0.01 (s -. (Sys.time () -. t0)))
+  in
+  let ub, ub_starts =
+    List.fold_left
+      (fun (b, bs) (_, starts, mc) -> if mc < b then (mc, starts) else (b, bs))
+      (max_int, [||])
+      (Ivc.Algo.run_all inst)
+  in
+  let lb = Ivc.Bounds.combined inst in
+  (* Binary search on the monotone predicate "colorable with k". *)
+  let rec go lo hi best_starts =
+    (* invariant: colorable with hi (witness best_starts); the smallest
+       feasible k lies in [lo, hi] *)
+    if lo >= hi then Some (hi, best_starts)
+    else
+      let mid = (lo + hi) / 2 in
+      match decide ~budget ?time_limit_s:(remaining ()) inst ~k:mid with
+      | Colorable s -> go lo mid s
+      | Not_colorable -> go (mid + 1) hi best_starts
+      | Unknown -> None
+  in
+  if ub <= lb then Some (ub, ub_starts) else go lb ub ub_starts

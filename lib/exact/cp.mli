@@ -1,0 +1,48 @@
+(** Constraint-propagation decision solver for IVC: is a stencil
+    instance colorable with at most [k] colors?
+
+    Domains are explicit sets of candidate starts (size at most [k]),
+    so this engine targets instances with a small number of colors —
+    exactly the regime of the NP-completeness gadget of Section IV
+    (k = 14) and of the theory instances of Section III. It maintains
+    pairwise arc consistency on the disjointness constraints and
+    searches with minimum-remaining-values branching.
+
+    Zero-weight vertices never conflict and are fixed at start 0. *)
+
+type verdict =
+  | Colorable of int array  (** a valid coloring within [k] colors *)
+  | Not_colorable
+  | Unknown  (** node budget exhausted *)
+
+(** [decide ?budget ?time_limit_s inst ~k]. [budget] caps the number of
+    search nodes (default 10_000_000); [time_limit_s] caps CPU seconds.
+    Either limit makes the verdict [Unknown]. *)
+val decide :
+  ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> k:int -> verdict
+
+(** Decision on an arbitrary weighted graph; used to machine-check the
+    special-case theorems of Section III against their constructive
+    algorithms. *)
+val decide_graph :
+  ?budget:int ->
+  ?time_limit_s:float ->
+  Ivc_graph.Csr.t ->
+  w:int array ->
+  k:int ->
+  verdict
+
+(** Exact optimum via binary search on [k], between the best heuristic
+    value and the combined lower bound. Returns [(opt, starts)] or
+    [None] when a budget was hit before closing the gap.
+    [time_limit_s] bounds the whole search. *)
+val optimize :
+  ?budget:int ->
+  ?time_limit_s:float ->
+  Ivc_grid.Stencil.t ->
+  (int * int array) option
+
+(** Exact optimum on an arbitrary weighted graph (binary search between
+    the pair bound and total weight). *)
+val optimize_graph :
+  ?budget:int -> Ivc_graph.Csr.t -> w:int array -> (int * int array) option

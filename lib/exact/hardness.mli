@@ -1,0 +1,35 @@
+(** Exploration of the paper's open problem (Section VIII): is 2DS-IVC
+    NP-complete? Nobody knows; what we can do is hunt for certified
+    "hard" instances — ones whose optimum strictly exceeds every lower
+    bound we can compute, i.e. where the clique argument and the
+    odd-cycle argument both fail (Section III-D says such instances
+    exist, Figure 3 being one). The harder such instances are to find
+    and the smaller their gap, the friendlier the class looks. *)
+
+type gap_instance = {
+  inst : Ivc_grid.Stencil.t;
+  clique_lb : int;
+  odd_cycle_lb : int;
+  optimum : int;
+  seed : int;
+}
+
+(** [search ?x ?y ?weight_bound ?zero_bias ~seeds ()] tries the given
+    seeds, generating a random sparse instance per seed and solving it
+    exactly; returns every instance whose optimum exceeds both bounds.
+    Defaults: 4x4 grids, weights up to 9, 45% zero cells — the regime
+    where the Figure-3 phenomenon lives. *)
+val search :
+  ?x:int ->
+  ?y:int ->
+  ?weight_bound:int ->
+  ?zero_bias:float ->
+  ?time_limit_s:float ->
+  seeds:int list ->
+  unit ->
+  gap_instance list
+
+(** Relative gap [(opt - best_lb) / opt]. *)
+val relative_gap : gap_instance -> float
+
+val describe : gap_instance -> string

@@ -1,0 +1,50 @@
+module Stencil = Ivc_grid.Stencil
+
+let positive_edges inst =
+  let w = (inst : Stencil.t).w in
+  let n = Stencil.n_vertices inst in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    Stencil.iter_neighbors inst v (fun u ->
+        if u > v && w.(u) > 0 && w.(v) > 0 then acc := (v, u) :: !acc)
+  done;
+  List.rev !acc
+
+let emit fmt inst =
+  let w = (inst : Stencil.t).w in
+  let n = Stencil.n_vertices inst in
+  let big_m = Stencil.total_weight inst in
+  let edges = positive_edges inst in
+  Format.fprintf fmt "\\ IVC MILP for %s@." (Stencil.describe inst);
+  Format.fprintf fmt "Minimize@. obj: maxcolor@.Subject To@.";
+  for v = 0 to n - 1 do
+    if w.(v) > 0 then
+      Format.fprintf fmt " end%d: s%d - maxcolor <= -%d@." v v w.(v)
+  done;
+  List.iter
+    (fun (u, v) ->
+      (* s_u + w_u <= s_v + M (1 - y);  s_v + w_v <= s_u + M y *)
+      Format.fprintf fmt " d%d_%da: s%d - s%d + %d y%d_%d <= %d@." u v u v
+        big_m u v (big_m - w.(u));
+      Format.fprintf fmt " d%d_%db: s%d - s%d - %d y%d_%d <= -%d@." u v v u
+        big_m u v w.(v))
+    edges;
+  Format.fprintf fmt "Bounds@.";
+  for v = 0 to n - 1 do
+    if w.(v) > 0 then Format.fprintf fmt " 0 <= s%d <= %d@." v (big_m - w.(v))
+  done;
+  Format.fprintf fmt "General@.";
+  for v = 0 to n - 1 do
+    if w.(v) > 0 then Format.fprintf fmt " s%d@." v
+  done;
+  Format.fprintf fmt " maxcolor@.Binary@.";
+  List.iter (fun (u, v) -> Format.fprintf fmt " y%d_%d@." u v) edges;
+  Format.fprintf fmt "End@."
+
+let to_string inst = Format.asprintf "%a" emit inst
+
+let model_size inst =
+  let w = (inst : Stencil.t).w in
+  let pos = Array.fold_left (fun a x -> if x > 0 then a + 1 else a) 0 w in
+  let m = List.length (positive_edges inst) in
+  (pos + 1, m, pos + (2 * m))

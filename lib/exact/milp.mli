@@ -1,0 +1,22 @@
+(** Emitter for the Mixed Integer Linear Program of Section VI-D.
+
+    The paper solves each instance with Gurobi; that solver is not
+    available here (see DESIGN.md), so this module documents the exact
+    substitution by emitting the same model in CPLEX LP file format.
+    The model uses, per edge (u, v), a binary disjunction variable
+    [y_uv] with big-M constraints
+    [start_u + w_u <= start_v + M * (1 - y_uv)] and
+    [start_v + w_v <= start_u + M * y_uv],
+    plus [start_v + w_v <= maxcolor] for every vertex, minimizing
+    [maxcolor]. *)
+
+(** [emit fmt inst] prints the LP model of the instance. *)
+val emit : Format.formatter -> Ivc_grid.Stencil.t -> unit
+
+(** Model as a string. *)
+val to_string : Ivc_grid.Stencil.t -> string
+
+(** Number of variables and constraints of the model, as
+    [(continuous, binary, constraints)]; useful to report model sizes
+    like the paper's experimental section. *)
+val model_size : Ivc_grid.Stencil.t -> int * int * int

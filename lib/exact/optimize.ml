@@ -1,0 +1,81 @@
+module Stencil = Ivc_grid.Stencil
+
+type outcome = {
+  lower_bound : int;
+  upper_bound : int;
+  starts : int array;
+  proven_optimal : bool;
+  nodes_hint : string;
+}
+
+let best_heuristic inst =
+  List.fold_left
+    (fun (b, bs) (_, starts, mc) -> if mc < b then (mc, starts) else (b, bs))
+    (max_int, [||])
+    (Ivc.Algo.run_all inst)
+
+let solve ?(budget = 200_000) ?time_limit_s inst =
+  let t0 = Sys.time () in
+  let remaining () =
+    match time_limit_s with
+    | None -> None
+    | Some s -> Some (Float.max 0.01 (s -. (Sys.time () -. t0)))
+  in
+  let lb = Ivc.Bounds.combined inst in
+  let ub, ub_starts = best_heuristic inst in
+  let order_bb () =
+    match Order_bb.solve ~node_budget:budget ?time_limit_s:(remaining ()) inst with
+    | Order_bb.Optimal (v, s) ->
+        {
+          lower_bound = v;
+          upper_bound = v;
+          starts = s;
+          proven_optimal = true;
+          nodes_hint = "order branch-and-bound";
+        }
+    | Order_bb.Bounds (l, u, s) ->
+        {
+          lower_bound = l;
+          upper_bound = u;
+          starts = s;
+          proven_optimal = false;
+          nodes_hint = "budget exhausted";
+        }
+  in
+  if ub <= lb then
+    {
+      lower_bound = ub;
+      upper_bound = ub;
+      starts = ub_starts;
+      proven_optimal = true;
+      nodes_hint = "closed by clique bound";
+    }
+  else begin
+    (* Small color count: CP decision via binary search is strongest. *)
+    let nonzero =
+      Array.fold_left
+        (fun a x -> if x > 0 then a + 1 else a)
+        0
+        (inst : Stencil.t).w
+    in
+    let cp_ok = ub <= 256 && nonzero * (ub + 1) <= 500_000 in
+    if cp_ok then begin
+      (* give CP half the remaining time, keep the rest for order-BB *)
+      let cp_limit = Option.map (fun s -> s /. 2.0) (remaining ()) in
+      match Cp.optimize ~budget:(budget * 10) ?time_limit_s:cp_limit inst with
+      | Some (opt, starts) ->
+          {
+            lower_bound = opt;
+            upper_bound = opt;
+            starts;
+            proven_optimal = true;
+            nodes_hint = "CP decision search";
+          }
+      | None -> order_bb ()
+    end
+    else order_bb ()
+  end
+
+let optimal_value ?budget ?time_limit_s inst =
+  let o = solve ?budget ?time_limit_s inst in
+  if o.proven_optimal then Some o.upper_bound else None

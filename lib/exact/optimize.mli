@@ -1,0 +1,26 @@
+(** Front-end exact solver: plays the role of the paper's Gurobi runs.
+
+    Strategy: compute the clique lower bound and the best heuristic
+    upper bound; when they match the instance is closed for free (the
+    paper observes this happens on >95% of instances). Otherwise run
+    the CP decision engine when the color count is small, falling back
+    to the order-space branch-and-bound, both under a budget that plays
+    the role of the paper's one-day timeout. *)
+
+type outcome = {
+  lower_bound : int;
+  upper_bound : int;
+  starts : int array;  (** witness for [upper_bound] *)
+  proven_optimal : bool;
+  nodes_hint : string;  (** which engine closed (or failed to close) *)
+}
+
+(** [solve ?budget ?time_limit_s inst] with [budget] roughly
+    proportional to search nodes (default 200_000) and [time_limit_s]
+    bounding the CPU seconds spent. *)
+val solve : ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> outcome
+
+(** [optimal_value ?budget ?time_limit_s inst] returns [Some maxcolor*]
+    iff optimality was proven within budget. *)
+val optimal_value :
+  ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> int option

@@ -1,0 +1,36 @@
+(** Branch-and-bound exact optimizer over greedy vertex orders.
+
+    Rationale: if [S] is any valid interval coloring and its vertices
+    are recolored by first fit in nondecreasing order of their starts
+    in [S], every vertex lands at or below its start in [S] (each
+    earlier-processed neighbor interval stays entirely below it). So
+    the optimum equals the best greedy coloring over all vertex orders,
+    and searching orders with first-fit placement is a complete exact
+    method. This module explores that order space with pruning and a
+    node budget — our stand-in for the paper's one-day Gurobi runs
+    (Section VI-D). *)
+
+type status =
+  | Optimal of int * int array  (** proven optimal maxcolor + witness *)
+  | Bounds of int * int * int array
+      (** [(lb, ub, starts)] when the budget ran out: best known
+          coloring and the residual gap *)
+
+(** [solve ?node_budget ?restarts ?time_limit_s inst]. [node_budget]
+    caps branch-and-bound nodes (default 200_000); [restarts] adds
+    randomized greedy restarts to tighten the initial upper bound
+    (default 8); [time_limit_s] aborts the search after that much CPU
+    time (the paper's one-day-timeout analogue). *)
+val solve :
+  ?node_budget:int ->
+  ?restarts:int ->
+  ?time_limit_s:float ->
+  Ivc_grid.Stencil.t ->
+  status
+
+(** Convenience accessors. *)
+val lower_bound_of : status -> int
+
+val upper_bound_of : status -> int
+val is_optimal : status -> bool
+val starts_of : status -> int array

@@ -1,0 +1,91 @@
+let path n =
+  let es = ref [] in
+  for i = 0 to n - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  Csr.of_edges n !es
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: need n >= 3";
+  let es = ref [ (n - 1, 0) ] in
+  for i = 0 to n - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  Csr.of_edges n !es
+
+let clique n =
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      es := (i, j) :: !es
+    done
+  done;
+  Csr.of_edges n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for i = 0 to a - 1 do
+    for j = 0 to b - 1 do
+      es := (i, a + j) :: !es
+    done
+  done;
+  Csr.of_edges (a + b) !es
+
+let star n =
+  let es = ref [] in
+  for i = 1 to n do
+    es := (0, i) :: !es
+  done;
+  Csr.of_edges (n + 1) !es
+
+let grid2_edges ~diagonals x y =
+  let id i j = (i * y) + j in
+  let es = ref [] in
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      if i + 1 < x then es := (id i j, id (i + 1) j) :: !es;
+      if j + 1 < y then es := (id i j, id i (j + 1)) :: !es;
+      if diagonals then begin
+        if i + 1 < x && j + 1 < y then es := (id i j, id (i + 1) (j + 1)) :: !es;
+        if i + 1 < x && j > 0 then es := (id i j, id (i + 1) (j - 1)) :: !es
+      end
+    done
+  done;
+  !es
+
+let stencil2 x y = Csr.of_edges (x * y) (grid2_edges ~diagonals:true x y)
+let five_pt x y = Csr.of_edges (x * y) (grid2_edges ~diagonals:false x y)
+
+let grid3_edges ~full x y z =
+  let id i j k = (((i * y) + j) * z) + k in
+  let es = ref [] in
+  let inb i j k = i >= 0 && i < x && j >= 0 && j < y && k >= 0 && k < z in
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      for k = 0 to z - 1 do
+        if full then
+          (* 27-pt: connect to every cell at Chebyshev distance 1; emit each
+             edge once by lexicographic direction. *)
+          List.iter
+            (fun (di, dj, dk) ->
+              let i' = i + di and j' = j + dj and k' = k + dk in
+              if inb i' j' k' then es := (id i j k, id i' j' k') :: !es)
+            [
+              (1, -1, -1); (1, -1, 0); (1, -1, 1);
+              (1, 0, -1);  (1, 0, 0);  (1, 0, 1);
+              (1, 1, -1);  (1, 1, 0);  (1, 1, 1);
+              (0, 1, -1);  (0, 1, 0);  (0, 1, 1);
+              (0, 0, 1);
+            ]
+        else begin
+          if i + 1 < x then es := (id i j k, id (i + 1) j k) :: !es;
+          if j + 1 < y then es := (id i j k, id i (j + 1) k) :: !es;
+          if k + 1 < z then es := (id i j k, id i j (k + 1)) :: !es
+        end
+      done
+    done
+  done;
+  !es
+
+let stencil3 x y z = Csr.of_edges (x * y * z) (grid3_edges ~full:true x y z)
+let seven_pt x y z = Csr.of_edges (x * y * z) (grid3_edges ~full:false x y z)

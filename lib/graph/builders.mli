@@ -1,0 +1,34 @@
+(** Constructors for the standard graph families used by the paper:
+    chains, cycles, cliques, bipartite graphs, and the stencil
+    conflict graphs themselves. *)
+
+(** Path graph 0 - 1 - ... - (n-1). *)
+val path : int -> Csr.t
+
+(** Cycle graph 0 - 1 - ... - (n-1) - 0. Requires n >= 3. *)
+val cycle : int -> Csr.t
+
+(** Complete graph K_n. *)
+val clique : int -> Csr.t
+
+(** Complete bipartite graph K_{a,b}; part A is [0, a), part B is
+    [a, a+b). *)
+val complete_bipartite : int -> int -> Csr.t
+
+(** Star with [n] leaves; the hub is vertex 0. *)
+val star : int -> Csr.t
+
+(** 9-pt stencil on an [x] by [y] grid: vertices (i, j) with id
+    [i * y + j]; edges between cells at Chebyshev distance 1. *)
+val stencil2 : int -> int -> Csr.t
+
+(** 5-pt stencil on an [x] by [y] grid (the bipartite relaxation that
+    drops diagonal edges). *)
+val five_pt : int -> int -> Csr.t
+
+(** 27-pt stencil on an [x] by [y] by [z] grid: vertex (i, j, k) has id
+    [(i * y + j) * z + k]. *)
+val stencil3 : int -> int -> int -> Csr.t
+
+(** 7-pt stencil on an [x] by [y] by [z] grid (bipartite relaxation). *)
+val seven_pt : int -> int -> int -> Csr.t

@@ -1,0 +1,118 @@
+type t = {
+  n : int;
+  row : int array; (* length n+1; adjacency of v is adj.(row.(v) .. row.(v+1)-1) *)
+  adj : int array;
+}
+
+let of_edges n edges =
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Csr.of_edges: vertex %d out of [0,%d)" v n)
+  in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Csr.of_edges: self-loop")
+    edges;
+  (* Deduplicate by normalizing to (min, max) and sorting. *)
+  let norm = List.map (fun (u, v) -> if u < v then (u, v) else (v, u)) edges in
+  let sorted = List.sort_uniq compare norm in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    sorted;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let adj = Array.make row.(n) 0 in
+  let cursor = Array.copy row in
+  List.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    sorted;
+  (* Each adjacency slice is sorted because the edge list was sorted on
+     the first component only for that component's slice; sort slices to
+     guarantee increasing order regardless. *)
+  for v = 0 to n - 1 do
+    let lo = row.(v) and hi = row.(v + 1) in
+    let slice = Array.sub adj lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adj lo (hi - lo)
+  done;
+  { n; row; adj }
+
+let n_vertices g = g.n
+let n_edges g = Array.length g.adj / 2
+let degree g v = g.row.(v + 1) - g.row.(v)
+
+let max_degree g =
+  let m = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !m then m := degree g v
+  done;
+  !m
+
+let iter_neighbors g v f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g v f acc =
+  let acc = ref acc in
+  iter_neighbors g v (fun u -> acc := f u !acc);
+  !acc
+
+let neighbors g v = Array.sub g.adj g.row.(v) (degree g v)
+
+let mem_edge g u v =
+  (* Binary search in the sorted adjacency slice of u. *)
+  let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj.(mid) in
+    if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_neighbors g u (fun v -> if u < v then f u v)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let induced g keep =
+  let map = Array.make g.n (-1) in
+  let back = ref [] in
+  let count = ref 0 in
+  for v = 0 to g.n - 1 do
+    if keep v then begin
+      map.(v) <- !count;
+      back := v :: !back;
+      incr count
+    end
+  done;
+  let back = Array.of_list (List.rev !back) in
+  let es = ref [] in
+  iter_edges g (fun u v ->
+      if map.(u) >= 0 && map.(v) >= 0 then es := (map.(u), map.(v)) :: !es);
+  (of_edges !count !es, back)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d" g.n (n_edges g);
+  for v = 0 to g.n - 1 do
+    Format.fprintf fmt "@,%d:" v;
+    iter_neighbors g v (fun u -> Format.fprintf fmt " %d" u)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,52 @@
+(** Compressed-sparse-row representation of undirected graphs.
+
+    Vertices are integers in [0, n). The structure is immutable once
+    built. Every undirected edge {u, v} is stored twice, once in the
+    adjacency list of each endpoint. *)
+
+type t
+
+(** [of_edges n edges] builds the graph on [n] vertices from an
+    undirected edge list. Self-loops are rejected, duplicate edges are
+    merged. Raises [Invalid_argument] on out-of-range endpoints. *)
+val of_edges : int -> (int * int) list -> t
+
+(** Number of vertices. *)
+val n_vertices : t -> int
+
+(** Number of undirected edges. *)
+val n_edges : t -> int
+
+(** Degree of a vertex. *)
+val degree : t -> int -> int
+
+(** Maximum degree over all vertices (0 for the empty graph). *)
+val max_degree : t -> int
+
+(** [iter_neighbors g v f] applies [f] to every neighbor of [v], in
+    increasing vertex order. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors g v f acc] folds [f] over the neighbors of [v]. *)
+val fold_neighbors : t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+
+(** Neighbors of [v] as a fresh array, in increasing vertex order. *)
+val neighbors : t -> int -> int array
+
+(** [mem_edge g u v] tests adjacency in O(log degree). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [iter_edges g f] applies [f u v] once per undirected edge, with
+    [u < v]. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** All undirected edges with [u < v]. *)
+val edges : t -> (int * int) list
+
+(** [induced g keep] returns the subgraph induced by the vertices [v]
+    with [keep v = true], together with the mapping from new vertex ids
+    to the original ones. *)
+val induced : t -> (int -> bool) -> t * int array
+
+(** Pretty-printer for debugging. *)
+val pp : Format.formatter -> t -> unit

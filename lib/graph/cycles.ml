@@ -1,0 +1,37 @@
+(* DFS cycle enumeration rooted at the smallest vertex of each cycle.
+   From a root [s] we only explore vertices greater than [s]; a cycle is
+   emitted when the walk returns to [s]. Each cycle would be found in
+   both directions, so we keep only the orientation in which the second
+   vertex is smaller than the last. *)
+let iter_simple_cycles g ~max_len f =
+  let n = Csr.n_vertices g in
+  let on_path = Array.make n false in
+  let stack = Array.make (max_len + 1) 0 in
+  for s = 0 to n - 1 do
+    let rec explore v depth =
+      stack.(depth - 1) <- v;
+      on_path.(v) <- true;
+      Csr.iter_neighbors g v (fun u ->
+          if u = s && depth >= 3 then begin
+            if stack.(1) < stack.(depth - 1) then f (Array.sub stack 0 depth)
+          end
+          else if u > s && (not on_path.(u)) && depth < max_len then
+            explore u (depth + 1));
+      on_path.(v) <- false
+    in
+    explore s 1
+  done
+
+let iter_odd_cycles g ~max_len f =
+  iter_simple_cycles g ~max_len (fun c -> if Array.length c mod 2 = 1 then f c)
+
+let triangles g f =
+  Csr.iter_edges g (fun u v ->
+      (* common neighbors greater than v keep each triangle unique *)
+      Csr.iter_neighbors g v (fun w ->
+          if w > v && Csr.mem_edge g u w then f u v w))
+
+let count_cycles g ~max_len =
+  let c = ref 0 in
+  iter_simple_cycles g ~max_len (fun _ -> incr c);
+  !c

@@ -1,0 +1,23 @@
+(** Enumeration of simple cycles.
+
+    The odd-cycle lower bound of the paper (Section III-C) needs the
+    odd cycle of maximum [minchain3] embedded in a stencil. There are
+    exponentially many odd cycles, so exhaustive enumeration is only
+    usable on small instances; [Ivc.Bounds] combines this module with a
+    length cap to obtain a practical (partial) lower bound. *)
+
+(** [iter_simple_cycles g ~max_len f] applies [f] once to every simple
+    cycle of length between 3 and [max_len], represented as the vertex
+    array in cycle order (first vertex not repeated). Each cycle is
+    reported exactly once. *)
+val iter_simple_cycles : Csr.t -> max_len:int -> (int array -> unit) -> unit
+
+(** Same, restricted to odd-length cycles. *)
+val iter_odd_cycles : Csr.t -> max_len:int -> (int array -> unit) -> unit
+
+(** [triangles g f] applies [f] to every triangle (u, v, w) with
+    [u < v < w]. *)
+val triangles : Csr.t -> (int -> int -> int -> unit) -> unit
+
+(** Number of simple cycles of length at most [max_len]. *)
+val count_cycles : Csr.t -> max_len:int -> int

@@ -1,0 +1,100 @@
+let bfs g src =
+  let n = Csr.n_vertices g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Csr.iter_neighbors g v (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+  done;
+  dist
+
+let components g =
+  let n = Csr.n_vertices g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let q = Queue.create () in
+  for src = 0 to n - 1 do
+    if comp.(src) < 0 then begin
+      comp.(src) <- !count;
+      Queue.add src q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Csr.iter_neighbors g v (fun u ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- !count;
+              Queue.add u q
+            end)
+      done;
+      incr count
+    end
+  done;
+  (!count, comp)
+
+(* BFS 2-coloring; returns the side array and, on failure, the
+   conflicting edge together with the parent array for cycle
+   extraction. *)
+let try_bipartition g =
+  let n = Csr.n_vertices g in
+  let side = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let conflict = ref None in
+  let q = Queue.create () in
+  (try
+     for src = 0 to n - 1 do
+       if side.(src) < 0 then begin
+         side.(src) <- 0;
+         Queue.add src q;
+         while not (Queue.is_empty q) do
+           let v = Queue.pop q in
+           Csr.iter_neighbors g v (fun u ->
+               if side.(u) < 0 then begin
+                 side.(u) <- 1 - side.(v);
+                 parent.(u) <- v;
+                 Queue.add u q
+               end
+               else if side.(u) = side.(v) then begin
+                 conflict := Some (v, u);
+                 raise Exit
+               end)
+         done
+       end
+     done
+   with Exit -> ());
+  (side, parent, !conflict)
+
+let bipartition g =
+  let side, _, conflict = try_bipartition g in
+  match conflict with
+  | Some _ -> None
+  | None -> Some (Array.map (fun s -> s = 1) side)
+
+let is_bipartite g = bipartition g <> None
+
+let odd_cycle g =
+  let _, parent, conflict = try_bipartition g in
+  match conflict with
+  | None -> None
+  | Some (v, u) ->
+      (* Walk both vertices up to the root collecting ancestor paths,
+         then splice at the lowest common ancestor. *)
+      let ancestors x =
+        let rec up x acc = if x < 0 then acc else up parent.(x) (x :: acc) in
+        up x []
+      in
+      let pv = ancestors v and pu = ancestors u in
+      (* Drop the common prefix, keeping the last common vertex. *)
+      let rec strip pv pu last =
+        match (pv, pu) with
+        | a :: pv', b :: pu' when a = b -> strip pv' pu' (Some a)
+        | _ -> (pv, pu, last)
+      in
+      let pv, pu, lca = strip pv pu None in
+      let lca = match lca with Some x -> x | None -> assert false in
+      (* Cycle: lca -> ... -> v, then u -> ... back up to just below lca. *)
+      Some ((lca :: pv) @ List.rev pu)

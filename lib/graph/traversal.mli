@@ -1,0 +1,23 @@
+(** Basic traversals: BFS, connected components, and the bipartition
+    test used by the polynomial special cases of the paper
+    (Section III-B). *)
+
+(** [bfs g src] returns the array of BFS distances from [src];
+    unreachable vertices get [-1]. *)
+val bfs : Csr.t -> int -> int array
+
+(** [components g] returns [(count, comp)] where [comp.(v)] is the
+    component index of [v], in [0, count). *)
+val components : Csr.t -> int * int array
+
+(** [bipartition g] returns [Some side] where [side.(v)] is [false] or
+    [true] describing a proper 2-coloring, or [None] if the graph
+    contains an odd cycle. Isolated vertices go to side [false]. *)
+val bipartition : Csr.t -> bool array option
+
+val is_bipartite : Csr.t -> bool
+
+(** [odd_cycle g] returns the vertex list of some odd cycle if the graph
+    is not bipartite, [None] otherwise. The cycle is returned in order,
+    without repeating the first vertex. *)
+val odd_cycle : Csr.t -> int list option

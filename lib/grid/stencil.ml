@@ -1,0 +1,183 @@
+type dims = D2 of int * int | D3 of int * int * int
+type t = { dims : dims; w : int array }
+
+let check_weights w =
+  Array.iter (fun x -> if x < 0 then invalid_arg "Stencil: negative weight") w
+
+let make2 ~x ~y w =
+  if x < 1 || y < 1 then invalid_arg "Stencil.make2: dims must be >= 1";
+  if Array.length w <> x * y then invalid_arg "Stencil.make2: weight length";
+  check_weights w;
+  { dims = D2 (x, y); w = Array.copy w }
+
+let make3 ~x ~y ~z w =
+  if x < 1 || y < 1 || z < 1 then invalid_arg "Stencil.make3: dims must be >= 1";
+  if Array.length w <> x * y * z then invalid_arg "Stencil.make3: weight length";
+  check_weights w;
+  { dims = D3 (x, y, z); w = Array.copy w }
+
+let init2 ~x ~y f =
+  make2 ~x ~y (Array.init (x * y) (fun id -> f (id / y) (id mod y)))
+
+let init3 ~x ~y ~z f =
+  make3 ~x ~y ~z
+    (Array.init
+       (x * y * z)
+       (fun id -> f (id / z / y) (id / z mod y) (id mod z)))
+
+let n_vertices t = Array.length t.w
+let weight t v = t.w.(v)
+let total_weight t = Array.fold_left ( + ) 0 t.w
+let max_weight t = Array.fold_left max 0 t.w
+let is_3d t = match t.dims with D2 _ -> false | D3 _ -> true
+
+let id2 t i j =
+  match t.dims with
+  | D2 (x, y) ->
+      if i < 0 || i >= x || j < 0 || j >= y then
+        invalid_arg "Stencil.id2: out of range";
+      (i * y) + j
+  | D3 _ -> invalid_arg "Stencil.id2: 3D instance"
+
+let id3 t i j k =
+  match t.dims with
+  | D3 (x, y, z) ->
+      if i < 0 || i >= x || j < 0 || j >= y || k < 0 || k >= z then
+        invalid_arg "Stencil.id3: out of range";
+      (((i * y) + j) * z) + k
+  | D2 _ -> invalid_arg "Stencil.id3: 2D instance"
+
+let coord2 t v =
+  match t.dims with
+  | D2 (_, y) -> (v / y, v mod y)
+  | D3 _ -> invalid_arg "Stencil.coord2: 3D instance"
+
+let coord3 t v =
+  match t.dims with
+  | D3 (_, y, z) -> (v / z / y, v / z mod y, v mod z)
+  | D2 _ -> invalid_arg "Stencil.coord3: 2D instance"
+
+let iter_neighbors t v f =
+  match t.dims with
+  | D2 (x, y) ->
+      let i = v / y and j = v mod y in
+      for di = -1 to 1 do
+        for dj = -1 to 1 do
+          if di <> 0 || dj <> 0 then begin
+            let i' = i + di and j' = j + dj in
+            if i' >= 0 && i' < x && j' >= 0 && j' < y then f ((i' * y) + j')
+          end
+        done
+      done
+  | D3 (x, y, z) ->
+      let k = v mod z in
+      let ij = v / z in
+      let i = ij / y and j = ij mod y in
+      for di = -1 to 1 do
+        for dj = -1 to 1 do
+          for dk = -1 to 1 do
+            if di <> 0 || dj <> 0 || dk <> 0 then begin
+              let i' = i + di and j' = j + dj and k' = k + dk in
+              if i' >= 0 && i' < x && j' >= 0 && j' < y && k' >= 0 && k' < z
+              then f ((((i' * y) + j') * z) + k')
+            end
+          done
+        done
+      done
+
+let degree t v =
+  let d = ref 0 in
+  iter_neighbors t v (fun _ -> incr d);
+  !d
+
+let stencil_degree t = match t.dims with D2 _ -> 8 | D3 _ -> 26
+
+let iter_cliques t f =
+  match t.dims with
+  | D2 (x, y) ->
+      for i = 0 to x - 2 do
+        for j = 0 to y - 2 do
+          let id i j = (i * y) + j in
+          f [| id i j; id i (j + 1); id (i + 1) j; id (i + 1) (j + 1) |]
+        done
+      done
+  | D3 (x, y, z) ->
+      for i = 0 to x - 2 do
+        for j = 0 to y - 2 do
+          for k = 0 to z - 2 do
+            let id i j k = (((i * y) + j) * z) + k in
+            f
+              [|
+                id i j k; id i j (k + 1);
+                id i (j + 1) k; id i (j + 1) (k + 1);
+                id (i + 1) j k; id (i + 1) j (k + 1);
+                id (i + 1) (j + 1) k; id (i + 1) (j + 1) (k + 1);
+              |]
+          done
+        done
+      done
+
+let cliques t =
+  let acc = ref [] in
+  iter_cliques t (fun c -> acc := c :: !acc);
+  Array.of_list (List.rev !acc)
+
+let weight_sum t vs = Array.fold_left (fun acc v -> acc + t.w.(v)) 0 vs
+
+let to_graph t =
+  match t.dims with
+  | D2 (x, y) -> Ivc_graph.Builders.stencil2 x y
+  | D3 (x, y, z) -> Ivc_graph.Builders.stencil3 x y z
+
+let relaxed_graph t =
+  match t.dims with
+  | D2 (x, y) -> Ivc_graph.Builders.five_pt x y
+  | D3 (x, y, z) -> Ivc_graph.Builders.seven_pt x y z
+
+let checkerboard t v =
+  match t.dims with
+  | D2 _ ->
+      let i, j = coord2 t v in
+      (i + j) land 1 = 1
+  | D3 _ ->
+      let i, j, k = coord3 t v in
+      (i + j + k) land 1 = 1
+
+let row_major_order t = Array.init (n_vertices t) Fun.id
+
+let zorder t =
+  match t.dims with
+  | D2 (x, y) -> Zorder.order2 x y
+  | D3 (x, y, z) -> Zorder.order3 x y z
+
+let pp fmt t =
+  match t.dims with
+  | D2 (x, y) ->
+      Format.fprintf fmt "@[<v>2D %dx%d" x y;
+      for i = 0 to x - 1 do
+        Format.fprintf fmt "@,";
+        for j = 0 to y - 1 do
+          Format.fprintf fmt "%4d" t.w.((i * y) + j)
+        done
+      done;
+      Format.fprintf fmt "@]"
+  | D3 (x, y, z) ->
+      Format.fprintf fmt "@[<v>3D %dx%dx%d" x y z;
+      for k = 0 to z - 1 do
+        Format.fprintf fmt "@,layer %d:" k;
+        for i = 0 to x - 1 do
+          Format.fprintf fmt "@,";
+          for j = 0 to y - 1 do
+            Format.fprintf fmt "%4d" t.w.((((i * y) + j) * z) + k)
+          done
+        done
+      done;
+      Format.fprintf fmt "@]"
+
+let describe t =
+  match t.dims with
+  | D2 (x, y) ->
+      Printf.sprintf "2D %dx%d (n=%d, W=%d)" x y (n_vertices t) (total_weight t)
+  | D3 (x, y, z) ->
+      Printf.sprintf "3D %dx%dx%d (n=%d, W=%d)" x y z (n_vertices t)
+        (total_weight t)

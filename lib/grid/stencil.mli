@@ -1,0 +1,86 @@
+(** Weighted stencil instances: the inputs of the 2DS-IVC and 3DS-IVC
+    problems (Definitions 2 and 3 of the paper).
+
+    A 2D instance is an [x] by [y] grid whose cell (i, j) has flat id
+    [i * y + j]; two cells are in conflict iff they are at Chebyshev
+    distance 1 (the 9-pt stencil). A 3D instance is an [x * y * z] grid
+    with id [(i * y + j) * z + k] and the 27-pt adjacency. Both carry a
+    non-negative integer weight per cell. *)
+
+type dims = D2 of int * int | D3 of int * int * int
+
+type t = private { dims : dims; w : int array }
+
+(** [make2 ~x ~y w] builds a 2D instance. Requires [x >= 1], [y >= 1],
+    [Array.length w = x * y], and non-negative weights. *)
+val make2 : x:int -> y:int -> int array -> t
+
+(** [make3 ~x ~y ~z w] builds a 3D instance. *)
+val make3 : x:int -> y:int -> z:int -> int array -> t
+
+(** [init2 ~x ~y f] builds a 2D instance with [w(i,j) = f i j]. *)
+val init2 : x:int -> y:int -> (int -> int -> int) -> t
+
+(** [init3 ~x ~y ~z f] builds a 3D instance with [w(i,j,k) = f i j k]. *)
+val init3 : x:int -> y:int -> z:int -> (int -> int -> int -> int) -> t
+
+val n_vertices : t -> int
+val weight : t -> int -> int
+val total_weight : t -> int
+val max_weight : t -> int
+val is_3d : t -> bool
+
+(** Flat id of a 2D cell. Raises on 3D instances or out-of-range. *)
+val id2 : t -> int -> int -> int
+
+(** Flat id of a 3D cell. *)
+val id3 : t -> int -> int -> int -> int
+
+(** Inverse of [id2]. *)
+val coord2 : t -> int -> int * int
+
+(** Inverse of [id3]. *)
+val coord3 : t -> int -> int * int * int
+
+(** [iter_neighbors t v f] applies [f] to every stencil neighbor of the
+    cell with flat id [v] (8 directions in 2D, 26 in 3D, fewer at the
+    boundary). *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** Number of stencil neighbors of [v]. *)
+val degree : t -> int -> int
+
+(** Maximal possible degree (8 or 26), regardless of boundary. *)
+val stencil_degree : t -> int
+
+(** [iter_cliques t f] applies [f] to every maximal grid-block clique:
+    each 2x2 block (a K4) in 2D, each 2x2x2 block (a K8) in 3D, as an
+    array of flat ids. These are the cliques of Section III-A. *)
+val iter_cliques : t -> (int array -> unit) -> unit
+
+(** All block cliques, materialized. *)
+val cliques : t -> int array array
+
+(** Sum of weights of a vertex set. *)
+val weight_sum : t -> int array -> int
+
+(** Conflict graph as a CSR graph (9-pt or 27-pt). *)
+val to_graph : t -> Ivc_graph.Csr.t
+
+(** Bipartite relaxation (5-pt or 7-pt stencil) as a CSR graph. *)
+val relaxed_graph : t -> Ivc_graph.Csr.t
+
+(** Checkerboard side of a cell: parity of the sum of its coordinates.
+    This is a proper 2-coloring of the relaxed (5-pt / 7-pt) graph. *)
+val checkerboard : t -> int -> bool
+
+(** Row-major ("line by line, then plane by plane") vertex order. *)
+val row_major_order : t -> int array
+
+(** Z-order (Morton) vertex order. *)
+val zorder : t -> int array
+
+val pp : Format.formatter -> t -> unit
+
+(** One-line description, e.g. ["2D 8x4 (n=32, W=115)"]. *)
+val describe : t -> string

@@ -1,0 +1,45 @@
+(* Bit interleaving by the classic "binary magic numbers" spreading.
+   We spread 21-bit (3D) or 31-bit (2D) coordinates into a 63-bit key. *)
+
+let spread2 v =
+  (* insert one zero bit between each of the low 31 bits of v *)
+  let v = v land 0x7FFFFFFF in
+  let v = (v lor (v lsl 16)) land 0x0000FFFF0000FFFF in
+  let v = (v lor (v lsl 8)) land 0x00FF00FF00FF00FF in
+  let v = (v lor (v lsl 4)) land 0x0F0F0F0F0F0F0F0F in
+  let v = (v lor (v lsl 2)) land 0x3333333333333333 in
+  (v lor (v lsl 1)) land 0x5555555555555555
+
+let spread3 v =
+  (* insert two zero bits between each of the low 21 bits of v *)
+  let v = v land 0x1FFFFF in
+  let v = (v lor (v lsl 32)) land 0x1F00000000FFFF in
+  let v = (v lor (v lsl 16)) land 0x1F0000FF0000FF in
+  let v = (v lor (v lsl 8)) land 0x100F00F00F00F00F in
+  let v = (v lor (v lsl 4)) land 0x10C30C30C30C30C3 in
+  (v lor (v lsl 2)) land 0x1249249249249249
+
+let key2 i j =
+  if i < 0 || j < 0 then invalid_arg "Zorder.key2: negative coordinate";
+  spread2 i lor (spread2 j lsl 1)
+
+let key3 i j k =
+  if i < 0 || j < 0 || k < 0 then invalid_arg "Zorder.key3: negative coordinate";
+  spread3 i lor (spread3 j lsl 1) lor (spread3 k lsl 2)
+
+let order2 x y =
+  let keyed = Array.init (x * y) (fun id -> (key2 (id / y) (id mod y), id)) in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let order3 x y z =
+  let keyed =
+    Array.init
+      (x * y * z)
+      (fun id ->
+        let k = id mod z in
+        let ij = id / z in
+        (key3 (ij / y) (ij mod y) k, id))
+  in
+  Array.sort compare keyed;
+  Array.map snd keyed

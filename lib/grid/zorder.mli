@@ -1,0 +1,18 @@
+(** Z-order (Morton order) enumeration of grid cells, used by the
+    Greedy Z-Order (GZO) heuristic of the paper (Section V-A). *)
+
+(** [key2 i j] is the Morton key interleaving the bits of [i] and [j].
+    Coordinates must be non-negative and fit in 31 bits. *)
+val key2 : int -> int -> int
+
+(** [key3 i j k] interleaves the bits of three coordinates (each must
+    fit in 21 bits). *)
+val key3 : int -> int -> int -> int
+
+(** [order2 x y] lists all cells of an [x] by [y] grid as flat ids
+    ([i * y + j]) sorted by Morton key. *)
+val order2 : int -> int -> int array
+
+(** [order3 x y z] lists all cells of an [x * y * z] grid as flat ids
+    ([(i * y + j) * z + k]) sorted by Morton key. *)
+val order3 : int -> int -> int -> int array

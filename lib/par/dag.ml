@@ -1,0 +1,71 @@
+module Stencil = Ivc_grid.Stencil
+
+type t = {
+  n : int;
+  cost : float array;
+  succ : int array array;
+  n_pred : int array;
+  priority : int array;
+}
+
+let of_coloring inst ~starts ~cost =
+  let n = Stencil.n_vertices inst in
+  if Array.length starts <> n then invalid_arg "Dag.of_coloring: starts length";
+  let before u v =
+    if starts.(u) <> starts.(v) then starts.(u) < starts.(v) else u < v
+  in
+  let succ = Array.make n [] in
+  let n_pred = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Stencil.iter_neighbors inst v (fun u ->
+        if u > v then begin
+          let a, b = if before v u then (v, u) else (u, v) in
+          succ.(a) <- b :: succ.(a);
+          n_pred.(b) <- n_pred.(b) + 1
+        end)
+  done;
+  {
+    n;
+    cost = Array.init n cost;
+    succ = Array.map Array.of_list succ;
+    n_pred;
+    priority = Array.copy starts;
+  }
+
+let topo_order t =
+  let indeg = Array.copy t.n_pred in
+  let q = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v q) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    incr seen;
+    order := v :: !order;
+    Array.iter
+      (fun u ->
+        indeg.(u) <- indeg.(u) - 1;
+        if indeg.(u) = 0 then Queue.add u q)
+      t.succ.(v)
+  done;
+  if !seen <> t.n then None else Some (List.rev !order)
+
+let is_acyclic t = topo_order t <> None
+
+let critical_path t =
+  match topo_order t with
+  | None -> invalid_arg "Dag.critical_path: cyclic"
+  | Some order ->
+      let finish = Array.make t.n 0.0 in
+      let best = ref 0.0 in
+      List.iter
+        (fun v ->
+          finish.(v) <- finish.(v) +. t.cost.(v);
+          if finish.(v) > !best then best := finish.(v);
+          Array.iter
+            (fun u -> if finish.(v) > finish.(u) then finish.(u) <- finish.(v))
+            t.succ.(v))
+        order;
+      !best
+
+let total_work t = Array.fold_left ( +. ) 0.0 t.cost

@@ -1,0 +1,29 @@
+(** Task DAGs derived from an interval coloring, mirroring Section VII:
+    OpenMP tasks are created in increasing order of color-interval
+    start, with dependencies between neighboring boxes oriented
+    compatibly with the coloring, so the DAG is a 27-pt (or 9-pt)
+    stencil with edges following the colors. *)
+
+type t = {
+  n : int;
+  cost : float array;  (** execution cost of each task *)
+  succ : int array array;  (** successors of each task *)
+  n_pred : int array;  (** number of predecessors *)
+  priority : int array;  (** the coloring start: creation order key *)
+}
+
+(** [of_coloring inst ~starts ~cost] orients every stencil conflict
+    edge from the lexicographically smaller ([start], id) endpoint to
+    the larger, which is always acyclic. *)
+val of_coloring :
+  Ivc_grid.Stencil.t -> starts:int array -> cost:(int -> float) -> t
+
+(** Longest weighted path (node costs): the critical path the paper
+    links to [maxcolor] in Section VII. *)
+val critical_path : t -> float
+
+(** Total work (sum of costs). *)
+val total_work : t -> float
+
+(** Topological order check (sanity; the construction guarantees it). *)
+val is_acyclic : t -> bool

@@ -1,0 +1,109 @@
+(* A single-lock work pool: a binary heap of ready tasks ordered by
+   (priority, id), predecessor counters decremented on completion.
+   Simple and correct; the machines this targets have few cores, so
+   lock contention is not the bottleneck (the tasks are the work). *)
+
+type state = {
+  dag : Dag.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  indeg : int array;
+  mutable ready : (int * int) list; (* sorted (priority, id) *)
+  mutable remaining : int;
+}
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: rest when x <= y -> x :: y :: rest
+  | y :: rest -> y :: insert_sorted x rest
+
+let make dag =
+  let n = dag.Dag.n in
+  let indeg = Array.copy dag.Dag.n_pred in
+  let ready = ref [] in
+  for v = n - 1 downto 0 do
+    if indeg.(v) = 0 then ready := insert_sorted (dag.Dag.priority.(v), v) !ready
+  done;
+  {
+    dag;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    indeg;
+    ready = !ready;
+    remaining = n;
+  }
+
+let worker st work on_start on_finish =
+  let rec loop () =
+    Mutex.lock st.mutex;
+    let rec wait () =
+      if st.remaining = 0 then begin
+        Mutex.unlock st.mutex;
+        Condition.broadcast st.cond;
+        None
+      end
+      else
+        match st.ready with
+        | (_, v) :: rest ->
+            st.ready <- rest;
+            Mutex.unlock st.mutex;
+            Some v
+        | [] ->
+            Condition.wait st.cond st.mutex;
+            wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some v ->
+        on_start v;
+        work v;
+        on_finish v;
+        Mutex.lock st.mutex;
+        st.remaining <- st.remaining - 1;
+        Array.iter
+          (fun u ->
+            st.indeg.(u) <- st.indeg.(u) - 1;
+            if st.indeg.(u) = 0 then
+              st.ready <- insert_sorted (st.dag.Dag.priority.(u), u) st.ready)
+          st.dag.Dag.succ.(v);
+        if st.remaining = 0 || st.ready <> [] then Condition.broadcast st.cond;
+        Mutex.unlock st.mutex;
+        loop ()
+  in
+  loop ()
+
+let run_with dag ~workers ~work ~on_start ~on_finish =
+  if workers < 1 then invalid_arg "Pool.run: need at least one worker";
+  let st = make dag in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init (workers - 1) (fun _ ->
+        Domain.spawn (fun () -> worker st work on_start on_finish))
+  in
+  worker st work on_start on_finish;
+  List.iter Domain.join domains;
+  Unix.gettimeofday () -. t0
+
+let run dag ~workers ~work =
+  run_with dag ~workers ~work ~on_start:ignore ~on_finish:ignore
+
+let run_checked dag ~workers ~work ~conflicts =
+  let n = dag.Dag.n in
+  let running = Array.make n false in
+  let guard = Mutex.create () in
+  let violations = ref 0 in
+  let on_start v =
+    Mutex.lock guard;
+    for u = 0 to n - 1 do
+      if running.(u) && conflicts u v then incr violations
+    done;
+    running.(v) <- true;
+    Mutex.unlock guard
+  in
+  let on_finish v =
+    Mutex.lock guard;
+    running.(v) <- false;
+    Mutex.unlock guard
+  in
+  let elapsed = run_with dag ~workers ~work ~on_start ~on_finish in
+  (elapsed, !violations)

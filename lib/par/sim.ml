@@ -1,0 +1,121 @@
+type schedule = {
+  makespan : float;
+  start_times : float array;
+  worker_of : int array;
+  idle_time : float;
+}
+
+(* Simple binary heaps specialized for (key, id) pairs. *)
+module Heap = struct
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0.0, 0); size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h key id =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (key, id);
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- t;
+      i := p
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.data.(l) < h.data.(!smallest) then smallest := l;
+      if r < h.size && h.data.(r) < h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let t = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- t;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+type policy = Color_order | Lpt | Fifo
+
+let run ?(bandwidth_penalty = 0.0) ?(policy = Color_order) (dag : Dag.t) ~workers =
+  if workers < 1 then invalid_arg "Sim.run: need at least one worker";
+  let n = dag.Dag.n in
+  let start_times = Array.make n 0.0 in
+  let worker_of = Array.make n (-1) in
+  let indeg = Array.copy dag.Dag.n_pred in
+  let ready = Heap.create () in
+  let running = Heap.create () in
+  let prio v =
+    match policy with
+    | Color_order -> Float.of_int dag.Dag.priority.(v)
+    | Lpt -> -.dag.Dag.cost.(v)
+    | Fifo -> Float.of_int v
+  in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Heap.push ready (prio v) v
+  done;
+  let free_workers = ref workers in
+  let next_worker = ref 0 in
+  let now = ref 0.0 in
+  let busy_time = ref 0.0 in
+  let done_count = ref 0 in
+  (* the slowdown factor is approximated using the concurrency at task
+     start time: adequate for the memory-saturation trend of Sec VII *)
+  let launch v =
+    let concurrency = workers - !free_workers + 1 in
+    let slowdown = 1.0 +. (bandwidth_penalty *. Float.of_int (concurrency - 1)) in
+    start_times.(v) <- !now;
+    worker_of.(v) <- !next_worker mod workers;
+    incr next_worker;
+    decr free_workers;
+    let duration = dag.Dag.cost.(v) *. slowdown in
+    busy_time := !busy_time +. duration;
+    Heap.push running (!now +. duration) v
+  in
+  while !done_count < n do
+    (* start as many ready tasks as there are free workers *)
+    while !free_workers > 0 && not (Heap.is_empty ready) do
+      let _, v = Heap.pop ready in
+      launch v
+    done;
+    if Heap.is_empty running then begin
+      if not (Heap.is_empty ready) then ()
+      else if !done_count < n then failwith "Sim.run: deadlock (cyclic DAG?)"
+    end
+    else begin
+      let finish, v = Heap.pop running in
+      now := max !now finish;
+      incr free_workers;
+      incr done_count;
+      Array.iter
+        (fun u ->
+          indeg.(u) <- indeg.(u) - 1;
+          if indeg.(u) = 0 then Heap.push ready (prio u) u)
+        dag.Dag.succ.(v)
+    end
+  done;
+  let makespan = !now in
+  {
+    makespan;
+    start_times;
+    worker_of;
+    idle_time = (makespan *. Float.of_int workers) -. !busy_time;
+  }
+
+let speedup dag s = if s.makespan <= 0.0 then 1.0 else Dag.total_work dag /. s.makespan

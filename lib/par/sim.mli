@@ -1,0 +1,32 @@
+(** Deterministic discrete-event simulation of list scheduling on [p]
+    identical workers. This is the stand-in for measuring the STKDE
+    application on the paper's 6-core machine (see DESIGN.md,
+    Substitutions): the simulated makespan is governed by the critical
+    path of the coloring-induced DAG, which is exactly the quantity the
+    paper correlates with [maxcolor] in Figure 10. *)
+
+type schedule = {
+  makespan : float;
+  start_times : float array;
+  worker_of : int array;
+  idle_time : float;  (** total worker idle time before the makespan *)
+}
+
+(** Ready-queue ordering. [Color_order] starts ready tasks in
+    increasing (coloring start, id) — the paper submits OpenMP tasks in
+    increasing color start, so this is the default. [Lpt] is
+    longest-processing-time-first, the classic list-scheduling rule.
+    [Fifo] ignores both and uses task ids. Used by the scheduling
+    ablation bench. *)
+type policy = Color_order | Lpt | Fifo
+
+(** [run ?bandwidth_penalty ?policy dag ~workers] simulates priority
+    list scheduling. [bandwidth_penalty] models the shared memory
+    subsystem of Section VII: with [c] tasks running concurrently, each
+    runs at speed [1 / (1 + penalty * (c - 1))]. Default 0 (perfect
+    scaling); the penalty is approximated per scheduling slot. *)
+val run :
+  ?bandwidth_penalty:float -> ?policy:policy -> Dag.t -> workers:int -> schedule
+
+(** Parallel speedup [total_work / makespan]. *)
+val speedup : Dag.t -> schedule -> float

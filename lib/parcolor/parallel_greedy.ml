@@ -1,0 +1,78 @@
+module Stencil = Ivc_grid.Stencil
+
+type stats = { rounds : int; conflicts_total : int; elapsed_s : float }
+
+(* First-fit against the racy shared starts array: reads of int cells
+   are atomic in the OCaml memory model, so a stale read only produces
+   a conflict that the detection phase repairs. *)
+let first_fit_against inst starts v =
+  let w = (inst : Stencil.t).w in
+  let neigh = ref [] in
+  Stencil.iter_neighbors inst v (fun u ->
+      let s = starts.(u) in
+      if s >= 0 && w.(u) > 0 then
+        neigh := Ivc.Interval.make ~start:s ~len:w.(u) :: !neigh);
+  Ivc.Greedy.first_fit ~len:w.(v) !neigh
+
+let color ?workers ?order inst =
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    match workers with Some p -> max 1 p | None -> Domain.recommended_domain_count ()
+  in
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let order = match order with Some o -> o | None -> Stencil.row_major_order inst in
+  if Array.length order <> n then invalid_arg "Parallel_greedy.color: order length";
+  let starts = Array.make n (-1) in
+  (* position in [order], used as the tie-breaking priority *)
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos v -> rank.(v) <- pos) order;
+  let pending = ref (Array.copy order) in
+  let rounds = ref 0 and conflicts_total = ref 0 in
+  while Array.length !pending > 0 do
+    incr rounds;
+    let batch = !pending in
+    let m = Array.length batch in
+    (* phase 1: speculative coloring, slices in round-robin so each
+       domain gets a spread of the order *)
+    let slice p () =
+      let i = ref p in
+      while !i < m do
+        let v = batch.(!i) in
+        starts.(v) <- first_fit_against inst starts v;
+        i := !i + workers
+      done
+    in
+    let domains = List.init (workers - 1) (fun p -> Domain.spawn (slice (p + 1))) in
+    slice 0 ();
+    List.iter Domain.join domains;
+    (* phase 2: conflict detection — the endpoint later in the order
+       loses and is recolored next round *)
+    let losers = ref [] in
+    Array.iter
+      (fun v ->
+        if w.(v) > 0 && starts.(v) >= 0 then begin
+          let sv = starts.(v) and wv = w.(v) in
+          let lost = ref false in
+          Stencil.iter_neighbors inst v (fun u ->
+              if (not !lost) && w.(u) > 0 && starts.(u) >= 0 && rank.(u) < rank.(v)
+              then begin
+                let su = starts.(u) and wu = w.(u) in
+                if sv < su + wu && su < sv + wv then lost := true
+              end);
+          if !lost then losers := v :: !losers
+        end)
+      batch;
+    let losers = Array.of_list !losers in
+    Array.iter (fun v -> starts.(v) <- -1) losers;
+    conflicts_total := !conflicts_total + Array.length losers;
+    (* keep the order-rank ordering within the pending set *)
+    Array.sort (fun a b -> compare rank.(a) rank.(b)) losers;
+    pending := losers
+  done;
+  ( starts,
+    {
+      rounds = !rounds;
+      conflicts_total = !conflicts_total;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    } )

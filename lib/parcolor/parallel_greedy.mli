@@ -1,0 +1,25 @@
+(** Speculative parallel greedy interval coloring on OCaml 5 domains,
+    in the spirit of Gebremedhin–Manne (the parallel-coloring line of
+    work the paper cites as reference [11]).
+
+    Rounds of: (1) every domain first-fit colors a slice of the pending
+    vertices against the current shared (racy) coloring; (2) conflicts
+    — stencil-adjacent vertices with overlapping intervals — are
+    detected, and the higher-priority endpoint keeps its interval while
+    the other re-enters the pending set. Terminates because each round
+    permanently commits at least the locally-lowest vertex of every
+    conflict chain. Produces a valid coloring with quality comparable
+    to the sequential greedy on the same order. *)
+
+type stats = {
+  rounds : int;
+  conflicts_total : int;  (** vertices recolored due to races *)
+  elapsed_s : float;
+}
+
+(** [color ?workers ?order inst] — [order] defaults to the instance's
+    row-major order; [workers] defaults to
+    [Domain.recommended_domain_count ()]. Returns the starts array and
+    execution statistics. *)
+val color :
+  ?workers:int -> ?order:int array -> Ivc_grid.Stencil.t -> int array * stats

@@ -1,0 +1,87 @@
+let render_profiles ?(width = 64) ?(height = 16) ?(tau_max = 1.5) fmt profiles =
+  let canvas = Array.make_matrix height width ' ' in
+  let letters = "ABCDEFGHIJKLMNOP" in
+  List.iteri
+    (fun idx p ->
+      let letter = letters.[idx mod String.length letters] in
+      for col = 0 to width - 1 do
+        let tau =
+          1.0 +. ((tau_max -. 1.0) *. Float.of_int col /. Float.of_int (width - 1))
+        in
+        let prop = Profile.proportion_at p tau in
+        let row = height - 1 - int_of_float (prop *. Float.of_int (height - 1)) in
+        let row = max 0 (min (height - 1) row) in
+        if canvas.(row).(col) = ' ' then canvas.(row).(col) <- letter
+        else if canvas.(row).(col) <> letter then canvas.(row).(col) <- '*'
+      done)
+    profiles;
+  Format.fprintf fmt "@[<v>proportion of instances within tau of best@,";
+  Array.iteri
+    (fun r line ->
+      let label =
+        if r = 0 then "1.0 |"
+        else if r = height - 1 then "0.0 |"
+        else "    |"
+      in
+      Format.fprintf fmt "%s%s@," label (String.init width (fun c -> line.(c))))
+    canvas;
+  Format.fprintf fmt "    +%s@," (String.make width '-');
+  Format.fprintf fmt "    tau: 1.00 .. %.2f@," tau_max;
+  List.iteri
+    (fun idx p ->
+      Format.fprintf fmt "    %c = %-4s (at tau=1: %.1f%%, auc: %.3f)@,"
+        letters.[idx mod String.length letters]
+        p.Profile.algorithm
+        (100.0 *. Profile.wins p)
+        (Profile.auc ~tau_max p))
+    profiles;
+  Format.fprintf fmt "@]"
+
+let table fmt ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun m row -> max m (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        Format.fprintf fmt "%s%s  " cell
+          (String.make (List.nth widths c - String.length cell) ' '))
+      row;
+    Format.fprintf fmt "@,"
+  in
+  Format.fprintf fmt "@[<v>";
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  Format.fprintf fmt "@]"
+
+let heatmap fmt ~x ~y get =
+  let ramp = " .:-=+*#%@" in
+  let maxv = ref 1 in
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      if get i j > !maxv then maxv := get i j
+    done
+  done;
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to x - 1 do
+    for j = 0 to y - 1 do
+      let v = get i j in
+      let level =
+        if v <= 0 then 0
+        else
+          1
+          + int_of_float
+              (Float.of_int (String.length ramp - 2)
+              *. log (Float.of_int v +. 1.0)
+              /. log (Float.of_int !maxv +. 1.0))
+      in
+      let level = min level (String.length ramp - 1) in
+      Format.fprintf fmt "%c" ramp.[level]
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,21 @@
+(** Text rendering of performance profiles and simple tables, so the
+    bench executable can "draw" every figure of the paper on stdout. *)
+
+(** [render_profiles ?width ?height ?tau_max fmt profiles] draws the
+    step curves on a character canvas, one letter per algorithm, with a
+    legend. *)
+val render_profiles :
+  ?width:int ->
+  ?height:int ->
+  ?tau_max:float ->
+  Format.formatter ->
+  Profile.t list ->
+  unit
+
+(** [table fmt ~header rows] renders an aligned table. *)
+val table : Format.formatter -> header:string list -> string list list -> unit
+
+(** [heatmap fmt ~x ~y get] renders a 2D non-negative intensity field
+    with a 10-level character ramp (used for the Figure 4 dataset
+    views). [get i j] must be in any non-negative range. *)
+val heatmap : Format.formatter -> x:int -> y:int -> (int -> int -> int) -> unit

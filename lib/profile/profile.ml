@@ -1,0 +1,51 @@
+type t = { algorithm : string; points : (float * float) list }
+
+let compute ~algorithms results =
+  let n_inst = Array.length results in
+  let n_alg = Array.length algorithms in
+  if n_inst = 0 then
+    Array.to_list (Array.map (fun a -> { algorithm = a; points = [] }) algorithms)
+  else begin
+    Array.iter
+      (fun row ->
+        if Array.length row <> n_alg then
+          invalid_arg "Profile.compute: ragged results";
+        Array.iter
+          (fun v -> if v <= 0 then invalid_arg "Profile.compute: non-positive value")
+          row)
+      results;
+    let best = Array.map (fun row -> Array.fold_left min max_int row) results in
+    List.init n_alg (fun a ->
+        let ratios =
+          Array.init n_inst (fun i ->
+              Float.of_int results.(i).(a) /. Float.of_int best.(i))
+        in
+        Array.sort compare ratios;
+        (* knots: after sorting, at ratio r_k the proportion is (k+1)/n *)
+        let points =
+          Array.to_list
+            (Array.mapi
+               (fun k r -> (r, Float.of_int (k + 1) /. Float.of_int n_inst))
+               ratios)
+        in
+        { algorithm = algorithms.(a); points })
+  end
+
+let proportion_at t tau =
+  List.fold_left (fun acc (r, p) -> if r <= tau then p else acc) 0.0 t.points
+
+let auc ?(tau_max = 2.0) t =
+  (* integrate the step function over [1, tau_max], normalized *)
+  if tau_max <= 1.0 then invalid_arg "Profile.auc: tau_max must exceed 1";
+  let knots =
+    (1.0, proportion_at t 1.0)
+    :: List.filter (fun (r, _) -> r > 1.0 && r < tau_max) t.points
+  in
+  let rec integrate acc = function
+    | [] -> acc
+    | [ (r, p) ] -> acc +. ((tau_max -. r) *. p)
+    | (r1, p1) :: ((r2, _) :: _ as rest) -> integrate (acc +. ((r2 -. r1) *. p1)) rest
+  in
+  integrate 0.0 knots /. (tau_max -. 1.0)
+
+let wins t = proportion_at t 1.0

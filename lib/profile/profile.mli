@@ -1,0 +1,28 @@
+(** Performance profiles (Dolan–Moré style), the visualization used
+    throughout Section VI: for each algorithm, the curve through
+    (tau, proportion) says the algorithm is within [tau] times the
+    best known value on [proportion] of the instances. *)
+
+type t = {
+  algorithm : string;
+  points : (float * float) list;
+      (** increasing tau, non-decreasing proportion; the curve is a
+          step function evaluated from these knots *)
+}
+
+(** [compute ~algorithms results] builds one profile per algorithm.
+    [results.(i).(a)] is the objective value of algorithm [a] on
+    instance [i] (lower is better). Instances where some value is
+    non-positive are rejected. *)
+val compute : algorithms:string array -> int array array -> t list
+
+(** [proportion_at profile tau] evaluates the step curve. *)
+val proportion_at : t -> float -> float
+
+(** Area-like summary: average proportion over tau in [1, tau_max]
+    (higher is better); a scalar ranking for tables. *)
+val auc : ?tau_max:float -> t -> float
+
+(** Fraction of instances on which the algorithm matches the best
+    known value (the profile value at tau = 1). *)
+val wins : t -> float

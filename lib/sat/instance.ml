@@ -1,0 +1,55 @@
+type clause = { j1 : int; j2 : int; j3 : int }
+type t = { n : int; clauses : clause list }
+
+let make n triples =
+  if n < 3 then invalid_arg "Nae3sat.Instance.make: need n >= 3";
+  let clause (a, b, c) =
+    if not (1 <= a && a < b && b < c && c <= n) then
+      invalid_arg "Nae3sat.Instance.make: clause must satisfy 1 <= j1 < j2 < j3 <= n";
+    { j1 = a; j2 = b; j3 = c }
+  in
+  { n; clauses = List.map clause triples }
+
+let clause_ok c assignment =
+  let a = assignment.(c.j1 - 1)
+  and b = assignment.(c.j2 - 1)
+  and d = assignment.(c.j3 - 1) in
+  not (a = b && b = d)
+
+let satisfies t assignment = List.for_all (fun c -> clause_ok c assignment) t.clauses
+
+let solve_brute t =
+  if t.n > 25 then invalid_arg "Nae3sat.Instance.solve_brute: n too large";
+  let rec try_mask mask =
+    if mask >= 1 lsl t.n then None
+    else begin
+      let assignment = Array.init t.n (fun i -> mask land (1 lsl i) <> 0) in
+      if satisfies t assignment then Some assignment else try_mask (mask + 1)
+    end
+  in
+  try_mask 0
+
+let is_satisfiable t = solve_brute t <> None
+
+let random ~seed ~n ~m =
+  let st = ref ((seed * 2654435761) + 40503) in
+  let next k =
+    let x = !st in
+    let x = x lxor (x lsr 12) in
+    let x = x lxor (x lsl 25) in
+    let x = x lxor (x lsr 27) in
+    st := x;
+    (x land max_int) mod k
+  in
+  let rec triple () =
+    let a = 1 + next n and b = 1 + next n and c = 1 + next n in
+    if a < b && b < c then (a, b, c) else triple ()
+  in
+  make n (List.init m (fun _ -> triple ()))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>NAE-3SAT n=%d m=%d" t.n (List.length t.clauses);
+  List.iter
+    (fun c -> Format.fprintf fmt "@,(%d, %d, %d)" c.j1 c.j2 c.j3)
+    t.clauses;
+  Format.fprintf fmt "@]"

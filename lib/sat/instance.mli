@@ -1,0 +1,32 @@
+(** Not-All-Equal 3-SAT instances (Section IV).
+
+    An instance has [n] boolean variables (numbered from 1, as in the
+    paper) and [m] clauses, each a triple of distinct variables with
+    [j1 < j2 < j3]. NAE-3SAT asks for an assignment under which every
+    clause has at least one true and at least one false variable. No
+    negations appear, and the complement of a solution is a solution. *)
+
+type clause = { j1 : int; j2 : int; j3 : int }
+type t = { n : int; clauses : clause list }
+
+(** [make n clauses] validates variable ranges and the ordering
+    [j1 < j2 < j3] inside each clause. *)
+val make : int -> (int * int * int) list -> t
+
+(** [clause_ok c assignment] — [assignment.(i)] is the value of
+    variable [i+1]; true iff the clause is not-all-equal. *)
+val clause_ok : clause -> bool array -> bool
+
+(** [satisfies t assignment] — all clauses not-all-equal. *)
+val satisfies : t -> bool array -> bool
+
+(** Exhaustive solver (2^n); intended for the small instances used to
+    validate the reduction. Returns a satisfying assignment if any. *)
+val solve_brute : t -> bool array option
+
+val is_satisfiable : t -> bool
+
+(** Deterministic random instance (for property tests). *)
+val random : seed:int -> n:int -> m:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,220 @@
+module Stencil = Ivc_grid.Stencil
+
+let k = 14
+
+(* All coordinates below are 1-based as in the paper; [set] translates
+   to the 0-based grid. B = 2n is the left edge of the terminal block. *)
+
+type builder = { x : int; y : int; z : int; w : int array }
+
+let set b (x, y, z) value =
+  if not (1 <= x && x <= b.x && 1 <= y && y <= b.y && 1 <= z && z <= b.z) then
+    failwith
+      (Printf.sprintf "Reduction: cell (%d,%d,%d) outside %dx%dx%d" x y z b.x
+         b.y b.z);
+  let id = ((((x - 1) * b.y) + (y - 1)) * b.z) + (z - 1) in
+  (match b.w.(id) with
+  | 0 -> ()
+  | old when old = value -> ()
+  | old ->
+      failwith
+        (Printf.sprintf "Reduction: cell (%d,%d,%d) set to %d and %d" x y z old
+          value));
+  b.w.(id) <- value
+
+(* Extension paths inside the terminal block, relative to B = 2n; each
+   keeps the three wires' total length parity equal (all odd here) and
+   is chord-free so the 7s stay a path. *)
+let ext1 bb = [ (bb + 2, 8); (bb + 3, 8); (bb + 4, 8); (bb + 5, 8); (bb + 6, 7) ]
+let ext2 bb = [ (bb + 2, 6); (bb + 3, 6); (bb + 4, 5); (bb + 5, 4); (bb + 6, 4) ]
+
+let ext3 bb =
+  [
+    (bb + 2, 3); (bb + 3, 3); (bb + 4, 2); (bb + 5, 2); (bb + 6, 2);
+    (bb + 7, 2); (bb + 8, 2); (bb + 9, 3); (bb + 9, 4);
+  ]
+
+let threes bb = [ (bb + 7, 6); (bb + 7, 5); (bb + 8, 5) ]
+let terminals bb = [ (bb + 6, 7); (bb + 6, 4); (bb + 9, 4) ]
+
+let fill_builder (sat : Instance.t) =
+  let n = sat.Instance.n in
+  let m = List.length sat.Instance.clauses in
+  if m = 0 then invalid_arg "Reduction.build: need at least one clause";
+  let bb = 2 * n in
+  let b = { x = (2 * n) + 10; y = 9; z = 2 * m; w = Array.make (((2 * n) + 10) * 9 * 2 * m) 0 } in
+  (* tubes *)
+  for i = 1 to n do
+    for z = 1 to 2 * m do
+      if z land 1 = 1 then set b ((2 * i) - 1, 2, z) 7
+      else set b ((2 * i) - 1, 1, z) 7
+    done
+  done;
+  (* clause layers *)
+  List.iteri
+    (fun j { Instance.j1; j2; j3 } ->
+      let z = (2 * j) + 1 in
+      let setl (x, y) v = set b (x, y, z) v in
+      (* wire 1: rows 2..7 of the tube column, then row 8 to the block *)
+      for y = 3 to 7 do
+        setl ((2 * j1) - 1, y) 7
+      done;
+      for x = 2 * j1 to bb + 1 do
+        setl (x, 8) 7
+      done;
+      (* wire 2: rows 2..5, then row 6 *)
+      for y = 3 to 5 do
+        setl ((2 * j2) - 1, y) 7
+      done;
+      for x = 2 * j2 to bb + 1 do
+        setl (x, 6) 7
+      done;
+      (* wire 3: rows 2..3, then row 4 *)
+      setl ((2 * j3) - 1, 3) 7;
+      for x = 2 * j3 to bb + 1 do
+        setl (x, 4) 7
+      done;
+      (* terminal block: extensions and the triangle of 3s *)
+      List.iter (fun cell -> setl cell 7) (ext1 bb);
+      List.iter (fun cell -> setl cell 7) (ext2 bb);
+      List.iter (fun cell -> setl cell 7) (ext3 bb);
+      List.iter (fun cell -> setl cell 3) (threes bb))
+    sat.Instance.clauses;
+  b
+
+let build sat =
+  let b = fill_builder sat in
+  Stencil.make3 ~x:b.x ~y:b.y ~z:b.z b.w
+
+let tube_base_id inst i =
+  (* cell (2i-1, 2, 1), 0-based *)
+  Stencil.id3 inst (2 * (i - 1)) 1 0
+
+let assignment_of_coloring (sat : Instance.t) starts =
+  let inst = build sat in
+  Array.init sat.Instance.n (fun i0 -> starts.(tube_base_id inst (i0 + 1)) < 7)
+
+(* 2-color the subgraph of 7s by BFS from each variable's tube base. *)
+let seven_polarities inst (sat : Instance.t) assignment =
+  let n_cells = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let polarity = Array.make n_cells true in
+  let visited = Array.make n_cells false in
+  let q = Queue.create () in
+  for i = 1 to sat.Instance.n do
+    let base = tube_base_id inst i in
+    assert (w.(base) = 7);
+    visited.(base) <- true;
+    polarity.(base) <- assignment.(i - 1);
+    Queue.add base q
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Stencil.iter_neighbors inst v (fun u ->
+        if w.(u) = 7 && not visited.(u) then begin
+          visited.(u) <- true;
+          polarity.(u) <- not polarity.(v);
+          Queue.add u q
+        end)
+  done;
+  for v = 0 to n_cells - 1 do
+    if w.(v) = 7 && not visited.(v) then
+      failwith "Reduction: a 7 is not connected to any tube"
+  done;
+  polarity
+
+let coloring_of_assignment (sat : Instance.t) assignment =
+  if not (Instance.satisfies sat assignment) then
+    failwith "Reduction.coloring_of_assignment: assignment does not satisfy";
+  let inst = build sat in
+  let w = (inst : Stencil.t).w in
+  let n_cells = Stencil.n_vertices inst in
+  let polarity = seven_polarities inst sat assignment in
+  let starts = Array.make n_cells 0 in
+  for v = 0 to n_cells - 1 do
+    if w.(v) = 7 then starts.(v) <- (if polarity.(v) then 0 else 7)
+  done;
+  (* per clause, color the triangle of 3s from its terminals *)
+  let bb = 2 * sat.Instance.n in
+  List.iteri
+    (fun j _clause ->
+      let z = (2 * j) + 1 in
+      let id (x, y) = Stencil.id3 inst (x - 1) (y - 1) (z - 1) in
+      let term_pol = List.map (fun c -> polarity.(id c)) (terminals bb) in
+      let three_ids = List.map id (threes bb) in
+      match (term_pol, three_ids) with
+      | [ p1; p2; p3 ], [ t1; t2; t3 ] ->
+          (* the minority 3 goes opposite its terminal at the bottom,
+             the two majority 3s stack inside the other half *)
+          let pols = [ (p1, t1); (p2, t2); (p3, t3) ] in
+          let count_true = List.length (List.filter (fun (p, _) -> p) pols) in
+          (* NAE guarantees count_true is 1 or 2 *)
+          let minority_pol = count_true = 1 in
+          (* minority_pol: the polarity held by exactly one terminal *)
+          let min_cell =
+            List.find (fun (p, _) -> p = minority_pol) pols |> snd
+          in
+          let majors = List.filter (fun (_, c) -> c <> min_cell) pols in
+          (* terminal interval of the minority is [0,7) iff minority_pol;
+             its 3 must live in the other half *)
+          starts.(min_cell) <- (if minority_pol then 7 else 0);
+          (match majors with
+          | [ (_, c1); (_, c2) ] ->
+              (* majority terminals occupy the minority_pol=false half?
+                 majority polarity = not minority_pol; their terminals
+                 are [0,7) iff majority polarity; the 3s go to the
+                 opposite half, stacked *)
+              let base = if minority_pol then 0 else 7 in
+              starts.(c1) <- base;
+              starts.(c2) <- base + 3
+          | _ -> assert false)
+      | _ -> assert false)
+    sat.Instance.clauses;
+  starts
+
+let check_structure (sat : Instance.t) =
+  let inst = build sat in
+  let w = (inst : Stencil.t).w in
+  let n_cells = Stencil.n_vertices inst in
+  (* weights alphabet *)
+  Array.iter
+    (fun x ->
+      if x <> 0 && x <> 3 && x <> 7 then
+        failwith (Printf.sprintf "Reduction: weight %d not in {0,3,7}" x))
+    w;
+  (* the graph of 7s must be a forest with one tree per variable *)
+  let seven_edges = ref 0 and seven_nodes = ref 0 in
+  for v = 0 to n_cells - 1 do
+    if w.(v) = 7 then begin
+      incr seven_nodes;
+      Stencil.iter_neighbors inst v (fun u ->
+          if u > v && w.(u) = 7 then incr seven_edges)
+    end
+  done;
+  let components = sat.Instance.n in
+  if !seven_edges <> !seven_nodes - components then
+    failwith
+      (Printf.sprintf
+         "Reduction: 7-graph has %d edges for %d nodes and %d variables \
+          (not a forest of tubes)"
+         !seven_edges !seven_nodes components);
+  (* every 3 is adjacent to exactly one 7 and exactly two 3s *)
+  for v = 0 to n_cells - 1 do
+    if w.(v) = 3 then begin
+      let sevens = ref 0 and threes_adj = ref 0 in
+      Stencil.iter_neighbors inst v (fun u ->
+          if w.(u) = 7 then incr sevens
+          else if w.(u) = 3 then incr threes_adj);
+      if !sevens <> 1 then
+        failwith
+          (Printf.sprintf "Reduction: a 3 has %d adjacent 7s (want 1)" !sevens);
+      if !threes_adj <> 2 then
+        failwith
+          (Printf.sprintf "Reduction: a 3 has %d adjacent 3s (want 2)"
+             !threes_adj)
+    end
+  done;
+  (* polarity consistency: BFS 2-coloring must never revisit a 7 with
+     the opposite polarity (i.e. no odd cycle among the 7s) — implied
+     by the forest check above, but cheap to assert directly *)
+  ignore (seven_polarities inst sat (Array.make sat.Instance.n true))

@@ -1,0 +1,49 @@
+(** The polynomial reduction NAE-3SAT -> 3DS-IVC of Section IV.
+
+    From an instance with [n] variables and [m] clauses we build a
+    27-pt stencil of width [2n+10], height 9 and depth [2m], with
+    weights in {0, 3, 7}, such that the stencil is colorable with
+    [maxcolor = 14] iff the NAE-3SAT instance is positive.
+
+    Architecture (faithful to the paper; the explicit right-hand-side
+    weight matrix of the paper was unreadable in our source, so the
+    terminal block is an equivalent reconstruction — see DESIGN.md):
+
+    - a "tube" per variable [v_i]: a chain of 7s zig-zagging between
+      rows y=1 and y=2 of column x=2i-1 across all layers. Adjacent 7s
+      must alternate between intervals [0,7) and [7,14), so the 2-
+      coloring of the chain encodes the truth value ("polarity") of
+      the variable; the polarity of cell (2i-1, 2, 1) is the value of
+      [v_i];
+    - per clause (layer z = 2j+1), three "wires" of 7s leaving the
+      tubes of the clause's variables at rows 8, 6 and 4, extended into
+      the right-hand block so that all three chains have the same
+      length parity (so terminal polarity = variable value uniformly);
+    - a "triangle of 3s": three weight-3 cells, pairwise adjacent, each
+      adjacent to exactly one wire terminal. If all three terminals
+      share a polarity, the three 3s need 9 colors inside the 7
+      remaining ones — impossible; if the polarities are not all equal
+      the 3s fit, exactly the NAE condition. *)
+
+(** [build sat] constructs the 3DS-IVC instance (the decision threshold
+    is [k = 14]). *)
+val build : Instance.t -> Ivc_grid.Stencil.t
+
+(** The decision threshold of the reduction. *)
+val k : int
+
+(** [assignment_of_coloring sat starts] extracts the truth assignment
+    from a valid 14-coloring of [build sat]: variable [i] is true iff
+    cell (2i-1, 2, 1) is colored in [0, 7). *)
+val assignment_of_coloring : Instance.t -> int array -> bool array
+
+(** [coloring_of_assignment sat assignment] builds a valid 14-coloring
+    of the gadget from an NAE-satisfying assignment. Raises [Failure]
+    if the assignment does not satisfy the instance. *)
+val coloring_of_assignment : Instance.t -> bool array -> int array
+
+(** Structural self-checks used by the test-suite: weights alphabet,
+    grid dimensions, 7-chains are trees (so 2-colorable), every 3 is
+    adjacent to exactly one 7 and to the two other 3s of its triangle.
+    Raises [Failure] with a diagnostic on violation. *)
+val check_structure : Instance.t -> unit

@@ -1,0 +1,119 @@
+module Points = Spatial_data.Points
+module Stencil = Ivc_grid.Stencil
+
+type config = {
+  cloud : Points.cloud;
+  voxels : int * int * int;
+  boxes : int * int * int;
+  hs : float;
+  ht : float;
+}
+
+let make ~cloud ~voxels ~boxes ~hs ~ht =
+  let vx, vy, vz = voxels and bx, by, bz = boxes in
+  if vx < 1 || vy < 1 || vz < 1 then invalid_arg "Stkde.make: bad voxel dims";
+  if bx < 1 || by < 1 || bz < 1 then invalid_arg "Stkde.make: bad box dims";
+  if hs <= 0.0 || ht <= 0.0 then invalid_arg "Stkde.make: bad bandwidths";
+  let check size cells bw what =
+    if size /. Float.of_int cells < 2.0 *. bw then
+      invalid_arg
+        (Printf.sprintf
+           "Stkde.make: %s boxes are %.3f wide, need at least twice the \
+            bandwidth %.3f"
+           what
+           (size /. Float.of_int cells)
+           bw)
+  in
+  check (cloud.Points.x1 -. cloud.Points.x0) bx hs "x";
+  check (cloud.Points.y1 -. cloud.Points.y0) by hs "y";
+  check (cloud.Points.t1 -. cloud.Points.t0) bz ht "t";
+  { cloud; voxels; boxes; hs; ht }
+
+let box_of_point cfg (p : Points.point) =
+  let bx, by, bz = cfg.boxes in
+  let c = cfg.cloud in
+  let i = Spatial_data.Gridding.cell_of ~lo:c.Points.x0 ~hi:c.Points.x1 ~cells:bx p.Points.x in
+  let j = Spatial_data.Gridding.cell_of ~lo:c.Points.y0 ~hi:c.Points.y1 ~cells:by p.Points.y in
+  let k = Spatial_data.Gridding.cell_of ~lo:c.Points.t0 ~hi:c.Points.t1 ~cells:bz p.Points.t in
+  (i, j, k)
+
+let points_by_box cfg =
+  let bx, by, bz = cfg.boxes in
+  let buckets = Array.make (bx * by * bz) [] in
+  Array.iter
+    (fun p ->
+      let i, j, k = box_of_point cfg p in
+      let id = (((i * by) + j) * bz) + k in
+      buckets.(id) <- p :: buckets.(id))
+    cfg.cloud.Points.points;
+  Array.map Array.of_list buckets
+
+let coloring_instance cfg =
+  let bx, by, bz = cfg.boxes in
+  let buckets = points_by_box cfg in
+  Stencil.make3 ~x:bx ~y:by ~z:bz (Array.map Array.length buckets)
+
+(* Scatter the contribution of one point into the density field. *)
+let scatter cfg density (p : Points.point) =
+  let vx, vy, vz = cfg.voxels in
+  let c = cfg.cloud in
+  let wx = (c.Points.x1 -. c.Points.x0) /. Float.of_int vx in
+  let wy = (c.Points.y1 -. c.Points.y0) /. Float.of_int vy in
+  let wt = (c.Points.t1 -. c.Points.t0) /. Float.of_int vz in
+  let center lo width i = lo +. (width *. (Float.of_int i +. 0.5)) in
+  let lo_idx coord lo width bw =
+    max 0 (int_of_float ((coord -. bw -. lo) /. width))
+  in
+  let hi_idx coord lo width bw cells =
+    min (cells - 1) (int_of_float ((coord +. bw -. lo) /. width))
+  in
+  let i0 = lo_idx p.Points.x c.Points.x0 wx cfg.hs
+  and i1 = hi_idx p.Points.x c.Points.x0 wx cfg.hs vx in
+  let j0 = lo_idx p.Points.y c.Points.y0 wy cfg.hs
+  and j1 = hi_idx p.Points.y c.Points.y0 wy cfg.hs vy in
+  let k0 = lo_idx p.Points.t c.Points.t0 wt cfg.ht
+  and k1 = hi_idx p.Points.t c.Points.t0 wt cfg.ht vz in
+  for i = i0 to i1 do
+    for j = j0 to j1 do
+      for k = k0 to k1 do
+        let dx = center c.Points.x0 wx i -. p.Points.x in
+        let dy = center c.Points.y0 wy j -. p.Points.y in
+        let dt = center c.Points.t0 wt k -. p.Points.t in
+        let contrib = Kernel.stk ~hs:cfg.hs ~ht:cfg.ht ~dx ~dy ~dt in
+        if contrib > 0.0 then begin
+          let id = (((i * vy) + j) * vz) + k in
+          density.(id) <- density.(id) +. contrib
+        end
+      done
+    done
+  done
+
+let density_sequential cfg =
+  let vx, vy, vz = cfg.voxels in
+  let density = Array.make (vx * vy * vz) 0.0 in
+  Array.iter (fun p -> scatter cfg density p) cfg.cloud.Points.points;
+  density
+
+let task_cost buckets v = 1.0 +. Float.of_int (Array.length buckets.(v))
+
+let density_parallel cfg ~starts ~workers =
+  let vx, vy, vz = cfg.voxels in
+  let buckets = points_by_box cfg in
+  let inst = coloring_instance cfg in
+  let dag = Taskpar.Dag.of_coloring inst ~starts ~cost:(task_cost buckets) in
+  let density = Array.make (vx * vy * vz) 0.0 in
+  let work v = Array.iter (fun p -> scatter cfg density p) buckets.(v) in
+  let elapsed = Taskpar.Pool.run dag ~workers ~work in
+  (density, elapsed)
+
+let simulate cfg ~starts ~workers ~penalty =
+  let buckets = points_by_box cfg in
+  let inst = coloring_instance cfg in
+  let dag = Taskpar.Dag.of_coloring inst ~starts ~cost:(task_cost buckets) in
+  Taskpar.Sim.run ~bandwidth_penalty:penalty dag ~workers
+
+let max_diff a b =
+  if Array.length a <> Array.length b then invalid_arg "Stkde.max_diff";
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m

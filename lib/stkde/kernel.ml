@@ -1,0 +1,6 @@
+let epanechnikov u = if Float.abs u > 1.0 then 0.0 else 0.75 *. (1.0 -. (u *. u))
+
+let stk ~hs ~ht ~dx ~dy ~dt =
+  if hs <= 0.0 || ht <= 0.0 then invalid_arg "Kernel.stk: bandwidths must be positive";
+  epanechnikov (dx /. hs) *. epanechnikov (dy /. hs) *. epanechnikov (dt /. ht)
+  /. (hs *. hs *. ht)

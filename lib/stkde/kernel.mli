@@ -1,0 +1,11 @@
+(** Kernel functions for Space-Time Kernel Density Estimation
+    (Saule et al., ICPP 2017 — reference [4] of the paper). *)
+
+(** Epanechnikov kernel [K(u) = 0.75 (1 - u^2)] for |u| <= 1, else 0. *)
+val epanechnikov : float -> float
+
+(** Separable space-time kernel contribution of an event at distance
+    (dx, dy) in space and dt in time, with spatial bandwidth [hs] and
+    temporal bandwidth [ht]:
+    [1/(hs^2 ht) K(dx/hs) K(dy/hs) K(dt/ht)]. *)
+val stk : hs:float -> ht:float -> dx:float -> dy:float -> dt:float -> float

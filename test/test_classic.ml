@@ -1,0 +1,69 @@
+module S = Ivc_grid.Stencil
+module Cl = Ivc.Classic
+
+let test_chromatic_numbers () =
+  Alcotest.(check int) "9-pt needs 4" 4
+    (Cl.chromatic_number (S.init2 ~x:5 ~y:7 (fun _ _ -> 1)));
+  Alcotest.(check int) "27-pt needs 8" 8
+    (Cl.chromatic_number (S.init3 ~x:3 ~y:3 ~z:2 (fun _ _ _ -> 1)));
+  Alcotest.(check int) "1-wide chain needs 2" 2
+    (Cl.chromatic_number (S.init2 ~x:1 ~y:9 (fun _ _ -> 1)))
+
+let test_tiling_is_optimal_2d () =
+  let inst = S.init2 ~x:6 ~y:5 (fun _ _ -> 1) in
+  let colors = Cl.tiling inst in
+  (* proper: adjacent cells differ *)
+  for v = 0 to S.n_vertices inst - 1 do
+    S.iter_neighbors inst v (fun u ->
+        Alcotest.(check bool) "proper" true (colors.(u) <> colors.(v)))
+  done;
+  let used = Array.fold_left max 0 colors + 1 in
+  Alcotest.(check int) "exactly 4 colors" 4 used
+
+let test_tiling_is_optimal_3d () =
+  let inst = S.init3 ~x:4 ~y:3 ~z:4 (fun _ _ _ -> 1) in
+  let colors = Cl.tiling inst in
+  for v = 0 to S.n_vertices inst - 1 do
+    S.iter_neighbors inst v (fun u ->
+        Alcotest.(check bool) "proper 3d" true (colors.(u) <> colors.(v)))
+  done;
+  Alcotest.(check int) "exactly 8 colors" 8 (Array.fold_left max 0 colors + 1)
+
+let test_greedy_within_delta_plus_one () =
+  let inst = S.init2 ~x:7 ~y:7 (fun _ _ -> 1) in
+  let _, k = Cl.greedy inst (S.row_major_order inst) in
+  Alcotest.(check bool) "Delta+1 guarantee" true (k <= Cl.max_degree_bound inst);
+  Alcotest.(check bool) "at least chromatic" true (k >= Cl.chromatic_number inst)
+
+let test_greedy_row_major_achieves_optimum () =
+  (* row-major greedy on a unit 9-pt stencil achieves the 4-color tiling *)
+  let inst = S.init2 ~x:8 ~y:8 (fun _ _ -> 1) in
+  let _, k = Cl.greedy inst (S.row_major_order inst) in
+  Alcotest.(check int) "4 colors" 4 k
+
+let test_unit_instance () =
+  let inst = Util.random_inst2 ~seed:81 ~x:4 ~y:4 ~bound:9 in
+  let unit = Cl.unit_instance inst in
+  Alcotest.(check int) "same size" (S.n_vertices inst) (S.n_vertices unit);
+  Alcotest.(check int) "unit total" 16 (S.total_weight unit)
+
+let prop_greedy_proper_any_order =
+  Util.qtest ~count:40 "classic greedy proper in weight order" Util.gen_inst2
+    (fun inst ->
+      let colors, k = Cl.greedy inst (Ivc.Order.largest_first inst) in
+      let ok = ref (k <= Cl.max_degree_bound inst) in
+      for v = 0 to S.n_vertices inst - 1 do
+        S.iter_neighbors inst v (fun u -> if colors.(u) = colors.(v) then ok := false)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "chromatic numbers" `Quick test_chromatic_numbers;
+    Alcotest.test_case "2D tiling optimal" `Quick test_tiling_is_optimal_2d;
+    Alcotest.test_case "3D tiling optimal" `Quick test_tiling_is_optimal_3d;
+    Alcotest.test_case "Delta+1 guarantee" `Quick test_greedy_within_delta_plus_one;
+    Alcotest.test_case "row-major hits 4 colors" `Quick test_greedy_row_major_achieves_optimum;
+    Alcotest.test_case "unit instance" `Quick test_unit_instance;
+    prop_greedy_proper_any_order;
+  ]

@@ -1,0 +1,75 @@
+module S = Ivc_grid.Stencil
+module C = Ivc.Coloring
+
+let inst22 = S.make2 ~x:2 ~y:2 [| 3; 2; 1; 4 |]
+
+let test_maxcolor () =
+  Alcotest.(check int) "valid stacked" 10 (C.maxcolor ~w:[| 3; 2; 1; 4 |] [| 0; 3; 5; 6 |]);
+  Alcotest.(check int) "ignores uncolored" 3 (C.maxcolor ~w:[| 3; 2 |] [| 0; -1 |]);
+  Alcotest.(check int) "empty" 0 (C.maxcolor ~w:[||] [||])
+
+let test_validity_2x2 () =
+  (* K4: sequential stacking is valid *)
+  Alcotest.(check bool) "stacked valid" true (C.is_valid inst22 [| 0; 3; 5; 6 |]);
+  (* overlap between vertices 0 and 1 *)
+  Alcotest.(check bool) "overlap invalid" false (C.is_valid inst22 [| 0; 2; 5; 6 |]);
+  (* uncolored vertex *)
+  Alcotest.(check bool) "uncolored invalid" false (C.is_valid inst22 [| 0; 3; -1; 6 |])
+
+let test_zero_weight_is_free () =
+  let inst = S.make2 ~x:2 ~y:2 [| 5; 0; 0; 5 |] in
+  (* both heavy vertices are diagonal (adjacent in 9-pt!) so they must
+     be disjoint, but the zero-weight ones can sit anywhere *)
+  Alcotest.(check bool) "zeros overlap everything" true
+    (C.is_valid inst [| 0; 0; 0; 5 |]);
+  Alcotest.(check bool) "heavy diagonal conflict" false
+    (C.is_valid inst [| 0; 0; 0; 4 |])
+
+let test_violations () =
+  let viols = C.violations inst22 [| 0; 2; 5; 6 |] in
+  Alcotest.(check (list (pair int int))) "one conflict" [ (0, 1) ] viols;
+  Alcotest.(check (list (pair int int))) "no conflicts" []
+    (C.violations inst22 [| 0; 3; 5; 6 |])
+
+let test_assert_valid () =
+  Alcotest.(check int) "returns maxcolor" 10 (C.assert_valid inst22 [| 0; 3; 5; 6 |]);
+  (match C.assert_valid inst22 [| 0; 2; 5; 6 |] with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions both vertices" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected failure")
+
+let test_interval_accessor () =
+  let iv = C.interval ~w:[| 3; 2 |] [| 4; 0 |] 0 in
+  Alcotest.(check int) "start" 4 iv.Ivc.Interval.start;
+  Alcotest.(check int) "len" 3 iv.Ivc.Interval.len;
+  Alcotest.check_raises "uncolored"
+    (Invalid_argument "Coloring.interval: uncolored vertex") (fun () ->
+      ignore (C.interval ~w:[| 3; 2 |] [| 4; -1 |] 1))
+
+let test_is_valid_graph () =
+  let g = Ivc_graph.Builders.path 3 in
+  let w = [| 2; 2; 2 |] in
+  Alcotest.(check bool) "alternating" true (C.is_valid_graph g ~w [| 0; 2; 0 |]);
+  Alcotest.(check bool) "clash" false (C.is_valid_graph g ~w [| 0; 1; 4 |])
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_grid () =
+  let out = Format.asprintf "%a" (C.pp_grid inst22) [| 0; 3; 5; 6 |] in
+  Alcotest.(check bool) "shows intervals" true (contains_sub out "[0,3)")
+
+let suite =
+  [
+    Alcotest.test_case "maxcolor" `Quick test_maxcolor;
+    Alcotest.test_case "validity on 2x2" `Quick test_validity_2x2;
+    Alcotest.test_case "zero weights conflict-free" `Quick test_zero_weight_is_free;
+    Alcotest.test_case "violations" `Quick test_violations;
+    Alcotest.test_case "assert_valid" `Quick test_assert_valid;
+    Alcotest.test_case "interval accessor" `Quick test_interval_accessor;
+    Alcotest.test_case "validity on graphs" `Quick test_is_valid_graph;
+    Alcotest.test_case "pp grid" `Quick test_pp_grid;
+  ]

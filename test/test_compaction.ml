@@ -1,0 +1,83 @@
+module S = Ivc_grid.Stencil
+module C = Ivc.Compaction
+
+(* a deliberately wasteful valid coloring: stack everything *)
+let stacked inst =
+  let starts, _ = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  starts
+
+let test_compact_improves_stacked () =
+  let inst = Util.random_inst2 ~seed:61 ~x:5 ~y:5 ~bound:9 in
+  let before = stacked inst in
+  let after = C.compact inst before in
+  Util.check_valid inst after;
+  Alcotest.(check bool) "maxcolor improves" true
+    (Util.maxcolor inst after <= Util.maxcolor inst before);
+  Alcotest.(check bool) "result is compact" true (C.is_compact inst after)
+
+let test_compact_pointwise () =
+  let inst = Util.random_inst2 ~seed:62 ~x:6 ~y:4 ~bound:9 in
+  let before = (Ivc.Bipartite_decomp.bd inst).Ivc.Bipartite_decomp.starts in
+  let after = C.compact inst before in
+  for v = 0 to S.n_vertices inst - 1 do
+    Alcotest.(check bool) "no start increases" true (after.(v) <= before.(v))
+  done
+
+let test_slide_fixpoint_agrees_on_maxcolor_bound () =
+  let inst = Util.random_inst2 ~seed:63 ~x:5 ~y:5 ~bound:9 in
+  let before = stacked inst in
+  let slid = C.slide_fixpoint inst before in
+  Util.check_valid inst slid;
+  Alcotest.(check bool) "fixpoint has no slack" true (C.is_compact inst slid);
+  Alcotest.(check int) "slack is zero" 0 (C.slack inst slid)
+
+let test_slack_measures_waste () =
+  let inst = S.make2 ~x:2 ~y:2 [| 2; 2; 2; 2 |] in
+  (* valid but wasteful: gaps of one color between the stacked intervals *)
+  let wasteful = [| 0; 3; 6; 9 |] in
+  Util.check_valid inst wasteful;
+  Alcotest.(check int) "three gaps of one" 3 (C.slack inst wasteful);
+  let tight = [| 0; 2; 4; 6 |] in
+  Alcotest.(check int) "tight has none" 0 (C.slack inst tight)
+
+let test_compact_idempotent () =
+  let inst = Util.random_inst2 ~seed:64 ~x:6 ~y:6 ~bound:12 in
+  let once = C.compact inst (stacked inst) in
+  let twice = C.compact inst once in
+  Alcotest.(check int) "maxcolor stable" (Util.maxcolor inst once)
+    (Util.maxcolor inst twice)
+
+let test_zero_weights_go_to_zero () =
+  let inst = S.make2 ~x:2 ~y:2 [| 0; 5; 0; 5 |] in
+  let slid = C.slide_fixpoint inst [| 7; 0; 9; 5 |] in
+  Alcotest.(check int) "zero vertex at 0" 0 slid.(0);
+  Alcotest.(check int) "other zero vertex at 0" 0 slid.(2)
+
+let prop_compact_valid_and_no_worse =
+  Util.qtest ~count:60 "compact is valid and never worse" Util.gen_inst2
+    (fun inst ->
+      (* start from the GLL coloring shifted up by 3 (still valid) *)
+      let base = Array.map (fun s -> s + 3) (Ivc.Heuristics.gll inst) in
+      let after = C.compact inst base in
+      Ivc.Coloring.is_valid inst after
+      && Util.maxcolor inst after <= Util.maxcolor inst base
+      && C.is_compact inst after)
+
+let prop_slide_equals_slack_zero =
+  Util.qtest ~count:40 "slide fixpoint has zero slack" Util.gen_inst2
+    (fun inst ->
+      let base = Array.map (fun s -> s + 2) (Ivc.Heuristics.glf inst) in
+      let slid = C.slide_fixpoint inst base in
+      Ivc.Coloring.is_valid inst slid && C.slack inst slid = 0)
+
+let suite =
+  [
+    Alcotest.test_case "compact improves stacked" `Quick test_compact_improves_stacked;
+    Alcotest.test_case "compact pointwise" `Quick test_compact_pointwise;
+    Alcotest.test_case "slide fixpoint" `Quick test_slide_fixpoint_agrees_on_maxcolor_bound;
+    Alcotest.test_case "slack measures waste" `Quick test_slack_measures_waste;
+    Alcotest.test_case "compact idempotent" `Quick test_compact_idempotent;
+    Alcotest.test_case "zero weights slide to zero" `Quick test_zero_weights_go_to_zero;
+    prop_compact_valid_and_no_worse;
+    prop_slide_equals_slack_zero;
+  ]

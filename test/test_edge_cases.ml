@@ -1,0 +1,131 @@
+(* Edge cases across modules that the mainline suites do not reach. *)
+
+module S = Ivc_grid.Stencil
+
+let test_milp_3d () =
+  let inst = Util.random_inst3 ~seed:131 ~x:2 ~y:2 ~z:2 ~bound:5 in
+  let text = Ivc_exact.Milp.to_string inst in
+  Alcotest.(check bool) "emits a model" true (String.length text > 100);
+  let cont, bin, cons = Ivc_exact.Milp.model_size inst in
+  Alcotest.(check bool) "consistent sizes" true
+    (cont >= 1 && bin >= 0 && cons >= cont - 1)
+
+let test_gadget_with_unused_variable () =
+  (* variable 4 appears in no clause: its tube still exists and the
+     equivalence still holds *)
+  let sat = Nae3sat.Instance.make 4 [ (1, 2, 3) ] in
+  Nae3sat.Reduction.check_structure sat;
+  let inst = Nae3sat.Reduction.build sat in
+  match Ivc_exact.Cp.decide inst ~k:14 with
+  | Ivc_exact.Cp.Colorable starts ->
+      let a = Nae3sat.Reduction.assignment_of_coloring sat starts in
+      Alcotest.(check bool) "assignment satisfies" true
+        (Nae3sat.Instance.satisfies sat a)
+  | _ -> Alcotest.fail "gadget with unused variable must stay colorable"
+
+let test_reduction_rejects_empty () =
+  let sat = Nae3sat.Instance.make 3 [] in
+  match Nae3sat.Reduction.build sat with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero clauses must be rejected (depth would be 0)"
+
+let test_pool_more_workers_than_tasks () =
+  let inst = S.make2 ~x:2 ~y:2 [| 1; 1; 1; 1 |] in
+  let starts = Ivc.Heuristics.gll inst in
+  let dag = Taskpar.Dag.of_coloring inst ~starts ~cost:(fun _ -> 1.0) in
+  let count = Atomic.make 0 in
+  let _ = Taskpar.Pool.run dag ~workers:8 ~work:(fun _ -> Atomic.incr count) in
+  Alcotest.(check int) "all four tasks ran" 4 (Atomic.get count)
+
+let test_sim_idle_accounting () =
+  let inst = S.make2 ~x:2 ~y:2 [| 2; 2; 2; 2 |] in
+  let starts, _ = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  let dag = Taskpar.Dag.of_coloring inst ~starts ~cost:(fun _ -> 2.0) in
+  let sch = Taskpar.Sim.run dag ~workers:2 in
+  (* serialized chain of 4 tasks of cost 2 on 2 workers: makespan 8,
+     busy 8, idle 8 *)
+  Alcotest.(check (float 1e-9)) "makespan" 8.0 sch.Taskpar.Sim.makespan;
+  Alcotest.(check (float 1e-9)) "idle" 8.0 sch.Taskpar.Sim.idle_time
+
+let test_greedy_scratch_growth () =
+  (* a 3D interior vertex has 26 neighbors: exercises buffer growth *)
+  let inst = Util.random_inst3 ~seed:132 ~x:3 ~y:3 ~z:3 ~bound:9 in
+  let st = Ivc.Greedy.create inst in
+  (* color all neighbors of the center first *)
+  S.iter_neighbors inst (S.id3 inst 1 1 1) (fun u ->
+      ignore (Ivc.Greedy.color_vertex st u));
+  let s = Ivc.Greedy.color_vertex st (S.id3 inst 1 1 1) in
+  Alcotest.(check bool) "center colored" true (s >= 0);
+  for v = 0 to S.n_vertices inst - 1 do
+    ignore (Ivc.Greedy.color_vertex st v)
+  done;
+  Util.check_valid inst (Ivc.Greedy.starts st)
+
+let test_auc_validation () =
+  let p = { Perfprof.Profile.algorithm = "x"; points = [ (1.0, 1.0) ] } in
+  Alcotest.check_raises "tau_max must exceed 1"
+    (Invalid_argument "Profile.auc: tau_max must exceed 1") (fun () ->
+      ignore (Perfprof.Profile.auc ~tau_max:1.0 p))
+
+let test_bd_adversarial_shows_bd_weakness () =
+  (* the generator built to stress BD: BD must stay within its 2x bound
+     but visibly above the best heuristic *)
+  let inst = Spatial_data.Generators.bd_adversarial ~amplitude:40 ~x:10 ~y:10 in
+  let r = Ivc.Bipartite_decomp.bd2 inst in
+  let bd_mc = Util.maxcolor inst r.Ivc.Bipartite_decomp.starts in
+  Alcotest.(check bool) "within the certificate" true
+    (bd_mc <= 2 * r.Ivc.Bipartite_decomp.part_colors);
+  let best =
+    List.fold_left (fun acc (_, _, mc) -> min acc mc) max_int (Ivc.Algo.run_all inst)
+  in
+  Alcotest.(check bool) "some algorithm at least matches BD" true (best <= bd_mc)
+
+let test_interval_max_weight_equals_k () =
+  (* decision at exactly the weight of the heaviest vertex *)
+  let inst = S.make2 ~x:2 ~y:2 [| 7; 0; 0; 0 |] in
+  (match Ivc_exact.Cp.decide inst ~k:7 with
+  | Ivc_exact.Cp.Colorable s -> Alcotest.(check int) "at zero" 0 s.(0)
+  | _ -> Alcotest.fail "must fit exactly");
+  match Ivc_exact.Cp.decide inst ~k:6 with
+  | Ivc_exact.Cp.Not_colorable -> ()
+  | _ -> Alcotest.fail "cannot fit"
+
+let test_order_bb_time_limit () =
+  (* a generous instance with a tiny time limit must still return sane
+     bounds *)
+  let inst = Util.random_inst2 ~seed:133 ~x:8 ~y:8 ~bound:50 in
+  match Ivc_exact.Order_bb.solve ~time_limit_s:0.01 ~node_budget:100_000_000 inst with
+  | Ivc_exact.Order_bb.Optimal (v, s) ->
+      Alcotest.(check int) "witness consistent" v (Util.maxcolor inst s)
+  | Ivc_exact.Order_bb.Bounds (lb, ub, s) ->
+      Alcotest.(check bool) "lb <= ub" true (lb <= ub);
+      Util.check_valid inst s
+
+let test_stencil_1xn_instances () =
+  (* the problem statement assumes dims > 1 but the API supports chains;
+     all algorithms must still work *)
+  let inst = S.make2 ~x:1 ~y:6 [| 3; 1; 4; 1; 5; 9 |] in
+  List.iter
+    (fun (name, starts, mc) ->
+      Alcotest.(check bool) (name ^ " valid on a chain") true
+        (Ivc.Coloring.is_valid inst starts);
+      (* a chain is bipartite: optimal = max adjacent pair = 14 *)
+      Alcotest.(check bool) (name ^ " at least 14") true (mc >= 14))
+    (Ivc.Algo.run_all inst);
+  let _, opt = Ivc.Special.color_chain (inst : S.t).w in
+  Alcotest.(check int) "chain optimum" 14 opt
+
+let suite =
+  [
+    Alcotest.test_case "milp on 3D" `Quick test_milp_3d;
+    Alcotest.test_case "gadget with unused variable" `Quick test_gadget_with_unused_variable;
+    Alcotest.test_case "reduction rejects empty" `Quick test_reduction_rejects_empty;
+    Alcotest.test_case "pool with spare workers" `Quick test_pool_more_workers_than_tasks;
+    Alcotest.test_case "sim idle accounting" `Quick test_sim_idle_accounting;
+    Alcotest.test_case "greedy scratch growth" `Quick test_greedy_scratch_growth;
+    Alcotest.test_case "auc validation" `Quick test_auc_validation;
+    Alcotest.test_case "bd adversarial generator" `Quick test_bd_adversarial_shows_bd_weakness;
+    Alcotest.test_case "decision at exact weight" `Quick test_interval_max_weight_equals_k;
+    Alcotest.test_case "order-bb time limit" `Quick test_order_bb_time_limit;
+    Alcotest.test_case "1xN chain instances" `Quick test_stencil_1xn_instances;
+  ]

@@ -1,0 +1,138 @@
+module S = Ivc_grid.Stencil
+module Cp = Ivc_exact.Cp
+module Obb = Ivc_exact.Order_bb
+module Opt = Ivc_exact.Optimize
+
+let test_cp_trivial () =
+  let single = S.make2 ~x:1 ~y:1 [| 5 |] in
+  (match Cp.decide single ~k:5 with
+  | Cp.Colorable s -> Alcotest.(check int) "start 0" 0 s.(0)
+  | _ -> Alcotest.fail "single vertex fits exactly");
+  (match Cp.decide single ~k:4 with
+  | Cp.Not_colorable -> ()
+  | _ -> Alcotest.fail "cannot fit 5 in 4");
+  let zeros = S.init2 ~x:3 ~y:3 (fun _ _ -> 0) in
+  match Cp.decide zeros ~k:0 with
+  | Cp.Colorable _ -> ()
+  | _ -> Alcotest.fail "all-zero instances need no colors"
+
+let test_cp_k4_block () =
+  let inst = S.make2 ~x:2 ~y:2 [| 3; 2; 1; 4 |] in
+  (match Cp.decide inst ~k:10 with
+  | Cp.Colorable s -> ignore (Ivc.Coloring.assert_valid inst s)
+  | _ -> Alcotest.fail "sum of weights suffices on a K4");
+  match Cp.decide inst ~k:9 with
+  | Cp.Not_colorable -> ()
+  | _ -> Alcotest.fail "a K4 needs the full sum"
+
+let test_cp_optimize_matches_clique () =
+  let inst = S.make2 ~x:2 ~y:2 [| 3; 2; 1; 4 |] in
+  match Cp.optimize inst with
+  | Some (opt, starts) ->
+      Alcotest.(check int) "K4 optimum" 10 opt;
+      ignore (Ivc.Coloring.assert_valid inst starts)
+  | None -> Alcotest.fail "budget"
+
+let test_lower_bounds_not_tight_fig3 () =
+  (* Section III-D phenomenon (Figure 3 in the paper): an instance whose
+     optimum strictly exceeds both the clique bound and the best
+     odd-cycle bound. The paper's exact weights were not recoverable
+     from the text, so this instance was found by exhaustive search
+     with the same certified property (see EXPERIMENTS.md):
+     clique = 18, odd-cycle = 18, optimum = 19. *)
+  let w = [| 0; 4; 0; 0; 3; 7; 7; 9; 7; 1; 0; 1; 5; 3; 8; 5 |] in
+  let inst = S.make2 ~x:4 ~y:4 w in
+  Alcotest.(check int) "clique bound" 18 (Ivc.Bounds.clique_lb inst);
+  Alcotest.(check int) "odd cycle bound" 18 (Ivc.Bounds.odd_cycle_lb ~max_len:11 inst);
+  match Cp.optimize inst with
+  | Some (opt, starts) ->
+      Alcotest.(check int) "optimum exceeds both" 19 opt;
+      ignore (Ivc.Coloring.assert_valid inst starts)
+  | None -> Alcotest.fail "budget"
+
+let test_order_bb_simple () =
+  let inst = Util.random_inst2 ~seed:31 ~x:3 ~y:3 ~bound:7 in
+  match (Obb.solve inst, Cp.optimize inst) with
+  | Obb.Optimal (v1, s1), Some (v2, _) ->
+      Alcotest.(check int) "engines agree" v2 v1;
+      ignore (Ivc.Coloring.assert_valid inst s1)
+  | Obb.Bounds _, _ -> Alcotest.fail "order bb should close a 3x3"
+  | _, None -> Alcotest.fail "cp budget"
+
+let test_order_bb_accessors () =
+  let o = Obb.Optimal (5, [| 0 |]) in
+  Alcotest.(check int) "lb" 5 (Obb.lower_bound_of o);
+  Alcotest.(check int) "ub" 5 (Obb.upper_bound_of o);
+  Alcotest.(check bool) "optimal" true (Obb.is_optimal o);
+  let b = Obb.Bounds (3, 7, [| 0 |]) in
+  Alcotest.(check int) "lb of bounds" 3 (Obb.lower_bound_of b);
+  Alcotest.(check int) "ub of bounds" 7 (Obb.upper_bound_of b);
+  Alcotest.(check bool) "not optimal" false (Obb.is_optimal b)
+
+let test_optimize_frontend () =
+  let inst = Util.random_inst2 ~seed:32 ~x:4 ~y:4 ~bound:9 in
+  let o = Opt.solve inst in
+  Alcotest.(check bool) "lb <= ub" true (o.Opt.lower_bound <= o.Opt.upper_bound);
+  Alcotest.(check bool) "witness valid" true (Ivc.Coloring.is_valid inst o.Opt.starts);
+  Alcotest.(check int) "witness consistent" o.Opt.upper_bound
+    (Util.maxcolor inst o.Opt.starts);
+  if o.Opt.proven_optimal then
+    Alcotest.(check int) "closed gap" o.Opt.lower_bound o.Opt.upper_bound
+
+let test_optimal_value () =
+  let inst = S.make2 ~x:2 ~y:2 [| 1; 1; 1; 1 |] in
+  Alcotest.(check (option int)) "unit K4" (Some 4) (Opt.optimal_value inst)
+
+let test_milp_model () =
+  let inst = S.make2 ~x:2 ~y:2 [| 3; 2; 1; 4 |] in
+  let text = Ivc_exact.Milp.to_string inst in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "minimizes maxcolor" true (contains "Minimize");
+  Alcotest.(check bool) "objective" true (contains "obj: maxcolor");
+  Alcotest.(check bool) "binaries" true (contains "Binary");
+  Alcotest.(check bool) "ends" true (contains "End");
+  let cont, bin, cons = Ivc_exact.Milp.model_size inst in
+  Alcotest.(check int) "start vars + maxcolor" 5 cont;
+  Alcotest.(check int) "one binary per edge (K4)" 6 bin;
+  Alcotest.(check int) "constraints" 16 cons
+
+let test_milp_skips_zero_weights () =
+  let inst = S.make2 ~x:2 ~y:2 [| 3; 0; 0; 4 |] in
+  let cont, bin, _ = Ivc_exact.Milp.model_size inst in
+  Alcotest.(check int) "two start vars + maxcolor" 3 cont;
+  Alcotest.(check int) "one conflicting pair" 1 bin
+
+(* agreement between the two exact engines on random instances *)
+let prop_engines_agree =
+  Util.qtest ~count:25 "CP and order-BB agree" Util.gen_inst2 (fun inst ->
+      match (Cp.optimize ~budget:2_000_000 inst, Obb.solve ~node_budget:400_000 inst) with
+      | Some (v1, _), Obb.Optimal (v2, _) -> v1 = v2
+      | _ -> QCheck2.assume_fail ())
+
+(* exact is never above any heuristic *)
+let prop_exact_below_heuristics =
+  Util.qtest ~count:30 "exact <= best heuristic" Util.gen_inst2 (fun inst ->
+      match Cp.optimize ~budget:2_000_000 inst with
+      | None -> QCheck2.assume_fail ()
+      | Some (opt, _) ->
+          List.for_all (fun (_, _, mc) -> opt <= mc) (Ivc.Algo.run_all inst))
+
+let suite =
+  [
+    Alcotest.test_case "cp trivial cases" `Quick test_cp_trivial;
+    Alcotest.test_case "cp K4 block" `Quick test_cp_k4_block;
+    Alcotest.test_case "cp optimize" `Quick test_cp_optimize_matches_clique;
+    Alcotest.test_case "lower bounds not tight (Fig 3)" `Quick test_lower_bounds_not_tight_fig3;
+    Alcotest.test_case "order-bb vs cp" `Quick test_order_bb_simple;
+    Alcotest.test_case "order-bb accessors" `Quick test_order_bb_accessors;
+    Alcotest.test_case "optimize front-end" `Quick test_optimize_frontend;
+    Alcotest.test_case "optimal_value" `Quick test_optimal_value;
+    Alcotest.test_case "milp model" `Quick test_milp_model;
+    Alcotest.test_case "milp skips zero weights" `Quick test_milp_skips_zero_weights;
+    prop_engines_agree;
+    prop_exact_below_heuristics;
+  ]

@@ -1,0 +1,86 @@
+module S = Ivc_grid.Stencil
+module G = Spatial_data.Generators
+
+let test_all_well_formed () =
+  List.iter
+    (fun (name, inst) ->
+      Alcotest.(check int) (name ^ " size") 144 (S.n_vertices inst);
+      Alcotest.(check bool) (name ^ " non-negative") true
+        (Array.for_all (fun w -> w >= 0) (inst : S.t).w))
+    (G.all_2d ~seed:1 ~x:12 ~y:12)
+
+let test_determinism () =
+  let a = G.uniform ~seed:5 ~bound:50 ~x:8 ~y:8 in
+  let b = G.uniform ~seed:5 ~bound:50 ~x:8 ~y:8 in
+  Alcotest.(check (array int)) "same seed" (a : S.t).w (b : S.t).w;
+  let c = G.uniform ~seed:6 ~bound:50 ~x:8 ~y:8 in
+  Alcotest.(check bool) "different seed" true ((a : S.t).w <> (c : S.t).w)
+
+let test_smooth_is_smooth () =
+  let inst = G.smooth ~seed:2 ~amplitude:100 ~x:16 ~y:16 in
+  (* neighboring cells never differ by a large fraction of the range *)
+  let max_jump = ref 0 in
+  for v = 0 to S.n_vertices inst - 1 do
+    S.iter_neighbors inst v (fun u ->
+        max_jump := max !max_jump (abs (S.weight inst u - S.weight inst v)))
+  done;
+  Alcotest.(check bool) "small local variation" true (!max_jump < 40)
+
+let test_sparse_sparsity () =
+  let inst = G.sparse ~seed:3 ~sparsity:0.7 ~bound:9 ~x:20 ~y:20 in
+  let s = Spatial_data.Gridding.sparsity inst in
+  Alcotest.(check bool) "about 70% zeros" true (s > 0.6 && s < 0.8)
+
+let test_bd_adversarial_structure () =
+  let inst = G.bd_adversarial ~amplitude:50 ~x:8 ~y:8 in
+  (* heavy cells only on even (i, j) parities *)
+  for v = 0 to S.n_vertices inst - 1 do
+    let i, j = S.coord2 inst v in
+    let w = S.weight inst v in
+    if i mod 2 = 0 && j mod 2 = 0 then
+      Alcotest.(check int) "heavy" 50 w
+    else Alcotest.(check int) "light" 1 w
+  done
+
+let test_zipf_has_heavy_tail () =
+  let inst = G.zipf ~seed:4 ~bound:500 ~x:24 ~y:24 in
+  let w = (inst : S.t).w in
+  let big = Array.fold_left max 0 w in
+  let med =
+    let copy = Array.copy w in
+    Array.sort compare copy;
+    copy.(Array.length copy / 2)
+  in
+  Alcotest.(check bool) "max dwarfs median" true (big > 10 * max 1 med)
+
+let test_3d_variants () =
+  let u = G.uniform3 ~seed:7 ~bound:9 ~x:3 ~y:4 ~z:5 in
+  Alcotest.(check int) "3d size" 60 (S.n_vertices u);
+  let s = G.sparse3 ~seed:8 ~sparsity:0.5 ~bound:9 ~x:4 ~y:4 ~z:4 in
+  Alcotest.(check bool) "3d sparse has zeros" true
+    (Spatial_data.Gridding.sparsity s > 0.2)
+
+let test_heuristics_on_generators () =
+  (* the whole point: every generator produces colorable instances *)
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun (aname, starts, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s valid" aname name)
+            true
+            (Ivc.Coloring.is_valid inst starts))
+        (Ivc.Algo.run_all inst))
+    (G.all_2d ~seed:9 ~x:10 ~y:10)
+
+let suite =
+  [
+    Alcotest.test_case "all well-formed" `Quick test_all_well_formed;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "smooth is smooth" `Quick test_smooth_is_smooth;
+    Alcotest.test_case "sparse sparsity" `Quick test_sparse_sparsity;
+    Alcotest.test_case "bd adversarial structure" `Quick test_bd_adversarial_structure;
+    Alcotest.test_case "zipf heavy tail" `Quick test_zipf_has_heavy_tail;
+    Alcotest.test_case "3d variants" `Quick test_3d_variants;
+    Alcotest.test_case "heuristics on generators" `Quick test_heuristics_on_generators;
+  ]

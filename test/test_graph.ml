@@ -1,0 +1,160 @@
+module Csr = Ivc_graph.Csr
+module B = Ivc_graph.Builders
+module T = Ivc_graph.Traversal
+module Cy = Ivc_graph.Cycles
+
+let test_of_edges_basics () =
+  let g = Csr.of_edges 4 [ (0, 1); (1, 2); (2, 0); (1, 2) ] in
+  Alcotest.(check int) "vertices" 4 (Csr.n_vertices g);
+  Alcotest.(check int) "edges deduplicated" 3 (Csr.n_edges g);
+  Alcotest.(check int) "degree 1" 2 (Csr.degree g 1);
+  Alcotest.(check int) "degree isolated" 0 (Csr.degree g 3);
+  Alcotest.(check int) "max degree" 2 (Csr.max_degree g);
+  Alcotest.(check bool) "mem_edge" true (Csr.mem_edge g 2 0);
+  Alcotest.(check bool) "mem_edge reverse" true (Csr.mem_edge g 0 2);
+  Alcotest.(check bool) "not mem_edge" false (Csr.mem_edge g 0 3)
+
+let test_of_edges_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Csr.of_edges: self-loop")
+    (fun () -> ignore (Csr.of_edges 2 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Csr.of_edges: vertex 5 out of [0,3)") (fun () ->
+      ignore (Csr.of_edges 3 [ (0, 5) ]))
+
+let test_neighbors_sorted () =
+  let g = Csr.of_edges 5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (Csr.neighbors g 2)
+
+let test_builders_counts () =
+  let checks =
+    [
+      ("path 5", B.path 5, 5, 4);
+      ("cycle 5", B.cycle 5, 5, 5);
+      ("clique 5", B.clique 5, 5, 10);
+      ("K_{2,3}", B.complete_bipartite 2 3, 5, 6);
+      ("star 4", B.star 4, 5, 4);
+      ("5-pt 3x4", B.five_pt 3 4, 12, 17);
+      ("9-pt 3x4", B.stencil2 3 4, 12, 29);
+      ("7-pt 2x2x2", B.seven_pt 2 2 2, 8, 12);
+      ("27-pt 2x2x2", B.stencil3 2 2 2, 8, 28);
+    ]
+  in
+  List.iter
+    (fun (name, g, n, m) ->
+      Alcotest.(check int) (name ^ " vertices") n (Csr.n_vertices g);
+      Alcotest.(check int) (name ^ " edges") m (Csr.n_edges g))
+    checks
+
+let test_stencil2_degrees () =
+  let g = B.stencil2 4 5 in
+  (* corner 3, edge 5, interior 8 *)
+  Alcotest.(check int) "corner" 3 (Csr.degree g 0);
+  Alcotest.(check int) "edge" 5 (Csr.degree g 1);
+  Alcotest.(check int) "interior" 8 (Csr.degree g 6)
+
+let test_stencil3_degrees () =
+  let g = B.stencil3 3 3 3 in
+  let id i j k = (((i * 3) + j) * 3) + k in
+  Alcotest.(check int) "corner" 7 (Csr.degree g (id 0 0 0));
+  Alcotest.(check int) "edge" 11 (Csr.degree g (id 0 0 1));
+  Alcotest.(check int) "face" 17 (Csr.degree g (id 0 1 1));
+  Alcotest.(check int) "center" 26 (Csr.degree g (id 1 1 1))
+
+let test_bfs () =
+  let g = B.path 5 in
+  Alcotest.(check (array int)) "distances" [| 2; 1; 0; 1; 2 |] (T.bfs g 2);
+  let g2 = Csr.of_edges 4 [ (0, 1) ] in
+  Alcotest.(check (array int)) "unreachable" [| 0; 1; -1; -1 |] (T.bfs g2 0)
+
+let test_components () =
+  let g = Csr.of_edges 6 [ (0, 1); (2, 3); (3, 4) ] in
+  let count, comp = T.components g in
+  Alcotest.(check int) "count" 3 count;
+  Alcotest.(check bool) "same comp" true (comp.(2) = comp.(4));
+  Alcotest.(check bool) "diff comp" true (comp.(0) <> comp.(2))
+
+let test_bipartition () =
+  Alcotest.(check bool) "path bipartite" true (T.is_bipartite (B.path 6));
+  Alcotest.(check bool) "even cycle bipartite" true (T.is_bipartite (B.cycle 6));
+  Alcotest.(check bool) "odd cycle not" false (T.is_bipartite (B.cycle 5));
+  Alcotest.(check bool) "5-pt bipartite" true (T.is_bipartite (B.five_pt 5 7));
+  Alcotest.(check bool) "7-pt bipartite" true (T.is_bipartite (B.seven_pt 3 4 2));
+  Alcotest.(check bool) "9-pt not bipartite" false (T.is_bipartite (B.stencil2 3 3));
+  Alcotest.(check bool) "27-pt not bipartite" false (T.is_bipartite (B.stencil3 2 2 2));
+  match T.bipartition (B.cycle 6) with
+  | None -> Alcotest.fail "expected a bipartition"
+  | Some side ->
+      Ivc_graph.Csr.iter_edges (B.cycle 6) (fun u v ->
+          Alcotest.(check bool) "proper" true (side.(u) <> side.(v)))
+
+let test_odd_cycle_extraction () =
+  List.iter
+    (fun g ->
+      match T.odd_cycle g with
+      | None -> Alcotest.fail "expected an odd cycle"
+      | Some c ->
+          Alcotest.(check bool) "odd length >= 3" true
+            (List.length c >= 3 && List.length c mod 2 = 1);
+          let arr = Array.of_list c in
+          let n = Array.length arr in
+          for i = 0 to n - 1 do
+            Alcotest.(check bool) "consecutive adjacency" true
+              (Csr.mem_edge g arr.(i) arr.((i + 1) mod n))
+          done)
+    [ B.cycle 5; B.cycle 9; B.stencil2 3 3; B.clique 4 ]
+
+let test_cycle_enumeration () =
+  (* triangle: exactly one cycle *)
+  Alcotest.(check int) "K3" 1 (Cy.count_cycles (B.clique 3) ~max_len:5);
+  (* K4: 4 triangles + 3 squares = 7 *)
+  Alcotest.(check int) "K4" 7 (Cy.count_cycles (B.clique 4) ~max_len:5);
+  (* C5: one cycle *)
+  Alcotest.(check int) "C5" 1 (Cy.count_cycles (B.cycle 5) ~max_len:5);
+  (* length cap respected *)
+  Alcotest.(check int) "C5 capped" 0 (Cy.count_cycles (B.cycle 5) ~max_len:4)
+
+let test_triangles () =
+  let count g =
+    let c = ref 0 in
+    Cy.triangles g (fun _ _ _ -> incr c);
+    !c
+  in
+  Alcotest.(check int) "K4 triangles" 4 (count (B.clique 4));
+  (* 2x2 9-pt block is a K4 *)
+  Alcotest.(check int) "2x2 stencil" 4 (count (B.stencil2 2 2));
+  Alcotest.(check int) "path has none" 0 (count (B.path 6))
+
+let test_odd_cycles_only () =
+  let lens = ref [] in
+  Cy.iter_odd_cycles (B.clique 4) ~max_len:6 (fun c ->
+      lens := Array.length c :: !lens);
+  Alcotest.(check (list int)) "only triangles" [ 3; 3; 3; 3 ]
+    (List.sort compare !lens)
+
+let test_induced () =
+  let g = B.stencil2 3 3 in
+  let sub, back = Csr.induced g (fun v -> v <> 4) in
+  (* dropping the center of a 3x3 stencil leaves the 8-ring *)
+  Alcotest.(check int) "vertices" 8 (Csr.n_vertices sub);
+  Alcotest.(check int) "edges" 12 (Csr.n_edges sub);
+  Alcotest.(check int) "mapping length" 8 (Array.length back);
+  Alcotest.(check bool) "center dropped" true
+    (Array.for_all (fun v -> v <> 4) back)
+
+let suite =
+  [
+    Alcotest.test_case "of_edges basics" `Quick test_of_edges_basics;
+    Alcotest.test_case "of_edges rejects" `Quick test_of_edges_rejects;
+    Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "builders sizes" `Quick test_builders_counts;
+    Alcotest.test_case "9-pt degrees" `Quick test_stencil2_degrees;
+    Alcotest.test_case "27-pt degrees" `Quick test_stencil3_degrees;
+    Alcotest.test_case "bfs" `Quick test_bfs;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "bipartition" `Quick test_bipartition;
+    Alcotest.test_case "odd cycle extraction" `Quick test_odd_cycle_extraction;
+    Alcotest.test_case "cycle enumeration" `Quick test_cycle_enumeration;
+    Alcotest.test_case "triangles" `Quick test_triangles;
+    Alcotest.test_case "odd cycles only" `Quick test_odd_cycles_only;
+    Alcotest.test_case "induced subgraph" `Quick test_induced;
+  ]

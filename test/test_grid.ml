@@ -1,0 +1,150 @@
+module S = Ivc_grid.Stencil
+module Z = Ivc_grid.Zorder
+
+let test_make_rejects () =
+  Alcotest.check_raises "weight length" (Invalid_argument "Stencil.make2: weight length")
+    (fun () -> ignore (S.make2 ~x:2 ~y:2 [| 1; 2; 3 |]));
+  Alcotest.check_raises "negative weight" (Invalid_argument "Stencil: negative weight")
+    (fun () -> ignore (S.make2 ~x:2 ~y:2 [| 1; 2; 3; -1 |]));
+  Alcotest.check_raises "bad dims" (Invalid_argument "Stencil.make3: dims must be >= 1")
+    (fun () -> ignore (S.make3 ~x:0 ~y:2 ~z:2 [||]))
+
+let test_indexing_roundtrip () =
+  let inst = S.init2 ~x:4 ~y:7 (fun i j -> i + j) in
+  for i = 0 to 3 do
+    for j = 0 to 6 do
+      let v = S.id2 inst i j in
+      Alcotest.(check (pair int int)) "roundtrip 2d" (i, j) (S.coord2 inst v);
+      Alcotest.(check int) "weight" (i + j) (S.weight inst v)
+    done
+  done;
+  let inst3 = S.init3 ~x:3 ~y:4 ~z:5 (fun i j k -> (i * 100) + (j * 10) + k) in
+  for i = 0 to 2 do
+    for j = 0 to 3 do
+      for k = 0 to 4 do
+        let v = S.id3 inst3 i j k in
+        let i', j', k' = S.coord3 inst3 v in
+        Alcotest.(check (list int)) "roundtrip 3d" [ i; j; k ] [ i'; j'; k' ];
+        Alcotest.(check int) "weight 3d" ((i * 100) + (j * 10) + k)
+          (S.weight inst3 v)
+      done
+    done
+  done
+
+let test_neighbors_match_graph () =
+  let check inst =
+    let g = S.to_graph inst in
+    for v = 0 to S.n_vertices inst - 1 do
+      let from_stencil = ref [] in
+      S.iter_neighbors inst v (fun u -> from_stencil := u :: !from_stencil);
+      let from_graph = Array.to_list (Ivc_graph.Csr.neighbors g v) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "neighbors of %d" v)
+        from_graph
+        (List.sort compare !from_stencil)
+    done
+  in
+  check (S.init2 ~x:4 ~y:3 (fun _ _ -> 1));
+  check (S.init3 ~x:3 ~y:2 ~z:4 (fun _ _ _ -> 1))
+
+let test_cliques () =
+  let inst = S.init2 ~x:3 ~y:4 (fun _ _ -> 1) in
+  let cs = S.cliques inst in
+  Alcotest.(check int) "K4 count" 6 (Array.length cs);
+  Array.iter
+    (fun c ->
+      Alcotest.(check int) "clique size" 4 (Array.length c);
+      (* all pairwise adjacent *)
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v ->
+              if u <> v then begin
+                let adj = ref false in
+                S.iter_neighbors inst u (fun x -> if x = v then adj := true);
+                Alcotest.(check bool) "pairwise adjacent" true !adj
+              end)
+            c)
+        c)
+    cs;
+  let inst3 = S.init3 ~x:3 ~y:3 ~z:3 (fun _ _ _ -> 1) in
+  let cs3 = S.cliques inst3 in
+  Alcotest.(check int) "K8 count" 8 (Array.length cs3);
+  Array.iter (fun c -> Alcotest.(check int) "K8 size" 8 (Array.length c)) cs3
+
+let test_weight_sums () =
+  let inst = S.init2 ~x:2 ~y:2 (fun i j -> (2 * i) + j + 1) in
+  (* weights 1 2 3 4 *)
+  Alcotest.(check int) "total" 10 (S.total_weight inst);
+  Alcotest.(check int) "max" 4 (S.max_weight inst);
+  Alcotest.(check int) "sum of clique" 10 (S.weight_sum inst (S.cliques inst).(0))
+
+let test_checkerboard_proper_on_relaxed () =
+  List.iter
+    (fun inst ->
+      let g = S.relaxed_graph inst in
+      Ivc_graph.Csr.iter_edges g (fun u v ->
+          Alcotest.(check bool) "proper 2-coloring" true
+            (S.checkerboard inst u <> S.checkerboard inst v)))
+    [ S.init2 ~x:5 ~y:4 (fun _ _ -> 1); S.init3 ~x:3 ~y:3 ~z:2 (fun _ _ _ -> 1) ]
+
+let is_permutation n a =
+  let seen = Array.make n false in
+  Array.iter (fun v -> if v >= 0 && v < n then seen.(v) <- true) a;
+  Array.length a = n && Array.for_all Fun.id seen
+
+let test_orders_are_permutations () =
+  List.iter
+    (fun inst ->
+      let n = S.n_vertices inst in
+      Alcotest.(check bool) "row major" true (is_permutation n (S.row_major_order inst));
+      Alcotest.(check bool) "zorder" true (is_permutation n (S.zorder inst)))
+    [
+      S.init2 ~x:5 ~y:7 (fun _ _ -> 0);
+      S.init2 ~x:8 ~y:8 (fun _ _ -> 0);
+      S.init3 ~x:3 ~y:5 ~z:2 (fun _ _ _ -> 0);
+    ]
+
+let test_zorder_keys () =
+  (* interleaving: key2 grows along the Z curve *)
+  Alcotest.(check int) "key2 0 0" 0 (Z.key2 0 0);
+  Alcotest.(check int) "key2 1 0" 1 (Z.key2 1 0);
+  Alcotest.(check int) "key2 0 1" 2 (Z.key2 0 1);
+  Alcotest.(check int) "key2 1 1" 3 (Z.key2 1 1);
+  Alcotest.(check int) "key2 2 0" 4 (Z.key2 2 0);
+  Alcotest.(check int) "key3 1 1 1" 7 (Z.key3 1 1 1);
+  Alcotest.(check int) "key3 2 0 0" 8 (Z.key3 2 0 0);
+  (* 2x2 z-order on a square grid visits the block before moving on *)
+  let order = Z.order2 4 4 in
+  let first_four = Array.sub order 0 4 |> Array.to_list |> List.sort compare in
+  (* ids of the 2x2 top-left block with y=4: (0,0)=0 (1,0)=4 (0,1)=1 (1,1)=5 *)
+  Alcotest.(check (list int)) "first Z block" [ 0; 1; 4; 5 ] first_four
+
+let test_describe () =
+  Alcotest.(check string) "describe 2d" "2D 2x3 (n=6, W=6)"
+    (S.describe (S.init2 ~x:2 ~y:3 (fun _ _ -> 1)));
+  Alcotest.(check string) "describe 3d" "3D 2x2x2 (n=8, W=0)"
+    (S.describe (S.init3 ~x:2 ~y:2 ~z:2 (fun _ _ _ -> 0)))
+
+let test_degrees () =
+  let inst = S.init2 ~x:3 ~y:3 (fun _ _ -> 1) in
+  Alcotest.(check int) "corner" 3 (S.degree inst (S.id2 inst 0 0));
+  Alcotest.(check int) "center" 8 (S.degree inst (S.id2 inst 1 1));
+  Alcotest.(check int) "stencil degree 2d" 8 (S.stencil_degree inst);
+  let inst3 = S.init3 ~x:2 ~y:2 ~z:2 (fun _ _ _ -> 1) in
+  Alcotest.(check int) "stencil degree 3d" 26 (S.stencil_degree inst3);
+  Alcotest.(check int) "K8 corner degree" 7 (S.degree inst3 0)
+
+let suite =
+  [
+    Alcotest.test_case "make rejects" `Quick test_make_rejects;
+    Alcotest.test_case "indexing roundtrip" `Quick test_indexing_roundtrip;
+    Alcotest.test_case "neighbors match graph" `Quick test_neighbors_match_graph;
+    Alcotest.test_case "block cliques" `Quick test_cliques;
+    Alcotest.test_case "weight sums" `Quick test_weight_sums;
+    Alcotest.test_case "checkerboard is proper" `Quick test_checkerboard_proper_on_relaxed;
+    Alcotest.test_case "orders are permutations" `Quick test_orders_are_permutations;
+    Alcotest.test_case "zorder keys" `Quick test_zorder_keys;
+    Alcotest.test_case "describe" `Quick test_describe;
+    Alcotest.test_case "degrees" `Quick test_degrees;
+  ]

@@ -1,0 +1,41 @@
+module H = Ivc_exact.Hardness
+
+let test_finds_known_gap_seed () =
+  (* seed 199 at the default parameters is the certified Figure-3-like
+     instance used throughout the repo *)
+  match H.search ~seeds:[ 199 ] () with
+  | [ g ] ->
+      Alcotest.(check int) "clique" 18 g.H.clique_lb;
+      Alcotest.(check int) "odd cycle" 18 g.H.odd_cycle_lb;
+      Alcotest.(check int) "optimum" 19 g.H.optimum;
+      Alcotest.(check bool) "relative gap positive" true (H.relative_gap g > 0.0);
+      Alcotest.(check bool) "describe mentions seed" true
+        (String.length (H.describe g) > 10)
+  | l ->
+      Alcotest.failf "expected exactly the known gap instance, got %d"
+        (List.length l)
+
+let test_most_seeds_have_no_gap () =
+  (* the paper: gaps are rare (4.33% of 2D instances) *)
+  let found = H.search ~seeds:(List.init 40 Fun.id) () in
+  Alcotest.(check bool) "gaps are rare" true (List.length found <= 4)
+
+let test_gap_instances_are_certified () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "optimum above clique" true (g.H.optimum > g.H.clique_lb);
+      Alcotest.(check bool) "optimum above odd cycle" true
+        (g.H.optimum > g.H.odd_cycle_lb);
+      (* re-verify with the independent order-space engine *)
+      match Ivc_exact.Order_bb.solve ~node_budget:500_000 g.H.inst with
+      | Ivc_exact.Order_bb.Optimal (v, _) ->
+          Alcotest.(check int) "engines agree on the optimum" g.H.optimum v
+      | Ivc_exact.Order_bb.Bounds _ -> ())
+    (H.search ~seeds:[ 199 ] ())
+
+let suite =
+  [
+    Alcotest.test_case "finds the known gap instance" `Quick test_finds_known_gap_seed;
+    Alcotest.test_case "gaps are rare" `Quick test_most_seeds_have_no_gap;
+    Alcotest.test_case "gap instances certified" `Quick test_gap_instances_are_certified;
+  ]

@@ -1,0 +1,121 @@
+module S = Ivc_grid.Stencil
+module H = Ivc.Heuristics
+
+let all_heuristics =
+  [
+    ("GLL", H.gll); ("GZO", H.gzo); ("GLF", H.glf); ("GKF", H.gkf); ("SGK", H.sgk);
+  ]
+
+let test_all_valid_fixed_2d () =
+  let inst = Util.random_inst2 ~seed:1 ~x:7 ~y:6 ~bound:25 in
+  List.iter
+    (fun (name, h) ->
+      let starts = h inst in
+      Alcotest.(check bool) (name ^ " valid") true (Ivc.Coloring.is_valid inst starts);
+      Alcotest.(check bool)
+        (name ^ " at least the clique bound")
+        true
+        (Util.maxcolor inst starts >= Ivc.Bounds.clique_lb inst))
+    all_heuristics
+
+let test_all_valid_fixed_3d () =
+  let inst = Util.random_inst3 ~seed:2 ~x:4 ~y:3 ~z:4 ~bound:12 in
+  List.iter
+    (fun (name, h) ->
+      let starts = h inst in
+      Alcotest.(check bool) (name ^ " valid 3d") true (Ivc.Coloring.is_valid inst starts))
+    all_heuristics
+
+let test_largest_first_order () =
+  let inst = S.make2 ~x:2 ~y:2 [| 1; 9; 3; 9 |] in
+  Alcotest.(check (array int)) "sorted by weight, ties by id" [| 1; 3; 2; 0 |]
+    (H.largest_first_order inst)
+
+let test_clique_order () =
+  let inst = S.make2 ~x:2 ~y:3 [| 1; 1; 9; 1; 1; 9 |] in
+  let cliques = H.clique_order inst in
+  Alcotest.(check int) "two blocks" 2 (Array.length cliques);
+  Alcotest.(check int) "heaviest first" 20 (S.weight_sum inst cliques.(0));
+  Alcotest.(check int) "lighter second" 4 (S.weight_sum inst cliques.(1))
+
+let test_determinism () =
+  let inst = Util.random_inst2 ~seed:9 ~x:6 ~y:6 ~bound:20 in
+  List.iter
+    (fun (name, h) ->
+      Alcotest.(check (array int)) (name ^ " deterministic") (h inst) (h inst))
+    all_heuristics
+
+let test_gll_unit_weights () =
+  (* unit weights: interval coloring = classic coloring; a 9-pt stencil
+     is 4-colorable by the 2x2 tiling and greedy row-major achieves it *)
+  let inst = S.init2 ~x:6 ~y:6 (fun _ _ -> 1) in
+  Alcotest.(check int) "4 colors" 4 (Util.maxcolor inst (H.gll inst))
+
+let test_sgk_beats_or_ties_gkf_on_k4 () =
+  (* inside a single K4, trying permutations cannot be worse *)
+  let inst = S.make2 ~x:2 ~y:2 [| 7; 3; 5; 2 |] in
+  let gkf = Util.maxcolor inst (H.gkf inst) in
+  let sgk = Util.maxcolor inst (H.sgk inst) in
+  Alcotest.(check bool) "sgk <= gkf on one clique" true (sgk <= gkf);
+  (* a single K4 is a clique: both must hit the exact sum *)
+  Alcotest.(check int) "optimal" 17 sgk
+
+let test_zero_weight_instances () =
+  let inst = S.init2 ~x:4 ~y:4 (fun _ _ -> 0) in
+  List.iter
+    (fun (name, h) ->
+      let starts = h inst in
+      Alcotest.(check int) (name ^ " zero colors") 0 (Util.maxcolor inst starts))
+    all_heuristics
+
+let prop_all_valid_2d =
+  Util.qtest ~count:60 "heuristics valid on random 2D" Util.gen_inst2 (fun inst ->
+      List.for_all
+        (fun (_, h) -> Ivc.Coloring.is_valid inst (h inst))
+        all_heuristics)
+
+let prop_all_valid_3d =
+  Util.qtest ~count:30 "heuristics valid on random 3D" Util.gen_inst3 (fun inst ->
+      List.for_all
+        (fun (_, h) -> Ivc.Coloring.is_valid inst (h inst))
+        all_heuristics)
+
+let prop_above_lower_bound =
+  Util.qtest ~count:60 "heuristics above the clique bound" Util.gen_inst2
+    (fun inst ->
+      let lb = Ivc.Bounds.clique_lb inst in
+      List.for_all (fun (_, h) -> Util.maxcolor inst (h inst) >= lb) all_heuristics)
+
+let test_algo_registry () =
+  Alcotest.(check (list string)) "names"
+    [ "GLL"; "GZO"; "GLF"; "GKF"; "SGK"; "BD"; "BDP" ]
+    Ivc.Algo.names;
+  Alcotest.(check bool) "find is case-insensitive" true
+    (match Ivc.Algo.find "bdp" with Some a -> a.Ivc.Algo.name = "BDP" | None -> false);
+  Alcotest.(check bool) "find unknown" true (Ivc.Algo.find "nope" = None);
+  let inst = Util.random_inst2 ~seed:21 ~x:4 ~y:4 ~bound:9 in
+  let results = Ivc.Algo.run_all inst in
+  Alcotest.(check int) "runs all" 7 (List.length results);
+  List.iter
+    (fun (name, starts, mc) ->
+      Alcotest.(check bool) (name ^ " valid via registry") true
+        (Ivc.Coloring.is_valid inst starts);
+      Alcotest.(check int) (name ^ " maxcolor consistent") mc
+        (Util.maxcolor inst starts))
+    results
+
+let suite =
+  [
+    Alcotest.test_case "all valid on fixed 2D" `Quick test_all_valid_fixed_2d;
+    Alcotest.test_case "all valid on fixed 3D" `Quick test_all_valid_fixed_3d;
+    Alcotest.test_case "largest-first order" `Quick test_largest_first_order;
+    Alcotest.test_case "clique order" `Quick test_clique_order;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "unit weights need 4 colors" `Quick test_gll_unit_weights;
+    Alcotest.test_case "SGK on a single K4" `Quick test_sgk_beats_or_ties_gkf_on_k4;
+    Alcotest.test_case "all-zero instances" `Quick test_zero_weight_instances;
+    Alcotest.test_case "registry" `Quick test_algo_registry;
+    prop_all_valid_2d;
+    prop_all_valid_3d;
+    prop_above_lower_bound;
+  ]

@@ -1,0 +1,75 @@
+module I = Ivc.Interval
+
+let mk s l = I.make ~start:s ~len:l
+
+let test_make_and_accessors () =
+  let t = mk 3 4 in
+  Alcotest.(check int) "start" 3 t.I.start;
+  Alcotest.(check int) "len" 4 t.I.len;
+  Alcotest.(check int) "finish" 7 (I.finish t);
+  Alcotest.(check bool) "not empty" false (I.is_empty t);
+  Alcotest.(check bool) "empty" true (I.is_empty (mk 5 0))
+
+let test_make_rejects () =
+  Alcotest.check_raises "negative start" (Invalid_argument "Interval.make: negative start")
+    (fun () -> ignore (mk (-1) 2));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Interval.make: negative length") (fun () -> ignore (mk 0 (-2)))
+
+let test_disjoint () =
+  Alcotest.(check bool) "abutting are disjoint" true (I.disjoint (mk 0 3) (mk 3 2));
+  Alcotest.(check bool) "overlap" false (I.disjoint (mk 0 3) (mk 2 2));
+  Alcotest.(check bool) "nested" false (I.disjoint (mk 0 10) (mk 3 2));
+  Alcotest.(check bool) "identical" false (I.disjoint (mk 4 2) (mk 4 2));
+  Alcotest.(check bool) "empty vs anything" true (I.disjoint (mk 2 0) (mk 0 10));
+  Alcotest.(check bool) "anything vs empty" true (I.disjoint (mk 0 10) (mk 2 0))
+
+let test_contains () =
+  let t = mk 2 3 in
+  Alcotest.(check bool) "below" false (I.contains t 1);
+  Alcotest.(check bool) "low end" true (I.contains t 2);
+  Alcotest.(check bool) "inside" true (I.contains t 4);
+  Alcotest.(check bool) "high end excluded" false (I.contains t 5)
+
+let test_compare_and_print () =
+  Alcotest.(check bool) "order by start" true (I.compare_start (mk 1 5) (mk 2 1) < 0);
+  Alcotest.(check bool) "tie by len" true (I.compare_start (mk 1 2) (mk 1 5) < 0);
+  Alcotest.(check string) "to_string" "[2,5)" (I.to_string (mk 2 3));
+  Alcotest.(check string) "pp" "[0,0)" (Format.asprintf "%a" I.pp (mk 0 0))
+
+let gen_interval =
+  QCheck2.Gen.(
+    let* s = int_range 0 30 in
+    let* l = int_range 0 10 in
+    pure (s, l))
+
+let prop_disjoint_symmetric =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"disjoint is symmetric" ~count:500
+       QCheck2.Gen.(pair gen_interval gen_interval)
+       (fun ((s1, l1), (s2, l2)) ->
+         let a = mk s1 l1 and b = mk s2 l2 in
+         I.disjoint a b = I.disjoint b a))
+
+let prop_disjoint_means_no_common_color =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"disjoint iff no shared color" ~count:500
+       QCheck2.Gen.(pair gen_interval gen_interval)
+       (fun ((s1, l1), (s2, l2)) ->
+         let a = mk s1 l1 and b = mk s2 l2 in
+         let shared = ref false in
+         for c = 0 to 45 do
+           if I.contains a c && I.contains b c then shared := true
+         done;
+         I.disjoint a b = not !shared))
+
+let suite =
+  [
+    Alcotest.test_case "make and accessors" `Quick test_make_and_accessors;
+    Alcotest.test_case "make rejects bad input" `Quick test_make_rejects;
+    Alcotest.test_case "disjoint" `Quick test_disjoint;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "compare and print" `Quick test_compare_and_print;
+    prop_disjoint_symmetric;
+    prop_disjoint_means_no_common_color;
+  ]

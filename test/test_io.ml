@@ -1,0 +1,86 @@
+module Io = Spatial_data.Io
+module P = Spatial_data.Points
+module S = Ivc_grid.Stencil
+
+let test_cloud_roundtrip () =
+  let cloud = Spatial_data.Datasets.dengue ~scale:0.02 () in
+  let csv = Io.cloud_to_csv cloud in
+  let back = Io.cloud_of_csv ~name:"roundtrip" csv in
+  Alcotest.(check int) "size preserved" (P.size cloud) (P.size back);
+  Alcotest.(check (float 1e-6)) "bbox x0" cloud.P.x0 back.P.x0;
+  Alcotest.(check (float 1e-6)) "bbox t1" cloud.P.t1 back.P.t1
+
+let test_cloud_csv_errors () =
+  (match Io.cloud_of_csv ~name:"t" "a,b\n1,2\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad header must fail");
+  (match Io.cloud_of_csv ~name:"t" "x,y,t\n1,zap,3\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad number must fail");
+  match Io.cloud_of_csv ~name:"t" "x,y,t\n1,2\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "missing field must fail"
+
+let test_cloud_csv_blank_lines () =
+  let c = Io.cloud_of_csv ~name:"t" "x,y,t\n1,2,3\n\n4,5,6\n\n" in
+  Alcotest.(check int) "two points" 2 (P.size c)
+
+let test_instance_roundtrip_2d () =
+  let inst = Util.random_inst2 ~seed:101 ~x:5 ~y:7 ~bound:99 in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  Alcotest.(check string) "describe equal" (S.describe inst) (S.describe back);
+  Alcotest.(check (array int)) "weights equal" (inst : S.t).w (back : S.t).w
+
+let test_instance_roundtrip_3d () =
+  let inst = Util.random_inst3 ~seed:102 ~x:3 ~y:4 ~z:5 ~bound:50 in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  Alcotest.(check (array int)) "weights equal" (inst : S.t).w (back : S.t).w
+
+let test_instance_errors () =
+  (match Io.instance_of_string "bogus 2 2\n1 1 1 1" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad magic must fail");
+  (match Io.instance_of_string "ivc2 2 2\n1 1 1" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "wrong count must fail");
+  match Io.instance_of_string "ivc2 2 2\n1 1 x 1" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bad token must fail"
+
+let test_coloring_roundtrip () =
+  let starts = [| 0; 5; 12; 3; 0 |] in
+  Alcotest.(check (array int)) "roundtrip" starts
+    (Io.coloring_of_string (Io.coloring_to_string starts))
+
+let test_file_helpers () =
+  let path = Filename.temp_file "ivc_io_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save path "hello\nworld";
+      Alcotest.(check string) "load after save" "hello\nworld" (Io.load path))
+
+let test_end_to_end_via_files () =
+  (* save an instance, load it, color it — the downstream-user path *)
+  let inst = Util.random_inst2 ~seed:103 ~x:6 ~y:6 ~bound:20 in
+  let path = Filename.temp_file "ivc_inst" ".ivc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save path (Io.instance_to_string inst);
+      let loaded = Io.instance_of_string (Io.load path) in
+      let starts = Ivc.Bipartite_decomp.bdp loaded in
+      Util.check_valid loaded starts)
+
+let suite =
+  [
+    Alcotest.test_case "cloud roundtrip" `Quick test_cloud_roundtrip;
+    Alcotest.test_case "cloud csv errors" `Quick test_cloud_csv_errors;
+    Alcotest.test_case "cloud csv blank lines" `Quick test_cloud_csv_blank_lines;
+    Alcotest.test_case "instance roundtrip 2D" `Quick test_instance_roundtrip_2d;
+    Alcotest.test_case "instance roundtrip 3D" `Quick test_instance_roundtrip_3d;
+    Alcotest.test_case "instance errors" `Quick test_instance_errors;
+    Alcotest.test_case "coloring roundtrip" `Quick test_coloring_roundtrip;
+    Alcotest.test_case "file helpers" `Quick test_file_helpers;
+    Alcotest.test_case "end-to-end via files" `Quick test_end_to_end_via_files;
+  ]

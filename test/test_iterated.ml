@@ -1,0 +1,74 @@
+module S = Ivc_grid.Stencil
+module It = Ivc.Iterated
+
+let passes_all = [ It.Reverse; It.Restart; It.Cliques; It.Decreasing_weight ]
+
+let test_single_pass_never_worse () =
+  let inst = Util.random_inst2 ~seed:71 ~x:7 ~y:6 ~bound:20 in
+  let base = Ivc.Heuristics.gll inst in
+  let base_mc = Util.maxcolor inst base in
+  List.iter
+    (fun pass ->
+      let after = It.apply inst base pass in
+      Util.check_valid inst after;
+      Alcotest.(check bool) "pass never increases maxcolor" true
+        (Util.maxcolor inst after <= base_mc))
+    passes_all
+
+let test_run_improves_bad_start () =
+  let inst = Util.random_inst2 ~seed:72 ~x:6 ~y:6 ~bound:15 in
+  (* stacked coloring = total weight; iterated greedy should crush it *)
+  let stacked, total = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  let improved = It.run inst stacked ~passes:[ It.Reverse; It.Restart ] in
+  Util.check_valid inst improved;
+  Alcotest.(check bool) "improves a stacked coloring" true
+    (Util.maxcolor inst improved < total)
+
+let test_best_effort_beats_or_ties_every_heuristic () =
+  let inst = Util.random_inst2 ~seed:73 ~x:8 ~y:8 ~bound:25 in
+  let igr = It.best_effort inst in
+  Util.check_valid inst igr;
+  let igr_mc = Util.maxcolor inst igr in
+  List.iter
+    (fun (name, _, mc) ->
+      Alcotest.(check bool) ("IGR <= " ^ name) true (igr_mc <= mc))
+    (Ivc.Algo.run_all inst)
+
+let test_run_respects_max_rounds () =
+  let inst = Util.random_inst2 ~seed:74 ~x:5 ~y:5 ~bound:9 in
+  let base = Ivc.Heuristics.gzo inst in
+  let r1 = It.run ~max_rounds:1 inst base ~passes:passes_all in
+  Util.check_valid inst r1
+
+let test_3d () =
+  let inst = Util.random_inst3 ~seed:75 ~x:3 ~y:4 ~z:3 ~bound:9 in
+  let base = Ivc.Heuristics.gkf inst in
+  let improved = It.run inst base ~passes:[ It.Cliques; It.Reverse ] in
+  Util.check_valid inst improved;
+  Alcotest.(check bool) "3D never worse" true
+    (Util.maxcolor inst improved <= Util.maxcolor inst base)
+
+let prop_iterated_never_worse =
+  Util.qtest ~count:50 "iterated greedy monotone" Util.gen_inst2 (fun inst ->
+      let base = Ivc.Heuristics.glf inst in
+      let out = It.run inst base ~passes:[ It.Reverse; It.Cliques; It.Restart ] in
+      Ivc.Coloring.is_valid inst out
+      && Util.maxcolor inst out <= Util.maxcolor inst base)
+
+let prop_iterated_above_lb =
+  Util.qtest ~count:40 "iterated greedy respects the LB" Util.gen_inst2
+    (fun inst ->
+      let out = It.best_effort ~max_rounds:3 inst in
+      Util.maxcolor inst out >= Ivc.Bounds.clique_lb inst)
+
+let suite =
+  [
+    Alcotest.test_case "single pass monotone" `Quick test_single_pass_never_worse;
+    Alcotest.test_case "improves stacked colorings" `Quick test_run_improves_bad_start;
+    Alcotest.test_case "best-effort dominates heuristics" `Quick
+      test_best_effort_beats_or_ties_every_heuristic;
+    Alcotest.test_case "max_rounds respected" `Quick test_run_respects_max_rounds;
+    Alcotest.test_case "3D passes" `Quick test_3d;
+    prop_iterated_never_worse;
+    prop_iterated_above_lb;
+  ]

@@ -1,0 +1,104 @@
+module S = Ivc_grid.Stencil
+module O = Ivc.Order
+
+let is_permutation n a =
+  let seen = Array.make n false in
+  Array.iter (fun v -> if v >= 0 && v < n then seen.(v) <- true) a;
+  Array.length a = n && Array.for_all Fun.id seen
+
+let instances =
+  [
+    ("2d 5x7", Util.random_inst2 ~seed:51 ~x:5 ~y:7 ~bound:9);
+    ("2d 8x8", Util.random_inst2 ~seed:52 ~x:8 ~y:8 ~bound:9);
+    ("3d 3x4x2", Util.random_inst3 ~seed:53 ~x:3 ~y:4 ~z:2 ~bound:9);
+  ]
+
+let test_all_are_permutations () =
+  List.iter
+    (fun (iname, inst) ->
+      let n = S.n_vertices inst in
+      List.iter
+        (fun (oname, order) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" oname iname)
+            true
+            (is_permutation n (order inst)))
+        O.all)
+    instances
+
+let test_hilbert_locality () =
+  (* on a power-of-two square grid, consecutive Hilbert cells are
+     always grid neighbors (Chebyshev distance 1) *)
+  let inst = S.init2 ~x:8 ~y:8 (fun _ _ -> 1) in
+  let order = O.hilbert inst in
+  for p = 0 to Array.length order - 2 do
+    let i1, j1 = S.coord2 inst order.(p) in
+    let i2, j2 = S.coord2 inst order.(p + 1) in
+    Alcotest.(check bool) "consecutive cells adjacent" true
+      (max (abs (i1 - i2)) (abs (j1 - j2)) = 1)
+  done
+
+let test_zorder_not_always_local () =
+  (* contrast: Z-order jumps; count non-adjacent consecutive pairs *)
+  let inst = S.init2 ~x:8 ~y:8 (fun _ _ -> 1) in
+  let order = O.zorder inst in
+  let jumps = ref 0 in
+  for p = 0 to Array.length order - 2 do
+    let i1, j1 = S.coord2 inst order.(p) in
+    let i2, j2 = S.coord2 inst order.(p + 1) in
+    if max (abs (i1 - i2)) (abs (j1 - j2)) > 1 then incr jumps
+  done;
+  Alcotest.(check bool) "zorder has jumps" true (!jumps > 0)
+
+let test_diagonal_monotone () =
+  let inst = S.init2 ~x:4 ~y:5 (fun _ _ -> 1) in
+  let order = O.diagonal inst in
+  let prev = ref (-1) in
+  Array.iter
+    (fun v ->
+      let i, j = S.coord2 inst v in
+      Alcotest.(check bool) "wavefront nondecreasing" true (i + j >= !prev);
+      prev := i + j)
+    order
+
+let test_smallest_last_greedy_valid () =
+  List.iter
+    (fun (iname, inst) ->
+      let starts = Ivc.Greedy.color_in_order inst (O.smallest_last inst) in
+      Alcotest.(check bool) (iname ^ " smallest-last valid") true
+        (Ivc.Coloring.is_valid inst starts))
+    instances
+
+let test_spiral_starts_at_origin () =
+  let inst = S.init2 ~x:3 ~y:4 (fun _ _ -> 1) in
+  let order = O.spiral inst in
+  Alcotest.(check int) "first cell is (0,0)" 0 order.(0);
+  (* spiral walks the top row first *)
+  Alcotest.(check int) "then (0,1)" 1 order.(1)
+
+let test_random_deterministic () =
+  let inst = Util.random_inst2 ~seed:54 ~x:6 ~y:6 ~bound:9 in
+  Alcotest.(check (array int)) "same seed same order"
+    (O.random ~seed:3 inst) (O.random ~seed:3 inst);
+  Alcotest.(check bool) "different seeds differ" true
+    (O.random ~seed:3 inst <> O.random ~seed:4 inst)
+
+let prop_all_orders_color_validly =
+  Util.qtest ~count:40 "every order yields a valid greedy coloring"
+    Util.gen_inst2 (fun inst ->
+      List.for_all
+        (fun (_, order) ->
+          Ivc.Coloring.is_valid inst (Ivc.Greedy.color_in_order inst (order inst)))
+        O.all)
+
+let suite =
+  [
+    Alcotest.test_case "all orders are permutations" `Quick test_all_are_permutations;
+    Alcotest.test_case "hilbert locality" `Quick test_hilbert_locality;
+    Alcotest.test_case "zorder jumps" `Quick test_zorder_not_always_local;
+    Alcotest.test_case "diagonal wavefront" `Quick test_diagonal_monotone;
+    Alcotest.test_case "smallest-last greedy valid" `Quick test_smallest_last_greedy_valid;
+    Alcotest.test_case "spiral shape" `Quick test_spiral_starts_at_origin;
+    Alcotest.test_case "random order determinism" `Quick test_random_deterministic;
+    prop_all_orders_color_validly;
+  ]

@@ -1,0 +1,118 @@
+module S = Ivc_grid.Stencil
+module Dag = Taskpar.Dag
+module Sim = Taskpar.Sim
+module Pool = Taskpar.Pool
+
+let unit_inst x y = S.init2 ~x ~y (fun _ _ -> 1)
+
+let dag_of inst =
+  let starts = Ivc.Heuristics.gll inst in
+  Dag.of_coloring inst ~starts ~cost:(fun v -> Float.of_int (S.weight inst v))
+
+let test_dag_structure () =
+  let inst = unit_inst 3 3 in
+  let dag = dag_of inst in
+  Alcotest.(check int) "tasks" 9 dag.Dag.n;
+  Alcotest.(check bool) "acyclic" true (Dag.is_acyclic dag);
+  (* every stencil edge is oriented exactly once *)
+  let m = ref 0 in
+  Array.iter (fun succ -> m := !m + Array.length succ) dag.Dag.succ;
+  Alcotest.(check int) "edges oriented once" 20 !m;
+  Alcotest.(check (float 1e-9)) "total work" 9.0 (Dag.total_work dag)
+
+let test_critical_path_chain () =
+  (* a 2x1 or chain-like: critical path of a clique DAG = total weight *)
+  let inst = S.make2 ~x:2 ~y:2 [| 3; 2; 1; 4 |] in
+  let starts, _ = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  let dag = Dag.of_coloring inst ~starts ~cost:(fun v -> Float.of_int (S.weight inst v)) in
+  Alcotest.(check (float 1e-9)) "K4 path is the sum" 10.0 (Dag.critical_path dag)
+
+let test_critical_path_parallel () =
+  (* two independent heavy vertices: critical path = max, not sum *)
+  let inst = S.make2 ~x:2 ~y:4 (* (i,j): far-apart columns *) [| 5; 0; 0; 7; 5; 0; 0; 7 |] in
+  let starts = Ivc.Heuristics.glf inst in
+  let dag = Dag.of_coloring inst ~starts ~cost:(fun v -> Float.of_int (S.weight inst v)) in
+  Alcotest.(check bool) "critical path below total" true
+    (Dag.critical_path dag < Dag.total_work dag)
+
+let test_sim_single_worker_serializes () =
+  let inst = unit_inst 3 3 in
+  let dag = dag_of inst in
+  let sch = Sim.run dag ~workers:1 in
+  Alcotest.(check (float 1e-9)) "makespan = total work" (Dag.total_work dag)
+    sch.Sim.makespan
+
+let test_sim_more_workers_never_slower () =
+  let inst = Util.random_inst2 ~seed:33 ~x:6 ~y:6 ~bound:9 in
+  let starts = Ivc.Bipartite_decomp.bdp inst in
+  let dag = Dag.of_coloring inst ~starts ~cost:(fun v -> Float.of_int (1 + S.weight inst v)) in
+  let m1 = (Sim.run dag ~workers:1).Sim.makespan in
+  let m2 = (Sim.run dag ~workers:2).Sim.makespan in
+  let m6 = (Sim.run dag ~workers:6).Sim.makespan in
+  Alcotest.(check bool) "2 workers help" true (m2 <= m1);
+  Alcotest.(check bool) "6 workers help more-or-equal" true (m6 <= m2);
+  Alcotest.(check bool) "critical path floors makespan" true
+    (m6 >= Dag.critical_path dag -. 1e-9)
+
+let test_sim_respects_dependencies () =
+  let inst = unit_inst 2 2 in
+  let starts, _ = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  let dag = Dag.of_coloring inst ~starts ~cost:(fun _ -> 1.0) in
+  let sch = Sim.run dag ~workers:4 in
+  (* K4: all tasks serialized regardless of 4 workers *)
+  Alcotest.(check (float 1e-9)) "K4 serializes" 4.0 sch.Sim.makespan;
+  Alcotest.(check bool) "idle time accounted" true (sch.Sim.idle_time > 0.0)
+
+let test_sim_bandwidth_penalty () =
+  let inst = unit_inst 4 4 in
+  let dag = dag_of inst in
+  let fast = (Sim.run dag ~workers:4).Sim.makespan in
+  let slow = (Sim.run ~bandwidth_penalty:0.5 dag ~workers:4).Sim.makespan in
+  Alcotest.(check bool) "penalty slows concurrency" true (slow >= fast)
+
+let test_pool_executes_all_once () =
+  let inst = unit_inst 4 4 in
+  let dag = dag_of inst in
+  let hits = Array.make dag.Dag.n 0 in
+  let _ = Pool.run dag ~workers:2 ~work:(fun v -> hits.(v) <- hits.(v) + 1) in
+  Alcotest.(check (array int)) "each task once" (Array.make dag.Dag.n 1) hits
+
+let test_pool_checked_no_conflicts () =
+  let inst = Util.random_inst2 ~seed:34 ~x:5 ~y:5 ~bound:5 in
+  let starts = Ivc.Heuristics.glf inst in
+  let dag = Dag.of_coloring inst ~starts ~cost:(fun _ -> 1.0) in
+  let conflicts u v =
+    let adj = ref false in
+    S.iter_neighbors inst u (fun x -> if x = v then adj := true);
+    !adj
+  in
+  let work _ =
+    (* a little spin so overlaps would be observable *)
+    let acc = ref 0 in
+    for i = 1 to 2_000 do
+      acc := !acc + i
+    done;
+    ignore !acc
+  in
+  let _, violations = Pool.run_checked dag ~workers:4 ~work ~conflicts in
+  Alcotest.(check int) "no conflicting overlap" 0 violations
+
+let test_pool_rejects_zero_workers () =
+  let dag = dag_of (unit_inst 2 2) in
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.run: need at least one worker") (fun () ->
+      ignore (Pool.run dag ~workers:0 ~work:ignore))
+
+let suite =
+  [
+    Alcotest.test_case "dag structure" `Quick test_dag_structure;
+    Alcotest.test_case "critical path on K4" `Quick test_critical_path_chain;
+    Alcotest.test_case "critical path parallelism" `Quick test_critical_path_parallel;
+    Alcotest.test_case "sim: one worker serializes" `Quick test_sim_single_worker_serializes;
+    Alcotest.test_case "sim: monotone in workers" `Quick test_sim_more_workers_never_slower;
+    Alcotest.test_case "sim: dependencies respected" `Quick test_sim_respects_dependencies;
+    Alcotest.test_case "sim: bandwidth penalty" `Quick test_sim_bandwidth_penalty;
+    Alcotest.test_case "pool: runs each task once" `Quick test_pool_executes_all_once;
+    Alcotest.test_case "pool: mutual exclusion holds" `Quick test_pool_checked_no_conflicts;
+    Alcotest.test_case "pool: validation" `Quick test_pool_rejects_zero_workers;
+  ]

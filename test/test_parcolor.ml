@@ -1,0 +1,59 @@
+module S = Ivc_grid.Stencil
+module P = Ivc_parcolor.Parallel_greedy
+
+let test_valid_small () =
+  let inst = Util.random_inst2 ~seed:91 ~x:8 ~y:8 ~bound:15 in
+  let starts, stats = P.color ~workers:3 inst in
+  Util.check_valid inst starts;
+  Alcotest.(check bool) "terminates in few rounds" true (stats.P.rounds <= 64);
+  Alcotest.(check bool) "at least the LB" true
+    (Util.maxcolor inst starts >= Ivc.Bounds.clique_lb inst)
+
+let test_valid_3d () =
+  let inst = Util.random_inst3 ~seed:92 ~x:4 ~y:4 ~z:3 ~bound:9 in
+  let starts, _ = P.color ~workers:4 inst in
+  Util.check_valid inst starts
+
+let test_single_worker_equals_sequential () =
+  (* one worker has no speculation: must match the sequential greedy *)
+  let inst = Util.random_inst2 ~seed:93 ~x:6 ~y:7 ~bound:12 in
+  let order = Ivc.Order.largest_first inst in
+  let starts, stats = P.color ~workers:1 ~order inst in
+  Alcotest.(check (array int)) "matches sequential greedy"
+    (Ivc.Greedy.color_in_order inst order)
+    starts;
+  Alcotest.(check int) "no conflicts" 0 stats.P.conflicts_total;
+  Alcotest.(check int) "one round" 1 stats.P.rounds
+
+let test_custom_order () =
+  let inst = Util.random_inst2 ~seed:94 ~x:6 ~y:6 ~bound:9 in
+  let starts, _ = P.color ~workers:2 ~order:(Ivc.Order.hilbert inst) inst in
+  Util.check_valid inst starts
+
+let test_rejects_bad_order () =
+  let inst = Util.random_inst2 ~seed:95 ~x:3 ~y:3 ~bound:5 in
+  Alcotest.check_raises "order length"
+    (Invalid_argument "Parallel_greedy.color: order length") (fun () ->
+      ignore (P.color ~order:[| 0; 1 |] inst))
+
+let test_zero_weight_instance () =
+  let inst = S.init2 ~x:5 ~y:5 (fun _ _ -> 0) in
+  let starts, _ = P.color ~workers:3 inst in
+  Alcotest.(check int) "zero colors" 0 (Util.maxcolor inst starts)
+
+let prop_parallel_valid =
+  Util.qtest ~count:30 "parallel coloring always valid" Util.gen_inst2
+    (fun inst ->
+      let starts, _ = P.color ~workers:3 inst in
+      Ivc.Coloring.is_valid inst starts)
+
+let suite =
+  [
+    Alcotest.test_case "valid on 2D" `Quick test_valid_small;
+    Alcotest.test_case "valid on 3D" `Quick test_valid_3d;
+    Alcotest.test_case "1 worker = sequential" `Quick test_single_worker_equals_sequential;
+    Alcotest.test_case "custom order" `Quick test_custom_order;
+    Alcotest.test_case "rejects bad order" `Quick test_rejects_bad_order;
+    Alcotest.test_case "all-zero instance" `Quick test_zero_weight_instance;
+    prop_parallel_valid;
+  ]

@@ -1,0 +1,130 @@
+module I = Nae3sat.Instance
+module R = Nae3sat.Reduction
+
+let fano =
+  I.make 7 [ (1, 2, 3); (1, 4, 5); (1, 6, 7); (2, 4, 6); (2, 5, 7); (3, 4, 7); (3, 5, 6) ]
+
+let test_instance_validation () =
+  Alcotest.check_raises "unordered clause"
+    (Invalid_argument "Nae3sat.Instance.make: clause must satisfy 1 <= j1 < j2 < j3 <= n")
+    (fun () -> ignore (I.make 4 [ (2, 1, 3) ]));
+  Alcotest.check_raises "variable out of range"
+    (Invalid_argument "Nae3sat.Instance.make: clause must satisfy 1 <= j1 < j2 < j3 <= n")
+    (fun () -> ignore (I.make 3 [ (1, 2, 4) ]))
+
+let test_clause_semantics () =
+  let c = { I.j1 = 1; j2 = 2; j3 = 3 } in
+  Alcotest.(check bool) "mixed ok" true (I.clause_ok c [| true; false; true |]);
+  Alcotest.(check bool) "all true bad" false (I.clause_ok c [| true; true; true |]);
+  Alcotest.(check bool) "all false bad" false (I.clause_ok c [| false; false; false |])
+
+let test_complement_symmetry () =
+  let t = I.make 5 [ (1, 2, 3); (2, 3, 5); (1, 4, 5) ] in
+  match I.solve_brute t with
+  | None -> Alcotest.fail "expected satisfiable"
+  | Some a ->
+      Alcotest.(check bool) "assignment works" true (I.satisfies t a);
+      Alcotest.(check bool) "complement works too" true
+        (I.satisfies t (Array.map not a))
+
+let test_fano_unsat () =
+  Alcotest.(check bool) "fano plane is not 2-colorable" false (I.is_satisfiable fano)
+
+let test_structure_checks () =
+  R.check_structure (I.make 3 [ (1, 2, 3) ]);
+  R.check_structure (I.make 5 [ (1, 2, 5); (2, 3, 4); (1, 4, 5) ]);
+  R.check_structure fano
+
+let test_gadget_dimensions () =
+  let sat = I.make 4 [ (1, 2, 3); (2, 3, 4) ] in
+  let inst = R.build sat in
+  match (inst : Ivc_grid.Stencil.t).Ivc_grid.Stencil.dims with
+  | Ivc_grid.Stencil.D3 (x, y, z) ->
+      Alcotest.(check int) "width 2n+10" 18 x;
+      Alcotest.(check int) "height 9" 9 y;
+      Alcotest.(check int) "depth 2m" 4 z
+  | Ivc_grid.Stencil.D2 _ -> Alcotest.fail "gadget must be 3D"
+
+let test_forward_direction () =
+  (* positive NAE-3SAT instance -> valid 14-coloring of the gadget *)
+  let sat = I.make 4 [ (1, 2, 3); (2, 3, 4); (1, 2, 4) ] in
+  match I.solve_brute sat with
+  | None -> Alcotest.fail "expected satisfiable"
+  | Some a ->
+      let inst = R.build sat in
+      let starts = R.coloring_of_assignment sat a in
+      let mc = Ivc.Coloring.assert_valid inst starts in
+      Alcotest.(check bool) "within k=14" true (mc <= R.k)
+
+let test_forward_rejects_bad_assignment () =
+  let sat = I.make 3 [ (1, 2, 3) ] in
+  match R.coloring_of_assignment sat [| true; true; true |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "all-equal assignment must be rejected"
+
+let test_backward_direction () =
+  (* valid 14-coloring of the gadget -> satisfying assignment *)
+  let sat = I.make 3 [ (1, 2, 3) ] in
+  let inst = R.build sat in
+  match Ivc_exact.Cp.decide inst ~k:R.k with
+  | Ivc_exact.Cp.Colorable starts ->
+      let a = R.assignment_of_coloring sat starts in
+      Alcotest.(check bool) "extracted assignment satisfies" true (I.satisfies sat a)
+  | _ -> Alcotest.fail "positive instance must be 14-colorable"
+
+let equivalence sat =
+  let inst = R.build sat in
+  match Ivc_exact.Cp.decide ~budget:20_000_000 inst ~k:R.k with
+  | Ivc_exact.Cp.Colorable starts ->
+      Alcotest.(check bool) "gadget colorable => instance satisfiable" true
+        (I.is_satisfiable sat);
+      ignore (Ivc.Coloring.assert_valid inst starts);
+      let a = R.assignment_of_coloring sat starts in
+      Alcotest.(check bool) "extracted assignment valid" true (I.satisfies sat a)
+  | Ivc_exact.Cp.Not_colorable ->
+      Alcotest.(check bool) "gadget not colorable => instance unsatisfiable" false
+        (I.is_satisfiable sat)
+  | Ivc_exact.Cp.Unknown -> Alcotest.fail "budget exhausted"
+
+let test_equivalence_random_small () =
+  (* random positive instances are almost always satisfiable; this
+     checks the satisfiable side of the equivalence on several *)
+  List.iter
+    (fun seed -> equivalence (I.random ~seed ~n:4 ~m:3))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_equivalence_fano_slow () =
+  (* the unsatisfiable side, via the smallest non-2-colorable 3-uniform
+     hypergraph (the Fano plane): the gadget must NOT be 14-colorable *)
+  equivalence fano
+
+let test_random_generator () =
+  let t = I.random ~seed:42 ~n:6 ~m:10 in
+  Alcotest.(check int) "clause count" 10 (List.length t.I.clauses);
+  List.iter
+    (fun { I.j1; j2; j3 } ->
+      Alcotest.(check bool) "ordered" true (1 <= j1 && j1 < j2 && j2 < j3 && j3 <= 6))
+    t.I.clauses;
+  (* determinism *)
+  Alcotest.(check bool) "deterministic" true (I.random ~seed:42 ~n:6 ~m:10 = t)
+
+let test_pp () =
+  let out = Format.asprintf "%a" I.pp (I.make 3 [ (1, 2, 3) ]) in
+  Alcotest.(check bool) "mentions sizes" true (String.length out > 10)
+
+let suite =
+  [
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "clause semantics" `Quick test_clause_semantics;
+    Alcotest.test_case "complement symmetry" `Quick test_complement_symmetry;
+    Alcotest.test_case "fano is unsat" `Quick test_fano_unsat;
+    Alcotest.test_case "gadget structure" `Quick test_structure_checks;
+    Alcotest.test_case "gadget dimensions" `Quick test_gadget_dimensions;
+    Alcotest.test_case "forward direction" `Quick test_forward_direction;
+    Alcotest.test_case "rejects bad assignments" `Quick test_forward_rejects_bad_assignment;
+    Alcotest.test_case "backward direction" `Quick test_backward_direction;
+    Alcotest.test_case "equivalence on random instances" `Quick test_equivalence_random_small;
+    Alcotest.test_case "equivalence on Fano (negative side)" `Slow test_equivalence_fano_slow;
+    Alcotest.test_case "random generator" `Quick test_random_generator;
+    Alcotest.test_case "pretty printer" `Quick test_pp;
+  ]

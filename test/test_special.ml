@@ -1,0 +1,138 @@
+module Sp = Ivc.Special
+module B = Ivc_graph.Builders
+module C = Ivc.Coloring
+module S = Ivc_grid.Stencil
+
+let exact_graph g w =
+  match Ivc_exact.Cp.optimize_graph g ~w with
+  | Some (opt, _) -> opt
+  | None -> Alcotest.fail "exact solver ran out of budget"
+
+let test_clique () =
+  let w = [| 3; 1; 4; 1; 5 |] in
+  let starts, mc = Sp.color_clique ~w in
+  Alcotest.(check int) "uses the sum" 14 mc;
+  Alcotest.(check bool) "valid on K5" true
+    (C.is_valid_graph (B.clique 5) ~w starts);
+  (* optimality vs exact *)
+  Alcotest.(check int) "matches exact" (exact_graph (B.clique 5) w) mc
+
+let test_bipartite_complete () =
+  let g = B.complete_bipartite 2 3 in
+  let w = [| 4; 2; 3; 5; 1 |] in
+  match Sp.color_bipartite g ~w with
+  | None -> Alcotest.fail "K_{2,3} is bipartite"
+  | Some (starts, mc) ->
+      Alcotest.(check int) "max edge sum" 9 mc;
+      Alcotest.(check bool) "valid" true (C.is_valid_graph g ~w starts);
+      Alcotest.(check int) "matches exact" (exact_graph g w) mc
+
+let test_bipartite_rejects_odd_cycle () =
+  Alcotest.(check bool) "C5 refused" true
+    (Sp.color_bipartite (B.cycle 5) ~w:[| 1; 1; 1; 1; 1 |] = None)
+
+let test_bipartite_isolated_heavy () =
+  (* isolated vertex heavier than any edge: maxcolor must cover it *)
+  let g = Ivc_graph.Csr.of_edges 3 [ (0, 1) ] in
+  let w = [| 1; 1; 9 |] in
+  match Sp.color_bipartite g ~w with
+  | None -> Alcotest.fail "forest is bipartite"
+  | Some (starts, mc) ->
+      Alcotest.(check int) "covers the heavy vertex" 9 mc;
+      Alcotest.(check bool) "valid" true (C.is_valid_graph g ~w starts)
+
+let test_chain () =
+  let w = [| 2; 5; 1; 4; 3 |] in
+  let starts, mc = Sp.color_chain w in
+  Alcotest.(check int) "max adjacent pair" 7 mc;
+  Alcotest.(check bool) "valid on path" true
+    (C.is_valid_graph (B.path 5) ~w starts);
+  Alcotest.(check int) "matches exact" (exact_graph (B.path 5) w) mc;
+  (* singleton chain *)
+  let s1, m1 = Sp.color_chain [| 6 |] in
+  Alcotest.(check int) "singleton colors" 6 m1;
+  Alcotest.(check int) "singleton start" 0 s1.(0)
+
+let test_maxpair_minchain3 () =
+  let w = [| 10; 5; 5; 10; 5 |] in
+  Alcotest.(check int) "maxpair" 15 (Sp.maxpair w);
+  Alcotest.(check int) "minchain3 wraps" 20 (Sp.minchain3 w);
+  Alcotest.(check int) "pair wraps" 15 (Sp.maxpair [| 10; 1; 1; 1; 5 |])
+
+let test_odd_cycle_theorem_fixed () =
+  (* a Figure-2-like instance: maxpair 25, minchain3 30 -> optimum 30,
+     strictly above the heaviest clique (pair) of 25 *)
+  let w = [| 10; 10; 10; 10; 10; 10; 10; 10; 15 |] in
+  let starts, mc = Sp.color_odd_cycle w in
+  Alcotest.(check int) "maxpair" 25 (Sp.maxpair w);
+  Alcotest.(check int) "minchain3" 30 (Sp.minchain3 w);
+  Alcotest.(check int) "theorem value" 30 mc;
+  Alcotest.(check bool) "valid on C9" true
+    (C.is_valid_graph (B.cycle 9) ~w starts);
+  Alcotest.(check int) "matches exact" (exact_graph (B.cycle 9) w) mc
+
+let test_even_cycle () =
+  let w = [| 3; 4; 2; 6; 1; 5 |] in
+  let starts, mc = Sp.color_even_cycle w in
+  Alcotest.(check bool) "valid on C6" true
+    (C.is_valid_graph (B.cycle 6) ~w starts);
+  Alcotest.(check int) "matches exact" (exact_graph (B.cycle 6) w) mc
+
+let test_rejects_parity () =
+  Alcotest.check_raises "even to odd colorer"
+    (Invalid_argument "Special.color_odd_cycle: need odd length >= 3") (fun () ->
+      ignore (Sp.color_odd_cycle [| 1; 1; 1; 1 |]));
+  Alcotest.check_raises "odd to even colorer"
+    (Invalid_argument "Special.color_even_cycle: need even length >= 4")
+    (fun () -> ignore (Sp.color_even_cycle [| 1; 1; 1 |]))
+
+let test_relaxation () =
+  let inst = Util.random_inst2 ~seed:11 ~x:4 ~y:5 ~bound:9 in
+  let starts, mc = Sp.color_relaxation inst in
+  (* valid on the 5-pt relaxed graph (not necessarily on the 9-pt) *)
+  Alcotest.(check bool) "valid on 5-pt" true
+    (C.is_valid_graph (S.relaxed_graph inst) ~w:(inst : S.t).w starts);
+  (* optimal for the relaxation: equals the exact optimum of the 5-pt graph *)
+  Alcotest.(check int) "optimal for relaxation"
+    (exact_graph (S.relaxed_graph inst) (inst : S.t).w)
+    mc
+
+let test_relaxation_3d () =
+  let inst = Util.random_inst3 ~seed:5 ~x:3 ~y:2 ~z:3 ~bound:7 in
+  let starts, mc = Sp.color_relaxation inst in
+  Alcotest.(check bool) "valid on 7-pt" true
+    (C.is_valid_graph (S.relaxed_graph inst) ~w:(inst : S.t).w starts);
+  Alcotest.(check int) "optimal for relaxation"
+    (exact_graph (S.relaxed_graph inst) (inst : S.t).w)
+    mc
+
+(* Theorem 1 checked against brute force on random odd cycles. *)
+let prop_odd_cycle_theorem =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"odd cycle theorem vs exact" ~count:60
+       ~print:(fun w ->
+         String.concat ";" (List.map string_of_int (Array.to_list w)))
+       QCheck2.Gen.(
+         let* k = int_range 1 3 in
+         array_size (pure ((2 * k) + 3)) (int_range 1 8))
+       (fun w ->
+         let n = Array.length w in
+         let starts, mc = Sp.color_odd_cycle w in
+         C.is_valid_graph (B.cycle n) ~w starts
+         && mc = exact_graph (B.cycle n) w))
+
+let suite =
+  [
+    Alcotest.test_case "clique optimal" `Quick test_clique;
+    Alcotest.test_case "complete bipartite optimal" `Quick test_bipartite_complete;
+    Alcotest.test_case "bipartite rejects odd cycles" `Quick test_bipartite_rejects_odd_cycle;
+    Alcotest.test_case "isolated heavy vertex" `Quick test_bipartite_isolated_heavy;
+    Alcotest.test_case "chain optimal" `Quick test_chain;
+    Alcotest.test_case "maxpair / minchain3" `Quick test_maxpair_minchain3;
+    Alcotest.test_case "odd cycle theorem (Fig 2 values)" `Quick test_odd_cycle_theorem_fixed;
+    Alcotest.test_case "even cycle optimal" `Quick test_even_cycle;
+    Alcotest.test_case "parity validation" `Quick test_rejects_parity;
+    Alcotest.test_case "5-pt relaxation optimal" `Quick test_relaxation;
+    Alcotest.test_case "7-pt relaxation optimal" `Quick test_relaxation_3d;
+    prop_odd_cycle_theorem;
+  ]

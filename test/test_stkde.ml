@@ -1,0 +1,113 @@
+module K = Stkde.Kernel
+module App = Stkde.App
+module P = Spatial_data.Points
+module S = Ivc_grid.Stencil
+
+let test_kernel_shape () =
+  Alcotest.(check (float 1e-9)) "peak" 0.75 (K.epanechnikov 0.0);
+  Alcotest.(check (float 1e-9)) "edge" 0.0 (K.epanechnikov 1.0);
+  Alcotest.(check (float 1e-9)) "outside" 0.0 (K.epanechnikov 1.5);
+  Alcotest.(check (float 1e-9)) "symmetric" (K.epanechnikov 0.3) (K.epanechnikov (-0.3));
+  Alcotest.(check bool) "positive inside" true (K.epanechnikov 0.9 > 0.0)
+
+let test_kernel_integral () =
+  (* numeric integral of the 1D kernel is 1 *)
+  let steps = 10_000 in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let u = -1.0 +. (2.0 *. Float.of_int i /. Float.of_int steps) in
+    acc := !acc +. (K.epanechnikov u *. 2.0 /. Float.of_int steps)
+  done;
+  Alcotest.(check (float 1e-3)) "unit mass" 1.0 !acc
+
+let test_stk_support () =
+  Alcotest.(check bool) "in support" true
+    (K.stk ~hs:2.0 ~ht:1.0 ~dx:0.5 ~dy:0.5 ~dt:0.3 > 0.0);
+  Alcotest.(check (float 1e-12)) "outside space" 0.0
+    (K.stk ~hs:2.0 ~ht:1.0 ~dx:2.5 ~dy:0.0 ~dt:0.0);
+  Alcotest.(check (float 1e-12)) "outside time" 0.0
+    (K.stk ~hs:2.0 ~ht:1.0 ~dx:0.0 ~dy:0.0 ~dt:1.5)
+
+let small_cloud () =
+  let rng = Spatial_data.Rng.create 99 in
+  P.make "small"
+    (Array.init 300 (fun _ ->
+         {
+           P.x = Spatial_data.Rng.range rng 0.0 10.0;
+           y = Spatial_data.Rng.range rng 0.0 10.0;
+           t = Spatial_data.Rng.range rng 0.0 5.0;
+         }))
+
+let small_config () =
+  let cloud = small_cloud () in
+  App.make ~cloud ~voxels:(20, 20, 10) ~boxes:(4, 4, 2) ~hs:1.0 ~ht:1.0
+
+let test_make_validates_box_size () =
+  let cloud = small_cloud () in
+  (* 10-wide domain, 8 boxes -> 1.25 per box < 2 * bandwidth 1.0 *)
+  match App.make ~cloud ~voxels:(20, 20, 10) ~boxes:(8, 4, 2) ~hs:1.0 ~ht:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "boxes thinner than twice the bandwidth must be rejected"
+
+let test_coloring_instance_conserves_points () =
+  let cfg = small_config () in
+  let inst = App.coloring_instance cfg in
+  Alcotest.(check int) "weights sum to points" 300 (S.total_weight inst);
+  Alcotest.(check string) "dims" "3D 4x4x2 (n=32, W=300)" (S.describe inst)
+
+let test_sequential_density_mass () =
+  let cfg = small_config () in
+  let d = App.density_sequential cfg in
+  let total = Array.fold_left ( +. ) 0.0 d in
+  Alcotest.(check bool) "positive mass" true (total > 0.0);
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite d)
+
+let test_parallel_matches_sequential () =
+  let cfg = small_config () in
+  let seq = App.density_sequential cfg in
+  let inst = App.coloring_instance cfg in
+  List.iter
+    (fun (name, starts, _) ->
+      let par, _ = App.density_parallel cfg ~starts ~workers:3 in
+      Alcotest.(check bool)
+        (name ^ " parallel equals sequential")
+        true
+        (App.max_diff seq par < 1e-9))
+    (Ivc.Algo.run_all inst)
+
+let test_simulation_correlates_with_colors () =
+  (* more colors -> longer critical path -> larger simulated makespan,
+     checked as a (weak) rank correlation over all algorithms *)
+  let cfg = small_config () in
+  let inst = App.coloring_instance cfg in
+  let data =
+    List.map
+      (fun (_, starts, mc) ->
+        (mc, (App.simulate cfg ~starts ~workers:6 ~penalty:0.05).Taskpar.Sim.makespan))
+      (Ivc.Algo.run_all inst)
+  in
+  let best_colors = List.fold_left (fun a (c, _) -> min a c) max_int data in
+  let worst_colors = List.fold_left (fun a (c, _) -> max a c) 0 data in
+  let span_of c = List.assoc c data in
+  if worst_colors > best_colors then
+    Alcotest.(check bool) "worse coloring never strictly faster" true
+      (span_of worst_colors >= span_of best_colors)
+
+let test_max_diff () =
+  Alcotest.(check (float 0.)) "identical" 0.0 (App.max_diff [| 1.0 |] [| 1.0 |]);
+  Alcotest.(check (float 1e-12)) "difference" 0.5 (App.max_diff [| 1.0 |] [| 1.5 |]);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Stkde.max_diff")
+    (fun () -> ignore (App.max_diff [| 1.0 |] [| 1.0; 2.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "kernel shape" `Quick test_kernel_shape;
+    Alcotest.test_case "kernel unit mass" `Quick test_kernel_integral;
+    Alcotest.test_case "space-time kernel support" `Quick test_stk_support;
+    Alcotest.test_case "box size validation" `Quick test_make_validates_box_size;
+    Alcotest.test_case "instance conserves points" `Quick test_coloring_instance_conserves_points;
+    Alcotest.test_case "sequential density" `Quick test_sequential_density_mass;
+    Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
+    Alcotest.test_case "colors vs simulated runtime" `Quick test_simulation_correlates_with_colors;
+    Alcotest.test_case "max_diff" `Quick test_max_diff;
+  ]

@@ -1,0 +1,47 @@
+module S = Ivc_grid.Stencil
+module Svg = Ivc.Svg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let inst = Util.random_inst2 ~seed:111 ~x:4 ~y:5 ~bound:9
+
+let test_heatmap () =
+  let svg = Svg.heatmap inst in
+  Alcotest.(check bool) "well-formed" true (Svg.looks_like_svg svg);
+  (* one rect per cell *)
+  let rects = ref 0 in
+  String.iteri
+    (fun i c -> if c = '<' && i + 5 < String.length svg && String.sub svg i 5 = "<rect" then incr rects)
+    svg;
+  Alcotest.(check int) "one rect per cell" 20 !rects
+
+let test_gantt () =
+  let starts = Ivc.Bipartite_decomp.bdp inst in
+  let svg = Svg.gantt inst starts in
+  Alcotest.(check bool) "well-formed" true (Svg.looks_like_svg svg);
+  Alcotest.(check bool) "has tooltips" true (contains svg "<title>")
+
+let test_gantt_validates () =
+  Alcotest.check_raises "starts length" (Invalid_argument "Svg.gantt: starts length")
+    (fun () -> ignore (Svg.gantt inst [| 0 |]))
+
+let test_rejects_3d () =
+  let i3 = Util.random_inst3 ~seed:112 ~x:2 ~y:2 ~z:2 ~bound:3 in
+  Alcotest.check_raises "3d heatmap" (Invalid_argument "Svg: 2D instances only")
+    (fun () -> ignore (Svg.heatmap i3))
+
+let test_looks_like_svg () =
+  Alcotest.(check bool) "rejects garbage" false (Svg.looks_like_svg "hello");
+  Alcotest.(check bool) "rejects empty" false (Svg.looks_like_svg "")
+
+let suite =
+  [
+    Alcotest.test_case "heatmap" `Quick test_heatmap;
+    Alcotest.test_case "gantt" `Quick test_gantt;
+    Alcotest.test_case "gantt validates" `Quick test_gantt_validates;
+    Alcotest.test_case "rejects 3D" `Quick test_rejects_3d;
+    Alcotest.test_case "looks_like_svg" `Quick test_looks_like_svg;
+  ]

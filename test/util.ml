@@ -1,0 +1,41 @@
+(* Shared helpers for the test-suite. *)
+
+module S = Ivc_grid.Stencil
+
+let check_valid inst starts =
+  Alcotest.(check bool) "coloring is valid" true (Ivc.Coloring.is_valid inst starts)
+
+let maxcolor inst starts = Ivc.Coloring.maxcolor ~w:(inst : S.t).w starts
+
+(* Deterministic pseudo-random weights. *)
+let weights_of_seed seed n bound =
+  let rng = Spatial_data.Rng.create (seed + 77) in
+  Array.init n (fun _ -> Spatial_data.Rng.int rng bound)
+
+let random_inst2 ~seed ~x ~y ~bound =
+  S.make2 ~x ~y (weights_of_seed seed (x * y) bound)
+
+let random_inst3 ~seed ~x ~y ~z ~bound =
+  S.make3 ~x ~y ~z (weights_of_seed seed (x * y * z) bound)
+
+(* qcheck generator for small 2D instances *)
+let gen_inst2 =
+  QCheck2.Gen.(
+    let* x = int_range 2 6 in
+    let* y = int_range 2 6 in
+    let* w = array_size (pure (x * y)) (int_range 0 15) in
+    pure (S.make2 ~x ~y w))
+
+let gen_inst3 =
+  QCheck2.Gen.(
+    let* x = int_range 2 4 in
+    let* y = int_range 2 4 in
+    let* z = int_range 2 3 in
+    let* w = array_size (pure (x * y * z)) (int_range 0 9) in
+    pure (S.make3 ~x ~y ~z w))
+
+let print_inst inst = Format.asprintf "%a" S.pp inst
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:print_inst gen f)
