@@ -1,0 +1,203 @@
+(* `bench json` — machine-readable benchmark output for CI.
+
+   Runs the catalog at CI-friendly sizes and writes a BENCH_PR.json
+   document: per-instance, per-algorithm maxcolor and best-of-N
+   runtime, plus the observability counters collected during the run.
+   With --baseline FILE the run is also a regression gate: any
+   algorithm whose maxcolor on any shared instance exceeds the recorded
+   baseline value fails the process (runtimes are reported but not
+   gated — CI runners are too noisy for that; the perf trajectory is
+   tracked through the uploaded artifacts instead). Invalid colorings
+   already abort inside Common.run_catalog. *)
+
+module Cat = Spatial_data.Catalog
+module S = Ivc_grid.Stencil
+module Json = Ivc_obs.Json
+
+let schema_version = 1
+
+(* Unique, order-independent instance ids: the catalog description,
+   suffixed when a description repeats. *)
+let ids_of_entries entries =
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun (e : Cat.entry) ->
+      let d = Cat.describe e in
+      let k = Option.value ~default:0 (Hashtbl.find_opt seen d) in
+      Hashtbl.replace seen d (k + 1);
+      if k = 0 then d else Printf.sprintf "%s#%d" d k)
+    entries
+
+let document ~scale ~subsample ~reps runs ids =
+  let algo_names = Array.to_list Common.algo_names in
+  let instances =
+    List.map2
+      (fun (r : Common.run) id ->
+        let per_algo f =
+          Json.Obj (List.mapi (fun i name -> (name, f i)) algo_names)
+        in
+        Json.Obj
+          [
+            ("id", Json.Str id);
+            ("n", Json.Num (Float.of_int (S.n_vertices r.Common.entry.Cat.inst)));
+            ("clique_lb", Json.Num (Float.of_int r.Common.clique_lb));
+            ( "maxcolor",
+              per_algo (fun i -> Json.Num (Float.of_int r.Common.maxcolors.(i)))
+            );
+            ( "runtime_ms",
+              per_algo (fun i -> Json.Num (1000.0 *. r.Common.runtimes.(i))) );
+          ])
+      runs ids
+  in
+  let summary =
+    Json.Obj
+      (List.mapi
+         (fun i name ->
+           let total_ms =
+             List.fold_left
+               (fun acc (r : Common.run) -> acc +. (1000.0 *. r.Common.runtimes.(i)))
+               0.0 runs
+           in
+           let sum_mc =
+             List.fold_left
+               (fun acc (r : Common.run) -> acc + r.Common.maxcolors.(i))
+               0 runs
+           in
+           ( name,
+             Json.Obj
+               [
+                 ("total_ms", Json.Num total_ms);
+                 ("sum_maxcolor", Json.Num (Float.of_int sum_mc));
+                 ("instances", Json.Num (Float.of_int (List.length runs)));
+               ] ))
+         algo_names)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Num (Float.of_int schema_version));
+      ("suite", Json.Str "ivc-stencil-bench");
+      ( "config",
+        Json.Obj
+          [
+            ("scale", Json.Num scale);
+            ("subsample", Json.Num (Float.of_int subsample));
+            ("reps", Json.Num (Float.of_int reps));
+          ] );
+      ("algorithms", Json.List (List.map (fun n -> Json.Str n) algo_names));
+      ("instances", Json.List instances);
+      ("summary", summary);
+      ("metrics", Ivc_obs.Export.metrics ());
+    ]
+
+(* ---- baseline comparison -------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* [id -> algo -> maxcolor] of a bench document. *)
+let maxcolor_index doc =
+  let tbl = Hashtbl.create 64 in
+  (match Json.member "instances" doc with
+  | Some (Json.List instances) ->
+      List.iter
+        (fun inst ->
+          match (Json.member "id" inst, Json.member "maxcolor" inst) with
+          | Some (Json.Str id), Some (Json.Obj algos) ->
+              List.iter
+                (fun (algo, v) -> Hashtbl.replace tbl (id, algo) (Json.to_float v))
+                algos
+          | _ -> failwith "bench json: malformed instance entry")
+        instances
+  | _ -> failwith "bench json: document has no instances list");
+  tbl
+
+let check_against_baseline ~baseline_path doc =
+  let baseline = Json.parse (read_file baseline_path) in
+  let base = maxcolor_index baseline in
+  let cur = maxcolor_index doc in
+  let regressions = ref [] in
+  let compared = ref 0 in
+  Hashtbl.iter
+    (fun key base_mc ->
+      match Hashtbl.find_opt cur key with
+      | None -> ()
+      | Some cur_mc ->
+          incr compared;
+          if cur_mc > base_mc then regressions := (key, base_mc, cur_mc) :: !regressions)
+    base;
+  if !compared = 0 then begin
+    Format.printf
+      "bench json: baseline %s shares no instances with this run@." baseline_path;
+    exit 1
+  end;
+  match List.sort compare !regressions with
+  | [] ->
+      Format.printf "bench json: no quality regressions (%d comparisons vs %s)@."
+        !compared baseline_path
+  | regs ->
+      List.iter
+        (fun ((id, algo), base_mc, cur_mc) ->
+          Format.printf "REGRESSION %s on %s: maxcolor %.0f -> %.0f@." algo id
+            base_mc cur_mc)
+        regs;
+      Format.printf "bench json: %d quality regressions vs %s@."
+        (List.length regs) baseline_path;
+      exit 1
+
+(* ---- entry point ----------------------------------------------------- *)
+
+let run ?(out = "BENCH_PR.json") ?baseline ?(scale = 0.05) ?(subsample = 8)
+    ?(reps = 3) () =
+  Ivc_obs.reset ();
+  Ivc_obs.set_enabled true;
+  let entries =
+    Cat.entries_2d ~scale ~subsample () @ Cat.entries_3d ~scale ~subsample ()
+  in
+  Format.printf "bench json: %d instances (scale %g, subsample 1/%d, best of %d)@."
+    (List.length entries) scale subsample reps;
+  let ids = ids_of_entries entries in
+  let runs = Common.run_catalog ~reps entries in
+  let doc = document ~scale ~subsample ~reps runs ids in
+  Ivc_obs.set_enabled false;
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Format.printf "bench json: wrote %s@." out;
+  Option.iter (fun path -> check_against_baseline ~baseline_path:path doc) baseline
+
+(* Minimal flag parsing in the style of bench/main.ml:
+   json [--out FILE] [--baseline FILE] [--scale S] [--subsample K] [--reps N] *)
+let main args =
+  let out = ref "BENCH_PR.json" in
+  let baseline = ref None in
+  let scale = ref 0.05 in
+  let subsample = ref 8 in
+  let reps = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--subsample" :: v :: rest ->
+        subsample := int_of_string v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | a :: _ -> failwith ("bench json: unknown argument " ^ a)
+  in
+  parse args;
+  run ~out:!out ?baseline:!baseline ~scale:!scale ~subsample:!subsample
+    ~reps:!reps ()

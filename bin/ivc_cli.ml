@@ -84,6 +84,46 @@ let instance_t =
   Term.(const combine $ from_file_t $ dataset_t $ scale_t $ plane_t $ x_t $ y_t
         $ z_t $ seed_t $ bound_t)
 
+(* ---- observability options ------------------------------------------- *)
+
+let trace_t =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record tracing spans and write Chrome trace-event JSON to \
+               $(docv); load it in chrome://tracing or ui.perfetto.dev.")
+
+let metrics_t =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Record counters, gauges and span aggregates and write a flat \
+               metrics JSON document to $(docv).")
+
+let obs_t = Term.(const (fun t m -> (t, m)) $ trace_t $ metrics_t)
+
+(* Enable the observability layer iff an export destination was asked
+   for, run the command, then write the exports (also on failure, so a
+   crashing run still leaves a trace to look at). *)
+let with_obs (trace, metrics) f =
+  let on = trace <> None || metrics <> None in
+  if on then begin
+    Ivc_obs.reset ();
+    Ivc_obs.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      if on then begin
+        Ivc_obs.set_enabled false;
+        Option.iter
+          (fun path ->
+            Ivc_obs.Export.write_trace path;
+            Format.printf "wrote trace %s@." path)
+          trace;
+        Option.iter
+          (fun path ->
+            Ivc_obs.Export.write_metrics path;
+            Format.printf "wrote metrics %s@." path)
+          metrics
+      end)
+    f
+
 (* ---- color ----------------------------------------------------------- *)
 
 let color_cmd =
@@ -94,7 +134,8 @@ let color_cmd =
   let show_t =
     Arg.(value & flag & info [ "show" ] ~doc:"Print the coloring grid (2D only).")
   in
-  let run inst algo show =
+  let run inst algo show obs =
+    with_obs obs @@ fun () ->
     let lb = Ivc.Bounds.combined inst in
     Format.printf "instance: %s, clique LB %d@." (S.describe inst) lb;
     let algos =
@@ -106,9 +147,14 @@ let color_cmd =
     in
     List.iter
       (fun (a : Ivc.Algo.t) ->
-        let t0 = Unix.gettimeofday () in
-        let starts = a.Ivc.Algo.run inst in
-        let dt = Unix.gettimeofday () -. t0 in
+        let t0 = Ivc_obs.now_ns () in
+        let starts =
+          Ivc_obs.Span.record ~cat:"cli"
+            ~args:[ ("algo", a.Ivc.Algo.name) ]
+            "cli.color"
+            (fun () -> a.Ivc.Algo.run inst)
+        in
+        let dt = Ivc_obs.elapsed_s ~since:t0 in
         let mc = Ivc.Coloring.assert_valid inst starts in
         Format.printf "%-4s maxcolor %6d  (%.4f of LB)  %.1f ms@." a.Ivc.Algo.name
           mc
@@ -119,7 +165,7 @@ let color_cmd =
       algos
   in
   Cmd.v (Cmd.info "color" ~doc:"Color an instance with the paper's heuristics")
-    Term.(const run $ instance_t $ algo_t $ show_t)
+    Term.(const run $ instance_t $ algo_t $ show_t $ obs_t)
 
 (* ---- exact ------------------------------------------------------------ *)
 
@@ -132,7 +178,8 @@ let exact_cmd =
     Arg.(value & opt float 30.0 & info [ "time-limit" ] ~docv:"S"
            ~doc:"CPU time limit in seconds.")
   in
-  let run inst budget time_limit_s =
+  let run inst budget time_limit_s obs =
+    with_obs obs @@ fun () ->
     Format.printf "instance: %s@." (S.describe inst);
     let o = Ivc_exact.Optimize.solve ~budget ~time_limit_s inst in
     Format.printf "lower bound %d, upper bound %d (%s)@."
@@ -143,7 +190,7 @@ let exact_cmd =
     else Format.printf "gap not closed within budget@."
   in
   Cmd.v (Cmd.info "exact" ~doc:"Solve an instance exactly (Gurobi stand-in)")
-    Term.(const run $ instance_t $ budget_t $ time_t)
+    Term.(const run $ instance_t $ budget_t $ time_t $ obs_t)
 
 (* ---- catalog ----------------------------------------------------------- *)
 
@@ -211,7 +258,8 @@ let stkde_cmd =
   let algo_t =
     Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
   in
-  let run dataset scale workers algo =
+  let run dataset scale workers algo obs =
+    with_obs obs @@ fun () ->
     let cloud = dataset_of_name scale (Option.value ~default:"dengue" dataset) in
     let bx, by, bz = (8, 8, 4) in
     let hs =
@@ -249,7 +297,7 @@ let stkde_cmd =
   in
   Cmd.v
     (Cmd.info "stkde" ~doc:"Run the space-time kernel density application (Sec VII)")
-    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t)
+    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t $ obs_t)
 
 (* ---- save ------------------------------------------------------------------- *)
 
@@ -294,7 +342,8 @@ let render_cmd =
 (* ---- orders ------------------------------------------------------------------- *)
 
 let orders_cmd =
-  let run inst =
+  let run inst obs =
+    with_obs obs @@ fun () ->
     let lb = Ivc.Bounds.combined inst in
     Format.printf "instance: %s, clique LB %d@." (S.describe inst) lb;
     List.iter
@@ -307,7 +356,7 @@ let orders_cmd =
   in
   Cmd.v
     (Cmd.info "orders" ~doc:"Compare greedy vertex orderings on an instance")
-    Term.(const run $ instance_t)
+    Term.(const run $ instance_t $ obs_t)
 
 (* ---- parcolor ------------------------------------------------------------------ *)
 
@@ -315,7 +364,8 @@ let parcolor_cmd =
   let workers_t =
     Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Domains.")
   in
-  let run inst workers =
+  let run inst workers obs =
+    with_obs obs @@ fun () ->
     let starts, stats = Ivc_parcolor.Parallel_greedy.color ~workers inst in
     let mc = Ivc.Coloring.assert_valid inst starts in
     Format.printf
@@ -326,7 +376,7 @@ let parcolor_cmd =
   in
   Cmd.v
     (Cmd.info "parcolor" ~doc:"Speculative parallel greedy coloring on domains")
-    Term.(const run $ instance_t $ workers_t)
+    Term.(const run $ instance_t $ workers_t $ obs_t)
 
 let () =
   let doc = "Interval vertex coloring of 9-pt and 27-pt stencils" in

@@ -1,6 +1,11 @@
 module Stencil = Ivc_grid.Stencil
 module Csr = Ivc_graph.Csr
 
+(* First-fit scan observability; each is a single atomic-load branch
+   when tracing is disabled (see lib/obs). *)
+let c_vertices = Ivc_obs.Counter.make "greedy.vertices_colored"
+let c_intervals = Ivc_obs.Counter.make "greedy.intervals_scanned"
+
 type state = {
   inst : Stencil.t;
   starts : int array;
@@ -67,6 +72,8 @@ let color_vertex st v =
     let s = scan_gap st.buf !count len in
     st.starts.(v) <- s;
     st.uncolored_count <- st.uncolored_count - 1;
+    Ivc_obs.Counter.incr c_vertices;
+    Ivc_obs.Counter.add c_intervals !count;
     s
   end
 
@@ -88,11 +95,15 @@ let color_in_order inst order =
   let n = Stencil.n_vertices inst in
   if Array.length order <> n then
     invalid_arg "Greedy.color_in_order: order length mismatch";
-  let st = create inst in
-  Array.iter (fun v -> ignore (color_vertex st v)) order;
-  if st.uncolored_count <> 0 then
-    invalid_arg "Greedy.color_in_order: order is not a permutation";
-  st.starts
+  Ivc_obs.Span.record ~cat:"core"
+    ~args:[ ("vertices", string_of_int n) ]
+    "greedy.color_in_order"
+    (fun () ->
+      let st = create inst in
+      Array.iter (fun v -> ignore (color_vertex st v)) order;
+      if st.uncolored_count <> 0 then
+        invalid_arg "Greedy.color_in_order: order is not a permutation";
+      st.starts)
 
 let color_in_order_graph g ~w order =
   let n = Csr.n_vertices g in

@@ -2,6 +2,9 @@ module Stencil = Ivc_grid.Stencil
 
 type verdict = Colorable of int array | Not_colorable | Unknown
 
+let c_cp_nodes = Ivc_obs.Counter.make "exact.cp_nodes"
+let c_cp_revisions = Ivc_obs.Counter.make "exact.cp_revisions"
+
 (* Domains are boolean arrays over candidate starts [0, k - w(v)].
    The disjointness constraint between two intervals only depends on
    the extremes of the other domain, so bounds reasoning gives exact
@@ -65,6 +68,7 @@ let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
     let nodes = ref 0 in
     (* Revise dom(i) against neighbor j; true if dom(i) changed. *)
     let revise node i j =
+      Ivc_obs.Counter.incr c_cp_revisions;
       let dj = node.dom.(j) in
       let mn = dom_min dj and mx = dom_max dj in
       let di = node.dom.(i) in
@@ -108,6 +112,7 @@ let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
     let exception Out_of_budget in
     let rec search node =
       incr nodes;
+      Ivc_obs.Counter.incr c_cp_nodes;
       if !nodes > budget then raise Out_of_budget;
       if !nodes land 255 = 0 && Sys.time () > deadline then raise Out_of_budget;
       (* MRV choice *)

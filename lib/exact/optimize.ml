@@ -15,6 +15,13 @@ let best_heuristic inst =
     (Ivc.Algo.run_all inst)
 
 let solve ?(budget = 200_000) ?time_limit_s inst =
+  Ivc_obs.Span.record ~cat:"exact"
+    ~args:
+      [
+        ("instance", Stencil.describe inst); ("budget", string_of_int budget);
+      ]
+    "exact.solve"
+  @@ fun () ->
   let t0 = Sys.time () in
   let remaining () =
     match time_limit_s with

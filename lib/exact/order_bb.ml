@@ -2,6 +2,10 @@ module Stencil = Ivc_grid.Stencil
 
 type status = Optimal of int * int array | Bounds of int * int * int array
 
+let c_bb_nodes = Ivc_obs.Counter.make "exact.bb_nodes"
+let c_forced = Ivc_obs.Counter.make "exact.bb_forced_moves"
+let c_incumbents = Ivc_obs.Counter.make "exact.bb_incumbents"
+
 let lower_bound_of = function Optimal (v, _) -> v | Bounds (lb, _, _) -> lb
 let upper_bound_of = function Optimal (v, _) -> v | Bounds (_, ub, _) -> ub
 let is_optimal = function Optimal _ -> true | Bounds _ -> false
@@ -107,6 +111,7 @@ let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s inst =
       else if !colored = n then begin
         best := cur_max;
         best_starts := Array.copy starts;
+        Ivc_obs.Counter.incr c_incumbents;
         if !best <= lb then raise Done
       end
       else begin
@@ -125,6 +130,7 @@ let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s inst =
          with Exit -> ());
         if !forced >= 0 then begin
           let v = !forced in
+          Ivc_obs.Counter.incr c_forced;
           let s = first_fit v in
           do_color v s;
           dfs (max cur_max (s + w.(v)));
@@ -145,8 +151,12 @@ let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s inst =
             branch_vertices
       end
     in
-    match dfs 0 with
-    | () -> Optimal (!best, !best_starts)
-    | exception Done -> Optimal (!best, !best_starts)
-    | exception Out_of_budget -> Bounds (lb, !best, !best_starts)
+    let status =
+      match dfs 0 with
+      | () -> Optimal (!best, !best_starts)
+      | exception Done -> Optimal (!best, !best_starts)
+      | exception Out_of_budget -> Bounds (lb, !best, !best_starts)
+    in
+    Ivc_obs.Counter.add c_bb_nodes !nodes;
+    status
   end

@@ -1,0 +1,390 @@
+(* Observability core. Everything funnels through one atomic enable
+   flag so that instrumented hot paths cost a load and a branch when
+   tracing is off. Recording structures are guarded by a single mutex:
+   span recording happens at batch/task granularity (never per vertex),
+   so lock contention is negligible next to the work being traced. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let now_ns () = Monotonic_clock.now ()
+let elapsed_s ~since = Int64.to_float (Int64.sub (now_ns ()) since) /. 1e9
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  args : (string * string) list;
+}
+
+let lock = Mutex.create ()
+let events : event list ref = ref []
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float Atomic.t) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let add_event e = with_lock (fun () -> events := e :: !events)
+
+let reset () =
+  with_lock (fun () ->
+      events := [];
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.0) gauges)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make name =
+    with_lock (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some c -> c
+        | None ->
+            let c = Atomic.make 0 in
+            Hashtbl.add counters name c;
+            c)
+
+  let incr c = if enabled () then Atomic.incr c
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let make name =
+    with_lock (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some g -> g
+        | None ->
+            let g = Atomic.make 0.0 in
+            Hashtbl.add gauges name g;
+            g)
+
+  let set g v = if enabled () then Atomic.set g v
+  let value g = Atomic.get g
+end
+
+module Span = struct
+  let record ?(cat = "ivc") ?(args = []) name f =
+    if not (enabled ()) then f ()
+    else begin
+      let t0 = now_ns () in
+      let tid = (Domain.self () :> int) in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur_ns = Int64.sub (now_ns ()) t0 in
+          add_event { name; cat; ts_ns = t0; dur_ns; tid; args })
+        f
+    end
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let number v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num v -> Buffer.add_string buf (number v)
+      | Str s -> escape buf s
+      | List xs ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char buf ',';
+              go x)
+            xs;
+          Buffer.add_char buf ']'
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char buf ',';
+              escape buf k;
+              Buffer.add_char buf ':';
+              go v)
+            fields;
+          Buffer.add_char buf '}'
+    in
+    go t;
+    Buffer.contents buf
+
+  (* Recursive-descent parser over the string; [pos] is the cursor. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "Json.parse at %d: %s" !pos msg) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'b' -> Buffer.add_char buf '\b'
+                 | 'f' -> Buffer.add_char buf '\012'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let code =
+                       int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                     in
+                     pos := !pos + 4;
+                     (* encode the BMP codepoint as UTF-8 *)
+                     if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                     else if code < 0x800 then begin
+                       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                     end
+                     else begin
+                       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                       Buffer.add_char buf
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                     end
+                 | c -> fail (Printf.sprintf "bad escape \\%c" c));
+              advance ();
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number"
+      else
+        match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some v -> v
+        | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec fields_loop () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (k, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields_loop ()
+              | Some '}' -> advance ()
+              | _ -> fail "expected , or }"
+            in
+            fields_loop ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let items = ref [] in
+            let rec items_loop () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items_loop ()
+              | Some ']' -> advance ()
+              | _ -> fail "expected , or ]"
+            in
+            items_loop ();
+            List (List.rev !items)
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function
+    | Num v -> v
+    | _ -> failwith "Json.to_float: not a number"
+end
+
+module Export = struct
+  let us_of_ns ns = Int64.to_float ns /. 1e3
+
+  let snapshot () =
+    with_lock (fun () ->
+        let evs = List.rev !events in
+        let cs =
+          Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) counters []
+          |> List.sort compare
+        in
+        let gs =
+          Hashtbl.fold (fun k g acc -> (k, Atomic.get g) :: acc) gauges []
+          |> List.sort compare
+        in
+        (evs, cs, gs))
+
+  let chrome_trace () =
+    let evs, _, _ = snapshot () in
+    let event e =
+      Json.Obj
+        [
+          ("name", Json.Str e.name);
+          ("cat", Json.Str e.cat);
+          ("ph", Json.Str "X");
+          ("ts", Json.Num (us_of_ns e.ts_ns));
+          ("dur", Json.Num (us_of_ns e.dur_ns));
+          ("pid", Json.Num 1.0);
+          ("tid", Json.Num (Float.of_int e.tid));
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.args));
+        ]
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.map event evs));
+        ("displayTimeUnit", Json.Str "ms");
+      ]
+
+  let metrics () =
+    let evs, cs, gs = snapshot () in
+    (* per-span-name aggregates *)
+    let agg = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let count, total_ns =
+          Option.value ~default:(0, 0L) (Hashtbl.find_opt agg e.name)
+        in
+        Hashtbl.replace agg e.name (count + 1, Int64.add total_ns e.dur_ns))
+      evs;
+    let spans =
+      Hashtbl.fold
+        (fun name (count, total_ns) acc ->
+          let total_ms = Int64.to_float total_ns /. 1e6 in
+          ( name,
+            Json.Obj
+              [
+                ("count", Json.Num (Float.of_int count));
+                ("total_ms", Json.Num total_ms);
+                ("mean_ms", Json.Num (total_ms /. Float.of_int (max 1 count)));
+              ] )
+          :: acc)
+        agg []
+      |> List.sort compare
+    in
+    Json.Obj
+      [
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (Float.of_int v))) cs));
+        ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) gs));
+        ("spans", Json.Obj spans);
+      ]
+
+  let write path doc =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n')
+
+  let write_trace path = write path (chrome_trace ())
+  let write_metrics path = write path (metrics ())
+end

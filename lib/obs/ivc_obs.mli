@@ -1,0 +1,122 @@
+(** Lightweight observability: tracing spans on the monotonic clock,
+    named counters and gauges, and two JSON exporters — Chrome
+    trace-event JSON (loadable in [chrome://tracing] / Perfetto) and a
+    flat metrics document.
+
+    The layer is designed to be threaded through hot paths: every
+    recording primitive first reads a single atomic enable flag, so a
+    disabled build costs one load and one branch per call site.
+    Recording is safe from any domain: spans and counters may be hit
+    concurrently from the worker pool. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+(** Global enable flag; starts disabled. *)
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events and zero every counter and gauge.
+    Registrations survive. *)
+
+(** {1 Monotonic clock} *)
+
+val now_ns : unit -> int64
+(** [clock_gettime(CLOCK_MONOTONIC)] in nanoseconds; never goes
+    backwards, unaffected by NTP slew. Works even when disabled. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a previous [now_ns] reading. *)
+
+(** {1 Counters and gauges} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Registers (or retrieves) the counter named [name]. Counters are
+      process-global and keyed by name, so a [make] at module-init time
+      in two libraries yields the same counter. *)
+
+  val incr : t -> unit
+  (** Atomic increment; no-op while disabled. *)
+
+  val add : t -> int -> unit
+  (** Atomic add; no-op while disabled. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Registers (or retrieves) the gauge named [name]. *)
+
+  val set : t -> float -> unit
+  (** Last-writer-wins; no-op while disabled. *)
+
+  val value : t -> float
+end
+
+(** {1 Spans} *)
+
+module Span : sig
+  val record :
+    ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [record name f] runs [f ()] inside a span: the span's duration is
+      measured on the monotonic clock and recorded (also when [f]
+      raises) together with the calling domain's id, so nested and
+      concurrent spans render correctly in a trace viewer. While
+      disabled, [record name f] is just [f ()]. *)
+end
+
+(** {1 JSON} *)
+
+(** A minimal JSON document model, used by both exporters (emission by
+    construction is always well-formed) and by consumers of bench
+    baselines — the toolchain has no JSON library and the CI gate needs
+    to read its own output back. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact, RFC 8259 conformant (strings escaped, numbers with
+      enough precision to round-trip). *)
+
+  val parse : string -> t
+  (** Recursive-descent parser for the same subset. Raises
+      [Failure _] on malformed input. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+  val to_float : t -> float
+  (** Number extraction; raises [Failure _] on non-numbers. *)
+end
+
+(** {1 Exporters} *)
+
+module Export : sig
+  val chrome_trace : unit -> Json.t
+  (** The recorded spans as a Chrome trace-event document: one
+      ["ph": "X"] (complete) event per span, timestamps and durations
+      in microseconds, [tid] = recording domain. *)
+
+  val metrics : unit -> Json.t
+  (** Flat metrics document: every counter and gauge value plus
+      per-span-name aggregates (count, total and mean milliseconds). *)
+
+  val write_trace : string -> unit
+  (** Write [chrome_trace] to a file. *)
+
+  val write_metrics : string -> unit
+  (** Write [metrics] to a file. *)
+end

@@ -3,6 +3,12 @@
    Simple and correct; the machines this targets have few cores, so
    lock contention is not the bottleneck (the tasks are the work). *)
 
+module Obs = Ivc_obs
+
+let c_tasks = Obs.Counter.make "pool.tasks_run"
+let c_idle_ns = Obs.Counter.make "pool.idle_ns"
+let g_idle_s = Obs.Gauge.make "pool.idle_s"
+
 type state = {
   dag : Dag.t;
   mutex : Mutex.t;
@@ -49,14 +55,21 @@ let worker st work on_start on_finish =
             Mutex.unlock st.mutex;
             Some v
         | [] ->
+            let t0 = Obs.now_ns () in
             Condition.wait st.cond st.mutex;
+            Obs.Counter.add c_idle_ns
+              (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
             wait ()
     in
     match wait () with
     | None -> ()
     | Some v ->
         on_start v;
-        work v;
+        Obs.Counter.incr c_tasks;
+        Obs.Span.record ~cat:"pool"
+          ~args:[ ("task", string_of_int v) ]
+          "pool.task"
+          (fun () -> work v);
         on_finish v;
         Mutex.lock st.mutex;
         st.remaining <- st.remaining - 1;
@@ -75,14 +88,22 @@ let worker st work on_start on_finish =
 let run_with dag ~workers ~work ~on_start ~on_finish =
   if workers < 1 then invalid_arg "Pool.run: need at least one worker";
   let st = make dag in
-  let t0 = Unix.gettimeofday () in
-  let domains =
-    List.init (workers - 1) (fun _ ->
-        Domain.spawn (fun () -> worker st work on_start on_finish))
-  in
-  worker st work on_start on_finish;
-  List.iter Domain.join domains;
-  Unix.gettimeofday () -. t0
+  let t0 = Obs.now_ns () in
+  Obs.Span.record ~cat:"pool"
+    ~args:
+      [
+        ("tasks", string_of_int dag.Dag.n); ("workers", string_of_int workers);
+      ]
+    "pool.run"
+    (fun () ->
+      let domains =
+        List.init (workers - 1) (fun _ ->
+            Domain.spawn (fun () -> worker st work on_start on_finish))
+      in
+      worker st work on_start on_finish;
+      List.iter Domain.join domains);
+  Obs.Gauge.set g_idle_s (Float.of_int (Obs.Counter.value c_idle_ns) /. 1e9);
+  Obs.elapsed_s ~since:t0
 
 let run dag ~workers ~work =
   run_with dag ~workers ~work ~on_start:ignore ~on_finish:ignore

@@ -53,8 +53,18 @@ end
 
 type policy = Color_order | Lpt | Fifo
 
+let g_makespan = Ivc_obs.Gauge.make "sim.makespan"
+let g_idle = Ivc_obs.Gauge.make "sim.idle_time"
+
 let run ?(bandwidth_penalty = 0.0) ?(policy = Color_order) (dag : Dag.t) ~workers =
   if workers < 1 then invalid_arg "Sim.run: need at least one worker";
+  Ivc_obs.Span.record ~cat:"sim"
+    ~args:
+      [
+        ("tasks", string_of_int dag.Dag.n); ("workers", string_of_int workers);
+      ]
+    "sim.run"
+  @@ fun () ->
   let n = dag.Dag.n in
   let start_times = Array.make n 0.0 in
   let worker_of = Array.make n (-1) in
@@ -111,11 +121,9 @@ let run ?(bandwidth_penalty = 0.0) ?(policy = Color_order) (dag : Dag.t) ~worker
     end
   done;
   let makespan = !now in
-  {
-    makespan;
-    start_times;
-    worker_of;
-    idle_time = (makespan *. Float.of_int workers) -. !busy_time;
-  }
+  let idle_time = (makespan *. Float.of_int workers) -. !busy_time in
+  Ivc_obs.Gauge.set g_makespan makespan;
+  Ivc_obs.Gauge.set g_idle idle_time;
+  { makespan; start_times; worker_of; idle_time }
 
 let speedup dag s = if s.makespan <= 0.0 then 1.0 else Dag.total_work dag /. s.makespan

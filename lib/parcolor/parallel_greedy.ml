@@ -1,6 +1,10 @@
 module Stencil = Ivc_grid.Stencil
+module Obs = Ivc_obs
 
 type stats = { rounds : int; conflicts_total : int; elapsed_s : float }
+
+let c_rounds = Obs.Counter.make "parcolor.rounds"
+let c_conflicts = Obs.Counter.make "parcolor.conflicts"
 
 (* First-fit against the racy shared starts array: reads of int cells
    are atomic in the OCaml memory model, so a stale read only produces
@@ -15,7 +19,7 @@ let first_fit_against inst starts v =
   Ivc.Greedy.first_fit ~len:w.(v) !neigh
 
 let color ?workers ?order inst =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now_ns () in
   let workers =
     match workers with Some p -> max 1 p | None -> Domain.recommended_domain_count ()
   in
@@ -31,48 +35,63 @@ let color ?workers ?order inst =
   let rounds = ref 0 and conflicts_total = ref 0 in
   while Array.length !pending > 0 do
     incr rounds;
+    Obs.Counter.incr c_rounds;
     let batch = !pending in
     let m = Array.length batch in
-    (* phase 1: speculative coloring, slices in round-robin so each
-       domain gets a spread of the order *)
-    let slice p () =
-      let i = ref p in
-      while !i < m do
-        let v = batch.(!i) in
-        starts.(v) <- first_fit_against inst starts v;
-        i := !i + workers
-      done
-    in
-    let domains = List.init (workers - 1) (fun p -> Domain.spawn (slice (p + 1))) in
-    slice 0 ();
-    List.iter Domain.join domains;
-    (* phase 2: conflict detection — the endpoint later in the order
-       loses and is recolored next round *)
-    let losers = ref [] in
-    Array.iter
-      (fun v ->
-        if w.(v) > 0 && starts.(v) >= 0 then begin
-          let sv = starts.(v) and wv = w.(v) in
-          let lost = ref false in
-          Stencil.iter_neighbors inst v (fun u ->
-              if (not !lost) && w.(u) > 0 && starts.(u) >= 0 && rank.(u) < rank.(v)
-              then begin
-                let su = starts.(u) and wu = w.(u) in
-                if sv < su + wu && su < sv + wv then lost := true
-              end);
-          if !lost then losers := v :: !losers
-        end)
-      batch;
-    let losers = Array.of_list !losers in
-    Array.iter (fun v -> starts.(v) <- -1) losers;
-    conflicts_total := !conflicts_total + Array.length losers;
-    (* keep the order-rank ordering within the pending set *)
-    Array.sort (fun a b -> compare rank.(a) rank.(b)) losers;
-    pending := losers
+    Obs.Span.record ~cat:"parcolor"
+      ~args:
+        [
+          ("round", string_of_int !rounds); ("pending", string_of_int m);
+        ]
+      "parcolor.round"
+      (fun () ->
+        (* phase 1: speculative coloring, slices in round-robin so each
+           domain gets a spread of the order *)
+        let slice p () =
+          let i = ref p in
+          while !i < m do
+            let v = batch.(!i) in
+            starts.(v) <- first_fit_against inst starts v;
+            i := !i + workers
+          done
+        in
+        Obs.Span.record ~cat:"parcolor" "parcolor.speculate" (fun () ->
+            let domains =
+              List.init (workers - 1) (fun p -> Domain.spawn (slice (p + 1)))
+            in
+            slice 0 ();
+            List.iter Domain.join domains);
+        (* phase 2: conflict detection — the endpoint later in the order
+           loses and is recolored next round *)
+        let losers = ref [] in
+        Obs.Span.record ~cat:"parcolor" "parcolor.detect" (fun () ->
+            Array.iter
+              (fun v ->
+                if w.(v) > 0 && starts.(v) >= 0 then begin
+                  let sv = starts.(v) and wv = w.(v) in
+                  let lost = ref false in
+                  Stencil.iter_neighbors inst v (fun u ->
+                      if
+                        (not !lost) && w.(u) > 0 && starts.(u) >= 0
+                        && rank.(u) < rank.(v)
+                      then begin
+                        let su = starts.(u) and wu = w.(u) in
+                        if sv < su + wu && su < sv + wv then lost := true
+                      end);
+                  if !lost then losers := v :: !losers
+                end)
+              batch);
+        let losers = Array.of_list !losers in
+        Array.iter (fun v -> starts.(v) <- -1) losers;
+        conflicts_total := !conflicts_total + Array.length losers;
+        Obs.Counter.add c_conflicts (Array.length losers);
+        (* keep the order-rank ordering within the pending set *)
+        Array.sort (fun a b -> compare rank.(a) rank.(b)) losers;
+        pending := losers)
   done;
   ( starts,
     {
       rounds = !rounds;
       conflicts_total = !conflicts_total;
-      elapsed_s = Unix.gettimeofday () -. t0;
+      elapsed_s = Obs.elapsed_s ~since:t0;
     } )

@@ -16,6 +16,7 @@ let () =
       ("nae3sat", Test_sat.suite);
       ("datasets", Test_data.suite);
       ("profiles", Test_profile.suite);
+      ("observability", Test_obs.suite);
       ("taskpar", Test_par.suite);
       ("stkde", Test_stkde.suite);
       ("order", Test_order.suite);
