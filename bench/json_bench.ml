@@ -14,7 +14,12 @@ module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 1
+let schema_version = 2
+
+(* Deadline given to the resilient portfolio on each instance; small, so
+   the bench stays CI-friendly — hard instances report heuristic or
+   fallback provenance rather than stalling the job. *)
+let portfolio_deadline_s = 0.25
 
 (* Unique, order-independent instance ids: the catalog description,
    suffixed when a description repeats. *)
@@ -28,11 +33,25 @@ let ids_of_entries entries =
       if k = 0 then d else Printf.sprintf "%s#%d" d k)
     entries
 
-let document ~scale ~subsample ~reps runs ids =
+(* Run the resilient portfolio driver on one instance; a certificate
+   rejection here means the driver returned (or would have returned) a
+   coloring its own gate cannot certify — that is a correctness bug, so
+   the bench run fails loudly rather than recording bad numbers. *)
+let portfolio_of ~id inst =
+  match
+    Ivc_resilient.Driver.solve ~deadline_s:portfolio_deadline_s inst
+  with
+  | Ok o -> o
+  | Error e ->
+      Format.printf "bench json: certificate gate rejected %s: %s@." id
+        (Ivc_resilient.Cert.to_string e);
+      exit 1
+
+let document ~scale ~subsample ~reps runs ids portfolios =
   let algo_names = Array.to_list Common.algo_names in
   let instances =
     List.map2
-      (fun (r : Common.run) id ->
+      (fun ((r : Common.run), (p : Ivc_resilient.Driver.outcome)) id ->
         let per_algo f =
           Json.Obj (List.mapi (fun i name -> (name, f i)) algo_names)
         in
@@ -46,8 +65,58 @@ let document ~scale ~subsample ~reps runs ids =
             );
             ( "runtime_ms",
               per_algo (fun i -> Json.Num (1000.0 *. r.Common.runtimes.(i))) );
+            ( "portfolio",
+              Json.Obj
+                [
+                  ( "provenance",
+                    Json.Str
+                      (Ivc_resilient.Driver.provenance_to_string
+                         p.Ivc_resilient.Driver.provenance) );
+                  ( "maxcolor",
+                    Json.Num (Float.of_int p.Ivc_resilient.Driver.maxcolor) );
+                  ( "lower_bound",
+                    Json.Num (Float.of_int p.Ivc_resilient.Driver.lower_bound)
+                  );
+                  ( "proven_optimal",
+                    Json.Bool p.Ivc_resilient.Driver.proven_optimal );
+                  ( "runtime_ms",
+                    Json.Num (1000.0 *. p.Ivc_resilient.Driver.elapsed_s) );
+                ] );
           ])
-      runs ids
+      (List.combine runs portfolios)
+      ids
+  in
+  let robustness =
+    let count pred =
+      Json.Num (Float.of_int (List.length (List.filter pred portfolios)))
+    in
+    Json.Obj
+      [
+        ("deadline_s", Json.Num portfolio_deadline_s);
+        ( "exact",
+          count (fun (p : Ivc_resilient.Driver.outcome) ->
+              p.Ivc_resilient.Driver.provenance = Ivc_resilient.Driver.Exact)
+        );
+        ( "heuristic",
+          count (fun (p : Ivc_resilient.Driver.outcome) ->
+              match p.Ivc_resilient.Driver.provenance with
+              | Ivc_resilient.Driver.Heuristic _ -> true
+              | _ -> false) );
+        ( "fallback",
+          count (fun (p : Ivc_resilient.Driver.outcome) ->
+              p.Ivc_resilient.Driver.provenance = Ivc_resilient.Driver.Fallback)
+        );
+        ( "deadline_expired",
+          Json.Num
+            (Float.of_int
+               (Ivc_obs.Counter.value
+                  (Ivc_obs.Counter.make "resilient.deadline_expired"))) );
+        ( "cert_rejects",
+          Json.Num
+            (Float.of_int
+               (Ivc_obs.Counter.value
+                  (Ivc_obs.Counter.make "resilient.cert_reject"))) );
+      ]
   in
   let summary =
     Json.Obj
@@ -86,6 +155,7 @@ let document ~scale ~subsample ~reps runs ids =
       ("algorithms", Json.List (List.map (fun n -> Json.Str n) algo_names));
       ("instances", Json.List instances);
       ("summary", summary);
+      ("robustness", robustness);
       ("metrics", Ivc_obs.Export.metrics ());
     ]
 
@@ -160,7 +230,12 @@ let run ?(out = "BENCH_PR.json") ?baseline ?(scale = 0.05) ?(subsample = 8)
     (List.length entries) scale subsample reps;
   let ids = ids_of_entries entries in
   let runs = Common.run_catalog ~reps entries in
-  let doc = document ~scale ~subsample ~reps runs ids in
+  let portfolios =
+    List.map2
+      (fun (e : Cat.entry) id -> portfolio_of ~id e.Cat.inst)
+      entries ids
+  in
+  let doc = document ~scale ~subsample ~reps runs ids portfolios in
   Ivc_obs.set_enabled false;
   let oc = open_out out in
   Fun.protect

@@ -28,7 +28,7 @@ let plane_of_name = function
 
 let make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound =
   match from_file with
-  | Some path -> Spatial_data.Io.instance_of_string (Spatial_data.Io.load path)
+  | Some path -> Spatial_data.Io.load_instance path
   | None ->
   match dataset with
   | Some name ->
@@ -97,6 +97,27 @@ let metrics_t =
                metrics JSON document to $(docv).")
 
 let obs_t = Term.(const (fun t m -> (t, m)) $ trace_t $ metrics_t)
+
+(* ---- resilience options ----------------------------------------------- *)
+
+let deadline_t =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
+         ~doc:"Wall-clock budget in seconds (monotonic). The command \
+               returns the best certified result found in time.")
+
+let faults_t =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault-injection plan, e.g. \
+               'seed=7,crash=0.2,delay=0.05:0.002,lost=0.1'. Defaults to \
+               \\$(b,IVC_FAULT_PLAN) when set.")
+
+let fault_plan_of spec =
+  match spec with
+  | Some s -> Ivc_resilient.Faults.parse s
+  | None ->
+      Option.value
+        (Ivc_resilient.Faults.from_env ())
+        ~default:Ivc_resilient.Faults.none
 
 (* Enable the observability layer iff an export destination was asked
    for, run the command, then write the exports (also on failure, so a
@@ -178,19 +199,46 @@ let exact_cmd =
     Arg.(value & opt float 30.0 & info [ "time-limit" ] ~docv:"S"
            ~doc:"CPU time limit in seconds.")
   in
-  let run inst budget time_limit_s obs =
+  let portfolio_t =
+    Arg.(value & flag & info [ "portfolio" ]
+           ~doc:"Route through the resilient portfolio driver (exact, then \
+                 heuristics, then greedy fallback) with a certificate gate. \
+                 Implied by $(b,--deadline).")
+  in
+  let run inst budget time_limit_s deadline portfolio obs =
     with_obs obs @@ fun () ->
     Format.printf "instance: %s@." (S.describe inst);
-    let o = Ivc_exact.Optimize.solve ~budget ~time_limit_s inst in
-    Format.printf "lower bound %d, upper bound %d (%s)@."
-      o.Ivc_exact.Optimize.lower_bound o.Ivc_exact.Optimize.upper_bound
-      o.Ivc_exact.Optimize.nodes_hint;
-    if o.Ivc_exact.Optimize.proven_optimal then
-      Format.printf "proven optimal: maxcolor* = %d@." o.Ivc_exact.Optimize.upper_bound
-    else Format.printf "gap not closed within budget@."
+    if portfolio || deadline <> None then begin
+      match Ivc_resilient.Driver.solve ?deadline_s:deadline ~budget inst with
+      | Ok o ->
+          Format.printf
+            "portfolio: maxcolor %d, lower bound %d, provenance %s, %.1f ms@."
+            o.Ivc_resilient.Driver.maxcolor o.Ivc_resilient.Driver.lower_bound
+            (Ivc_resilient.Driver.provenance_to_string
+               o.Ivc_resilient.Driver.provenance)
+            (1000.0 *. o.Ivc_resilient.Driver.elapsed_s);
+          if o.Ivc_resilient.Driver.proven_optimal then
+            Format.printf "proven optimal: maxcolor* = %d@."
+              o.Ivc_resilient.Driver.maxcolor
+          else Format.printf "gap not closed before the deadline@."
+      | Error e ->
+          Format.eprintf "certificate gate rejected every candidate: %s@."
+            (Ivc_resilient.Cert.to_string e);
+          exit 1
+    end
+    else begin
+      let o = Ivc_exact.Optimize.solve ~budget ~time_limit_s inst in
+      Format.printf "lower bound %d, upper bound %d (%s)@."
+        o.Ivc_exact.Optimize.lower_bound o.Ivc_exact.Optimize.upper_bound
+        o.Ivc_exact.Optimize.nodes_hint;
+      if o.Ivc_exact.Optimize.proven_optimal then
+        Format.printf "proven optimal: maxcolor* = %d@." o.Ivc_exact.Optimize.upper_bound
+      else Format.printf "gap not closed within budget@."
+    end
   in
   Cmd.v (Cmd.info "exact" ~doc:"Solve an instance exactly (Gurobi stand-in)")
-    Term.(const run $ instance_t $ budget_t $ time_t $ obs_t)
+    Term.(const run $ instance_t $ budget_t $ time_t $ deadline_t $ portfolio_t
+          $ obs_t)
 
 (* ---- catalog ----------------------------------------------------------- *)
 
@@ -258,8 +306,21 @@ let stkde_cmd =
   let algo_t =
     Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
   in
-  let run dataset scale workers algo obs =
+  let run dataset scale workers algo faults obs =
     with_obs obs @@ fun () ->
+    let plan = fault_plan_of faults in
+    (* the scatter task is not idempotent (it accumulates into the
+       shared density field), so lost-result faults — which recovery
+       must re-execute — would double-count mass; keep crash/delay. *)
+    let plan =
+      if plan.Ivc_resilient.Faults.lost > 0.0 then begin
+        Format.eprintf
+          "stkde: ignoring lost=%g (scatter tasks are not idempotent)@."
+          plan.Ivc_resilient.Faults.lost;
+        { plan with Ivc_resilient.Faults.lost = 0.0 }
+      end
+      else plan
+    in
     let cloud = dataset_of_name scale (Option.value ~default:"dengue" dataset) in
     let bx, by, bz = (8, 8, 4) in
     let hs =
@@ -288,7 +349,11 @@ let stkde_cmd =
     let seq_t0 = Unix.gettimeofday () in
     let seq = Stkde.App.density_sequential cfg in
     let seq_t = Unix.gettimeofday () -. seq_t0 in
-    let par, par_t = Stkde.App.density_parallel cfg ~starts ~workers in
+    let wrap_task =
+      if Ivc_resilient.Faults.is_none plan then None
+      else Some (Ivc_resilient.Faults.wrap plan ~n:(S.n_vertices inst))
+    in
+    let par, par_t = Stkde.App.density_parallel ?wrap_task cfg ~starts ~workers in
     let sched = Stkde.App.simulate cfg ~starts ~workers ~penalty:0.03 in
     Format.printf "sequential %.3fs, parallel (%d domains) %.3fs, max density diff %.2e@."
       seq_t workers par_t (Stkde.App.max_diff seq par);
@@ -297,7 +362,7 @@ let stkde_cmd =
   in
   Cmd.v
     (Cmd.info "stkde" ~doc:"Run the space-time kernel density application (Sec VII)")
-    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t $ obs_t)
+    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t $ faults_t $ obs_t)
 
 (* ---- save ------------------------------------------------------------------- *)
 
@@ -364,19 +429,35 @@ let parcolor_cmd =
   let workers_t =
     Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Domains.")
   in
-  let run inst workers obs =
+  let run inst workers deadline faults obs =
     with_obs obs @@ fun () ->
-    let starts, stats = Ivc_parcolor.Parallel_greedy.color ~workers inst in
-    let mc = Ivc.Coloring.assert_valid inst starts in
+    let plan = fault_plan_of faults in
+    let fault =
+      if Ivc_resilient.Faults.is_none plan then None
+      else
+        Some (Ivc_resilient.Faults.parcolor_hook plan ~n:(S.n_vertices inst))
+    in
+    let token = Ivc_resilient.Deadline.make ?seconds:deadline () in
+    let cancel = Ivc_resilient.Deadline.as_fn token in
+    let starts, stats =
+      Ivc_parcolor.Parallel_greedy.color ~workers ~cancel ?fault inst
+    in
+    (* the certificate gate, not just the library's own checker *)
+    let mc = Ivc_resilient.Cert.assert_ok inst starts in
     Format.printf
-      "%s: %d colors with %d workers (%d rounds, %d conflicts, %.1f ms)@."
+      "%s: %d colors with %d workers (%d rounds, %d conflicts, %d faults \
+       recovered%s, %.1f ms)@."
       (S.describe inst) mc workers stats.Ivc_parcolor.Parallel_greedy.rounds
       stats.Ivc_parcolor.Parallel_greedy.conflicts_total
+      stats.Ivc_parcolor.Parallel_greedy.faults_recovered
+      (if stats.Ivc_parcolor.Parallel_greedy.cancelled then
+         ", cancelled by deadline"
+       else "")
       (1000.0 *. stats.Ivc_parcolor.Parallel_greedy.elapsed_s)
   in
   Cmd.v
     (Cmd.info "parcolor" ~doc:"Speculative parallel greedy coloring on domains")
-    Term.(const run $ instance_t $ workers_t $ obs_t)
+    Term.(const run $ instance_t $ workers_t $ deadline_t $ faults_t $ obs_t)
 
 let () =
   let doc = "Interval vertex coloring of 9-pt and 27-pt stencils" in

@@ -39,7 +39,7 @@ let apply inst starts pass =
     order;
   cur
 
-let run ?(max_rounds = 10) inst starts ~passes =
+let run ?(max_rounds = 10) ?(cancel = fun () -> false) inst starts ~passes =
   let w = (inst : Stencil.t).w in
   let best = ref (Array.copy starts) in
   let best_mc = ref (Coloring.maxcolor ~w starts) in
@@ -49,6 +49,10 @@ let run ?(max_rounds = 10) inst starts ~passes =
        let before = !best_mc in
        List.iter
          (fun pass ->
+           (* Cooperative cancellation between recoloring sweeps: the
+              coloring in [best] is complete and valid at every pass
+              boundary, so stopping here always returns an incumbent. *)
+           if cancel () then raise Exit;
            cur := apply inst !cur pass;
            let mc = Coloring.maxcolor ~w !cur in
            if mc < !best_mc then begin
@@ -61,7 +65,7 @@ let run ?(max_rounds = 10) inst starts ~passes =
    with Exit -> ());
   !best
 
-let best_effort ?max_rounds inst =
+let best_effort ?max_rounds ?cancel inst =
   let w = (inst : Stencil.t).w in
   let _, starts, _ =
     List.fold_left
@@ -71,4 +75,4 @@ let best_effort ?max_rounds inst =
       (Algo.run_all inst)
   in
   ignore w;
-  run ?max_rounds inst starts ~passes:[ Reverse; Cliques; Restart ]
+  run ?max_rounds ?cancel inst starts ~passes:[ Reverse; Cliques; Restart ]

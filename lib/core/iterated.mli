@@ -19,9 +19,12 @@ val apply : Ivc_grid.Stencil.t -> int array -> pass -> int array
 
 (** [run inst starts ~passes] cycles through the pass list until the
     maxcolor stops improving or [max_rounds] (default 10) full cycles
-    ran. Returns the best coloring found. *)
+    ran. Returns the best coloring found. [cancel] is polled before
+    every pass; when it fires the best complete coloring found so far
+    is returned immediately (never worse than the input). *)
 val run :
   ?max_rounds:int ->
+  ?cancel:(unit -> bool) ->
   Ivc_grid.Stencil.t ->
   int array ->
   passes:pass list ->
@@ -32,4 +35,5 @@ val run :
     [Reverse; Cliques; Restart] cycles. The strongest (and slowest)
     polynomial heuristic in this repository; used by the ablation
     benches as "IGR". *)
-val best_effort : ?max_rounds:int -> Ivc_grid.Stencil.t -> int array
+val best_effort :
+  ?max_rounds:int -> ?cancel:(unit -> bool) -> Ivc_grid.Stencil.t -> int array

@@ -1,5 +1,29 @@
 module Stencil = Ivc_grid.Stencil
 
+exception Io_error of { file : string option; line : int option; msg : string }
+
+let c_io_errors = Ivc_obs.Counter.make "io.errors"
+
+let io_error_to_string ~file ~line ~msg =
+  match (file, line) with
+  | Some f, Some l -> Printf.sprintf "%s:%d: %s" f l msg
+  | Some f, None -> Printf.sprintf "%s: %s" f msg
+  | None, Some l -> Printf.sprintf "line %d: %s" l msg
+  | None, None -> msg
+
+let io_error ?file ?line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Ivc_obs.Counter.incr c_io_errors;
+      raise (Io_error { file; line; msg }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { file; line; msg } ->
+        Some ("Io_error: " ^ io_error_to_string ~file ~line ~msg)
+    | _ -> None)
+
 let cloud_to_csv (c : Points.cloud) =
   let b = Buffer.create (16 * Points.size c) in
   Buffer.add_string b "x,y,t\n";
@@ -10,28 +34,28 @@ let cloud_to_csv (c : Points.cloud) =
     c.Points.points;
   Buffer.contents b
 
-let cloud_of_csv ~name s =
+let cloud_of_csv ?file ~name s =
   let lines = String.split_on_char '\n' s in
   let parse lineno line =
     match String.split_on_char ',' (String.trim line) with
     | [ x; y; t ] -> (
-        try
-          Some { Points.x = float_of_string x; y = float_of_string y; t = float_of_string t }
-        with Failure _ ->
-          failwith (Printf.sprintf "Io.cloud_of_csv: bad number on line %d" lineno))
-    | _ -> failwith (Printf.sprintf "Io.cloud_of_csv: expected 3 fields on line %d" lineno)
-  in
-  let points =
-    List.filteri (fun i _ -> i > 0) lines
-    |> List.concat_map (fun line ->
-           if String.trim line = "" then []
-           else [ line ])
-    |> List.mapi (fun i line -> parse (i + 2) line)
-    |> List.filter_map Fun.id
+        match
+          (float_of_string_opt x, float_of_string_opt y, float_of_string_opt t)
+        with
+        | Some x, Some y, Some t -> Some { Points.x; y; t }
+        | _ -> io_error ?file ~line:lineno "bad number in CSV row")
+    | _ -> io_error ?file ~line:lineno "expected 3 fields 'x,y,t'"
   in
   (match lines with
   | header :: _ when String.trim header = "x,y,t" -> ()
-  | _ -> failwith "Io.cloud_of_csv: missing 'x,y,t' header");
+  | _ -> io_error ?file ~line:1 "missing 'x,y,t' header");
+  let points =
+    List.filteri (fun i _ -> i > 0) lines
+    |> List.mapi (fun i line -> (i + 2, line))
+    |> List.concat_map (fun (lineno, line) ->
+           if String.trim line = "" then [] else [ (lineno, line) ])
+    |> List.filter_map (fun (lineno, line) -> parse lineno line)
+  in
   Points.make name (Array.of_list points)
 
 let instance_to_string inst =
@@ -54,45 +78,64 @@ let tokens_of s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun t -> String.trim t <> "")
 
-let instance_of_string s =
+let dim ?file what s =
+  match int_of_string_opt s with
+  | Some d when d > 0 -> d
+  | Some _ -> io_error ?file ~line:1 "dimension %s must be positive" what
+  | None -> io_error ?file ~line:1 "bad %s dimension token %S" what s
+
+let weights ?file ~expected rest =
+  let w =
+    Array.of_list
+      (List.map
+         (fun t ->
+           match int_of_string_opt t with
+           | Some v -> v
+           | None -> io_error ?file "bad weight token %S" t)
+         rest)
+  in
+  if Array.length w <> expected then
+    io_error ?file "expected %d weights, got %d" expected (Array.length w);
+  w
+
+let instance_of_string ?file s =
   match tokens_of s with
   | "ivc2" :: xs :: ys :: rest ->
-      let x = int_of_string xs and y = int_of_string ys in
-      let w =
-        try Array.of_list (List.map int_of_string rest)
-        with Failure _ -> failwith "Io.instance_of_string: bad weight token"
-      in
-      if Array.length w <> x * y then
-        failwith
-          (Printf.sprintf "Io.instance_of_string: expected %d weights, got %d"
-             (x * y) (Array.length w));
-      Stencil.make2 ~x ~y w
+      let x = dim ?file "X" xs and y = dim ?file "Y" ys in
+      Stencil.make2 ~x ~y (weights ?file ~expected:(x * y) rest)
   | "ivc3" :: xs :: ys :: zs :: rest ->
-      let x = int_of_string xs and y = int_of_string ys and z = int_of_string zs in
-      let w =
-        try Array.of_list (List.map int_of_string rest)
-        with Failure _ -> failwith "Io.instance_of_string: bad weight token"
-      in
-      if Array.length w <> x * y * z then
-        failwith
-          (Printf.sprintf "Io.instance_of_string: expected %d weights, got %d"
-             (x * y * z) (Array.length w));
-      Stencil.make3 ~x ~y ~z w
-  | _ -> failwith "Io.instance_of_string: expected 'ivc2 X Y' or 'ivc3 X Y Z' header"
+      let x = dim ?file "X" xs
+      and y = dim ?file "Y" ys
+      and z = dim ?file "Z" zs in
+      Stencil.make3 ~x ~y ~z (weights ?file ~expected:(x * y * z) rest)
+  | _ -> io_error ?file ~line:1 "expected 'ivc2 X Y' or 'ivc3 X Y Z' header"
 
 let coloring_to_string starts =
   String.concat " " (Array.to_list (Array.map string_of_int starts))
 
-let coloring_of_string s =
-  try Array.of_list (List.map int_of_string (tokens_of s))
-  with Failure _ -> failwith "Io.coloring_of_string: bad token"
+let coloring_of_string ?file s =
+  Array.of_list
+    (List.map
+       (fun t ->
+         match int_of_string_opt t with
+         | Some v -> v
+         | None -> io_error ?file "bad start token %S" t)
+       (tokens_of s))
 
 let save path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  match open_out path with
+  | exception Sys_error msg -> io_error ~file:path "cannot write: %s" msg
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents)
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in path with
+  | exception Sys_error msg -> io_error ~file:path "cannot read: %s" msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_instance path = instance_of_string ~file:path (load path)

@@ -5,23 +5,46 @@
     Instances: a small self-describing text format
       line 1: [ivc2 X Y] or [ivc3 X Y Z]
       then the weights, row-major, whitespace-separated.
-    Colorings: the starts, whitespace-separated, in one line. *)
+    Colorings: the starts, whitespace-separated, in one line.
+
+    All parsers raise the typed {!Io_error} on malformed input — never
+    a bare [Failure] or [Scanf]/[Sys_error] leak — carrying the source
+    file (when known) and line so a service can log and reject a bad
+    upload without dying. *)
+
+(** Malformed input, with as much source context as the call site had:
+    [file] is the path when parsing came from a file, [line] the
+    1-based source line when the format is line-oriented. *)
+exception Io_error of { file : string option; line : int option; msg : string }
+
+(** Human-readable rendering of an {!Io_error}'s payload, e.g.
+    ["weights.ivc:3: expected 3 fields"]. *)
+val io_error_to_string :
+  file:string option -> line:int option -> msg:string -> string
 
 val cloud_to_csv : Points.cloud -> string
 
 (** [cloud_of_csv ~name s] parses the CSV (header required, blank lines
-    skipped). Raises [Failure] with a line diagnostic on bad input. *)
-val cloud_of_csv : name:string -> string -> Points.cloud
+    skipped). Raises {!Io_error} with a line diagnostic on bad input;
+    [file] tags the error with its source path. *)
+val cloud_of_csv : ?file:string -> name:string -> string -> Points.cloud
 
 val instance_to_string : Ivc_grid.Stencil.t -> string
 
-(** Parses the instance format above. Raises [Failure] on bad input. *)
-val instance_of_string : string -> Ivc_grid.Stencil.t
+(** Parses the instance format above. Raises {!Io_error} on bad
+    input. *)
+val instance_of_string : ?file:string -> string -> Ivc_grid.Stencil.t
 
 val coloring_to_string : int array -> string
-val coloring_of_string : string -> int array
+val coloring_of_string : ?file:string -> string -> int array
 
-(** File helpers. *)
+(** File helpers; failures to open/read/write raise {!Io_error} with
+    the path. *)
 val save : string -> string -> unit
 
 val load : string -> string
+
+(** [load_instance path] = [instance_of_string ~file:path (load path)]:
+    the one-call path used by the CLI, with every error carrying the
+    file name. *)
+val load_instance : string -> Ivc_grid.Stencil.t

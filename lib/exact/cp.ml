@@ -18,6 +18,7 @@ type node = {
 }
 
 exception Empty_domain
+exception Out_of_budget
 
 let dom_min d =
   let i = ref 0 in
@@ -33,7 +34,7 @@ let copy_node n = { dom = Array.map Array.copy n.dom; size = Array.copy n.size }
 
 (* Core engine over an abstract neighborhood function. [iter_nbr v f]
    must enumerate the neighbors of [v] among all [n_all] vertices. *)
-let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
+let decide_gen ~budget ~time_limit_s ~cancel ~n_all ~w_all ~iter_nbr ~k =
   let deadline =
     match time_limit_s with None -> infinity | Some s -> Sys.time () +. s
   in
@@ -66,9 +67,14 @@ let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
       }
     in
     let nodes = ref 0 in
+    let revs = ref 0 in
     (* Revise dom(i) against neighbor j; true if dom(i) changed. *)
     let revise node i j =
       Ivc_obs.Counter.incr c_cp_revisions;
+      (* Long propagation chains can dominate runtime on big domains,
+         so cancellation is also polled here, not only per node. *)
+      incr revs;
+      if !revs land 8191 = 0 && cancel () then raise Out_of_budget;
       let dj = node.dom.(j) in
       let mn = dom_min dj and mx = dom_max dj in
       let di = node.dom.(i) in
@@ -109,12 +115,12 @@ let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
       starts
     in
     let exception Found of int array in
-    let exception Out_of_budget in
     let rec search node =
       incr nodes;
       Ivc_obs.Counter.incr c_cp_nodes;
       if !nodes > budget then raise Out_of_budget;
-      if !nodes land 255 = 0 && Sys.time () > deadline then raise Out_of_budget;
+      if !nodes land 255 = 0 && (Sys.time () > deadline || cancel ()) then
+        raise Out_of_budget;
       (* MRV choice *)
       let best = ref (-1) and bestsz = ref max_int in
       for i = 0 to n - 1 do
@@ -150,15 +156,17 @@ let decide_gen ~budget ~time_limit_s ~n_all ~w_all ~iter_nbr ~k =
     | Out_of_budget -> Unknown
   end
 
-let decide ?(budget = 10_000_000) ?time_limit_s inst ~k =
-  decide_gen ~budget ~time_limit_s
+let decide ?(budget = 10_000_000) ?time_limit_s ?(cancel = fun () -> false)
+    inst ~k =
+  decide_gen ~budget ~time_limit_s ~cancel
     ~n_all:(Stencil.n_vertices inst)
     ~w_all:(inst : Stencil.t).w
     ~iter_nbr:(fun v f -> Stencil.iter_neighbors inst v f)
     ~k
 
-let decide_graph ?(budget = 10_000_000) ?time_limit_s g ~w ~k =
-  decide_gen ~budget ~time_limit_s
+let decide_graph ?(budget = 10_000_000) ?time_limit_s
+    ?(cancel = fun () -> false) g ~w ~k =
+  decide_gen ~budget ~time_limit_s ~cancel
     ~n_all:(Ivc_graph.Csr.n_vertices g)
     ~w_all:w
     ~iter_nbr:(fun v f -> Ivc_graph.Csr.iter_neighbors g v f)
@@ -193,7 +201,8 @@ let optimize_graph ?(budget = 10_000_000) g ~w =
   in
   go lb ub trivial
 
-let optimize ?(budget = 10_000_000) ?time_limit_s inst =
+let optimize ?(budget = 10_000_000) ?time_limit_s ?(cancel = fun () -> false)
+    inst =
   let t0 = Sys.time () in
   let remaining () =
     match time_limit_s with
@@ -212,9 +221,10 @@ let optimize ?(budget = 10_000_000) ?time_limit_s inst =
     (* invariant: colorable with hi (witness best_starts); the smallest
        feasible k lies in [lo, hi] *)
     if lo >= hi then Some (hi, best_starts)
+    else if cancel () then None
     else
       let mid = (lo + hi) / 2 in
-      match decide ~budget ?time_limit_s:(remaining ()) inst ~k:mid with
+      match decide ~budget ?time_limit_s:(remaining ()) ~cancel inst ~k:mid with
       | Colorable s -> go lo mid s
       | Not_colorable -> go (mid + 1) hi best_starts
       | Unknown -> None

@@ -15,11 +15,18 @@ type verdict =
   | Not_colorable
   | Unknown  (** node budget exhausted *)
 
-(** [decide ?budget ?time_limit_s inst ~k]. [budget] caps the number of
-    search nodes (default 10_000_000); [time_limit_s] caps CPU seconds.
-    Either limit makes the verdict [Unknown]. *)
+(** [decide ?budget ?time_limit_s ?cancel inst ~k]. [budget] caps the
+    number of search nodes (default 10_000_000); [time_limit_s] caps
+    CPU seconds; [cancel] is polled cooperatively every 256 search
+    nodes and every 8192 constraint revisions. Any limit firing makes
+    the verdict [Unknown]. *)
 val decide :
-  ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> k:int -> verdict
+  ?budget:int ->
+  ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
+  Ivc_grid.Stencil.t ->
+  k:int ->
+  verdict
 
 (** Decision on an arbitrary weighted graph; used to machine-check the
     special-case theorems of Section III against their constructive
@@ -27,6 +34,7 @@ val decide :
 val decide_graph :
   ?budget:int ->
   ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
   Ivc_graph.Csr.t ->
   w:int array ->
   k:int ->
@@ -34,11 +42,12 @@ val decide_graph :
 
 (** Exact optimum via binary search on [k], between the best heuristic
     value and the combined lower bound. Returns [(opt, starts)] or
-    [None] when a budget was hit before closing the gap.
-    [time_limit_s] bounds the whole search. *)
+    [None] when a budget was hit (or [cancel] fired) before closing
+    the gap. [time_limit_s] bounds the whole search. *)
 val optimize :
   ?budget:int ->
   ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
   Ivc_grid.Stencil.t ->
   (int * int array) option
 

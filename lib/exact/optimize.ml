@@ -14,7 +14,7 @@ let best_heuristic inst =
     (max_int, [||])
     (Ivc.Algo.run_all inst)
 
-let solve ?(budget = 200_000) ?time_limit_s inst =
+let solve ?(budget = 200_000) ?time_limit_s ?(cancel = fun () -> false) inst =
   Ivc_obs.Span.record ~cat:"exact"
     ~args:
       [
@@ -31,7 +31,10 @@ let solve ?(budget = 200_000) ?time_limit_s inst =
   let lb = Ivc.Bounds.combined inst in
   let ub, ub_starts = best_heuristic inst in
   let order_bb () =
-    match Order_bb.solve ~node_budget:budget ?time_limit_s:(remaining ()) inst with
+    match
+      Order_bb.solve ~node_budget:budget ?time_limit_s:(remaining ()) ~cancel
+        inst
+    with
     | Order_bb.Optimal (v, s) ->
         {
           lower_bound = v;
@@ -69,7 +72,9 @@ let solve ?(budget = 200_000) ?time_limit_s inst =
     if cp_ok then begin
       (* give CP half the remaining time, keep the rest for order-BB *)
       let cp_limit = Option.map (fun s -> s /. 2.0) (remaining ()) in
-      match Cp.optimize ~budget:(budget * 10) ?time_limit_s:cp_limit inst with
+      match
+        Cp.optimize ~budget:(budget * 10) ?time_limit_s:cp_limit ~cancel inst
+      with
       | Some (opt, starts) ->
           {
             lower_bound = opt;
@@ -83,6 +88,6 @@ let solve ?(budget = 200_000) ?time_limit_s inst =
     else order_bb ()
   end
 
-let optimal_value ?budget ?time_limit_s inst =
-  let o = solve ?budget ?time_limit_s inst in
+let optimal_value ?budget ?time_limit_s ?cancel inst =
+  let o = solve ?budget ?time_limit_s ?cancel inst in
   if o.proven_optimal then Some o.upper_bound else None

@@ -15,12 +15,23 @@ type outcome = {
   nodes_hint : string;  (** which engine closed (or failed to close) *)
 }
 
-(** [solve ?budget ?time_limit_s inst] with [budget] roughly
+(** [solve ?budget ?time_limit_s ?cancel inst] with [budget] roughly
     proportional to search nodes (default 200_000) and [time_limit_s]
-    bounding the CPU seconds spent. *)
-val solve : ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> outcome
+    bounding the CPU seconds spent. [cancel] is polled cooperatively
+    inside both engines; when it fires the best incumbent found so far
+    is returned with [proven_optimal = false]. *)
+val solve :
+  ?budget:int ->
+  ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
+  Ivc_grid.Stencil.t ->
+  outcome
 
-(** [optimal_value ?budget ?time_limit_s inst] returns [Some maxcolor*]
-    iff optimality was proven within budget. *)
+(** [optimal_value ?budget ?time_limit_s ?cancel inst] returns
+    [Some maxcolor*] iff optimality was proven within budget. *)
 val optimal_value :
-  ?budget:int -> ?time_limit_s:float -> Ivc_grid.Stencil.t -> int option
+  ?budget:int ->
+  ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
+  Ivc_grid.Stencil.t ->
+  int option

@@ -53,7 +53,8 @@ let randomized_ub inst restarts (ub, ub_starts) =
 
 exception Out_of_budget
 
-let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s inst =
+let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s
+    ?(cancel = fun () -> false) inst =
   let deadline =
     match time_limit_s with None -> infinity | Some s -> Sys.time () +. s
   in
@@ -106,7 +107,8 @@ let solve ?(node_budget = 200_000) ?(restarts = 8) ?time_limit_s inst =
     let rec dfs cur_max =
       incr nodes;
       if !nodes > node_budget then raise Out_of_budget;
-      if !nodes land 1023 = 0 && Sys.time () > deadline then raise Out_of_budget;
+      if !nodes land 1023 = 0 && (Sys.time () > deadline || cancel ()) then
+        raise Out_of_budget;
       if cur_max >= !best then ()
       else if !colored = n then begin
         best := cur_max;

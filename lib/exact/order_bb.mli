@@ -16,15 +16,20 @@ type status =
       (** [(lb, ub, starts)] when the budget ran out: best known
           coloring and the residual gap *)
 
-(** [solve ?node_budget ?restarts ?time_limit_s inst]. [node_budget]
-    caps branch-and-bound nodes (default 200_000); [restarts] adds
-    randomized greedy restarts to tighten the initial upper bound
-    (default 8); [time_limit_s] aborts the search after that much CPU
-    time (the paper's one-day-timeout analogue). *)
+(** [solve ?node_budget ?restarts ?time_limit_s ?cancel inst].
+    [node_budget] caps branch-and-bound nodes (default 200_000);
+    [restarts] adds randomized greedy restarts to tighten the initial
+    upper bound (default 8); [time_limit_s] aborts the search after
+    that much CPU time (the paper's one-day-timeout analogue).
+    [cancel] is a cooperative cancellation poll (e.g. a deadline token
+    from [Ivc_resilient.Deadline]): it is checked every 1024
+    branch-and-bound nodes, and a [true] return aborts the search,
+    yielding [Bounds] with the best incumbent found so far. *)
 val solve :
   ?node_budget:int ->
   ?restarts:int ->
   ?time_limit_s:float ->
+  ?cancel:(unit -> bool) ->
   Ivc_grid.Stencil.t ->
   status
 

@@ -1,13 +1,26 @@
 (* A single-lock work pool: a binary heap of ready tasks ordered by
    (priority, id), predecessor counters decremented on completion.
    Simple and correct; the machines this targets have few cores, so
-   lock contention is not the bottleneck (the tasks are the work). *)
+   lock contention is not the bottleneck (the tasks are the work).
+
+   Failure handling: an exception escaping a task body is captured on
+   the worker (it must never kill a domain — a dead domain would leave
+   the others blocked on the condition variable forever). The task is
+   re-enqueued up to [max_retries] times; past that it is marked
+   permanently failed, its successors are released anyway (the DAG
+   edges encode mutual exclusion, not data flow), and the failure is
+   surfaced to the submitter as a typed record. *)
 
 module Obs = Ivc_obs
 
 let c_tasks = Obs.Counter.make "pool.tasks_run"
 let c_idle_ns = Obs.Counter.make "pool.idle_ns"
 let g_idle_s = Obs.Gauge.make "pool.idle_s"
+let c_task_failures = Obs.Counter.make "pool.task_failures"
+let c_task_retries = Obs.Counter.make "pool.task_retries"
+let c_tasks_failed = Obs.Counter.make "pool.tasks_failed_permanently"
+
+type failure = { task : int; attempts : int; error : exn }
 
 type state = {
   dag : Dag.t;
@@ -16,6 +29,9 @@ type state = {
   indeg : int array;
   mutable ready : (int * int) list; (* sorted (priority, id) *)
   mutable remaining : int;
+  max_retries : int;
+  failed_attempts : int array;
+  mutable failures : failure list;
 }
 
 let rec insert_sorted x = function
@@ -23,7 +39,7 @@ let rec insert_sorted x = function
   | y :: rest when x <= y -> x :: y :: rest
   | y :: rest -> y :: insert_sorted x rest
 
-let make dag =
+let make ?(max_retries = 0) dag =
   let n = dag.Dag.n in
   let indeg = Array.copy dag.Dag.n_pred in
   let ready = ref [] in
@@ -37,7 +53,20 @@ let make dag =
     indeg;
     ready = !ready;
     remaining = n;
+    max_retries;
+    failed_attempts = Array.make n 0;
+    failures = [];
   }
+
+(* With [st.mutex] held: mark [v] done and release its successors. *)
+let complete st v =
+  st.remaining <- st.remaining - 1;
+  Array.iter
+    (fun u ->
+      st.indeg.(u) <- st.indeg.(u) - 1;
+      if st.indeg.(u) = 0 then
+        st.ready <- insert_sorted (st.dag.Dag.priority.(u), u) st.ready)
+    st.dag.Dag.succ.(v)
 
 let worker st work on_start on_finish =
   let rec loop () =
@@ -66,28 +95,43 @@ let worker st work on_start on_finish =
     | Some v ->
         on_start v;
         Obs.Counter.incr c_tasks;
-        Obs.Span.record ~cat:"pool"
-          ~args:[ ("task", string_of_int v) ]
-          "pool.task"
-          (fun () -> work v);
+        let result =
+          match
+            Obs.Span.record ~cat:"pool"
+              ~args:[ ("task", string_of_int v) ]
+              "pool.task"
+              (fun () -> work v)
+          with
+          | () -> Ok ()
+          | exception e -> Error e
+        in
         on_finish v;
         Mutex.lock st.mutex;
-        st.remaining <- st.remaining - 1;
-        Array.iter
-          (fun u ->
-            st.indeg.(u) <- st.indeg.(u) - 1;
-            if st.indeg.(u) = 0 then
-              st.ready <- insert_sorted (st.dag.Dag.priority.(u), u) st.ready)
-          st.dag.Dag.succ.(v);
+        (match result with
+        | Ok () -> complete st v
+        | Error e ->
+            Obs.Counter.incr c_task_failures;
+            st.failed_attempts.(v) <- st.failed_attempts.(v) + 1;
+            if st.failed_attempts.(v) <= st.max_retries then begin
+              Obs.Counter.incr c_task_retries;
+              st.ready <- insert_sorted (st.dag.Dag.priority.(v), v) st.ready
+            end
+            else begin
+              Obs.Counter.incr c_tasks_failed;
+              st.failures <-
+                { task = v; attempts = st.failed_attempts.(v); error = e }
+                :: st.failures;
+              complete st v
+            end);
         if st.remaining = 0 || st.ready <> [] then Condition.broadcast st.cond;
         Mutex.unlock st.mutex;
         loop ()
   in
   loop ()
 
-let run_with dag ~workers ~work ~on_start ~on_finish =
+let run_with ?max_retries dag ~workers ~work ~on_start ~on_finish =
   if workers < 1 then invalid_arg "Pool.run: need at least one worker";
-  let st = make dag in
+  let st = make ?max_retries dag in
   let t0 = Obs.now_ns () in
   Obs.Span.record ~cat:"pool"
     ~args:
@@ -103,10 +147,16 @@ let run_with dag ~workers ~work ~on_start ~on_finish =
       worker st work on_start on_finish;
       List.iter Domain.join domains);
   Obs.Gauge.set g_idle_s (Float.of_int (Obs.Counter.value c_idle_ns) /. 1e9);
-  Obs.elapsed_s ~since:t0
+  (Obs.elapsed_s ~since:t0, List.rev st.failures)
+
+let run_result ?max_retries dag ~workers ~work =
+  run_with ?max_retries dag ~workers ~work ~on_start:ignore ~on_finish:ignore
 
 let run dag ~workers ~work =
-  run_with dag ~workers ~work ~on_start:ignore ~on_finish:ignore
+  let elapsed, failures = run_result dag ~workers ~work in
+  match failures with
+  | [] -> elapsed
+  | { error; _ } :: _ -> raise error
 
 let run_checked dag ~workers ~work ~conflicts =
   let n = dag.Dag.n in
@@ -126,5 +176,6 @@ let run_checked dag ~workers ~work ~conflicts =
     running.(v) <- false;
     Mutex.unlock guard
   in
-  let elapsed = run_with dag ~workers ~work ~on_start ~on_finish in
+  let elapsed, failures = run_with dag ~workers ~work ~on_start ~on_finish in
+  (match failures with [] -> () | { error; _ } :: _ -> raise error);
   (elapsed, !violations)

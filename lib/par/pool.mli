@@ -2,7 +2,20 @@
     domains — the stand-in for the paper's OpenMP tasking runtime
     (Section VII). Tasks become ready when all their predecessors have
     run; ready tasks are picked in increasing (priority, id) order,
-    matching the paper's task-creation order. *)
+    matching the paper's task-creation order.
+
+    The pool is failure-hardened: an exception escaping a task body is
+    captured on the worker (it can never kill a domain or deadlock the
+    pool), counted via [pool.task_failures], retried up to a bounded
+    number of times, and finally surfaced to the submitter as a typed
+    {!failure} record. *)
+
+(** A task that kept failing after all retry attempts. *)
+type failure = {
+  task : int;
+  attempts : int;  (** executions that raised, including the retries *)
+  error : exn;  (** the exception of the last attempt *)
+}
 
 (** [run dag ~workers ~work] executes [work v] once for every task [v],
     respecting the DAG dependencies, on [workers] domains (including
@@ -10,13 +23,34 @@
 
     [work] is called concurrently from several domains; tasks connected
     by a DAG edge never run concurrently, which is the mutual-exclusion
-    guarantee the coloring exists to provide. *)
+    guarantee the coloring exists to provide.
+
+    If a task raises, the pool still drains completely (successors of
+    the failed task are released — DAG edges encode mutual exclusion,
+    not data flow) and the first failure's exception is re-raised after
+    shutdown. Use {!run_result} to get failures as values instead. *)
 val run : Dag.t -> workers:int -> work:(int -> unit) -> float
+
+(** [run_result ?max_retries dag ~workers ~work] is the resilient
+    entry point: a task whose body raises is re-enqueued up to
+    [max_retries] times (default 0) with the usual priority, and tasks
+    still failing after that are reported in the returned list (empty
+    on a fully clean run) rather than raised. Retries and permanent
+    failures are counted via [pool.task_retries] /
+    [pool.tasks_failed_permanently]. Note that a retried task is
+    re-executed from the start: its body should be idempotent. *)
+val run_result :
+  ?max_retries:int ->
+  Dag.t ->
+  workers:int ->
+  work:(int -> unit) ->
+  float * failure list
 
 (** Records which tasks were observed running concurrently with a
     conflict, for testing the exclusion guarantee: [run_checked]
     executes the DAG while asserting that no two stencil-adjacent tasks
-    overlap in time. Returns (elapsed, violations). *)
+    overlap in time. Returns (elapsed, violations). Failure behavior
+    is that of {!run}. *)
 val run_checked :
   Dag.t -> workers:int -> work:(int -> unit) ->
   conflicts:(int -> int -> bool) -> float * int

@@ -1,10 +1,25 @@
 module Stencil = Ivc_grid.Stencil
 module Obs = Ivc_obs
 
-type stats = { rounds : int; conflicts_total : int; elapsed_s : float }
+type stats = {
+  rounds : int;
+  conflicts_total : int;
+  faults_recovered : int;
+  cancelled : bool;
+  elapsed_s : float;
+}
 
 let c_rounds = Obs.Counter.make "parcolor.rounds"
 let c_conflicts = Obs.Counter.make "parcolor.conflicts"
+let c_fault_recoveries = Obs.Counter.make "parcolor.fault_recoveries"
+let c_cancelled = Obs.Counter.make "parcolor.cancelled_rounds"
+let c_faults_disabled = Obs.Counter.make "parcolor.fault_injection_disabled"
+
+(* After this many rounds any fault hook is dropped: injected failures
+   re-enqueue their vertex, so an adversarial plan could otherwise
+   starve a vertex forever. The recovery guarantee must not depend on
+   the plan's probabilities. *)
+let max_fault_rounds = 25
 
 (* First-fit against the racy shared starts array: reads of int cells
    are atomic in the OCaml memory model, so a stale read only produces
@@ -18,11 +33,12 @@ let first_fit_against inst starts v =
         neigh := Ivc.Interval.make ~start:s ~len:w.(u) :: !neigh);
   Ivc.Greedy.first_fit ~len:w.(v) !neigh
 
-let color ?workers ?order inst =
+let color ?workers ?order ?cancel ?fault inst =
   let t0 = Obs.now_ns () in
   let workers =
     match workers with Some p -> max 1 p | None -> Domain.recommended_domain_count ()
   in
+  let cancel = match cancel with Some f -> f | None -> fun () -> false in
   let n = Stencil.n_vertices inst in
   let w = (inst : Stencil.t).w in
   let order = match order with Some o -> o | None -> Stencil.row_major_order inst in
@@ -33,9 +49,31 @@ let color ?workers ?order inst =
   Array.iteri (fun pos v -> rank.(v) <- pos) order;
   let pending = ref (Array.copy order) in
   let rounds = ref 0 and conflicts_total = ref 0 in
+  let faults_recovered = ref 0 in
+  let cancelled = ref false in
+  let fault = ref fault in
   while Array.length !pending > 0 do
+    if cancel () then begin
+      (* Graceful degrade: finish the remaining vertices sequentially
+         in rank order. Each first-fit sees every earlier write, so the
+         completed coloring is valid — the result of a cancelled run is
+         never partial, it just loses the remaining parallelism. *)
+      cancelled := true;
+      Obs.Counter.incr c_cancelled;
+      Obs.Span.record ~cat:"parcolor" "parcolor.sequential_finish" (fun () ->
+          Array.iter
+            (fun v -> starts.(v) <- first_fit_against inst starts v)
+            !pending);
+      pending := [||]
+    end
+    else begin
     incr rounds;
     Obs.Counter.incr c_rounds;
+    if !rounds > max_fault_rounds && !fault <> None then begin
+      fault := None;
+      Obs.Counter.incr c_faults_disabled
+    end;
+    let inject = !fault in
     let batch = !pending in
     let m = Array.length batch in
     Obs.Span.record ~cat:"parcolor"
@@ -46,12 +84,24 @@ let color ?workers ?order inst =
       "parcolor.round"
       (fun () ->
         (* phase 1: speculative coloring, slices in round-robin so each
-           domain gets a spread of the order *)
+           domain gets a spread of the order. A worker "crash" on one
+           vertex (an exception from the fault hook) leaves that vertex
+           uncolored; the detection phase re-enqueues it, so injected
+           failures delay vertices but never lose them. *)
+        let round = !rounds in
         let slice p () =
           let i = ref p in
           while !i < m do
             let v = batch.(!i) in
-            starts.(v) <- first_fit_against inst starts v;
+            let alive =
+              (* only hook exceptions are swallowed: a deterministic
+                 failure of the coloring itself must propagate, or the
+                 re-enqueue loop would retry it forever *)
+              match inject with
+              | None -> true
+              | Some f -> ( try f ~round v; true with _ -> false)
+            in
+            if alive then starts.(v) <- first_fit_against inst starts v;
             i := !i + workers
           done
         in
@@ -62,12 +112,18 @@ let color ?workers ?order inst =
             slice 0 ();
             List.iter Domain.join domains);
         (* phase 2: conflict detection — the endpoint later in the order
-           loses and is recolored next round *)
+           loses and is recolored next round; vertices dropped by an
+           injected fault are re-enqueued the same way *)
         let losers = ref [] in
+        let dropped = ref 0 in
         Obs.Span.record ~cat:"parcolor" "parcolor.detect" (fun () ->
             Array.iter
               (fun v ->
-                if w.(v) > 0 && starts.(v) >= 0 then begin
+                if starts.(v) < 0 then begin
+                  incr dropped;
+                  losers := v :: !losers
+                end
+                else if w.(v) > 0 then begin
                   let sv = starts.(v) and wv = w.(v) in
                   let lost = ref false in
                   Stencil.iter_neighbors inst v (fun u ->
@@ -83,15 +139,21 @@ let color ?workers ?order inst =
               batch);
         let losers = Array.of_list !losers in
         Array.iter (fun v -> starts.(v) <- -1) losers;
-        conflicts_total := !conflicts_total + Array.length losers;
-        Obs.Counter.add c_conflicts (Array.length losers);
+        let conflicts = Array.length losers - !dropped in
+        conflicts_total := !conflicts_total + conflicts;
+        Obs.Counter.add c_conflicts conflicts;
+        faults_recovered := !faults_recovered + !dropped;
+        Obs.Counter.add c_fault_recoveries !dropped;
         (* keep the order-rank ordering within the pending set *)
         Array.sort (fun a b -> compare rank.(a) rank.(b)) losers;
         pending := losers)
+    end
   done;
   ( starts,
     {
       rounds = !rounds;
       conflicts_total = !conflicts_total;
+      faults_recovered = !faults_recovered;
+      cancelled = !cancelled;
       elapsed_s = Obs.elapsed_s ~since:t0;
     } )

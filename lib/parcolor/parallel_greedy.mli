@@ -9,17 +9,40 @@
     the other re-enters the pending set. Terminates because each round
     permanently commits at least the locally-lowest vertex of every
     conflict chain. Produces a valid coloring with quality comparable
-    to the sequential greedy on the same order. *)
+    to the sequential greedy on the same order.
+
+    Resilience: the same re-enqueue machinery that repairs speculation
+    races also repairs injected (or real) per-vertex worker failures —
+    a vertex whose coloring attempt raised stays uncolored and simply
+    re-enters the pending set, so failures delay vertices but never
+    lose them. Cooperative cancellation degrades to a sequential
+    finish of whatever is still pending, so a cancelled run still
+    returns a complete valid coloring. *)
 
 type stats = {
   rounds : int;
   conflicts_total : int;  (** vertices recolored due to races *)
+  faults_recovered : int;
+      (** vertices re-enqueued because their coloring attempt raised *)
+  cancelled : bool;  (** true if [cancel] fired before completion *)
   elapsed_s : float;
 }
 
-(** [color ?workers ?order inst] — [order] defaults to the instance's
-    row-major order; [workers] defaults to
-    [Domain.recommended_domain_count ()]. Returns the starts array and
-    execution statistics. *)
+(** [color ?workers ?order ?cancel ?fault inst] — [order] defaults to
+    the instance's row-major order; [workers] defaults to
+    [Domain.recommended_domain_count ()]. [cancel] is polled between
+    rounds; once it returns [true] the remaining pending vertices are
+    colored sequentially (still yielding a complete valid coloring)
+    and the run stops. [fault] is a fault-injection hook (see
+    [Ivc_resilient.Faults.parcolor_hook]) called before each vertex's
+    speculative coloring; if it raises, the vertex is treated as a
+    crashed worker task and recovered on the next round. The hook is
+    dropped after 25 rounds so adversarial plans cannot prevent
+    termination. Returns the starts array and execution statistics. *)
 val color :
-  ?workers:int -> ?order:int array -> Ivc_grid.Stencil.t -> int array * stats
+  ?workers:int ->
+  ?order:int array ->
+  ?cancel:(unit -> bool) ->
+  ?fault:(round:int -> int -> unit) ->
+  Ivc_grid.Stencil.t ->
+  int array * stats

@@ -1,0 +1,66 @@
+module Stencil = Ivc_grid.Stencil
+
+type error =
+  | Wrong_length of { expected : int; got : int }
+  | Uncolored of { vertex : int; start : int }
+  | Overlap of { u : int; su : int; wu : int; v : int; sv : int; wv : int }
+
+exception Rejected of error
+
+let c_pass = Ivc_obs.Counter.make "resilient.cert_pass"
+let c_reject = Ivc_obs.Counter.make "resilient.cert_reject"
+
+let to_string = function
+  | Wrong_length { expected; got } ->
+      Printf.sprintf "certificate: expected %d starts, got %d" expected got
+  | Uncolored { vertex; start } ->
+      Printf.sprintf "certificate: vertex %d has no valid color (start %d)"
+        vertex start
+  | Overlap { u; su; wu; v; sv; wv } ->
+      Printf.sprintf "certificate: vertices %d [%d,%d) and %d [%d,%d) overlap"
+        u su (su + wu) v sv (sv + wv)
+
+let check inst starts =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let fail e =
+    Ivc_obs.Counter.incr c_reject;
+    Error e
+  in
+  if Array.length starts <> n then
+    fail (Wrong_length { expected = n; got = Array.length starts })
+  else begin
+    let err = ref None in
+    (try
+       for v = 0 to n - 1 do
+         (* Zero-weight vertices occupy the empty interval and cannot
+            conflict; any start is acceptable for them. *)
+         if starts.(v) < 0 && w.(v) > 0 then begin
+           err := Some (Uncolored { vertex = v; start = starts.(v) });
+           raise Exit
+         end;
+         if w.(v) > 0 then
+           Stencil.iter_neighbors inst v (fun u ->
+               if u > v && w.(u) > 0 && starts.(u) >= 0 then begin
+                 let sv = starts.(v) and wv = w.(v) in
+                 let su = starts.(u) and wu = w.(u) in
+                 if sv < su + wu && su < sv + wv then begin
+                   err := Some (Overlap { u; su; wu; v; sv; wv });
+                   raise Exit
+                 end
+               end)
+       done
+     with Exit -> ());
+    match !err with
+    | Some e -> fail e
+    | None ->
+        Ivc_obs.Counter.incr c_pass;
+        let m = ref 0 in
+        Array.iteri
+          (fun v s -> if s >= 0 && s + w.(v) > !m then m := s + w.(v))
+          starts;
+        Ok !m
+  end
+
+let assert_ok inst starts =
+  match check inst starts with Ok mc -> mc | Error e -> raise (Rejected e)

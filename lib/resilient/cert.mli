@@ -1,0 +1,34 @@
+(** Certificate gate: independent validation of a coloring before it
+    leaves the resilient driver.
+
+    The gate re-checks, against the instance's implicit stencil
+    adjacency, that (a) the coloring has exactly one start per vertex,
+    (b) every positive-weight vertex is colored with a non-negative
+    start (interval widths equal the weights by representation — a
+    start plus the instance's own weight array — so coloredness is the
+    only per-vertex requirement), and (c) stencil-adjacent intervals
+    are disjoint. It is deliberately written directly against
+    [Stencil.iter_neighbors] rather than reusing a solver's own
+    validity helper, so a bug upstream cannot vouch for itself.
+
+    Failing closed: callers treat [Error _] as "do not return this
+    coloring", falling back to the previous certified incumbent. *)
+
+type error =
+  | Wrong_length of { expected : int; got : int }
+  | Uncolored of { vertex : int; start : int }
+      (** negative start on a positive-weight vertex *)
+  | Overlap of { u : int; su : int; wu : int; v : int; sv : int; wv : int }
+      (** stencil-adjacent intervals [su, su+wu) and [sv, sv+wv)
+          intersect *)
+
+exception Rejected of error
+
+val to_string : error -> string
+
+(** [check inst starts] is [Ok maxcolor] for a certified coloring.
+    Increments [resilient.cert_pass] / [resilient.cert_reject]. *)
+val check : Ivc_grid.Stencil.t -> int array -> (int, error) result
+
+(** [assert_ok inst starts] is [check] raising [Rejected] on failure. *)
+val assert_ok : Ivc_grid.Stencil.t -> int array -> int

@@ -1,0 +1,46 @@
+let c_expired = Ivc_obs.Counter.make "resilient.deadline_expired"
+let c_cancelled = Ivc_obs.Counter.make "resilient.cancels"
+
+type t = {
+  deadline_ns : int64 option;
+  flag : bool Atomic.t;
+  (* so the deadline_expired counter fires once per token *)
+  observed : bool Atomic.t;
+}
+
+let make ?seconds () =
+  let deadline_ns =
+    Option.map
+      (fun s ->
+        Int64.add (Ivc_obs.now_ns ()) (Int64.of_float (1e9 *. Float.max 0.0 s)))
+      seconds
+  in
+  { deadline_ns; flag = Atomic.make false; observed = Atomic.make false }
+
+let never () = make ()
+
+let cancel t =
+  if not (Atomic.exchange t.flag true) then Ivc_obs.Counter.incr c_cancelled
+
+let expired t =
+  Atomic.get t.flag
+  ||
+  match t.deadline_ns with
+  | None -> false
+  | Some d ->
+      let e = Int64.compare (Ivc_obs.now_ns ()) d >= 0 in
+      if e && not (Atomic.exchange t.observed true) then
+        Ivc_obs.Counter.incr c_expired;
+      e
+
+let remaining_s t =
+  Option.map
+    (fun d ->
+      if Atomic.get t.flag then 0.0
+      else
+        Float.max 0.0
+          (Int64.to_float (Int64.sub d (Ivc_obs.now_ns ())) /. 1e9))
+    t.deadline_ns
+
+let as_fn t () = expired t
+let combine t extra () = expired t || extra ()

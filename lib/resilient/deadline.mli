@@ -1,0 +1,40 @@
+(** Cooperative cancellation / deadline tokens on the monotonic clock.
+
+    A token carries an optional absolute deadline plus an explicit
+    cancellation flag; [expired] is cheap enough to poll from solver
+    inner loops (one atomic load, plus a clock read only when a
+    deadline was set). Tokens are safe to share across domains.
+
+    The solvers themselves never see this type: they accept a plain
+    [?cancel:(unit -> bool)] closure ([as_fn]), which keeps the lower
+    layers free of any dependency on this library. *)
+
+type t
+
+(** [make ?seconds ()] starts the countdown now (monotonic clock, so
+    NTP slew cannot fire it early or late). Without [seconds] the token
+    only expires through [cancel]. *)
+val make : ?seconds:float -> unit -> t
+
+(** A token that never expires on its own. *)
+val never : unit -> t
+
+(** Explicit cancellation; idempotent. *)
+val cancel : t -> unit
+
+(** True once the token was cancelled or its deadline passed. The first
+    deadline observation increments the [resilient.deadline_expired]
+    counter. *)
+val expired : t -> bool
+
+(** Wall-clock seconds left before the deadline ([None] if the token
+    has no deadline). Never negative; 0 once expired. *)
+val remaining_s : t -> float option
+
+(** The token as a polling closure, for threading into solver
+    [?cancel] parameters. *)
+val as_fn : t -> unit -> bool
+
+(** [combine t extra] expires when [t] expires or [extra ()] holds —
+    used to merge a caller-provided cancel closure with a deadline. *)
+val combine : t -> (unit -> bool) -> unit -> bool

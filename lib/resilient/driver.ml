@@ -1,0 +1,121 @@
+module Stencil = Ivc_grid.Stencil
+
+type provenance = Exact | Heuristic of string | Fallback
+
+type outcome = {
+  starts : int array;
+  maxcolor : int;
+  lower_bound : int;
+  provenance : provenance;
+  proven_optimal : bool;
+  elapsed_s : float;
+}
+
+let provenance_to_string = function
+  | Exact -> "exact"
+  | Heuristic h -> "heuristic:" ^ h
+  | Fallback -> "fallback"
+
+let c_exact = Ivc_obs.Counter.make "resilient.portfolio_exact"
+let c_heuristic = Ivc_obs.Counter.make "resilient.portfolio_heuristic"
+let c_fallback = Ivc_obs.Counter.make "resilient.portfolio_fallback"
+let c_rejected = Ivc_obs.Counter.make "resilient.portfolio_rejected"
+
+let solve ?deadline_s ?cancel ?(budget = 200_000) ?(improve = true) inst =
+  Ivc_obs.Span.record ~cat:"resilient"
+    ~args:[ ("instance", Stencil.describe inst) ]
+    "resilient.solve"
+  @@ fun () ->
+  let t0 = Ivc_obs.now_ns () in
+  let token = Deadline.make ?seconds:deadline_s () in
+  let cancel =
+    match cancel with
+    | Some f -> Deadline.combine token f
+    | None -> Deadline.as_fn token
+  in
+  let lb = ref (Ivc.Bounds.combined inst) in
+  (* The certified incumbent: only colorings that pass the gate get
+     in, so whatever stage the deadline interrupts, what we hand back
+     was independently validated. *)
+  let best = ref None in
+  let last_reject = ref None in
+  let consider ?(proven = false) ~provenance starts =
+    match Cert.check inst starts with
+    | Error e -> last_reject := Some e
+    | Ok mc -> (
+        match !best with
+        | Some (_, bmc, _, _) when mc > bmc -> ()
+        | Some (_, bmc, _, _) when mc = bmc && not proven -> ()
+        | _ -> best := Some (starts, mc, provenance, proven))
+  in
+  (* Stage 0 — the guaranteed fallback. Runs unconditionally (even
+     with an already-expired deadline the caller is owed *a* valid
+     coloring; greedy first-fit is the cheapest complete one). *)
+  Ivc_obs.Span.record ~cat:"resilient" "resilient.stage_fallback" (fun () ->
+      consider ~provenance:Fallback (Ivc.Heuristics.gll inst));
+  (* Stage 1 — the heuristic portfolio, cheapest quality upgrades. *)
+  if not (cancel ()) then
+    Ivc_obs.Span.record ~cat:"resilient" "resilient.stage_heuristics"
+      (fun () ->
+        List.iter
+          (fun (a : Ivc.Algo.t) ->
+            if a.Ivc.Algo.name <> "GLL" && not (cancel ()) then
+              consider ~provenance:(Heuristic a.Ivc.Algo.name)
+                (a.Ivc.Algo.run inst))
+          Ivc.Algo.all);
+  (* Stage 1.5 — iterated-greedy improvement of the incumbent. *)
+  if improve && not (cancel ()) then begin
+    match !best with
+    | Some (starts, _, prov, false) ->
+        Ivc_obs.Span.record ~cat:"resilient" "resilient.stage_improve"
+          (fun () ->
+            let improved =
+              Ivc.Iterated.run ~cancel inst starts
+                ~passes:Ivc.Iterated.[ Reverse; Cliques; Restart ]
+            in
+            let provenance =
+              match prov with
+              | Heuristic h -> Heuristic (h ^ "+IGR")
+              | p -> p
+            in
+            consider ~provenance improved)
+    | _ -> ()
+  end;
+  (* Stage 2 — exact, on whatever time remains. *)
+  if not (cancel ()) then begin
+    let o =
+      Ivc_exact.Optimize.solve ~budget
+        ?time_limit_s:(Deadline.remaining_s token)
+        ~cancel inst
+    in
+    lb := max !lb o.Ivc_exact.Optimize.lower_bound;
+    if o.Ivc_exact.Optimize.proven_optimal then
+      consider ~proven:true ~provenance:Exact o.Ivc_exact.Optimize.starts
+    else
+      consider
+        ~provenance:(Heuristic "B&B incumbent")
+        o.Ivc_exact.Optimize.starts
+  end;
+  match !best with
+  | None ->
+      (* fail closed: nothing certified — surface the typed rejection
+         instead of returning an unchecked coloring *)
+      Ivc_obs.Counter.incr c_rejected;
+      Error
+        (Option.value !last_reject
+           ~default:(Cert.Wrong_length { expected = -1; got = -1 }))
+  | Some (starts, maxcolor, provenance, proven) ->
+      (match provenance with
+      | Exact -> Ivc_obs.Counter.incr c_exact
+      | Heuristic _ -> Ivc_obs.Counter.incr c_heuristic
+      | Fallback -> Ivc_obs.Counter.incr c_fallback);
+      let lower_bound = if proven then maxcolor else min !lb maxcolor in
+      Ok
+        {
+          starts;
+          maxcolor;
+          lower_bound;
+          provenance;
+          proven_optimal = proven;
+          elapsed_s = Ivc_obs.elapsed_s ~since:t0;
+        }

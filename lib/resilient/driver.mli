@@ -1,0 +1,53 @@
+(** Resilient solver portfolio: always returns a certified coloring
+    within (approximately) a caller-set deadline, degrading gracefully
+    from exact to heuristic quality.
+
+    The chain, cheapest-first so an incumbent exists from the first
+    milliseconds: greedy first-fit (the guaranteed fallback), then the
+    full heuristic portfolio (GZO, GLF, GKF, SGK, BD, BDP), then
+    iterated-greedy improvement, then the exact engines (CP decision /
+    order branch-and-bound) on whatever time remains. Cancellation is
+    cooperative at every stage boundary and inside every solver loop;
+    whatever stage the deadline interrupts, the best previously
+    certified incumbent is returned, with provenance recording which
+    stage produced it and the tightest lower bound proved before
+    cancellation.
+
+    Every candidate passes the {!Cert} gate before it can become the
+    incumbent, and the driver fails closed: a coloring that does not
+    certify is discarded (counted via [resilient.cert_reject]), and if
+    no candidate at all certifies the driver returns the typed error
+    rather than an unchecked coloring. *)
+
+type provenance =
+  | Exact  (** proven optimal within the deadline *)
+  | Heuristic of string
+      (** name of the heuristic (or B&B incumbent) that produced the
+          returned coloring *)
+  | Fallback  (** only the greedy first-fit fallback completed *)
+
+type outcome = {
+  starts : int array;
+  maxcolor : int;
+  lower_bound : int;
+      (** tightest bound proved before cancellation; equals [maxcolor]
+          iff [proven_optimal] *)
+  provenance : provenance;
+  proven_optimal : bool;
+  elapsed_s : float;
+}
+
+val provenance_to_string : provenance -> string
+
+(** [solve ?deadline_s ?cancel ?budget ?improve inst]. [deadline_s]
+    bounds the wall-clock time (monotonic); [cancel] is an additional
+    caller-side cancellation poll merged with the deadline; [budget]
+    is the exact stage's node budget (default 200_000); [improve]
+    enables the iterated-greedy stage (default true). *)
+val solve :
+  ?deadline_s:float ->
+  ?cancel:(unit -> bool) ->
+  ?budget:int ->
+  ?improve:bool ->
+  Ivc_grid.Stencil.t ->
+  (outcome, Cert.error) result

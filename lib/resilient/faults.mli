@@ -1,0 +1,73 @@
+(** Seeded, deterministic fault injection for the parallel layers.
+
+    A {!plan} assigns every (task, attempt) pair an independent,
+    reproducible fault decision — crash before execution, a fixed
+    delay, or a lost result (the task runs, then its completion is
+    discarded) — by hashing [(seed, task, attempt)] with a splitmix64
+    finalizer. Determinism is the point: a failing CI run replays
+    exactly with the same plan string, and retries see fresh decisions
+    (the attempt number is part of the hash) so bounded-retry recovery
+    terminates with overwhelming probability.
+
+    Plan syntax (also accepted from the [IVC_FAULT_PLAN] environment
+    variable):
+
+    {v seed=7,crash=0.25,delay=0.05:0.002,lost=0.1 v}
+
+    where [crash]/[lost] are probabilities and [delay=P:S] injects a
+    delay of [S] seconds with probability [P]. Omitted fields default
+    to 0 (no injection). *)
+
+type kind =
+  | Crash  (** raise {!Injected} before the task body runs *)
+  | Delay of float  (** sleep that many seconds, then run normally *)
+  | Lost_result
+      (** run the task body, then raise {!Injected} — the work happened
+          but its completion is lost, as with a worker dying after
+          finishing. Only inject this on idempotent tasks: recovery
+          re-executes them. *)
+
+type plan = {
+  seed : int;
+  crash : float;
+  delay : float;
+  delay_s : float;
+  lost : float;
+}
+
+(** Raised by injected faults; carries enough context to correlate a
+    failure with the plan that caused it. *)
+exception Injected of { kind : string; task : int; attempt : int }
+
+(** The empty plan: injects nothing. *)
+val none : plan
+
+val is_none : plan -> bool
+
+(** Parse the plan syntax above. Raises [Invalid_argument] on junk. *)
+val parse : string -> plan
+
+val to_string : plan -> string
+
+(** The plan in [IVC_FAULT_PLAN], if the variable is set and
+    non-empty. *)
+val from_env : unit -> plan option
+
+(** The deterministic fault decision for one execution attempt
+    (attempts count from 0). *)
+val decide : plan -> task:int -> attempt:int -> kind option
+
+(** [wrap plan ~n work] wraps a pool work function over tasks
+    [0 .. n-1]: each call consumes one attempt for its task (attempt
+    counts are kept internally, atomically — safe from any domain) and
+    applies the plan's decision. Crash faults raise before [work] runs;
+    lost-result faults raise after. Injections are counted via
+    [faults.injected_*] counters. *)
+val wrap : plan -> n:int -> (int -> unit) -> int -> unit
+
+(** [parcolor_hook plan ~n] is the pre-execution hook shape used by
+    [Parallel_greedy.color ?fault]: lost-result faults are treated as
+    crashes (a lost speculative write and a crashed write are
+    indistinguishable there — the vertex just stays uncolored and is
+    re-enqueued). *)
+val parcolor_hook : plan -> n:int -> round:int -> int -> unit

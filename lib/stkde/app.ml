@@ -96,14 +96,29 @@ let density_sequential cfg =
 
 let task_cost buckets v = 1.0 +. Float.of_int (Array.length buckets.(v))
 
-let density_parallel cfg ~starts ~workers =
+let c_repairs = Ivc_obs.Counter.make "stkde.task_repairs"
+
+let density_parallel ?wrap_task ?(max_retries = 3) cfg ~starts ~workers =
   let vx, vy, vz = cfg.voxels in
   let buckets = points_by_box cfg in
   let inst = coloring_instance cfg in
   let dag = Taskpar.Dag.of_coloring inst ~starts ~cost:(task_cost buckets) in
   let density = Array.make (vx * vy * vz) 0.0 in
   let work v = Array.iter (fun p -> scatter cfg density p) buckets.(v) in
-  let elapsed = Taskpar.Pool.run dag ~workers ~work in
+  let wrapped = match wrap_task with Some w -> w work | None -> work in
+  let elapsed, failures =
+    Taskpar.Pool.run_result ~max_retries dag ~workers ~work:wrapped
+  in
+  (* Recovery of last resort: any task the pool gave up on is replayed
+     here, sequentially and unwrapped. Faults injected by [wrap_task]
+     must fire *before* the body (crash-style) for this to be sound:
+     the failed attempts then had no effect and the replay scatters the
+     box exactly once. *)
+  List.iter
+    (fun (f : Taskpar.Pool.failure) ->
+      Ivc_obs.Counter.incr c_repairs;
+      work f.Taskpar.Pool.task)
+    failures;
   (density, elapsed)
 
 let simulate cfg ~starts ~workers ~penalty =

@@ -35,9 +35,21 @@ val density_sequential : config -> float array
 
 (** [density_parallel config ~starts ~workers] executes the box tasks
     on OCaml domains, ordered and synchronized by the coloring
-    [starts]. Returns the density field and the elapsed seconds. *)
+    [starts]. Returns the density field and the elapsed seconds.
+
+    [wrap_task] decorates each task body (fault injection hooks plug in
+    here); [max_retries] bounds the pool's re-executions of a failing
+    task. Tasks the pool gives up on are replayed sequentially after
+    the parallel phase (counted as [stkde.task_repairs]), which is
+    sound only when the injected faults fire before the body touches
+    the density field — crash-style faults, not lost results. *)
 val density_parallel :
-  config -> starts:int array -> workers:int -> float array * float
+  ?wrap_task:((int -> unit) -> int -> unit) ->
+  ?max_retries:int ->
+  config ->
+  starts:int array ->
+  workers:int ->
+  float array * float
 
 (** [simulate config ~starts ~workers ~penalty] predicts the runtime
     with the deterministic scheduler simulation (cost of a box = its

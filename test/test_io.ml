@@ -12,13 +12,13 @@ let test_cloud_roundtrip () =
 
 let test_cloud_csv_errors () =
   (match Io.cloud_of_csv ~name:"t" "a,b\n1,2\n" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error { line = Some 1; _ } -> ()
   | _ -> Alcotest.fail "bad header must fail");
   (match Io.cloud_of_csv ~name:"t" "x,y,t\n1,zap,3\n" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error { line = Some 2; _ } -> ()
   | _ -> Alcotest.fail "bad number must fail");
   match Io.cloud_of_csv ~name:"t" "x,y,t\n1,2\n" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error _ -> ()
   | _ -> Alcotest.fail "missing field must fail"
 
 let test_cloud_csv_blank_lines () =
@@ -38,13 +38,20 @@ let test_instance_roundtrip_3d () =
 
 let test_instance_errors () =
   (match Io.instance_of_string "bogus 2 2\n1 1 1 1" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error _ -> ()
   | _ -> Alcotest.fail "bad magic must fail");
   (match Io.instance_of_string "ivc2 2 2\n1 1 1" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error _ -> ()
   | _ -> Alcotest.fail "wrong count must fail");
+  (match Io.instance_of_string "ivc2 2 a\n1 1 1 1" with
+  | exception Io.Io_error { line = Some 1; _ } -> ()
+  | _ -> Alcotest.fail "bad dimension must fail");
+  (* file context is attached when the parse came from a file *)
+  (match Io.instance_of_string ~file:"weights.ivc" "ivc2 2 2\n1 1 1" with
+  | exception Io.Io_error { file = Some "weights.ivc"; _ } -> ()
+  | _ -> Alcotest.fail "file context must be attached");
   match Io.instance_of_string "ivc2 2 2\n1 1 x 1" with
-  | exception Failure _ -> ()
+  | exception Io.Io_error _ -> ()
   | _ -> Alcotest.fail "bad token must fail"
 
 let test_coloring_roundtrip () =
@@ -59,6 +66,13 @@ let test_file_helpers () =
     (fun () ->
       Io.save path "hello\nworld";
       Alcotest.(check string) "load after save" "hello\nworld" (Io.load path))
+
+let test_load_missing_file () =
+  match Io.load "/nonexistent/ivc-test/weights.ivc" with
+  | exception Io.Io_error { file = Some f; _ } ->
+      Alcotest.(check bool) "path in error" true
+        (f = "/nonexistent/ivc-test/weights.ivc")
+  | _ -> Alcotest.fail "missing file must raise Io_error"
 
 let test_end_to_end_via_files () =
   (* save an instance, load it, color it — the downstream-user path *)
@@ -82,5 +96,6 @@ let suite =
     Alcotest.test_case "instance errors" `Quick test_instance_errors;
     Alcotest.test_case "coloring roundtrip" `Quick test_coloring_roundtrip;
     Alcotest.test_case "file helpers" `Quick test_file_helpers;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
     Alcotest.test_case "end-to-end via files" `Quick test_end_to_end_via_files;
   ]

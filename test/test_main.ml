@@ -25,6 +25,7 @@ let () =
       ("classic-coloring", Test_classic.suite);
       ("hardness", Test_hardness.suite);
       ("parallel-coloring", Test_parcolor.suite);
+      ("resilience", Test_resilient.suite);
       ("generators", Test_generators.suite);
       ("io", Test_io.suite);
       ("svg", Test_svg.suite);
