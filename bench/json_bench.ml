@@ -5,16 +5,19 @@
    runtime, plus the observability counters collected during the run.
    With --baseline FILE the run is also a regression gate: any
    algorithm whose maxcolor on any shared instance exceeds the recorded
-   baseline value fails the process (runtimes are reported but not
-   gated — CI runners are too noisy for that; the perf trajectory is
-   tracked through the uploaded artifacts instead). Invalid colorings
-   already abort inside Common.run_catalog. *)
+   baseline value fails the process. Catalog runtimes are reported but
+   not gated — CI runners are too noisy for per-algorithm wall times.
+   Kernel throughput IS gated: the document embeds the Perf sweep
+   measurements (schema 3) and --perf-baseline FILE fails the process
+   if any shared row's vertices/s drops more than 20% below the
+   committed (already conservative) floor. Invalid colorings abort
+   inside Common.run_catalog. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 2
+let schema_version = 3
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or
@@ -47,7 +50,7 @@ let portfolio_of ~id inst =
         (Ivc_resilient.Cert.to_string e);
       exit 1
 
-let document ~scale ~subsample ~reps runs ids portfolios =
+let document ~scale ~subsample ~reps ~perf runs ids portfolios =
   let algo_names = Array.to_list Common.algo_names in
   let instances =
     List.map2
@@ -156,6 +159,7 @@ let document ~scale ~subsample ~reps runs ids portfolios =
       ("instances", Json.List instances);
       ("summary", summary);
       ("robustness", robustness);
+      ("perf", Perf.to_json perf);
       ("metrics", Ivc_obs.Export.metrics ());
     ]
 
@@ -219,8 +223,8 @@ let check_against_baseline ~baseline_path doc =
 
 (* ---- entry point ----------------------------------------------------- *)
 
-let run ?(out = "BENCH_PR.json") ?baseline ?(scale = 0.05) ?(subsample = 8)
-    ?(reps = 3) () =
+let run ?(out = "BENCH_PR.json") ?baseline ?perf_baseline ?(scale = 0.05)
+    ?(subsample = 8) ?(reps = 3) () =
   Ivc_obs.reset ();
   Ivc_obs.set_enabled true;
   let entries =
@@ -235,7 +239,8 @@ let run ?(out = "BENCH_PR.json") ?baseline ?(scale = 0.05) ?(subsample = 8)
       (fun (e : Cat.entry) id -> portfolio_of ~id e.Cat.inst)
       entries ids
   in
-  let doc = document ~scale ~subsample ~reps runs ids portfolios in
+  let perf = Perf.measure ~reps () in
+  let doc = document ~scale ~subsample ~reps ~perf runs ids portfolios in
   Ivc_obs.set_enabled false;
   let oc = open_out out in
   Fun.protect
@@ -244,13 +249,18 @@ let run ?(out = "BENCH_PR.json") ?baseline ?(scale = 0.05) ?(subsample = 8)
       output_string oc (Json.to_string doc);
       output_char oc '\n');
   Format.printf "bench json: wrote %s@." out;
-  Option.iter (fun path -> check_against_baseline ~baseline_path:path doc) baseline
+  Option.iter (fun path -> check_against_baseline ~baseline_path:path doc) baseline;
+  Option.iter
+    (fun path -> Perf.check_against_baseline ~baseline_path:path perf)
+    perf_baseline
 
 (* Minimal flag parsing in the style of bench/main.ml:
-   json [--out FILE] [--baseline FILE] [--scale S] [--subsample K] [--reps N] *)
+   json [--out FILE] [--baseline FILE] [--perf-baseline FILE]
+        [--scale S] [--subsample K] [--reps N] *)
 let main args =
   let out = ref "BENCH_PR.json" in
   let baseline = ref None in
+  let perf_baseline = ref None in
   let scale = ref 0.05 in
   let subsample = ref 8 in
   let reps = ref 3 in
@@ -261,6 +271,9 @@ let main args =
         parse rest
     | "--baseline" :: v :: rest ->
         baseline := Some v;
+        parse rest
+    | "--perf-baseline" :: v :: rest ->
+        perf_baseline := Some v;
         parse rest
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
@@ -274,5 +287,5 @@ let main args =
     | a :: _ -> failwith ("bench json: unknown argument " ^ a)
   in
   parse args;
-  run ~out:!out ?baseline:!baseline ~scale:!scale ~subsample:!subsample
-    ~reps:!reps ()
+  run ~out:!out ?baseline:!baseline ?perf_baseline:!perf_baseline ~scale:!scale
+    ~subsample:!subsample ~reps:!reps ()

@@ -7,13 +7,16 @@
      dune exec bench/main.exe -- --full    # full catalog + real STKDE runs
      dune exec bench/main.exe -- fig5 fig9 # selected figures only
      dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- micro     # kernel throughput + bechamel only
      dune exec bench/main.exe -- json --out BENCH_PR.json \
-       --baseline bench/baseline.json     # machine-readable CI gate *)
+       --baseline bench/baseline.json \
+       --perf-baseline bench/perf_baseline.json  # machine-readable CI gate *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "json" :: rest -> Json_bench.main rest
+  | "micro" :: _ -> Micro.run ()
   | _ ->
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in

@@ -75,6 +75,9 @@ let tests () =
   ]
 
 let run () =
+  (* Kernel throughput / allocation table first: absolute vertices/s
+     and bytes/vertex numbers bechamel's per-call OLS does not give. *)
+  Perf.run ();
   Format.printf "@.=== Bechamel micro-benchmarks (one group per table/figure) ===@.@.";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

@@ -1,0 +1,233 @@
+(* Kernel throughput and allocation measurements.
+
+   Times complete coloring sweeps (order prebuilt, so the measured
+   cost is the first-fit engine itself) on fixed seeded instances and
+   reports vertices/s, allocated bytes/vertex and maxcolor, plus the
+   parallel tiled-sweep speedup over its own 1-worker run. The
+   reference rows run the pre-kernel [Greedy.Reference] engine — the
+   before/after pair the README performance table quotes.
+
+   [bench micro] prints the table; [bench json] embeds {!to_json} in
+   BENCH_PR.json and gates vertices/s against bench/perf_baseline.json. *)
+
+module S = Ivc_grid.Stencil
+module Ff = Ivc_kernel.Ff
+module Json = Ivc_obs.Json
+
+type row = {
+  name : string;
+  n : int;
+  vps : float; (* vertices per second, best of reps *)
+  bytes_per_vertex : float; (* minor+major allocation, best of reps *)
+  maxcolor : int;
+}
+
+type t = {
+  reps : int;
+  rows : row list;
+  (* workers -> (vertices/s, speedup vs the 1-worker parallel run) *)
+  speedup : (int * float * float) list;
+  seam_fraction : float;
+}
+
+let inst2 () =
+  let rng = Spatial_data.Rng.create 90125 in
+  S.init2 ~x:512 ~y:512 (fun _ _ -> Spatial_data.Rng.int rng 50)
+
+let inst3 () =
+  let rng = Spatial_data.Rng.create 52019 in
+  S.init3 ~x:40 ~y:40 ~z:40 (fun _ _ _ -> Spatial_data.Rng.int rng 20)
+
+(* The parallel sweep is measured on a larger grid: domain spawn and
+   decomposition are per-run costs, so the interesting regime is the
+   one where the interior work dominates them. *)
+let inst2_par () =
+  let rng = Spatial_data.Rng.create 77007 in
+  S.init2 ~x:1024 ~y:1024 (fun _ _ -> Spatial_data.Rng.int rng 50)
+
+(* Best-of-reps seconds and allocation delta for one run of [f] (one
+   untimed warmup first). Minimum over reps suppresses GC / scheduler
+   noise for both metrics. *)
+let sample ~reps f =
+  let result = ref (f ()) in
+  let best_s = ref infinity and best_bytes = ref infinity in
+  for _ = 1 to reps do
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Ivc_obs.now_ns () in
+    result := f ();
+    let dt = Ivc_obs.elapsed_s ~since:t0 in
+    let da = Gc.allocated_bytes () -. a0 in
+    if dt < !best_s then best_s := dt;
+    if da < !best_bytes then best_bytes := da
+  done;
+  (!result, !best_s, !best_bytes)
+
+let row ~reps name inst f =
+  let starts, s, bytes = sample ~reps f in
+  let n = S.n_vertices inst in
+  {
+    name;
+    n;
+    vps = Float.of_int n /. s;
+    bytes_per_vertex = bytes /. Float.of_int n;
+    maxcolor = Ivc.Coloring.maxcolor ~w:(inst : S.t).w starts;
+  }
+
+let measure ?(reps = 5) () =
+  let i2 = inst2 () and i3 = inst3 () in
+  let o2 = S.row_major_order i2 and o3 = S.row_major_order i3 in
+  let rows =
+    [
+      row ~reps "reference/GLL/2d-512" i2 (fun () ->
+          Ivc.Greedy.Reference.color_in_order i2 o2);
+      row ~reps "kernel/GLL/2d-512" i2 (fun () -> Ff.color_in_order i2 o2);
+      row ~reps "kernel/tiled/2d-512" i2 (fun () -> Ivc_kernel.Tiles.color i2);
+      row ~reps "reference/GLL/3d-40" i3 (fun () ->
+          Ivc.Greedy.Reference.color_in_order i3 o3);
+      row ~reps "kernel/GLL/3d-40" i3 (fun () -> Ff.color_in_order i3 o3);
+      row ~reps "kernel/tiled/3d-40" i3 (fun () -> Ivc_kernel.Tiles.color i3);
+    ]
+  in
+  (* Differential sanity inside the bench itself: the kernel rows must
+     reproduce the reference maxcolor on the same order, or the
+     throughput numbers are meaningless. *)
+  (match rows with
+  | r :: k :: _ when r.maxcolor <> k.maxcolor ->
+      Format.printf "bench perf: kernel maxcolor %d <> reference %d@."
+        k.maxcolor r.maxcolor;
+      exit 1
+  | _ -> ());
+  let ip = inst2_par () in
+  let np = S.n_vertices ip in
+  let seam_fraction = ref 0.0 in
+  let par w =
+    let (_, (st : Ivc_kernel.Par_sweep.stats)), s, _ =
+      sample ~reps (fun () -> Ivc_kernel.Par_sweep.color ~workers:w ip)
+    in
+    seam_fraction := Float.of_int st.seam /. Float.of_int np;
+    (w, Float.of_int np /. s)
+  in
+  let runs = List.map par [ 1; 2; 4; 8 ] in
+  let base = match runs with (_, v) :: _ -> v | [] -> 1.0 in
+  let speedup = List.map (fun (w, v) -> (w, v, v /. base)) runs in
+  { reps; rows; speedup; seam_fraction = !seam_fraction }
+
+let mvps v = Printf.sprintf "%.1f Mv/s" (v /. 1e6)
+
+let print fmt t =
+  Format.fprintf fmt "@.=== Kernel throughput (best of %d) ===@.@." t.reps;
+  Perfprof.Ascii.table fmt
+    ~header:[ "sweep"; "vertices"; "throughput"; "alloc B/vertex"; "maxcolor" ]
+    (List.map
+       (fun r ->
+         [
+           r.name;
+           string_of_int r.n;
+           mvps r.vps;
+           Printf.sprintf "%.1f" r.bytes_per_vertex;
+           string_of_int r.maxcolor;
+         ])
+       t.rows);
+  let find pre suf =
+    List.find_opt
+      (fun r ->
+        String.length r.name > String.length pre
+        && String.sub r.name 0 (String.length pre) = pre
+        && Filename.check_suffix r.name suf)
+      t.rows
+  in
+  (match (find "reference/GLL" "2d-512", find "kernel/GLL" "2d-512") with
+  | Some rr, Some kr ->
+      Format.fprintf fmt
+        "@.sequential 9-pt GLL: kernel %.2fx reference throughput, %.1fx \
+         fewer bytes/vertex@."
+        (kr.vps /. rr.vps)
+        (rr.bytes_per_vertex /. Float.max 1.0 kr.bytes_per_vertex)
+  | _ -> ());
+  Format.fprintf fmt
+    "@.parallel tiled sweep, 2d-1024 (seam fraction %.3f):@." t.seam_fraction;
+  Perfprof.Ascii.table fmt
+    ~header:[ "workers"; "throughput"; "speedup vs 1 worker" ]
+    (List.map
+       (fun (w, v, s) ->
+         [ string_of_int w; mvps v; Printf.sprintf "%.2fx" s ])
+       t.speedup);
+  Format.fprintf fmt "@."
+
+let to_json t =
+  Json.Obj
+    [
+      ("reps", Json.Num (Float.of_int t.reps));
+      ( "throughput",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("name", Json.Str r.name);
+                   ("n", Json.Num (Float.of_int r.n));
+                   ("vertices_per_s", Json.Num r.vps);
+                   ("bytes_per_vertex", Json.Num r.bytes_per_vertex);
+                   ("maxcolor", Json.Num (Float.of_int r.maxcolor));
+                 ])
+             t.rows) );
+      ( "parallel_speedup",
+        Json.Obj
+          (List.map
+             (fun (w, v, s) ->
+               ( string_of_int w,
+                 Json.Obj
+                   [
+                     ("vertices_per_s", Json.Num v); ("speedup", Json.Num s);
+                   ] ))
+             t.speedup) );
+      ("seam_fraction", Json.Num t.seam_fraction);
+    ]
+
+(* ---- perf baseline gate ---------------------------------------------- *)
+
+(* bench/perf_baseline.json: {"vertices_per_s": {row name -> floor}}.
+   The committed floors are deliberately conservative (about half of a
+   dev-machine measurement) so the 20% regression margin trips on real
+   slowdowns, not on CI-runner noise. *)
+let check_against_baseline ~baseline_path t =
+  let ic = open_in_bin baseline_path in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Json.parse (really_input_string ic (in_channel_length ic)))
+  in
+  let floors =
+    match Json.member "vertices_per_s" doc with
+    | Some (Json.Obj kv) -> kv
+    | _ -> failwith "bench perf: baseline has no vertices_per_s object"
+  in
+  let failures = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (name, floor_json) ->
+      match List.find_opt (fun r -> r.name = name) t.rows with
+      | None -> ()
+      | Some r ->
+          incr compared;
+          let floor = Json.to_float floor_json in
+          if r.vps < 0.8 *. floor then begin
+            incr failures;
+            Format.printf
+              "PERF REGRESSION %s: %.2e vertices/s < 80%% of baseline %.2e@."
+              name r.vps floor
+          end)
+    floors;
+  if !compared = 0 then begin
+    Format.printf "bench perf: baseline %s shares no rows with this run@."
+      baseline_path;
+    exit 1
+  end;
+  if !failures > 0 then begin
+    Format.printf "bench perf: %d throughput regressions vs %s@." !failures
+      baseline_path;
+    exit 1
+  end;
+  Format.printf "bench perf: no throughput regressions (%d rows vs %s)@."
+    !compared baseline_path
+
+let run ?reps () = print Format.std_formatter (measure ?reps ())

@@ -2,9 +2,25 @@
 
     Vertices are colored one at a time; a vertex receives the lowest
     interval of its weight that is disjoint from the intervals of its
-    already-colored neighbors. Finding that interval sorts the neighbor
-    intervals by start and scans once, giving O(d log d) per vertex and
-    O(E log E) for a whole graph, as in the paper. *)
+    already-colored neighbors. The production implementation is the
+    allocation-free [Ivc_kernel.Ff] engine (SoA scratch, insertion
+    sort, bitset occupancy fast path, inlined neighbor loops); the
+    original tuple-based engine is kept as {!Reference} and serves as
+    the oracle for the kernel's differential tests. *)
+
+(** The pre-kernel implementation: boxed (start, finish) tuples and
+    [Stencil.iter_neighbors] closures. Slower, obviously correct;
+    produces bit-identical colorings to the kernel. *)
+module Reference : sig
+  type state
+
+  val create : Ivc_grid.Stencil.t -> state
+  val color_vertex : state -> int -> int
+  val uncolor : state -> int -> unit
+  val starts : state -> int array
+  val color_in_order : Ivc_grid.Stencil.t -> int array -> int array
+  val first_fit : len:int -> Interval.t list -> int
+end
 
 type state
 

@@ -24,18 +24,14 @@ let order_of_pass inst starts = function
 
 (* One first-fit recoloring sweep. Dropping a vertex and re-placing it
    by first fit can always reuse its old start, so validity and
-   non-increase of every vertex's options are preserved throughout. *)
+   non-increase of every vertex's options are preserved throughout.
+   Each re-fit goes through the kernel scratch — no interval lists. *)
 let apply inst starts pass =
-  let w = (inst : Stencil.t).w in
   let order = order_of_pass inst starts pass in
   let cur = Array.copy starts in
+  let sc = Ivc_kernel.Ff.make_scratch inst in
   Array.iter
-    (fun v ->
-      let neigh = ref [] in
-      Stencil.iter_neighbors inst v (fun u ->
-          if w.(u) > 0 then
-            neigh := Interval.make ~start:cur.(u) ~len:w.(u) :: !neigh);
-      cur.(v) <- Greedy.first_fit ~len:w.(v) !neigh)
+    (fun v -> cur.(v) <- Ivc_kernel.Ff.first_fit_for sc ~starts:cur v)
     order;
   cur
 

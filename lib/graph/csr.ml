@@ -4,49 +4,130 @@ type t = {
   adj : int array;
 }
 
+(* In-place sort of a.(lo..hi) — quicksort on median-of-three pivots
+   with an insertion-sort cutoff. Buckets here are adjacency slices,
+   usually tiny, but an adversarial (star-like) bucket must not go
+   quadratic, hence the quicksort skeleton. *)
+let rec sort_range (a : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo !j;
+    sort_range a !i hi
+  end
+
 let of_edges n edges =
   let check v =
     if v < 0 || v >= n then
       invalid_arg (Printf.sprintf "Csr.of_edges: vertex %d out of [0,%d)" v n)
   in
+  (* Normalize into flat int arrays (ea.(i) < eb.(i)) in one pass —
+     the edge list is consumed exactly once and never re-sorted as a
+     list of boxed tuples. *)
+  let m = List.length edges in
+  let ea = Array.make (max m 1) 0 and eb = Array.make (max m 1) 0 in
+  let i = ref 0 in
   List.iter
     (fun (u, v) ->
       check u;
       check v;
-      if u = v then invalid_arg "Csr.of_edges: self-loop")
+      if u = v then invalid_arg "Csr.of_edges: self-loop";
+      if u < v then begin
+        ea.(!i) <- u;
+        eb.(!i) <- v
+      end
+      else begin
+        ea.(!i) <- v;
+        eb.(!i) <- u
+      end;
+      incr i)
     edges;
-  (* Deduplicate by normalizing to (min, max) and sorting. *)
-  let norm = List.map (fun (u, v) -> if u < v then (u, v) else (v, u)) edges in
-  let sorted = List.sort_uniq compare norm in
-  let deg = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    sorted;
+  (* Counting sort of the larger endpoints into per-smaller-endpoint
+     buckets: bucket u holds every v with an edge (u, v), u < v. *)
   let row = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    row.(v + 1) <- row.(v) + deg.(v)
+  for k = 0 to m - 1 do
+    row.(ea.(k) + 1) <- row.(ea.(k) + 1) + 1
   done;
-  let adj = Array.make row.(n) 0 in
+  for u = 0 to n - 1 do
+    row.(u + 1) <- row.(u + 1) + row.(u)
+  done;
+  let bucket = Array.make (max m 1) 0 in
   let cursor = Array.copy row in
-  List.iter
-    (fun (u, v) ->
-      adj.(cursor.(u)) <- v;
-      cursor.(u) <- cursor.(u) + 1;
-      adj.(cursor.(v)) <- u;
-      cursor.(v) <- cursor.(v) + 1)
-    sorted;
-  (* Each adjacency slice is sorted because the edge list was sorted on
-     the first component only for that component's slice; sort slices to
-     guarantee increasing order regardless. *)
-  for v = 0 to n - 1 do
-    let lo = row.(v) and hi = row.(v + 1) in
-    let slice = Array.sub adj lo (hi - lo) in
-    Array.sort compare slice;
-    Array.blit slice 0 adj lo (hi - lo)
+  for k = 0 to m - 1 do
+    let u = ea.(k) in
+    bucket.(cursor.(u)) <- eb.(k);
+    cursor.(u) <- cursor.(u) + 1
   done;
-  { n; row; adj }
+  (* Sort + dedup each bucket in place; unique edges contribute to both
+     endpoint degrees. bstop.(u) marks the end of u's deduped run. *)
+  let deg = Array.make n 0 in
+  let bstop = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let lo = row.(u) and hi = row.(u + 1) - 1 in
+    if hi >= lo then begin
+      sort_range bucket lo hi;
+      let out = ref lo in
+      for k = lo to hi do
+        let v = bucket.(k) in
+        if !out = lo || bucket.(!out - 1) <> v then begin
+          bucket.(!out) <- v;
+          incr out;
+          deg.(u) <- deg.(u) + 1;
+          deg.(v) <- deg.(v) + 1
+        end
+      done;
+      bstop.(u) <- !out
+    end
+    else bstop.(u) <- lo
+  done;
+  let rows = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    rows.(v + 1) <- rows.(v) + deg.(v)
+  done;
+  let adj = Array.make rows.(n) 0 in
+  let fill = Array.copy rows in
+  (* Filling in increasing (u, v) keeps every adjacency slice sorted:
+     vertex v first receives its smaller neighbors u (ascending, as
+     their buckets are processed) and then its own bucket (ascending,
+     all > v) — no per-slice re-sort needed. *)
+  for u = 0 to n - 1 do
+    for k = row.(u) to bstop.(u) - 1 do
+      let v = bucket.(k) in
+      adj.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1
+    done
+  done;
+  { n; row = rows; adj }
 
 let n_vertices g = g.n
 let n_edges g = Array.length g.adj / 2

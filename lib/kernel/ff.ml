@@ -1,0 +1,420 @@
+(* Allocation-free first-fit kernel.
+
+   The hot path of every greedy heuristic is the same: gather the
+   intervals of the already-colored neighbors of a vertex, then find
+   the lowest gap wide enough for its weight. The reference engine
+   (Ivc.Greedy.Reference) allocates a boxed (start, finish) tuple per
+   colored neighbor, sorts them with a polymorphic-compare closure and
+   copies an [Array.sub] per vertex. This engine does the same scan
+   with zero allocation per vertex:
+
+   - flat SoA scratch: [nb_s]/[nb_f] are two preallocated [int array]s
+     holding the filled prefix of neighbor starts and finishes;
+   - insertion sort on that prefix: stencil degrees are bounded (8 in
+     2D, 26 in 3D), where insertion sort beats [Array.sort] and
+     allocates nothing;
+   - a word-scanned bitset occupancy fast path when the whole
+     neighborhood fits a small color window (the common small-weight
+     case), which skips sorting entirely;
+   - manually inlined 2D/3D neighbor loops: interior cells take an
+     unrolled offset path with a single boundary test, bypassing the
+     [Stencil.iter_neighbors] closure. *)
+
+module Stencil = Ivc_grid.Stencil
+
+let uncolored = -1
+
+(* The kernel is the production greedy engine, so it feeds the original
+   greedy counters (dashboards and tests key on these names), plus two
+   kernel-specific ones for the fast-path split. *)
+let c_vertices = Ivc_obs.Counter.make "greedy.vertices_colored"
+let c_intervals = Ivc_obs.Counter.make "greedy.intervals_scanned"
+let c_bitset = Ivc_obs.Counter.make "kernel.bitset_fits"
+let c_scan = Ivc_obs.Counter.make "kernel.sorted_scans"
+
+let max_deg = 26
+
+(* Bitset occupancy window: [bs_words] machine words, all bits of each
+   used as color slots. The fast path applies whenever the tightest
+   possible placement (first fit never exceeds the largest neighbor
+   finish) still fits the window. *)
+let word_bits = Sys.int_size
+let bs_words = 4
+let bs_capacity = word_bits * bs_words
+
+type scratch = {
+  w : int array;
+  x : int;
+  y : int;
+  z : int; (* 0 for 2D instances *)
+  mutable cnt : int; (* filled prefix of nb_s / nb_f *)
+  mutable maxf : int; (* max finish over the gathered intervals *)
+  nb_s : int array;
+  nb_f : int array;
+  occ : int array; (* bitset words: occupied colors *)
+  run : int array; (* doubling scratch: positions starting a free run *)
+  tmp : int array;
+}
+
+let make_scratch inst =
+  let w = (inst : Stencil.t).w in
+  let x, y, z =
+    match (inst : Stencil.t).dims with
+    | Stencil.D2 (x, y) -> (x, y, 0)
+    | Stencil.D3 (x, y, z) -> (x, y, z)
+  in
+  {
+    w;
+    x;
+    y;
+    z;
+    cnt = 0;
+    maxf = 0;
+    nb_s = Array.make max_deg 0;
+    nb_f = Array.make max_deg 0;
+    occ = Array.make bs_words 0;
+    run = Array.make bs_words 0;
+    tmp = Array.make bs_words 0;
+  }
+
+let weights sc = sc.w
+
+(* Append neighbor [u]'s interval to the scratch prefix if it is
+   colored and non-empty. Top-level so every call is a direct call: no
+   closure is allocated per gather. *)
+let[@inline] add sc starts u =
+  let s = Array.unsafe_get starts u in
+  if s >= 0 then begin
+    let wu = Array.unsafe_get sc.w u in
+    if wu > 0 then begin
+      let f = s + wu in
+      let c = sc.cnt in
+      Array.unsafe_set sc.nb_s c s;
+      Array.unsafe_set sc.nb_f c f;
+      sc.cnt <- c + 1;
+      if f > sc.maxf then sc.maxf <- f
+    end
+  end
+
+let[@inline] add3_row sc starts u =
+  add sc starts (u - 1);
+  add sc starts u;
+  add sc starts (u + 1)
+
+let gather2 sc starts v =
+  sc.cnt <- 0;
+  sc.maxf <- 0;
+  let y = sc.y in
+  let i = v / y and j = v mod y in
+  if i > 0 && i < sc.x - 1 && j > 0 && j < y - 1 then begin
+    (* interior: 8 neighbors, no bounds checks *)
+    let a = v - y and b = v + y in
+    add sc starts (a - 1);
+    add sc starts a;
+    add sc starts (a + 1);
+    add sc starts (v - 1);
+    add sc starts (v + 1);
+    add sc starts (b - 1);
+    add sc starts b;
+    add sc starts (b + 1)
+  end
+  else begin
+    let ilo = if i > 0 then i - 1 else i
+    and ihi = if i < sc.x - 1 then i + 1 else i
+    and jlo = if j > 0 then j - 1 else j
+    and jhi = if j < y - 1 then j + 1 else j in
+    for i' = ilo to ihi do
+      let base = i' * y in
+      for j' = jlo to jhi do
+        let u = base + j' in
+        if u <> v then add sc starts u
+      done
+    done
+  end
+
+let gather3 sc starts v =
+  sc.cnt <- 0;
+  sc.maxf <- 0;
+  let z = sc.z and y = sc.y in
+  let k = v mod z in
+  let ij = v / z in
+  let i = ij / y and j = ij mod y in
+  if i > 0 && i < sc.x - 1 && j > 0 && j < y - 1 && k > 0 && k < z - 1 then begin
+    (* interior: 26 neighbors, no bounds checks *)
+    let yz = y * z in
+    let below = v - yz and above = v + yz in
+    add3_row sc starts (below - z);
+    add3_row sc starts below;
+    add3_row sc starts (below + z);
+    add3_row sc starts (v - z);
+    add sc starts (v - 1);
+    add sc starts (v + 1);
+    add3_row sc starts (v + z);
+    add3_row sc starts (above - z);
+    add3_row sc starts above;
+    add3_row sc starts (above + z)
+  end
+  else begin
+    let ilo = if i > 0 then i - 1 else i
+    and ihi = if i < sc.x - 1 then i + 1 else i
+    and jlo = if j > 0 then j - 1 else j
+    and jhi = if j < y - 1 then j + 1 else j
+    and klo = if k > 0 then k - 1 else k
+    and khi = if k < z - 1 then k + 1 else k in
+    for i' = ilo to ihi do
+      for j' = jlo to jhi do
+        let base = ((i' * y) + j') * z in
+        for k' = klo to khi do
+          let u = base + k' in
+          if u <> v then add sc starts u
+        done
+      done
+    done
+  end
+
+let[@inline] gather sc starts v =
+  if sc.z = 0 then gather2 sc starts v else gather3 sc starts v
+
+(* Sort the filled prefix of (nb_s, nb_f) by start, moving both arrays
+   together. In place, no comparator closure. *)
+let insertion_sort sc =
+  let a = sc.nb_s and b = sc.nb_f in
+  for i = 1 to sc.cnt - 1 do
+    let s = a.(i) and f = b.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > s do
+      a.(!j + 1) <- a.(!j);
+      b.(!j + 1) <- b.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- s;
+    b.(!j + 1) <- f
+  done
+
+(* First gap of width [len] in the sorted prefix (the reference scan,
+   on SoA arrays). *)
+let scan_sorted sc len =
+  let a = sc.nb_s and b = sc.nb_f in
+  let n = sc.cnt in
+  let cur = ref 0 and res = ref (-1) and i = ref 0 in
+  while !res < 0 && !i < n do
+    let s = Array.unsafe_get a !i in
+    if !cur + len <= s then res := !cur
+    else begin
+      let f = Array.unsafe_get b !i in
+      if f > !cur then cur := f;
+      incr i
+    end
+  done;
+  if !res >= 0 then !res else !cur
+
+(* Index of the lowest set bit; [v] must be nonzero. *)
+let ntz v =
+  let v = v land -v in
+  let n = ref 0 in
+  let v = ref v in
+  if !v land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    v := !v lsr 32
+  end;
+  if !v land 0xFFFF = 0 then begin
+    n := !n + 16;
+    v := !v lsr 16
+  end;
+  if !v land 0xFF = 0 then begin
+    n := !n + 8;
+    v := !v lsr 8
+  end;
+  if !v land 0xF = 0 then begin
+    n := !n + 4;
+    v := !v lsr 4
+  end;
+  if !v land 0x3 = 0 then begin
+    n := !n + 2;
+    v := !v lsr 2
+  end;
+  if !v land 0x1 = 0 then incr n;
+  !n
+
+(* Bitset fast path: mark every neighbor interval in a small occupancy
+   bitmask, then find the first run of [len] free bits by the classic
+   and-shift doubling. Precondition: [sc.maxf + len <= bs_capacity]
+   (so the answer — at most [sc.maxf] — and its whole run lie inside
+   the window) and [len > 0]. No sorting needed. *)
+let bitset_fit sc len =
+  let occ = sc.occ in
+  for wd = 0 to bs_words - 1 do
+    occ.(wd) <- 0
+  done;
+  for t = 0 to sc.cnt - 1 do
+    let s = sc.nb_s.(t) and f = sc.nb_f.(t) in
+    let w0 = s / word_bits and w1 = (f - 1) / word_bits in
+    if w0 = w1 then begin
+      let lo = s mod word_bits in
+      let k = f - s in
+      let m = if k >= word_bits then -1 else ((1 lsl k) - 1) lsl lo in
+      occ.(w0) <- occ.(w0) lor m
+    end
+    else begin
+      occ.(w0) <- occ.(w0) lor (-1 lsl (s mod word_bits));
+      for wm = w0 + 1 to w1 - 1 do
+        occ.(wm) <- -1
+      done;
+      let hi = (f - 1) mod word_bits in
+      let m = if hi = word_bits - 1 then -1 else (1 lsl (hi + 1)) - 1 in
+      occ.(w1) <- occ.(w1) lor m
+    end
+  done;
+  (* run.(bit p) = "colors p .. p+k-1 are all free", grown by doubling
+     k until it reaches [len]; shifted-in zeros at the top only discard
+     positions whose run would leave the window. *)
+  let m = sc.run and tmp = sc.tmp in
+  for wd = 0 to bs_words - 1 do
+    m.(wd) <- lnot occ.(wd)
+  done;
+  let k = ref 1 in
+  while !k < len do
+    let sh = if !k <= len - !k then !k else len - !k in
+    let ws = sh / word_bits and bs = sh mod word_bits in
+    for wd = 0 to bs_words - 1 do
+      let src = wd + ws in
+      let lo = if src < bs_words then m.(src) else 0 in
+      tmp.(wd) <-
+        (if bs = 0 then lo
+         else
+           let hi = if src + 1 < bs_words then m.(src + 1) else 0 in
+           (lo lsr bs) lor (hi lsl (word_bits - bs)))
+    done;
+    for wd = 0 to bs_words - 1 do
+      m.(wd) <- m.(wd) land tmp.(wd)
+    done;
+    k := !k + sh
+  done;
+  let res = ref (-1) and wd = ref 0 in
+  while !res < 0 && !wd < bs_words do
+    let bits = m.(!wd) in
+    if bits <> 0 then res := (!wd * word_bits) + ntz bits;
+    incr wd
+  done;
+  !res
+
+(* The bitset path pays a fixed ~[bs_words * log len] word-op cost, so
+   it only beats insertion sort once the prefix is past 2D size: an
+   8-interval sort+scan is cheaper than clearing and doubling the
+   window, a 26-interval one is not. *)
+let bitset_min_cnt = 12
+
+(* First-fit placement for an interval of width [len] against the
+   gathered scratch prefix. *)
+let fit sc len =
+  if len = 0 || sc.cnt = 0 then 0
+  else if sc.cnt >= bitset_min_cnt && sc.maxf + len <= bs_capacity then begin
+    Ivc_obs.Counter.incr c_bitset;
+    bitset_fit sc len
+  end
+  else begin
+    Ivc_obs.Counter.incr c_scan;
+    insertion_sort sc;
+    scan_sorted sc len
+  end
+
+let first_fit_for sc ~starts v =
+  gather sc starts v;
+  fit sc sc.w.(v)
+
+(* ---- stateful engine -------------------------------------------------- *)
+
+type t = {
+  inst : Stencil.t;
+  sc : scratch;
+  starts : int array;
+  mutable uncolored_count : int;
+}
+
+let create inst =
+  let n = Stencil.n_vertices inst in
+  {
+    inst;
+    sc = make_scratch inst;
+    starts = Array.make n uncolored;
+    uncolored_count = n;
+  }
+
+let instance t = t.inst
+let start t v = t.starts.(v)
+let is_colored t v = t.starts.(v) >= 0
+let remaining t = t.uncolored_count
+let starts t = Array.copy t.starts
+let starts_view t = t.starts
+
+let maxcolor t =
+  let w = t.sc.w in
+  let m = ref 0 in
+  Array.iteri
+    (fun v s -> if s >= 0 && s + w.(v) > !m then m := s + w.(v))
+    t.starts;
+  !m
+
+let color_vertex t v =
+  let s0 = t.starts.(v) in
+  if s0 >= 0 then s0
+  else begin
+    gather t.sc t.starts v;
+    let s = fit t.sc t.sc.w.(v) in
+    t.starts.(v) <- s;
+    t.uncolored_count <- t.uncolored_count - 1;
+    Ivc_obs.Counter.incr c_vertices;
+    Ivc_obs.Counter.add c_intervals t.sc.cnt;
+    s
+  end
+
+let uncolor t v =
+  if t.starts.(v) >= 0 then begin
+    t.starts.(v) <- uncolored;
+    t.uncolored_count <- t.uncolored_count + 1
+  end
+
+let recolor t v =
+  uncolor t v;
+  color_vertex t v
+
+(* Sweep a slice of an order array. The dimension dispatch happens once
+   per sweep, not once per vertex; counters are flushed once at the
+   end so the disabled-observability cost stays off the inner loop. *)
+let color_range t order ~lo ~hi =
+  let sc = t.sc and starts = t.starts in
+  let w = sc.w in
+  let colored = ref 0 and scanned = ref 0 in
+  if sc.z = 0 then
+    for idx = lo to hi - 1 do
+      let v = order.(idx) in
+      if starts.(v) < 0 then begin
+        gather2 sc starts v;
+        starts.(v) <- fit sc w.(v);
+        incr colored;
+        scanned := !scanned + sc.cnt
+      end
+    done
+  else
+    for idx = lo to hi - 1 do
+      let v = order.(idx) in
+      if starts.(v) < 0 then begin
+        gather3 sc starts v;
+        starts.(v) <- fit sc w.(v);
+        incr colored;
+        scanned := !scanned + sc.cnt
+      end
+    done;
+  t.uncolored_count <- t.uncolored_count - !colored;
+  Ivc_obs.Counter.add c_vertices !colored;
+  Ivc_obs.Counter.add c_intervals !scanned
+
+let color_in_order inst order =
+  let n = Stencil.n_vertices inst in
+  if Array.length order <> n then
+    invalid_arg "Ivc_kernel.Ff.color_in_order: order length mismatch";
+  let t = create inst in
+  color_range t order ~lo:0 ~hi:n;
+  if t.uncolored_count <> 0 then
+    invalid_arg "Ivc_kernel.Ff.color_in_order: order is not a permutation";
+  t.starts

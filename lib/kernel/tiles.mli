@@ -1,0 +1,43 @@
+(** Cache-blocked greedy traversal: tiles of the grid visited in
+    Z-order, cells within a tile in Z-order, so the working set of
+    neighbor starts stays in L1/L2 during the first-fit sweep. *)
+
+(** Default tile edge: 64 in 2D (64x64 ints = 32 KiB of starts), 16 in
+    3D (16^3 ints = 32 KiB). Override with [?tile] (must be >= 2). *)
+val default_tile2 : int
+
+val default_tile3 : int
+
+(** The tile edge a sweep of this instance will use. *)
+val tile_size : ?tile:int -> Ivc_grid.Stencil.t -> int
+
+(** Bits of a local in-tile coordinate (smallest [b] with [2^b >= t]);
+    exposed for the parallel sweep's key layout. *)
+val bits_for : int -> int
+
+(** [sort_by_keys keys order] stably sorts the id array [order] by
+    [keys.(id)] (all keys non-negative) with an LSD radix sort — a few
+    O(n) passes, no comparator closures. Shared with the parallel
+    sweep's decomposition. *)
+val sort_by_keys : int array -> int array -> unit
+
+(** [cell_keys ?tile inst] is the per-cell combined key
+    [(tile Morton key lsl shift) lor local Morton key], built from
+    per-axis lookup tables. Shared with the parallel sweep. *)
+val cell_keys : ?tile:int -> Ivc_grid.Stencil.t -> int array
+
+(** [iter_cells ?tile inst ~on_tile f] calls [f] on every cell id in
+    tiled Z-order — ascending (tile Morton key, local Morton key) —
+    with [on_tile ()] before each tile's first cell. Direct enumeration
+    for compact grids, radix-sorted keys for degenerate ones; the
+    visiting sequence is identical either way. *)
+val iter_cells :
+  ?tile:int -> Ivc_grid.Stencil.t -> on_tile:(unit -> unit) -> (int -> unit) -> unit
+
+(** [tile_order ?tile inst] is the tiled Z-order permutation: cells
+    sorted by (Morton key of tile coordinates, Morton key of in-tile
+    coordinates). *)
+val tile_order : ?tile:int -> Ivc_grid.Stencil.t -> int array
+
+(** Greedy first-fit sweep of {!tile_order} through the kernel. *)
+val color : ?tile:int -> Ivc_grid.Stencil.t -> int array

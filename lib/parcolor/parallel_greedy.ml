@@ -21,17 +21,10 @@ let c_faults_disabled = Obs.Counter.make "parcolor.fault_injection_disabled"
    the plan's probabilities. *)
 let max_fault_rounds = 25
 
-(* First-fit against the racy shared starts array: reads of int cells
-   are atomic in the OCaml memory model, so a stale read only produces
-   a conflict that the detection phase repairs. *)
-let first_fit_against inst starts v =
-  let w = (inst : Stencil.t).w in
-  let neigh = ref [] in
-  Stencil.iter_neighbors inst v (fun u ->
-      let s = starts.(u) in
-      if s >= 0 && w.(u) > 0 then
-        neigh := Ivc.Interval.make ~start:s ~len:w.(u) :: !neigh);
-  Ivc.Greedy.first_fit ~len:w.(v) !neigh
+(* First-fit against the racy shared starts array goes through the
+   allocation-free kernel: reads of int cells are atomic in the OCaml
+   memory model, so a stale read only produces a conflict that the
+   detection phase repairs. Each domain owns its scratch. *)
 
 let color ?workers ?order ?cancel ?fault inst =
   let t0 = Obs.now_ns () in
@@ -61,8 +54,9 @@ let color ?workers ?order ?cancel ?fault inst =
       cancelled := true;
       Obs.Counter.incr c_cancelled;
       Obs.Span.record ~cat:"parcolor" "parcolor.sequential_finish" (fun () ->
+          let sc = Ivc_kernel.Ff.make_scratch inst in
           Array.iter
-            (fun v -> starts.(v) <- first_fit_against inst starts v)
+            (fun v -> starts.(v) <- Ivc_kernel.Ff.first_fit_for sc ~starts v)
             !pending);
       pending := [||]
     end
@@ -90,6 +84,7 @@ let color ?workers ?order ?cancel ?fault inst =
            failures delay vertices but never lose them. *)
         let round = !rounds in
         let slice p () =
+          let sc = Ivc_kernel.Ff.make_scratch inst in
           let i = ref p in
           while !i < m do
             let v = batch.(!i) in
@@ -101,7 +96,8 @@ let color ?workers ?order ?cancel ?fault inst =
               | None -> true
               | Some f -> ( try f ~round v; true with _ -> false)
             in
-            if alive then starts.(v) <- first_fit_against inst starts v;
+            if alive then
+              starts.(v) <- Ivc_kernel.Ff.first_fit_for sc ~starts v;
             i := !i + workers
           done
         in

@@ -50,9 +50,12 @@ let solve ?deadline_s ?cancel ?(budget = 200_000) ?(improve = true) inst =
   in
   (* Stage 0 — the guaranteed fallback. Runs unconditionally (even
      with an already-expired deadline the caller is owed *a* valid
-     coloring; greedy first-fit is the cheapest complete one). *)
+     coloring); the allocation-free kernel row-major sweep is the
+     cheapest complete one — the same coloring as GLL, directly on
+     the kernel so the fallback cost is one flat pass. *)
   Ivc_obs.Span.record ~cat:"resilient" "resilient.stage_fallback" (fun () ->
-      consider ~provenance:Fallback (Ivc.Heuristics.gll inst));
+      consider ~provenance:Fallback
+        (Ivc_kernel.Ff.color_in_order inst (Stencil.row_major_order inst)));
   (* Stage 1 — the heuristic portfolio, cheapest quality upgrades. *)
   if not (cancel ()) then
     Ivc_obs.Span.record ~cat:"resilient" "resilient.stage_heuristics"

@@ -141,6 +141,55 @@ let test_induced () =
   Alcotest.(check bool) "center dropped" true
     (Array.for_all (fun v -> v <> 4) back)
 
+(* Differential property for the counting-sort of_edges build: agree
+   with the obvious model (normalize, sort_uniq) on degrees, sorted
+   adjacency slices and edge recovery, for arbitrary duplicated and
+   reversed edge lists. *)
+let gen_edge_list =
+  QCheck2.Gen.(
+    let* n = int_range 2 12 in
+    let* m = int_range 0 40 in
+    let* edges =
+      list_size (pure m)
+        (let* u = int_range 0 (n - 1) in
+         let* v = int_range 0 (n - 1) in
+         pure (u, v))
+    in
+    pure (n, List.filter (fun (u, v) -> u <> v) edges))
+
+let prop_of_edges_matches_model (n, edges) =
+  let g = Csr.of_edges n edges in
+  let model =
+    List.sort_uniq compare
+      (List.map (fun (u, v) -> if u < v then (u, v) else (v, u)) edges)
+  in
+  Alcotest.(check int) "edge count" (List.length model) (Csr.n_edges g);
+  Alcotest.(check (list (pair int int))) "edges recovered" model (Csr.edges g);
+  for v = 0 to n - 1 do
+    let expected =
+      List.filter_map
+        (fun (a, b) ->
+          if a = v then Some b else if b = v then Some a else None)
+        model
+      |> List.sort compare
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "neighbors of %d sorted" v)
+      expected
+      (Array.to_list (Csr.neighbors g v))
+  done;
+  true
+
+let qtest_csr =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"of_edges = model" ~count:200
+       ~print:(fun (n, es) ->
+         Format.asprintf "n=%d edges=%a" n
+           (Format.pp_print_list (fun fmt (u, v) ->
+                Format.fprintf fmt "(%d,%d)" u v))
+           es)
+       gen_edge_list prop_of_edges_matches_model)
+
 let suite =
   [
     Alcotest.test_case "of_edges basics" `Quick test_of_edges_basics;
@@ -157,4 +206,5 @@ let suite =
     Alcotest.test_case "triangles" `Quick test_triangles;
     Alcotest.test_case "odd cycles only" `Quick test_odd_cycles_only;
     Alcotest.test_case "induced subgraph" `Quick test_induced;
+    qtest_csr;
   ]

@@ -1,0 +1,190 @@
+(* Differential tests of the allocation-free kernel against the
+   retained pre-kernel engine (Greedy.Reference): identical starts on
+   the same order — first fit is deterministic, so equality is exact,
+   not just equal maxcolor — plus the independent certificate gate on
+   every kernel output. *)
+
+module S = Ivc_grid.Stencil
+module Ff = Ivc_kernel.Ff
+module Tiles = Ivc_kernel.Tiles
+module Par = Ivc_kernel.Par_sweep
+module Ref = Ivc.Greedy.Reference
+module Cert = Ivc_resilient.Cert
+
+let check_cert inst starts =
+  match Cert.check inst starts with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "certificate rejected: %s" (Cert.to_string e)
+
+let shuffled seed n =
+  let rng = Spatial_data.Rng.create (seed + 13) in
+  let order = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Spatial_data.Rng.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  order
+
+(* kernel sweep == reference sweep, exactly, on one order *)
+let same_as_reference inst order =
+  let k = Ff.color_in_order inst order in
+  check_cert inst k;
+  let r = Ref.color_in_order inst order in
+  Alcotest.(check (array int)) "kernel = reference" r k
+
+let orders_of inst seed =
+  [
+    ("row-major", S.row_major_order inst);
+    ("z-order", S.zorder inst);
+    ("shuffled", shuffled seed (S.n_vertices inst));
+  ]
+
+let gen_with_seed gen = QCheck2.Gen.(pair gen (int_range 0 10_000))
+
+let prop_kernel_matches (inst, seed) =
+  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst seed);
+  true
+
+let prop_tiled_matches (inst, _) =
+  List.iter
+    (fun tile ->
+      let order = Tiles.tile_order ~tile inst in
+      let tiled = Tiles.color ~tile inst in
+      check_cert inst tiled;
+      Alcotest.(check (array int)) "tiled = reference on tile_order"
+        (Ref.color_in_order inst order)
+        tiled)
+    [ 2; 3 ];
+  true
+
+let prop_par_matches (inst, _) =
+  List.iter
+    (fun workers ->
+      let order = Par.equivalent_order ~tile:2 inst in
+      let par, stats = Par.color ~workers ~tile:2 inst in
+      check_cert inst par;
+      Alcotest.(check int) "interior + seam = n" (S.n_vertices inst)
+        (stats.Par.interior + stats.Par.seam);
+      Alcotest.(check (array int)) "parallel = reference on equivalent_order"
+        (Ref.color_in_order inst order)
+        par)
+    [ 1; 3 ];
+  true
+
+let print_pair (inst, seed) =
+  Format.asprintf "seed %d, %a" seed S.pp inst
+
+let qtest ?(count = 60) name gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:print_pair gen f)
+
+(* Large weights push every neighborhood past the bitset window, so
+   this exercises the sorted-scan path specifically. *)
+let test_scan_path_matches () =
+  let inst = Util.random_inst2 ~seed:5 ~x:8 ~y:9 ~bound:120 in
+  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst 5);
+  let inst3 = Util.random_inst3 ~seed:6 ~x:4 ~y:4 ~z:4 ~bound:90 in
+  List.iter (fun (_, order) -> same_as_reference inst3 order) (orders_of inst3 6)
+
+(* Small weights keep maxf inside the window on 3D (degree 26), the
+   bitset fast path's home turf. *)
+let test_bitset_path_matches () =
+  let inst = Util.random_inst3 ~seed:7 ~x:5 ~y:5 ~z:5 ~bound:4 in
+  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst 7)
+
+let test_engine_ops () =
+  let inst = Util.random_inst2 ~seed:8 ~x:5 ~y:5 ~bound:10 in
+  let t = Ff.create inst in
+  Alcotest.(check int) "all uncolored" 25 (Ff.remaining t);
+  let s0 = Ff.color_vertex t 12 in
+  Alcotest.(check int) "first vertex at 0" 0 s0;
+  Alcotest.(check int) "recolor is idempotent" s0 (Ff.color_vertex t 12);
+  Alcotest.(check bool) "is_colored" true (Ff.is_colored t 12);
+  for v = 0 to 24 do
+    ignore (Ff.color_vertex t v)
+  done;
+  Alcotest.(check int) "none remaining" 0 (Ff.remaining t);
+  Alcotest.(check int) "maxcolor agrees" (Util.maxcolor inst (Ff.starts t))
+    (Ff.maxcolor t);
+  let before = Ff.start t 12 in
+  Ff.uncolor t 12;
+  Alcotest.(check bool) "uncolored" false (Ff.is_colored t 12);
+  Alcotest.(check int) "recolor reuses the gap" before (Ff.recolor t 12);
+  Util.check_valid inst (Ff.starts t)
+
+let test_first_fit_for_refits () =
+  let inst = Util.random_inst2 ~seed:9 ~x:6 ~y:6 ~bound:12 in
+  let starts = Ff.color_in_order inst (S.row_major_order inst) in
+  let sc = Ff.make_scratch inst in
+  (* re-fitting any colored vertex against the full coloring can always
+     reuse its own start (first fit returns the lowest feasible one,
+     and the current start is feasible) *)
+  for v = 0 to S.n_vertices inst - 1 do
+    let cur = starts.(v) in
+    starts.(v) <- -1;
+    let refit = Ff.first_fit_for sc ~starts v in
+    Alcotest.(check bool)
+      (Printf.sprintf "refit of %d not above old start" v)
+      true
+      (refit <= cur || (inst : S.t).w.(v) = 0);
+    starts.(v) <- cur
+  done
+
+let test_order_validation () =
+  let inst = Util.random_inst2 ~seed:10 ~x:3 ~y:3 ~bound:5 in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Ivc_kernel.Ff.color_in_order: order length mismatch")
+    (fun () -> ignore (Ff.color_in_order inst [| 0; 1 |]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Ivc_kernel.Ff.color_in_order: order is not a permutation")
+    (fun () -> ignore (Ff.color_in_order inst (Array.make 9 0)))
+
+let test_tile_order_permutation () =
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun order ->
+          let n = S.n_vertices inst in
+          let seen = Array.make n false in
+          Array.iter (fun v -> seen.(v) <- true) order;
+          Alcotest.(check int) "order length" n (Array.length order);
+          Alcotest.(check bool) "order is a permutation" true
+            (Array.for_all Fun.id seen))
+        [
+          Tiles.tile_order ~tile:2 inst;
+          Tiles.tile_order inst;
+          Par.equivalent_order ~tile:2 inst;
+          Par.equivalent_order inst;
+        ])
+    [
+      Util.random_inst2 ~seed:11 ~x:7 ~y:5 ~bound:6;
+      Util.random_inst3 ~seed:12 ~x:3 ~y:5 ~z:4 ~bound:6;
+      (* 1 x N ribbon: exercises the radix fallback of iter_cells *)
+      Util.random_inst2 ~seed:13 ~x:1 ~y:40 ~bound:6;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "scan path differential" `Quick test_scan_path_matches;
+    Alcotest.test_case "bitset path differential" `Quick
+      test_bitset_path_matches;
+    Alcotest.test_case "engine operations" `Quick test_engine_ops;
+    Alcotest.test_case "first_fit_for refits" `Quick test_first_fit_for_refits;
+    Alcotest.test_case "order validation" `Quick test_order_validation;
+    Alcotest.test_case "tiled orders are permutations" `Quick
+      test_tile_order_permutation;
+    qtest "kernel = reference on 2D orders" (gen_with_seed Util.gen_inst2)
+      prop_kernel_matches;
+    qtest "kernel = reference on 3D orders" (gen_with_seed Util.gen_inst3)
+      prop_kernel_matches;
+    qtest "tiled sweep = reference (2D)" (gen_with_seed Util.gen_inst2)
+      prop_tiled_matches;
+    qtest "tiled sweep = reference (3D)" ~count:40
+      (gen_with_seed Util.gen_inst3) prop_tiled_matches;
+    qtest "parallel sweep = reference (2D)" ~count:40
+      (gen_with_seed Util.gen_inst2) prop_par_matches;
+    qtest "parallel sweep = reference (3D)" ~count:25
+      (gen_with_seed Util.gen_inst3) prop_par_matches;
+  ]

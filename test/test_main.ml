@@ -8,6 +8,7 @@ let () =
       ("grid", Test_grid.suite);
       ("coloring", Test_coloring.suite);
       ("greedy", Test_greedy.suite);
+      ("kernel", Test_kernel.suite);
       ("special-cases", Test_special.suite);
       ("bounds", Test_bounds.suite);
       ("heuristics", Test_heuristics.suite);
