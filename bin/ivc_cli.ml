@@ -364,6 +364,112 @@ let stkde_cmd =
     (Cmd.info "stkde" ~doc:"Run the space-time kernel density application (Sec VII)")
     Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t $ faults_t $ obs_t)
 
+(* ---- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let budget_t =
+    Arg.(value & opt float 10.0 & info [ "budget-s" ] ~docv:"S"
+           ~doc:"Wall-clock fuzzing budget in seconds (monotonic).")
+  in
+  let max_instances_t =
+    Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N"
+           ~doc:"Stop after $(docv) generated instances (default: budget \
+                 only).")
+  in
+  let oracle_t =
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME"
+           ~doc:"Run only this oracle (repeatable). Default: the full \
+                 registry.")
+  in
+  let out_dir_t =
+    Arg.(value & opt string "fuzz-repros" & info [ "out-dir" ] ~docv:"DIR"
+           ~doc:"Directory for shrunk repro files (created on the first \
+                 failure).")
+  in
+  let replay_t =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay one repro file instead of fuzzing: run its oracle \
+                 on its instance and exit 0 (pass) or 1 (violation \
+                 reproduced).")
+  in
+  let inject_bug_t =
+    Arg.(value & flag & info [ "inject-bug" ]
+           ~doc:"Also run the kernel-diff!bug oracle: a deliberate \
+                 off-by-one applied to a scratch copy of the kernel output. \
+                 Demonstrates the catch-shrink-replay loop end to end; the \
+                 campaign is expected to fail.")
+  in
+  let run seed budget_s max_instances oracle_names out_dir replay inject_bug
+      obs =
+    with_obs obs @@ fun () ->
+    match replay with
+    | Some path -> (
+        let name, verdict = Ivc_check.Fuzz.replay path in
+        match verdict with
+        | Ivc_check.Oracle.Pass ->
+            Format.printf "%s: oracle %s passes@." path name
+        | Ivc_check.Oracle.Fail msg ->
+            Format.printf "%s: oracle %s violation reproduced: %s@." path
+              name msg;
+            exit 1)
+    | None ->
+        let named =
+          List.map
+            (fun n ->
+              match Ivc_check.Oracles.find n with
+              | Some o -> o
+              | None ->
+                  failwith
+                    ("unknown oracle " ^ n ^ " (known: "
+                    ^ String.concat " " Ivc_check.Oracles.names
+                    ^ ")"))
+            oracle_names
+        in
+        let oracles =
+          (if named = [] then Ivc_check.Oracles.all else named)
+          @ (if inject_bug then [ Ivc_check.Oracles.kernel_diff_buggy ]
+             else [])
+        in
+        Format.printf "fuzz: seed %d, budget %gs, oracles: %s@." seed
+          budget_s
+          (String.concat " "
+             (List.map (fun (o : Ivc_check.Oracle.t) -> o.Ivc_check.Oracle.name) oracles));
+        let report =
+          Ivc_check.Fuzz.run ~seed ~budget_s ?max_instances
+            ~oracles ~out_dir ()
+        in
+        Format.printf
+          "fuzz: %d instances, %d oracle runs in %.1fs (%.1f instances/s)@."
+          report.Ivc_check.Fuzz.instances report.Ivc_check.Fuzz.oracle_runs
+          report.Ivc_check.Fuzz.elapsed_s
+          (Ivc_check.Fuzz.rate report);
+        match report.Ivc_check.Fuzz.failures with
+        | [] -> Format.printf "fuzz: all oracles clean@."
+        | fs ->
+            List.iter
+              (fun (f : Ivc_check.Fuzz.failure) ->
+                Format.printf
+                  "fuzz: FAIL %s on instance %d (%s)@.      %s@.      \
+                   shrunk to %s: %s@."
+                  f.Ivc_check.Fuzz.oracle f.Ivc_check.Fuzz.index
+                  (S.describe f.Ivc_check.Fuzz.original)
+                  f.Ivc_check.Fuzz.message
+                  (S.describe f.Ivc_check.Fuzz.shrunk)
+                  f.Ivc_check.Fuzz.shrunk_message;
+                Option.iter
+                  (fun p -> Format.printf "      repro: %s@." p)
+                  f.Ivc_check.Fuzz.repro_path)
+              fs;
+            Format.printf "fuzz: %d violation(s) found@." (List.length fs);
+            exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: seeded instances, every oracle, \
+             shrinking, replayable repros")
+    Term.(const run $ seed_t $ budget_t $ max_instances_t $ oracle_t
+          $ out_dir_t $ replay_t $ inject_bug_t $ obs_t)
+
 (* ---- save ------------------------------------------------------------------- *)
 
 let save_cmd =
@@ -467,5 +573,5 @@ let () =
        (Cmd.group info
           [
             color_cmd; exact_cmd; catalog_cmd; milp_cmd; reduce_cmd; stkde_cmd;
-            save_cmd; render_cmd; orders_cmd; parcolor_cmd;
+            save_cmd; render_cmd; orders_cmd; parcolor_cmd; fuzz_cmd;
           ]))

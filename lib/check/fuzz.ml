@@ -1,0 +1,139 @@
+module S = Ivc_grid.Stencil
+
+let c_instances = Ivc_obs.Counter.make "check.instances"
+let c_runs = Ivc_obs.Counter.make "check.oracle_runs"
+let c_failures = Ivc_obs.Counter.make "check.failures"
+
+type failure = {
+  oracle : string;
+  index : int;
+  message : string;
+  original : S.t;
+  shrunk : S.t;
+  shrunk_message : string;
+  repro_path : string option;
+}
+
+type report = {
+  seed : int;
+  instances : int;
+  oracle_runs : int;
+  failures : failure list;
+  elapsed_s : float;
+}
+
+let rate r =
+  if r.elapsed_s <= 0.0 then Float.of_int r.instances
+  else Float.of_int r.instances /. r.elapsed_s
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let write_repro ~out_dir ~seed ~index (o : Oracle.t) shrunk =
+  match out_dir with
+  | None -> None
+  | Some dir ->
+      ensure_dir dir;
+      (* '!' appears in the demo oracle's name; keep filenames plain *)
+      let safe =
+        String.map
+          (fun c -> if c = '!' || c = '/' then '_' else c)
+          o.Oracle.name
+      in
+      let path = Printf.sprintf "%s/%s-seed%d-i%d.repro" dir safe seed index in
+      Repro.save path
+        {
+          Repro.oracle = o.Oracle.name;
+          seed = Some seed;
+          note = Some (S.describe shrunk);
+          instance = shrunk;
+        };
+      Some path
+
+let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
+    ?(max_failures = 25) ?(oracles = Oracles.all) ?out_dir () =
+  let t0 = Ivc_obs.now_ns () in
+  let elapsed () = Ivc_obs.elapsed_s ~since:t0 in
+  let instances = ref 0 and runs = ref 0 in
+  let failures = ref [] and n_failures = ref 0 in
+  let index = ref 0 in
+  while
+    elapsed () < budget_s
+    && !instances < max_instances
+    && !n_failures < max_failures
+  do
+    let i = !index in
+    incr index;
+    let inst = Gen.instance ~seed ~index:i in
+    incr instances;
+    Ivc_obs.Counter.incr c_instances;
+    List.iter
+      (fun (o : Oracle.t) ->
+        if o.Oracle.applies inst && !n_failures < max_failures then begin
+          incr runs;
+          Ivc_obs.Counter.incr c_runs;
+          let verdict =
+            Ivc_obs.Span.record ~cat:"check"
+              ~args:[ ("oracle", o.Oracle.name) ]
+              "fuzz.oracle"
+              (fun () -> o.Oracle.run inst)
+          in
+          match verdict with
+          | Oracle.Pass -> ()
+          | Oracle.Fail message ->
+              Ivc_obs.Counter.incr c_failures;
+              incr n_failures;
+              let fails i =
+                match o.Oracle.run i with
+                | Oracle.Fail _ -> true
+                | Oracle.Pass -> false
+              in
+              let shrunk = Shrink.shrink ~fails inst in
+              let shrunk_message =
+                match o.Oracle.run shrunk with
+                | Oracle.Fail m -> m
+                | Oracle.Pass -> message
+              in
+              let repro_path =
+                write_repro ~out_dir ~seed ~index:i o shrunk
+              in
+              failures :=
+                {
+                  oracle = o.Oracle.name;
+                  index = i;
+                  message;
+                  original = inst;
+                  shrunk;
+                  shrunk_message;
+                  repro_path;
+                }
+                :: !failures
+        end)
+      oracles
+  done;
+  {
+    seed;
+    instances = !instances;
+    oracle_runs = !runs;
+    failures = List.rev !failures;
+    elapsed_s = elapsed ();
+  }
+
+let replay ?oracles path =
+  let r = Repro.load path in
+  let registry =
+    match oracles with
+    | Some l -> l
+    | None -> Oracles.all @ [ Oracles.kernel_diff_buggy ]
+  in
+  match
+    List.find_opt
+      (fun (o : Oracle.t) -> o.Oracle.name = r.Repro.oracle)
+      registry
+  with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ivc_check.Fuzz.replay: unknown oracle %s in %s"
+           r.Repro.oracle path)
+  | Some o -> (o.Oracle.name, o.Oracle.run r.Repro.instance)

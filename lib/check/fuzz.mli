@@ -1,0 +1,53 @@
+(** Differential fuzz campaigns: generate seeded adversarial
+    instances, run every applicable oracle, shrink failures to minimal
+    repros, and write replayable repro files.
+
+    Deterministic by construction — a campaign is a pure function of
+    [(seed, oracle set, instance/failure caps)]; the wall-clock budget
+    only decides how far down the (deterministic) stream the campaign
+    gets. Observability: [check.instances], [check.oracle_runs],
+    [check.failures], [check.shrink_steps] counters and a
+    [fuzz.oracle] span per oracle run. *)
+
+type failure = {
+  oracle : string;
+  index : int;  (** stream index of the offending instance *)
+  message : string;  (** oracle diagnosis on the original instance *)
+  original : Ivc_grid.Stencil.t;
+  shrunk : Ivc_grid.Stencil.t;
+  shrunk_message : string;  (** diagnosis on the shrunk instance *)
+  repro_path : string option;  (** where the repro file was written *)
+}
+
+type report = {
+  seed : int;
+  instances : int;
+  oracle_runs : int;
+  failures : failure list;  (** in discovery order *)
+  elapsed_s : float;
+}
+
+(** Instances per second, guarded against a zero clock. *)
+val rate : report -> float
+
+(** [run ~seed ()] — [budget_s] (default 10.) bounds wall-clock time
+    (checked between instances); [max_instances] (default unlimited)
+    and [max_failures] (default 25) bound the campaign
+    deterministically; [oracles] defaults to {!Oracles.all};
+    [out_dir] enables repro-file emission (created if missing). *)
+val run :
+  ?seed:int ->
+  ?budget_s:float ->
+  ?max_instances:int ->
+  ?max_failures:int ->
+  ?oracles:Oracle.t list ->
+  ?out_dir:string ->
+  unit ->
+  report
+
+(** [replay path] loads a repro file and runs its oracle on its
+    instance, returning the oracle name and the verdict. Raises
+    {!Spatial_data.Io.Io_error} on a malformed file and
+    [Invalid_argument] on an unknown oracle name. [oracles] defaults
+    to the full registry plus [kernel-diff!bug]. *)
+val replay : ?oracles:Oracle.t list -> string -> string * Oracle.result

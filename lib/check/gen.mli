@@ -1,0 +1,74 @@
+(** Seeded adversarial instance generators for the fuzzing and oracle
+    subsystem.
+
+    Everything here is a pure function of a small integer seed: the
+    same (seed, index) pair always produces the same instance, so a
+    failing fuzz campaign replays verbatim from its seed alone. The
+    randomness is counter-mode splitmix64 — the exact generator behind
+    {!Ivc_resilient.Faults} — rather than any global RNG state.
+
+    The stream deliberately mixes plain random grids with the
+    degenerate families the lower-bound literature builds
+    counterexamples from: chains (1xN paths), block cliques (K4 / K8),
+    the 8-ring around a zeroed centre (embedded odd cycles), striped
+    bipartite weight patterns, all-equal weights, heavy-tailed weights
+    and zero-dominated grids. *)
+
+(** {1 Deterministic counter-mode RNG} *)
+
+type rng
+
+(** [rng ~seed ~stream] is an independent deterministic stream; equal
+    arguments give equal streams. *)
+val rng : seed:int -> stream:int -> rng
+
+(** Uniform draw in [0, bound); requires [bound >= 1]. *)
+val int : rng -> int -> int
+
+(** Fisher–Yates permutation of [0 .. n-1]. *)
+val permutation : rng -> int -> int array
+
+(** Deterministic structural hash of an instance (dims + weights);
+    used to derive per-instance choices (e.g. a shuffled order) that
+    stay stable across replays. Non-negative. *)
+val hash : Ivc_grid.Stencil.t -> int
+
+(** {1 Instance families} *)
+
+type family =
+  | Uniform2  (** ragged 2D grid (dims may be 1), uniform weights *)
+  | Uniform3  (** ragged 3D grid, uniform weights *)
+  | Equal  (** all-equal weights, 2D or 3D *)
+  | Chain  (** 1xN path *)
+  | Clique2  (** 2x2 block (K4) *)
+  | Clique3  (** 2x2x2 block (K8) *)
+  | Ring  (** 3x3 with a zero centre: the 8-ring, embedded odd cycles *)
+  | Stripes
+      (** zero weight on every other row: the positive cells form
+          disjoint paths, a genuinely bipartite conflict graph *)
+  | Heavy_tail  (** mostly tiny weights with a few huge outliers *)
+  | Zero_heavy  (** 3D grid dominated by zero-weight cells *)
+
+val families : family list
+val family_name : family -> string
+
+(** [of_family f ~seed] draws one instance of the family. *)
+val of_family : family -> seed:int -> Ivc_grid.Stencil.t
+
+(** [instance ~seed ~index] is element [index] of the seed's instance
+    stream. Families are cycled so any [List.length families]
+    consecutive indices cover every family. *)
+val instance : seed:int -> index:int -> Ivc_grid.Stencil.t
+
+(** Family of stream element [index] (for labeling). *)
+val family_of_index : index:int -> family
+
+(** {1 Small-instance generators shared with the qcheck suites} *)
+
+(** 2D instance with dims 2..6 and weights 0..15 — the distribution
+    the pre-existing qcheck suites used, now derived from a seed so
+    qcheck properties and the fuzzer share one generator codebase. *)
+val small2 : seed:int -> Ivc_grid.Stencil.t
+
+(** 3D instance with dims 2..4 x 2..4 x 2..3 and weights 0..9. *)
+val small3 : seed:int -> Ivc_grid.Stencil.t

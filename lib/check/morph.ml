@@ -1,0 +1,107 @@
+module S = Ivc_grid.Stencil
+
+type t = {
+  name : string;
+  applies : S.t -> bool;
+  apply : S.t -> S.t;
+  map : S.t -> int -> int;
+}
+
+(* Rebuild the instance so that transformed.(map v) = w.(v); [dims']
+   are the transformed dimensions. *)
+let rebuild inst dims' map =
+  let n = S.n_vertices inst in
+  let w' = Array.make n 0 in
+  for v = 0 to n - 1 do
+    w'.(map v) <- S.weight inst v
+  done;
+  match dims' with
+  | S.D2 (x, y) -> S.make2 ~x ~y w'
+  | S.D3 (x, y, z) -> S.make3 ~x ~y ~z w'
+
+let is_2d inst = not (S.is_3d inst)
+
+let transpose2 =
+  let map inst v =
+    let i, j = S.coord2 inst v in
+    match (inst : S.t).dims with
+    | S.D2 (x, _) -> (j * x) + i
+    | S.D3 _ -> assert false
+  in
+  {
+    name = "transpose";
+    applies = is_2d;
+    map;
+    apply =
+      (fun inst ->
+        match (inst : S.t).dims with
+        | S.D2 (x, y) -> rebuild inst (S.D2 (y, x)) (map inst)
+        | S.D3 _ -> assert false);
+  }
+
+let swap_xy3 =
+  let map inst v =
+    let i, j, k = S.coord3 inst v in
+    match (inst : S.t).dims with
+    | S.D3 (x, _, z) -> (((j * x) + i) * z) + k
+    | S.D2 _ -> assert false
+  in
+  {
+    name = "swap-xy";
+    applies = S.is_3d;
+    map;
+    apply =
+      (fun inst ->
+        match (inst : S.t).dims with
+        | S.D3 (x, y, z) -> rebuild inst (S.D3 (y, x, z)) (map inst)
+        | S.D2 _ -> assert false);
+  }
+
+(* Reflections keep the dims; only the coordinate along one axis
+   flips. *)
+let reflect ~name ~applies ~flip =
+  let map inst v =
+    match (inst : S.t).dims with
+    | S.D2 _ ->
+        let i, j = S.coord2 inst v in
+        let i, j = flip inst (i, j, 0) |> fun (a, b, _) -> (a, b) in
+        S.id2 inst i j
+    | S.D3 _ ->
+        let i, j, k = S.coord3 inst v in
+        let i, j, k = flip inst (i, j, k) in
+        S.id3 inst i j k
+  in
+  {
+    name;
+    applies;
+    map;
+    apply = (fun inst -> rebuild inst (inst : S.t).dims (map inst));
+  }
+
+let dims3 inst =
+  match (inst : S.t).dims with
+  | S.D2 (x, y) -> (x, y, 1)
+  | S.D3 (x, y, z) -> (x, y, z)
+
+let reflect_x =
+  reflect ~name:"reflect-x"
+    ~applies:(fun _ -> true)
+    ~flip:(fun inst (i, j, k) ->
+      let x, _, _ = dims3 inst in
+      (x - 1 - i, j, k))
+
+let reflect_y =
+  reflect ~name:"reflect-y"
+    ~applies:(fun _ -> true)
+    ~flip:(fun inst (i, j, k) ->
+      let _, y, _ = dims3 inst in
+      (i, y - 1 - j, k))
+
+let reflect_z =
+  reflect ~name:"reflect-z" ~applies:S.is_3d
+    ~flip:(fun inst (i, j, k) ->
+      let _, _, z = dims3 inst in
+      (i, j, z - 1 - k))
+
+let all = [ transpose2; swap_xy3; reflect_x; reflect_y; reflect_z ]
+let applicable inst = List.filter (fun m -> m.applies inst) all

@@ -1,0 +1,38 @@
+(** Metamorphic instance transforms: grid automorphisms.
+
+    Each transform maps an instance to an isomorphic instance together
+    with the vertex relabeling realizing the isomorphism. Axis
+    transpositions and reflections generate the full symmetry group of
+    the 9-pt / 27-pt stencil grid, so any quantity that only depends
+    on the conflict graph and the weights — lower bounds, [maxcolor*],
+    the coloring produced by first fit under a correspondingly
+    relabeled order — must be preserved exactly. The metamorphic
+    oracle exploits that invariance. *)
+
+type t = {
+  name : string;
+  applies : Ivc_grid.Stencil.t -> bool;  (** e.g. transposition is 2D-only *)
+  apply : Ivc_grid.Stencil.t -> Ivc_grid.Stencil.t;
+      (** the transformed (isomorphic) instance *)
+  map : Ivc_grid.Stencil.t -> int -> int;
+      (** vertex relabeling: flat id in the original instance to flat
+          id in the transformed instance *)
+}
+
+(** Transpose the two axes of a 2D instance. *)
+val transpose2 : t
+
+(** Swap the x and y axes of a 3D instance. *)
+val swap_xy3 : t
+
+(** Reflect along the first / second / third axis. [reflect_z] is
+    3D-only; the others apply to both dimensions. *)
+val reflect_x : t
+
+val reflect_y : t
+val reflect_z : t
+
+val all : t list
+
+(** The transforms applicable to an instance. *)
+val applicable : Ivc_grid.Stencil.t -> t list

@@ -1,0 +1,21 @@
+type result = Pass | Fail of string
+
+type t = {
+  name : string;
+  description : string;
+  applies : Ivc_grid.Stencil.t -> bool;
+  run : Ivc_grid.Stencil.t -> result;
+}
+
+let failf fmt = Printf.ksprintf (fun msg -> Fail msg) fmt
+let both r k = match r with Pass -> k () | Fail _ -> r
+
+let rec all_of = function
+  | [] -> Pass
+  | k :: rest -> ( match k () with Pass -> all_of rest | Fail _ as f -> f)
+
+let check cond fmt =
+  Printf.ksprintf (fun msg -> if cond then Pass else Fail msg) fmt
+
+let is_pass = function Pass -> true | Fail _ -> false
+let to_string = function Pass -> "pass" | Fail msg -> "FAIL: " ^ msg

@@ -1,0 +1,34 @@
+(** The oracle abstraction: a named, self-contained correctness check
+    that takes one instance and either passes or fails with a
+    human-readable diagnosis.
+
+    Oracles are the shared currency of the correctness tooling: the
+    fuzzer runs every applicable oracle on every generated instance,
+    the qcheck suites run the same oracles under their own generators,
+    and a repro file names the oracle it violates so a replay needs no
+    other context. *)
+
+type result = Pass | Fail of string
+
+type t = {
+  name : string;  (** stable identifier, used by repro files and the CLI *)
+  description : string;
+  applies : Ivc_grid.Stencil.t -> bool;
+      (** cheap applicability filter (e.g. the exact sandwich only
+          fits small instances) *)
+  run : Ivc_grid.Stencil.t -> result;
+}
+
+(** [failf fmt ...] builds a [Fail _]. *)
+val failf : ('a, unit, string, result) format4 -> 'a
+
+(** Sequence checks: first failure wins. *)
+val both : result -> (unit -> result) -> result
+
+val all_of : (unit -> result) list -> result
+
+(** [check cond fmt ...] is [Pass] when [cond] holds. *)
+val check : bool -> ('a, unit, string, result) format4 -> 'a
+
+val is_pass : result -> bool
+val to_string : result -> string

@@ -1,0 +1,470 @@
+module S = Ivc_grid.Stencil
+module O = Oracle
+module Ff = Ivc_kernel.Ff
+module Tiles = Ivc_kernel.Tiles
+module Par = Ivc_kernel.Par_sweep
+module Ref = Ivc.Greedy.Reference
+module Cert = Ivc_resilient.Cert
+
+let weights inst = (inst : S.t).w
+
+let rebuild inst w =
+  match (inst : S.t).dims with
+  | S.D2 (x, y) -> S.make2 ~x ~y w
+  | S.D3 (x, y, z) -> S.make3 ~x ~y ~z w
+
+let first_mismatch a b =
+  let i = ref (-1) in
+  (try
+     for v = 0 to Array.length a - 1 do
+       if a.(v) <> b.(v) then begin
+         i := v;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !i
+
+let certify inst ~who starts =
+  match Cert.check inst starts with
+  | Ok _ -> O.Pass
+  | Error e -> O.failf "%s: %s" who (Cert.to_string e)
+
+(* ---- cert ------------------------------------------------------------ *)
+
+let cert =
+  {
+    O.name = "cert";
+    description =
+      "every heuristic's coloring passes the independent certificate gate";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        O.all_of
+          (List.map
+             (fun (a : Ivc.Algo.t) () ->
+               let starts = a.Ivc.Algo.run inst in
+               match Cert.check inst starts with
+               | Error e ->
+                   O.failf "%s: %s" a.Ivc.Algo.name (Cert.to_string e)
+               | Ok mc ->
+                   let mc' =
+                     Ivc.Coloring.maxcolor ~w:(weights inst) starts
+                   in
+                   O.check (mc = mc')
+                     "%s: cert maxcolor %d <> computed maxcolor %d"
+                     a.Ivc.Algo.name mc mc')
+             Ivc.Algo.all));
+  }
+
+(* ---- kernel-diff ------------------------------------------------------ *)
+
+(* The shuffled order is derived from the instance's own hash, so a
+   replayed instance exercises the same order without carrying any
+   extra state in the repro file. *)
+let diff_orders inst =
+  let n = S.n_vertices inst in
+  let r = Gen.rng ~seed:(Gen.hash inst) ~stream:7 in
+  [
+    ("row-major", S.row_major_order inst);
+    ("z-order", S.zorder inst);
+    ("largest-first", Ivc.Order.largest_first inst);
+    ("shuffled", Gen.permutation r n);
+  ]
+
+let kernel_diff_run ?corrupt inst =
+  O.all_of
+    (List.map
+       (fun (oname, order) () ->
+         let k = Ff.color_in_order inst order in
+         (* the optional corruption mutates this scratch copy only;
+            nothing downstream ever sees it *)
+         (match corrupt with Some f -> f inst k | None -> ());
+         let r = Ref.color_in_order inst order in
+         if k <> r then
+           let v = first_mismatch r k in
+           O.failf "order %s: kernel start %d at vertex %d, reference %d"
+             oname k.(v) v r.(v)
+         else certify inst ~who:("kernel on " ^ oname) k)
+       (diff_orders inst))
+
+let kernel_diff =
+  {
+    O.name = "kernel-diff";
+    description =
+      "allocation-free kernel = Greedy.Reference, exact starts, on four \
+       orders";
+    applies = (fun _ -> true);
+    run = (fun inst -> kernel_diff_run inst);
+  }
+
+(* Deliberate bug for demonstrations: decrement the largest positive
+   start in a scratch copy of the kernel output. Any instance with two
+   adjacent positive-weight cells triggers it. *)
+let corrupt_scratch _inst k =
+  let v = ref (-1) in
+  Array.iteri (fun i s -> if s > 0 && (!v < 0 || s > k.(!v)) then v := i) k;
+  if !v >= 0 then k.(!v) <- k.(!v) - 1
+
+let kernel_diff_buggy =
+  {
+    O.name = "kernel-diff!bug";
+    description =
+      "kernel-diff with a deliberate off-by-one injected into a scratch \
+       copy of the kernel output (demonstration/testing only)";
+    applies = (fun _ -> true);
+    run = (fun inst -> kernel_diff_run ~corrupt:corrupt_scratch inst);
+  }
+
+(* ---- tiled-diff -------------------------------------------------------- *)
+
+let tiled_diff =
+  {
+    O.name = "tiled-diff";
+    description = "Z-order tiled sweep = reference on tile_order";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        O.all_of
+          (List.map
+             (fun tile () ->
+               let order = Tiles.tile_order ?tile inst in
+               let tiled = Tiles.color ?tile inst in
+               let r = Ref.color_in_order inst order in
+               if tiled <> r then
+                 let v = first_mismatch r tiled in
+                 O.failf
+                   "tile %s: tiled start %d at vertex %d, reference %d"
+                   (match tile with
+                   | Some t -> string_of_int t
+                   | None -> "default")
+                   tiled.(v) v r.(v)
+               else certify inst ~who:"tiled sweep" tiled)
+             [ Some 2; Some 3; None ]));
+  }
+
+(* ---- par-diff ----------------------------------------------------------- *)
+
+let par_diff =
+  {
+    O.name = "par-diff";
+    description =
+      "deterministic parallel sweep = reference on equivalent_order, any \
+       worker count";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        let order = Par.equivalent_order ~tile:2 inst in
+        let expected = Ref.color_in_order inst order in
+        O.all_of
+          (List.map
+             (fun workers () ->
+               let par, stats = Par.color ~workers ~tile:2 inst in
+               O.both
+                 (O.check
+                    (stats.Par.interior + stats.Par.seam = n)
+                    "workers %d: interior %d + seam %d <> n %d" workers
+                    stats.Par.interior stats.Par.seam n)
+                 (fun () ->
+                   if par <> expected then
+                     let v = first_mismatch expected par in
+                     O.failf
+                       "workers %d: parallel start %d at vertex %d, \
+                        reference %d"
+                       workers par.(v) v expected.(v)
+                   else certify inst ~who:"parallel sweep" par))
+             [ 1; 2 ]));
+  }
+
+(* ---- parcolor ------------------------------------------------------------ *)
+
+let parcolor =
+  {
+    O.name = "parcolor";
+    description =
+      "speculative parallel greedy certifies; one worker = sequential \
+       greedy exactly";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        let starts, _ = Ivc_parcolor.Parallel_greedy.color ~workers:2 inst in
+        O.both (certify inst ~who:"parcolor workers=2" starts) (fun () ->
+            let order = S.row_major_order inst in
+            let seq = Ivc.Greedy.color_in_order inst order in
+            let one, stats =
+              Ivc_parcolor.Parallel_greedy.color ~workers:1 ~order inst
+            in
+            if one <> seq then
+              let v = first_mismatch seq one in
+              O.failf
+                "one worker diverges from sequential at vertex %d (%d <> %d)"
+                v one.(v) seq.(v)
+            else
+              O.check
+                (stats.Ivc_parcolor.Parallel_greedy.conflicts_total = 0)
+                "one worker reported %d speculation conflicts"
+                stats.Ivc_parcolor.Parallel_greedy.conflicts_total));
+  }
+
+(* ---- bound-sandwich ------------------------------------------------------- *)
+
+(* Node budget sized so the exact stage stays sub-second on the <= 36
+   vertex instances it is gated to. *)
+let exact_budget = 20_000
+let exact_max_n = 36
+
+let bound_sandwich =
+  {
+    O.name = "bound-sandwich";
+    description =
+      "lower bounds <= every heuristic; family exact optima and (small \
+       instances) the exact solver bracket the heuristics";
+    applies = (fun inst -> S.n_vertices inst <= 400);
+    run =
+      (fun inst ->
+        let lb = Ivc.Bounds.combined inst in
+        let heur = Ivc.Algo.run_all inst in
+        let best =
+          List.fold_left (fun acc (_, _, mc) -> min acc mc) max_int heur
+        in
+        let heuristics_above_lb () =
+          O.all_of
+            (List.map
+               (fun (name, _, mc) () ->
+                 O.check (mc >= lb) "%s maxcolor %d below lower bound %d"
+                   name mc lb)
+               heur)
+        in
+        let family_exact () =
+          match (inst : S.t).dims with
+          | S.D2 (1, _) | S.D2 (_, 1) ->
+              (* a 1xN (or Nx1) grid's conflict graph is the path *)
+              let starts, opt = Ivc.Special.color_chain (weights inst) in
+              O.all_of
+                [
+                  (fun () -> certify inst ~who:"chain optimum" starts);
+                  (fun () ->
+                    O.check (lb <= opt)
+                      "chain optimum %d below lower bound %d" opt lb);
+                  (fun () ->
+                    O.check (opt <= best)
+                      "best heuristic %d beats the chain optimum %d" best
+                      opt);
+                ]
+          | S.D2 (2, 2) | S.D3 (2, 2, 2) ->
+              let starts, opt = Ivc.Special.color_clique ~w:(weights inst) in
+              O.all_of
+                [
+                  (fun () -> certify inst ~who:"clique optimum" starts);
+                  (fun () ->
+                    O.check (lb <= opt)
+                      "clique optimum %d below lower bound %d" opt lb);
+                  (fun () ->
+                    O.check (opt <= best)
+                      "best heuristic %d beats the clique optimum %d" best
+                      opt);
+                ]
+          | _ -> O.Pass
+        in
+        let exact_sandwich () =
+          if S.n_vertices inst > exact_max_n then O.Pass
+          else
+            let o =
+              Ivc_exact.Optimize.solve ~budget:exact_budget
+                ~time_limit_s:2.0 inst
+            in
+            let elb = o.Ivc_exact.Optimize.lower_bound
+            and eub = o.Ivc_exact.Optimize.upper_bound in
+            O.all_of
+              [
+                (fun () ->
+                  O.check (elb <= eub) "exact bounds crossed: %d > %d" elb
+                    eub);
+                (fun () ->
+                  match Cert.check inst o.Ivc_exact.Optimize.starts with
+                  | Error e ->
+                      O.failf "exact witness: %s" (Cert.to_string e)
+                  | Ok mc ->
+                      O.check (mc = eub)
+                        "exact witness maxcolor %d <> upper bound %d" mc
+                        eub);
+                (fun () ->
+                  O.check (elb <= best)
+                    "exact lower bound %d above best heuristic %d" elb best);
+                (fun () ->
+                  if not o.Ivc_exact.Optimize.proven_optimal then O.Pass
+                  else
+                    O.all_of
+                      [
+                        (fun () ->
+                          O.check (lb <= eub)
+                            "combined lower bound %d above the optimum %d"
+                            lb eub);
+                        (fun () ->
+                          O.check (eub <= best)
+                            "best heuristic %d beats the proven optimum %d"
+                            best eub);
+                      ]);
+              ]
+        in
+        O.all_of [ heuristics_above_lb; family_exact; exact_sandwich ]);
+  }
+
+(* ---- bound-monotone -------------------------------------------------------- *)
+
+let bound_monotone =
+  {
+    O.name = "bound-monotone";
+    description =
+      "all lower/upper bounds are monotone under weight increases";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        if n = 0 then O.Pass
+        else begin
+          let r = Gen.rng ~seed:(Gen.hash inst) ~stream:11 in
+          let w' = Array.copy (weights inst) in
+          for _ = 1 to 1 + (n / 4) do
+            let v = Gen.int r n in
+            w'.(v) <- w'.(v) + 1 + Gen.int r 5
+          done;
+          let inst' = rebuild inst w' in
+          O.all_of
+            (List.map
+               (fun (name, f) () ->
+                 let before = f inst and after = f inst' in
+                 O.check (after >= before)
+                   "%s decreased from %d to %d under a weight increase" name
+                   before after)
+               [
+                 ("weight_lb", Ivc.Bounds.weight_lb);
+                 ("pair_lb", Ivc.Bounds.pair_lb);
+                 ("clique_lb", Ivc.Bounds.clique_lb);
+                 ("combined", fun i -> Ivc.Bounds.combined i);
+                 ("greedy_ub", Ivc.Bounds.greedy_ub);
+                 ("total_ub", Ivc.Bounds.total_ub);
+               ])
+        end);
+  }
+
+(* ---- metamorphic ------------------------------------------------------------ *)
+
+let metamorphic =
+  {
+    O.name = "metamorphic";
+    description =
+      "grid automorphisms preserve bounds and permute first-fit colorings \
+       exactly";
+    applies = (fun _ -> true);
+    run =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        let shuffle = Gen.permutation (Gen.rng ~seed:(Gen.hash inst) ~stream:13) n in
+        let orders =
+          [ ("row-major", S.row_major_order inst); ("shuffled", shuffle) ]
+        in
+        O.all_of
+          (List.map
+             (fun (m : Morph.t) () ->
+               let inst' = m.Morph.apply inst in
+               let map = m.Morph.map inst in
+               let bounds_invariant () =
+                 O.all_of
+                   (List.map
+                      (fun (name, f) () ->
+                        let before = f inst and after = f inst' in
+                        O.check (before = after)
+                          "%s: %s changed %d -> %d under an automorphism"
+                          m.Morph.name name before after)
+                      [
+                        ("weight_lb", Ivc.Bounds.weight_lb);
+                        ("pair_lb", Ivc.Bounds.pair_lb);
+                        ("clique_lb", Ivc.Bounds.clique_lb);
+                        ("combined", fun i -> Ivc.Bounds.combined i);
+                        ("greedy_ub", Ivc.Bounds.greedy_ub);
+                      ])
+               in
+               let first_fit_equivariant () =
+                 O.all_of
+                   (List.map
+                      (fun (oname, order) () ->
+                        let order' = Array.map map order in
+                        let starts = Ff.color_in_order inst order in
+                        let starts' = Ff.color_in_order inst' order' in
+                        let bad = ref (-1) in
+                        (try
+                           for v = 0 to n - 1 do
+                             if starts'.(map v) <> starts.(v) then begin
+                               bad := v;
+                               raise Exit
+                             end
+                           done
+                         with Exit -> ());
+                        if !bad < 0 then O.Pass
+                        else
+                          O.failf
+                            "%s on %s: vertex %d got %d, its image got %d"
+                            m.Morph.name oname !bad starts.(!bad)
+                            starts'.(map !bad))
+                      orders)
+               in
+               O.all_of [ bounds_invariant; first_fit_equivariant ])
+             (Morph.applicable inst)));
+  }
+
+(* ---- portfolio --------------------------------------------------------------- *)
+
+let portfolio =
+  {
+    O.name = "portfolio";
+    description =
+      "the resilient driver's outcome certifies with ordered bounds";
+    applies = (fun inst -> S.n_vertices inst <= 64);
+    run =
+      (fun inst ->
+        match Ivc_resilient.Driver.solve ~budget:5_000 inst with
+        | Error e -> O.failf "driver rejected: %s" (Cert.to_string e)
+        | Ok o ->
+            let mc = o.Ivc_resilient.Driver.maxcolor
+            and lb = o.Ivc_resilient.Driver.lower_bound in
+            O.all_of
+              [
+                (fun () ->
+                  match Cert.check inst o.Ivc_resilient.Driver.starts with
+                  | Error e -> O.failf "outcome: %s" (Cert.to_string e)
+                  | Ok mc' ->
+                      O.check (mc' = mc)
+                        "outcome maxcolor %d <> certified %d" mc mc');
+                (fun () ->
+                  O.check (lb <= mc) "lower bound %d above maxcolor %d" lb
+                    mc);
+                (fun () ->
+                  O.check
+                    ((not o.Ivc_resilient.Driver.proven_optimal) || lb = mc)
+                    "proven optimal but lb %d <> maxcolor %d" lb mc);
+              ]);
+  }
+
+(* ---- registry ------------------------------------------------------------------ *)
+
+let all =
+  [
+    cert;
+    kernel_diff;
+    tiled_diff;
+    par_diff;
+    parcolor;
+    bound_sandwich;
+    bound_monotone;
+    metamorphic;
+    portfolio;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (o : Oracle.t) -> String.lowercase_ascii o.Oracle.name = String.lowercase_ascii name)
+    (all @ [ kernel_diff_buggy ])
+
+let names = List.map (fun (o : Oracle.t) -> o.Oracle.name) all

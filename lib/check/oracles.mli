@@ -1,0 +1,51 @@
+(** The oracle registry: every correctness oracle the fuzzer, the
+    qcheck suites and the corpus replays share.
+
+    {ul
+    {- [cert] — every heuristic's coloring passes the independent
+       {!Ivc_resilient.Cert} gate with a consistent maxcolor.}
+    {- [kernel-diff] — the allocation-free kernel reproduces
+       [Greedy.Reference] starts exactly on row-major, Z-order,
+       largest-first and a seeded shuffled order.}
+    {- [tiled-diff] — the Z-order tiled sweep equals the reference on
+       its own tile order, for several tile sizes.}
+    {- [par-diff] — the deterministic parallel sweep equals the
+       reference on [equivalent_order] for 1 and 2 workers.}
+    {- [parcolor] — the speculative parallel engine certifies, and
+       with one worker matches the sequential greedy exactly.}
+    {- [bound-sandwich] — lower bounds never exceed any heuristic,
+       family exact optima (chains, block cliques) sandwich correctly,
+       and on small instances the exact solver's bounds bracket the
+       heuristics.}
+    {- [bound-monotone] — every lower/upper bound is monotone under
+       deterministic weight increases.}
+    {- [metamorphic] — grid automorphisms (transposition, axis swap,
+       reflections) preserve all bounds and permute first-fit
+       colorings exactly.}
+    {- [portfolio] — the resilient driver's outcome certifies with
+       ordered bounds.}} *)
+
+val cert : Oracle.t
+val kernel_diff : Oracle.t
+val tiled_diff : Oracle.t
+val par_diff : Oracle.t
+val parcolor : Oracle.t
+val bound_sandwich : Oracle.t
+val bound_monotone : Oracle.t
+val metamorphic : Oracle.t
+val portfolio : Oracle.t
+
+(** Every production oracle above, in a stable order. *)
+val all : Oracle.t list
+
+(** [kernel-diff!bug]: the kernel-diff oracle with a deliberate
+    off-by-one corruption applied to a scratch copy of the kernel's
+    output before comparison. Never part of {!all}; it exists to
+    demonstrate (in tests, CI dry runs and the PR description) that
+    the fuzzer catches and shrinks a seeded kernel bug. *)
+val kernel_diff_buggy : Oracle.t
+
+(** Look up by name across {!all} and {!kernel_diff_buggy}. *)
+val find : string -> Oracle.t option
+
+val names : string list

@@ -1,0 +1,68 @@
+module Io = Spatial_data.Io
+
+type t = {
+  oracle : string;
+  seed : int option;
+  note : string option;
+  instance : Ivc_grid.Stencil.t;
+}
+
+let magic = "ivc-repro 1"
+
+let to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b ("oracle " ^ r.oracle ^ "\n");
+  Option.iter (fun s -> Buffer.add_string b (Printf.sprintf "seed %d\n" s)) r.seed;
+  Option.iter (fun n -> Buffer.add_string b ("note " ^ n ^ "\n")) r.note;
+  Buffer.add_string b (Io.instance_to_string r.instance);
+  Buffer.contents b
+
+let error ?file ?line msg = raise (Io.Io_error { file; line; msg })
+
+let of_string ?file s =
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | first :: _ when String.trim first = magic -> ()
+  | _ -> error ?file ~line:1 (Printf.sprintf "expected '%s' header" magic));
+  (* header key-value lines until the ivc2/ivc3 instance block *)
+  let oracle = ref None and seed = ref None and note = ref None in
+  let rec split_header lineno = function
+    | [] -> error ?file "missing ivc2/ivc3 instance block"
+    | line :: rest as all ->
+        let t = String.trim line in
+        if t = "" then split_header (lineno + 1) rest
+        else if
+          String.length t >= 4
+          && (String.sub t 0 4 = "ivc2" || String.sub t 0 4 = "ivc3")
+        then (lineno, all)
+        else
+          let key, value =
+            match String.index_opt t ' ' with
+            | None -> (t, "")
+            | Some i ->
+                ( String.sub t 0 i,
+                  String.trim (String.sub t i (String.length t - i)) )
+          in
+          (match key with
+          | "oracle" ->
+              if value = "" then error ?file ~line:lineno "empty oracle name";
+              oracle := Some value
+          | "seed" -> (
+              match int_of_string_opt value with
+              | Some n -> seed := Some n
+              | None -> error ?file ~line:lineno ("bad seed: " ^ value))
+          | "note" -> note := Some value
+          | other ->
+              error ?file ~line:lineno ("unknown repro field: " ^ other));
+          split_header (lineno + 1) rest
+  in
+  let _, body = split_header 2 (List.tl lines) in
+  let instance = Io.instance_of_string ?file (String.concat "\n" body) in
+  match !oracle with
+  | None -> error ?file "repro has no 'oracle' line"
+  | Some oracle -> { oracle; seed = !seed; note = !note; instance }
+
+let save path r = Io.save path (to_string r)
+let load path = of_string ~file:path (Io.load path)

@@ -1,0 +1,35 @@
+(** Replayable repro files.
+
+    A repro records one instance together with the oracle it violates
+    (or, for regression-corpus entries, used to violate), so replaying
+    needs nothing but the file:
+
+    {v
+    ivc-repro 1
+    oracle kernel-diff
+    seed 42
+    note optional free text, one line
+    ivc2 2 3
+    1 0 4 2 2 1
+    v}
+
+    The trailing instance block is exactly the [ivc2]/[ivc3] format of
+    {!Spatial_data.Io}, so a repro's instance can also be fed to every
+    other CLI subcommand via [--from-file] after stripping the header.
+    Malformed files raise {!Spatial_data.Io.Io_error} with file/line
+    context. *)
+
+type t = {
+  oracle : string;
+  seed : int option;  (** the fuzz campaign seed, informational *)
+  note : string option;
+  instance : Ivc_grid.Stencil.t;
+}
+
+val to_string : t -> string
+
+(** Raises {!Spatial_data.Io.Io_error} on malformed input. *)
+val of_string : ?file:string -> string -> t
+
+val save : string -> t -> unit
+val load : string -> t

@@ -1,0 +1,96 @@
+module S = Ivc_grid.Stencil
+
+let c_steps = Ivc_obs.Counter.make "check.shrink_steps"
+let c_kept = Ivc_obs.Counter.make "check.shrink_accepted"
+
+(* Sub-grid [x0, x1) x [y0, y1) (x [z0, z1)) of an instance. *)
+let sub2 inst ~x0 ~x1 ~y0 ~y1 =
+  S.init2 ~x:(x1 - x0) ~y:(y1 - y0) (fun i j ->
+      S.weight inst (S.id2 inst (x0 + i) (y0 + j)))
+
+let sub3 inst ~x0 ~x1 ~y0 ~y1 ~z0 ~z1 =
+  S.init3 ~x:(x1 - x0) ~y:(y1 - y0) ~z:(z1 - z0) (fun i j k ->
+      S.weight inst (S.id3 inst (x0 + i) (y0 + j) (z0 + k)))
+
+(* Cuts along one axis of length d: keep the leading half, the
+   trailing half, drop one trailing slice, drop one leading slice.
+   Halves first so big instances collapse in O(log d) accepted
+   steps. *)
+let axis_cuts d =
+  if d <= 1 then []
+  else
+    let half = (d + 1) / 2 in
+    List.sort_uniq compare [ (0, half); (d - half, d); (0, d - 1); (1, d) ]
+    |> List.filter (fun (a, b) -> b - a < d)
+
+let dim_candidates inst =
+  match (inst : S.t).dims with
+  | S.D2 (x, y) ->
+      List.map (fun (x0, x1) -> sub2 inst ~x0 ~x1 ~y0:0 ~y1:y) (axis_cuts x)
+      @ List.map (fun (y0, y1) -> sub2 inst ~x0:0 ~x1:x ~y0 ~y1) (axis_cuts y)
+  | S.D3 (x, y, z) ->
+      List.map
+        (fun (x0, x1) -> sub3 inst ~x0 ~x1 ~y0:0 ~y1:y ~z0:0 ~z1:z)
+        (axis_cuts x)
+      @ List.map
+          (fun (y0, y1) -> sub3 inst ~x0:0 ~x1:x ~y0 ~y1 ~z0:0 ~z1:z)
+          (axis_cuts y)
+      @ List.map
+          (fun (z0, z1) -> sub3 inst ~x0:0 ~x1:x ~y0:0 ~y1:y ~z0 ~z1)
+          (axis_cuts z)
+
+let with_weight inst v wv =
+  let w = Array.copy (inst : S.t).w in
+  w.(v) <- wv;
+  match (inst : S.t).dims with
+  | S.D2 (x, y) -> S.make2 ~x ~y w
+  | S.D3 (x, y, z) -> S.make3 ~x ~y ~z w
+
+let shrink ?(max_rounds = 32) ~fails inst =
+  if not (fails inst) then inst
+  else begin
+    let try_candidate cand =
+      Ivc_obs.Counter.incr c_steps;
+      if fails cand then begin
+        Ivc_obs.Counter.incr c_kept;
+        Some cand
+      end
+      else None
+    in
+    let cur = ref inst in
+    let progress = ref true in
+    let rounds = ref 0 in
+    while !progress && !rounds < max_rounds do
+      progress := false;
+      incr rounds;
+      (* dims to a fixpoint first: every accepted cut removes whole
+         slices of weights the weight passes would otherwise visit *)
+      let continue = ref true in
+      while !continue do
+        match List.find_map try_candidate (dim_candidates !cur) with
+        | Some smaller ->
+            cur := smaller;
+            progress := true
+        | None -> continue := false
+      done;
+      (* weight minimization: zero, then halve, then decrement *)
+      List.iter
+        (fun reduce ->
+          for v = 0 to S.n_vertices !cur - 1 do
+            match reduce (S.weight !cur v) with
+            | Some wv -> (
+                match try_candidate (with_weight !cur v wv) with
+                | Some smaller ->
+                    cur := smaller;
+                    progress := true
+                | None -> ())
+            | None -> ()
+          done)
+        [
+          (fun w -> if w > 0 then Some 0 else None);
+          (fun w -> if w > 1 then Some (w / 2) else None);
+          (fun w -> if w > 0 then Some (w - 1) else None);
+        ]
+    done;
+    !cur
+  end

@@ -1,0 +1,26 @@
+(** Greedy instance shrinker: minimize a failing instance while the
+    failure persists.
+
+    The strategy mirrors classic delta-debugging, specialized to
+    weighted grids: first cut grid dimensions (drop the leading or
+    trailing half of an axis, then single slices), then minimize
+    weights (zero a cell, halve it, decrement it), repeating until a
+    full round makes no progress. Every candidate is accepted only if
+    [fails] still holds, so the result is a locally minimal failing
+    instance. Fully deterministic: the same input instance and
+    predicate always shrink to the same repro. *)
+
+(** [shrink ~fails inst] requires [fails inst = true] (otherwise the
+    input is returned unchanged). [max_rounds] caps the
+    dims-then-weights rounds (default 32; each round strictly shrinks
+    the instance, so the cap is a backstop, not a tuning knob). *)
+val shrink :
+  ?max_rounds:int ->
+  fails:(Ivc_grid.Stencil.t -> bool) ->
+  Ivc_grid.Stencil.t ->
+  Ivc_grid.Stencil.t
+
+(** The dimension-reduction candidates of one step, largest cut first
+    (exposed for tests). Every candidate is strictly smaller; the list
+    is empty on a 1x1 (or 1x1x1) instance. *)
+val dim_candidates : Ivc_grid.Stencil.t -> Ivc_grid.Stencil.t list

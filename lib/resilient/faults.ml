@@ -74,9 +74,14 @@ let mix64 z =
       0x94d049bb133111ebL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let key_of_seed seed = mix64 (Int64.add (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+
+let mix_int ~key i =
+  let z = mix64 (Int64.add key (Int64.mul 0xbf58476d1ce4e5b9L (Int64.of_int i))) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let u01 plan ~task ~attempt =
-  let z = Int64.of_int plan.seed in
-  let z = mix64 (Int64.add z 0x9e3779b97f4a7c15L) in
+  let z = key_of_seed plan.seed in
   let z = mix64 (Int64.logxor z (Int64.of_int task)) in
   let z = mix64 (Int64.logxor z (Int64.of_int (attempt * 0x51ed + 1))) in
   let bits = Int64.to_int (Int64.shift_right_logical z 11) in

@@ -57,6 +57,25 @@ val from_env : unit -> plan option
     (attempts count from 0). *)
 val decide : plan -> task:int -> attempt:int -> kind option
 
+(** {1 The underlying PRNG}
+
+    The splitmix64 finalizer behind every fault decision, exported so
+    other deterministic tooling (the [Ivc_check] fuzzer's instance
+    streams) draws from the exact same generator instead of growing a
+    second one. *)
+
+(** One splitmix64 finalizer round: a bijective avalanche mix. *)
+val mix64 : int64 -> int64
+
+(** [mix_int ~key i] hashes [(key, i)] to a non-negative 62-bit int;
+    deterministic, uniform, and cheap — the counter-mode building
+    block for seeded streams. *)
+val mix_int : key:int64 -> int -> int
+
+(** [key_of_seed seed] spreads a small user seed into a full 64-bit
+    stream key (one golden-ratio increment plus a mix round). *)
+val key_of_seed : int -> int64
+
 (** [wrap plan ~n work] wraps a pool work function over tasks
     [0 .. n-1]: each call consumes one attempt for its task (attempt
     counts are kept internally, atomically — safe from any domain) and

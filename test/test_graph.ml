@@ -180,15 +180,85 @@ let prop_of_edges_matches_model (n, edges) =
   done;
   true
 
+let print_edge_list (n, es) =
+  Format.asprintf "n=%d edges=%a" n
+    (Format.pp_print_list (fun fmt (u, v) -> Format.fprintf fmt "(%d,%d)" u v))
+    es
+
 let qtest_csr =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"of_edges = model" ~count:200
-       ~print:(fun (n, es) ->
-         Format.asprintf "n=%d edges=%a" n
-           (Format.pp_print_list (fun fmt (u, v) ->
-                Format.fprintf fmt "(%d,%d)" u v))
-           es)
-       gen_edge_list prop_of_edges_matches_model)
+       ~print:print_edge_list gen_edge_list prop_of_edges_matches_model)
+
+(* The uniform generator above rarely duplicates an edge more than
+   once, so the counting-sort's merge path was effectively untested at
+   its capacity boundaries. This mode draws a tiny pool of distinct
+   edges and repeats each many times in both orientations: the raw
+   list is far longer than the merged edge set. *)
+let gen_duplicate_heavy =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* pool_size = int_range 1 4 in
+    let* pool =
+      list_size (pure pool_size)
+        (let* u = int_range 0 (n - 1) in
+         let* v = int_range 0 (n - 1) in
+         pure (u, v))
+    in
+    let pool = List.filter (fun (u, v) -> u <> v) pool in
+    let* copies = int_range 2 25 in
+    let* flips = list_size (pure (List.length pool * copies)) bool in
+    let repeated = List.concat_map (fun e -> List.init copies (fun _ -> e)) pool in
+    let edges =
+      List.map2 (fun (u, v) flip -> if flip then (v, u) else (u, v)) repeated flips
+    in
+    pure (n, edges))
+
+let qtest_csr_duplicate_heavy =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"of_edges = model on duplicate-heavy lists"
+       ~count:200 ~print:print_edge_list gen_duplicate_heavy
+       prop_of_edges_matches_model)
+
+let test_of_edges_capacity_boundaries () =
+  (* m = 0: no edges at all *)
+  let empty = Csr.of_edges 5 [] in
+  Alcotest.(check int) "empty graph edges" 0 (Csr.n_edges empty);
+  Alcotest.(check int) "empty graph max degree" 0 (Csr.max_degree empty);
+  (* one distinct edge duplicated far past any plausible buffer size,
+     in both orientations *)
+  let dup =
+    Csr.of_edges 3 (List.init 64 (fun i -> if i mod 2 = 0 then (0, 2) else (2, 0)))
+  in
+  Alcotest.(check int) "64 copies merge to one edge" 1 (Csr.n_edges dup);
+  Alcotest.(check int) "degree after merge" 1 (Csr.degree dup 0);
+  Alcotest.(check (array int)) "adjacency after merge" [| 0 |] (Csr.neighbors dup 2);
+  (* full clique with every edge tripled: merged count must be exact *)
+  let n = 6 in
+  let clique_edges =
+    List.concat_map
+      (fun u ->
+        List.concat_map
+          (fun v -> if u < v then [ (u, v); (v, u); (u, v) ] else [])
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  let clique = Csr.of_edges n clique_edges in
+  Alcotest.(check int) "tripled K6 edge count" (n * (n - 1) / 2)
+    (Csr.n_edges clique);
+  Alcotest.(check int) "tripled K6 max degree" (n - 1) (Csr.max_degree clique)
+
+let test_of_edges_self_loop_positions () =
+  let expect_self_loop name edges =
+    Alcotest.check_raises name (Invalid_argument "Csr.of_edges: self-loop")
+      (fun () -> ignore (Csr.of_edges 4 edges))
+  in
+  expect_self_loop "self-loop mid-list" [ (0, 1); (2, 2); (1, 3) ];
+  expect_self_loop "self-loop at the end" [ (0, 1); (1, 2); (3, 3) ];
+  expect_self_loop "self-loop after many duplicates"
+    (List.init 40 (fun i -> if i mod 2 = 0 then (0, 1) else (1, 0)) @ [ (2, 2) ]);
+  expect_self_loop "self-loop alone" [ (1, 1) ];
+  expect_self_loop "self-loop at vertex 0" [ (0, 0); (0, 1) ]
 
 let suite =
   [
@@ -206,5 +276,10 @@ let suite =
     Alcotest.test_case "triangles" `Quick test_triangles;
     Alcotest.test_case "odd cycles only" `Quick test_odd_cycles_only;
     Alcotest.test_case "induced subgraph" `Quick test_induced;
+    Alcotest.test_case "of_edges capacity boundaries" `Quick
+      test_of_edges_capacity_boundaries;
+    Alcotest.test_case "of_edges self-loop positions" `Quick
+      test_of_edges_self_loop_positions;
     qtest_csr;
+    qtest_csr_duplicate_heavy;
   ]

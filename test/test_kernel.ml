@@ -1,98 +1,33 @@
 (* Differential tests of the allocation-free kernel against the
-   retained pre-kernel engine (Greedy.Reference): identical starts on
-   the same order — first fit is deterministic, so equality is exact,
-   not just equal maxcolor — plus the independent certificate gate on
-   every kernel output. *)
+   retained pre-kernel engine (Greedy.Reference), now phrased through
+   the shared Ivc_check oracle registry: the same oracles the fuzzer
+   runs (kernel-diff, tiled-diff, par-diff) are applied here to
+   qcheck-generated and handcrafted instances, so a failure found by
+   either harness reproduces in the other. *)
 
 module S = Ivc_grid.Stencil
 module Ff = Ivc_kernel.Ff
 module Tiles = Ivc_kernel.Tiles
 module Par = Ivc_kernel.Par_sweep
-module Ref = Ivc.Greedy.Reference
-module Cert = Ivc_resilient.Cert
+module O = Ivc_check.Oracles
 
-let check_cert inst starts =
-  match Cert.check inst starts with
-  | Ok _ -> ()
-  | Error e -> Alcotest.failf "certificate rejected: %s" (Cert.to_string e)
-
-let shuffled seed n =
-  let rng = Spatial_data.Rng.create (seed + 13) in
-  let order = Array.init n Fun.id in
-  for i = n - 1 downto 1 do
-    let j = Spatial_data.Rng.int rng (i + 1) in
-    let t = order.(i) in
-    order.(i) <- order.(j);
-    order.(j) <- t
-  done;
-  order
-
-(* kernel sweep == reference sweep, exactly, on one order *)
-let same_as_reference inst order =
-  let k = Ff.color_in_order inst order in
-  check_cert inst k;
-  let r = Ref.color_in_order inst order in
-  Alcotest.(check (array int)) "kernel = reference" r k
-
-let orders_of inst seed =
-  [
-    ("row-major", S.row_major_order inst);
-    ("z-order", S.zorder inst);
-    ("shuffled", shuffled seed (S.n_vertices inst));
-  ]
-
-let gen_with_seed gen = QCheck2.Gen.(pair gen (int_range 0 10_000))
-
-let prop_kernel_matches (inst, seed) =
-  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst seed);
-  true
-
-let prop_tiled_matches (inst, _) =
-  List.iter
-    (fun tile ->
-      let order = Tiles.tile_order ~tile inst in
-      let tiled = Tiles.color ~tile inst in
-      check_cert inst tiled;
-      Alcotest.(check (array int)) "tiled = reference on tile_order"
-        (Ref.color_in_order inst order)
-        tiled)
-    [ 2; 3 ];
-  true
-
-let prop_par_matches (inst, _) =
-  List.iter
-    (fun workers ->
-      let order = Par.equivalent_order ~tile:2 inst in
-      let par, stats = Par.color ~workers ~tile:2 inst in
-      check_cert inst par;
-      Alcotest.(check int) "interior + seam = n" (S.n_vertices inst)
-        (stats.Par.interior + stats.Par.seam);
-      Alcotest.(check (array int)) "parallel = reference on equivalent_order"
-        (Ref.color_in_order inst order)
-        par)
-    [ 1; 3 ];
-  true
-
-let print_pair (inst, seed) =
-  Format.asprintf "seed %d, %a" seed S.pp inst
-
-let qtest ?(count = 60) name gen f =
-  QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name ~count ~print:print_pair gen f)
+let prop_kernel_matches inst = Util.oracle_holds O.kernel_diff inst
+let prop_tiled_matches inst = Util.oracle_holds O.tiled_diff inst
+let prop_par_matches inst = Util.oracle_holds O.par_diff inst
 
 (* Large weights push every neighborhood past the bitset window, so
    this exercises the sorted-scan path specifically. *)
 let test_scan_path_matches () =
-  let inst = Util.random_inst2 ~seed:5 ~x:8 ~y:9 ~bound:120 in
-  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst 5);
-  let inst3 = Util.random_inst3 ~seed:6 ~x:4 ~y:4 ~z:4 ~bound:90 in
-  List.iter (fun (_, order) -> same_as_reference inst3 order) (orders_of inst3 6)
+  ignore (Util.oracle_holds O.kernel_diff
+            (Util.random_inst2 ~seed:5 ~x:8 ~y:9 ~bound:120));
+  ignore (Util.oracle_holds O.kernel_diff
+            (Util.random_inst3 ~seed:6 ~x:4 ~y:4 ~z:4 ~bound:90))
 
 (* Small weights keep maxf inside the window on 3D (degree 26), the
    bitset fast path's home turf. *)
 let test_bitset_path_matches () =
-  let inst = Util.random_inst3 ~seed:7 ~x:5 ~y:5 ~z:5 ~bound:4 in
-  List.iter (fun (_, order) -> same_as_reference inst order) (orders_of inst 7)
+  ignore (Util.oracle_holds O.kernel_diff
+            (Util.random_inst3 ~seed:7 ~x:5 ~y:5 ~z:5 ~bound:4))
 
 let test_engine_ops () =
   let inst = Util.random_inst2 ~seed:8 ~x:5 ~y:5 ~bound:10 in
@@ -165,6 +100,18 @@ let test_tile_order_permutation () =
       Util.random_inst2 ~seed:13 ~x:1 ~y:40 ~bound:6;
     ]
 
+(* The fuzzer's adversarial families (chains, cliques, rings, stripes,
+   heavy-tail, zero-heavy) hit corners the uniform qcheck distribution
+   rarely reaches; run every kernel oracle over each family. *)
+let test_families_differential () =
+  List.iter
+    (fun f ->
+      let inst = Ivc_check.Gen.of_family f ~seed:97 in
+      List.iter
+        (fun o -> ignore (Util.oracle_holds o inst))
+        [ O.kernel_diff; O.tiled_diff; O.par_diff ])
+    Ivc_check.Gen.families
+
 let suite =
   [
     Alcotest.test_case "scan path differential" `Quick test_scan_path_matches;
@@ -175,16 +122,18 @@ let suite =
     Alcotest.test_case "order validation" `Quick test_order_validation;
     Alcotest.test_case "tiled orders are permutations" `Quick
       test_tile_order_permutation;
-    qtest "kernel = reference on 2D orders" (gen_with_seed Util.gen_inst2)
+    Alcotest.test_case "generator families differential" `Quick
+      test_families_differential;
+    Util.qtest ~count:60 "kernel-diff oracle (2D)" Util.gen_inst2
       prop_kernel_matches;
-    qtest "kernel = reference on 3D orders" (gen_with_seed Util.gen_inst3)
+    Util.qtest ~count:60 "kernel-diff oracle (3D)" Util.gen_inst3
       prop_kernel_matches;
-    qtest "tiled sweep = reference (2D)" (gen_with_seed Util.gen_inst2)
+    Util.qtest ~count:60 "tiled-diff oracle (2D)" Util.gen_inst2
       prop_tiled_matches;
-    qtest "tiled sweep = reference (3D)" ~count:40
-      (gen_with_seed Util.gen_inst3) prop_tiled_matches;
-    qtest "parallel sweep = reference (2D)" ~count:40
-      (gen_with_seed Util.gen_inst2) prop_par_matches;
-    qtest "parallel sweep = reference (3D)" ~count:25
-      (gen_with_seed Util.gen_inst3) prop_par_matches;
+    Util.qtest ~count:40 "tiled-diff oracle (3D)" Util.gen_inst3
+      prop_tiled_matches;
+    Util.qtest ~count:40 "par-diff oracle (2D)" Util.gen_inst2
+      prop_par_matches;
+    Util.qtest ~count:25 "par-diff oracle (3D)" Util.gen_inst3
+      prop_par_matches;
   ]

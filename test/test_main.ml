@@ -27,6 +27,7 @@ let () =
       ("hardness", Test_hardness.suite);
       ("parallel-coloring", Test_parcolor.suite);
       ("resilience", Test_resilient.suite);
+      ("check", Test_check.suite);
       ("generators", Test_generators.suite);
       ("io", Test_io.suite);
       ("svg", Test_svg.suite);

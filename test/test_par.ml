@@ -74,7 +74,7 @@ let test_pool_executes_all_once () =
   let inst = unit_inst 4 4 in
   let dag = dag_of inst in
   let hits = Array.make dag.Dag.n 0 in
-  let _ = Pool.run dag ~workers:2 ~work:(fun v -> hits.(v) <- hits.(v) + 1) in
+  let _ = Pool.run dag ~workers:(Util.workers ~max:2 ()) ~work:(fun v -> hits.(v) <- hits.(v) + 1) in
   Alcotest.(check (array int)) "each task once" (Array.make dag.Dag.n 1) hits
 
 let test_pool_checked_no_conflicts () =
@@ -94,7 +94,7 @@ let test_pool_checked_no_conflicts () =
     done;
     ignore !acc
   in
-  let _, violations = Pool.run_checked dag ~workers:4 ~work ~conflicts in
+  let _, violations = Pool.run_checked dag ~workers:(Util.workers ()) ~work ~conflicts in
   Alcotest.(check int) "no conflicting overlap" 0 violations
 
 let test_pool_rejects_zero_workers () =

@@ -3,7 +3,7 @@ module P = Ivc_parcolor.Parallel_greedy
 
 let test_valid_small () =
   let inst = Util.random_inst2 ~seed:91 ~x:8 ~y:8 ~bound:15 in
-  let starts, stats = P.color ~workers:3 inst in
+  let starts, stats = P.color ~workers:(Util.workers ()) inst in
   Util.check_valid inst starts;
   Alcotest.(check bool) "terminates in few rounds" true (stats.P.rounds <= 64);
   Alcotest.(check bool) "at least the LB" true
@@ -11,7 +11,7 @@ let test_valid_small () =
 
 let test_valid_3d () =
   let inst = Util.random_inst3 ~seed:92 ~x:4 ~y:4 ~z:3 ~bound:9 in
-  let starts, _ = P.color ~workers:4 inst in
+  let starts, _ = P.color ~workers:(Util.workers ()) inst in
   Util.check_valid inst starts
 
 let test_single_worker_equals_sequential () =
@@ -27,7 +27,7 @@ let test_single_worker_equals_sequential () =
 
 let test_custom_order () =
   let inst = Util.random_inst2 ~seed:94 ~x:6 ~y:6 ~bound:9 in
-  let starts, _ = P.color ~workers:2 ~order:(Ivc.Order.hilbert inst) inst in
+  let starts, _ = P.color ~workers:(Util.workers ~max:2 ()) ~order:(Ivc.Order.hilbert inst) inst in
   Util.check_valid inst starts
 
 let test_rejects_bad_order () =
@@ -38,13 +38,13 @@ let test_rejects_bad_order () =
 
 let test_zero_weight_instance () =
   let inst = S.init2 ~x:5 ~y:5 (fun _ _ -> 0) in
-  let starts, _ = P.color ~workers:3 inst in
+  let starts, _ = P.color ~workers:(Util.workers ()) inst in
   Alcotest.(check int) "zero colors" 0 (Util.maxcolor inst starts)
 
 let prop_parallel_valid =
   Util.qtest ~count:30 "parallel coloring always valid" Util.gen_inst2
     (fun inst ->
-      let starts, _ = P.color ~workers:3 inst in
+      let starts, _ = P.color ~workers:(Util.workers ()) inst in
       Ivc.Coloring.is_valid inst starts)
 
 let suite =

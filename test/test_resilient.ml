@@ -47,26 +47,16 @@ let test_deadline_token () =
 
 (* ---- certificate gate ------------------------------------------------- *)
 
+(* The positive direction is the fuzzer's cert oracle (every catalog
+   heuristic must certify, with a consistent maxcolor); running it
+   here keeps qcheck and fuzz campaigns on one oracle codebase. *)
 let qtest_cert_accepts =
   Util.qtest ~count:60 "cert accepts every heuristic" Util.gen_inst2
-    (fun inst ->
-      List.for_all
-        (fun (a : Ivc.Algo.t) ->
-          let starts = a.Ivc.Algo.run inst in
-          match Cert.check inst starts with
-          | Ok mc -> mc = Util.maxcolor inst starts
-          | Error _ -> false)
-        Ivc.Algo.all)
+    (Util.oracle_holds Ivc_check.Oracles.cert)
 
 let qtest_cert_accepts_3d =
   Util.qtest ~count:30 "cert accepts heuristics on 3D" Util.gen_inst3
-    (fun inst ->
-      List.for_all
-        (fun (a : Ivc.Algo.t) ->
-          match Cert.check inst (a.Ivc.Algo.run inst) with
-          | Ok _ -> true
-          | Error _ -> false)
-        Ivc.Algo.all)
+    (Util.oracle_holds Ivc_check.Oracles.cert)
 
 let qtest_cert_rejects_corruption =
   Util.qtest ~count:60 "cert rejects corrupted colorings" Util.gen_inst2
@@ -123,10 +113,7 @@ let outcome_certifies inst (o : Driver.outcome) =
 
 let qtest_portfolio_valid =
   Util.qtest ~count:40 "portfolio outcome always certifies" Util.gen_inst2
-    (fun inst ->
-      match Driver.solve ~budget:20_000 inst with
-      | Ok o -> outcome_certifies inst o
-      | Error _ -> false)
+    (Util.oracle_holds Ivc_check.Oracles.portfolio)
 
 let qtest_portfolio_cancelled_midway =
   (* cancellation at an arbitrary instant must still yield a certified
@@ -245,7 +232,7 @@ let test_pool_recovers_from_faults () =
   let ran = Array.init dag.Dag.n (fun _ -> Atomic.make 0) in
   let work v = Atomic.incr ran.(v) in
   let wrapped = Faults.wrap plan ~n:dag.Dag.n work in
-  let _, failures = Pool.run_result ~max_retries dag ~workers:4 ~work:wrapped in
+  let _, failures = Pool.run_result ~max_retries dag ~workers:(Util.workers ()) ~work:wrapped in
   List.iter
     (fun (f : Pool.failure) ->
       Alcotest.(check int)
@@ -268,7 +255,7 @@ let test_pool_typed_failure () =
   let _, dag = pool_dag () in
   let others = ref 0 in
   let work v = if v = 0 then failwith "task zero is cursed" else incr others in
-  let _, failures = Pool.run_result ~max_retries:2 dag ~workers:4 ~work in
+  let _, failures = Pool.run_result ~max_retries:2 dag ~workers:(Util.workers ()) ~work in
   (match failures with
   | [ { Pool.task = 0; attempts = 3; error = Failure _ } ] -> ()
   | [ f ] ->
@@ -281,7 +268,7 @@ let test_pool_typed_failure () =
 
 let test_pool_run_reraises () =
   let _, dag = pool_dag () in
-  match Pool.run dag ~workers:2 ~work:(fun v -> if v = 3 then failwith "boom")
+  match Pool.run dag ~workers:(Util.workers ~max:2 ()) ~work:(fun v -> if v = 3 then failwith "boom")
   with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "run must re-raise the task failure"
@@ -296,7 +283,7 @@ let test_pool_failure_counters () =
     (fun () ->
       let _, dag = pool_dag () in
       let work v = if v = 0 then failwith "cursed" in
-      let _, _ = Pool.run_result ~max_retries:2 dag ~workers:2 ~work in
+      let _, _ = Pool.run_result ~max_retries:2 dag ~workers:(Util.workers ~max:2 ()) ~work in
       let v name = Ivc_obs.Counter.value (Ivc_obs.Counter.make name) in
       Alcotest.(check int) "failures counted" 3 (v "pool.task_failures");
       Alcotest.(check int) "retries counted" 2 (v "pool.task_retries");
@@ -309,7 +296,7 @@ let test_parcolor_recovers_from_faults () =
   let plan = env_plan (Faults.parse "seed=17,crash=0.4,lost=0.1") in
   let inst = Util.random_inst2 ~seed:41 ~x:16 ~y:16 ~bound:12 in
   let fault = Faults.parcolor_hook plan ~n:(S.n_vertices inst) in
-  let starts, stats = Ivc_parcolor.Parallel_greedy.color ~workers:4 ~fault inst in
+  let starts, stats = Ivc_parcolor.Parallel_greedy.color ~workers:(Util.workers ()) ~fault inst in
   Util.check_valid inst starts;
   Alcotest.(check bool) "faults were recovered" true
     (stats.Ivc_parcolor.Parallel_greedy.faults_recovered > 0)
@@ -317,7 +304,7 @@ let test_parcolor_recovers_from_faults () =
 let test_parcolor_cancelled_still_complete () =
   let inst = Util.random_inst2 ~seed:43 ~x:16 ~y:16 ~bound:12 in
   let starts, stats =
-    Ivc_parcolor.Parallel_greedy.color ~workers:4 ~cancel:(fun () -> true) inst
+    Ivc_parcolor.Parallel_greedy.color ~workers:(Util.workers ()) ~cancel:(fun () -> true) inst
   in
   Util.check_valid inst starts;
   Alcotest.(check bool) "reported cancelled" true
@@ -329,7 +316,7 @@ let qtest_parcolor_fault_validity =
       let plan = env_plan (Faults.parse "seed=19,crash=0.3") in
       let fault = Faults.parcolor_hook plan ~n:(S.n_vertices inst) in
       let starts, _ =
-        Ivc_parcolor.Parallel_greedy.color ~workers:2 ~fault inst
+        Ivc_parcolor.Parallel_greedy.color ~workers:(Util.workers ~max:2 ()) ~fault inst
       in
       Ivc.Coloring.is_valid inst starts)
 
@@ -352,7 +339,7 @@ let test_stkde_faulty_matches_sequential () =
   in
   let wrap_task = Faults.wrap plan ~n:(S.n_vertices inst) in
   let seq = Stkde.App.density_sequential cfg in
-  let par, _ = Stkde.App.density_parallel ~wrap_task cfg ~starts ~workers:4 in
+  let par, _ = Stkde.App.density_parallel ~wrap_task cfg ~starts ~workers:(Util.workers ()) in
   Alcotest.(check bool) "density identical despite faults" true
     (Stkde.App.max_diff seq par < 1e-9)
 

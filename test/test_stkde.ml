@@ -68,7 +68,7 @@ let test_parallel_matches_sequential () =
   let inst = App.coloring_instance cfg in
   List.iter
     (fun (name, starts, _) ->
-      let par, _ = App.density_parallel cfg ~starts ~workers:3 in
+      let par, _ = App.density_parallel cfg ~starts ~workers:(Util.workers ()) in
       Alcotest.(check bool)
         (name ^ " parallel equals sequential")
         true

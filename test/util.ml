@@ -18,21 +18,35 @@ let random_inst2 ~seed ~x ~y ~bound =
 let random_inst3 ~seed ~x ~y ~z ~bound =
   S.make3 ~x ~y ~z (weights_of_seed seed (x * y * z) bound)
 
-(* qcheck generator for small 2D instances *)
+(* qcheck generators for small instances, defined over the fuzzer's
+   seeded generators so qcheck properties and fuzz campaigns exercise
+   the same instance distribution (and a qcheck counterexample is a
+   single seed, replayable through Ivc_check). *)
 let gen_inst2 =
-  QCheck2.Gen.(
-    let* x = int_range 2 6 in
-    let* y = int_range 2 6 in
-    let* w = array_size (pure (x * y)) (int_range 0 15) in
-    pure (S.make2 ~x ~y w))
+  QCheck2.Gen.(int_range 0 1_000_000 >|= fun seed -> Ivc_check.Gen.small2 ~seed)
 
 let gen_inst3 =
-  QCheck2.Gen.(
-    let* x = int_range 2 4 in
-    let* y = int_range 2 4 in
-    let* z = int_range 2 3 in
-    let* w = array_size (pure (x * y * z)) (int_range 0 9) in
-    pure (S.make3 ~x ~y ~z w))
+  QCheck2.Gen.(int_range 0 1_000_000 >|= fun seed -> Ivc_check.Gen.small3 ~seed)
+
+(* Worker counts for Domain-spawning tests. The CI container may have
+   a single CPU; requesting many domains there just adds scheduler
+   noise and timing flakiness. Honor IVC_TEST_WORKERS when set,
+   otherwise follow the runtime's recommendation, clamped to [1, max]. *)
+let workers ?(max = 4) () =
+  let requested =
+    match Option.bind (Sys.getenv_opt "IVC_TEST_WORKERS") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ()
+  in
+  Stdlib.min max (Stdlib.max 1 requested)
+
+(* Run an oracle from the fuzz registry as an alcotest/qcheck check:
+   Pass is [true], Fail raises with the oracle's diagnosis. *)
+let oracle_holds (o : Ivc_check.Oracle.t) inst =
+  match o.Ivc_check.Oracle.run inst with
+  | Ivc_check.Oracle.Pass -> true
+  | Ivc_check.Oracle.Fail msg ->
+      Alcotest.failf "oracle %s: %s" o.Ivc_check.Oracle.name msg
 
 let print_inst inst = Format.asprintf "%a" S.pp inst
 
