@@ -8,16 +8,20 @@
    baseline value fails the process. Catalog runtimes are reported but
    not gated — CI runners are too noisy for per-algorithm wall times.
    Kernel throughput IS gated: the document embeds the Perf sweep
-   measurements (schema 3) and --perf-baseline FILE fails the process
-   if any shared row's vertices/s drops more than 20% below the
-   committed (already conservative) floor. Invalid colorings abort
-   inside Common.run_catalog. *)
+   measurements and --perf-baseline FILE fails the process if any
+   shared row's vertices/s drops more than 20% below the committed
+   (already conservative) floor. Invalid colorings abort inside
+   Common.run_catalog.
+
+   Schema 4 adds the per-instance portfolio "resumed" flag and the
+   snapshot-write counters to the robustness summary, so the kill-
+   resume CI job's artifacts are self-describing. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 3
+let schema_version = 4
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or
@@ -84,6 +88,7 @@ let document ~scale ~subsample ~reps ~perf runs ids portfolios =
                     Json.Bool p.Ivc_resilient.Driver.proven_optimal );
                   ( "runtime_ms",
                     Json.Num (1000.0 *. p.Ivc_resilient.Driver.elapsed_s) );
+                  ("resumed", Json.Bool p.Ivc_resilient.Driver.resumed);
                 ] );
           ])
       (List.combine runs portfolios)
@@ -119,6 +124,21 @@ let document ~scale ~subsample ~reps ~perf runs ids portfolios =
             (Float.of_int
                (Ivc_obs.Counter.value
                   (Ivc_obs.Counter.make "resilient.cert_reject"))) );
+        ( "snapshots_written",
+          Json.Num
+            (Float.of_int
+               (Ivc_obs.Counter.value
+                  (Ivc_obs.Counter.make "persist.snapshots_written"))) );
+        ( "snapshot_bytes",
+          Json.Num
+            (Float.of_int
+               (Ivc_obs.Counter.value
+                  (Ivc_obs.Counter.make "persist.snapshot_bytes"))) );
+        ( "resumes",
+          Json.Num
+            (Float.of_int
+               (Ivc_obs.Counter.value
+                  (Ivc_obs.Counter.make "persist.resumes"))) );
       ]
   in
   let summary =

@@ -119,6 +119,59 @@ let fault_plan_of spec =
         (Ivc_resilient.Faults.from_env ())
         ~default:Ivc_resilient.Faults.none
 
+(* ---- checkpointing options -------------------------------------------- *)
+
+let checkpoint_t =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Periodically snapshot solver state to $(docv) (atomic \
+               install: temp + fsync + rename), enabling $(b,--resume) \
+               after a crash or kill -9. Removed on successful \
+               completion.")
+
+let every_t =
+  Arg.(value & opt float 5.0 & info [ "checkpoint-every-s" ] ~docv:"S"
+         ~doc:"Checkpoint cadence in seconds (monotonic clock). 0 saves \
+               at every solver poll.")
+
+let resume_t =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume from the $(b,--checkpoint) file when it holds a \
+               valid snapshot for this instance. Any problem with the \
+               file (missing, truncated, corrupt, wrong solver, wrong \
+               instance) is reported and the solve starts fresh — a bad \
+               snapshot can cost the saved progress, never correctness.")
+
+let autosave_of checkpoint every_s =
+  Option.map (fun path -> Ivc_persist.Autosave.make ~every_s path) checkpoint
+
+(* Crash-only contract: a checkpoint that survives to successful
+   completion is stale state, so remove it; the next run must not
+   accidentally resume a finished solve. *)
+let discard_checkpoint checkpoint =
+  Option.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    checkpoint
+
+(* Load + decode the checkpoint file, failing closed: every decode
+   error degrades to a fresh solve with the typed reason printed. *)
+let load_resume checkpoint resume decode =
+  if not resume then None
+  else
+    match checkpoint with
+    | None ->
+        Format.printf
+          "resume: no --checkpoint file given; starting fresh@.";
+        None
+    | Some path -> (
+        match Result.bind (Ivc_persist.Snapshot.load path) decode with
+        | Ok r ->
+            Format.printf "resume: continuing from %s@." path;
+            Some r
+        | Error e ->
+            Format.printf "resume: %s: %s; starting fresh@." path
+              (Ivc_persist.Snapshot.error_to_string e);
+            None)
+
 (* Enable the observability layer iff an export destination was asked
    for, run the command, then write the exports (also on failure, so a
    crashing run still leaves a trace to look at). *)
@@ -205,18 +258,31 @@ let exact_cmd =
                  heuristics, then greedy fallback) with a certificate gate. \
                  Implied by $(b,--deadline).")
   in
-  let run inst budget time_limit_s deadline portfolio obs =
+  let run inst budget time_limit_s deadline portfolio checkpoint every_s
+      resume obs =
     with_obs obs @@ fun () ->
     Format.printf "instance: %s@." (S.describe inst);
+    let autosave = autosave_of checkpoint every_s in
     if portfolio || deadline <> None then begin
-      match Ivc_resilient.Driver.solve ?deadline_s:deadline ~budget inst with
+      let resume =
+        load_resume checkpoint resume
+          (Ivc_resilient.Driver.decode_resume ~inst)
+      in
+      match
+        Ivc_resilient.Driver.solve ?deadline_s:deadline ~budget ?autosave
+          ?resume inst
+      with
       | Ok o ->
+          discard_checkpoint checkpoint;
           Format.printf
             "portfolio: maxcolor %d, lower bound %d, provenance %s, %.1f ms@."
             o.Ivc_resilient.Driver.maxcolor o.Ivc_resilient.Driver.lower_bound
             (Ivc_resilient.Driver.provenance_to_string
                o.Ivc_resilient.Driver.provenance)
             (1000.0 *. o.Ivc_resilient.Driver.elapsed_s);
+          Option.iter
+            (fun s -> Format.printf "deadline remaining: %.2fs@." s)
+            o.Ivc_resilient.Driver.deadline_remaining_s;
           if o.Ivc_resilient.Driver.proven_optimal then
             Format.printf "proven optimal: maxcolor* = %d@."
               o.Ivc_resilient.Driver.maxcolor
@@ -227,10 +293,17 @@ let exact_cmd =
           exit 1
     end
     else begin
-      let o = Ivc_exact.Optimize.solve ~budget ~time_limit_s inst in
-      Format.printf "lower bound %d, upper bound %d (%s)@."
+      let resume =
+        load_resume checkpoint resume (Ivc_exact.Optimize.plan_resume ~inst)
+      in
+      let o =
+        Ivc_exact.Optimize.solve ~budget ~time_limit_s ?autosave ?resume inst
+      in
+      discard_checkpoint checkpoint;
+      Format.printf "lower bound %d, upper bound %d (%s%s)@."
         o.Ivc_exact.Optimize.lower_bound o.Ivc_exact.Optimize.upper_bound
-        o.Ivc_exact.Optimize.nodes_hint;
+        o.Ivc_exact.Optimize.nodes_hint
+        (if o.Ivc_exact.Optimize.resumed then ", resumed" else "");
       if o.Ivc_exact.Optimize.proven_optimal then
         Format.printf "proven optimal: maxcolor* = %d@." o.Ivc_exact.Optimize.upper_bound
       else Format.printf "gap not closed within budget@."
@@ -238,7 +311,7 @@ let exact_cmd =
   in
   Cmd.v (Cmd.info "exact" ~doc:"Solve an instance exactly (Gurobi stand-in)")
     Term.(const run $ instance_t $ budget_t $ time_t $ deadline_t $ portfolio_t
-          $ obs_t)
+          $ checkpoint_t $ every_t $ resume_t $ obs_t)
 
 (* ---- catalog ----------------------------------------------------------- *)
 
@@ -400,7 +473,7 @@ let fuzz_cmd =
                  campaign is expected to fail.")
   in
   let run seed budget_s max_instances oracle_names out_dir replay inject_bug
-      obs =
+      checkpoint every_s resume obs =
     with_obs obs @@ fun () ->
     match replay with
     | Some path -> (
@@ -434,15 +507,24 @@ let fuzz_cmd =
           budget_s
           (String.concat " "
              (List.map (fun (o : Ivc_check.Oracle.t) -> o.Ivc_check.Oracle.name) oracles));
+        let fuzz_resume =
+          load_resume checkpoint resume
+            (Ivc_check.Fuzz.decode_checkpoint ~seed)
+        in
+        let autosave = autosave_of checkpoint every_s in
         let report =
           Ivc_check.Fuzz.run ~seed ~budget_s ?max_instances
-            ~oracles ~out_dir ()
+            ~oracles ~out_dir ?autosave ?resume:fuzz_resume ()
         in
+        (* The campaign ran to its budget/caps — the crash-only
+           checkpoint is spent even if oracles failed. *)
+        discard_checkpoint checkpoint;
         Format.printf
-          "fuzz: %d instances, %d oracle runs in %.1fs (%.1f instances/s)@."
+          "fuzz: %d instances, %d oracle runs in %.1fs (%.1f instances/s)%s@."
           report.Ivc_check.Fuzz.instances report.Ivc_check.Fuzz.oracle_runs
           report.Ivc_check.Fuzz.elapsed_s
-          (Ivc_check.Fuzz.rate report);
+          (Ivc_check.Fuzz.rate report)
+          (if report.Ivc_check.Fuzz.resumed then " [resumed]" else "");
         match report.Ivc_check.Fuzz.failures with
         | [] -> Format.printf "fuzz: all oracles clean@."
         | fs ->
@@ -468,7 +550,8 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: seeded instances, every oracle, \
              shrinking, replayable repros")
     Term.(const run $ seed_t $ budget_t $ max_instances_t $ oracle_t
-          $ out_dir_t $ replay_t $ inject_bug_t $ obs_t)
+          $ out_dir_t $ replay_t $ inject_bug_t $ checkpoint_t $ every_t
+          $ resume_t $ obs_t)
 
 (* ---- save ------------------------------------------------------------------- *)
 

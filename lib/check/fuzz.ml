@@ -1,4 +1,6 @@
 module S = Ivc_grid.Stencil
+module Snapshot = Ivc_persist.Snapshot
+module Codec = Ivc_persist.Codec
 
 let c_instances = Ivc_obs.Counter.make "check.instances"
 let c_runs = Ivc_obs.Counter.make "check.oracle_runs"
@@ -19,12 +21,84 @@ type report = {
   instances : int;
   oracle_runs : int;
   failures : failure list;
+  per_oracle : (string * int * int) list;
   elapsed_s : float;
+  resumed : bool;
 }
 
 let rate r =
   if r.elapsed_s <= 0.0 then Float.of_int r.instances
   else Float.of_int r.instances /. r.elapsed_s
+
+(* ---- checkpointing ---------------------------------------------------
+
+   A campaign is a pure function of (seed, oracle set, caps): its whole
+   state is the cursor into the deterministic instance stream plus the
+   counters. Snapshots are taken at instance boundaries; failures
+   themselves are not persisted (their repro files already are), so a
+   resumed report lists only post-resume failures while the counters
+   and caps stay cumulative. *)
+
+type checkpoint = {
+  seed : int;
+  next_index : int;  (** next stream index to generate *)
+  instances : int;
+  oracle_runs : int;
+  n_failures : int;  (** cumulative, still bounded by [max_failures] *)
+  elapsed_base : float;  (** seconds the killed run had already spent *)
+  per_oracle : (string * int * int) list;  (** name, runs, failures *)
+}
+
+let kind = "fuzz"
+
+let encode_checkpoint c =
+  let b = Codec.W.create () in
+  Codec.W.int b c.seed;
+  Codec.W.int b c.next_index;
+  Codec.W.int b c.instances;
+  Codec.W.int b c.oracle_runs;
+  Codec.W.int b c.n_failures;
+  Codec.W.float b c.elapsed_base;
+  Codec.W.list b
+    (fun b (name, runs, fails) ->
+      Codec.W.string b name;
+      Codec.W.int b runs;
+      Codec.W.int b fails)
+    c.per_oracle;
+  Codec.W.contents b
+
+let read_checkpoint r =
+  let seed = Codec.R.int r in
+  let next_index = Codec.R.int r in
+  let instances = Codec.R.int r in
+  let oracle_runs = Codec.R.int r in
+  let n_failures = Codec.R.int r in
+  let elapsed_base = Codec.R.float r in
+  let per_oracle =
+    Codec.R.list r (fun r ->
+        let name = Codec.R.string r in
+        let runs = Codec.R.int r in
+        let fails = Codec.R.int r in
+        (name, runs, fails))
+  in
+  { seed; next_index; instances; oracle_runs; n_failures; elapsed_base;
+    per_oracle }
+
+let decode_checkpoint ~seed snap =
+  match Snapshot.decode snap ~kind read_checkpoint with
+  | Error _ as e -> e
+  | Ok c ->
+      if c.seed <> seed then
+        (* a cursor into seed A's stream is meaningless in seed B's *)
+        Error Snapshot.Instance_mismatch
+      else if
+        c.next_index < 0 || c.instances < 0 || c.oracle_runs < 0
+        || c.n_failures < 0
+        || not (Float.is_finite c.elapsed_base)
+        || c.elapsed_base < 0.0
+        || List.exists (fun (_, r, f) -> r < 0 || f < 0) c.per_oracle
+      then Error (Snapshot.Bad_payload "negative counter")
+      else Ok c
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -52,17 +126,57 @@ let write_repro ~out_dir ~seed ~index (o : Oracle.t) shrunk =
       Some path
 
 let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
-    ?(max_failures = 25) ?(oracles = Oracles.all) ?out_dir () =
+    ?(max_failures = 25) ?(oracles = Oracles.all) ?out_dir ?autosave ?resume
+    () =
   let t0 = Ivc_obs.now_ns () in
-  let elapsed () = Ivc_obs.elapsed_s ~since:t0 in
-  let instances = ref 0 and runs = ref 0 in
-  let failures = ref [] and n_failures = ref 0 in
-  let index = ref 0 in
+  let base =
+    match resume with Some c -> c.elapsed_base | None -> 0.0
+  in
+  let elapsed () = base +. Ivc_obs.elapsed_s ~since:t0 in
+  let instances, runs, n_failures, index =
+    match resume with
+    | Some c ->
+        (ref c.instances, ref c.oracle_runs, ref c.n_failures,
+         ref c.next_index)
+    | None -> (ref 0, ref 0, ref 0, ref 0)
+  in
+  let failures = ref [] in
+  let stats : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  (match resume with
+  | Some c ->
+      List.iter (fun (n, r, f) -> Hashtbl.replace stats n (r, f)) c.per_oracle
+  | None -> ());
+  let bump_stat name ~fail =
+    let r, f = Option.value ~default:(0, 0) (Hashtbl.find_opt stats name) in
+    Hashtbl.replace stats name
+      (if fail then (r, f + 1) else (r + 1, f))
+  in
+  let per_oracle () =
+    Hashtbl.fold (fun n (r, f) acc -> (n, r, f) :: acc) stats []
+    |> List.sort compare
+  in
   while
     elapsed () < budget_s
     && !instances < max_instances
     && !n_failures < max_failures
   do
+    (* Instance boundary: everything in scope is summarized by the
+       cursor and counters, so this is the one place a snapshot is
+       both cheap and complete. *)
+    (match autosave with
+    | Some a ->
+        Ivc_persist.Autosave.tick a ~kind (fun () ->
+            encode_checkpoint
+              {
+                seed;
+                next_index = !index;
+                instances = !instances;
+                oracle_runs = !runs;
+                n_failures = !n_failures;
+                elapsed_base = elapsed ();
+                per_oracle = per_oracle ();
+              })
+    | None -> ());
     let i = !index in
     incr index;
     let inst = Gen.instance ~seed ~index:i in
@@ -72,6 +186,7 @@ let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
       (fun (o : Oracle.t) ->
         if o.Oracle.applies inst && !n_failures < max_failures then begin
           incr runs;
+          bump_stat o.Oracle.name ~fail:false;
           Ivc_obs.Counter.incr c_runs;
           let verdict =
             Ivc_obs.Span.record ~cat:"check"
@@ -84,6 +199,7 @@ let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
           | Oracle.Fail message ->
               Ivc_obs.Counter.incr c_failures;
               incr n_failures;
+              bump_stat o.Oracle.name ~fail:true;
               let fails i =
                 match o.Oracle.run i with
                 | Oracle.Fail _ -> true
@@ -117,7 +233,9 @@ let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
     instances = !instances;
     oracle_runs = !runs;
     failures = List.rev !failures;
+    per_oracle = per_oracle ();
     elapsed_s = elapsed ();
+    resumed = resume <> None;
   }
 
 let replay ?oracles path =

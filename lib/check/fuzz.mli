@@ -24,17 +24,58 @@ type report = {
   instances : int;
   oracle_runs : int;
   failures : failure list;  (** in discovery order *)
+  per_oracle : (string * int * int) list;
+      (** per-oracle (name, runs, failures), sorted by name *)
   elapsed_s : float;
+  resumed : bool;  (** the campaign continued from a snapshot *)
 }
 
 (** Instances per second, guarded against a zero clock. *)
 val rate : report -> float
 
+(** {1 Crash-safe checkpointing}
+
+    A campaign is a pure function of (seed, oracle set, caps): its
+    whole state is the cursor into the deterministic instance stream
+    plus the counters. Snapshots are taken at instance boundaries.
+    Failures themselves are not persisted — their repro files already
+    are — so a resumed report lists only post-resume failures while
+    [instances], [oracle_runs], the failure count and [elapsed_s]
+    remain cumulative across the kill. *)
+
+type checkpoint = {
+  seed : int;
+  next_index : int;  (** next stream index to generate *)
+  instances : int;
+  oracle_runs : int;
+  n_failures : int;  (** cumulative, still bounded by [max_failures] *)
+  elapsed_base : float;  (** seconds the killed run had already spent *)
+  per_oracle : (string * int * int) list;  (** name, runs, failures *)
+}
+
+val kind : string
+(** Snapshot kind tag, ["fuzz"]. *)
+
+val encode_checkpoint : checkpoint -> string
+
+val decode_checkpoint :
+  seed:int ->
+  Ivc_persist.Snapshot.t ->
+  (checkpoint, Ivc_persist.Snapshot.error) result
+(** Fails closed; in particular a cursor recorded for a different
+    campaign seed is rejected as [Instance_mismatch]. *)
+
 (** [run ~seed ()] — [budget_s] (default 10.) bounds wall-clock time
     (checked between instances); [max_instances] (default unlimited)
     and [max_failures] (default 25) bound the campaign
     deterministically; [oracles] defaults to {!Oracles.all};
-    [out_dir] enables repro-file emission (created if missing). *)
+    [out_dir] enables repro-file emission (created if missing).
+
+    [autosave] checkpoints the campaign cursor through the token at
+    every instance boundary; [resume] continues a campaign from a
+    checkpoint previously decoded with {!decode_checkpoint} (the
+    caller must pass the same seed, oracle set and caps for the
+    resumed campaign to be the continuation of the killed one). *)
 val run :
   ?seed:int ->
   ?budget_s:float ->
@@ -42,6 +83,8 @@ val run :
   ?max_failures:int ->
   ?oracles:Oracle.t list ->
   ?out_dir:string ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:checkpoint ->
   unit ->
   report
 

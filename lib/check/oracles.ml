@@ -447,6 +447,141 @@ let portfolio =
               ]);
   }
 
+(* ---- crash-resume ------------------------------------------------------------- *)
+
+(* Kill the exact solver at a fault-plan-chosen checkpoint boundary,
+   resume from the snapshot on disk, repeat while the plan keeps
+   killing, and require the survivor to reach the same certified
+   result as an uninterrupted run with the same cumulative budget.
+   [Autosave.on_save] fires after the atomic install completes, so
+   raising from it is exactly a kill -9 at a checkpoint boundary: the
+   snapshot the next attempt loads is the one written the instant of
+   death. *)
+module Snapshot = Ivc_persist.Snapshot
+module Faults = Ivc_resilient.Faults
+
+exception Killed
+
+let crash_resume =
+  {
+    O.name = "crash-resume";
+    description =
+      "exact solve killed at fault-plan-chosen checkpoint boundaries \
+       resumes from the snapshot to the same certified result as an \
+       uninterrupted run";
+    applies =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        n > 0 && n <= exact_max_n);
+    run =
+      (fun inst ->
+        let solve ?autosave ?resume () =
+          Ivc_exact.Order_bb.solve ~node_budget:exact_budget ?autosave
+            ?resume inst
+        in
+        let baseline = solve () in
+        let path = Filename.temp_file "ivc-crash" ".snap" in
+        let cleanup () =
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ path; path ^ ".tmp" ]
+        in
+        Fun.protect ~finally:cleanup @@ fun () ->
+        let h = Gen.hash inst in
+        let plan = Faults.parse (Printf.sprintf "seed=%d,crash=0.6" h) in
+        let r = Gen.rng ~seed:h ~stream:17 in
+        (* After [max_kills] eligible attempts the plan stops killing,
+           so the oracle terminates deterministically. *)
+        let max_kills = 8 in
+        let prev = ref None in
+        (* monotonicity of what's on disk: later checkpoints never
+           loosen the incumbent or the proven lower bound *)
+        let check_monotone (c : Ivc_exact.Order_bb.checkpoint) =
+          match !prev with
+          | Some (pb, pl)
+            when c.Ivc_exact.Order_bb.best > pb
+                 || c.Ivc_exact.Order_bb.lb < pl ->
+              O.failf
+                "checkpoint loosened: best %d -> %d, lb %d -> %d"
+                pb c.Ivc_exact.Order_bb.best pl c.Ivc_exact.Order_bb.lb
+          | _ ->
+              prev :=
+                Some (c.Ivc_exact.Order_bb.best, c.Ivc_exact.Order_bb.lb);
+              O.Pass
+        in
+        let rec attempt a resume =
+          let kill_at =
+            if
+              a < max_kills
+              && Faults.decide plan ~task:a ~attempt:0 = Some Faults.Crash
+            then Some (1 + Gen.int r 32)
+            else None
+          in
+          let on_save s =
+            match kill_at with
+            | Some k when s >= k -> raise Killed
+            | _ -> ()
+          in
+          let autosave =
+            Ivc_persist.Autosave.make ~every_s:0.0 ~on_save path
+          in
+          match solve ~autosave ?resume () with
+          | status -> Ok (a, status)
+          | exception Killed -> (
+              match Snapshot.load path with
+              | Error e ->
+                  Error
+                    ("snapshot unreadable after kill: "
+                    ^ Snapshot.error_to_string e)
+              | Ok snap -> (
+                  match
+                    Ivc_exact.Order_bb.decode_checkpoint ~inst snap
+                  with
+                  | Error e ->
+                      Error
+                        ("snapshot rejected after kill: "
+                        ^ Snapshot.error_to_string e)
+                  | Ok c -> (
+                      match check_monotone c with
+                      | O.Fail m -> Error m
+                      | O.Pass -> attempt (a + 1) (Some c))))
+        in
+        match attempt 0 None with
+        | Error m -> O.Fail m
+        | Ok (_, status) ->
+            let module B = Ivc_exact.Order_bb in
+            let ub = B.upper_bound_of status
+            and lb = B.lower_bound_of status
+            and starts = B.starts_of status in
+            O.all_of
+              [
+                (fun () -> certify inst ~who:"resumed exact" starts);
+                (fun () ->
+                  O.check
+                    (ub = B.upper_bound_of baseline)
+                    "resumed upper bound %d <> uninterrupted %d" ub
+                    (B.upper_bound_of baseline));
+                (fun () ->
+                  O.check
+                    (lb = B.lower_bound_of baseline)
+                    "resumed lower bound %d <> uninterrupted %d" lb
+                    (B.lower_bound_of baseline));
+                (fun () ->
+                  O.check
+                    (B.is_optimal status = B.is_optimal baseline)
+                    "resumed optimality %b <> uninterrupted %b"
+                    (B.is_optimal status) (B.is_optimal baseline));
+                (fun () ->
+                  match !prev with
+                  | Some (pb, pl) ->
+                      O.check (ub <= pb && lb >= pl)
+                        "final bounds (%d, %d) worse than last pre-kill \
+                         checkpoint (%d, %d)"
+                        lb ub pl pb
+                  | None -> O.Pass);
+              ]);
+  }
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let all =
@@ -460,6 +595,7 @@ let all =
     bound_monotone;
     metamorphic;
     portfolio;
+    crash_resume;
   ]
 
 let find name =

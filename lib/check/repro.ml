@@ -64,5 +64,8 @@ let of_string ?file s =
   | None -> error ?file "repro has no 'oracle' line"
   | Some oracle -> { oracle; seed = !seed; note = !note; instance }
 
-let save path r = Io.save path (to_string r)
+(* Atomic install: a repro file is the one artifact of a failed fuzz
+   campaign, so a crash mid-write must not leave a half-written file
+   that a later replay would reject. *)
+let save path r = Io.save_atomic path (to_string r)
 let load path = of_string ~file:path (Io.load path)

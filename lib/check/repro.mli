@@ -31,5 +31,7 @@ val to_string : t -> string
 (** Raises {!Spatial_data.Io.Io_error} on malformed input. *)
 val of_string : ?file:string -> string -> t
 
+(** Atomic install (write-to-temp + rename): a reader or replay never
+    observes a partially written repro file. *)
 val save : string -> t -> unit
 val load : string -> t

@@ -17,14 +17,53 @@ type pass =
     valid and its maxcolor is at most the input's. *)
 val apply : Ivc_grid.Stencil.t -> int array -> pass -> int array
 
+(** {1 Crash-safe checkpointing}
+
+    Every sweep is a pure function of the current coloring, so the
+    state between two sweeps is just the cycle cursor plus the two
+    colorings; checkpoints are taken at pass boundaries, where both
+    colorings are complete and valid. *)
+
+type checkpoint = {
+  fp : int64;  (** instance fingerprint *)
+  passes : int array;  (** pass tags, validated against the caller's *)
+  round : int;  (** 1-based cycle counter *)
+  pass_idx : int;  (** next pass to run within the round *)
+  round_before : int;  (** best maxcolor when this round started *)
+  best : int array;
+  cur : int array;
+}
+
+val kind : string
+(** Snapshot kind tag, ["iterated"]. *)
+
+val pass_tag : pass -> int
+val pass_of_tag : int -> pass option
+val encode_checkpoint : checkpoint -> string
+
+val decode_checkpoint :
+  inst:Ivc_grid.Stencil.t ->
+  passes:pass list ->
+  Ivc_persist.Snapshot.t ->
+  (checkpoint, Ivc_persist.Snapshot.error) result
+(** Fails closed: kind, fingerprint, the pass list and both colorings
+    are validated against the instance and the caller's schedule. *)
+
 (** [run inst starts ~passes] cycles through the pass list until the
     maxcolor stops improving or [max_rounds] (default 10) full cycles
     ran. Returns the best coloring found. [cancel] is polled before
     every pass; when it fires the best complete coloring found so far
-    is returned immediately (never worse than the input). *)
+    is returned immediately (never worse than the input).
+
+    [autosave] checkpoints the cycle state through the token at every
+    pass boundary; [resume] continues from a checkpoint previously
+    decoded with {!decode_checkpoint} (the [starts] argument is ignored
+    in favor of the snapshot's colorings). *)
 val run :
   ?max_rounds:int ->
   ?cancel:(unit -> bool) ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:checkpoint ->
   Ivc_grid.Stencil.t ->
   int array ->
   passes:pass list ->

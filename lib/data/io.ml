@@ -130,6 +130,18 @@ let save path contents =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc contents)
 
+(* Atomic install without a unix dependency: write the temp file, then
+   [Sys.rename] (atomic on POSIX). No fsync — stdlib can't — so this
+   protects against a crashed *writer* (readers never observe a partial
+   file), not against power loss; artifacts that must survive that go
+   through [Ivc_persist.Snapshot.save] instead. *)
+let save_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  save tmp contents;
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception Sys_error msg -> io_error ~file:path "cannot install: %s" msg
+
 let load path =
   match open_in path with
   | exception Sys_error msg -> io_error ~file:path "cannot read: %s" msg

@@ -42,6 +42,13 @@ val coloring_of_string : ?file:string -> string -> int array
     the path. *)
 val save : string -> string -> unit
 
+(** [save_atomic path contents] writes to [path ^ ".tmp"] and renames
+    over [path], so a reader never observes a partially written file
+    and a crashed writer leaves at most a stale [.tmp]. (No fsync —
+    this is crash-of-writer safety, not power-loss durability; see
+    [Ivc_persist.Snapshot.save] for the latter.) *)
+val save_atomic : string -> string -> unit
+
 val load : string -> string
 
 (** [load_instance path] = [instance_of_string ~file:path (load path)]:

@@ -1,11 +1,88 @@
 module Stencil = Ivc_grid.Stencil
+module Snapshot = Ivc_persist.Snapshot
+module Codec = Ivc_persist.Codec
 
 type verdict = Colorable of int array | Not_colorable | Unknown
 
 let c_cp_nodes = Ivc_obs.Counter.make "exact.cp_nodes"
 let c_cp_revisions = Ivc_obs.Counter.make "exact.cp_revisions"
 
-(* Domains are boolean arrays over candidate starts [0, k - w(v)].
+(* ---- checkpointing ---------------------------------------------------
+
+   [optimize] is a binary search on k whose probes are deterministic
+   DFS decision solves, so its whole state is the bracket plus, while a
+   probe is running, that probe's DFS path: each depth fixed one
+   (variable, value) pair, and the domains below any prefix are a pure
+   function of k and the prefix. Resume replays the pairs (propagation
+   is deterministic, so each replayed child is entered exactly as the
+   killed run entered it) and continues every value loop from the
+   stored cursor. *)
+
+type probe = { k : int; nodes : int; path : int array }
+
+type checkpoint = {
+  fp : int64;
+  lo : int;
+  hi : int;  (** bracket invariant: colorable with [hi] *)
+  best_starts : int array;  (** witness for [hi] *)
+  probe : probe option;  (** in-flight decision probe, if any *)
+}
+
+let kind = "cp-opt"
+
+let encode_checkpoint c =
+  let b = Codec.W.create () in
+  Codec.W.i64 b c.fp;
+  Codec.W.int b c.lo;
+  Codec.W.int b c.hi;
+  Codec.W.int_array b c.best_starts;
+  Codec.W.option b
+    (fun b p ->
+      Codec.W.int b p.k;
+      Codec.W.int b p.nodes;
+      Codec.W.int_array b p.path)
+    c.probe;
+  Codec.W.contents b
+
+let read_checkpoint r =
+  let fp = Codec.R.i64 r in
+  let lo = Codec.R.int r in
+  let hi = Codec.R.int r in
+  let best_starts = Codec.R.int_array r in
+  let probe =
+    Codec.R.option r (fun r ->
+        let k = Codec.R.int r in
+        let nodes = Codec.R.int r in
+        let path = Codec.R.int_array r in
+        { k; nodes; path })
+  in
+  { fp; lo; hi; best_starts; probe }
+
+let decode_checkpoint ~inst snap =
+  match Snapshot.decode snap ~kind read_checkpoint with
+  | Error _ as e -> e
+  | Ok c -> (
+      if c.fp <> Snapshot.fingerprint inst then
+        Error Snapshot.Instance_mismatch
+      else if Array.length c.best_starts <> Stencil.n_vertices inst then
+        Error (Snapshot.Bad_payload "witness length mismatch")
+      else if c.lo < 0 || c.hi < c.lo then
+        Error (Snapshot.Bad_payload "invalid bracket")
+      else
+        match c.probe with
+        | None -> Ok c
+        | Some p ->
+            if p.k <> (c.lo + c.hi) / 2 then
+              Error (Snapshot.Bad_payload "probe k does not match bracket")
+            else if p.nodes < 0 || Array.length p.path land 1 = 1 then
+              Error (Snapshot.Bad_payload "invalid probe")
+            else if Array.exists (fun x -> x < 0) p.path then
+              Error (Snapshot.Bad_payload "negative path entry")
+            else Ok c)
+
+(* ---- decision engine -------------------------------------------------
+
+   Domains are boolean arrays over candidate starts [0, k - w(v)].
    The disjointness constraint between two intervals only depends on
    the extremes of the other domain, so bounds reasoning gives exact
    arc consistency:
@@ -33,8 +110,14 @@ let dom_max d =
 let copy_node n = { dom = Array.map Array.copy n.dom; size = Array.copy n.size }
 
 (* Core engine over an abstract neighborhood function. [iter_nbr v f]
-   must enumerate the neighbors of [v] among all [n_all] vertices. *)
-let decide_gen ~budget ~time_limit_s ~cancel ~n_all ~w_all ~iter_nbr ~k =
+   must enumerate the neighbors of [v] among all [n_all] vertices.
+   [on_node] fires at every search node with the cumulative node count
+   and a thunk producing the flattened (variable, value) decision path;
+   [resume_probe] is [(nodes, path)] from a previous run of the same
+   deterministic probe. *)
+let decide_gen ~budget ~time_limit_s ~cancel
+    ?(on_node = fun ~nodes:_ ~path:_ -> ()) ?resume_probe ~n_all ~w_all
+    ~iter_nbr ~k () =
   let deadline =
     match time_limit_s with None -> infinity | Some s -> Sys.time () +. s
   in
@@ -66,7 +149,7 @@ let decide_gen ~budget ~time_limit_s ~cancel ~n_all ~w_all ~iter_nbr ~k =
         size = Array.init n (fun i -> k - w.(i) + 1);
       }
     in
-    let nodes = ref 0 in
+    let nodes = ref (match resume_probe with Some (n0, _) -> n0 | None -> 0) in
     let revs = ref 0 in
     (* Revise dom(i) against neighbor j; true if dom(i) changed. *)
     let revise node i j =
@@ -114,41 +197,82 @@ let decide_gen ~budget ~time_limit_s ~cancel ~n_all ~w_all ~iter_nbr ~k =
       Array.iteri (fun i v -> starts.(v) <- dom_min node.dom.(i)) ids;
       starts
     in
+    (* Live frontier for the autosave thunk: (variable, value) per
+       depth, flattened pairwise on serialization. *)
+    let path_i = Array.make (n + 1) 0 and path_s = Array.make (n + 1) 0 in
+    let cur_depth = ref 0 in
+    let flat () =
+      let d = !cur_depth in
+      Array.init (2 * d) (fun j ->
+          if j land 1 = 0 then path_i.(j / 2) else path_s.(j / 2))
+    in
+    let rpath = match resume_probe with Some (_, p) -> p | None -> [||] in
+    let replay = ref (Array.length rpath / 2) in
+    let corrupt () = invalid_arg "Cp: corrupt checkpoint path" in
+    let fix node i s =
+      let child = copy_node node in
+      Array.fill child.dom.(i) 0 (Array.length child.dom.(i)) false;
+      child.dom.(i).(s) <- true;
+      child.size.(i) <- 1;
+      match propagate child [ i ] with
+      | () -> Some child
+      | exception Empty_domain -> None
+    in
     let exception Found of int array in
-    let rec search node =
-      incr nodes;
-      Ivc_obs.Counter.incr c_cp_nodes;
-      if !nodes > budget then raise Out_of_budget;
-      if !nodes land 255 = 0 && (Sys.time () > deadline || cancel ()) then
-        raise Out_of_budget;
-      (* MRV choice *)
-      let best = ref (-1) and bestsz = ref max_int in
-      for i = 0 to n - 1 do
-        if node.size.(i) > 1 && node.size.(i) < !bestsz then begin
-          best := i;
-          bestsz := node.size.(i)
-        end
-      done;
-      if !best < 0 then raise (Found (solution node))
+    let rec search depth node =
+      if !replay > 0 && depth >= !replay then replay := 0;
+      if depth < !replay then replay_step depth node
       else begin
-        let i = !best in
-        let di = node.dom.(i) in
-        for s = 0 to Array.length di - 1 do
-          if di.(s) then begin
-            let child = copy_node node in
-            Array.fill child.dom.(i) 0 (Array.length child.dom.(i)) false;
-            child.dom.(i).(s) <- true;
-            child.size.(i) <- 1;
-            match propagate child [ i ] with
-            | () -> search child
-            | exception Empty_domain -> ()
+        incr nodes;
+        cur_depth := depth;
+        Ivc_obs.Counter.incr c_cp_nodes;
+        if !nodes > budget then raise Out_of_budget;
+        if !nodes land 255 = 0 && (Sys.time () > deadline || cancel ()) then
+          raise Out_of_budget;
+        on_node ~nodes:!nodes ~path:flat;
+        (* MRV choice *)
+        let best = ref (-1) and bestsz = ref max_int in
+        for i = 0 to n - 1 do
+          if node.size.(i) > 1 && node.size.(i) < !bestsz then begin
+            best := i;
+            bestsz := node.size.(i)
           end
-        done
+        done;
+        if !best < 0 then raise (Found (solution node))
+        else explore depth node !best 0
       end
+    and explore depth node i from_s =
+      let di = node.dom.(i) in
+      for s = from_s to Array.length di - 1 do
+        if di.(s) then
+          match fix node i s with
+          | Some child ->
+              path_i.(depth) <- i;
+              path_s.(depth) <- s;
+              search (depth + 1) child
+          | None -> ()
+      done
+    (* Replay of one frontier step: no node accounting (the restored
+       count already includes it) and no re-derivation of the MRV
+       choice — the stored pair is re-applied verbatim; propagation is
+       deterministic, so the child is the one the killed run entered.
+       Afterwards the value loop continues past the stored cursor. *)
+    and replay_step depth node =
+      let i = rpath.(2 * depth) and s = rpath.((2 * depth) + 1) in
+      if i >= n then corrupt ();
+      let di = node.dom.(i) in
+      if s >= Array.length di || not di.(s) then corrupt ();
+      (match fix node i s with
+      | Some child ->
+          path_i.(depth) <- i;
+          path_s.(depth) <- s;
+          search (depth + 1) child
+      | None -> corrupt ());
+      explore depth node i (s + 1)
     in
     try
       (match propagate root (List.init n Fun.id) with
-      | () -> search root
+      | () -> search 0 root
       | exception Empty_domain -> ());
       Not_colorable
     with
@@ -162,7 +286,7 @@ let decide ?(budget = 10_000_000) ?time_limit_s ?(cancel = fun () -> false)
     ~n_all:(Stencil.n_vertices inst)
     ~w_all:(inst : Stencil.t).w
     ~iter_nbr:(fun v f -> Stencil.iter_neighbors inst v f)
-    ~k
+    ~k ()
 
 let decide_graph ?(budget = 10_000_000) ?time_limit_s
     ?(cancel = fun () -> false) g ~w ~k =
@@ -170,7 +294,7 @@ let decide_graph ?(budget = 10_000_000) ?time_limit_s
     ~n_all:(Ivc_graph.Csr.n_vertices g)
     ~w_all:w
     ~iter_nbr:(fun v f -> Ivc_graph.Csr.iter_neighbors g v f)
-    ~k
+    ~k ()
 
 let optimize_graph ?(budget = 10_000_000) g ~w =
   let ub = Array.fold_left ( + ) 0 w in
@@ -202,31 +326,84 @@ let optimize_graph ?(budget = 10_000_000) g ~w =
   go lb ub trivial
 
 let optimize ?(budget = 10_000_000) ?time_limit_s ?(cancel = fun () -> false)
-    inst =
+    ?autosave ?resume inst =
   let t0 = Sys.time () in
   let remaining () =
     match time_limit_s with
     | None -> None
     | Some s -> Some (Float.max 0.01 (s -. (Sys.time () -. t0)))
   in
-  let ub, ub_starts =
-    List.fold_left
-      (fun (b, bs) (_, starts, mc) -> if mc < b then (mc, starts) else (b, bs))
-      (max_int, [||])
-      (Ivc.Algo.run_all inst)
+  let fp = lazy (Snapshot.fingerprint inst) in
+  let save_bracket a ~lo ~hi ~starts probe =
+    Ivc_persist.Autosave.tick a ~kind (fun () ->
+        encode_checkpoint
+          { fp = Lazy.force fp; lo; hi; best_starts = starts; probe })
   in
-  let lb = Ivc.Bounds.combined inst in
+  (* The pending probe from a resumed snapshot; consumed by the first
+     binary-search step (whose [mid] is the same deterministic value,
+     validated at decode time). *)
+  let pending = ref (match resume with Some c -> c.probe | None -> None) in
   (* Binary search on the monotone predicate "colorable with k". *)
   let rec go lo hi best_starts =
     (* invariant: colorable with hi (witness best_starts); the smallest
        feasible k lies in [lo, hi] *)
     if lo >= hi then Some (hi, best_starts)
     else if cancel () then None
-    else
+    else begin
       let mid = (lo + hi) / 2 in
-      match decide ~budget ?time_limit_s:(remaining ()) ~cancel inst ~k:mid with
-      | Colorable s -> go lo mid s
-      | Not_colorable -> go (mid + 1) hi best_starts
+      let resume_probe =
+        match !pending with
+        | Some p when p.k = mid ->
+            pending := None;
+            Some (p.nodes, p.path)
+        | _ ->
+            pending := None;
+            None
+      in
+      let on_node =
+        match autosave with
+        | None -> None
+        | Some a ->
+            Some
+              (fun ~nodes ~path ->
+                save_bracket a ~lo ~hi ~starts:best_starts
+                  (Some { k = mid; nodes; path = path () }))
+      in
+      let verdict =
+        decide_gen ~budget ~time_limit_s:(remaining ()) ~cancel ?on_node
+          ?resume_probe
+          ~n_all:(Stencil.n_vertices inst)
+          ~w_all:(inst : Stencil.t).w
+          ~iter_nbr:(fun v f -> Stencil.iter_neighbors inst v f)
+          ~k:mid ()
+      in
+      match verdict with
+      | Colorable s ->
+          Option.iter
+            (fun a -> save_bracket a ~lo ~hi:mid ~starts:s None)
+            autosave;
+          go lo mid s
+      | Not_colorable ->
+          Option.iter
+            (fun a -> save_bracket a ~lo:(mid + 1) ~hi ~starts:best_starts None)
+            autosave;
+          go (mid + 1) hi best_starts
       | Unknown -> None
+    end
   in
-  if ub <= lb then Some (ub, ub_starts) else go lb ub ub_starts
+  match resume with
+  | Some c ->
+      (* The snapshot's bracket subsumes the heuristic warm start the
+         killed run already performed; recomputing it could not
+         tighten anything and would desynchronize the pending probe. *)
+      go c.lo c.hi (Array.copy c.best_starts)
+  | None ->
+      let ub, ub_starts =
+        List.fold_left
+          (fun (b, bs) (_, starts, mc) ->
+            if mc < b then (mc, starts) else (b, bs))
+          (max_int, [||])
+          (Ivc.Algo.run_all inst)
+      in
+      let lb = Ivc.Bounds.combined inst in
+      if ub <= lb then Some (ub, ub_starts) else go lb ub ub_starts

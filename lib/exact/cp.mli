@@ -40,14 +40,55 @@ val decide_graph :
   k:int ->
   verdict
 
+(** {1 Crash-safe checkpointing}
+
+    [optimize] is a binary search whose probes are deterministic DFS
+    decision solves, so its whole state is the bracket [(lo, hi)] with
+    its witness plus — while a probe is in flight — that probe's node
+    count and decision path. Resume replays the path in O(depth) and
+    continues the value loops from the stored cursors. *)
+
+type probe = {
+  k : int;  (** the probed color count (the bracket's midpoint) *)
+  nodes : int;  (** nodes spent in this probe; budgets are cumulative *)
+  path : int array;  (** flattened (variable, value) decision pairs *)
+}
+
+type checkpoint = {
+  fp : int64;  (** instance fingerprint *)
+  lo : int;
+  hi : int;  (** bracket invariant: colorable with [hi] *)
+  best_starts : int array;  (** witness for [hi] *)
+  probe : probe option;  (** in-flight decision probe, if any *)
+}
+
+val kind : string
+(** Snapshot kind tag, ["cp-opt"]. *)
+
+val encode_checkpoint : checkpoint -> string
+
+val decode_checkpoint :
+  inst:Ivc_grid.Stencil.t ->
+  Ivc_persist.Snapshot.t ->
+  (checkpoint, Ivc_persist.Snapshot.error) result
+(** Fails closed: kind, fingerprint, bracket sanity, probe/bracket
+    consistency and path well-formedness are all validated. *)
+
 (** Exact optimum via binary search on [k], between the best heuristic
     value and the combined lower bound. Returns [(opt, starts)] or
     [None] when a budget was hit (or [cancel] fired) before closing
-    the gap. [time_limit_s] bounds the whole search. *)
+    the gap. [time_limit_s] bounds the whole search.
+
+    [autosave] checkpoints the bracket (and the in-flight probe's
+    decision path) through the token at every probe node and at each
+    bracket move. [resume] restores a checkpoint previously decoded
+    with {!decode_checkpoint}, skipping the heuristic warm start. *)
 val optimize :
   ?budget:int ->
   ?time_limit_s:float ->
   ?cancel:(unit -> bool) ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:checkpoint ->
   Ivc_grid.Stencil.t ->
   (int * int array) option
 

@@ -13,17 +13,42 @@ type outcome = {
   starts : int array;  (** witness for [upper_bound] *)
   proven_optimal : bool;
   nodes_hint : string;  (** which engine closed (or failed to close) *)
+  resumed : bool;  (** the solve continued from a snapshot *)
 }
 
-(** [solve ?budget ?time_limit_s ?cancel inst] with [budget] roughly
-    proportional to search nodes (default 200_000) and [time_limit_s]
-    bounding the CPU seconds spent. [cancel] is polled cooperatively
-    inside both engines; when it fires the best incumbent found so far
-    is returned with [proven_optimal = false]. *)
+(** {1 Crash-safe checkpointing}
+
+    Both engines behind this front end checkpoint into a shared file;
+    the snapshot's kind tag records which engine saved it, and
+    {!plan_resume} dispatches a loaded snapshot back to that engine. *)
+
+type resume_plan =
+  | Order_bb_plan of Order_bb.checkpoint
+  | Cp_plan of Cp.checkpoint
+
+val plan_resume :
+  inst:Ivc_grid.Stencil.t ->
+  Ivc_persist.Snapshot.t ->
+  (resume_plan, Ivc_persist.Snapshot.error) result
+(** Decode a snapshot into whichever engine's checkpoint it holds.
+    Fails closed with a typed error on any mismatch; callers fall back
+    to a fresh solve and report the reason. *)
+
+(** [solve ?budget ?time_limit_s ?cancel ?autosave ?resume inst] with
+    [budget] roughly proportional to search nodes (default 200_000) and
+    [time_limit_s] bounding the CPU seconds spent. [cancel] is polled
+    cooperatively inside both engines; when it fires the best incumbent
+    found so far is returned with [proven_optimal = false].
+
+    [autosave] is handed to whichever engine runs; [resume] continues a
+    solve from a plan produced by {!plan_resume} (node budgets are
+    cumulative across the kill; time budgets restart). *)
 val solve :
   ?budget:int ->
   ?time_limit_s:float ->
   ?cancel:(unit -> bool) ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:resume_plan ->
   Ivc_grid.Stencil.t ->
   outcome
 

@@ -16,20 +16,71 @@ type status =
       (** [(lb, ub, starts)] when the budget ran out: best known
           coloring and the residual gap *)
 
-(** [solve ?node_budget ?restarts ?time_limit_s ?cancel inst].
-    [node_budget] caps branch-and-bound nodes (default 200_000);
-    [restarts] adds randomized greedy restarts to tighten the initial
-    upper bound (default 8); [time_limit_s] aborts the search after
-    that much CPU time (the paper's one-day-timeout analogue).
+(** {1 Crash-safe checkpointing}
+
+    The search is deterministic depth-first exploration, so its open
+    frontier is exactly the current DFS path: a checkpoint records the
+    incumbent, the proven bounds, the cumulative node count and, for
+    each depth, the branch cursor taken. Resuming replays that path in
+    O(depth) and continues every sibling loop where the killed run
+    stopped — a resumed solve explores the same remaining tree as an
+    uninterrupted one and (budgets being cumulative) terminates with
+    the same status. *)
+
+type checkpoint = {
+  fp : int64;  (** instance fingerprint, see {!Ivc_persist.Snapshot} *)
+  lb : int;
+  best : int;  (** incumbent maxcolor *)
+  best_starts : int array;
+  nodes : int;  (** nodes already spent; budgets are cumulative *)
+  path : int array;  (** DFS frontier: branch cursor per depth *)
+}
+
+val kind : string
+(** Snapshot kind tag, ["order-bb"]. *)
+
+val encode_checkpoint : checkpoint -> string
+
+val decode_checkpoint :
+  inst:Ivc_grid.Stencil.t ->
+  Ivc_persist.Snapshot.t ->
+  (checkpoint, Ivc_persist.Snapshot.error) result
+(** Fails closed: kind, fingerprint, incumbent length and path cursors
+    are all validated; any mismatch is a typed error, never a wrong
+    resume. *)
+
+val checkpoint_of_incumbent :
+  Ivc_grid.Stencil.t ->
+  lb:int ->
+  best:int ->
+  best_starts:int array ->
+  checkpoint
+(** A frontier-less checkpoint (empty path): resuming from it starts a
+    fresh search seeded with the given incumbent and bounds. Used to
+    hand a bracket from another engine to this one. *)
+
+(** [solve ?node_budget ?restarts ?time_limit_s ?cancel ?autosave
+    ?resume inst]. [node_budget] caps branch-and-bound nodes (default
+    200_000); [restarts] adds randomized greedy restarts to tighten the
+    initial upper bound (default 8); [time_limit_s] aborts the search
+    after that much CPU time (the paper's one-day-timeout analogue).
     [cancel] is a cooperative cancellation poll (e.g. a deadline token
     from [Ivc_resilient.Deadline]): it is checked every 1024
     branch-and-bound nodes, and a [true] return aborts the search,
-    yielding [Bounds] with the best incumbent found so far. *)
+    yielding [Bounds] with the best incumbent found so far.
+
+    [autosave] checkpoints the frontier through the token every 16
+    nodes (subject to the token's cadence). [resume] restores a
+    checkpoint previously decoded with {!decode_checkpoint}: the
+    initial heuristic and randomized restarts are skipped in favor of
+    the snapshot's incumbent. *)
 val solve :
   ?node_budget:int ->
   ?restarts:int ->
   ?time_limit_s:float ->
   ?cancel:(unit -> bool) ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:checkpoint ->
   Ivc_grid.Stencil.t ->
   status
 

@@ -1,0 +1,28 @@
+type t = {
+  path : string;
+  every_ns : int64;
+  mutable last_ns : int64;
+  mutable saves : int;
+  on_save : int -> unit;
+}
+
+let make ?(every_s = 5.0) ?(on_save = fun _ -> ()) path =
+  {
+    path;
+    every_ns = Int64.of_float (1e9 *. Float.max 0.0 every_s);
+    last_ns = Ivc_obs.now_ns ();
+    saves = 0;
+    on_save;
+  }
+
+let tick t ~kind payload =
+  let now = Ivc_obs.now_ns () in
+  if Int64.sub now t.last_ns >= t.every_ns then begin
+    Snapshot.save t.path { Snapshot.kind; payload = payload () };
+    t.last_ns <- Ivc_obs.now_ns ();
+    t.saves <- t.saves + 1;
+    t.on_save t.saves
+  end
+
+let path t = t.path
+let saves t = t.saves

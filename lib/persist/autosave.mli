@@ -1,0 +1,28 @@
+(** Periodic autosave token threaded into solver loops.
+
+    A token owns one checkpoint file and a cadence. Solvers poll
+    {!tick} at the same places they poll cooperative cancellation (node
+    boundaries, pass boundaries, instance boundaries); the token reads
+    the monotonic clock — the same clock {!Ivc_resilient.Deadline}
+    ticks on — and only when [every_s] has elapsed since the last
+    install does it ask the solver for a payload (the thunk runs only
+    when a save is due, so an off-cadence poll costs one clock read)
+    and atomically install it via {!Snapshot.save}.
+
+    [every_s = 0.] saves at every poll — the mode the crash-injection
+    harness uses to put a checkpoint boundary at every node. *)
+
+type t
+
+val make : ?every_s:float -> ?on_save:(int -> unit) -> string -> t
+(** [make ~every_s path]. [every_s] defaults to 5 seconds. [on_save]
+    is called after each completed install with the 1-based save
+    ordinal; the crash harness raises from it to simulate a kill
+    exactly at a checkpoint boundary (the snapshot on disk is already
+    complete when it runs). *)
+
+val tick : t -> kind:string -> (unit -> string) -> unit
+(** Save if due. *)
+
+val path : t -> string
+val saves : t -> int

@@ -1,0 +1,112 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let i64 b v = Buffer.add_int64_le b v
+  let int b v = i64 b (Int64.of_int v)
+  let bool b v = Buffer.add_char b (if v then '\001' else '\000')
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let int_array b a =
+    int b (Array.length a);
+    Array.iter (fun v -> int b v) a
+
+  let option b f = function
+    | None -> bool b false
+    | Some v ->
+        bool b true;
+        f b v
+
+  let list b f l =
+    int b (List.length l);
+    List.iter (f b) l
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let of_string s = { s; pos = 0 }
+
+  let need r n =
+    if n < 0 || r.pos + n > String.length r.s then
+      corrupt "truncated: need %d bytes at offset %d of %d" n r.pos
+        (String.length r.s)
+
+  let i64 r =
+    need r 8;
+    let v = String.get_int64_le r.s r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let int r =
+    let v = i64 r in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then corrupt "integer out of native range";
+    i
+
+  let bool r =
+    need r 1;
+    let c = r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | c -> corrupt "bad boolean byte %d" (Char.code c)
+
+  let float r = Int64.float_of_bits (i64 r)
+
+  let string r =
+    let n = int r in
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let int_array r =
+    let n = int r in
+    (* every element is 8 bytes: reject a lying length before allocating *)
+    if n < 0 || n > (String.length r.s - r.pos) / 8 then
+      corrupt "bad array length %d" n;
+    Array.init n (fun _ -> int r)
+
+  let option r f = if bool r then Some (f r) else None
+
+  let list r f =
+    let n = int r in
+    if n < 0 || n > String.length r.s - r.pos then
+      corrupt "bad list length %d" n;
+    List.init n (fun _ -> f r)
+
+  let expect_end r =
+    if r.pos <> String.length r.s then
+      corrupt "trailing bytes: %d consumed, %d present" r.pos
+        (String.length r.s)
+end
+
+(* CRC-32 (IEEE 802.3 / zlib), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff

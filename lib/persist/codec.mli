@@ -1,0 +1,61 @@
+(** Binary-safe encoding primitives shared by every snapshot payload.
+
+    The wire format is deliberately boring: every integer is a fixed
+    8-byte little-endian word, strings and arrays are length-prefixed.
+    Fixed-width fields make the truncation behaviour exact — cutting a
+    payload at any byte boundary is always detected as [Corrupt] by the
+    reader, never silently misparsed — at the cost of some bytes; a
+    snapshot is written every few seconds, not per node, so framing
+    simplicity wins over compactness. *)
+
+exception Corrupt of string
+(** Raised by every [R] accessor on truncated or malformed input.
+    {!Snapshot} converts it into the typed [Bad_payload] /
+    [Truncated] errors; solver code never sees it escape. *)
+
+(** Writer: an append-only buffer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val int : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+
+  val string : t -> string -> unit
+  (** Length-prefixed; binary-safe. *)
+
+  val int_array : t -> int array -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val contents : t -> string
+end
+
+(** Reader over an immutable string with a cursor. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val int : t -> int
+  val i64 : t -> int64
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+
+  val int_array : t -> int array
+  (** Validates the length prefix against the remaining bytes before
+      allocating, so a corrupt length cannot trigger a huge
+      allocation. *)
+
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+
+  val expect_end : t -> unit
+  (** Raises [Corrupt] unless the cursor consumed every byte: trailing
+      garbage is corruption, not padding. *)
+end
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, the zlib polynomial) of a string, in
+    [0, 2{^32}). Table-driven; no dependencies. *)

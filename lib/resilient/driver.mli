@@ -25,6 +25,10 @@ type provenance =
       (** name of the heuristic (or B&B incumbent) that produced the
           returned coloring *)
   | Fallback  (** only the greedy first-fit fallback completed *)
+  | Resumed of provenance
+      (** the solve continued from a crash snapshot; the inner
+          provenance records which stage the returned coloring came
+          from *)
 
 type outcome = {
   starts : int array;
@@ -35,19 +39,76 @@ type outcome = {
   provenance : provenance;
   proven_optimal : bool;
   elapsed_s : float;
+      (** wall-clock seconds this solve spent, on the monotonic
+          clock *)
+  deadline_remaining_s : float option;
+      (** seconds left on the deadline token when the solve returned
+          ([None] when no deadline was set); callers budgeting a batch
+          read this instead of re-deriving it from [elapsed_s] *)
+  resumed : bool;  (** the solve was seeded from a crash snapshot *)
 }
 
 val provenance_to_string : provenance -> string
 
-(** [solve ?deadline_s ?cancel ?budget ?improve inst]. [deadline_s]
-    bounds the wall-clock time (monotonic); [cancel] is an additional
-    caller-side cancellation poll merged with the deadline; [budget]
-    is the exact stage's node budget (default 200_000); [improve]
-    enables the iterated-greedy stage (default true). *)
+val provenance_of_string : string -> provenance option
+(** Inverse of {!provenance_to_string}; [None] on unrecognized input
+    (snapshot decoding fails closed through this). *)
+
+(** {1 Crash-safe checkpointing}
+
+    The driver writes a "driver"-kind snapshot (the certified incumbent
+    plus the tightest lower bound) at stage boundaries, and hands the
+    same autosave token to its stages, which overwrite the shared file
+    with finer-grained checkpoints while they run. {!decode_resume}
+    dispatches whatever kind the killed run wrote last back to the
+    right point in the chain. *)
+
+type seed = {
+  fp : int64;
+  lb : int;
+  starts : int array;
+  prov : provenance;
+  proven : bool;
+}
+
+type resume =
+  | Seed of seed  (** re-seed the incumbent, redo improve + exact *)
+  | Improve of Ivc.Iterated.checkpoint  (** resume mid-improvement *)
+  | Exact_stage of Ivc_exact.Optimize.resume_plan
+      (** resume inside an exact engine *)
+
+val driver_kind : string
+(** Snapshot kind tag, ["driver"]. *)
+
+val encode_seed : seed -> string
+
+val decode_resume :
+  inst:Ivc_grid.Stencil.t ->
+  Ivc_persist.Snapshot.t ->
+  (resume, Ivc_persist.Snapshot.error) result
+(** Decode any snapshot the portfolio (or its stages) may have written.
+    Fails closed with a typed error; callers fall back to a fresh
+    solve and report the reason. *)
+
+(** [solve ?deadline_s ?cancel ?budget ?improve ?autosave ?resume inst].
+    [deadline_s] bounds the wall-clock time (monotonic); [cancel] is an
+    additional caller-side cancellation poll merged with the deadline;
+    [budget] is the exact stage's node budget (default 200_000);
+    [improve] enables the iterated-greedy stage (default true).
+
+    [autosave] threads one checkpoint token through every stage;
+    [resume] continues from a snapshot decoded with {!decode_resume}.
+    A resumed solve re-runs only the guaranteed fallback (cheap, and
+    the caller is owed a valid coloring even on a corrupt snapshot),
+    seeds the incumbent and lower bound from the snapshot through the
+    certificate gate, and rejoins the chain at the stage the snapshot
+    belongs to; its provenance is wrapped in {!Resumed}. *)
 val solve :
   ?deadline_s:float ->
   ?cancel:(unit -> bool) ->
   ?budget:int ->
   ?improve:bool ->
+  ?autosave:Ivc_persist.Autosave.t ->
+  ?resume:resume ->
   Ivc_grid.Stencil.t ->
   (outcome, Cert.error) result

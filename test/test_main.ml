@@ -28,6 +28,7 @@ let () =
       ("parallel-coloring", Test_parcolor.suite);
       ("resilience", Test_resilient.suite);
       ("check", Test_check.suite);
+      ("persist", Test_persist.suite);
       ("generators", Test_generators.suite);
       ("io", Test_io.suite);
       ("svg", Test_svg.suite);

@@ -1,0 +1,549 @@
+(* The crash-safe persistence layer: codec round-trips per payload
+   kind, exhaustive truncation and single-bit corruption (every way a
+   snapshot file can be damaged must map to a typed error, never an
+   exception or a silent wrong resume), autosave cadence, atomic
+   installs, and deterministic kill-resume equivalence for the order
+   branch-and-bound, iterated greedy and fuzz-campaign loops. *)
+
+module S = Ivc_grid.Stencil
+module Codec = Ivc_persist.Codec
+module Snapshot = Ivc_persist.Snapshot
+module Autosave = Ivc_persist.Autosave
+module Order_bb = Ivc_exact.Order_bb
+module Cp = Ivc_exact.Cp
+module Optimize = Ivc_exact.Optimize
+module It = Ivc.Iterated
+module Driver = Ivc_resilient.Driver
+module Fuzz = Ivc_check.Fuzz
+
+let inst () = Util.random_inst2 ~seed:41 ~x:6 ~y:5 ~bound:9
+let other_inst () = Util.random_inst2 ~seed:42 ~x:6 ~y:5 ~bound:9
+
+let with_temp f =
+  let path = Filename.temp_file "ivc-persist-test" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let err_str = function
+  | Ok _ -> "Ok"
+  | Error e -> Snapshot.error_to_string e
+
+(* ---- codec primitives ----------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let rng = Spatial_data.Rng.create 1312 in
+  for _ = 1 to 200 do
+    let i = Spatial_data.Rng.int rng 1_000_000 - 500_000 in
+    let a = Array.init (Spatial_data.Rng.int rng 20) (fun k -> k * i) in
+    let s =
+      String.init (Spatial_data.Rng.int rng 40) (fun _ ->
+          Char.chr (Spatial_data.Rng.int rng 256))
+    in
+    let o = if Spatial_data.Rng.int rng 2 = 0 then Some i else None in
+    let l = List.init (Spatial_data.Rng.int rng 8) (fun k -> k - i) in
+    let f = Float.of_int i /. 97.0 in
+    let b = Spatial_data.Rng.int rng 2 = 0 in
+    let w = Codec.W.create () in
+    Codec.W.int w i;
+    Codec.W.i64 w (Int64.of_int (i * 3));
+    Codec.W.bool w b;
+    Codec.W.float w f;
+    Codec.W.string w s;
+    Codec.W.int_array w a;
+    Codec.W.option w Codec.W.int o;
+    Codec.W.list w Codec.W.int l;
+    let r = Codec.R.of_string (Codec.W.contents w) in
+    Alcotest.(check int) "int" i (Codec.R.int r);
+    Alcotest.(check int64) "i64" (Int64.of_int (i * 3)) (Codec.R.i64 r);
+    Alcotest.(check bool) "bool" b (Codec.R.bool r);
+    Alcotest.(check (float 0.0)) "float" f (Codec.R.float r);
+    Alcotest.(check string) "string" s (Codec.R.string r);
+    Alcotest.(check (array int)) "int_array" a (Codec.R.int_array r);
+    Alcotest.(check (option int)) "option" o (Codec.R.option r Codec.R.int);
+    Alcotest.(check (list int)) "list" l (Codec.R.list r Codec.R.int);
+    Codec.R.expect_end r
+  done
+
+let test_codec_rejects_trailing_bytes () =
+  let w = Codec.W.create () in
+  Codec.W.int w 7;
+  let r = Codec.R.of_string (Codec.W.contents w ^ "x") in
+  ignore (Codec.R.int r);
+  match Codec.R.expect_end r with
+  | () -> Alcotest.fail "trailing garbage accepted"
+  | exception Codec.Corrupt _ -> ()
+
+(* ---- snapshot framing ------------------------------------------------ *)
+
+let sample_snapshot () =
+  { Snapshot.kind = "order-bb"; payload = "some \x00binary\xff payload" }
+
+let test_snapshot_roundtrip () =
+  let rng = Spatial_data.Rng.create 99 in
+  for _ = 1 to 100 do
+    let bin n =
+      String.init (Spatial_data.Rng.int rng n) (fun _ ->
+          Char.chr (Spatial_data.Rng.int rng 256))
+    in
+    let t = { Snapshot.kind = bin 12; payload = bin 200 } in
+    match Snapshot.of_string (Snapshot.to_string t) with
+    | Ok t' ->
+        Alcotest.(check string) "kind" t.Snapshot.kind t'.Snapshot.kind;
+        Alcotest.(check string) "payload" t.Snapshot.payload t'.Snapshot.payload
+    | Error e -> Alcotest.failf "round-trip failed: %s" (Snapshot.error_to_string e)
+  done
+
+(* Cutting the file at every byte boundary must produce a typed error —
+   by construction of the test, never an exception. *)
+let test_truncation_every_byte () =
+  let s = Snapshot.to_string (sample_snapshot ()) in
+  for len = 0 to String.length s - 1 do
+    match Snapshot.of_string (String.sub s 0 len) with
+    | Error
+        ( Snapshot.Truncated | Snapshot.Bad_magic
+        | Snapshot.Bad_checksum _ | Snapshot.Version_mismatch _ ) ->
+        ()
+    | other ->
+        Alcotest.failf "truncation at byte %d not rejected: %s" len
+          (err_str other)
+  done
+
+(* Flipping any single bit anywhere in the file must be detected: the
+   magic/version/crc fields by their own checks, everything after them
+   by the CRC. *)
+let test_single_bit_corruption () =
+  let s = Snapshot.to_string (sample_snapshot ()) in
+  for byte = 0 to String.length s - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string s in
+      Bytes.set b byte (Char.chr (Char.code s.[byte] lxor (1 lsl bit)));
+      match Snapshot.of_string (Bytes.to_string b) with
+      | Error _ -> ()
+      | Ok _ ->
+          Alcotest.failf "bit %d of byte %d flipped undetected" bit byte
+    done
+  done
+
+let test_version_mismatch_is_typed () =
+  let s = Snapshot.to_string (sample_snapshot ()) in
+  let b = Bytes.of_string s in
+  (* version field: little-endian word at offset 8 *)
+  Bytes.set b 8 (Char.chr (Snapshot.version + 1));
+  match Snapshot.of_string (Bytes.to_string b) with
+  | Error (Snapshot.Version_mismatch { expected; got }) ->
+      Alcotest.(check int) "expected" Snapshot.version expected;
+      Alcotest.(check int) "got" (Snapshot.version + 1) got
+  | other -> Alcotest.failf "future version accepted: %s" (err_str other)
+
+(* ---- per-kind payload round-trips ------------------------------------ *)
+
+let snap_of kind payload = { Snapshot.kind; payload }
+
+let test_order_bb_payload_roundtrip () =
+  let inst = inst () in
+  let n = S.n_vertices inst in
+  let starts = Ivc.Heuristics.gll inst in
+  let c =
+    {
+      (Order_bb.checkpoint_of_incumbent inst ~lb:3
+         ~best:(Util.maxcolor inst starts)
+         ~best_starts:starts)
+      with
+      Order_bb.nodes = 12345;
+      path = [| 0; n - 1; 2 |];
+    }
+  in
+  let snap = snap_of Order_bb.kind (Order_bb.encode_checkpoint c) in
+  match
+    Result.bind
+      (Snapshot.of_string (Snapshot.to_string snap))
+      (Order_bb.decode_checkpoint ~inst)
+  with
+  | Ok c' ->
+      Alcotest.(check int) "lb" c.Order_bb.lb c'.Order_bb.lb;
+      Alcotest.(check int) "best" c.Order_bb.best c'.Order_bb.best;
+      Alcotest.(check int) "nodes" c.Order_bb.nodes c'.Order_bb.nodes;
+      Alcotest.(check (array int)) "starts" c.Order_bb.best_starts
+        c'.Order_bb.best_starts;
+      Alcotest.(check (array int)) "path" c.Order_bb.path c'.Order_bb.path
+  | Error e -> Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e)
+
+let test_cp_payload_roundtrip () =
+  let inst = inst () in
+  let starts = Ivc.Heuristics.gll inst in
+  List.iter
+    (fun probe ->
+      let c =
+        {
+          Cp.fp = Snapshot.fingerprint inst;
+          lo = 4;
+          hi = 9;
+          best_starts = starts;
+          probe;
+        }
+      in
+      let snap = snap_of Cp.kind (Cp.encode_checkpoint c) in
+      match
+        Result.bind
+          (Snapshot.of_string (Snapshot.to_string snap))
+          (Cp.decode_checkpoint ~inst)
+      with
+      | Ok c' ->
+          Alcotest.(check int) "lo" c.Cp.lo c'.Cp.lo;
+          Alcotest.(check int) "hi" c.Cp.hi c'.Cp.hi;
+          Alcotest.(check bool) "probe" true (c'.Cp.probe = c.Cp.probe)
+      | Error e ->
+          Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e))
+    [ None; Some { Cp.k = 6; nodes = 77; path = [| 0; 3; 1; 2 |] } ]
+
+let test_iterated_payload_roundtrip () =
+  let inst = inst () in
+  let passes = [ It.Reverse; It.Cliques; It.Restart ] in
+  let starts = Ivc.Heuristics.gll inst in
+  let c =
+    {
+      It.fp = Snapshot.fingerprint inst;
+      passes = Array.of_list (List.map It.pass_tag passes);
+      round = 2;
+      pass_idx = 1;
+      round_before = Util.maxcolor inst starts + 1;
+      best = starts;
+      cur = starts;
+    }
+  in
+  let snap = snap_of It.kind (It.encode_checkpoint c) in
+  match
+    Result.bind
+      (Snapshot.of_string (Snapshot.to_string snap))
+      (It.decode_checkpoint ~inst ~passes)
+  with
+  | Ok c' ->
+      Alcotest.(check int) "round" c.It.round c'.It.round;
+      Alcotest.(check int) "pass_idx" c.It.pass_idx c'.It.pass_idx;
+      Alcotest.(check (array int)) "best" c.It.best c'.It.best
+  | Error e -> Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e)
+
+let test_driver_seed_roundtrip () =
+  let inst = inst () in
+  let starts = Ivc.Heuristics.gll inst in
+  List.iter
+    (fun prov ->
+      let s =
+        {
+          Driver.fp = Snapshot.fingerprint inst;
+          lb = 5;
+          starts;
+          prov;
+          proven = false;
+        }
+      in
+      let snap = snap_of Driver.driver_kind (Driver.encode_seed s) in
+      match
+        Result.bind
+          (Snapshot.of_string (Snapshot.to_string snap))
+          (Driver.decode_resume ~inst)
+      with
+      | Ok (Driver.Seed s') ->
+          Alcotest.(check int) "lb" s.Driver.lb s'.Driver.lb;
+          Alcotest.(check (array int)) "starts" s.Driver.starts s'.Driver.starts;
+          Alcotest.(check string) "provenance"
+            (Driver.provenance_to_string s.Driver.prov)
+            (Driver.provenance_to_string s'.Driver.prov)
+      | Ok _ -> Alcotest.fail "driver snapshot decoded to a non-seed resume"
+      | Error e ->
+          Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e))
+    [
+      Driver.Fallback;
+      Driver.Heuristic "BDP";
+      Driver.Resumed (Driver.Heuristic "BDP+IGR");
+      Driver.Resumed (Driver.Resumed Driver.Exact);
+    ]
+
+let test_fuzz_payload_roundtrip () =
+  let c =
+    {
+      Fuzz.seed = 1913;
+      next_index = 250;
+      instances = 250;
+      oracle_runs = 1100;
+      n_failures = 2;
+      elapsed_base = 3.5;
+      per_oracle = [ ("cert", 250, 0); ("kernel-diff", 250, 2) ];
+    }
+  in
+  let snap = snap_of Fuzz.kind (Fuzz.encode_checkpoint c) in
+  (match
+     Result.bind
+       (Snapshot.of_string (Snapshot.to_string snap))
+       (Fuzz.decode_checkpoint ~seed:1913)
+   with
+  | Ok c' ->
+      Alcotest.(check int) "next_index" c.Fuzz.next_index c'.Fuzz.next_index;
+      Alcotest.(check int) "oracle_runs" c.Fuzz.oracle_runs c'.Fuzz.oracle_runs;
+      Alcotest.(check bool) "per_oracle" true
+        (c'.Fuzz.per_oracle = c.Fuzz.per_oracle)
+  | Error e -> Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e));
+  (* the same snapshot against a different campaign seed fails closed *)
+  match
+    Result.bind
+      (Snapshot.of_string (Snapshot.to_string snap))
+      (Fuzz.decode_checkpoint ~seed:1914)
+  with
+  | Error Snapshot.Instance_mismatch -> ()
+  | other -> Alcotest.failf "wrong-seed cursor accepted: %s" (err_str other)
+
+(* ---- fail-closed dispatch -------------------------------------------- *)
+
+let test_wrong_kind_and_instance () =
+  let inst = inst () in
+  let starts = Ivc.Heuristics.gll inst in
+  let bb =
+    Order_bb.checkpoint_of_incumbent inst ~lb:3
+      ~best:(Util.maxcolor inst starts) ~best_starts:starts
+  in
+  let bb_snap = snap_of Order_bb.kind (Order_bb.encode_checkpoint bb) in
+  (* wrong solver: an order-bb snapshot handed to the CP decoder *)
+  (match Cp.decode_checkpoint ~inst bb_snap with
+  | Error (Snapshot.Wrong_kind { expected; got }) ->
+      Alcotest.(check string) "expected" Cp.kind expected;
+      Alcotest.(check string) "got" Order_bb.kind got
+  | other -> Alcotest.failf "wrong kind accepted: %s" (err_str other));
+  (* wrong instance: same dims, different weights *)
+  (match Order_bb.decode_checkpoint ~inst:(other_inst ()) bb_snap with
+  | Error Snapshot.Instance_mismatch -> ()
+  | other -> Alcotest.failf "wrong instance accepted: %s" (err_str other));
+  (* out-of-range path cursor *)
+  let bad = { bb with Order_bb.path = [| S.n_vertices inst + 3 |] } in
+  (match
+     Order_bb.decode_checkpoint ~inst
+       (snap_of Order_bb.kind (Order_bb.encode_checkpoint bad))
+   with
+  | Error (Snapshot.Bad_payload _) -> ()
+  | other -> Alcotest.failf "bad path accepted: %s" (err_str other));
+  (* an unknown kind through the front-end dispatchers *)
+  (match Optimize.plan_resume ~inst (snap_of "fuzz" "x") with
+  | Error (Snapshot.Wrong_kind _) -> ()
+  | other -> Alcotest.failf "fuzz kind accepted by exact: %s" (err_str other));
+  match Driver.decode_resume ~inst (snap_of "nonsense" "x") with
+  | Error (Snapshot.Wrong_kind _) -> ()
+  | other -> Alcotest.failf "nonsense kind accepted: %s" (err_str other)
+
+let test_plan_resume_dispatch () =
+  let inst = inst () in
+  let starts = Ivc.Heuristics.gll inst in
+  let bb =
+    Order_bb.checkpoint_of_incumbent inst ~lb:3
+      ~best:(Util.maxcolor inst starts) ~best_starts:starts
+  in
+  (match
+     Optimize.plan_resume ~inst
+       (snap_of Order_bb.kind (Order_bb.encode_checkpoint bb))
+   with
+  | Ok (Optimize.Order_bb_plan _) -> ()
+  | other -> Alcotest.failf "order-bb did not dispatch: %s" (err_str other));
+  let cp =
+    { Cp.fp = Snapshot.fingerprint inst; lo = 4; hi = 9;
+      best_starts = starts; probe = None }
+  in
+  match
+    Optimize.plan_resume ~inst (snap_of Cp.kind (Cp.encode_checkpoint cp))
+  with
+  | Ok (Optimize.Cp_plan _) -> ()
+  | other -> Alcotest.failf "cp did not dispatch: %s" (err_str other)
+
+(* ---- autosave + atomic install --------------------------------------- *)
+
+let test_autosave_cadence () =
+  with_temp @@ fun path ->
+  (* cadence 0: every tick saves, and the file always holds the newest
+     complete payload *)
+  let a = Autosave.make ~every_s:0.0 path in
+  for i = 1 to 5 do
+    Autosave.tick a ~kind:"test" (fun () -> Printf.sprintf "payload-%d" i)
+  done;
+  Alcotest.(check int) "every tick saved" 5 (Autosave.saves a);
+  (match Snapshot.load path with
+  | Ok t ->
+      Alcotest.(check string) "kind" "test" t.Snapshot.kind;
+      Alcotest.(check string) "newest payload" "payload-5" t.Snapshot.payload
+  | Error e -> Alcotest.failf "load failed: %s" (Snapshot.error_to_string e));
+  (* huge cadence: no tick is due, and the payload thunk never runs *)
+  let b = Autosave.make ~every_s:1e9 path in
+  for _ = 1 to 5 do
+    Autosave.tick b ~kind:"test" (fun () -> Alcotest.fail "thunk ran off-cadence")
+  done;
+  Alcotest.(check int) "off-cadence ticks are free" 0 (Autosave.saves b)
+
+let test_save_atomic_overwrites () =
+  with_temp @@ fun path ->
+  Spatial_data.Io.save_atomic path "first";
+  Spatial_data.Io.save_atomic path "second";
+  Alcotest.(check string) "newest content" "second"
+    (Spatial_data.Io.load path);
+  Alcotest.(check bool) "no temp left" false (Sys.file_exists (path ^ ".tmp"))
+
+let test_load_missing_is_unreadable () =
+  match Snapshot.load "/nonexistent/ivc-persist-test.snap" with
+  | Error (Snapshot.Unreadable _) -> ()
+  | other -> Alcotest.failf "missing file: %s" (err_str other)
+
+(* ---- kill-resume equivalence ----------------------------------------- *)
+
+exception Killed
+
+(* Kill the solver (by raising from the autosave hook, i.e. exactly at
+   a checkpoint boundary, the snapshot already installed) [kills] times
+   at increasing save ordinals, resuming each time, and require the
+   final status to be identical to an uninterrupted run with the same
+   cumulative budget. *)
+let test_kill_resume_order_bb () =
+  let inst = Util.random_inst2 ~seed:4242 ~x:8 ~y:8 ~bound:19 in
+  let budget = 4_000 in
+  let reference = Order_bb.solve ~node_budget:budget inst in
+  with_temp @@ fun path ->
+  let resumed = ref 0 in
+  let rec attempt resume =
+    let kill_at = !resumed + 2 in
+    let a =
+      Autosave.make ~every_s:0.0
+        ~on_save:(fun s -> if s >= kill_at && !resumed < 3 then raise Killed)
+        path
+    in
+    match Order_bb.solve ~node_budget:budget ~autosave:a ?resume inst with
+    | status -> status
+    | exception Killed -> (
+        incr resumed;
+        match
+          Result.bind (Snapshot.load path) (Order_bb.decode_checkpoint ~inst)
+        with
+        | Ok c -> attempt (Some c)
+        | Error e ->
+            Alcotest.failf "reload after kill %d failed: %s" !resumed
+              (Snapshot.error_to_string e))
+  in
+  let final = attempt None in
+  Alcotest.(check bool) "was killed at least once" true (!resumed >= 1);
+  Alcotest.(check bool) "same optimality" (Order_bb.is_optimal reference)
+    (Order_bb.is_optimal final);
+  Alcotest.(check int) "same lower bound"
+    (Order_bb.lower_bound_of reference)
+    (Order_bb.lower_bound_of final);
+  Alcotest.(check int) "same upper bound"
+    (Order_bb.upper_bound_of reference)
+    (Order_bb.upper_bound_of final);
+  Util.check_valid inst (Order_bb.starts_of final)
+
+let test_kill_resume_iterated () =
+  let inst = Util.random_inst2 ~seed:4243 ~x:9 ~y:9 ~bound:15 in
+  let stacked, _ = Ivc.Special.color_clique ~w:(inst : S.t).w in
+  let passes = [ It.Reverse; It.Cliques; It.Restart ] in
+  let reference = It.run inst stacked ~passes in
+  with_temp @@ fun path ->
+  let killed = ref false in
+  let final =
+    let a =
+      Autosave.make ~every_s:0.0
+        ~on_save:(fun s -> if s = 2 then raise Killed)
+        path
+    in
+    match It.run inst stacked ~passes ~autosave:a with
+    | r -> r
+    | exception Killed -> (
+        killed := true;
+        match
+          Result.bind (Snapshot.load path)
+            (It.decode_checkpoint ~inst ~passes)
+        with
+        | Ok c -> It.run inst stacked ~passes ~resume:c
+        | Error e ->
+            Alcotest.failf "reload failed: %s" (Snapshot.error_to_string e))
+  in
+  Alcotest.(check bool) "was killed" true !killed;
+  Util.check_valid inst final;
+  Alcotest.(check int) "same maxcolor after resume"
+    (Util.maxcolor inst reference)
+    (Util.maxcolor inst final)
+
+let test_kill_resume_fuzz () =
+  let oracles = [ Ivc_check.Oracles.cert ] in
+  let run_args = (123, 60) in
+  let seed, max_instances = run_args in
+  let reference =
+    Fuzz.run ~seed ~budget_s:60.0 ~max_instances ~oracles ()
+  in
+  with_temp @@ fun path ->
+  let killed = ref false in
+  let report =
+    let a =
+      Autosave.make ~every_s:0.0
+        ~on_save:(fun s -> if s = 20 then raise Killed)
+        path
+    in
+    match Fuzz.run ~seed ~budget_s:60.0 ~max_instances ~oracles ~autosave:a ()
+    with
+    | r -> r
+    | exception Killed -> (
+        killed := true;
+        match
+          Result.bind (Snapshot.load path) (Fuzz.decode_checkpoint ~seed)
+        with
+        | Ok c ->
+            Fuzz.run ~seed ~budget_s:60.0 ~max_instances ~oracles ~resume:c ()
+        | Error e ->
+            Alcotest.failf "reload failed: %s" (Snapshot.error_to_string e))
+  in
+  Alcotest.(check bool) "was killed" true !killed;
+  Alcotest.(check bool) "resumed flag" true report.Fuzz.resumed;
+  Alcotest.(check int) "cumulative instances" reference.Fuzz.instances
+    report.Fuzz.instances;
+  Alcotest.(check int) "cumulative oracle runs" reference.Fuzz.oracle_runs
+    report.Fuzz.oracle_runs;
+  Alcotest.(check bool) "per-oracle counters" true
+    (reference.Fuzz.per_oracle = report.Fuzz.per_oracle)
+
+(* The crash-resume oracle itself (fault-plan-driven kills inside the
+   fuzz harness) on a few instances of the deterministic stream. *)
+let test_crash_resume_oracle () =
+  for index = 0 to 5 do
+    let inst = Ivc_check.Gen.instance ~seed:31 ~index in
+    ignore (Util.oracle_holds Ivc_check.Oracles.crash_resume inst)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec trailing bytes" `Quick
+      test_codec_rejects_trailing_bytes;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "truncation at every byte" `Quick
+      test_truncation_every_byte;
+    Alcotest.test_case "single-bit corruption" `Quick
+      test_single_bit_corruption;
+    Alcotest.test_case "version mismatch" `Quick test_version_mismatch_is_typed;
+    Alcotest.test_case "order-bb payload round-trip" `Quick
+      test_order_bb_payload_roundtrip;
+    Alcotest.test_case "cp payload round-trip" `Quick test_cp_payload_roundtrip;
+    Alcotest.test_case "iterated payload round-trip" `Quick
+      test_iterated_payload_roundtrip;
+    Alcotest.test_case "driver seed round-trip" `Quick
+      test_driver_seed_roundtrip;
+    Alcotest.test_case "fuzz cursor round-trip" `Quick
+      test_fuzz_payload_roundtrip;
+    Alcotest.test_case "wrong kind/instance fail closed" `Quick
+      test_wrong_kind_and_instance;
+    Alcotest.test_case "plan_resume dispatch" `Quick test_plan_resume_dispatch;
+    Alcotest.test_case "autosave cadence" `Quick test_autosave_cadence;
+    Alcotest.test_case "save_atomic overwrites" `Quick
+      test_save_atomic_overwrites;
+    Alcotest.test_case "missing file is Unreadable" `Quick
+      test_load_missing_is_unreadable;
+    Alcotest.test_case "kill-resume: order-bb" `Quick test_kill_resume_order_bb;
+    Alcotest.test_case "kill-resume: iterated" `Quick test_kill_resume_iterated;
+    Alcotest.test_case "kill-resume: fuzz campaign" `Quick
+      test_kill_resume_fuzz;
+    Alcotest.test_case "crash-resume oracle" `Slow test_crash_resume_oracle;
+  ]
