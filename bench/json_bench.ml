@@ -15,13 +15,17 @@
 
    Schema 4 adds the per-instance portfolio "resumed" flag and the
    snapshot-write counters to the robustness summary, so the kill-
-   resume CI job's artifacts are self-describing. *)
+   resume CI job's artifacts are self-describing.
+
+   Schema 5 adds the "server" block: a short self-hosted client burst
+   against an in-process solve daemon (see server_bench.ml), reporting
+   request counts, latency percentiles, cache hit rate and sheds. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 4
+let schema_version = 5
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or
@@ -54,7 +58,7 @@ let portfolio_of ~id inst =
         (Ivc_resilient.Cert.to_string e);
       exit 1
 
-let document ~scale ~subsample ~reps ~perf runs ids portfolios =
+let document ~scale ~subsample ~reps ~perf ~server runs ids portfolios =
   let algo_names = Array.to_list Common.algo_names in
   let instances =
     List.map2
@@ -180,6 +184,7 @@ let document ~scale ~subsample ~reps ~perf runs ids portfolios =
       ("summary", summary);
       ("robustness", robustness);
       ("perf", Perf.to_json perf);
+      ("server", server);
       ("metrics", Ivc_obs.Export.metrics ());
     ]
 
@@ -260,7 +265,8 @@ let run ?(out = "BENCH_PR.json") ?baseline ?perf_baseline ?(scale = 0.05)
       entries ids
   in
   let perf = Perf.measure ~reps () in
-  let doc = document ~scale ~subsample ~reps ~perf runs ids portfolios in
+  let server = Server_bench.summary () in
+  let doc = document ~scale ~subsample ~reps ~perf ~server runs ids portfolios in
   Ivc_obs.set_enabled false;
   let oc = open_out out in
   Fun.protect

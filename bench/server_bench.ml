@@ -1,0 +1,123 @@
+(* Self-hosted serving benchmark for `bench json`.
+
+   Boots an in-process Ivc_server on a throwaway Unix socket, fires a
+   short concurrent client burst at it (mixed 2D/3D, every third
+   request repeating the first instance so the fingerprint cache gets
+   exercised), and folds the result into the bench document: request
+   count, latency percentiles, cache hit rate and shed counts. The
+   burst is sized for CI — small instances, bounded exact budget, no
+   improvement stage — so the whole block costs well under a second.
+   Every solution is re-certified client-side; an uncertified answer
+   fails the bench run loudly, like any other correctness bug. *)
+
+module S = Ivc_grid.Stencil
+module Server = Ivc_server.Server
+module Proto = Ivc_server.Proto
+module Client = Ivc_server.Client
+module Json = Ivc_obs.Json
+
+let total_requests = 12
+let connections = 4
+let repeat_every = 3
+
+let opts =
+  {
+    Proto.deadline_s = Some 10.0;
+    priority = 10;
+    budget = Some 200;
+    improve = false;
+    use_cache = true;
+  }
+
+let inst_of i =
+  let i = if i mod repeat_every = 0 then 0 else i in
+  let rng = Spatial_data.Rng.create (4242 + (1000 * i)) in
+  let f () = Spatial_data.Rng.int rng 6 in
+  if i mod 2 = 1 then S.init3 ~x:5 ~y:5 ~z:3 (fun _ _ _ -> f ())
+  else S.init2 ~x:10 ~y:10 (fun _ _ -> f ())
+
+let percentile latencies p =
+  match List.sort compare latencies with
+  | [] -> 0.0
+  | l ->
+      let n = List.length l in
+      let k = min (n - 1) (int_of_float (p *. Float.of_int n)) in
+      1000.0 *. List.nth l k
+
+let summary () =
+  let path = Filename.temp_file "ivc_bench" ".sock" in
+  let cfg =
+    {
+      (Server.default_config (Server.Unix_sock path)) with
+      Server.workers = 2;
+      queue_capacity = 16;
+      cache_capacity = 16;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let lock = Mutex.create () in
+  let next = ref 0 in
+  let solved = ref 0 and cache_hits = ref 0 and sheds = ref 0 in
+  let errors = ref 0 in
+  let latencies = ref [] in
+  let note f =
+    Mutex.lock lock;
+    f ();
+    Mutex.unlock lock
+  in
+  let worker () =
+    let c = Client.connect (Server.Unix_sock path) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let rec go () =
+      let i =
+        Mutex.lock lock;
+        let i = !next in
+        next := i + 1;
+        Mutex.unlock lock;
+        i
+      in
+      if i < total_requests then begin
+        let inst = inst_of i in
+        let t0 = Ivc_obs.now_ns () in
+        (match Client.solve c ~opts inst with
+        | Ok (Proto.Solution s) ->
+            let dt = Ivc_obs.elapsed_s ~since:t0 in
+            ignore (Ivc_resilient.Cert.assert_ok inst s.Proto.starts);
+            note (fun () ->
+                incr solved;
+                if s.Proto.cache_hit then incr cache_hits;
+                latencies := dt :: !latencies)
+        | Ok (Proto.Shed _) -> note (fun () -> incr sheds)
+        | Ok _ | Error _ -> note (fun () -> incr errors));
+        go ()
+      end
+    in
+    go ()
+  in
+  let threads = List.init connections (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  if !errors > 0 then begin
+    Format.printf "bench json: %d server burst requests errored@." !errors;
+    exit 1
+  end;
+  let hit_rate =
+    if !solved = 0 then 0.0
+    else Float.of_int !cache_hits /. Float.of_int !solved
+  in
+  Json.Obj
+    [
+      ("requests", Json.Num (Float.of_int total_requests));
+      ("connections", Json.Num (Float.of_int connections));
+      ("workers", Json.Num (Float.of_int cfg.Server.workers));
+      ("solved", Json.Num (Float.of_int !solved));
+      ("cache_hits", Json.Num (Float.of_int !cache_hits));
+      ("cache_hit_rate", Json.Num hit_rate);
+      ("sheds", Json.Num (Float.of_int !sheds));
+      ("p50_ms", Json.Num (percentile !latencies 0.50));
+      ("p95_ms", Json.Num (percentile !latencies 0.95));
+    ]

@@ -18,7 +18,9 @@ let dataset_of_name scale = function
   | "fluanimal" -> Spatial_data.Datasets.flu_animal ~scale ()
   | "pollen" -> Spatial_data.Datasets.pollen ~scale ()
   | "pollenus" -> Spatial_data.Datasets.pollen_us ~scale ()
-  | other -> failwith ("unknown dataset: " ^ other ^ " (dengue|fluanimal|pollen|pollenus)")
+  | other ->
+      failwith
+        ("unknown dataset: " ^ other ^ " (dengue|fluanimal|pollen|pollenus)")
 
 let plane_of_name = function
   | "xy" -> Spatial_data.Project.XY
@@ -47,69 +49,106 @@ let make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound =
 (* ---- common options ------------------------------------------------- *)
 
 let dataset_t =
-  Arg.(value & opt (some string) None & info [ "dataset"; "d" ] ~docv:"NAME"
-         ~doc:"Dataset: dengue, fluanimal, pollen or pollenus. Without it, \
-               random weights are used.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dataset"; "d" ] ~docv:"NAME"
+        ~doc:
+          "Dataset: dengue, fluanimal, pollen or pollenus. Without it, \
+           random weights are used.")
 
 let scale_t =
-  Arg.(value & opt float 0.2 & info [ "scale" ] ~docv:"S"
-         ~doc:"Synthetic dataset size multiplier.")
+  Arg.(
+    value & opt float 0.2
+    & info [ "scale" ] ~docv:"S" ~doc:"Synthetic dataset size multiplier.")
 
 let plane_t =
-  Arg.(value & opt string "xy" & info [ "plane"; "p" ] ~docv:"P"
-         ~doc:"2D projection plane: xy, xt or yt.")
+  Arg.(
+    value & opt string "xy"
+    & info [ "plane"; "p" ] ~docv:"P"
+        ~doc:"2D projection plane: xy, xt or yt.")
 
-let x_t = Arg.(value & opt int 16 & info [ "x"; "cols" ] ~docv:"X" ~doc:"Grid columns.")
-let y_t = Arg.(value & opt int 16 & info [ "y"; "rows" ] ~docv:"Y" ~doc:"Grid rows.")
+let x_t =
+  Arg.(
+    value & opt int 16 & info [ "x"; "cols" ] ~docv:"X" ~doc:"Grid columns.")
+
+let y_t =
+  Arg.(value & opt int 16 & info [ "y"; "rows" ] ~docv:"Y" ~doc:"Grid rows.")
 
 let z_t =
-  Arg.(value & opt (some int) None & info [ "z"; "layers" ] ~docv:"Z"
-         ~doc:"Grid layers; makes the instance a 3D 27-pt stencil.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "z"; "layers" ] ~docv:"Z"
+        ~doc:"Grid layers; makes the instance a 3D 27-pt stencil.")
 
-let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
 let bound_t =
-  Arg.(value & opt int 20 & info [ "max-weight" ] ~docv:"W"
-         ~doc:"Maximum random cell weight.")
+  Arg.(
+    value & opt int 20
+    & info [ "max-weight" ] ~docv:"W" ~doc:"Maximum random cell weight.")
 
 let from_file_t =
-  Arg.(value & opt (some string) None & info [ "from-file"; "f" ] ~docv:"PATH"
-         ~doc:"Load the instance from a file in the ivc2/ivc3 text format \
-               (see the io module) instead of generating one.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from-file"; "f" ] ~docv:"PATH"
+        ~doc:
+          "Load the instance from a file in the ivc2/ivc3 text format (see \
+           the io module) instead of generating one.")
 
 let instance_t =
   let combine from_file dataset scale plane x y z seed bound =
     make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound
   in
-  Term.(const combine $ from_file_t $ dataset_t $ scale_t $ plane_t $ x_t $ y_t
-        $ z_t $ seed_t $ bound_t)
+  Term.(
+    const combine $ from_file_t $ dataset_t $ scale_t $ plane_t $ x_t $ y_t
+    $ z_t $ seed_t $ bound_t)
 
 (* ---- observability options ------------------------------------------- *)
 
 let trace_t =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Record tracing spans and write Chrome trace-event JSON to \
-               $(docv); load it in chrome://tracing or ui.perfetto.dev.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record tracing spans and write Chrome trace-event JSON to \
+           $(docv); load it in chrome://tracing or ui.perfetto.dev.")
 
 let metrics_t =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Record counters, gauges and span aggregates and write a flat \
-               metrics JSON document to $(docv).")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record counters, gauges and span aggregates and write a flat \
+           metrics JSON document to $(docv).")
 
 let obs_t = Term.(const (fun t m -> (t, m)) $ trace_t $ metrics_t)
 
 (* ---- resilience options ----------------------------------------------- *)
 
 let deadline_t =
-  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
-         ~doc:"Wall-clock budget in seconds (monotonic). The command \
-               returns the best certified result found in time.")
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget in seconds (monotonic). The command returns \
+           the best certified result found in time.")
 
 let faults_t =
-  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
-         ~doc:"Deterministic fault-injection plan, e.g. \
-               'seed=7,crash=0.2,delay=0.05:0.002,lost=0.1'. Defaults to \
-               \\$(b,IVC_FAULT_PLAN) when set.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault-injection plan, e.g. \
+           'seed=7,crash=0.2,delay=0.05:0.002,lost=0.1'. Defaults to \
+           \\$(b,IVC_FAULT_PLAN) when set.")
 
 let fault_plan_of spec =
   match spec with
@@ -122,24 +161,33 @@ let fault_plan_of spec =
 (* ---- checkpointing options -------------------------------------------- *)
 
 let checkpoint_t =
-  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
-         ~doc:"Periodically snapshot solver state to $(docv) (atomic \
-               install: temp + fsync + rename), enabling $(b,--resume) \
-               after a crash or kill -9. Removed on successful \
-               completion.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically snapshot solver state to $(docv) (atomic install: \
+           temp + fsync + rename), enabling $(b,--resume) after a crash or \
+           kill -9. Removed on successful completion.")
 
 let every_t =
-  Arg.(value & opt float 5.0 & info [ "checkpoint-every-s" ] ~docv:"S"
-         ~doc:"Checkpoint cadence in seconds (monotonic clock). 0 saves \
-               at every solver poll.")
+  Arg.(
+    value & opt float 5.0
+    & info [ "checkpoint-every-s" ] ~docv:"S"
+        ~doc:
+          "Checkpoint cadence in seconds (monotonic clock). 0 saves at \
+           every solver poll.")
 
 let resume_t =
-  Arg.(value & flag & info [ "resume" ]
-         ~doc:"Resume from the $(b,--checkpoint) file when it holds a \
-               valid snapshot for this instance. Any problem with the \
-               file (missing, truncated, corrupt, wrong solver, wrong \
-               instance) is reported and the solve starts fresh — a bad \
-               snapshot can cost the saved progress, never correctness.")
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the $(b,--checkpoint) file when it holds a valid \
+           snapshot for this instance. Any problem with the file (missing, \
+           truncated, corrupt, wrong solver, wrong instance) is reported \
+           and the solve starts fresh — a bad snapshot can cost the saved \
+           progress, never correctness.")
 
 let autosave_of checkpoint every_s =
   Option.map (fun path -> Ivc_persist.Autosave.make ~every_s path) checkpoint
@@ -148,9 +196,7 @@ let autosave_of checkpoint every_s =
    completion is stale state, so remove it; the next run must not
    accidentally resume a finished solve. *)
 let discard_checkpoint checkpoint =
-  Option.iter
-    (fun p -> if Sys.file_exists p then Sys.remove p)
-    checkpoint
+  Option.iter (fun p -> if Sys.file_exists p then Sys.remove p) checkpoint
 
 (* Load + decode the checkpoint file, failing closed: every decode
    error degrades to a fresh solve with the typed reason printed. *)
@@ -159,8 +205,7 @@ let load_resume checkpoint resume decode =
   else
     match checkpoint with
     | None ->
-        Format.printf
-          "resume: no --checkpoint file given; starting fresh@.";
+        Format.printf "resume: no --checkpoint file given; starting fresh@.";
         None
     | Some path -> (
         match Result.bind (Ivc_persist.Snapshot.load path) decode with
@@ -202,11 +247,14 @@ let with_obs (trace, metrics) f =
 
 let color_cmd =
   let algo_t =
-    Arg.(value & opt string "all" & info [ "algo"; "a" ] ~docv:"A"
-           ~doc:"Algorithm (GLL GZO GLF GKF SGK BD BDP) or 'all'.")
+    Arg.(
+      value & opt string "all"
+      & info [ "algo"; "a" ] ~docv:"A"
+          ~doc:"Algorithm (GLL GZO GLF GKF SGK BD BDP) or 'all'.")
   in
   let show_t =
-    Arg.(value & flag & info [ "show" ] ~doc:"Print the coloring grid (2D only).")
+    Arg.(
+      value & flag & info [ "show" ] ~doc:"Print the coloring grid (2D only).")
   in
   let run inst algo show obs =
     with_obs obs @@ fun () ->
@@ -230,8 +278,8 @@ let color_cmd =
         in
         let dt = Ivc_obs.elapsed_s ~since:t0 in
         let mc = Ivc.Coloring.assert_valid inst starts in
-        Format.printf "%-4s maxcolor %6d  (%.4f of LB)  %.1f ms@." a.Ivc.Algo.name
-          mc
+        Format.printf "%-4s maxcolor %6d  (%.4f of LB)  %.1f ms@."
+          a.Ivc.Algo.name mc
           (Float.of_int mc /. Float.of_int (max 1 lb))
           (1000.0 *. dt);
         if show && not (S.is_3d inst) then
@@ -245,18 +293,23 @@ let color_cmd =
 
 let exact_cmd =
   let budget_t =
-    Arg.(value & opt int 200_000 & info [ "budget" ] ~docv:"N"
-           ~doc:"Branch-and-bound node budget.")
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"N" ~doc:"Branch-and-bound node budget.")
   in
   let time_t =
-    Arg.(value & opt float 30.0 & info [ "time-limit" ] ~docv:"S"
-           ~doc:"CPU time limit in seconds.")
+    Arg.(
+      value & opt float 30.0
+      & info [ "time-limit" ] ~docv:"S" ~doc:"CPU time limit in seconds.")
   in
   let portfolio_t =
-    Arg.(value & flag & info [ "portfolio" ]
-           ~doc:"Route through the resilient portfolio driver (exact, then \
-                 heuristics, then greedy fallback) with a certificate gate. \
-                 Implied by $(b,--deadline).")
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Route through the resilient portfolio driver (exact, then \
+             heuristics, then greedy fallback) with a certificate gate. \
+             Implied by $(b,--deadline).")
   in
   let run inst budget time_limit_s deadline portfolio checkpoint every_s
       resume obs =
@@ -305,27 +358,34 @@ let exact_cmd =
         o.Ivc_exact.Optimize.nodes_hint
         (if o.Ivc_exact.Optimize.resumed then ", resumed" else "");
       if o.Ivc_exact.Optimize.proven_optimal then
-        Format.printf "proven optimal: maxcolor* = %d@." o.Ivc_exact.Optimize.upper_bound
+        Format.printf "proven optimal: maxcolor* = %d@."
+          o.Ivc_exact.Optimize.upper_bound
       else Format.printf "gap not closed within budget@."
     end
   in
   Cmd.v (Cmd.info "exact" ~doc:"Solve an instance exactly (Gurobi stand-in)")
-    Term.(const run $ instance_t $ budget_t $ time_t $ deadline_t $ portfolio_t
-          $ checkpoint_t $ every_t $ resume_t $ obs_t)
+    Term.(
+      const run $ instance_t $ budget_t $ time_t $ deadline_t $ portfolio_t
+      $ checkpoint_t $ every_t $ resume_t $ obs_t)
 
 (* ---- catalog ----------------------------------------------------------- *)
 
 let catalog_cmd =
-  let three_t = Arg.(value & flag & info [ "3d" ] ~doc:"3D catalog instead of 2D.") in
+  let three_t =
+    Arg.(value & flag & info [ "3d" ] ~doc:"3D catalog instead of 2D.")
+  in
   let sub_t =
-    Arg.(value & opt int 50 & info [ "subsample" ] ~docv:"K" ~doc:"Keep 1 in K entries.")
+    Arg.(
+      value & opt int 50
+      & info [ "subsample" ] ~docv:"K" ~doc:"Keep 1 in K entries.")
   in
   let run scale three subsample =
     let entries =
       if three then Spatial_data.Catalog.entries_3d ~scale ~subsample ()
       else Spatial_data.Catalog.entries_2d ~scale ~subsample ()
     in
-    Format.printf "%d catalog entries (subsample 1/%d):@." (List.length entries) subsample;
+    Format.printf "%d catalog entries (subsample 1/%d):@."
+      (List.length entries) subsample;
     List.iter
       (fun e -> Format.printf "  %s@." (Spatial_data.Catalog.describe e))
       entries
@@ -337,17 +397,24 @@ let catalog_cmd =
 
 let milp_cmd =
   let run inst = print_string (Ivc_exact.Milp.to_string inst) in
-  Cmd.v (Cmd.info "milp" ~doc:"Emit the instance's MILP in LP format (Sec VI-D)")
+  Cmd.v
+    (Cmd.info "milp" ~doc:"Emit the instance's MILP in LP format (Sec VI-D)")
     Term.(const run $ instance_t)
 
 (* ---- reduce --------------------------------------------------------------- *)
 
 let reduce_cmd =
-  let n_t = Arg.(value & opt int 4 & info [ "vars"; "n" ] ~docv:"N" ~doc:"Variables.") in
-  let m_t = Arg.(value & opt int 3 & info [ "clauses"; "m" ] ~docv:"M" ~doc:"Clauses.") in
+  let n_t =
+    Arg.(value & opt int 4 & info [ "vars"; "n" ] ~docv:"N" ~doc:"Variables.")
+  in
+  let m_t =
+    Arg.(value & opt int 3 & info [ "clauses"; "m" ] ~docv:"M" ~doc:"Clauses.")
+  in
   let decide_t =
-    Arg.(value & flag & info [ "decide" ]
-           ~doc:"Run the exact decision solver on the gadget (k = 14).")
+    Arg.(
+      value & flag
+      & info [ "decide" ]
+          ~doc:"Run the exact decision solver on the gadget (k = 14).")
   in
   let run n m seed decide =
     let sat = Nae3sat.Instance.random ~seed ~n ~m in
@@ -361,7 +428,8 @@ let reduce_cmd =
       match Ivc_exact.Cp.decide inst ~k:Nae3sat.Reduction.k with
       | Ivc_exact.Cp.Colorable starts ->
           let a = Nae3sat.Reduction.assignment_of_coloring sat starts in
-          Format.printf "gadget 14-colorable; extracted assignment satisfies: %b@."
+          Format.printf
+            "gadget 14-colorable; extracted assignment satisfies: %b@."
             (Nae3sat.Instance.satisfies sat a)
       | Ivc_exact.Cp.Not_colorable -> Format.printf "gadget not 14-colorable@."
       | Ivc_exact.Cp.Unknown -> Format.printf "solver budget exhausted@."
@@ -374,10 +442,14 @@ let reduce_cmd =
 
 let stkde_cmd =
   let workers_t =
-    Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Worker domains.")
+    Arg.(
+      value & opt int 4
+      & info [ "workers"; "j" ] ~docv:"P" ~doc:"Worker domains.")
   in
   let algo_t =
-    Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
+    Arg.(
+      value & opt string "BDP"
+      & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
   in
   let run dataset scale workers algo faults obs =
     with_obs obs @@ fun () ->
@@ -394,7 +466,9 @@ let stkde_cmd =
       end
       else plan
     in
-    let cloud = dataset_of_name scale (Option.value ~default:"dengue" dataset) in
+    let cloud =
+      dataset_of_name scale (Option.value ~default:"dengue" dataset)
+    in
     let bx, by, bz = (8, 8, 4) in
     let hs =
       Float.min
@@ -418,7 +492,8 @@ let stkde_cmd =
     in
     let starts = a.Ivc.Algo.run inst in
     let mc = Ivc.Coloring.assert_valid inst starts in
-    Format.printf "tasks: %s, %s maxcolor %d@." (S.describe inst) a.Ivc.Algo.name mc;
+    Format.printf "tasks: %s, %s maxcolor %d@." (S.describe inst)
+      a.Ivc.Algo.name mc;
     let seq_t0 = Unix.gettimeofday () in
     let seq = Stkde.App.density_sequential cfg in
     let seq_t = Unix.gettimeofday () -. seq_t0 in
@@ -426,51 +501,75 @@ let stkde_cmd =
       if Ivc_resilient.Faults.is_none plan then None
       else Some (Ivc_resilient.Faults.wrap plan ~n:(S.n_vertices inst))
     in
-    let par, par_t = Stkde.App.density_parallel ?wrap_task cfg ~starts ~workers in
+    let par, par_t =
+      Stkde.App.density_parallel ?wrap_task cfg ~starts ~workers
+    in
     let sched = Stkde.App.simulate cfg ~starts ~workers ~penalty:0.03 in
-    Format.printf "sequential %.3fs, parallel (%d domains) %.3fs, max density diff %.2e@."
+    Format.printf
+      "sequential %.3fs, parallel (%d domains) %.3fs, max density diff \
+       %.2e@."
       seq_t workers par_t (Stkde.App.max_diff seq par);
-    Format.printf "simulated makespan %.1f work units (critical-path bound of the coloring)@."
+    Format.printf
+      "simulated makespan %.1f work units (critical-path bound of the \
+       coloring)@."
       sched.Taskpar.Sim.makespan
   in
   Cmd.v
-    (Cmd.info "stkde" ~doc:"Run the space-time kernel density application (Sec VII)")
-    Term.(const run $ dataset_t $ scale_t $ workers_t $ algo_t $ faults_t $ obs_t)
+    (Cmd.info "stkde"
+       ~doc:"Run the space-time kernel density application (Sec VII)")
+    Term.(
+      const run $ dataset_t $ scale_t $ workers_t $ algo_t $ faults_t $ obs_t)
 
 (* ---- fuzz ------------------------------------------------------------------- *)
 
 let fuzz_cmd =
   let budget_t =
-    Arg.(value & opt float 10.0 & info [ "budget-s" ] ~docv:"S"
-           ~doc:"Wall-clock fuzzing budget in seconds (monotonic).")
+    Arg.(
+      value & opt float 10.0
+      & info [ "budget-s" ] ~docv:"S"
+          ~doc:"Wall-clock fuzzing budget in seconds (monotonic).")
   in
   let max_instances_t =
-    Arg.(value & opt (some int) None & info [ "max-instances" ] ~docv:"N"
-           ~doc:"Stop after $(docv) generated instances (default: budget \
-                 only).")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-instances" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) generated instances (default: budget only).")
   in
   let oracle_t =
-    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME"
-           ~doc:"Run only this oracle (repeatable). Default: the full \
-                 registry.")
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Run only this oracle (repeatable). Default: the full registry.")
   in
   let out_dir_t =
-    Arg.(value & opt string "fuzz-repros" & info [ "out-dir" ] ~docv:"DIR"
-           ~doc:"Directory for shrunk repro files (created on the first \
-                 failure).")
+    Arg.(
+      value & opt string "fuzz-repros"
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for shrunk repro files (created on the first \
+             failure).")
   in
   let replay_t =
-    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
-           ~doc:"Replay one repro file instead of fuzzing: run its oracle \
-                 on its instance and exit 0 (pass) or 1 (violation \
-                 reproduced).")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one repro file instead of fuzzing: run its oracle on \
+             its instance and exit 0 (pass) or 1 (violation reproduced).")
   in
   let inject_bug_t =
-    Arg.(value & flag & info [ "inject-bug" ]
-           ~doc:"Also run the kernel-diff!bug oracle: a deliberate \
-                 off-by-one applied to a scratch copy of the kernel output. \
-                 Demonstrates the catch-shrink-replay loop end to end; the \
-                 campaign is expected to fail.")
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Also run the kernel-diff!bug oracle: a deliberate off-by-one \
+             applied to a scratch copy of the kernel output. Demonstrates \
+             the catch-shrink-replay loop end to end; the campaign is \
+             expected to fail.")
   in
   let run seed budget_s max_instances oracle_names out_dir replay inject_bug
       checkpoint every_s resume obs =
@@ -503,10 +602,11 @@ let fuzz_cmd =
           @ (if inject_bug then [ Ivc_check.Oracles.kernel_diff_buggy ]
              else [])
         in
-        Format.printf "fuzz: seed %d, budget %gs, oracles: %s@." seed
-          budget_s
+        Format.printf "fuzz: seed %d, budget %gs, oracles: %s@." seed budget_s
           (String.concat " "
-             (List.map (fun (o : Ivc_check.Oracle.t) -> o.Ivc_check.Oracle.name) oracles));
+             (List.map
+                (fun (o : Ivc_check.Oracle.t) -> o.Ivc_check.Oracle.name)
+                oracles));
         let fuzz_resume =
           load_resume checkpoint resume
             (Ivc_check.Fuzz.decode_checkpoint ~seed)
@@ -549,16 +649,333 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: seeded instances, every oracle, \
              shrinking, replayable repros")
-    Term.(const run $ seed_t $ budget_t $ max_instances_t $ oracle_t
-          $ out_dir_t $ replay_t $ inject_bug_t $ checkpoint_t $ every_t
-          $ resume_t $ obs_t)
+    Term.(
+      const run $ seed_t $ budget_t $ max_instances_t $ oracle_t $ out_dir_t
+      $ replay_t $ inject_bug_t $ checkpoint_t $ every_t $ resume_t $ obs_t)
+
+(* ---- client ----------------------------------------------------------------- *)
+
+(* Talk to a running ivc_serve daemon (see bin/ivc_serve.ml): one-shot
+   solves, live metrics, graceful shutdown, and a concurrent burst
+   driver used by the CI server-smoke job and the bench server block. *)
+
+module Srv = Ivc_server.Server
+module Proto = Ivc_server.Proto
+module Client = Ivc_server.Client
+
+let sock_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix-domain socket path.")
+
+let tcp_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Daemon TCP port on 127.0.0.1 (instead of --socket).")
+
+let addr_of socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Srv.Unix_sock path
+  | None, Some port -> Srv.Tcp ("127.0.0.1", port)
+  | None, None -> Srv.Unix_sock "ivc_serve.sock"
+  | Some _, Some _ -> failwith "choose one of --socket and --tcp"
+
+let priority_t =
+  Arg.(
+    value & opt int 10
+    & info [ "priority" ] ~docv:"P" ~doc:"Request priority; lower runs first.")
+
+let no_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the server's fingerprint solution cache.")
+
+let req_budget_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "Exact-stage node budget for the request (bounds how long the \
+           server spends trying to prove optimality).")
+
+let no_improve_t =
+  Arg.(
+    value & flag
+    & info [ "no-improve" ]
+        ~doc:
+          "Skip the iterated-improvement stage (which otherwise runs until \
+           the deadline); with a small --budget this makes each request \
+           complete in milliseconds.")
+
+let print_response i = function
+  | Proto.Solution s ->
+      Format.printf
+        "response %d: maxcolor %d, lower bound %d, provenance %s, %.1f ms, \
+         cache_hit=%b%s@."
+        i s.Proto.maxcolor s.Proto.lower_bound s.Proto.provenance
+        (1000.0 *. s.Proto.elapsed_s) s.Proto.cache_hit
+        (if s.Proto.resumed then ", resumed" else "")
+  | Proto.Shed { code; depth; message } ->
+      Format.printf "response %d: shed [%s] (%d queued): %s@." i
+        (Proto.shed_code_to_string code)
+        depth message
+  | Proto.Error { code; message } ->
+      Format.printf "response %d: error [%s]: %s@." i
+        (Proto.error_code_to_string code)
+        message
+  | Proto.Pong _ | Proto.Stats_reply _ | Proto.Shutting_down ->
+      Format.printf "response %d: unexpected@." i
+
+let client_solve_cmd =
+  let repeat_t =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the same instance $(docv) times on one connection (the \
+             second and later ones exercise the server cache).")
+  in
+  let run inst socket tcp deadline priority no_cache budget no_improve repeat
+      =
+    let c = Client.connect (addr_of socket tcp) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let opts =
+      {
+        Proto.deadline_s = deadline;
+        priority;
+        budget;
+        improve = not no_improve;
+        use_cache = not no_cache;
+      }
+    in
+    let failures = ref 0 in
+    for i = 1 to repeat do
+      match Client.solve c ~opts inst with
+      | Ok (Proto.Solution s as r) ->
+          (* client-side certification: trust, then verify *)
+          let mc = Ivc_resilient.Cert.assert_ok inst s.Proto.starts in
+          assert (mc = s.Proto.maxcolor);
+          print_response i r
+      | Ok r ->
+          print_response i r;
+          incr failures
+      | Error m ->
+          Format.eprintf "request %d failed: %s@." i m;
+          incr failures
+    done;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Submit one instance to a running daemon")
+    Term.(
+      const run $ instance_t $ sock_t $ tcp_t $ deadline_t $ priority_t
+      $ no_cache_t $ req_budget_t $ no_improve_t $ repeat_t)
+
+let client_ping_cmd =
+  let run socket tcp =
+    let c = Client.connect (addr_of socket tcp) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.ping c with
+    | Ok v -> Format.printf "pong (protocol version %d)@." v
+    | Error m ->
+        Format.eprintf "ping failed: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"Round-trip to a running daemon")
+    Term.(const run $ sock_t $ tcp_t)
+
+let client_stats_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the metrics JSON to $(docv) instead of stdout.")
+  in
+  let run socket tcp out =
+    let c = Client.connect (addr_of socket tcp) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.stats c with
+    | Ok json -> (
+        match out with
+        | None -> print_endline json
+        | Some path ->
+            Spatial_data.Io.save path (json ^ "\n");
+            Format.printf "wrote %s@." path)
+    | Error m ->
+        Format.eprintf "stats failed: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Fetch a running daemon's live metrics")
+    Term.(const run $ sock_t $ tcp_t $ out_t)
+
+let client_shutdown_cmd =
+  let run socket tcp =
+    let c = Client.connect (addr_of socket tcp) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.shutdown c with
+    | Ok () -> Format.printf "daemon shutting down@."
+    | Error m ->
+        Format.eprintf "shutdown failed: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc:"Gracefully stop a running daemon")
+    Term.(const run $ sock_t $ tcp_t)
+
+(* Concurrent burst: [total] requests spread over [concurrency]
+   connections (one thread per connection, one request in flight
+   each). Instance [i] is deterministic from (seed, i); [repeat_every]
+   > 0 makes every K-th request reuse instance 0, so a burst
+   exercises the fingerprint cache. Every Solution is re-certified
+   client-side. Exit 1 on protocol errors, server errors, or an
+   uncertified coloring — sheds are an expected, typed outcome and do
+   not fail the burst. *)
+let client_burst_cmd =
+  let total_t =
+    Arg.(
+      value & opt int 8
+      & info [ "total"; "n" ] ~docv:"N" ~doc:"Total requests.")
+  in
+  let conc_t =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency"; "c" ] ~docv:"C" ~doc:"Concurrent connections.")
+  in
+  let repeat_every_t =
+    Arg.(
+      value & opt int 0
+      & info [ "repeat-every" ] ~docv:"K"
+          ~doc:
+            "Every $(docv)-th request reuses the first instance (0 = all \
+             distinct).")
+  in
+  let mix3d_t =
+    Arg.(
+      value & flag & info [ "mix-3d" ] ~doc:"Alternate 2D and 3D instances.")
+  in
+  let run socket tcp x y z seed bound deadline priority no_cache budget
+      no_improve total concurrency repeat_every mix3d =
+    let addr = addr_of socket tcp in
+    let opts =
+      {
+        Proto.deadline_s = deadline;
+        priority;
+        budget;
+        improve = not no_improve;
+        use_cache = not no_cache;
+      }
+    in
+    let inst_of i =
+      let i = if repeat_every > 0 && i mod repeat_every = 0 then 0 else i in
+      let rng = Spatial_data.Rng.create (seed + (1000 * i)) in
+      let f () = Spatial_data.Rng.int rng (bound + 1) in
+      if mix3d && i mod 2 = 1 then
+        let z = Option.value z ~default:4 in
+        S.init3 ~x:(max 2 (x / 2)) ~y:(max 2 (y / 2)) ~z (fun _ _ _ -> f ())
+      else S.init2 ~x ~y (fun _ _ -> f ())
+    in
+    let lock = Mutex.create () in
+    let next = ref 0 in
+    let solutions = ref 0 and certified = ref 0 and cache_hits = ref 0 in
+    let shed_full = ref 0 and shed_large = ref 0 and shed_expired = ref 0 in
+    let errors = ref 0 in
+    let latencies = ref [] in
+    let note f =
+      Mutex.lock lock;
+      f ();
+      Mutex.unlock lock
+    in
+    let worker () =
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let rec go () =
+        let i =
+          Mutex.lock lock;
+          let i = !next in
+          next := i + 1;
+          Mutex.unlock lock;
+          i
+        in
+        if i < total then begin
+          let inst = inst_of i in
+          let t0 = Ivc_obs.now_ns () in
+          (match Client.solve c ~opts inst with
+          | Ok (Proto.Solution s) ->
+              let dt = Ivc_obs.elapsed_s ~since:t0 in
+              let ok =
+                Result.is_ok (Ivc_resilient.Cert.check inst s.Proto.starts)
+              in
+              note (fun () ->
+                  incr solutions;
+                  if ok then incr certified;
+                  if s.Proto.cache_hit then incr cache_hits;
+                  latencies := dt :: !latencies)
+          | Ok (Proto.Shed { code; _ }) ->
+              note (fun () ->
+                  match code with
+                  | Proto.Queue_full -> incr shed_full
+                  | Proto.Too_large -> incr shed_large
+                  | Proto.Expired_in_queue -> incr shed_expired)
+          | Ok _ -> note (fun () -> incr errors)
+          | Error _ -> note (fun () -> incr errors));
+          go ()
+        end
+      in
+      go ()
+    in
+    let threads =
+      List.init (max 1 concurrency) (fun _ -> Thread.create worker ())
+    in
+    List.iter Thread.join threads;
+    let percentile p =
+      match List.sort compare !latencies with
+      | [] -> 0.0
+      | l ->
+          let n = List.length l in
+          let k = min (n - 1) (int_of_float (p *. Float.of_int n)) in
+          1000.0 *. List.nth l k
+    in
+    let sheds = !shed_full + !shed_large + !shed_expired in
+    Format.printf
+      "burst: total=%d solved=%d certified=%d cache_hits=%d sheds=%d \
+       (queue-full=%d too-large=%d expired=%d) errors=%d p50=%.1fms \
+       p95=%.1fms@."
+      total !solutions !certified !cache_hits sheds !shed_full !shed_large
+      !shed_expired !errors (percentile 0.50) (percentile 0.95);
+    if !errors > 0 || !certified <> !solutions then exit 1
+  in
+  Cmd.v
+    (Cmd.info "burst"
+       ~doc:"Fire concurrent solve requests at a running daemon")
+    Term.(
+      const run $ sock_t $ tcp_t $ x_t $ y_t $ z_t $ seed_t $ bound_t
+      $ deadline_t $ priority_t $ no_cache_t $ req_budget_t $ no_improve_t
+      $ total_t $ conc_t $ repeat_every_t $ mix3d_t)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running ivc-serve daemon (solve, stats, burst)")
+    [
+      client_solve_cmd;
+      client_ping_cmd;
+      client_stats_cmd;
+      client_shutdown_cmd;
+      client_burst_cmd;
+    ]
 
 (* ---- save ------------------------------------------------------------------- *)
 
 let save_cmd =
   let out_t =
-    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH"
-           ~doc:"Destination file.")
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Destination file.")
   in
   let run inst out =
     Spatial_data.Io.save out (Spatial_data.Io.instance_to_string inst);
@@ -571,11 +988,16 @@ let save_cmd =
 
 let render_cmd =
   let algo_t =
-    Arg.(value & opt string "BDP" & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
+    Arg.(
+      value & opt string "BDP"
+      & info [ "algo"; "a" ] ~docv:"A" ~doc:"Coloring algorithm.")
   in
   let out_t =
-    Arg.(value & opt string "ivc" & info [ "out"; "o" ] ~docv:"PREFIX"
-           ~doc:"Output prefix; writes PREFIX-heatmap.svg and PREFIX-gantt.svg.")
+    Arg.(
+      value & opt string "ivc"
+      & info [ "out"; "o" ] ~docv:"PREFIX"
+          ~doc:
+            "Output prefix; writes PREFIX-heatmap.svg and PREFIX-gantt.svg.")
   in
   let run inst algo out =
     if S.is_3d inst then failwith "render: 2D instances only";
@@ -616,7 +1038,8 @@ let orders_cmd =
 
 let parcolor_cmd =
   let workers_t =
-    Arg.(value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Domains.")
+    Arg.(
+      value & opt int 4 & info [ "workers"; "j" ] ~docv:"P" ~doc:"Domains.")
   in
   let run inst workers deadline faults obs =
     with_obs obs @@ fun () ->
@@ -657,4 +1080,5 @@ let () =
           [
             color_cmd; exact_cmd; catalog_cmd; milp_cmd; reduce_cmd; stkde_cmd;
             save_cmd; render_cmd; orders_cmd; parcolor_cmd; fuzz_cmd;
+            client_cmd;
           ]))

@@ -1,0 +1,148 @@
+(* ivc_serve — the coloring-as-a-service daemon.
+
+   Binds a Unix-domain (or TCP) socket, serves the length-prefixed
+   binary protocol of Ivc_server.Proto, and multiplexes concurrent
+   solve requests across a shared worker-domain pool with per-request
+   deadlines, admission control, a fingerprint solution cache and
+   crash-safe in-flight checkpoints. Stop it with SIGINT/SIGTERM or a
+   client Shutdown request (`ivc-stencil client shutdown`); on exit it
+   optionally writes the accumulated metrics document. *)
+
+open Cmdliner
+module Server = Ivc_server.Server
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix-domain socket at $(docv).")
+
+let tcp_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:
+          "Listen on 127.0.0.1:$(docv) instead of a Unix socket (0 picks \
+           a free port, printed on startup).")
+
+let workers_t =
+  Arg.(
+    value & opt int 2
+    & info [ "workers"; "j" ] ~docv:"P" ~doc:"Solve worker domains.")
+
+let queue_t =
+  Arg.(
+    value & opt int 32
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Admission-control backlog: requests beyond the $(docv) queued \
+           plus one per busy worker are shed with a typed queue-full \
+           response.")
+
+let cache_t =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:"Fingerprint solution-cache entries (0 disables caching).")
+
+let max_vertices_t =
+  Arg.(
+    value & opt int 4_000_000
+    & info [ "max-vertices" ] ~docv:"N"
+        ~doc:"Reject instances larger than $(docv) vertices.")
+
+let default_deadline_t =
+  Arg.(
+    value & opt float 5.0
+    & info [ "default-deadline" ] ~docv:"S"
+        ~doc:"Deadline for requests that set none.")
+
+let deadline_cap_t =
+  Arg.(
+    value & opt float 60.0
+    & info [ "deadline-cap" ] ~docv:"S"
+        ~doc:"Clamp on client-requested deadlines.")
+
+let autosave_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "autosave-dir" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint in-flight solves to $(docv)/<fingerprint>.snap so a \
+           killed server resumes them on the next request for the same \
+           instance.")
+
+let autosave_every_t =
+  Arg.(
+    value & opt float 5.0
+    & info [ "autosave-every-s" ] ~docv:"S" ~doc:"Checkpoint cadence.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the final metrics JSON document to $(docv) on exit.")
+
+let run socket tcp workers queue_cap cache_cap max_vertices default_deadline
+    deadline_cap autosave_dir autosave_every metrics =
+  let addr =
+    match (socket, tcp) with
+    | Some path, None -> Server.Unix_sock path
+    | None, Some port -> Server.Tcp ("127.0.0.1", port)
+    | None, None -> Server.Unix_sock "ivc_serve.sock"
+    | Some _, Some _ -> failwith "choose one of --socket and --tcp"
+  in
+  let cfg =
+    {
+      (Server.default_config addr) with
+      Server.workers;
+      queue_capacity = queue_cap;
+      cache_capacity = cache_cap;
+      max_vertices;
+      default_deadline_s = default_deadline;
+      deadline_cap_s = deadline_cap;
+      autosave_dir;
+      autosave_every_s = autosave_every;
+    }
+  in
+  let srv = Server.start cfg in
+  let where =
+    match addr with
+    | Server.Unix_sock path -> path
+    | Server.Tcp (host, _) -> Printf.sprintf "%s:%d" host (Server.port srv)
+  in
+  Format.printf "ivc-serve: listening on %s (workers=%d, queue=%d, cache=%d)@."
+    where workers queue_cap cache_cap;
+  (* flush so a supervisor tailing the log sees readiness immediately *)
+  Format.print_flush ();
+  let on_signal _ =
+    (* minimal async-signal work: flag the waiter, let main unwind *)
+    ignore (Thread.create (fun () -> Server.stop srv) ())
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Server.wait srv;
+  Server.stop srv;
+  Option.iter
+    (fun path ->
+      Ivc_obs.Export.write_metrics path;
+      Format.printf "ivc-serve: wrote metrics %s@." path)
+    metrics;
+  Format.printf "ivc-serve: stopped@."
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ivc-serve" ~version:"1.0.0"
+       ~doc:"Multi-tenant interval-stencil-coloring solve daemon")
+    Term.(
+      const run $ socket_t $ tcp_t $ workers_t $ queue_t $ cache_t
+      $ max_vertices_t $ default_deadline_t $ deadline_cap_t $ autosave_dir_t
+      $ autosave_every_t $ metrics_t)
+
+let () = exit (Cmd.eval cmd)

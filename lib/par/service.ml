@@ -1,0 +1,129 @@
+(* A single-lock job queue shared by a fixed set of worker domains.
+   Same locking discipline as Pool (the machines this targets have few
+   cores; the jobs are the work), but the lifecycle is inverted: the
+   pool persists and the jobs come and go. The queue is a sorted
+   association list keyed by (priority, submission ordinal) — servers
+   hold a few dozen queued jobs at most, and admission control keeps
+   it bounded by construction. *)
+
+module Obs = Ivc_obs
+
+let c_run = Obs.Counter.make "service.jobs_run"
+let c_shed = Obs.Counter.make "service.jobs_shed"
+let c_failures = Obs.Counter.make "service.job_failures"
+let g_depth = Obs.Gauge.make "service.queue_depth"
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  workers : int;
+  mutable queue : ((int * int) * (unit -> unit)) list;
+  mutable depth : int;
+  mutable running : int;
+  mutable next_seq : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec insert_sorted ((k, _) as x) = function
+  | [] -> [ x ]
+  | ((k', _) as y) :: rest when k <= k' -> x :: y :: rest
+  | y :: rest -> y :: insert_sorted x rest
+
+(* With [t.mutex] held: pop the front job, or block. [None] only when
+   stopping with an empty queue. *)
+let rec take t =
+  match t.queue with
+  | (_, job) :: rest ->
+      t.queue <- rest;
+      t.depth <- t.depth - 1;
+      t.running <- t.running + 1;
+      Obs.Gauge.set g_depth (Float.of_int t.depth);
+      Some job
+  | [] ->
+      if t.stopping then None
+      else begin
+        Condition.wait t.cond t.mutex;
+        take t
+      end
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let job = take t in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        Obs.Counter.incr c_run;
+        (try Obs.Span.record ~cat:"service" "service.job" job
+         with _ -> Obs.Counter.incr c_failures);
+        Mutex.lock t.mutex;
+        t.running <- t.running - 1;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ~workers ~capacity =
+  if workers < 1 then invalid_arg "Service.create: need at least one worker";
+  if capacity < 0 then invalid_arg "Service.create: negative capacity";
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      capacity;
+      workers;
+      queue = [];
+      depth = 0;
+      running = 0;
+      next_seq = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ?(priority = 10) job =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.stopping || t.depth + t.running >= t.capacity + t.workers then
+      `Saturated t.depth
+    else begin
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.queue <- insert_sorted ((priority, seq), job) t.queue;
+      t.depth <- t.depth + 1;
+      Obs.Gauge.set g_depth (Float.of_int t.depth);
+      Condition.signal t.cond;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  (match verdict with `Saturated _ -> Obs.Counter.incr c_shed | `Accepted -> ());
+  verdict
+
+let depth t =
+  Mutex.lock t.mutex;
+  let d = t.depth in
+  Mutex.unlock t.mutex;
+  d
+
+let running t =
+  Mutex.lock t.mutex;
+  let r = t.running in
+  Mutex.unlock t.mutex;
+  r
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let fresh = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if fresh then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

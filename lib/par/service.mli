@@ -1,0 +1,47 @@
+(** Persistent priority worker pool for long-lived services.
+
+    {!Pool} executes one DAG to completion and shuts down; a server
+    needs the opposite shape: a fixed set of worker domains that
+    outlive any single job, pulling independent jobs from a shared
+    queue for the lifetime of the process. This module provides that:
+    jobs are plain closures ordered by (priority, submission order),
+    the queue has a hard capacity (admission control — a full queue
+    rejects the submission {e synchronously} instead of growing
+    without bound), and a worker that catches an exception from a job
+    body survives to take the next one.
+
+    Counters: [service.jobs_run], [service.jobs_shed],
+    [service.job_failures]; gauge [service.queue_depth]. *)
+
+type t
+
+val create : workers:int -> capacity:int -> t
+(** [create ~workers ~capacity] spawns [workers] domains (all
+    dedicated — unlike {!Pool.run} the calling domain is not a
+    worker). Admission bounds the jobs in flight: a submission is
+    accepted while [queued + running < capacity + workers], so
+    [capacity] is exactly the depth of the backlog beyond what the
+    workers are already executing ([capacity = 0] admits one job per
+    worker and sheds everything else). Requires [workers >= 1] and
+    [capacity >= 0]. *)
+
+val submit :
+  t -> ?priority:int -> (unit -> unit) -> [ `Accepted | `Saturated of int ]
+(** Enqueue a job. Lower [priority] runs first (default [10]); equal
+    priorities run in submission order. Returns [`Saturated depth]
+    without enqueuing when the queue already holds [capacity] jobs
+    (or the pool is shutting down) — the caller sheds the request.
+    The job body must not raise for control flow: an escaping
+    exception is swallowed (counted via [service.job_failures]) so it
+    can never kill a worker domain. *)
+
+val depth : t -> int
+(** Jobs currently queued (not yet picked up by a worker). *)
+
+val running : t -> int
+(** Jobs currently executing on a worker. *)
+
+val shutdown : t -> unit
+(** Stop accepting new jobs, run every job already queued, then join
+    the worker domains. Idempotent. Jobs submitted concurrently with
+    [shutdown] may be rejected as [`Saturated]. *)

@@ -113,14 +113,22 @@ let decode_resume ~inst snap =
       (fun p -> Exact_stage p)
       (Ivc_exact.Optimize.plan_resume ~inst snap)
 
-let solve ?deadline_s ?cancel ?(budget = 200_000) ?(improve = true) ?autosave
-    ?resume inst =
+let solve ?deadline_s ?deadline ?cancel ?(budget = 200_000) ?(improve = true)
+    ?autosave ?resume inst =
   Ivc_obs.Span.record ~cat:"resilient"
     ~args:[ ("instance", Stencil.describe inst) ]
     "resilient.solve"
   @@ fun () ->
   let t0 = Ivc_obs.now_ns () in
-  let token = Deadline.make ?seconds:deadline_s () in
+  (* A caller-owned token makes the driver reentrant for services: the
+     server mints one token per request at admission time (so queue
+     wait counts against the request's deadline) and threads it
+     through; the driver never owns the clock it is racing. *)
+  let token =
+    match deadline with
+    | Some t -> t
+    | None -> Deadline.make ?seconds:deadline_s ()
+  in
   let cancel =
     match cancel with
     | Some f -> Deadline.combine token f

@@ -90,11 +90,15 @@ val decode_resume :
     Fails closed with a typed error; callers fall back to a fresh
     solve and report the reason. *)
 
-(** [solve ?deadline_s ?cancel ?budget ?improve ?autosave ?resume inst].
-    [deadline_s] bounds the wall-clock time (monotonic); [cancel] is an
-    additional caller-side cancellation poll merged with the deadline;
-    [budget] is the exact stage's node budget (default 200_000);
-    [improve] enables the iterated-greedy stage (default true).
+(** [solve ?deadline_s ?deadline ?cancel ?budget ?improve ?autosave
+    ?resume inst]. [deadline_s] bounds the wall-clock time (monotonic);
+    [deadline] instead hands the driver a caller-owned {!Deadline}
+    token — the reentrant form services use, where one token minted at
+    admission time covers queueing {e and} solving (when given, it
+    takes precedence over [deadline_s]); [cancel] is an additional
+    caller-side cancellation poll merged with the deadline; [budget]
+    is the exact stage's node budget (default 200_000); [improve]
+    enables the iterated-greedy stage (default true).
 
     [autosave] threads one checkpoint token through every stage;
     [resume] continues from a snapshot decoded with {!decode_resume}.
@@ -105,6 +109,7 @@ val decode_resume :
     belongs to; its provenance is wrapped in {!Resumed}. *)
 val solve :
   ?deadline_s:float ->
+  ?deadline:Deadline.t ->
   ?cancel:(unit -> bool) ->
   ?budget:int ->
   ?improve:bool ->

@@ -1,0 +1,51 @@
+type t = { fd : Unix.file_descr }
+
+let connect (addr : Server.addr) =
+  match addr with
+  | Server.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      { fd }
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         Unix.close fd;
+         raise e);
+      { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  Proto.write_frame t.fd (Proto.encode_request req);
+  match Proto.read_frame t.fd with
+  | Error e -> Result.Error (Proto.frame_error_to_string e)
+  | Ok body -> Proto.decode_response body
+
+let ping t =
+  match request t Proto.Ping with
+  | Ok (Proto.Pong { version }) -> Result.Ok version
+  | Ok _ -> Result.Error "unexpected response to ping"
+  | Error m -> Result.Error m
+
+let solve t ?(opts = Proto.default_solve_options) inst =
+  request t (Proto.Solve { inst; opts })
+
+let stats t =
+  match request t Proto.Stats with
+  | Ok (Proto.Stats_reply { json }) -> Result.Ok json
+  | Ok _ -> Result.Error "unexpected response to stats"
+  | Error m -> Result.Error m
+
+let shutdown t =
+  match request t Proto.Shutdown with
+  | Ok Proto.Shutting_down -> Result.Ok ()
+  | Ok _ -> Result.Error "unexpected response to shutdown"
+  | Error m -> Result.Error m

@@ -1,0 +1,36 @@
+(** Blocking client for the solve daemon.
+
+    One connection carries one request at a time (the server answers
+    in order); a caller that wants concurrent solves opens one client
+    per in-flight request — see the CLI's [client burst].
+
+    Every call returns [Error msg] instead of raising on protocol
+    problems; [Unix.Unix_error] from a dead socket does escape, since
+    that is an environment failure the caller's retry policy owns. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] if the daemon is not there. *)
+
+val close : t -> unit
+
+val request : t -> Proto.request -> (Proto.response, string) result
+(** Send one request, wait for its response. *)
+
+val ping : t -> (int, string) result
+(** Round-trip; returns the server's protocol version. *)
+
+val solve :
+  t ->
+  ?opts:Proto.solve_options ->
+  Ivc_grid.Stencil.t ->
+  (Proto.response, string) result
+(** The response is [Solution], [Shed] or [Error] — saturation is an
+    expected answer, so no flattening into [Error]. *)
+
+val stats : t -> (string, string) result
+(** The server's metrics document as a JSON string. *)
+
+val shutdown : t -> (unit, string) result
+(** Ask the daemon to stop gracefully. *)

@@ -1,0 +1,347 @@
+(* Frames are deliberately minimal: a 4-byte magic catches cross-talk
+   and text-mode mangling, a 4-byte little-endian length bounds the
+   read, and the body reuses the snapshot Codec so every field is
+   fixed-width or length-prefixed — cutting a body at any byte is
+   detected, never misparsed (the same property the snapshot format
+   leans on). CRC is left to the kernel: TCP/Unix sockets already
+   checksum, unlike the disk path lib/persist defends. *)
+
+module S = Ivc_grid.Stencil
+module Codec = Ivc_persist.Codec
+
+let version = 1
+let magic = "IVCR"
+let default_max_frame = 16 * 1024 * 1024
+
+type solve_options = {
+  deadline_s : float option;
+  priority : int;
+  budget : int option;
+  improve : bool;
+  use_cache : bool;
+}
+
+let default_solve_options =
+  {
+    deadline_s = None;
+    priority = 10;
+    budget = None;
+    improve = true;
+    use_cache = true;
+  }
+
+type request =
+  | Ping
+  | Solve of { inst : S.t; opts : solve_options }
+  | Stats
+  | Shutdown
+
+type shed_code = Queue_full | Too_large | Expired_in_queue
+
+type error_code =
+  | Bad_frame
+  | Bad_version
+  | Bad_request
+  | Cert_failed
+  | Internal
+
+type solution = {
+  starts : int array;
+  maxcolor : int;
+  lower_bound : int;
+  provenance : string;
+  proven_optimal : bool;
+  elapsed_s : float;
+  cache_hit : bool;
+  resumed : bool;
+  fingerprint : int64;
+}
+
+type response =
+  | Pong of { version : int }
+  | Solution of solution
+  | Shed of { code : shed_code; depth : int; message : string }
+  | Error of { code : error_code; message : string }
+  | Stats_reply of { json : string }
+  | Shutting_down
+
+let shed_code_to_string = function
+  | Queue_full -> "queue-full"
+  | Too_large -> "too-large"
+  | Expired_in_queue -> "expired-in-queue"
+
+let error_code_to_string = function
+  | Bad_frame -> "bad-frame"
+  | Bad_version -> "bad-version"
+  | Bad_request -> "bad-request"
+  | Cert_failed -> "cert-failed"
+  | Internal -> "internal"
+
+(* ---- body codecs ---------------------------------------------------- *)
+
+let shed_tag = function Queue_full -> 0 | Too_large -> 1 | Expired_in_queue -> 2
+
+let shed_of_tag = function
+  | 0 -> Queue_full
+  | 1 -> Too_large
+  | 2 -> Expired_in_queue
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown shed code %d" n))
+
+let error_tag = function
+  | Bad_frame -> 0
+  | Bad_version -> 1
+  | Bad_request -> 2
+  | Cert_failed -> 3
+  | Internal -> 4
+
+let error_of_tag = function
+  | 0 -> Bad_frame
+  | 1 -> Bad_version
+  | 2 -> Bad_request
+  | 3 -> Cert_failed
+  | 4 -> Internal
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
+
+let write_inst b inst =
+  (match (inst : S.t).dims with
+  | S.D2 (x, y) ->
+      Codec.W.int b 2;
+      Codec.W.int b x;
+      Codec.W.int b y
+  | S.D3 (x, y, z) ->
+      Codec.W.int b 3;
+      Codec.W.int b x;
+      Codec.W.int b y;
+      Codec.W.int b z);
+  Codec.W.int_array b (inst : S.t).w
+
+let read_inst r =
+  let d = Codec.R.int r in
+  match d with
+  | 2 ->
+      let x = Codec.R.int r in
+      let y = Codec.R.int r in
+      let w = Codec.R.int_array r in
+      (try S.make2 ~x ~y w
+       with Invalid_argument m -> raise (Codec.Corrupt m))
+  | 3 ->
+      let x = Codec.R.int r in
+      let y = Codec.R.int r in
+      let z = Codec.R.int r in
+      let w = Codec.R.int_array r in
+      (try S.make3 ~x ~y ~z w
+       with Invalid_argument m -> raise (Codec.Corrupt m))
+  | d -> raise (Codec.Corrupt (Printf.sprintf "unknown dimensionality %d" d))
+
+let write_opts b o =
+  Codec.W.option b Codec.W.float o.deadline_s;
+  Codec.W.int b o.priority;
+  Codec.W.option b Codec.W.int o.budget;
+  Codec.W.bool b o.improve;
+  Codec.W.bool b o.use_cache
+
+let read_opts r =
+  let deadline_s = Codec.R.option r Codec.R.float in
+  let priority = Codec.R.int r in
+  let budget = Codec.R.option r Codec.R.int in
+  let improve = Codec.R.bool r in
+  let use_cache = Codec.R.bool r in
+  { deadline_s; priority; budget; improve; use_cache }
+
+let encode_request req =
+  let b = Codec.W.create () in
+  Codec.W.int b version;
+  (match req with
+  | Ping -> Codec.W.int b 0
+  | Solve { inst; opts } ->
+      Codec.W.int b 1;
+      write_inst b inst;
+      write_opts b opts
+  | Stats -> Codec.W.int b 2
+  | Shutdown -> Codec.W.int b 3);
+  Codec.W.contents b
+
+let decode_request body =
+  match
+    let r = Codec.R.of_string body in
+    let v = Codec.R.int r in
+    if v <> version then
+      Result.Error
+        (Bad_version, Printf.sprintf "protocol version %d, want %d" v version)
+    else begin
+      let tag = Codec.R.int r in
+      let req =
+        match tag with
+        | 0 -> Ping
+        | 1 ->
+            let inst = read_inst r in
+            let opts = read_opts r in
+            Solve { inst; opts }
+        | 2 -> Stats
+        | 3 -> Shutdown
+        | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
+      in
+      Codec.R.expect_end r;
+      Result.Ok req
+    end
+  with
+  | result -> result
+  | exception Codec.Corrupt m -> Result.Error (Bad_request, m)
+
+let write_solution b s =
+  Codec.W.int_array b s.starts;
+  Codec.W.int b s.maxcolor;
+  Codec.W.int b s.lower_bound;
+  Codec.W.string b s.provenance;
+  Codec.W.bool b s.proven_optimal;
+  Codec.W.float b s.elapsed_s;
+  Codec.W.bool b s.cache_hit;
+  Codec.W.bool b s.resumed;
+  Codec.W.i64 b s.fingerprint
+
+let read_solution r =
+  let starts = Codec.R.int_array r in
+  let maxcolor = Codec.R.int r in
+  let lower_bound = Codec.R.int r in
+  let provenance = Codec.R.string r in
+  let proven_optimal = Codec.R.bool r in
+  let elapsed_s = Codec.R.float r in
+  let cache_hit = Codec.R.bool r in
+  let resumed = Codec.R.bool r in
+  let fingerprint = Codec.R.i64 r in
+  {
+    starts;
+    maxcolor;
+    lower_bound;
+    provenance;
+    proven_optimal;
+    elapsed_s;
+    cache_hit;
+    resumed;
+    fingerprint;
+  }
+
+let encode_response resp =
+  let b = Codec.W.create () in
+  Codec.W.int b version;
+  (match resp with
+  | Pong { version = v } ->
+      Codec.W.int b 0;
+      Codec.W.int b v
+  | Solution s ->
+      Codec.W.int b 1;
+      write_solution b s
+  | Shed { code; depth; message } ->
+      Codec.W.int b 2;
+      Codec.W.int b (shed_tag code);
+      Codec.W.int b depth;
+      Codec.W.string b message
+  | Error { code; message } ->
+      Codec.W.int b 3;
+      Codec.W.int b (error_tag code);
+      Codec.W.string b message
+  | Stats_reply { json } ->
+      Codec.W.int b 4;
+      Codec.W.string b json
+  | Shutting_down -> Codec.W.int b 5);
+  Codec.W.contents b
+
+let decode_response body =
+  match
+    let r = Codec.R.of_string body in
+    let v = Codec.R.int r in
+    if v <> version then
+      Result.Error (Printf.sprintf "protocol version %d, want %d" v version)
+    else begin
+      let tag = Codec.R.int r in
+      let resp =
+        match tag with
+        | 0 -> Pong { version = Codec.R.int r }
+        | 1 -> Solution (read_solution r)
+        | 2 ->
+            let code = shed_of_tag (Codec.R.int r) in
+            let depth = Codec.R.int r in
+            let message = Codec.R.string r in
+            Shed { code; depth; message }
+        | 3 ->
+            let code = error_of_tag (Codec.R.int r) in
+            let message = Codec.R.string r in
+            Error { code; message }
+        | 4 -> Stats_reply { json = Codec.R.string r }
+        | 5 -> Shutting_down
+        | t ->
+            raise (Codec.Corrupt (Printf.sprintf "unknown response tag %d" t))
+      in
+      Codec.R.expect_end r;
+      Result.Ok resp
+    end
+  with
+  | result -> result
+  | exception Codec.Corrupt m -> Result.Error m
+
+(* ---- frame transport ------------------------------------------------ *)
+
+type frame_error = Eof | Bad_magic | Oversized of int | Truncated
+
+let frame_error_to_string = function
+  | Eof -> "end of stream"
+  | Bad_magic -> "bad frame magic"
+  | Oversized n -> Printf.sprintf "frame body of %d bytes exceeds the cap" n
+  | Truncated -> "stream truncated mid-frame"
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd body =
+  let len = String.length body in
+  let frame = Bytes.create (8 + len) in
+  Bytes.blit_string magic 0 frame 0 4;
+  Bytes.set_int32_le frame 4 (Int32.of_int len);
+  Bytes.blit_string body 0 frame 8 len;
+  write_all fd frame 0 (8 + len)
+
+(* Read exactly [len] bytes; [`Eof got] reports a short read. *)
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then `Ok buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+  in
+  go 0
+
+(* Consume and discard [len] bytes in bounded chunks, so an oversized
+   frame cannot force an allocation of its own claimed size. *)
+let discard fd len =
+  let chunk = Bytes.create 65536 in
+  let rec go remaining =
+    if remaining = 0 then `Ok
+    else
+      match Unix.read fd chunk 0 (min remaining 65536) with
+      | 0 -> `Eof
+      | n -> go (remaining - n)
+  in
+  go len
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exactly fd 8 with
+  | `Eof 0 -> Result.Error Eof
+  | `Eof _ -> Result.Error Truncated
+  | `Ok header ->
+      if Bytes.sub_string header 0 4 <> magic then Result.Error Bad_magic
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le header 4) land 0xffffffff in
+        if len > max_frame then
+          match discard fd len with
+          | `Ok -> Result.Error (Oversized len)
+          | `Eof -> Result.Error Truncated
+        else
+          match read_exactly fd len with
+          | `Ok body -> Result.Ok (Bytes.unsafe_to_string body)
+          | `Eof _ -> Result.Error Truncated
+      end

@@ -1,0 +1,125 @@
+(** Wire protocol of the solve daemon: length-prefixed binary frames
+    carrying {!Ivc_persist.Codec}-encoded request/response bodies.
+
+    {2 Frame layout}
+
+    {v
+    magic   4 bytes  "IVCR"
+    length  4 bytes  little-endian unsigned body length
+    body    [length] bytes
+    v}
+
+    Every body starts with the protocol {!version} (one Codec int)
+    followed by a message tag, so an old client talking to a new
+    server (or vice versa) gets a typed [Bad_version] error, never a
+    misparse. Frame-level damage maps to {!frame_error}; a reader
+    that can prove the stream is still in sync (an intact header
+    whose body is merely oversized) skips the body and keeps the
+    connection, while desynchronizing damage (bad magic, truncation)
+    is fatal to the connection by construction.
+
+    {2 Shed and error codes}
+
+    Load shedding is a first-class, typed response — a saturated
+    server answers [Shed] with a {!shed_code} (queue full, instance
+    over the admission limit, deadline already spent in the queue)
+    rather than stalling or dropping the connection. Malformed input
+    and server-side failures map to {!error_code}. *)
+
+val version : int
+(** Protocol version, embedded in every body. *)
+
+val magic : string
+(** 4-byte frame magic, ["IVCR"]. *)
+
+val default_max_frame : int
+(** Default frame-body cap, 16 MiB. *)
+
+(** {1 Messages} *)
+
+type solve_options = {
+  deadline_s : float option;  (** [None] = server default *)
+  priority : int;  (** lower runs first; default 10 *)
+  budget : int option;  (** exact-stage node budget override *)
+  improve : bool;  (** enable the iterated-greedy stage *)
+  use_cache : bool;  (** serve / store the fingerprint cache *)
+}
+
+val default_solve_options : solve_options
+
+type request =
+  | Ping
+  | Solve of { inst : Ivc_grid.Stencil.t; opts : solve_options }
+  | Stats
+  | Shutdown  (** graceful daemon stop (used by CI and tests) *)
+
+type shed_code =
+  | Queue_full  (** admission queue at capacity *)
+  | Too_large  (** instance exceeds the server's vertex cap *)
+  | Expired_in_queue
+      (** the request's deadline passed before a worker picked it up *)
+
+type error_code =
+  | Bad_frame  (** frame-level damage (oversized body, bad magic) *)
+  | Bad_version  (** body's protocol version is not {!version} *)
+  | Bad_request  (** undecodable or invalid body *)
+  | Cert_failed
+      (** the certificate gate rejected every candidate — the server
+          fails closed rather than returning an uncertified coloring *)
+  | Internal  (** unexpected server-side exception *)
+
+type solution = {
+  starts : int array;
+  maxcolor : int;
+  lower_bound : int;
+  provenance : string;  (** {!Ivc_resilient.Driver.provenance_to_string} *)
+  proven_optimal : bool;
+  elapsed_s : float;  (** solve wall-clock on the server *)
+  cache_hit : bool;
+  resumed : bool;  (** continued from a crash snapshot *)
+  fingerprint : int64;  (** splitmix64 instance fingerprint *)
+}
+
+type response =
+  | Pong of { version : int }
+  | Solution of solution
+  | Shed of { code : shed_code; depth : int; message : string }
+  | Error of { code : error_code; message : string }
+  | Stats_reply of { json : string }
+  | Shutting_down
+
+val shed_code_to_string : shed_code -> string
+val error_code_to_string : error_code -> string
+
+(** {1 Body codecs} *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> (request, error_code * string) result
+(** Fails closed: version mismatch is [Bad_version], everything else
+    undecodable (truncated body, unknown tag, invalid instance,
+    trailing bytes) is [Bad_request]. *)
+
+val decode_response : string -> (response, string) result
+
+(** {1 Frame transport} *)
+
+type frame_error =
+  | Eof  (** clean end of stream between frames *)
+  | Bad_magic
+  | Oversized of int
+      (** header intact, body over the cap; the body was consumed, so
+          the stream is still in sync and the connection survives *)
+  | Truncated  (** stream ended inside a header or body *)
+
+val frame_error_to_string : frame_error -> string
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (header + body), handling short writes. *)
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (string, frame_error) result
+(** Read one frame body. Never raises on malformed input; IO errors
+    ([Unix.Unix_error]) do escape — the connection owner maps those
+    to a close. *)

@@ -1,0 +1,510 @@
+(* Thread-per-connection front end over a shared domain pool.
+
+   Connections are IO-bound (read a frame, wait for a solve, write a
+   frame), so they live on cheap systhreads; the solves are the actual
+   work and run on the Taskpar.Service worker domains. One request is
+   in flight per connection — a client that wants concurrency opens
+   more connections, which keeps response ordering trivial and the
+   per-connection state machine two states big.
+
+   Shutdown discipline (stop): stop accepting, drain the pool (every
+   queued job still delivers its response), half-close the surviving
+   connections (SHUTDOWN_RECEIVE: their readers see EOF, their pending
+   writes still flush), join everything. Connection records are closed
+   under one lock so a file descriptor is never shut down after its
+   number has been reused. *)
+
+module S = Ivc_grid.Stencil
+module Snapshot = Ivc_persist.Snapshot
+module Driver = Ivc_resilient.Driver
+module Deadline = Ivc_resilient.Deadline
+module Cert = Ivc_resilient.Cert
+module Obs = Ivc_obs
+module Json = Ivc_obs.Json
+
+let c_requests = Obs.Counter.make "server.requests"
+let c_solved = Obs.Counter.make "server.solved"
+let c_sheds = Obs.Counter.make "server.sheds"
+let c_shed_queue_full = Obs.Counter.make "server.sheds_queue_full"
+let c_shed_too_large = Obs.Counter.make "server.sheds_too_large"
+let c_shed_expired = Obs.Counter.make "server.sheds_expired_in_queue"
+let c_bad_frames = Obs.Counter.make "server.bad_frames"
+let c_cert_failures = Obs.Counter.make "server.cert_failures"
+let c_internal = Obs.Counter.make "server.internal_errors"
+let c_conns = Obs.Counter.make "server.connections_accepted"
+let c_resumed = Obs.Counter.make "server.resumed_solves"
+let g_connections = Obs.Gauge.make "server.connections_open"
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type config = {
+  addr : addr;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_vertices : int;
+  max_frame : int;
+  default_deadline_s : float;
+  deadline_cap_s : float;
+  autosave_dir : string option;
+  autosave_every_s : float;
+}
+
+let default_config addr =
+  {
+    addr;
+    workers = 2;
+    queue_capacity = 32;
+    cache_capacity = 256;
+    max_vertices = 4_000_000;
+    max_frame = Proto.default_max_frame;
+    default_deadline_s = 5.0;
+    deadline_cap_s = 60.0;
+    autosave_dir = None;
+    autosave_every_s = 5.0;
+  }
+
+type conn = { fd : Unix.file_descr; mutable closed : bool }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Taskpar.Service.t;
+  cache : Cache.t;
+  t0 : int64;
+  state : Mutex.t;
+  shutdown_cond : Condition.t;
+  mutable stopping : bool;
+  mutable shutdown_requested : bool;
+  mutable conns : (conn * Thread.t) list;
+  mutable acceptor : Thread.t option;
+}
+
+(* ---- one-shot response mailbox -------------------------------------- *)
+
+module Mailbox = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let put t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let take t =
+    Mutex.lock t.m;
+    let rec go () =
+      match t.v with
+      | Some v ->
+          Mutex.unlock t.m;
+          v
+      | None ->
+          Condition.wait t.c t.m;
+          go ()
+    in
+    go ()
+end
+
+(* ---- the solve path -------------------------------------------------- *)
+
+let snapshot_path dir fp = Filename.concat dir (Printf.sprintf "%Lx.snap" fp)
+
+(* Runs on a worker domain. Every exit puts exactly one response in the
+   mailbox; no exception may escape into the pool. *)
+let run_solve srv inst (opts : Proto.solve_options) fp token mailbox =
+  try
+    if Deadline.expired token then begin
+      Obs.Counter.incr c_sheds;
+      Obs.Counter.incr c_shed_expired;
+      Mailbox.put mailbox
+        (Proto.Shed
+           {
+             code = Proto.Expired_in_queue;
+             depth = Taskpar.Service.depth srv.pool;
+             message = "deadline passed while queued";
+           })
+    end
+    else begin
+      let autosave, resume =
+        match srv.cfg.autosave_dir with
+        | None -> (None, None)
+        | Some dir ->
+            let path = snapshot_path dir fp in
+            let resume =
+              if Sys.file_exists path then
+                match
+                  Result.bind (Snapshot.load path) (Driver.decode_resume ~inst)
+                with
+                | Ok r ->
+                    Obs.Counter.incr c_resumed;
+                    Some r
+                | Error _ -> None (* fail closed: fresh solve *)
+              else None
+            in
+            ( Some
+                (Ivc_persist.Autosave.make ~every_s:srv.cfg.autosave_every_s
+                   path),
+              resume )
+      in
+      match
+        Driver.solve ~deadline:token ?budget:opts.budget
+          ~improve:opts.improve ?autosave ?resume inst
+      with
+      | Ok o ->
+          Option.iter
+            (fun dir ->
+              let path = snapshot_path dir fp in
+              if Sys.file_exists path then Sys.remove path)
+            srv.cfg.autosave_dir;
+          if opts.use_cache then
+            Cache.store srv.cache ~fp ~inst
+              {
+                Cache.starts = o.Driver.starts;
+                maxcolor = o.Driver.maxcolor;
+                lower_bound = o.Driver.lower_bound;
+                provenance = Driver.provenance_to_string o.Driver.provenance;
+                proven_optimal = o.Driver.proven_optimal;
+              };
+          Obs.Counter.incr c_solved;
+          Mailbox.put mailbox
+            (Proto.Solution
+               {
+                 Proto.starts = o.Driver.starts;
+                 maxcolor = o.Driver.maxcolor;
+                 lower_bound = o.Driver.lower_bound;
+                 provenance = Driver.provenance_to_string o.Driver.provenance;
+                 proven_optimal = o.Driver.proven_optimal;
+                 elapsed_s = o.Driver.elapsed_s;
+                 cache_hit = false;
+                 resumed = o.Driver.resumed;
+                 fingerprint = fp;
+               })
+      | Error e ->
+          Obs.Counter.incr c_cert_failures;
+          Mailbox.put mailbox
+            (Proto.Error
+               { code = Proto.Cert_failed; message = Cert.to_string e })
+    end
+  with e ->
+    Obs.Counter.incr c_internal;
+    Mailbox.put mailbox
+      (Proto.Error { code = Proto.Internal; message = Printexc.to_string e })
+
+let handle_solve srv inst (opts : Proto.solve_options) =
+  Obs.Counter.incr c_requests;
+  let n = S.n_vertices inst in
+  if n > srv.cfg.max_vertices then begin
+    Obs.Counter.incr c_sheds;
+    Obs.Counter.incr c_shed_too_large;
+    Proto.Shed
+      {
+        code = Proto.Too_large;
+        depth = 0;
+        message =
+          Printf.sprintf "%d vertices exceed the %d admission cap" n
+            srv.cfg.max_vertices;
+      }
+  end
+  else begin
+    let fp = Snapshot.fingerprint inst in
+    let cached =
+      if opts.use_cache then
+        match Cache.find srv.cache ~fp ~inst with
+        | Some e -> (
+            (* paranoid: a cached answer is re-certified before it is
+               served, so not even cache corruption can break the
+               every-response-is-certified invariant *)
+            match Cert.check inst e.Cache.starts with
+            | Ok _ -> Some e
+            | Error _ -> None)
+        | None -> None
+      else None
+    in
+    match cached with
+    | Some e ->
+        Proto.Solution
+          {
+            Proto.starts = e.Cache.starts;
+            maxcolor = e.Cache.maxcolor;
+            lower_bound = e.Cache.lower_bound;
+            provenance = e.Cache.provenance;
+            proven_optimal = e.Cache.proven_optimal;
+            elapsed_s = 0.0;
+            cache_hit = true;
+            resumed = false;
+            fingerprint = fp;
+          }
+    | None -> (
+        let seconds =
+          Float.min
+            (Option.value opts.deadline_s
+               ~default:srv.cfg.default_deadline_s)
+            srv.cfg.deadline_cap_s
+        in
+        let token = Deadline.make ~seconds () in
+        let mailbox = Mailbox.create () in
+        match
+          Taskpar.Service.submit srv.pool ~priority:opts.priority (fun () ->
+              run_solve srv inst opts fp token mailbox)
+        with
+        | `Saturated depth ->
+            Obs.Counter.incr c_sheds;
+            Obs.Counter.incr c_shed_queue_full;
+            Proto.Shed
+              {
+                code = Proto.Queue_full;
+                depth;
+                message =
+                  Printf.sprintf "queue at capacity (%d waiting)" depth;
+              }
+        | `Accepted -> Mailbox.take mailbox)
+  end
+
+(* ---- stats ----------------------------------------------------------- *)
+
+let stats_json srv =
+  let n_conns =
+    Mutex.lock srv.state;
+    let n = List.length (List.filter (fun (c, _) -> not c.closed) srv.conns) in
+    Mutex.unlock srv.state;
+    n
+  in
+  let num f = Json.Num f in
+  let int i = num (Float.of_int i) in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "server",
+           Json.Obj
+             [
+               ("uptime_s", num (Obs.elapsed_s ~since:srv.t0));
+               ("workers", int srv.cfg.workers);
+               ("queue_depth", int (Taskpar.Service.depth srv.pool));
+               ("running", int (Taskpar.Service.running srv.pool));
+               ("connections", int n_conns);
+               ( "cache",
+                 Json.Obj
+                   [
+                     ("size", int (Cache.size srv.cache));
+                     ("capacity", int (Cache.capacity srv.cache));
+                   ] );
+             ] );
+         ("metrics", Obs.Export.metrics ());
+       ])
+
+(* ---- connection loop -------------------------------------------------- *)
+
+let send fd resp = Proto.write_frame fd (Proto.encode_response resp)
+
+let request_shutdown srv =
+  Mutex.lock srv.state;
+  srv.shutdown_requested <- true;
+  Condition.broadcast srv.shutdown_cond;
+  Mutex.unlock srv.state
+
+let conn_loop srv conn =
+  let fd = conn.fd in
+  let rec loop () =
+    match Proto.read_frame ~max_frame:srv.cfg.max_frame fd with
+    | Error (Proto.Eof | Proto.Truncated) -> ()
+    | Error Proto.Bad_magic ->
+        (* the stream is desynchronized: best-effort typed error, then
+           the connection has to go *)
+        Obs.Counter.incr c_bad_frames;
+        send fd
+          (Proto.Error
+             {
+               code = Proto.Bad_frame;
+               message = Proto.frame_error_to_string Proto.Bad_magic;
+             })
+    | Error (Proto.Oversized _ as e) ->
+        (* header intact, body consumed: still in sync, keep serving *)
+        Obs.Counter.incr c_bad_frames;
+        send fd
+          (Proto.Error
+             {
+               code = Proto.Bad_frame;
+               message = Proto.frame_error_to_string e;
+             });
+        loop ()
+    | Ok body -> (
+        match Proto.decode_request body with
+        | Error (code, message) ->
+            Obs.Counter.incr c_bad_frames;
+            send fd (Proto.Error { code; message });
+            loop ()
+        | Ok Proto.Ping ->
+            send fd (Proto.Pong { version = Proto.version });
+            loop ()
+        | Ok Proto.Stats ->
+            send fd (Proto.Stats_reply { json = stats_json srv });
+            loop ()
+        | Ok Proto.Shutdown ->
+            send fd Proto.Shutting_down;
+            request_shutdown srv
+        | Ok (Proto.Solve { inst; opts }) ->
+            let resp =
+              Obs.Span.record ~cat:"server"
+                ~args:[ ("instance", S.describe inst) ]
+                "server.request"
+                (fun () -> handle_solve srv inst opts)
+            in
+            send fd resp;
+            loop ())
+  in
+  (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.lock srv.state;
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  end;
+  Obs.Gauge.set g_connections
+    (Float.of_int
+       (List.length (List.filter (fun (c, _) -> not c.closed) srv.conns)));
+  Mutex.unlock srv.state
+
+let accept_loop srv =
+  let rec loop () =
+    match Unix.accept srv.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        Mutex.lock srv.state;
+        let stopping = srv.stopping in
+        if not stopping then begin
+          Obs.Counter.incr c_conns;
+          let conn = { fd; closed = false } in
+          let thread = Thread.create (fun () -> conn_loop srv conn) () in
+          (* prune finished connections so a long-lived server's record
+             list stays proportional to the open connections *)
+          srv.conns <-
+            (conn, thread) :: List.filter (fun (c, _) -> not c.closed) srv.conns
+        end;
+        Mutex.unlock srv.state;
+        if stopping then (
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          ())
+        else loop ()
+  in
+  loop ()
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+let bind_listen = function
+  | Unix_sock path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, 0)
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> 0
+      in
+      (fd, bound)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: need at least one worker";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Obs.set_enabled true;
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    cfg.autosave_dir;
+  let listen_fd, bound_port = bind_listen cfg.addr in
+  let srv =
+    {
+      cfg;
+      listen_fd;
+      bound_port;
+      pool =
+        Taskpar.Service.create ~workers:cfg.workers
+          ~capacity:cfg.queue_capacity;
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      t0 = Obs.now_ns ();
+      state = Mutex.create ();
+      shutdown_cond = Condition.create ();
+      stopping = false;
+      shutdown_requested = false;
+      conns = [];
+      acceptor = None;
+    }
+  in
+  srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+  srv
+
+let port srv = srv.bound_port
+
+let wait srv =
+  Mutex.lock srv.state;
+  while not srv.shutdown_requested do
+    Condition.wait srv.shutdown_cond srv.state
+  done;
+  Mutex.unlock srv.state
+
+(* Wake the acceptor out of its blocking [accept] by connecting to
+   ourselves; it observes [stopping] and exits. *)
+let poke_acceptor cfg bound_port =
+  try
+    let fd =
+      match cfg.addr with
+      | Unix_sock path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      | Tcp (_, _) ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, bound_port));
+          fd
+    in
+    Unix.close fd
+  with Unix.Unix_error _ -> ()
+
+let stop srv =
+  Mutex.lock srv.state;
+  let fresh = not srv.stopping in
+  srv.stopping <- true;
+  Mutex.unlock srv.state;
+  if fresh then begin
+    poke_acceptor srv.cfg srv.bound_port;
+    Option.iter Thread.join srv.acceptor;
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (match srv.cfg.addr with
+    | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    (* drain: every admitted solve still delivers to its mailbox, so
+       the connection threads below all terminate *)
+    Taskpar.Service.shutdown srv.pool;
+    Mutex.lock srv.state;
+    let conns = srv.conns in
+    List.iter
+      (fun (c, _) ->
+        if not c.closed then
+          try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.unlock srv.state;
+    List.iter (fun (_, thread) -> Thread.join thread) conns;
+    Mutex.lock srv.state;
+    srv.shutdown_requested <- true;
+    Condition.broadcast srv.shutdown_cond;
+    Mutex.unlock srv.state
+  end

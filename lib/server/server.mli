@@ -1,0 +1,63 @@
+(** Multi-tenant solve daemon: concurrent requests over a Unix/TCP
+    socket, multiplexed across a shared {!Taskpar.Service} domain
+    pool, every answer passed through the {!Ivc_resilient.Cert} gate.
+
+    The request path is: accept (dedicated thread per connection, the
+    solves are the work) → decode ({!Proto}) → admission control
+    (vertex cap, bounded queue; saturation answers a typed [Shed]) →
+    fingerprint-cache lookup ({!Cache}) → on a miss, a solve job on
+    the worker pool driving {!Ivc_resilient.Driver.solve} with a
+    per-request {!Ivc_resilient.Deadline} token minted at admission
+    (queue wait counts against the deadline, and an expired-in-queue
+    request is shed, not solved) → response.
+
+    With [autosave_dir] set, in-flight solves checkpoint to
+    [<dir>/<fingerprint>.snap] and a restarted server resumes a
+    killed solve from its snapshot on the next request for the same
+    instance (fail-closed: a bad snapshot costs the progress, never
+    correctness).
+
+    Live metrics are the ordinary [Ivc_obs] counters/gauges
+    ([server.*], [service.*], the solver counters), exported through
+    the [Stats] request; {!start} enables the observability layer. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+type config = {
+  addr : addr;
+  workers : int;  (** solve worker domains *)
+  queue_capacity : int;  (** admission backlog, see {!Taskpar.Service} *)
+  cache_capacity : int;  (** fingerprint-cache entries; 0 disables *)
+  max_vertices : int;  (** admission cap on instance size *)
+  max_frame : int;  (** frame-body byte cap *)
+  default_deadline_s : float;  (** for requests that set none *)
+  deadline_cap_s : float;  (** clamp on client-requested deadlines *)
+  autosave_dir : string option;
+  autosave_every_s : float;
+}
+
+val default_config : addr -> config
+(** 2 workers, queue 32, cache 256, 4M vertex cap, 16 MiB frames, 5 s
+    default / 60 s max deadline, no autosave. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the acceptor. Raises [Unix.Unix_error] if the
+    address is unusable. An existing socket file at a [Unix_sock] path
+    is replaced. *)
+
+val port : t -> int
+(** The bound TCP port (useful with [Tcp (host, 0)]); the Unix-domain
+    case returns 0. *)
+
+val wait : t -> unit
+(** Block until a [Shutdown] request (or {!stop} from another thread)
+    is seen. The daemon's main thread parks here. *)
+
+val stop : t -> unit
+(** Graceful stop: stop accepting, drain queued solves (their
+    responses are still delivered), close connections, join every
+    thread and worker domain. Idempotent. *)

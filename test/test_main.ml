@@ -29,6 +29,7 @@ let () =
       ("resilience", Test_resilient.suite);
       ("check", Test_check.suite);
       ("persist", Test_persist.suite);
+      ("server", Test_server.suite);
       ("generators", Test_generators.suite);
       ("io", Test_io.suite);
       ("svg", Test_svg.suite);

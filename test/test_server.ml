@@ -1,0 +1,492 @@
+(* The serving layer: wire-protocol codecs, frame transport, and the
+   daemon end to end — admission control, the fingerprint cache,
+   per-request deadlines, and connection survival under damaged
+   frames.
+
+   The end-to-end tests each boot a private server on a Unix socket
+   in the system temp directory and tear it down in all paths; the
+   slow requests they use to occupy workers are 16x16 instances with
+   the improvement stage enabled, which reliably burns its whole
+   deadline (the exact stage cannot close that instance quickly). *)
+
+module S = Ivc_grid.Stencil
+module Proto = Ivc_server.Proto
+module Server = Ivc_server.Server
+module Client = Ivc_server.Client
+module Codec = Ivc_persist.Codec
+module Cert = Ivc_resilient.Cert
+
+let same_inst a b =
+  (a : S.t).dims = (b : S.t).dims && (a : S.t).w = (b : S.t).w
+
+let fast_opts =
+  {
+    Proto.deadline_s = Some 5.0;
+    priority = 10;
+    budget = Some 200;
+    improve = false;
+    use_cache = true;
+  }
+
+(* Burns its whole deadline: on [hard_inst] (6400 vertices) the
+   improvement stage alone outlasts any deadline the tests use, so a
+   worker running these options is reliably busy until the token
+   expires. *)
+let slow_opts seconds =
+  {
+    Proto.deadline_s = Some seconds;
+    priority = 10;
+    budget = None;
+    improve = true;
+    use_cache = false;
+  }
+
+let small_inst = Util.random_inst2 ~seed:7 ~x:8 ~y:8 ~bound:4
+let hard_inst = Util.random_inst2 ~seed:42 ~x:80 ~y:80 ~bound:200
+
+(* ---- body codecs ------------------------------------------------------ *)
+
+let roundtrip_request req =
+  match Proto.decode_request (Proto.encode_request req) with
+  | Error (_, m) -> Alcotest.failf "request did not round-trip: %s" m
+  | Ok got -> (
+      match (req, got) with
+      | ( Proto.Solve { inst = ia; opts = oa },
+          Proto.Solve { inst = ib; opts = ob } ) ->
+          Alcotest.(check bool) "instance round-trips" true (same_inst ia ib);
+          Alcotest.(check bool) "options round-trip" true (oa = ob)
+      | a, b -> Alcotest.(check bool) "request round-trips" true (a = b))
+
+let test_request_roundtrips () =
+  roundtrip_request Proto.Ping;
+  roundtrip_request Proto.Stats;
+  roundtrip_request Proto.Shutdown;
+  roundtrip_request
+    (Proto.Solve { inst = small_inst; opts = Proto.default_solve_options });
+  roundtrip_request
+    (Proto.Solve
+       {
+         inst = Util.random_inst3 ~seed:3 ~x:3 ~y:4 ~z:2 ~bound:6;
+         opts =
+           {
+             Proto.deadline_s = Some 0.25;
+             priority = -3;
+             budget = Some 1234;
+             improve = false;
+             use_cache = false;
+           };
+       })
+
+let roundtrip_response resp =
+  match Proto.decode_response (Proto.encode_response resp) with
+  | Error m -> Alcotest.failf "response did not round-trip: %s" m
+  | Ok got -> Alcotest.(check bool) "response round-trips" true (resp = got)
+
+let test_response_roundtrips () =
+  roundtrip_response (Proto.Pong { version = Proto.version });
+  roundtrip_response
+    (Proto.Solution
+       {
+         Proto.starts = [| 0; 3; 7; 12 |];
+         maxcolor = 14;
+         lower_bound = 12;
+         provenance = "heuristic:BDP";
+         proven_optimal = false;
+         elapsed_s = 0.125;
+         cache_hit = true;
+         resumed = true;
+         fingerprint = 0xdeadbeefL;
+       });
+  List.iter
+    (fun code ->
+      roundtrip_response
+        (Proto.Shed { code; depth = 5; message = "busy" }))
+    [ Proto.Queue_full; Proto.Too_large; Proto.Expired_in_queue ];
+  List.iter
+    (fun code ->
+      roundtrip_response (Proto.Error { code; message = "boom" }))
+    [
+      Proto.Bad_frame; Proto.Bad_version; Proto.Bad_request;
+      Proto.Cert_failed; Proto.Internal;
+    ];
+  roundtrip_response (Proto.Stats_reply { json = {|{"server":{}}|} });
+  roundtrip_response Proto.Shutting_down
+
+let qtest_solve_roundtrip =
+  Util.qtest ~count:60 "solve request round-trips" Util.gen_inst2
+    (fun inst ->
+      match
+        Proto.decode_request
+          (Proto.encode_request
+             (Proto.Solve { inst; opts = Proto.default_solve_options }))
+      with
+      | Ok (Proto.Solve { inst = got; _ }) -> same_inst inst got
+      | _ -> false)
+
+(* decode fails closed: version skew is typed, every other malformation
+   is [Bad_request], and none of them raise *)
+let expect_reject name body expected =
+  match Proto.decode_request body with
+  | Ok _ -> Alcotest.failf "%s: decoded a malformed body" name
+  | Error (code, _) ->
+      Alcotest.(check string)
+        name
+        (Proto.error_code_to_string expected)
+        (Proto.error_code_to_string code)
+
+let test_decode_rejects () =
+  let wrong_version =
+    let b = Codec.W.create () in
+    Codec.W.int b (Proto.version + 1);
+    Codec.W.int b 0;
+    Codec.W.contents b
+  in
+  expect_reject "future version" wrong_version Proto.Bad_version;
+  let unknown_tag =
+    let b = Codec.W.create () in
+    Codec.W.int b Proto.version;
+    Codec.W.int b 99;
+    Codec.W.contents b
+  in
+  expect_reject "unknown tag" unknown_tag Proto.Bad_request;
+  let solve =
+    Proto.encode_request
+      (Proto.Solve { inst = small_inst; opts = Proto.default_solve_options })
+  in
+  expect_reject "truncated body"
+    (String.sub solve 0 (String.length solve / 2))
+    Proto.Bad_request;
+  expect_reject "trailing bytes" (solve ^ "x") Proto.Bad_request;
+  expect_reject "empty body" "" Proto.Bad_request;
+  let short_weights =
+    (* claims a 3x3 grid but carries five weights: the instance
+       validator must reject it, surfaced as a typed decode error *)
+    let b = Codec.W.create () in
+    Codec.W.int b Proto.version;
+    Codec.W.int b 1;
+    Codec.W.int b 2;
+    Codec.W.int b 3;
+    Codec.W.int b 3;
+    Codec.W.int_array b [| 1; 2; 3; 4; 5 |];
+    Codec.W.contents b
+  in
+  expect_reject "weight/dims mismatch" short_weights Proto.Bad_request;
+  (match Proto.decode_response "" with
+  | Ok _ -> Alcotest.fail "decoded an empty response body"
+  | Error _ -> ())
+
+(* ---- frame transport -------------------------------------------------- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let write_raw fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Alcotest.(check int) "raw write complete" (String.length s) n
+
+let test_frame_roundtrip () =
+  with_pipe @@ fun r w ->
+  Proto.write_frame w "hello";
+  Proto.write_frame w "";
+  Proto.write_frame w (String.make 1000 'z');
+  Alcotest.(check (result string reject)) "first frame" (Ok "hello")
+    (Proto.read_frame r);
+  Alcotest.(check (result string reject)) "empty frame" (Ok "")
+    (Proto.read_frame r);
+  Alcotest.(check (result string reject)) "big frame"
+    (Ok (String.make 1000 'z'))
+    (Proto.read_frame r);
+  Unix.close w;
+  (match Proto.read_frame r with
+  | Error Proto.Eof -> ()
+  | _ -> Alcotest.fail "clean close must read as Eof")
+
+let test_frame_damage () =
+  with_pipe (fun r w ->
+      write_raw w "IV";
+      Unix.close w;
+      match Proto.read_frame r with
+      | Error Proto.Truncated -> ()
+      | _ -> Alcotest.fail "partial header must be Truncated");
+  with_pipe (fun r w ->
+      write_raw w "XXXX\x05\x00\x00\x00hello";
+      match Proto.read_frame r with
+      | Error Proto.Bad_magic -> ()
+      | _ -> Alcotest.fail "wrong magic must be Bad_magic");
+  with_pipe (fun r w ->
+      write_raw w "IVCR\x0a\x00\x00\x00hi";
+      Unix.close w;
+      match Proto.read_frame r with
+      | Error Proto.Truncated -> ()
+      | _ -> Alcotest.fail "short body must be Truncated")
+
+let test_frame_oversized_stays_in_sync () =
+  with_pipe @@ fun r w ->
+  Proto.write_frame w (String.make 100 'a');
+  Proto.write_frame w "after";
+  (match Proto.read_frame ~max_frame:16 r with
+  | Error (Proto.Oversized 100) -> ()
+  | _ -> Alcotest.fail "over-cap body must be Oversized");
+  (* the oversized body was consumed, so the stream is still in sync *)
+  Alcotest.(check (result string reject)) "next frame still parses"
+    (Ok "after")
+    (Proto.read_frame ~max_frame:16 r)
+
+(* ---- the daemon end to end -------------------------------------------- *)
+
+let with_server ?(workers = 1) ?(queue_capacity = 8) ?(cache_capacity = 8)
+    ?max_vertices ?max_frame f =
+  let path = Filename.temp_file "ivc_test" ".sock" in
+  let addr = Server.Unix_sock path in
+  let base = Server.default_config addr in
+  let cfg =
+    {
+      base with
+      Server.workers;
+      queue_capacity;
+      cache_capacity;
+      max_vertices = Option.value max_vertices ~default:base.Server.max_vertices;
+      max_frame = Option.value max_frame ~default:base.Server.max_frame;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f addr)
+
+let solve_ok addr ~opts inst =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.solve c ~opts inst with
+  | Ok (Proto.Solution s) -> s
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error m -> Alcotest.failf "solve failed: %s" m
+
+let test_e2e_solve_and_cache () =
+  with_server @@ fun addr ->
+  let s1 = solve_ok addr ~opts:fast_opts small_inst in
+  let mc = Cert.assert_ok small_inst s1.Proto.starts in
+  Alcotest.(check int) "reported maxcolor certified" s1.Proto.maxcolor mc;
+  Alcotest.(check bool) "first solve misses the cache" false
+    s1.Proto.cache_hit;
+  Alcotest.(check bool) "lower bound below maxcolor" true
+    (s1.Proto.lower_bound <= s1.Proto.maxcolor);
+  let s2 = solve_ok addr ~opts:fast_opts small_inst in
+  Alcotest.(check bool) "repeat hits the cache" true s2.Proto.cache_hit;
+  Alcotest.(check int) "cached maxcolor matches" s1.Proto.maxcolor
+    s2.Proto.maxcolor;
+  Alcotest.(check bool) "fingerprints agree" true
+    (Int64.equal s1.Proto.fingerprint s2.Proto.fingerprint);
+  ignore (Cert.assert_ok small_inst s2.Proto.starts);
+  let s3 =
+    solve_ok addr ~opts:{ fast_opts with Proto.use_cache = false } small_inst
+  in
+  Alcotest.(check bool) "no-cache bypasses the cache" false s3.Proto.cache_hit
+
+let test_e2e_ping_and_stats () =
+  with_server @@ fun addr ->
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.ping c with
+  | Ok v -> Alcotest.(check int) "protocol version" Proto.version v
+  | Error m -> Alcotest.failf "ping failed: %s" m);
+  ignore (solve_ok addr ~opts:fast_opts small_inst);
+  match Client.stats c with
+  | Error m -> Alcotest.failf "stats failed: %s" m
+  | Ok json ->
+      let has needle =
+        let n = String.length needle and m = String.length json in
+        let rec at i =
+          i + n <= m && (String.sub json i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) "stats has a server block" true (has "\"server\"");
+      Alcotest.(check bool) "stats carries request counters" true
+        (has "server.requests")
+
+let test_e2e_too_large () =
+  with_server ~max_vertices:50 @@ fun addr ->
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.solve c ~opts:fast_opts small_inst with
+  | Ok (Proto.Shed { code = Proto.Too_large; _ }) -> ()
+  | Ok _ -> Alcotest.fail "64 vertices over a 50-vertex cap must shed"
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+(* A damaged frame must never take down the connection unless the
+   stream is desynchronized: undecodable and oversized bodies get a
+   typed error and the next request still works; bad magic is fatal. *)
+let test_e2e_damage_survival () =
+  with_server ~max_frame:1024 @@ fun addr ->
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (* right version, junk after it: decode fails closed, typed *)
+      let garbage =
+        let b = Codec.W.create () in
+        Codec.W.int b Proto.version;
+        Codec.W.contents b ^ "junk"
+      in
+      Proto.write_frame fd garbage;
+      (match Proto.read_frame fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Error { code = Proto.Bad_request; _ }) -> ()
+          | _ -> Alcotest.fail "garbage body must answer Bad_request")
+      | Error e ->
+          Alcotest.failf "no reply to a garbage body: %s"
+            (Proto.frame_error_to_string e));
+      Proto.write_frame fd (String.make 2000 'j');
+      (match Proto.read_frame fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Error { code = Proto.Bad_frame; _ }) -> ()
+          | _ -> Alcotest.fail "oversized frame must answer Bad_frame")
+      | Error e ->
+          Alcotest.failf "no reply to an oversized frame: %s"
+            (Proto.frame_error_to_string e));
+      (* the connection survived both — a normal request still works *)
+      Proto.write_frame fd (Proto.encode_request Proto.Ping);
+      (match Proto.read_frame fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Pong _) -> ()
+          | _ -> Alcotest.fail "ping after damage must pong")
+      | Error e ->
+          Alcotest.failf "connection did not survive: %s"
+            (Proto.frame_error_to_string e));
+      (* bad magic desynchronizes: typed error, then the server hangs up *)
+      write_raw fd "QQQQ\x00\x00\x00\x00";
+      (match Proto.read_frame fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Error { code = Proto.Bad_frame; _ }) -> ()
+          | _ -> Alcotest.fail "bad magic must answer Bad_frame")
+      | Error e ->
+          Alcotest.failf "no reply to bad magic: %s"
+            (Proto.frame_error_to_string e));
+      match Proto.read_frame fd with
+      | Error (Proto.Eof | Proto.Truncated) -> ()
+      | _ -> Alcotest.fail "bad magic must close the connection")
+
+(* Occupy the single worker with a deadline-burning solve, then watch
+   the admission controller shed: queue capacity 0 means anything
+   beyond the in-flight request answers Queue_full. *)
+let spawn_slow addr seconds =
+  let out = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        match solve_ok addr ~opts:(slow_opts seconds) hard_inst with
+        | s -> out := Some (Ok s)
+        | exception e -> out := Some (Error (Printexc.to_string e)))
+      ()
+  in
+  fun () ->
+    Thread.join th;
+    match !out with
+    | Some (Ok s) -> s
+    | Some (Error m) -> Alcotest.failf "slow solve failed: %s" m
+    | None -> Alcotest.fail "slow solve produced nothing"
+
+let test_e2e_queue_full_shed () =
+  with_server ~workers:1 ~queue_capacity:0 ~cache_capacity:0 @@ fun addr ->
+  let join_slow = spawn_slow addr 1.5 in
+  Thread.delay 0.4;
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.solve c ~opts:fast_opts small_inst with
+  | Ok (Proto.Shed { code = Proto.Queue_full; _ }) -> ()
+  | Ok _ -> Alcotest.fail "saturated server must shed Queue_full"
+  | Error m -> Alcotest.failf "request failed: %s" m);
+  ignore (join_slow ())
+
+(* The deadline token is minted at admission, so time spent queued
+   behind the busy worker counts: a request whose deadline passes in
+   the queue is shed typed, never solved late. *)
+let test_e2e_expired_in_queue () =
+  with_server ~workers:1 ~cache_capacity:0 @@ fun addr ->
+  let join_slow = spawn_slow addr 1.2 in
+  Thread.delay 0.3;
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match
+     Client.solve c
+       ~opts:{ fast_opts with Proto.deadline_s = Some 0.2 }
+       small_inst
+   with
+  | Ok (Proto.Shed { code = Proto.Expired_in_queue; _ }) -> ()
+  | Ok _ -> Alcotest.fail "a deadline spent queueing must shed Expired"
+  | Error m -> Alcotest.failf "request failed: %s" m);
+  ignore (join_slow ())
+
+(* Two workers: a deadline-burning request on one must not delay a
+   fast request on the other — per-request deadlines are isolated. *)
+let test_e2e_deadline_isolation () =
+  with_server ~workers:2 ~cache_capacity:0 @@ fun addr ->
+  let join_slow = spawn_slow addr 1.5 in
+  Thread.delay 0.2;
+  let t0 = Ivc_obs.now_ns () in
+  let fast = solve_ok addr ~opts:fast_opts small_inst in
+  let waited = Ivc_obs.elapsed_s ~since:t0 in
+  ignore (Cert.assert_ok small_inst fast.Proto.starts);
+  Alcotest.(check bool)
+    (Printf.sprintf "fast request not stalled behind slow one (%.2fs)" waited)
+    true (waited < 1.0);
+  let s = join_slow () in
+  ignore (Cert.assert_ok hard_inst s.Proto.starts)
+
+let test_e2e_shutdown_request () =
+  let path = Filename.temp_file "ivc_test" ".sock" in
+  let srv = Server.start (Server.default_config (Server.Unix_sock path)) in
+  let c = Client.connect (Server.Unix_sock path) in
+  (match Client.shutdown c with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shutdown failed: %s" m);
+  Client.close c;
+  (* wait must see the client-requested shutdown; stop is idempotent *)
+  Server.wait srv;
+  Server.stop srv;
+  Server.stop srv;
+  try Sys.remove path with Sys_error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "request bodies round-trip" `Quick
+      test_request_roundtrips;
+    Alcotest.test_case "response bodies round-trip" `Quick
+      test_response_roundtrips;
+    qtest_solve_roundtrip;
+    Alcotest.test_case "malformed bodies rejected typed" `Quick
+      test_decode_rejects;
+    Alcotest.test_case "frames round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame damage detected" `Quick test_frame_damage;
+    Alcotest.test_case "oversized frame keeps stream in sync" `Quick
+      test_frame_oversized_stays_in_sync;
+    Alcotest.test_case "e2e: solve, certify, cache" `Quick
+      test_e2e_solve_and_cache;
+    Alcotest.test_case "e2e: ping and stats" `Quick test_e2e_ping_and_stats;
+    Alcotest.test_case "e2e: oversize admission shed" `Quick
+      test_e2e_too_large;
+    Alcotest.test_case "e2e: connection survives damaged frames" `Quick
+      test_e2e_damage_survival;
+    Alcotest.test_case "e2e: saturation sheds Queue_full" `Slow
+      test_e2e_queue_full_shed;
+    Alcotest.test_case "e2e: deadline expires in queue" `Slow
+      test_e2e_expired_in_queue;
+    Alcotest.test_case "e2e: deadlines are isolated" `Slow
+      test_e2e_deadline_isolation;
+    Alcotest.test_case "e2e: client-requested shutdown" `Quick
+      test_e2e_shutdown_request;
+  ]
