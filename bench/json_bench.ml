@@ -19,13 +19,18 @@
 
    Schema 5 adds the "server" block: a short self-hosted client burst
    against an in-process solve daemon (see server_bench.ml), reporting
-   request counts, latency percentiles, cache hit rate and sheds. *)
+   request counts, latency percentiles, cache hit rate and sheds.
+
+   Schema 6 adds the "chaos" block: the same burst routed through the
+   seeded Netfaults proxy with the retrying verified client, reporting
+   availability, degraded fraction and p99 latency under a fixed
+   fault plan. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 5
+let schema_version = 6
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or
@@ -58,7 +63,7 @@ let portfolio_of ~id inst =
         (Ivc_resilient.Cert.to_string e);
       exit 1
 
-let document ~scale ~subsample ~reps ~perf ~server runs ids portfolios =
+let document ~scale ~subsample ~reps ~perf ~server ~chaos runs ids portfolios =
   let algo_names = Array.to_list Common.algo_names in
   let instances =
     List.map2
@@ -185,6 +190,7 @@ let document ~scale ~subsample ~reps ~perf ~server runs ids portfolios =
       ("robustness", robustness);
       ("perf", Perf.to_json perf);
       ("server", server);
+      ("chaos", chaos);
       ("metrics", Ivc_obs.Export.metrics ());
     ]
 
@@ -266,7 +272,10 @@ let run ?(out = "BENCH_PR.json") ?baseline ?perf_baseline ?(scale = 0.05)
   in
   let perf = Perf.measure ~reps () in
   let server = Server_bench.summary () in
-  let doc = document ~scale ~subsample ~reps ~perf ~server runs ids portfolios in
+  let chaos = Server_bench.chaos_summary () in
+  let doc =
+    document ~scale ~subsample ~reps ~perf ~server ~chaos runs ids portfolios
+  in
   Ivc_obs.set_enabled false;
   let oc = open_out out in
   Fun.protect

@@ -712,14 +712,49 @@ let no_improve_t =
            the deadline); with a small --budget this makes each request \
            complete in milliseconds.")
 
+let connect_or_die addr =
+  match Client.connect ~timeout_s:10.0 addr with
+  | Ok c -> c
+  | Error e ->
+      Format.eprintf "connect failed: %s@." (Client.error_to_string e);
+      exit 1
+
+let retries_t =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry each request up to $(docv) extra times with seeded \
+           jittered backoff, reconnecting per attempt; every returned \
+           Solution is verified end-to-end (certificate + fingerprint).")
+
+let retry_of ~retries ~seed ~deadline =
+  (* a retried attempt must fail fast relative to the solve deadline:
+     the window covers queueing + solving + the response, and a stuck
+     attempt is cheaper to abandon and re-issue than to wait out *)
+  let window =
+    match deadline with
+    | Some d -> Float.max 10.0 ((2.0 *. d) +. 5.0)
+    | None -> 120.0
+  in
+  {
+    Client.default_retry with
+    Client.attempts = retries + 1;
+    seed;
+    request_timeout_s = Some window;
+  }
+
 let print_response i = function
   | Proto.Solution s ->
       Format.printf
         "response %d: maxcolor %d, lower bound %d, provenance %s, %.1f ms, \
-         cache_hit=%b%s@."
+         cache_hit=%b%s%s@."
         i s.Proto.maxcolor s.Proto.lower_bound s.Proto.provenance
         (1000.0 *. s.Proto.elapsed_s) s.Proto.cache_hit
         (if s.Proto.resumed then ", resumed" else "")
+        (match s.Proto.degraded with
+        | None -> ""
+        | Some d -> ", degraded=" ^ Proto.degrade_to_string d)
   | Proto.Shed { code; depth; message } ->
       Format.printf "response %d: shed [%s] (%d queued): %s@." i
         (Proto.shed_code_to_string code)
@@ -728,7 +763,8 @@ let print_response i = function
       Format.printf "response %d: error [%s]: %s@." i
         (Proto.error_code_to_string code)
         message
-  | Proto.Pong _ | Proto.Stats_reply _ | Proto.Shutting_down ->
+  | Proto.Pong _ | Proto.Stats_reply _ | Proto.Shutting_down
+  | Proto.Health_reply _ ->
       Format.printf "response %d: unexpected@." i
 
 let client_solve_cmd =
@@ -741,9 +777,8 @@ let client_solve_cmd =
              second and later ones exercise the server cache).")
   in
   let run inst socket tcp deadline priority no_cache budget no_improve repeat
-      =
-    let c = Client.connect (addr_of socket tcp) in
-    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      retries =
+    let addr = addr_of socket tcp in
     let opts =
       {
         Proto.deadline_s = deadline;
@@ -754,39 +789,127 @@ let client_solve_cmd =
       }
     in
     let failures = ref 0 in
-    for i = 1 to repeat do
-      match Client.solve c ~opts inst with
-      | Ok (Proto.Solution s as r) ->
-          (* client-side certification: trust, then verify *)
-          let mc = Ivc_resilient.Cert.assert_ok inst s.Proto.starts in
-          assert (mc = s.Proto.maxcolor);
-          print_response i r
-      | Ok r ->
-          print_response i r;
-          incr failures
-      | Error m ->
-          Format.eprintf "request %d failed: %s@." i m;
-          incr failures
-    done;
+    if retries > 0 then
+      (* fault-tolerant path: reconnect-per-attempt, verified answers *)
+      let retry = retry_of ~retries ~seed:0 ~deadline in
+      for i = 1 to repeat do
+        match Client.solve_verified ~retry ~addr ~opts inst with
+        | Ok (Proto.Solution _ as r) -> print_response i r
+        | Ok r ->
+            print_response i r;
+            incr failures
+        | Error e ->
+            Format.eprintf "request %d failed: %s@." i
+              (Client.error_to_string e);
+            incr failures
+      done
+    else begin
+      let c = connect_or_die addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      for i = 1 to repeat do
+        match Client.solve c ~opts inst with
+        | Ok (Proto.Solution s as r) ->
+            (* client-side certification: trust, then verify *)
+            let mc = Ivc_resilient.Cert.assert_ok inst s.Proto.starts in
+            assert (mc = s.Proto.maxcolor);
+            print_response i r
+        | Ok r ->
+            print_response i r;
+            incr failures
+        | Error e ->
+            Format.eprintf "request %d failed: %s@." i
+              (Client.error_to_string e);
+            incr failures
+      done
+    end;
     if !failures > 0 then exit 1
   in
   Cmd.v (Cmd.info "solve" ~doc:"Submit one instance to a running daemon")
     Term.(
       const run $ instance_t $ sock_t $ tcp_t $ deadline_t $ priority_t
-      $ no_cache_t $ req_budget_t $ no_improve_t $ repeat_t)
+      $ no_cache_t $ req_budget_t $ no_improve_t $ repeat_t $ retries_t)
 
 let client_ping_cmd =
   let run socket tcp =
-    let c = Client.connect (addr_of socket tcp) in
+    let c = connect_or_die (addr_of socket tcp) in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
     match Client.ping c with
     | Ok v -> Format.printf "pong (protocol version %d)@." v
-    | Error m ->
-        Format.eprintf "ping failed: %s@." m;
+    | Error e ->
+        Format.eprintf "ping failed: %s@." (Client.error_to_string e);
         exit 1
   in
   Cmd.v (Cmd.info "ping" ~doc:"Round-trip to a running daemon")
     Term.(const run $ sock_t $ tcp_t)
+
+(* Readiness probe: exit 0 iff the daemon answers Health with ready;
+   --wait polls until it does (or the window closes), which is what
+   the CI chaos job and any process manager health check needs. *)
+let client_health_cmd =
+  let wait_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wait" ] ~docv:"S"
+          ~doc:
+            "Keep probing for up to $(docv) seconds until the daemon \
+             reports ready; without it, probe exactly once.")
+  in
+  let run socket tcp wait =
+    let addr = addr_of socket tcp in
+    let probe () =
+      match Client.connect ~timeout_s:2.0 addr with
+      | Error e -> Error (Client.error_to_string e)
+      | Ok c -> (
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          match Client.health ~timeout_s:5.0 c with
+          | Ok h -> Ok h
+          | Error e -> Error (Client.error_to_string e))
+    in
+    let print (h : Proto.health) =
+      Format.printf
+        "health: ready=%b draining=%b queue=%d running=%d connections=%d \
+         brownout=%s uptime=%.1fs@."
+        h.Proto.ready h.Proto.draining h.Proto.queue_depth h.Proto.running
+        h.Proto.connections
+        (match h.Proto.brownout with
+        | None -> "none"
+        | Some d -> Proto.degrade_to_string d)
+        h.Proto.uptime_s
+    in
+    match wait with
+    | None -> (
+        match probe () with
+        | Ok h ->
+            print h;
+            if not h.Proto.ready then exit 1
+        | Error m ->
+            Format.eprintf "health probe failed: %s@." m;
+            exit 1)
+    | Some budget_s ->
+        let t0 = Ivc_obs.now_ns () in
+        let rec go last =
+          if Ivc_obs.elapsed_s ~since:t0 > budget_s then begin
+            Format.eprintf "daemon not ready after %.1fs: %s@." budget_s last;
+            exit 1
+          end
+          else
+            match probe () with
+            | Ok h when h.Proto.ready -> print h
+            | Ok h ->
+                print h;
+                Thread.delay 0.2;
+                go "not ready"
+            | Error m ->
+                Thread.delay 0.2;
+                go m
+        in
+        go "no probe"
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Probe a daemon's readiness (exit 0 iff ready)")
+    Term.(const run $ sock_t $ tcp_t $ wait_t)
 
 let client_stats_cmd =
   let out_t =
@@ -797,7 +920,7 @@ let client_stats_cmd =
           ~doc:"Write the metrics JSON to $(docv) instead of stdout.")
   in
   let run socket tcp out =
-    let c = Client.connect (addr_of socket tcp) in
+    let c = connect_or_die (addr_of socket tcp) in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
     match Client.stats c with
     | Ok json -> (
@@ -806,8 +929,8 @@ let client_stats_cmd =
         | Some path ->
             Spatial_data.Io.save path (json ^ "\n");
             Format.printf "wrote %s@." path)
-    | Error m ->
-        Format.eprintf "stats failed: %s@." m;
+    | Error e ->
+        Format.eprintf "stats failed: %s@." (Client.error_to_string e);
         exit 1
   in
   Cmd.v (Cmd.info "stats" ~doc:"Fetch a running daemon's live metrics")
@@ -815,12 +938,12 @@ let client_stats_cmd =
 
 let client_shutdown_cmd =
   let run socket tcp =
-    let c = Client.connect (addr_of socket tcp) in
+    let c = connect_or_die (addr_of socket tcp) in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
     match Client.shutdown c with
     | Ok () -> Format.printf "daemon shutting down@."
-    | Error m ->
-        Format.eprintf "shutdown failed: %s@." m;
+    | Error e ->
+        Format.eprintf "shutdown failed: %s@." (Client.error_to_string e);
         exit 1
   in
   Cmd.v (Cmd.info "shutdown" ~doc:"Gracefully stop a running daemon")
@@ -858,7 +981,7 @@ let client_burst_cmd =
       value & flag & info [ "mix-3d" ] ~doc:"Alternate 2D and 3D instances.")
   in
   let run socket tcp x y z seed bound deadline priority no_cache budget
-      no_improve total concurrency repeat_every mix3d =
+      no_improve total concurrency repeat_every mix3d retries =
     let addr = addr_of socket tcp in
     let opts =
       {
@@ -882,53 +1005,76 @@ let client_burst_cmd =
     let next = ref 0 in
     let solutions = ref 0 and certified = ref 0 and cache_hits = ref 0 in
     let shed_full = ref 0 and shed_large = ref 0 and shed_expired = ref 0 in
-    let errors = ref 0 in
+    let errors = ref 0 and degraded = ref 0 in
     let latencies = ref [] in
     let note f =
       Mutex.lock lock;
       f ();
       Mutex.unlock lock
     in
-    let worker () =
-      let c = Client.connect addr in
-      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-      let rec go () =
-        let i =
-          Mutex.lock lock;
-          let i = !next in
-          next := i + 1;
-          Mutex.unlock lock;
-          i
+    let take () =
+      Mutex.lock lock;
+      let i = !next in
+      next := i + 1;
+      Mutex.unlock lock;
+      i
+    in
+    let record inst t0 = function
+      | Ok (Proto.Solution s) ->
+          let dt = Ivc_obs.elapsed_s ~since:t0 in
+          let ok =
+            Result.is_ok (Ivc_resilient.Cert.check inst s.Proto.starts)
+          in
+          note (fun () ->
+              incr solutions;
+              if ok then incr certified;
+              if s.Proto.cache_hit then incr cache_hits;
+              if s.Proto.degraded <> None then incr degraded;
+              latencies := dt :: !latencies)
+      | Ok (Proto.Shed { code; _ }) ->
+          note (fun () ->
+              match code with
+              | Proto.Queue_full -> incr shed_full
+              | Proto.Too_large -> incr shed_large
+              | Proto.Expired_in_queue -> incr shed_expired)
+      | Ok _ -> note (fun () -> incr errors)
+      | Error _ -> note (fun () -> incr errors)
+    in
+    (* With --retries every request is a fresh verified, retried
+       connection (the chaos path); without, one connection per worker
+       serves its whole share (the fast path). *)
+    let worker widx () =
+      if retries > 0 then begin
+        let retry = retry_of ~retries ~seed:(seed + (7919 * widx)) ~deadline in
+        let rec go () =
+          let i = take () in
+          if i < total then begin
+            let inst = inst_of i in
+            let t0 = Ivc_obs.now_ns () in
+            record inst t0 (Client.solve_verified ~retry ~addr ~opts inst);
+            go ()
+          end
         in
-        if i < total then begin
-          let inst = inst_of i in
-          let t0 = Ivc_obs.now_ns () in
-          (match Client.solve c ~opts inst with
-          | Ok (Proto.Solution s) ->
-              let dt = Ivc_obs.elapsed_s ~since:t0 in
-              let ok =
-                Result.is_ok (Ivc_resilient.Cert.check inst s.Proto.starts)
-              in
-              note (fun () ->
-                  incr solutions;
-                  if ok then incr certified;
-                  if s.Proto.cache_hit then incr cache_hits;
-                  latencies := dt :: !latencies)
-          | Ok (Proto.Shed { code; _ }) ->
-              note (fun () ->
-                  match code with
-                  | Proto.Queue_full -> incr shed_full
-                  | Proto.Too_large -> incr shed_large
-                  | Proto.Expired_in_queue -> incr shed_expired)
-          | Ok _ -> note (fun () -> incr errors)
-          | Error _ -> note (fun () -> incr errors));
-          go ()
-        end
-      in
-      go ()
+        go ()
+      end
+      else
+        match Client.connect addr with
+        | Error _ -> note (fun () -> incr errors)
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            let rec go () =
+              let i = take () in
+              if i < total then begin
+                let inst = inst_of i in
+                let t0 = Ivc_obs.now_ns () in
+                record inst t0 (Client.solve c ~opts inst);
+                go ()
+              end
+            in
+            go ()
     in
     let threads =
-      List.init (max 1 concurrency) (fun _ -> Thread.create worker ())
+      List.init (max 1 concurrency) (fun w -> Thread.create (worker w) ())
     in
     List.iter Thread.join threads;
     let percentile p =
@@ -942,10 +1088,10 @@ let client_burst_cmd =
     let sheds = !shed_full + !shed_large + !shed_expired in
     Format.printf
       "burst: total=%d solved=%d certified=%d cache_hits=%d sheds=%d \
-       (queue-full=%d too-large=%d expired=%d) errors=%d p50=%.1fms \
-       p95=%.1fms@."
+       (queue-full=%d too-large=%d expired=%d) degraded=%d errors=%d \
+       p50=%.1fms p95=%.1fms@."
       total !solutions !certified !cache_hits sheds !shed_full !shed_large
-      !shed_expired !errors (percentile 0.50) (percentile 0.95);
+      !shed_expired !degraded !errors (percentile 0.50) (percentile 0.95);
     if !errors > 0 || !certified <> !solutions then exit 1
   in
   Cmd.v
@@ -954,7 +1100,68 @@ let client_burst_cmd =
     Term.(
       const run $ sock_t $ tcp_t $ x_t $ y_t $ z_t $ seed_t $ bound_t
       $ deadline_t $ priority_t $ no_cache_t $ req_budget_t $ no_improve_t
-      $ total_t $ conc_t $ repeat_every_t $ mix3d_t)
+      $ total_t $ conc_t $ repeat_every_t $ mix3d_t $ retries_t)
+
+(* Stand-alone netfault proxy, the CLI face of Ivc_server.Netfaults:
+   CI boots the daemon behind it and fires a verified burst through
+   the fault plan. *)
+let netproxy_cmd =
+  let listen_sock_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen-socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let listen_tcp_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen-tcp" ] ~docv:"PORT"
+          ~doc:"Listen on 127.0.0.1:$(docv) instead of a Unix socket.")
+  in
+  let plan_t =
+    Arg.(
+      value
+      & opt string "seed=1,delay=0.1:0.002,tear=0.1"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Seeded fault plan, e.g. \
+             seed=7,delay=0.2:0.002,tear=0.15,reset=0.08,stall=0.05:0.5,dup=0.08.")
+  in
+  let run listen_sock listen_tcp socket tcp plan =
+    let module Net = Ivc_server.Netfaults in
+    let listen =
+      match (listen_sock, listen_tcp) with
+      | Some path, None -> Srv.Unix_sock path
+      | None, Some port -> Srv.Tcp ("127.0.0.1", port)
+      | _ -> failwith "choose one of --listen-socket and --listen-tcp"
+    in
+    let upstream = addr_of socket tcp in
+    let plan = Net.parse plan in
+    let px = Net.start ~listen ~upstream ~plan in
+    Format.printf "netproxy: %s -> %s with %s@."
+      (Srv.addr_to_string listen)
+      (Srv.addr_to_string upstream)
+      (Net.to_string plan);
+    Format.print_flush ();
+    let stop = ref false in
+    let on_signal _ = stop := true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    while not !stop do
+      Thread.delay 0.2
+    done;
+    Net.stop px;
+    Format.printf "netproxy: stopped@."
+  in
+  Cmd.v
+    (Cmd.info "netproxy"
+       ~doc:"Run a seeded fault-injection proxy in front of a daemon")
+    Term.(
+      const run $ listen_sock_t $ listen_tcp_t $ sock_t $ tcp_t $ plan_t)
 
 let client_cmd =
   Cmd.group
@@ -963,6 +1170,7 @@ let client_cmd =
     [
       client_solve_cmd;
       client_ping_cmd;
+      client_health_cmd;
       client_stats_cmd;
       client_shutdown_cmd;
       client_burst_cmd;
@@ -1080,5 +1288,5 @@ let () =
           [
             color_cmd; exact_cmd; catalog_cmd; milp_cmd; reduce_cmd; stkde_cmd;
             save_cmd; render_cmd; orders_cmd; parcolor_cmd; fuzz_cmd;
-            client_cmd;
+            client_cmd; netproxy_cmd;
           ]))

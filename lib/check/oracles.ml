@@ -582,6 +582,172 @@ let crash_resume =
               ]);
   }
 
+(* ---- chaos --------------------------------------------------------------------- *)
+
+(* Serve the instance through a seeded fault-injecting proxy (delays,
+   torn frames, resets, stalls, corrupted bytes — Netfaults, plan
+   derived from the instance hash) with the retrying verified client,
+   and require the end-to-end contract to survive: every completed
+   Solution certifies at its claimed maxcolor, the server never
+   answers Internal or Cert_failed, and once the chaos burst is over
+   the daemon drains back to a ready, correctly-serving state. Typed
+   transport failures and sheds are allowed — chaos may eat requests,
+   it must never falsify answers. *)
+module Srv = Ivc_server.Server
+module Cl = Ivc_server.Client
+module Net = Ivc_server.Netfaults
+module P = Ivc_server.Proto
+
+let chaos_max_n = 200
+
+let chaos =
+  {
+    O.name = "chaos";
+    description =
+      "under a seeded netfault plan (delays, torn frames, resets, \
+       stalls, corruption) every completed response is certified, none \
+       silently corrupted, and the server drains back to ready";
+    applies =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        n > 0 && n <= chaos_max_n);
+    run =
+      (fun inst ->
+        let up = Filename.temp_file "ivc-chaos-up" ".sock" in
+        let front = Filename.temp_file "ivc-chaos" ".sock" in
+        let cfg =
+          {
+            (Srv.default_config (Srv.Unix_sock up)) with
+            Srv.workers = 1;
+            queue_capacity = 4;
+            cache_capacity = 2;
+            default_deadline_s = 1.0;
+            idle_timeout_s = 2.0;
+            io_timeout_s = 1.0;
+          }
+        in
+        let srv = Srv.start cfg in
+        let h = Gen.hash inst in
+        let plan =
+          Net.parse
+            (Printf.sprintf
+               "seed=%d,delay=0.15:0.002,tear=0.15,reset=0.1,stall=0.05:0.05,dup=0.1"
+               h)
+        in
+        let proxy =
+          Net.start ~listen:(Srv.Unix_sock front)
+            ~upstream:(Srv.Unix_sock up) ~plan
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Net.stop proxy;
+            Srv.stop srv;
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ up; front ])
+        @@ fun () ->
+        let opts =
+          {
+            P.default_solve_options with
+            P.deadline_s = Some 1.0;
+            budget = Some 50;
+            improve = false;
+          }
+        in
+        let violation = ref None in
+        let note m = if !violation = None then violation := Some m in
+        for i = 0 to 2 do
+          let retry =
+            {
+              Cl.default_retry with
+              Cl.attempts = 3;
+              base_delay_s = 0.01;
+              max_delay_s = 0.05;
+              seed = h + i;
+              connect_timeout_s = 2.0;
+              request_timeout_s = Some 2.0;
+            }
+          in
+          match
+            Cl.solve_verified ~retry ~addr:(Srv.Unix_sock front) ~opts inst
+          with
+          | Ok (P.Solution s) -> (
+              (* solve_verified already certified; re-check with the
+                 oracle's own gate so a verification bug in the client
+                 cannot hide a corrupted answer *)
+              match Cert.check inst s.P.starts with
+              | Ok mc when mc = s.P.maxcolor -> ()
+              | Ok mc ->
+                  note
+                    (Printf.sprintf
+                       "request %d: claimed maxcolor %d, certified %d" i
+                       s.P.maxcolor mc)
+              | Error e ->
+                  note
+                    (Printf.sprintf "request %d: uncertified solution: %s" i
+                       (Cert.to_string e)))
+          | Ok (P.Shed _) ->
+              (* saturation is an honest answer, chaotic or not *)
+              ()
+          | Ok (P.Error { code = (P.Internal | P.Cert_failed) as c; message })
+            ->
+              note
+                (Printf.sprintf "request %d: server failed: %s (%s)" i
+                   (P.error_code_to_string c)
+                   message)
+          | Ok (P.Error _) ->
+              (* Bad_frame / Bad_request / Conn_timeout: the plan
+                 damaged or stalled the request in flight — lost, not
+                 falsified *)
+              ()
+          | Ok _ -> note (Printf.sprintf "request %d: unexpected response" i)
+          | Error _ ->
+              (* typed client failure after every retry: the plan is
+                 allowed to eat requests entirely *)
+              ()
+        done;
+        (* recovery: bypass the proxy and require the daemon to drain
+           back to a ready state that still serves certified answers *)
+        let t0 = Ivc_obs.now_ns () in
+        let rec drained () =
+          if Ivc_obs.elapsed_s ~since:t0 > 8.0 then
+            Error "server did not drain within 8s of the chaos burst"
+          else
+            match Cl.connect ~timeout_s:2.0 (Srv.Unix_sock up) with
+            | Error e -> Error ("health connect: " ^ Cl.error_to_string e)
+            | Ok c -> (
+                let r = Cl.health ~timeout_s:2.0 c in
+                Cl.close c;
+                match r with
+                | Error e -> Error ("health: " ^ Cl.error_to_string e)
+                | Ok hl ->
+                    if hl.P.ready && hl.P.queue_depth = 0 && hl.P.running = 0
+                    then Ok ()
+                    else begin
+                      Unix.sleepf 0.05;
+                      drained ()
+                    end)
+        in
+        match !violation with
+        | Some m -> O.Fail m
+        | None -> (
+            match drained () with
+            | Error m -> O.Fail m
+            | Ok () -> (
+                match Cl.connect ~timeout_s:2.0 (Srv.Unix_sock up) with
+                | Error e ->
+                    O.Fail ("direct connect after chaos: " ^ Cl.error_to_string e)
+                | Ok c -> (
+                    Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+                    match Cl.solve ~timeout_s:5.0 c ~opts inst with
+                    | Ok (P.Solution s) ->
+                        certify inst ~who:"post-chaos direct solve" s.P.starts
+                    | Ok _ -> O.Fail "direct solve after chaos was not served"
+                    | Error e ->
+                        O.Fail
+                          ("direct solve after chaos: " ^ Cl.error_to_string e)))));
+  }
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let all =
@@ -596,6 +762,7 @@ let all =
     metamorphic;
     portfolio;
     crash_resume;
+    chaos;
   ]
 
 let find name =

@@ -43,6 +43,16 @@ val portfolio : Oracle.t
     checkpoints on disk must never loosen across kills. *)
 val crash_resume : Oracle.t
 
+(** Chaos serving: the instance is solved through a seeded
+    fault-injecting proxy ({!Ivc_server.Netfaults}; the plan derives
+    from the instance hash) with the retrying verified client. Under
+    any plan, every completed Solution must certify at its claimed
+    maxcolor, the server must never answer Internal or Cert_failed,
+    and after the burst it must drain back to a ready state that still
+    serves certified answers directly. Typed transport failures and
+    sheds are allowed: chaos may eat requests, never falsify them. *)
+val chaos : Oracle.t
+
 (** Every production oracle above, in a stable order. *)
 val all : Oracle.t list
 

@@ -114,7 +114,7 @@ let decode_resume ~inst snap =
       (Ivc_exact.Optimize.plan_resume ~inst snap)
 
 let solve ?deadline_s ?deadline ?cancel ?(budget = 200_000) ?(improve = true)
-    ?autosave ?resume inst =
+    ?(exact = true) ?autosave ?resume inst =
   Ivc_obs.Span.record ~cat:"resilient"
     ~args:[ ("instance", Stencil.describe inst) ]
     "resilient.solve"
@@ -236,8 +236,10 @@ let solve ?deadline_s ?deadline ?cancel ?(budget = 200_000) ?(improve = true)
     | _ -> ()
   end;
   tick_seed ();
-  (* Stage 2 — exact, on whatever time remains. *)
-  if not (cancel ()) then begin
+  (* Stage 2 — exact, on whatever time remains. A browned-out server
+     turns this stage off wholesale ([exact = false]): the certified
+     heuristic incumbent ships as-is. *)
+  if exact && not (cancel ()) then begin
     let exact_resume =
       match resume with Some (Exact_stage p) -> Some p | _ -> None
     in

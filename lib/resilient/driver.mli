@@ -98,7 +98,10 @@ val decode_resume :
     takes precedence over [deadline_s]); [cancel] is an additional
     caller-side cancellation poll merged with the deadline; [budget]
     is the exact stage's node budget (default 200_000); [improve]
-    enables the iterated-greedy stage (default true).
+    enables the iterated-greedy stage (default true); [exact]
+    enables the exact stage (default true — a browned-out server
+    sets it false to serve the certified heuristic incumbent
+    directly).
 
     [autosave] threads one checkpoint token through every stage;
     [resume] continues from a snapshot decoded with {!decode_resume}.
@@ -113,6 +116,7 @@ val solve :
   ?cancel:(unit -> bool) ->
   ?budget:int ->
   ?improve:bool ->
+  ?exact:bool ->
   ?autosave:Ivc_persist.Autosave.t ->
   ?resume:resume ->
   Ivc_grid.Stencil.t ->

@@ -1,51 +1,267 @@
-type t = { fd : Unix.file_descr }
+(* Every failure a request can hit — resolver, connect, syscall,
+   frame damage, undecodable body, a response that decodes but lies —
+   comes back as a typed [error], never an exception: the retry layer
+   below (and every CLI caller) matches on the constructor, and a
+   half-written request can never leak a file descriptor.
 
-let connect (addr : Server.addr) =
-  match addr with
-  | Server.Unix_sock path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
-       with e ->
-         Unix.close fd;
-         raise e);
-      { fd }
-  | Server.Tcp (host, port) ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      let inet =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+   [Corrupt] is the load-bearing case. A length-prefixed frame whose
+   payload was damaged in flight can still decode into a structurally
+   valid Solution; the transport cannot tell. [verify_solution] makes
+   the end-to-end check: the coloring must re-certify locally and the
+   fingerprint must match the instance we asked about — so a
+   corrupted answer becomes a retryable [Corrupt], and an [Ok
+   Solution] from {!solve_verified} is proof, not trust. *)
+
+module Snapshot = Ivc_persist.Snapshot
+module Cert = Ivc_resilient.Cert
+module Faults = Ivc_resilient.Faults
+
+type error =
+  | Connect of string
+  | Io of string
+  | Timeout
+  | Bad_response of string
+  | Corrupt of string
+
+let error_to_string = function
+  | Connect m -> "connect: " ^ m
+  | Io m -> "io: " ^ m
+  | Timeout -> "timed out"
+  | Bad_response m -> "bad response: " ^ m
+  | Corrupt m -> "corrupt response: " ^ m
+
+type t = { fd : Unix.file_descr; mutable alive : bool }
+
+(* A write into a peer-closed socket must come back as a typed error,
+   not kill the process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let resolve = function
+  | Server.Unix_sock path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Server.Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | inet -> Ok (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | exception Not_found -> Error (Connect ("cannot resolve " ^ host))
+          | { Unix.h_addr_list = [||]; _ } ->
+              Error (Connect ("no address for " ^ host))
+          | h ->
+              Ok (Unix.PF_INET, Unix.ADDR_INET (h.Unix.h_addr_list.(0), port))
+          ))
+
+let connect ?timeout_s (addr : Server.addr) =
+  Lazy.force ignore_sigpipe;
+  match resolve addr with
+  | Error _ as e -> e
+  | Ok (domain, sockaddr) -> (
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      let fail e =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error e
       in
-      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
-       with e ->
-         Unix.close fd;
-         raise e);
-      { fd }
+      match timeout_s with
+      | None -> (
+          match Unix.connect fd sockaddr with
+          | () -> Ok { fd; alive = true }
+          | exception Unix.Unix_error (e, _, _) ->
+              fail (Connect (Unix.error_message e)))
+      | Some budget_s -> (
+          Unix.set_nonblock fd;
+          let finish () =
+            Unix.clear_nonblock fd;
+            Ok { fd; alive = true }
+          in
+          let await () =
+            (* connect in progress: writability signals the verdict,
+               SO_ERROR carries it *)
+            match Unix.select [] [ fd ] [] budget_s with
+            | _, [ _ ], _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> finish ()
+                | Some e -> fail (Connect (Unix.error_message e)))
+            | _ -> fail Timeout
+            | exception Unix.Unix_error (e, _, _) ->
+                fail (Connect (Unix.error_message e))
+          in
+          match Unix.connect fd sockaddr with
+          | () -> finish ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+            ->
+              await ()
+          | exception Unix.Unix_error (e, _, _) ->
+              fail (Connect (Unix.error_message e))))
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t =
+  t.alive <- false;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let request t req =
-  Proto.write_frame t.fd (Proto.encode_request req);
-  match Proto.read_frame t.fd with
-  | Error e -> Result.Error (Proto.frame_error_to_string e)
-  | Ok body -> Proto.decode_response body
+let request ?timeout_s t req =
+  if not t.alive then Error (Io "connection already failed")
+  else begin
+    let dead e =
+      t.alive <- false;
+      Error e
+    in
+    match Proto.write_frame ?io_timeout_s:timeout_s t.fd
+            (Proto.encode_request req)
+    with
+    | exception Proto.Write_timeout -> dead Timeout
+    | exception Unix.Unix_error (e, _, _) -> dead (Io (Unix.error_message e))
+    | exception Sys_error m -> dead (Io m)
+    | () -> (
+        (* the idle window covers the server thinking; once the
+           response starts flowing it must finish inside it too. No
+           resync: this connection dies on any error, so an insane
+           length field (payload corruption) must fail fast, not
+           starve the io window waiting for phantom bytes *)
+        match
+          Proto.read_frame ~resync:false ?idle_timeout_s:timeout_s
+            ?io_timeout_s:timeout_s t.fd
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+            dead (Io (Unix.error_message e))
+        | exception Sys_error m -> dead (Io m)
+        | Error Proto.Timed_out -> dead Timeout
+        | Error e -> dead (Io (Proto.frame_error_to_string e))
+        | Ok body -> (
+            match Proto.decode_response body with
+            | Error m -> dead (Bad_response m)
+            | Ok resp -> Ok resp))
+  end
 
-let ping t =
-  match request t Proto.Ping with
+let ping ?timeout_s t =
+  match request ?timeout_s t Proto.Ping with
   | Ok (Proto.Pong { version }) -> Result.Ok version
-  | Ok _ -> Result.Error "unexpected response to ping"
-  | Error m -> Result.Error m
+  | Ok _ -> Result.Error (Bad_response "unexpected response to ping")
+  | Error _ as e -> e
 
-let solve t ?(opts = Proto.default_solve_options) inst =
-  request t (Proto.Solve { inst; opts })
+let solve ?timeout_s t ?(opts = Proto.default_solve_options) inst =
+  request ?timeout_s t (Proto.Solve { inst; opts })
 
-let stats t =
-  match request t Proto.Stats with
+let stats ?timeout_s t =
+  match request ?timeout_s t Proto.Stats with
   | Ok (Proto.Stats_reply { json }) -> Result.Ok json
-  | Ok _ -> Result.Error "unexpected response to stats"
-  | Error m -> Result.Error m
+  | Ok _ -> Result.Error (Bad_response "unexpected response to stats")
+  | Error _ as e -> e
 
-let shutdown t =
-  match request t Proto.Shutdown with
+let shutdown ?timeout_s t =
+  match request ?timeout_s t Proto.Shutdown with
   | Ok Proto.Shutting_down -> Result.Ok ()
-  | Ok _ -> Result.Error "unexpected response to shutdown"
-  | Error m -> Result.Error m
+  | Ok _ -> Result.Error (Bad_response "unexpected response to shutdown")
+  | Error _ as e -> e
+
+let health ?timeout_s t =
+  match request ?timeout_s t Proto.Health with
+  | Ok (Proto.Health_reply h) -> Result.Ok h
+  | Ok _ -> Result.Error (Bad_response "unexpected response to health")
+  | Error _ as e -> e
+
+(* ---- verification ----------------------------------------------------- *)
+
+let verify_solution inst (s : Proto.solution) =
+  if not (Int64.equal s.Proto.fingerprint (Snapshot.fingerprint inst)) then
+    Error
+      (Corrupt
+         (Printf.sprintf "fingerprint %Lx is not this instance's %Lx"
+            s.Proto.fingerprint
+            (Snapshot.fingerprint inst)))
+  else
+    match Cert.check inst s.Proto.starts with
+    | Error e -> Error (Corrupt ("certificate: " ^ Cert.to_string e))
+    | Ok mc when mc <> s.Proto.maxcolor ->
+        Error
+          (Corrupt
+             (Printf.sprintf "claimed maxcolor %d, certified %d"
+                s.Proto.maxcolor mc))
+    | Ok _ -> Ok s
+
+(* ---- retry layer ------------------------------------------------------ *)
+
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+  connect_timeout_s : float;
+  request_timeout_s : float option;
+}
+
+let default_retry =
+  {
+    attempts = 4;
+    base_delay_s = 0.05;
+    max_delay_s = 1.0;
+    jitter = 0.5;
+    seed = 0;
+    connect_timeout_s = 5.0;
+    request_timeout_s = None;
+  }
+
+let retry_delay_s p ~attempt =
+  let attempt = max 0 attempt in
+  let raw = p.base_delay_s *. (2.0 ** Float.of_int attempt) in
+  let capped = Float.min p.max_delay_s raw in
+  let z = Faults.key_of_seed p.seed in
+  let z = Faults.mix64 (Int64.logxor z (Int64.of_int ((attempt * 2) + 1))) in
+  let bits = Int64.to_int (Int64.shift_right_logical z 11) in
+  let u = Float.of_int bits /. 9007199254740992.0 (* 2^53 *) in
+  capped *. (1.0 -. (p.jitter *. u))
+
+let solve_verified ?(retry = default_retry) ~addr
+    ?(opts = Proto.default_solve_options) inst =
+  let rec attempt k last_err =
+    if k >= max 1 retry.attempts then Error last_err
+    else begin
+      if k > 0 then Thread.delay (retry_delay_s retry ~attempt:(k - 1));
+      match connect ~timeout_s:retry.connect_timeout_s addr with
+      | Error e -> attempt (k + 1) e
+      | Ok c -> (
+          let finish r =
+            close c;
+            r
+          in
+          match
+            request ?timeout_s:retry.request_timeout_s c
+              (Proto.Solve { inst; opts })
+          with
+          | Ok (Proto.Solution s) -> (
+              (* re-issue is safe: a Solve is idempotent, keyed by the
+                 instance fingerprint the response must echo *)
+              match verify_solution inst s with
+              | Ok s -> finish (Ok (Proto.Solution s))
+              | Error e ->
+                  close c;
+                  attempt (k + 1) e)
+          | Ok
+              (Proto.Error
+                 {
+                   code =
+                     ( Proto.Bad_frame | Proto.Bad_request | Proto.Bad_version
+                     | Proto.Conn_timeout );
+                   message;
+                 }) ->
+              (* the server rejected what *arrived* — when the request
+                 was damaged or stalled in flight, that is a transport
+                 failure wearing a typed response, and the untouched
+                 original is safe to resend *)
+              close c;
+              attempt (k + 1) (Io ("server rejected the frame: " ^ message))
+          | Ok resp ->
+              (* the remaining typed answers (Shed, Internal,
+                 Cert_failed) are server decisions about a request it
+                 understood: return them, do not hammer a saturated or
+                 failing server *)
+              finish (Ok resp)
+          | Error e ->
+              close c;
+              attempt (k + 1) e)
+    end
+  in
+  attempt 0 (Connect "no attempt made")

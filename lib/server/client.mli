@@ -1,36 +1,109 @@
-(** Blocking client for the solve daemon.
+(** Fault-tolerant blocking client for the solve daemon.
 
     One connection carries one request at a time (the server answers
     in order); a caller that wants concurrent solves opens one client
     per in-flight request — see the CLI's [client burst].
 
-    Every call returns [Error msg] instead of raising on protocol
-    problems; [Unix.Unix_error] from a dead socket does escape, since
-    that is an environment failure the caller's retry policy owns. *)
+    Every failure is a typed {!error}: resolver and connect problems,
+    syscall errors mid-request (including a write into a peer-closed
+    socket), deadline expiry, undecodable responses, and — through
+    {!verify_solution} — responses that decode but lie. No call
+    raises, and no call path leaks the file descriptor. *)
+
+type error =
+  | Connect of string  (** resolve or connect failure *)
+  | Io of string  (** syscall or framing failure mid-request *)
+  | Timeout  (** a connect / read / write deadline expired *)
+  | Bad_response of string  (** frame decoded, body did not *)
+  | Corrupt of string
+      (** the response decoded but failed end-to-end verification:
+          wrong fingerprint, failed certificate, or a maxcolor claim
+          the coloring does not support *)
+
+val error_to_string : error -> string
 
 type t
 
-val connect : Server.addr -> t
-(** Raises [Unix.Unix_error] if the daemon is not there. *)
+val connect : ?timeout_s:float -> Server.addr -> (t, error) result
+(** With [timeout_s] the TCP/Unix connect races a deadline
+    (non-blocking connect + select); without it the OS default
+    applies. Never raises; the socket is closed on every failure
+    path. *)
 
 val close : t -> unit
 
-val request : t -> Proto.request -> (Proto.response, string) result
-(** Send one request, wait for its response. *)
+val request :
+  ?timeout_s:float -> t -> Proto.request -> (Proto.response, error) result
+(** Send one request, wait for its response. [timeout_s] bounds both
+    the write and the wait for the response. After any [Error] the
+    connection is dead (the stream may be desynchronized) and further
+    requests on it fail fast. *)
 
-val ping : t -> (int, string) result
+val ping : ?timeout_s:float -> t -> (int, error) result
 (** Round-trip; returns the server's protocol version. *)
 
 val solve :
+  ?timeout_s:float ->
   t ->
   ?opts:Proto.solve_options ->
   Ivc_grid.Stencil.t ->
-  (Proto.response, string) result
+  (Proto.response, error) result
 (** The response is [Solution], [Shed] or [Error] — saturation is an
     expected answer, so no flattening into [Error]. *)
 
-val stats : t -> (string, string) result
+val stats : ?timeout_s:float -> t -> (string, error) result
 (** The server's metrics document as a JSON string. *)
 
-val shutdown : t -> (unit, string) result
+val shutdown : ?timeout_s:float -> t -> (unit, error) result
 (** Ask the daemon to stop gracefully. *)
+
+val health : ?timeout_s:float -> t -> (Proto.health, error) result
+(** The server's readiness snapshot. *)
+
+val verify_solution :
+  Ivc_grid.Stencil.t -> Proto.solution -> (Proto.solution, error) result
+(** End-to-end verification of a Solution against the instance that
+    was asked about: the fingerprint must match and the coloring must
+    re-certify locally at its claimed maxcolor. The transport cannot
+    detect in-flight payload corruption that preserves framing; this
+    can. *)
+
+(** {1 Seeded retry} *)
+
+type retry = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay_s : float;
+  max_delay_s : float;
+  jitter : float;  (** fraction of each delay randomized away, 0..1 *)
+  seed : int;  (** jitter determinism *)
+  connect_timeout_s : float;
+  request_timeout_s : float option;  (** [None] = wait indefinitely *)
+}
+
+val default_retry : retry
+(** 4 attempts, 50 ms base doubling to a 1 s cap, 0.5 jitter, seed 0,
+    5 s connect timeout, no request timeout. *)
+
+val retry_delay_s : retry -> attempt:int -> float
+(** The jittered backoff before re-attempt [attempt] (0-based):
+    [min(max_delay_s, base * 2^attempt)] scaled down by up to
+    [jitter], deterministic in (seed, attempt). *)
+
+val solve_verified :
+  ?retry:retry ->
+  addr:Server.addr ->
+  ?opts:Proto.solve_options ->
+  Ivc_grid.Stencil.t ->
+  (Proto.response, error) result
+(** One idempotent solve with reconnection: each attempt opens a
+    fresh connection, sends the Solve, and closes. A returned
+    [Solution] has passed {!verify_solution} — transport damage that
+    survives framing is caught, turned into [Corrupt], and retried.
+    Frame-level rejections ([Bad_frame], [Bad_request], [Bad_version],
+    [Conn_timeout]) mean the request was damaged or stalled in
+    flight, so the untouched original is retried too. Genuine server
+    decisions ([Shed], [Internal], [Cert_failed]) are returned as-is,
+    not retried: a saturated or failing server must not be hammered.
+    Re-issuing after an ambiguous failure is safe because a Solve is
+    idempotent, keyed by the instance fingerprint the response must
+    echo. *)

@@ -1,0 +1,70 @@
+(** Seeded socket-level fault injection: a forwarding proxy between a
+    client and the daemon that injects the failure modes a real
+    network produces, deterministically from a plan seed.
+
+    {2 Fault taxonomy}
+
+    - [delay=P:S] — hold a chunk for [S] seconds before forwarding
+      (latency spike)
+    - [stall=P:S] — same mechanics, meant to be configured long
+      enough to trip read deadlines (slow-loris)
+    - [tear=P] — forward a chunk in two writes with a pause between
+      (torn frame: header and body arrive separately)
+    - [reset=P] — close both sides mid-stream (connection reset)
+    - [dup=P] — corrupt the first bytes of a chunk in place
+      (payload damage the framing layer cannot see: the length still
+      matches, only the bytes lie)
+
+    Every decision is a pure function of (seed, stream, chunk index)
+    — one stream per direction per connection — so a failing chaos
+    campaign replays exactly from its plan string, the same
+    discipline as {!Ivc_resilient.Faults}. Injections are counted in
+    the [netfaults.*] obs counters. *)
+
+type plan = {
+  seed : int;
+  delay : float;
+  delay_s : float;
+  tear : float;
+  reset : float;
+  stall : float;
+  stall_s : float;
+  dup : float;
+}
+
+val none : plan
+(** All probabilities zero: a transparent proxy. *)
+
+val is_none : plan -> bool
+
+val parse : string -> plan
+(** Parse ["seed=7,delay=0.2:0.002,tear=0.1,reset=0.05,stall=0.05:0.5,dup=0.1"].
+    Unknown fields, probabilities outside [0, 1] and negative
+    durations raise [Invalid_argument]. Empty fields are skipped, so
+    [""] is {!none}. *)
+
+val to_string : plan -> string
+(** Canonical form; [parse (to_string p) = p]. *)
+
+(** The decision for one forwarded chunk. *)
+type kind = Delay of float | Tear | Reset | Stall of float | Corrupt
+
+val decide : plan -> stream:int -> chunk:int -> kind option
+(** Pure and deterministic; exposed for tests and replay. *)
+
+(** {1 Proxy lifecycle} *)
+
+type t
+
+val start : listen:Server.addr -> upstream:Server.addr -> plan:plan -> t
+(** Bind [listen], forward every accepted connection to [upstream]
+    with faults applied in both directions. Raises [Unix.Unix_error]
+    if the listen address is unusable; an upstream connect failure
+    just drops that one client connection. *)
+
+val port : t -> int
+(** Bound TCP port when listening on [Tcp (host, 0)]; 0 for Unix. *)
+
+val stop : t -> unit
+(** Close the listener and every proxied connection, join the pump
+    threads. Idempotent. *)

@@ -8,8 +8,9 @@
 
 module S = Ivc_grid.Stencil
 module Codec = Ivc_persist.Codec
+module Obs = Ivc_obs
 
-let version = 1
+let version = 2
 let magic = "IVCR"
 let default_max_frame = 16 * 1024 * 1024
 
@@ -35,6 +36,7 @@ type request =
   | Solve of { inst : S.t; opts : solve_options }
   | Stats
   | Shutdown
+  | Health
 
 type shed_code = Queue_full | Too_large | Expired_in_queue
 
@@ -44,6 +46,9 @@ type error_code =
   | Bad_request
   | Cert_failed
   | Internal
+  | Conn_timeout
+
+type degrade = Shrunk_budget | Heuristic_only
 
 type solution = {
   starts : int array;
@@ -54,7 +59,18 @@ type solution = {
   elapsed_s : float;
   cache_hit : bool;
   resumed : bool;
+  degraded : degrade option;
   fingerprint : int64;
+}
+
+type health = {
+  ready : bool;
+  draining : bool;
+  queue_depth : int;
+  running : int;
+  connections : int;
+  brownout : degrade option;
+  uptime_s : float;
 }
 
 type response =
@@ -64,6 +80,7 @@ type response =
   | Error of { code : error_code; message : string }
   | Stats_reply of { json : string }
   | Shutting_down
+  | Health_reply of health
 
 let shed_code_to_string = function
   | Queue_full -> "queue-full"
@@ -76,6 +93,11 @@ let error_code_to_string = function
   | Bad_request -> "bad-request"
   | Cert_failed -> "cert-failed"
   | Internal -> "internal"
+  | Conn_timeout -> "conn-timeout"
+
+let degrade_to_string = function
+  | Shrunk_budget -> "shrunk-budget"
+  | Heuristic_only -> "heuristic-only"
 
 (* ---- body codecs ---------------------------------------------------- *)
 
@@ -93,6 +115,7 @@ let error_tag = function
   | Bad_request -> 2
   | Cert_failed -> 3
   | Internal -> 4
+  | Conn_timeout -> 5
 
 let error_of_tag = function
   | 0 -> Bad_frame
@@ -100,7 +123,19 @@ let error_of_tag = function
   | 2 -> Bad_request
   | 3 -> Cert_failed
   | 4 -> Internal
+  | 5 -> Conn_timeout
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
+
+let degrade_tag = function
+  | None -> 0
+  | Some Shrunk_budget -> 1
+  | Some Heuristic_only -> 2
+
+let degrade_of_tag = function
+  | 0 -> None
+  | 1 -> Some Shrunk_budget
+  | 2 -> Some Heuristic_only
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown degrade marker %d" n))
 
 let write_inst b inst =
   (match (inst : S.t).dims with
@@ -158,7 +193,8 @@ let encode_request req =
       write_inst b inst;
       write_opts b opts
   | Stats -> Codec.W.int b 2
-  | Shutdown -> Codec.W.int b 3);
+  | Shutdown -> Codec.W.int b 3
+  | Health -> Codec.W.int b 4);
   Codec.W.contents b
 
 let decode_request body =
@@ -179,6 +215,7 @@ let decode_request body =
             Solve { inst; opts }
         | 2 -> Stats
         | 3 -> Shutdown
+        | 4 -> Health
         | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
       in
       Codec.R.expect_end r;
@@ -197,6 +234,7 @@ let write_solution b s =
   Codec.W.float b s.elapsed_s;
   Codec.W.bool b s.cache_hit;
   Codec.W.bool b s.resumed;
+  Codec.W.int b (degrade_tag s.degraded);
   Codec.W.i64 b s.fingerprint
 
 let read_solution r =
@@ -208,6 +246,7 @@ let read_solution r =
   let elapsed_s = Codec.R.float r in
   let cache_hit = Codec.R.bool r in
   let resumed = Codec.R.bool r in
+  let degraded = degrade_of_tag (Codec.R.int r) in
   let fingerprint = Codec.R.i64 r in
   {
     starts;
@@ -218,8 +257,28 @@ let read_solution r =
     elapsed_s;
     cache_hit;
     resumed;
+    degraded;
     fingerprint;
   }
+
+let write_health b h =
+  Codec.W.bool b h.ready;
+  Codec.W.bool b h.draining;
+  Codec.W.int b h.queue_depth;
+  Codec.W.int b h.running;
+  Codec.W.int b h.connections;
+  Codec.W.int b (degrade_tag h.brownout);
+  Codec.W.float b h.uptime_s
+
+let read_health r =
+  let ready = Codec.R.bool r in
+  let draining = Codec.R.bool r in
+  let queue_depth = Codec.R.int r in
+  let running = Codec.R.int r in
+  let connections = Codec.R.int r in
+  let brownout = degrade_of_tag (Codec.R.int r) in
+  let uptime_s = Codec.R.float r in
+  { ready; draining; queue_depth; running; connections; brownout; uptime_s }
 
 let encode_response resp =
   let b = Codec.W.create () in
@@ -243,7 +302,10 @@ let encode_response resp =
   | Stats_reply { json } ->
       Codec.W.int b 4;
       Codec.W.string b json
-  | Shutting_down -> Codec.W.int b 5);
+  | Shutting_down -> Codec.W.int b 5
+  | Health_reply h ->
+      Codec.W.int b 6;
+      write_health b h);
   Codec.W.contents b
 
 let decode_response body =
@@ -269,6 +331,7 @@ let decode_response body =
             Error { code; message }
         | 4 -> Stats_reply { json = Codec.R.string r }
         | 5 -> Shutting_down
+        | 6 -> Health_reply (read_health r)
         | t ->
             raise (Codec.Corrupt (Printf.sprintf "unknown response tag %d" t))
       in
@@ -281,67 +344,129 @@ let decode_response body =
 
 (* ---- frame transport ------------------------------------------------ *)
 
-type frame_error = Eof | Bad_magic | Oversized of int | Truncated
+type frame_error = Eof | Bad_magic | Oversized of int | Truncated | Timed_out
+
+exception Write_timeout
 
 let frame_error_to_string = function
   | Eof -> "end of stream"
   | Bad_magic -> "bad frame magic"
   | Oversized n -> Printf.sprintf "frame body of %d bytes exceeds the cap" n
   | Truncated -> "stream truncated mid-frame"
+  | Timed_out -> "connection deadline exceeded"
 
-let rec write_all fd bytes off len =
+(* A deadline is (start, budget_s) against the monotonic clock, so a
+   peer trickling one byte per select round cannot reset it. *)
+let until_of_s = function None -> None | Some s -> Some (Obs.now_ns (), s)
+
+(* Select with EINTR retry. [`Ready] may be spurious under load; the
+   callers' subsequent read/write just blocks briefly in that case. *)
+let wait_fd ~for_read fd (t0, budget_s) =
+  let rec go () =
+    let remaining = budget_s -. Obs.elapsed_s ~since:t0 in
+    if remaining <= 0.0 then `Timeout
+    else
+      match
+        if for_read then Unix.select [ fd ] [] [] remaining
+        else Unix.select [] [ fd ] [] remaining
+      with
+      | [], [], [] -> `Timeout
+      | _ -> `Ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait_readable ?until fd =
+  match until with None -> `Ready | Some u -> wait_fd ~for_read:true fd u
+
+let rec write_all ?until fd bytes off len =
   if len > 0 then begin
+    (match until with
+    | None -> ()
+    | Some u -> (
+        match wait_fd ~for_read:false fd u with
+        | `Timeout -> raise Write_timeout
+        | `Ready -> ()));
     let n = Unix.write fd bytes off len in
-    write_all fd bytes (off + n) (len - n)
+    write_all ?until fd bytes (off + n) (len - n)
   end
 
-let write_frame fd body =
+let write_frame ?io_timeout_s fd body =
   let len = String.length body in
   let frame = Bytes.create (8 + len) in
   Bytes.blit_string magic 0 frame 0 4;
   Bytes.set_int32_le frame 4 (Int32.of_int len);
   Bytes.blit_string body 0 frame 8 len;
-  write_all fd frame 0 (8 + len)
+  write_all ?until:(until_of_s io_timeout_s) fd frame 0 (8 + len)
 
 (* Read exactly [len] bytes; [`Eof got] reports a short read. *)
-let read_exactly fd len =
+let read_exactly ?until fd len =
   let buf = Bytes.create len in
   let rec go off =
     if off = len then `Ok buf
     else
-      match Unix.read fd buf off (len - off) with
-      | 0 -> `Eof off
-      | n -> go (off + n)
+      match wait_readable ?until fd with
+      | `Timeout -> `Timeout
+      | `Ready -> (
+          match Unix.read fd buf off (len - off) with
+          | 0 -> `Eof off
+          | n -> go (off + n))
   in
   go 0
 
 (* Consume and discard [len] bytes in bounded chunks, so an oversized
    frame cannot force an allocation of its own claimed size. *)
-let discard fd len =
+let discard ?until fd len =
   let chunk = Bytes.create 65536 in
   let rec go remaining =
     if remaining = 0 then `Ok
     else
-      match Unix.read fd chunk 0 (min remaining 65536) with
-      | 0 -> `Eof
-      | n -> go (remaining - n)
+      match wait_readable ?until fd with
+      | `Timeout -> `Timeout
+      | `Ready -> (
+          match Unix.read fd chunk 0 (min remaining 65536) with
+          | 0 -> `Eof
+          | n -> go (remaining - n))
   in
   go len
 
-let read_frame ?(max_frame = default_max_frame) fd =
-  match read_exactly fd 8 with
-  | `Eof 0 -> Result.Error Eof
-  | `Eof _ -> Result.Error Truncated
-  | `Ok header ->
-      if Bytes.sub_string header 0 4 <> magic then Result.Error Bad_magic
-      else begin
-        let len = Int32.to_int (Bytes.get_int32_le header 4) land 0xffffffff in
-        if len > max_frame then
-          match discard fd len with
-          | `Ok -> Result.Error (Oversized len)
-          | `Eof -> Result.Error Truncated
-        else
-          match read_exactly fd len with
-          | `Ok body -> Result.Ok (Bytes.unsafe_to_string body)
-          | `Eof _ -> Result.Error Truncated
-      end
+let read_frame ?(max_frame = default_max_frame) ?(resync = true)
+    ?idle_timeout_s ?io_timeout_s fd =
+  (* The idle window covers waiting for a request to start arriving;
+     once the first byte is in, the whole frame must land within the
+     io window — that split is the slow-loris defense. *)
+  match
+    match idle_timeout_s with
+    | None -> `Ready
+    | Some s -> wait_fd ~for_read:true fd (Obs.now_ns (), s)
+  with
+  | `Timeout -> Result.Error Timed_out
+  | `Ready -> (
+      let until = until_of_s io_timeout_s in
+      match read_exactly ?until fd 8 with
+      | `Timeout -> Result.Error Timed_out
+      | `Eof 0 -> Result.Error Eof
+      | `Eof _ -> Result.Error Truncated
+      | `Ok header ->
+          if Bytes.sub_string header 0 4 <> magic then Result.Error Bad_magic
+          else begin
+            let len =
+              Int32.to_int (Bytes.get_int32_le header 4) land 0xffffffff
+            in
+            if len > max_frame then
+              (* a server keeps the stream usable by consuming the
+                 oversized body before answering typed; a client that
+                 kills the connection on any error must not wait on
+                 phantom bytes a corrupted length field promises *)
+              if not resync then Result.Error (Oversized len)
+              else
+                match discard ?until fd len with
+                | `Ok -> Result.Error (Oversized len)
+                | `Eof -> Result.Error Truncated
+                | `Timeout -> Result.Error Timed_out
+            else
+              match read_exactly ?until fd len with
+              | `Ok body -> Result.Ok (Bytes.unsafe_to_string body)
+              | `Eof _ -> Result.Error Truncated
+              | `Timeout -> Result.Error Timed_out
+          end)

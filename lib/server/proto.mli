@@ -24,10 +24,19 @@
     server answers [Shed] with a {!shed_code} (queue full, instance
     over the admission limit, deadline already spent in the queue)
     rather than stalling or dropping the connection. Malformed input
-    and server-side failures map to {!error_code}. *)
+    and server-side failures map to {!error_code}.
+
+    {2 Degraded service}
+
+    Under brownout the server still answers with a certified
+    [Solution], but marks it with a {!degrade} value so the client
+    knows the exact stage ran with a shrunk budget (or not at all)
+    and the bound may be looser than a healthy server would return. *)
 
 val version : int
-(** Protocol version, embedded in every body. *)
+(** Protocol version, embedded in every body. Version 2 added
+    [Health]/[Health_reply], the solution [degraded] marker, and the
+    [Conn_timeout] error code. *)
 
 val magic : string
 (** 4-byte frame magic, ["IVCR"]. *)
@@ -52,6 +61,7 @@ type request =
   | Solve of { inst : Ivc_grid.Stencil.t; opts : solve_options }
   | Stats
   | Shutdown  (** graceful daemon stop (used by CI and tests) *)
+  | Health  (** cheap liveness/readiness probe, answered inline *)
 
 type shed_code =
   | Queue_full  (** admission queue at capacity *)
@@ -67,6 +77,13 @@ type error_code =
       (** the certificate gate rejected every candidate — the server
           fails closed rather than returning an uncertified coloring *)
   | Internal  (** unexpected server-side exception *)
+  | Conn_timeout
+      (** the connection blew a read/write deadline; best-effort
+          notice before the server closes it *)
+
+type degrade =
+  | Shrunk_budget  (** exact stage capped at the brownout budget *)
+  | Heuristic_only  (** exact and iterated stages skipped entirely *)
 
 type solution = {
   starts : int array;
@@ -77,7 +94,18 @@ type solution = {
   elapsed_s : float;  (** solve wall-clock on the server *)
   cache_hit : bool;
   resumed : bool;  (** continued from a crash snapshot *)
+  degraded : degrade option;  (** served under brownout *)
   fingerprint : int64;  (** splitmix64 instance fingerprint *)
+}
+
+type health = {
+  ready : bool;  (** accepting and able to admit work *)
+  draining : bool;  (** stop in progress *)
+  queue_depth : int;
+  running : int;
+  connections : int;
+  brownout : degrade option;  (** current admission degradation level *)
+  uptime_s : float;
 }
 
 type response =
@@ -87,9 +115,11 @@ type response =
   | Error of { code : error_code; message : string }
   | Stats_reply of { json : string }
   | Shutting_down
+  | Health_reply of health
 
 val shed_code_to_string : shed_code -> string
 val error_code_to_string : error_code -> string
+val degrade_to_string : degrade -> string
 
 (** {1 Body codecs} *)
 
@@ -112,14 +142,37 @@ type frame_error =
       (** header intact, body over the cap; the body was consumed, so
           the stream is still in sync and the connection survives *)
   | Truncated  (** stream ended inside a header or body *)
+  | Timed_out
+      (** an idle or io deadline expired mid-read; the stream may be
+          desynchronized, so the connection has to go *)
+
+exception Write_timeout
+(** Raised by {!write_frame} when [io_timeout_s] expires with the
+    peer's receive window still full (a stalled or dead reader). *)
 
 val frame_error_to_string : frame_error -> string
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write one frame (header + body), handling short writes. *)
+val write_frame : ?io_timeout_s:float -> Unix.file_descr -> string -> unit
+(** Write one frame (header + body), handling short writes. With
+    [io_timeout_s], the whole frame must drain within that window
+    measured on the monotonic clock or {!Write_timeout} is raised. *)
 
 val read_frame :
-  ?max_frame:int -> Unix.file_descr -> (string, frame_error) result
-(** Read one frame body. Never raises on malformed input; IO errors
-    ([Unix.Unix_error]) do escape — the connection owner maps those
-    to a close. *)
+  ?max_frame:int ->
+  ?resync:bool ->
+  ?idle_timeout_s:float ->
+  ?io_timeout_s:float ->
+  Unix.file_descr ->
+  (string, frame_error) result
+(** Read one frame body. [idle_timeout_s] bounds the wait for the
+    first byte of the frame; [io_timeout_s] bounds the whole
+    header+body read once bytes start flowing (slow-loris defense —
+    trickling one byte per window does not reset it). Either expiry
+    is [Error Timed_out]. An over-[max_frame] body is consumed and
+    reported [Oversized] so the stream stays in sync; with
+    [~resync:false] the [Oversized] verdict returns immediately
+    instead — the right choice for a caller that abandons the
+    connection on any error, since a corrupted length field can
+    promise bytes that will never arrive. Never raises on malformed
+    input; IO errors ([Unix.Unix_error]) do escape — the connection
+    owner maps those to a close. *)

@@ -33,6 +33,8 @@ let c_cert_failures = Obs.Counter.make "server.cert_failures"
 let c_internal = Obs.Counter.make "server.internal_errors"
 let c_conns = Obs.Counter.make "server.connections_accepted"
 let c_resumed = Obs.Counter.make "server.resumed_solves"
+let c_conn_timeouts = Obs.Counter.make "server.conn_timeouts"
+let c_degraded = Obs.Counter.make "server.degraded"
 let g_connections = Obs.Gauge.make "server.connections_open"
 
 type addr = Unix_sock of string | Tcp of string * int
@@ -52,6 +54,11 @@ type config = {
   deadline_cap_s : float;
   autosave_dir : string option;
   autosave_every_s : float;
+  idle_timeout_s : float;
+  io_timeout_s : float;
+  brownout_low : float;
+  brownout_high : float;
+  brownout_budget : int;
 }
 
 let default_config addr =
@@ -66,7 +73,21 @@ let default_config addr =
     deadline_cap_s = 60.0;
     autosave_dir = None;
     autosave_every_s = 5.0;
+    idle_timeout_s = 300.0;
+    io_timeout_s = 30.0;
+    brownout_low = 0.75;
+    brownout_high = 0.95;
+    brownout_budget = 500;
   }
+
+(* Brownout sits strictly below the hard queue limit: occupancy is the
+   fraction of admission slots in use, and between the watermarks a
+   request is admitted with shrunk work instead of shed, so the queue
+   drains faster exactly when it is filling up. *)
+let brownout_of cfg ~occupancy : Proto.degrade option =
+  if occupancy >= cfg.brownout_high then Some Proto.Heuristic_only
+  else if occupancy >= cfg.brownout_low then Some Proto.Shrunk_budget
+  else None
 
 type conn = { fd : Unix.file_descr; mutable closed : bool }
 
@@ -116,9 +137,20 @@ end
 
 let snapshot_path dir fp = Filename.concat dir (Printf.sprintf "%Lx.snap" fp)
 
+(* Fraction of admission slots in use; the hard limit sheds at 1.0
+   (submit refuses when depth + running >= capacity + workers). *)
+let occupancy srv =
+  let slots = srv.cfg.queue_capacity + srv.cfg.workers in
+  if slots <= 0 then 1.0
+  else
+    Float.of_int
+      (Taskpar.Service.depth srv.pool + Taskpar.Service.running srv.pool)
+    /. Float.of_int slots
+
 (* Runs on a worker domain. Every exit puts exactly one response in the
    mailbox; no exception may escape into the pool. *)
-let run_solve srv inst (opts : Proto.solve_options) fp token mailbox =
+let run_solve srv inst (opts : Proto.solve_options) ~degraded fp token mailbox
+    =
   try
     if Deadline.expired token then begin
       Obs.Counter.incr c_sheds;
@@ -155,7 +187,9 @@ let run_solve srv inst (opts : Proto.solve_options) fp token mailbox =
       in
       match
         Driver.solve ~deadline:token ?budget:opts.budget
-          ~improve:opts.improve ?autosave ?resume inst
+          ~improve:opts.improve
+          ~exact:(degraded <> Some Proto.Heuristic_only)
+          ?autosave ?resume inst
       with
       | Ok o ->
           Option.iter
@@ -163,7 +197,9 @@ let run_solve srv inst (opts : Proto.solve_options) fp token mailbox =
               let path = snapshot_path dir fp in
               if Sys.file_exists path then Sys.remove path)
             srv.cfg.autosave_dir;
-          if opts.use_cache then
+          (* a degraded answer is certified but possibly weaker than a
+             healthy solve of the same instance — never cache it *)
+          if opts.use_cache && degraded = None then
             Cache.store srv.cache ~fp ~inst
               {
                 Cache.starts = o.Driver.starts;
@@ -184,6 +220,7 @@ let run_solve srv inst (opts : Proto.solve_options) fp token mailbox =
                  elapsed_s = o.Driver.elapsed_s;
                  cache_hit = false;
                  resumed = o.Driver.resumed;
+                 degraded;
                  fingerprint = fp;
                })
       | Error e ->
@@ -239,6 +276,7 @@ let handle_solve srv inst (opts : Proto.solve_options) =
             elapsed_s = 0.0;
             cache_hit = true;
             resumed = false;
+            degraded = None;
             fingerprint = fp;
           }
     | None -> (
@@ -248,11 +286,30 @@ let handle_solve srv inst (opts : Proto.solve_options) =
                ~default:srv.cfg.default_deadline_s)
             srv.cfg.deadline_cap_s
         in
+        (* brownout decision at admission, from the same occupancy the
+           hard queue limit is measured against *)
+        let degraded = brownout_of srv.cfg ~occupancy:(occupancy srv) in
+        let opts =
+          match degraded with
+          | None -> opts
+          | Some Proto.Shrunk_budget ->
+              {
+                opts with
+                Proto.budget =
+                  Some
+                    (match opts.budget with
+                    | Some b -> min b srv.cfg.brownout_budget
+                    | None -> srv.cfg.brownout_budget);
+                improve = false;
+              }
+          | Some Proto.Heuristic_only -> { opts with Proto.improve = false }
+        in
+        if degraded <> None then Obs.Counter.incr c_degraded;
         let token = Deadline.make ~seconds () in
         let mailbox = Mailbox.create () in
         match
           Taskpar.Service.submit srv.pool ~priority:opts.priority (fun () ->
-              run_solve srv inst opts fp token mailbox)
+              run_solve srv inst opts ~degraded fp token mailbox)
         with
         | `Saturated depth ->
             Obs.Counter.incr c_sheds;
@@ -267,17 +324,40 @@ let handle_solve srv inst (opts : Proto.solve_options) =
         | `Accepted -> Mailbox.take mailbox)
   end
 
-(* ---- stats ----------------------------------------------------------- *)
+(* ---- stats & health --------------------------------------------------- *)
+
+let open_conns srv =
+  Mutex.lock srv.state;
+  let n = List.length (List.filter (fun (c, _) -> not c.closed) srv.conns) in
+  Mutex.unlock srv.state;
+  n
+
+let health srv =
+  let draining =
+    Mutex.lock srv.state;
+    let d = srv.stopping in
+    Mutex.unlock srv.state;
+    d
+  in
+  let brownout = brownout_of srv.cfg ~occupancy:(occupancy srv) in
+  {
+    Proto.ready = not draining;
+    draining;
+    queue_depth = Taskpar.Service.depth srv.pool;
+    running = Taskpar.Service.running srv.pool;
+    connections = open_conns srv;
+    brownout;
+    uptime_s = Obs.elapsed_s ~since:srv.t0;
+  }
 
 let stats_json srv =
-  let n_conns =
-    Mutex.lock srv.state;
-    let n = List.length (List.filter (fun (c, _) -> not c.closed) srv.conns) in
-    Mutex.unlock srv.state;
-    n
-  in
   let num f = Json.Num f in
   let int i = num (Float.of_int i) in
+  let brownout =
+    match brownout_of srv.cfg ~occupancy:(occupancy srv) with
+    | None -> "none"
+    | Some d -> Proto.degrade_to_string d
+  in
   Json.to_string
     (Json.Obj
        [
@@ -288,7 +368,9 @@ let stats_json srv =
                ("workers", int srv.cfg.workers);
                ("queue_depth", int (Taskpar.Service.depth srv.pool));
                ("running", int (Taskpar.Service.running srv.pool));
-               ("connections", int n_conns);
+               ("connections", int (open_conns srv));
+               ("occupancy", num (occupancy srv));
+               ("brownout", Json.Str brownout);
                ( "cache",
                  Json.Obj
                    [
@@ -301,7 +383,13 @@ let stats_json srv =
 
 (* ---- connection loop -------------------------------------------------- *)
 
-let send fd resp = Proto.write_frame fd (Proto.encode_response resp)
+let timeout_opt s = if s > 0.0 then Some s else None
+
+let send srv fd resp =
+  Proto.write_frame
+    ?io_timeout_s:(timeout_opt srv.cfg.io_timeout_s)
+    fd
+    (Proto.encode_response resp)
 
 let request_shutdown srv =
   Mutex.lock srv.state;
@@ -312,13 +400,30 @@ let request_shutdown srv =
 let conn_loop srv conn =
   let fd = conn.fd in
   let rec loop () =
-    match Proto.read_frame ~max_frame:srv.cfg.max_frame fd with
+    match
+      Proto.read_frame ~max_frame:srv.cfg.max_frame
+        ?idle_timeout_s:(timeout_opt srv.cfg.idle_timeout_s)
+        ?io_timeout_s:(timeout_opt srv.cfg.io_timeout_s)
+        fd
+    with
     | Error (Proto.Eof | Proto.Truncated) -> ()
+    | Error Proto.Timed_out ->
+        (* a stalled reader or a slow-loris writer: best-effort typed
+           notice, then reclaim the connection *)
+        Obs.Counter.incr c_conn_timeouts;
+        (try
+           send srv fd
+             (Proto.Error
+                {
+                  code = Proto.Conn_timeout;
+                  message = Proto.frame_error_to_string Proto.Timed_out;
+                })
+         with Proto.Write_timeout | Unix.Unix_error _ | Sys_error _ -> ())
     | Error Proto.Bad_magic ->
         (* the stream is desynchronized: best-effort typed error, then
            the connection has to go *)
         Obs.Counter.incr c_bad_frames;
-        send fd
+        send srv fd
           (Proto.Error
              {
                code = Proto.Bad_frame;
@@ -327,7 +432,7 @@ let conn_loop srv conn =
     | Error (Proto.Oversized _ as e) ->
         (* header intact, body consumed: still in sync, keep serving *)
         Obs.Counter.incr c_bad_frames;
-        send fd
+        send srv fd
           (Proto.Error
              {
                code = Proto.Bad_frame;
@@ -338,16 +443,19 @@ let conn_loop srv conn =
         match Proto.decode_request body with
         | Error (code, message) ->
             Obs.Counter.incr c_bad_frames;
-            send fd (Proto.Error { code; message });
+            send srv fd (Proto.Error { code; message });
             loop ()
         | Ok Proto.Ping ->
-            send fd (Proto.Pong { version = Proto.version });
+            send srv fd (Proto.Pong { version = Proto.version });
             loop ()
         | Ok Proto.Stats ->
-            send fd (Proto.Stats_reply { json = stats_json srv });
+            send srv fd (Proto.Stats_reply { json = stats_json srv });
+            loop ()
+        | Ok Proto.Health ->
+            send srv fd (Proto.Health_reply (health srv));
             loop ()
         | Ok Proto.Shutdown ->
-            send fd Proto.Shutting_down;
+            send srv fd Proto.Shutting_down;
             request_shutdown srv
         | Ok (Proto.Solve { inst; opts }) ->
             let resp =
@@ -356,10 +464,12 @@ let conn_loop srv conn =
                 "server.request"
                 (fun () -> handle_solve srv inst opts)
             in
-            send fd resp;
+            send srv fd resp;
             loop ())
   in
-  (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  (try loop () with
+  | Unix.Unix_error _ | Sys_error _ -> ()
+  | Proto.Write_timeout -> Obs.Counter.incr c_conn_timeouts);
   Mutex.lock srv.state;
   if not conn.closed then begin
     conn.closed <- true;

@@ -36,11 +36,29 @@ type config = {
   deadline_cap_s : float;  (** clamp on client-requested deadlines *)
   autosave_dir : string option;
   autosave_every_s : float;
+  idle_timeout_s : float;
+      (** close a connection idle between frames this long; 0 disables *)
+  io_timeout_s : float;
+      (** per-frame read/write deadline once bytes flow (slow-loris
+          defense); 0 disables *)
+  brownout_low : float;
+      (** occupancy at which admitted solves get a shrunk exact budget *)
+  brownout_high : float;
+      (** occupancy at which admitted solves run heuristics only *)
+  brownout_budget : int;  (** exact-node cap under [Shrunk_budget] *)
 }
 
 val default_config : addr -> config
 (** 2 workers, queue 32, cache 256, 4M vertex cap, 16 MiB frames, 5 s
-    default / 60 s max deadline, no autosave. *)
+    default / 60 s max deadline, no autosave; 300 s idle / 30 s io
+    timeouts, brownout watermarks 0.75 / 0.95 with a 500-node budget. *)
+
+val brownout_of : config -> occupancy:float -> Proto.degrade option
+(** The pure watermark rule: occupancy ≥ [brownout_high] is
+    [Heuristic_only], ≥ [brownout_low] is [Shrunk_budget], else
+    healthy. Occupancy is (queued + running) / (queue capacity +
+    workers) — the hard [Queue_full] shed fires at 1.0, so brownout
+    degrades strictly before the server starts refusing. *)
 
 type t
 
@@ -52,6 +70,17 @@ val start : config -> t
 val port : t -> int
 (** The bound TCP port (useful with [Tcp (host, 0)]); the Unix-domain
     case returns 0. *)
+
+val health : t -> Proto.health
+(** The live readiness snapshot the [Health] request serves. *)
+
+val occupancy : t -> float
+(** Current fraction of admission slots in use. *)
+
+val bind_listen : addr -> Unix.file_descr * int
+(** Bind + listen on an address, returning the fd and the bound TCP
+    port (0 for Unix sockets). Shared with {!Netfaults}; an existing
+    socket file at a [Unix_sock] path is replaced. *)
 
 val wait : t -> unit
 (** Block until a [Shutdown] request (or {!stop} from another thread)

@@ -1,0 +1,54 @@
+(** Restart policy for [ivc_serve --supervise], as a pure state
+    machine: the fork/waitpid loop in the binary feeds each worker
+    exit in and acts on the verdict, so every policy decision —
+    jittered exponential backoff, crash-loop detection, streak reset
+    after a healthy run — is unit-testable without processes.
+
+    {2 The policy}
+
+    - A worker that exits 0 or dies to SIGTERM/SIGINT was asked to
+      stop: [Stop_clean].
+    - Any other exit is a crash. If the worker ran at least
+      [min_uptime_s] the crash streak resets to 1; otherwise it
+      grows. More than [max_rapid_crashes] rapid crashes in a row is
+      a crash loop: [Give_up].
+    - Otherwise [Restart_after d] with
+      [d = min(max_backoff_s, base_backoff_s * 2^(streak-1))]
+      jittered down by up to [jitter], deterministically from
+      [seed] — an incident replays exactly from the logged seed. *)
+
+type config = {
+  seed : int;  (** jitter determinism *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;  (** fraction of the delay randomized away, 0..1 *)
+  min_uptime_s : float;  (** uptime below this marks a crash "rapid" *)
+  max_rapid_crashes : int;
+}
+
+val default_config : config
+(** seed 0, 0.5 s base, 8 s cap, 0.5 jitter, 5 s healthy uptime,
+    5 rapid crashes. *)
+
+type state = { streak : int; restarts : int }
+
+val initial : state
+
+type verdict =
+  | Stop_clean  (** deliberate exit — the supervisor stops too *)
+  | Restart_after of float  (** fork again after this many seconds *)
+  | Give_up of string  (** crash loop — propagate the failure *)
+
+val backoff_s : config -> attempt:int -> float
+(** The jittered delay before restart number [attempt] (0-based
+    within a streak). Monotone non-decreasing in expectation, capped
+    at [max_backoff_s]; deterministic in (seed, attempt). *)
+
+val on_exit :
+  config ->
+  state ->
+  uptime_s:float ->
+  status:Unix.process_status ->
+  state * verdict
+
+val status_to_string : Unix.process_status -> string

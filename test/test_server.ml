@@ -13,6 +13,8 @@ module S = Ivc_grid.Stencil
 module Proto = Ivc_server.Proto
 module Server = Ivc_server.Server
 module Client = Ivc_server.Client
+module Net = Ivc_server.Netfaults
+module Supervise = Ivc_server.Supervise
 module Codec = Ivc_persist.Codec
 module Cert = Ivc_resilient.Cert
 
@@ -84,19 +86,23 @@ let roundtrip_response resp =
 
 let test_response_roundtrips () =
   roundtrip_response (Proto.Pong { version = Proto.version });
-  roundtrip_response
-    (Proto.Solution
-       {
-         Proto.starts = [| 0; 3; 7; 12 |];
-         maxcolor = 14;
-         lower_bound = 12;
-         provenance = "heuristic:BDP";
-         proven_optimal = false;
-         elapsed_s = 0.125;
-         cache_hit = true;
-         resumed = true;
-         fingerprint = 0xdeadbeefL;
-       });
+  List.iter
+    (fun degraded ->
+      roundtrip_response
+        (Proto.Solution
+           {
+             Proto.starts = [| 0; 3; 7; 12 |];
+             maxcolor = 14;
+             lower_bound = 12;
+             provenance = "heuristic:BDP";
+             proven_optimal = false;
+             elapsed_s = 0.125;
+             cache_hit = true;
+             resumed = true;
+             degraded;
+             fingerprint = 0xdeadbeefL;
+           }))
+    [ None; Some Proto.Shrunk_budget; Some Proto.Heuristic_only ];
   List.iter
     (fun code ->
       roundtrip_response
@@ -107,10 +113,25 @@ let test_response_roundtrips () =
       roundtrip_response (Proto.Error { code; message = "boom" }))
     [
       Proto.Bad_frame; Proto.Bad_version; Proto.Bad_request;
-      Proto.Cert_failed; Proto.Internal;
+      Proto.Cert_failed; Proto.Internal; Proto.Conn_timeout;
     ];
   roundtrip_response (Proto.Stats_reply { json = {|{"server":{}}|} });
-  roundtrip_response Proto.Shutting_down
+  roundtrip_response Proto.Shutting_down;
+  roundtrip_request Proto.Health;
+  List.iter
+    (fun brownout ->
+      roundtrip_response
+        (Proto.Health_reply
+           {
+             Proto.ready = true;
+             draining = false;
+             queue_depth = 3;
+             running = 2;
+             connections = 7;
+             brownout;
+             uptime_s = 12.5;
+           }))
+    [ None; Some Proto.Shrunk_budget; Some Proto.Heuristic_only ]
 
 let qtest_solve_roundtrip =
   Util.qtest ~count:60 "solve request round-trips" Util.gen_inst2
@@ -240,18 +261,24 @@ let test_frame_oversized_stays_in_sync () =
 (* ---- the daemon end to end -------------------------------------------- *)
 
 let with_server ?(workers = 1) ?(queue_capacity = 8) ?(cache_capacity = 8)
-    ?max_vertices ?max_frame f =
+    ?max_vertices ?max_frame ?idle_timeout_s ?io_timeout_s ?brownout_low
+    ?brownout_high f =
   let path = Filename.temp_file "ivc_test" ".sock" in
   let addr = Server.Unix_sock path in
   let base = Server.default_config addr in
+  let dflt v d = Option.value v ~default:d in
   let cfg =
     {
       base with
       Server.workers;
       queue_capacity;
       cache_capacity;
-      max_vertices = Option.value max_vertices ~default:base.Server.max_vertices;
-      max_frame = Option.value max_frame ~default:base.Server.max_frame;
+      max_vertices = dflt max_vertices base.Server.max_vertices;
+      max_frame = dflt max_frame base.Server.max_frame;
+      idle_timeout_s = dflt idle_timeout_s base.Server.idle_timeout_s;
+      io_timeout_s = dflt io_timeout_s base.Server.io_timeout_s;
+      brownout_low = dflt brownout_low base.Server.brownout_low;
+      brownout_high = dflt brownout_high base.Server.brownout_high;
     }
   in
   let srv = Server.start cfg in
@@ -261,13 +288,19 @@ let with_server ?(workers = 1) ?(queue_capacity = 8) ?(cache_capacity = 8)
       try Sys.remove path with Sys_error _ -> ())
     (fun () -> f addr)
 
+(* Every e2e test wants a live connection or a loud failure. *)
+let connect addr =
+  match Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect failed: %s" (Client.error_to_string e)
+
 let solve_ok addr ~opts inst =
-  let c = Client.connect addr in
+  let c = connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   match Client.solve c ~opts inst with
   | Ok (Proto.Solution s) -> s
   | Ok _ -> Alcotest.fail "expected a solution"
-  | Error m -> Alcotest.failf "solve failed: %s" m
+  | Error e -> Alcotest.failf "solve failed: %s" (Client.error_to_string e)
 
 let test_e2e_solve_and_cache () =
   with_server @@ fun addr ->
@@ -292,14 +325,14 @@ let test_e2e_solve_and_cache () =
 
 let test_e2e_ping_and_stats () =
   with_server @@ fun addr ->
-  let c = Client.connect addr in
+  let c = connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   (match Client.ping c with
   | Ok v -> Alcotest.(check int) "protocol version" Proto.version v
-  | Error m -> Alcotest.failf "ping failed: %s" m);
+  | Error e -> Alcotest.failf "ping failed: %s" (Client.error_to_string e));
   ignore (solve_ok addr ~opts:fast_opts small_inst);
   match Client.stats c with
-  | Error m -> Alcotest.failf "stats failed: %s" m
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.error_to_string e)
   | Ok json ->
       let has needle =
         let n = String.length needle and m = String.length json in
@@ -314,12 +347,12 @@ let test_e2e_ping_and_stats () =
 
 let test_e2e_too_large () =
   with_server ~max_vertices:50 @@ fun addr ->
-  let c = Client.connect addr in
+  let c = connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   match Client.solve c ~opts:fast_opts small_inst with
   | Ok (Proto.Shed { code = Proto.Too_large; _ }) -> ()
   | Ok _ -> Alcotest.fail "64 vertices over a 50-vertex cap must shed"
-  | Error m -> Alcotest.failf "request failed: %s" m
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
 
 (* A damaged frame must never take down the connection unless the
    stream is desynchronized: undecodable and oversized bodies get a
@@ -404,12 +437,12 @@ let test_e2e_queue_full_shed () =
   with_server ~workers:1 ~queue_capacity:0 ~cache_capacity:0 @@ fun addr ->
   let join_slow = spawn_slow addr 1.5 in
   Thread.delay 0.4;
-  let c = Client.connect addr in
+  let c = connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   (match Client.solve c ~opts:fast_opts small_inst with
   | Ok (Proto.Shed { code = Proto.Queue_full; _ }) -> ()
   | Ok _ -> Alcotest.fail "saturated server must shed Queue_full"
-  | Error m -> Alcotest.failf "request failed: %s" m);
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
   ignore (join_slow ())
 
 (* The deadline token is minted at admission, so time spent queued
@@ -419,7 +452,7 @@ let test_e2e_expired_in_queue () =
   with_server ~workers:1 ~cache_capacity:0 @@ fun addr ->
   let join_slow = spawn_slow addr 1.2 in
   Thread.delay 0.3;
-  let c = Client.connect addr in
+  let c = connect addr in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   (match
      Client.solve c
@@ -428,7 +461,7 @@ let test_e2e_expired_in_queue () =
    with
   | Ok (Proto.Shed { code = Proto.Expired_in_queue; _ }) -> ()
   | Ok _ -> Alcotest.fail "a deadline spent queueing must shed Expired"
-  | Error m -> Alcotest.failf "request failed: %s" m);
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
   ignore (join_slow ())
 
 (* Two workers: a deadline-burning request on one must not delay a
@@ -450,16 +483,423 @@ let test_e2e_deadline_isolation () =
 let test_e2e_shutdown_request () =
   let path = Filename.temp_file "ivc_test" ".sock" in
   let srv = Server.start (Server.default_config (Server.Unix_sock path)) in
-  let c = Client.connect (Server.Unix_sock path) in
+  let c = connect (Server.Unix_sock path) in
   (match Client.shutdown c with
   | Ok () -> ()
-  | Error m -> Alcotest.failf "shutdown failed: %s" m);
+  | Error e -> Alcotest.failf "shutdown failed: %s" (Client.error_to_string e));
   Client.close c;
   (* wait must see the client-requested shutdown; stop is idempotent *)
   Server.wait srv;
   Server.stop srv;
   Server.stop srv;
   try Sys.remove path with Sys_error _ -> ()
+
+(* ---- netfault plans --------------------------------------------------- *)
+
+let test_netfault_plan () =
+  let p = Net.parse "seed=7,delay=0.2:0.002,tear=0.1,reset=0.05,stall=0.05:0.5,dup=0.1" in
+  Alcotest.(check int) "seed parses" 7 p.Net.seed;
+  Alcotest.(check bool) "not the empty plan" false (Net.is_none p);
+  Alcotest.(check bool) "canonical form round-trips" true
+    (Net.parse (Net.to_string p) = p);
+  Alcotest.(check bool) "empty plan is none" true (Net.is_none (Net.parse ""));
+  (match Net.parse "tear=1.5" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probability above 1 must be rejected");
+  (match Net.parse "bogus=1" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown field must be rejected");
+  (* decisions are pure in (seed, stream, chunk) *)
+  for stream = 0 to 5 do
+    for chunk = 0 to 20 do
+      Alcotest.(check bool) "decide is deterministic" true
+        (Net.decide p ~stream ~chunk = Net.decide p ~stream ~chunk)
+    done
+  done;
+  let heavy = Net.parse "seed=3,reset=1.0" in
+  Alcotest.(check bool) "probability 1 always fires" true
+    (Net.decide heavy ~stream:0 ~chunk:0 = Some Net.Reset);
+  let quiet = Net.parse "seed=3" in
+  Alcotest.(check bool) "zero probabilities never fire" true
+    (Net.decide quiet ~stream:0 ~chunk:0 = None)
+
+(* ---- connection deadlines (slow loris) -------------------------------- *)
+
+(* A client that starts a frame and stalls must be cut off by the io
+   window — and the cut must be typed (Conn_timeout best-effort
+   notice, then close) and must not damage the server: a well-behaved
+   request right after still gets served. *)
+let slow_loris_check ~stalled_bytes =
+  with_server ~idle_timeout_s:5.0 ~io_timeout_s:0.25 @@ fun addr ->
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      write_raw fd stalled_bytes;
+      (* now stall: the server's io window expires, not ours *)
+      (match Proto.read_frame ~idle_timeout_s:5.0 fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Error { code = Proto.Conn_timeout; _ }) -> ()
+          | _ -> Alcotest.fail "stalled frame must answer Conn_timeout")
+      | Error (Proto.Eof | Proto.Truncated) ->
+          (* the notice is best-effort; the close is the contract *)
+          ()
+      | Error e ->
+          Alcotest.failf "unexpected reply to a stalled frame: %s"
+            (Proto.frame_error_to_string e));
+      (match Proto.read_frame ~idle_timeout_s:5.0 fd with
+      | Error (Proto.Eof | Proto.Truncated) -> ()
+      | Ok _ -> Alcotest.fail "server must close a stalled connection"
+      | Error e ->
+          Alcotest.failf "stalled connection not closed: %s"
+            (Proto.frame_error_to_string e));
+      (* the server survived the loris: normal service continues *)
+      ignore (solve_ok addr ~opts:fast_opts small_inst))
+
+let test_slow_loris_header () = slow_loris_check ~stalled_bytes:"IV"
+
+let test_slow_loris_body () =
+  (* full header claiming 10 bytes, then only 2 of them *)
+  slow_loris_check ~stalled_bytes:"IVCR\x0a\x00\x00\x00hi"
+
+(* A half-open peer (sent its request, shut down its write side) must
+   still receive its response; the server then sees EOF and closes
+   without incident. *)
+let test_half_open_connection () =
+  with_server @@ fun addr ->
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Proto.write_frame fd (Proto.encode_request Proto.Ping);
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match Proto.read_frame fd with
+      | Ok body -> (
+          match Proto.decode_response body with
+          | Ok (Proto.Pong _) -> ()
+          | _ -> Alcotest.fail "half-open ping must still pong")
+      | Error e ->
+          Alcotest.failf "no response on a half-open connection: %s"
+            (Proto.frame_error_to_string e));
+      (match Proto.read_frame fd with
+      | Error Proto.Eof -> ()
+      | _ -> Alcotest.fail "server must close after the peer's EOF");
+      (* and the server is still healthy *)
+      ignore (solve_ok addr ~opts:fast_opts small_inst))
+
+(* ---- brownout --------------------------------------------------------- *)
+
+let test_brownout_watermarks () =
+  let cfg = Server.default_config (Server.Unix_sock "unused.sock") in
+  let at occupancy = Server.brownout_of cfg ~occupancy in
+  Alcotest.(check bool) "idle server is not degraded" true (at 0.0 = None);
+  Alcotest.(check bool) "below low watermark" true (at 0.74 = None);
+  Alcotest.(check bool) "at low watermark" true
+    (at 0.75 = Some Proto.Shrunk_budget);
+  Alcotest.(check bool) "between watermarks" true
+    (at 0.90 = Some Proto.Shrunk_budget);
+  Alcotest.(check bool) "at high watermark" true
+    (at 0.95 = Some Proto.Heuristic_only);
+  Alcotest.(check bool) "saturated" true (at 1.0 = Some Proto.Heuristic_only);
+  let off = { cfg with Server.brownout_low = 2.0; brownout_high = 2.0 } in
+  Alcotest.(check bool) "watermarks above 1 disable brownout" true
+    (Server.brownout_of off ~occupancy:1.0 = None)
+
+(* The saturation experiment behind the brownout design: the same
+   staggered overload either sheds (brownout off) or completes every
+   request degraded-but-certified (brownout on). Load: one worker,
+   queue capacity 1, three connections each sending two sequential
+   deadline-burning solves, arrivals staggered so the queue — not the
+   accept loop — is the bottleneck. *)
+let brownout_load addr =
+  let lock = Mutex.create () in
+  let sheds = ref 0 and degraded = ref 0 and solutions = ref [] in
+  let worker i =
+    Thread.delay (Float.of_int i *. 0.15);
+    let c = connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for _ = 1 to 2 do
+      match Client.solve c ~opts:(slow_opts 0.5) hard_inst with
+      | Ok (Proto.Solution s) ->
+          ignore (Cert.assert_ok hard_inst s.Proto.starts);
+          Mutex.lock lock;
+          if s.Proto.degraded <> None then incr degraded;
+          solutions := s :: !solutions;
+          Mutex.unlock lock
+      | Ok (Proto.Shed _) ->
+          Mutex.lock lock;
+          incr sheds;
+          Mutex.unlock lock
+      | Ok _ -> Alcotest.fail "unexpected response under load"
+      | Error e ->
+          Alcotest.failf "request failed under load: %s"
+            (Client.error_to_string e)
+    done
+  in
+  let threads = List.init 3 (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  (!sheds, !degraded, List.length !solutions)
+
+let test_e2e_brownout_conversion () =
+  (* watermarks above 1: brownout disabled, overload sheds *)
+  let sheds_off, _, _ =
+    with_server ~workers:1 ~queue_capacity:1 ~cache_capacity:0
+      ~brownout_low:2.0 ~brownout_high:2.0 brownout_load
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "overload sheds without brownout (%d sheds)" sheds_off)
+    true (sheds_off >= 1);
+  (* watermarks at 0: every admitted request runs heuristics only,
+     finishes in milliseconds, and the queue never fills — the sheds
+     become answers *)
+  let sheds_on, degraded_on, solved_on =
+    with_server ~workers:1 ~queue_capacity:1 ~cache_capacity:0
+      ~brownout_low:0.0 ~brownout_high:0.0 brownout_load
+  in
+  Alcotest.(check int) "brownout sheds nothing" 0 sheds_on;
+  Alcotest.(check int) "every request answered" 6 solved_on;
+  Alcotest.(check int) "every answer marked degraded" 6 degraded_on
+
+(* ---- client retry schedule -------------------------------------------- *)
+
+let test_retry_schedule () =
+  let p =
+    {
+      Client.default_retry with
+      Client.base_delay_s = 0.05;
+      max_delay_s = 1.0;
+      jitter = 0.0;
+      seed = 0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "attempt 0" 0.05
+    (Client.retry_delay_s p ~attempt:0);
+  Alcotest.(check (float 1e-9)) "attempt 1 doubles" 0.1
+    (Client.retry_delay_s p ~attempt:1);
+  Alcotest.(check (float 1e-9)) "attempt 2 doubles again" 0.2
+    (Client.retry_delay_s p ~attempt:2);
+  Alcotest.(check (float 1e-9)) "cap reached" 1.0
+    (Client.retry_delay_s p ~attempt:10);
+  let j = { p with Client.jitter = 0.5; seed = 42 } in
+  for a = 0 to 8 do
+    let d = Client.retry_delay_s j ~attempt:a in
+    let full = Float.min j.Client.max_delay_s (0.05 *. (2.0 ** Float.of_int a)) in
+    Alcotest.(check bool) "jitter only shrinks" true
+      (d <= full +. 1e-9 && d >= (0.5 *. full) -. 1e-9);
+    Alcotest.(check (float 1e-12)) "deterministic in (seed, attempt)" d
+      (Client.retry_delay_s j ~attempt:a)
+  done;
+  Alcotest.(check bool) "different seeds draw different jitter" true
+    (Client.retry_delay_s j ~attempt:3
+    <> Client.retry_delay_s { j with Client.seed = 43 } ~attempt:3)
+
+(* ---- supervisor policy ------------------------------------------------ *)
+
+let test_supervise_policy () =
+  let cfg =
+    {
+      Supervise.seed = 3;
+      base_backoff_s = 0.1;
+      max_backoff_s = 1.0;
+      jitter = 0.0;
+      min_uptime_s = 1.0;
+      max_rapid_crashes = 3;
+    }
+  in
+  let st = Supervise.initial in
+  (* clean exits and operator signals stop the supervisor *)
+  (match Supervise.on_exit cfg st ~uptime_s:0.01 ~status:(Unix.WEXITED 0) with
+  | _, Supervise.Stop_clean -> ()
+  | _ -> Alcotest.fail "exit 0 must stop the supervisor");
+  (match
+     Supervise.on_exit cfg st ~uptime_s:0.01
+       ~status:(Unix.WSIGNALED Sys.sigterm)
+   with
+  | _, Supervise.Stop_clean -> ()
+  | _ -> Alcotest.fail "SIGTERM must stop the supervisor");
+  (* a rapid-crash loop escalates backoff then gives up *)
+  let crash st =
+    Supervise.on_exit cfg st ~uptime_s:0.01 ~status:(Unix.WEXITED 2)
+  in
+  let expect_restart name want st =
+    match crash st with
+    | st', Supervise.Restart_after d ->
+        Alcotest.(check (float 1e-9)) name want d;
+        st'
+    | _ -> Alcotest.failf "%s: expected a restart" name
+  in
+  let st = expect_restart "first crash backs off base" 0.1 st in
+  let st = expect_restart "second crash doubles" 0.2 st in
+  let st = expect_restart "third crash doubles again" 0.4 st in
+  (match crash st with
+  | _, Supervise.Give_up _ -> ()
+  | _ -> Alcotest.fail "a crash loop must give up");
+  (* a healthy stretch resets the streak *)
+  let st = expect_restart "crash one" 0.1 Supervise.initial in
+  let st = expect_restart "crash two" 0.2 st in
+  (match
+     Supervise.on_exit cfg st ~uptime_s:60.0 ~status:(Unix.WEXITED 2)
+   with
+  | st', Supervise.Restart_after d ->
+      Alcotest.(check (float 1e-9)) "healthy uptime resets backoff" 0.1 d;
+      Alcotest.(check int) "streak reset" 1 st'.Supervise.streak
+  | _ -> Alcotest.fail "a crash after healthy uptime must restart");
+  (* jittered backoff is capped, positive and deterministic *)
+  let jcfg = { cfg with Supervise.jitter = 0.5; seed = 11 } in
+  for a = 0 to 9 do
+    let d = Supervise.backoff_s jcfg ~attempt:a in
+    Alcotest.(check bool) "backoff within (0, max]" true
+      (d > 0.0 && d <= jcfg.Supervise.max_backoff_s);
+    Alcotest.(check (float 1e-12)) "backoff deterministic" d
+      (Supervise.backoff_s jcfg ~attempt:a)
+  done
+
+(* ---- typed client failures -------------------------------------------- *)
+
+let test_connect_errors_typed () =
+  (match Client.connect (Server.Unix_sock "/nonexistent/dir/ivc.sock") with
+  | Error (Client.Connect _) -> ()
+  | Error e ->
+      Alcotest.failf "missing socket path must be Connect, got %s"
+        (Client.error_to_string e)
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connected to a nonexistent socket");
+  (* a port that was bound and released refuses connections *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  (match Client.connect ~timeout_s:2.0 (Server.Tcp ("127.0.0.1", port)) with
+  | Error (Client.Connect _) | Error Client.Timeout -> ()
+  | Error e ->
+      Alcotest.failf "refused connect must be typed Connect, got %s"
+        (Client.error_to_string e)
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connected to a closed port")
+
+let test_broken_pipe_typed () =
+  let path = Filename.temp_file "ivc_test" ".sock" in
+  let srv = Server.start (Server.default_config (Server.Unix_sock path)) in
+  let c = connect (Server.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Server.stop srv;
+  (* the daemon is gone: the request must come back typed — Io or
+     Timeout depending on how far the kernel let it get — never as a
+     Unix_error or a SIGPIPE kill *)
+  (match Client.solve c ~opts:fast_opts small_inst with
+  | Error (Client.Io _ | Client.Timeout) -> ()
+  | Error e ->
+      Alcotest.failf "dead server must surface Io/Timeout, got %s"
+        (Client.error_to_string e)
+  | Ok _ -> Alcotest.fail "solved against a stopped server");
+  (* the connection is marked dead: later calls fail fast, typed *)
+  match Client.ping c with
+  | Error (Client.Io _) -> ()
+  | Error e ->
+      Alcotest.failf "dead connection must fail fast with Io, got %s"
+        (Client.error_to_string e)
+  | Ok _ -> Alcotest.fail "pinged a dead connection"
+
+let test_verify_solution_corrupt () =
+  with_server @@ fun addr ->
+  let s = solve_ok addr ~opts:fast_opts small_inst in
+  (match Client.verify_solution small_inst s with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "honest solution rejected: %s" (Client.error_to_string e));
+  let wrong_fp = { s with Proto.fingerprint = Int64.lognot s.Proto.fingerprint } in
+  (match Client.verify_solution small_inst wrong_fp with
+  | Error (Client.Corrupt _) -> ()
+  | _ -> Alcotest.fail "wrong fingerprint must be Corrupt");
+  let inflated = { s with Proto.maxcolor = s.Proto.maxcolor + 1 } in
+  (match Client.verify_solution small_inst inflated with
+  | Error (Client.Corrupt _) -> ()
+  | _ -> Alcotest.fail "inflated maxcolor claim must be Corrupt");
+  let starts = Array.copy s.Proto.starts in
+  starts.(0) <- starts.(0) + 1;
+  match Client.verify_solution small_inst { s with Proto.starts = starts } with
+  | Error (Client.Corrupt _) -> ()
+  | _ -> Alcotest.fail "damaged coloring must be Corrupt"
+
+(* ---- health and the fault proxy --------------------------------------- *)
+
+let test_e2e_health () =
+  with_server @@ fun addr ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.health c with
+  | Error e -> Alcotest.failf "health failed: %s" (Client.error_to_string e)
+  | Ok h ->
+      Alcotest.(check bool) "ready" true h.Proto.ready;
+      Alcotest.(check bool) "not draining" false h.Proto.draining;
+      Alcotest.(check int) "nothing queued" 0 h.Proto.queue_depth;
+      Alcotest.(check int) "nothing running" 0 h.Proto.running;
+      Alcotest.(check bool) "this connection counted" true
+        (h.Proto.connections >= 1);
+      Alcotest.(check bool) "no brownout when idle" true
+        (h.Proto.brownout = None);
+      Alcotest.(check bool) "uptime non-negative" true (h.Proto.uptime_s >= 0.0)
+
+let with_proxy ~plan f =
+  with_server ~workers:1 ~idle_timeout_s:5.0 ~io_timeout_s:2.0 @@ fun addr ->
+  let front = Filename.temp_file "ivc_proxy" ".sock" in
+  let proxy =
+    Net.start ~listen:(Server.Unix_sock front) ~upstream:addr
+      ~plan:(Net.parse plan)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.stop proxy;
+      try Sys.remove front with Sys_error _ -> ())
+    (fun () -> f (Server.Unix_sock front))
+
+let test_e2e_proxy_benign () =
+  (* delays and torn frames damage timing, never content: a single
+     plain request through the proxy still verifies end to end *)
+  with_proxy ~plan:"seed=5,delay=0.5:0.001,tear=0.3" @@ fun front ->
+  let s = solve_ok front ~opts:fast_opts small_inst in
+  match Client.verify_solution small_inst s with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "proxied solution failed verification: %s"
+        (Client.error_to_string e)
+
+let test_e2e_proxy_resets_recovered () =
+  (* a reset-heavy link eats individual attempts; the retrying
+     verified client must still land a certified answer *)
+  with_proxy ~plan:"seed=9,reset=0.3" @@ fun front ->
+  let retry =
+    {
+      Client.default_retry with
+      Client.attempts = 10;
+      base_delay_s = 0.01;
+      max_delay_s = 0.05;
+      seed = 9;
+      connect_timeout_s = 2.0;
+      request_timeout_s = Some 5.0;
+    }
+  in
+  match Client.solve_verified ~retry ~addr:front ~opts:fast_opts small_inst with
+  | Ok (Proto.Solution s) -> ignore (Cert.assert_ok small_inst s.Proto.starts)
+  | Ok _ -> Alcotest.fail "expected a solution through the flaky link"
+  | Error e ->
+      Alcotest.failf "retries did not survive the reset plan: %s"
+        (Client.error_to_string e)
 
 let suite =
   [
@@ -489,4 +929,31 @@ let suite =
       test_e2e_deadline_isolation;
     Alcotest.test_case "e2e: client-requested shutdown" `Quick
       test_e2e_shutdown_request;
+    Alcotest.test_case "netfault plans parse and decide deterministically"
+      `Quick test_netfault_plan;
+    Alcotest.test_case "slow loris: stalled header is cut off" `Slow
+      test_slow_loris_header;
+    Alcotest.test_case "slow loris: stalled body is cut off" `Slow
+      test_slow_loris_body;
+    Alcotest.test_case "half-open connection still gets its response" `Quick
+      test_half_open_connection;
+    Alcotest.test_case "brownout watermark transitions" `Quick
+      test_brownout_watermarks;
+    Alcotest.test_case "e2e: brownout converts sheds into degraded answers"
+      `Slow test_e2e_brownout_conversion;
+    Alcotest.test_case "retry schedule is capped and deterministic" `Quick
+      test_retry_schedule;
+    Alcotest.test_case "supervisor policy: backoff, reset, give-up" `Quick
+      test_supervise_policy;
+    Alcotest.test_case "connect failures are typed" `Quick
+      test_connect_errors_typed;
+    Alcotest.test_case "requests to a dead server are typed" `Quick
+      test_broken_pipe_typed;
+    Alcotest.test_case "verify_solution rejects corrupted answers" `Quick
+      test_verify_solution_corrupt;
+    Alcotest.test_case "e2e: health probe" `Quick test_e2e_health;
+    Alcotest.test_case "e2e: benign fault proxy preserves answers" `Slow
+      test_e2e_proxy_benign;
+    Alcotest.test_case "e2e: retries recover from a reset-heavy link" `Slow
+      test_e2e_proxy_resets_recovered;
   ]
