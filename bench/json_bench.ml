@@ -24,13 +24,18 @@
    Schema 6 adds the "chaos" block: the same burst routed through the
    seeded Netfaults proxy with the retrying verified client, reporting
    availability, degraded fraction and p99 latency under a fixed
-   fault plan. *)
+   fault plan.
+
+   Schema 7 adds the "ooc" block inside "perf" (out-of-core tiled
+   sweep: vertices/s, spill and halo bytes, resident-tile high-water,
+   resume count) and the bytes_moved / peak_rss_bytes columns on every
+   throughput row. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 6
+let schema_version = 7
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or

@@ -16,7 +16,8 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | "json" :: rest -> Json_bench.main rest
-  | "micro" :: _ -> Micro.run ()
+  | "micro" :: rest -> Micro.run ~ooc:(List.mem "--ooc" rest) ()
+  | "tune" :: _ -> Tune.run ()
   | _ ->
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in

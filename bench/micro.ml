@@ -74,10 +74,11 @@ let tests () =
       ];
   ]
 
-let run () =
+let run ?(ooc = false) () =
   (* Kernel throughput / allocation table first: absolute vertices/s
      and bytes/vertex numbers bechamel's per-call OLS does not give. *)
   Perf.run ();
+  if ooc then Perf.demo_ooc ();
   Format.printf "@.=== Bechamel micro-benchmarks (one group per table/figure) ===@.@.";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

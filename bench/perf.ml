@@ -19,7 +19,24 @@ type row = {
   n : int;
   vps : float; (* vertices per second, best of reps *)
   bytes_per_vertex : float; (* minor+major allocation, best of reps *)
+  bytes_moved : float; (* data traffic: allocation, or spill+halo IO *)
+  peak_rss : int; (* process VmHWM (bytes) when the row finished *)
   maxcolor : int;
+}
+
+(* Out-of-core sweep measurements: the numbers the BENCH_PR.json "ooc"
+   block reports and the README quotes. [resumes] counts tiles a second
+   solve over the intact spill directory skipped — it must equal
+   [tiles], or crash recovery is broken. *)
+type ooc = {
+  ooc_n : int;
+  ooc_tiles : int;
+  ooc_vps : float;
+  ooc_spill_bytes : int;
+  ooc_halo_bytes : int;
+  ooc_resident_hw : int;
+  ooc_resumes : int;
+  ooc_maxcolor : int;
 }
 
 type t = {
@@ -28,7 +45,29 @@ type t = {
   (* workers -> (vertices/s, speedup vs the 1-worker parallel run) *)
   speedup : (int * float * float) list;
   seam_fraction : float;
+  ooc : ooc;
 }
+
+(* Peak resident set (VmHWM) in bytes from /proc/self/status; 0 where
+   the proc filesystem is unavailable. Process-wide high-water: within
+   one run the column is monotone across rows, so the interesting reads
+   are the first row's level and whether the ooc rows move it. *)
+let peak_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %d kB"
+                (fun kb -> kb * 1024)
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) scan
 
 let inst2 () =
   let rng = Spatial_data.Rng.create 90125 in
@@ -70,7 +109,72 @@ let row ~reps name inst f =
     n;
     vps = Float.of_int n /. s;
     bytes_per_vertex = bytes /. Float.of_int n;
+    bytes_moved = bytes;
+    peak_rss = peak_rss_bytes ();
     maxcolor = Ivc.Coloring.maxcolor ~w:(inst : S.t).w starts;
+  }
+
+(* ---- out-of-core sweep ------------------------------------------------ *)
+
+(* Same grid size as the 2d-512 rows, but through a counter-mode seeded
+   source and a deliberately tight resident budget so the halo cache
+   actually cycles. Timed best-of-reps on a wiped spill dir; then one
+   more solve over the intact directory checks that every tile resumes. *)
+let measure_ooc ?(x = 512) ?(y = 512) ?(mem_budget = 2 * 1024 * 1024) ~reps ()
+    =
+  let src = Ivc_ooc.Source.seeded2 ~x ~y ~seed:90125 ~bound:50 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ivc-bench-ooc-%d" (Unix.getpid ()))
+  in
+  let wipe () =
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  in
+  let solve () =
+    match Ivc_ooc.Ooc.solve ~mem_budget ~dir src with
+    | Ok st -> st
+    | Error e ->
+        Format.printf "bench perf: ooc solve failed: %s@."
+          (Ivc_ooc.Ooc.error_to_string e);
+        exit 1
+  in
+  let best = ref infinity and last = ref None in
+  for _ = 1 to max 1 reps do
+    wipe ();
+    let st = solve () in
+    if st.Ivc_ooc.Ooc.elapsed_s < !best then best := st.Ivc_ooc.Ooc.elapsed_s;
+    last := Some st
+  done;
+  let st = Option.get !last in
+  let resumed = (solve ()).Ivc_ooc.Ooc.resumed in
+  let mc =
+    match Ivc_ooc.Ooc.verify ~mem_budget ~dir src with
+    | Ok mc -> mc
+    | Error e ->
+        Format.printf "bench perf: ooc verify failed: %s@."
+          (Ivc_ooc.Ooc.error_to_string e);
+        exit 1
+  in
+  if resumed <> st.Ivc_ooc.Ooc.tiles || mc <> st.Ivc_ooc.Ooc.maxcolor then begin
+    Format.printf
+      "bench perf: ooc resume/verify mismatch (resumed %d/%d, maxcolor %d/%d)@."
+      resumed st.Ivc_ooc.Ooc.tiles mc st.Ivc_ooc.Ooc.maxcolor;
+    exit 1
+  end;
+  wipe ();
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let n = Ivc_ooc.Source.n_vertices src in
+  {
+    ooc_n = n;
+    ooc_tiles = st.Ivc_ooc.Ooc.tiles;
+    ooc_vps = Float.of_int n /. !best;
+    ooc_spill_bytes = st.Ivc_ooc.Ooc.spill_bytes;
+    ooc_halo_bytes = st.Ivc_ooc.Ooc.halo_bytes;
+    ooc_resident_hw = st.Ivc_ooc.Ooc.resident_hw;
+    ooc_resumes = resumed;
+    ooc_maxcolor = mc;
   }
 
 let measure ?(reps = 5) () =
@@ -110,14 +214,52 @@ let measure ?(reps = 5) () =
   let runs = List.map par [ 1; 2; 4; 8 ] in
   let base = match runs with (_, v) :: _ -> v | [] -> 1.0 in
   let speedup = List.map (fun (w, v) -> (w, v, v /. base)) runs in
-  { reps; rows; speedup; seam_fraction = !seam_fraction }
+  let ooc = measure_ooc ~reps () in
+  { reps; rows; speedup; seam_fraction = !seam_fraction; ooc }
 
 let mvps v = Printf.sprintf "%.1f Mv/s" (v /. 1e6)
+let mib b = Printf.sprintf "%.1f MiB" (Float.of_int b /. (1024.0 *. 1024.0))
+
+let print_ooc fmt (o : ooc) =
+  Format.fprintf fmt "@.out-of-core tiled sweep (seeded source):@.";
+  Perfprof.Ascii.table fmt
+    ~header:
+      [
+        "vertices";
+        "tiles";
+        "throughput";
+        "spill";
+        "halo read";
+        "resident hw";
+        "resumes";
+        "maxcolor";
+      ]
+    [
+      [
+        string_of_int o.ooc_n;
+        string_of_int o.ooc_tiles;
+        mvps o.ooc_vps;
+        mib o.ooc_spill_bytes;
+        mib o.ooc_halo_bytes;
+        Printf.sprintf "%d tiles" o.ooc_resident_hw;
+        string_of_int o.ooc_resumes;
+        string_of_int o.ooc_maxcolor;
+      ];
+    ]
 
 let print fmt t =
   Format.fprintf fmt "@.=== Kernel throughput (best of %d) ===@.@." t.reps;
   Perfprof.Ascii.table fmt
-    ~header:[ "sweep"; "vertices"; "throughput"; "alloc B/vertex"; "maxcolor" ]
+    ~header:
+      [
+        "sweep";
+        "vertices";
+        "throughput";
+        "alloc B/vertex";
+        "MB moved";
+        "peak RSS";
+        "maxcolor";
+      ]
     (List.map
        (fun r ->
          [
@@ -125,6 +267,8 @@ let print fmt t =
            string_of_int r.n;
            mvps r.vps;
            Printf.sprintf "%.1f" r.bytes_per_vertex;
+           Printf.sprintf "%.1f" (r.bytes_moved /. 1e6);
+           mib r.peak_rss;
            string_of_int r.maxcolor;
          ])
        t.rows);
@@ -152,6 +296,7 @@ let print fmt t =
        (fun (w, v, s) ->
          [ string_of_int w; mvps v; Printf.sprintf "%.2fx" s ])
        t.speedup);
+  print_ooc fmt t.ooc;
   Format.fprintf fmt "@."
 
 let to_json t =
@@ -168,9 +313,24 @@ let to_json t =
                    ("n", Json.Num (Float.of_int r.n));
                    ("vertices_per_s", Json.Num r.vps);
                    ("bytes_per_vertex", Json.Num r.bytes_per_vertex);
+                   ("bytes_moved", Json.Num r.bytes_moved);
+                   ("peak_rss_bytes", Json.Num (Float.of_int r.peak_rss));
                    ("maxcolor", Json.Num (Float.of_int r.maxcolor));
                  ])
              t.rows) );
+      ( "ooc",
+        Json.Obj
+          [
+            ("n", Json.Num (Float.of_int t.ooc.ooc_n));
+            ("tiles", Json.Num (Float.of_int t.ooc.ooc_tiles));
+            ("vertices_per_s", Json.Num t.ooc.ooc_vps);
+            ("spill_bytes", Json.Num (Float.of_int t.ooc.ooc_spill_bytes));
+            ("halo_bytes", Json.Num (Float.of_int t.ooc.ooc_halo_bytes));
+            ( "resident_tile_high_water",
+              Json.Num (Float.of_int t.ooc.ooc_resident_hw) );
+            ("resumes", Json.Num (Float.of_int t.ooc.ooc_resumes));
+            ("maxcolor", Json.Num (Float.of_int t.ooc.ooc_maxcolor));
+          ] );
       ( "parallel_speedup",
         Json.Obj
           (List.map
@@ -231,3 +391,13 @@ let check_against_baseline ~baseline_path t =
     !compared baseline_path
 
 let run ?reps () = print Format.std_formatter (measure ?reps ())
+
+(* bench micro --ooc: one demonstration solve an order of magnitude
+   past the resident budget (a 1536x1536 grid is ~19 MB of starts +
+   weights in core; the solve streams it under a 2 MiB halo budget). *)
+let demo_ooc () =
+  Format.printf
+    "@.=== Out-of-core demonstration (1536x1536, 2 MiB resident budget) ===@.";
+  let o = measure_ooc ~x:1536 ~y:1536 ~mem_budget:(2 * 1024 * 1024) ~reps:1 () in
+  print_ooc Format.std_formatter o;
+  Format.printf "@."

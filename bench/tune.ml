@@ -1,0 +1,48 @@
+(* Tuning sweep for the kernel's bitset-path crossover.
+
+   [Ff.fit] switches from sort+scan to the bitset occupancy window once
+   the gathered-interval count reaches [bitset_min_cnt]; the break-even
+   differs per stencil family (2D gathers at most 8 intervals, 3D up to
+   26). This sweep measures full-sweep throughput of the bench
+   instances across crossover values — values above the family's max
+   degree disable the bitset path entirely. Results feed the measured
+   defaults in lib/kernel/ff.ml and the table in EXPERIMENTS.md. *)
+
+module Ff = Ivc_kernel.Ff
+module Stencil = Ivc_grid.Stencil
+
+let best_of reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let sweep ~name ~reps inst cnts =
+  let n = Stencil.n_vertices inst in
+  let order = Stencil.row_major_order inst in
+  Format.printf "@.%s (n=%d, best of %d):@." name n reps;
+  Format.printf "  %-14s %-10s@." "bitset_min_cnt" "Mv/s";
+  List.iter
+    (fun c ->
+      let dt =
+        best_of reps (fun () -> Ff.color_in_order ~bitset_min_cnt:c inst order)
+      in
+      Format.printf "  %-14d %-10.1f@." c (float n /. dt /. 1e6))
+    cnts
+
+let run () =
+  let i2 =
+    let rng = Spatial_data.Rng.create 90125 in
+    Stencil.init2 ~x:512 ~y:512 (fun _ _ -> Spatial_data.Rng.int rng 50)
+  in
+  let i3 =
+    let rng = Spatial_data.Rng.create 52019 in
+    Stencil.init3 ~x:40 ~y:40 ~z:40 (fun _ _ _ -> Spatial_data.Rng.int rng 20)
+  in
+  sweep ~name:"2D 512x512 GLL" ~reps:5 i2 [ 2; 3; 4; 5; 6; 7; 8; 9 ];
+  sweep ~name:"3D 40x40x40 GLL" ~reps:5 i3
+    [ 4; 6; 8; 10; 12; 14; 16; 18; 20; 22; 24; 26; 27 ]

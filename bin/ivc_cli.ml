@@ -256,8 +256,86 @@ let color_cmd =
     Arg.(
       value & flag & info [ "show" ] ~doc:"Print the coloring grid (2D only).")
   in
-  let run inst algo show obs =
+  let ooc_t =
+    Arg.(
+      value & flag
+      & info [ "ooc" ]
+          ~doc:
+            "Solve out of core: stream the grid tile by tile under a fixed \
+             memory budget, spilling completed tiles to $(b,--spill-dir) and \
+             resuming automatically from any valid spills found there (kill \
+             -9 safe). Synthetic instances use a counter-mode generator so \
+             the grid is never materialized; the coloring is certified by \
+             the streaming verifier (and the in-core gate on small \
+             instances).")
+  in
+  let mem_budget_t =
+    Arg.(
+      value & opt int 64
+      & info [ "mem-budget" ] ~docv:"MIB"
+          ~doc:"Resident halo-tile budget for $(b,--ooc), in MiB.")
+  in
+  let spill_dir_t =
+    Arg.(
+      value & opt string "ivc-spill"
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:"Spill directory for $(b,--ooc) tile snapshots.")
+  in
+  let tile_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tile" ] ~docv:"T"
+          ~doc:"Tile edge override for $(b,--ooc) (must be >= 2).")
+  in
+  let run_ooc spec mem_budget_mib dir tile =
+    let from_file, dataset, x, y, z, seed, bound, inst_thunk = spec in
+    let src =
+      match (from_file, dataset) with
+      | None, None -> (
+          (* counter-mode weights: O(1) memory at any grid size *)
+          match z with
+          | Some z -> Ivc_ooc.Source.seeded3 ~x ~y ~z ~seed ~bound:(bound + 1)
+          | None -> Ivc_ooc.Source.seeded2 ~x ~y ~seed ~bound:(bound + 1))
+      | _ -> Ivc_ooc.Source.of_stencil (inst_thunk ())
+    in
+    let mem_budget = mem_budget_mib * 1024 * 1024 in
+    Format.printf "ooc: %d vertices, %d tiles (edge %d), budget %d MiB, %s@."
+      (Ivc_ooc.Source.n_vertices src)
+      (Ivc_ooc.Ooc.n_tiles ?tile src)
+      (Ivc_ooc.Ooc.tile_size ?tile src)
+      mem_budget_mib dir;
+    match Ivc_resilient.Driver.solve_ooc ?tile ~mem_budget ~dir src with
+    | Error e ->
+        Format.printf "ooc FAILED: %s@."
+          (Ivc_resilient.Driver.ooc_error_to_string e);
+        exit 1
+    | Ok o ->
+        let st = o.Ivc_resilient.Driver.ooc_stats in
+        Format.printf
+          "ooc maxcolor %d (certified%s): %d tiles solved, %d resumed, %d \
+           cells in %.1f ms (%.2f Mv/s)@."
+          o.Ivc_resilient.Driver.ooc_maxcolor
+          (if o.Ivc_resilient.Driver.ooc_cert_in_core then " + in-core gate"
+           else "")
+          st.Ivc_ooc.Ooc.solved st.Ivc_ooc.Ooc.resumed st.Ivc_ooc.Ooc.cells
+          (1000.0 *. st.Ivc_ooc.Ooc.elapsed_s)
+          (Float.of_int st.Ivc_ooc.Ooc.cells
+          /. (1e6 *. Float.max 1e-9 st.Ivc_ooc.Ooc.elapsed_s));
+        Format.printf
+          "ooc spill %.1f MiB written, halo %.1f MiB read (%d loads, %d \
+           hits), resident high-water %d tiles@."
+          (Float.of_int st.Ivc_ooc.Ooc.spill_bytes /. (1024.0 *. 1024.0))
+          (Float.of_int st.Ivc_ooc.Ooc.halo_bytes /. (1024.0 *. 1024.0))
+          st.Ivc_ooc.Ooc.halo_loads st.Ivc_ooc.Ooc.halo_hits
+          st.Ivc_ooc.Ooc.resident_hw
+  in
+  let run spec algo show obs ooc mem_budget_mib spill_dir tile =
     with_obs obs @@ fun () ->
+    if ooc then run_ooc spec mem_budget_mib spill_dir tile
+    else begin
+    let _, _, _, _, _, _, _, inst_thunk = spec in
+    let inst = inst_thunk () in
     let lb = Ivc.Bounds.combined inst in
     Format.printf "instance: %s, clique LB %d@." (S.describe inst) lb;
     let algos =
@@ -285,9 +363,32 @@ let color_cmd =
         if show && not (S.is_3d inst) then
           Format.printf "%a@." (Ivc.Coloring.pp_grid inst) starts)
       algos
+    end
+  in
+  (* Like [instance_t] but lazy: --ooc must not materialize the grid,
+     that is the whole point. The raw spec rides along so the out-of-core
+     path can build a counter-mode source instead. *)
+  let spec_t =
+    let combine from_file dataset scale plane x y z seed bound =
+      ( from_file,
+        dataset,
+        x,
+        y,
+        z,
+        seed,
+        bound,
+        fun () ->
+          make_instance ~from_file ~dataset ~scale ~plane ~x ~y ~z ~seed ~bound
+      )
+    in
+    Term.(
+      const combine $ from_file_t $ dataset_t $ scale_t $ plane_t $ x_t $ y_t
+      $ z_t $ seed_t $ bound_t)
   in
   Cmd.v (Cmd.info "color" ~doc:"Color an instance with the paper's heuristics")
-    Term.(const run $ instance_t $ algo_t $ show_t $ obs_t)
+    Term.(
+      const run $ spec_t $ algo_t $ show_t $ obs_t $ ooc_t $ mem_budget_t
+      $ spill_dir_t $ tile_t)
 
 (* ---- exact ------------------------------------------------------------ *)
 

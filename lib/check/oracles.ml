@@ -748,6 +748,86 @@ let chaos =
                           ("direct solve after chaos: " ^ Cl.error_to_string e)))));
   }
 
+(* ---- ooc ----------------------------------------------------------------------- *)
+
+(* Out-of-core differential: stream the instance through the spill-based
+   tiled solve and require bit-identical starts to the in-core Z-order
+   tiled sweep, a certified streaming verify, and a full resume (the
+   second run recomputes nothing). The tile edge is pinned to 2 so even
+   the fuzzer's small instances decompose into many tiles with real
+   spill and halo traffic. *)
+module Ooc = Ivc_ooc.Ooc
+module Osrc = Ivc_ooc.Source
+
+let with_spill_dir f =
+  let dir = Filename.temp_file "ivc-ooc" ".spill" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let ooc_max_n = 4096
+
+let ooc =
+  {
+    O.name = "ooc";
+    description =
+      "out-of-core tiled solve = in-core tiled sweep exactly; streaming \
+       verify certifies; a second run resumes every tile";
+    applies =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        n > 0 && n <= ooc_max_n);
+    run =
+      (fun inst ->
+        with_spill_dir @@ fun dir ->
+        let src = Osrc.of_stencil inst in
+        let tile = 2 in
+        match Ooc.solve ~tile ~dir src with
+        | Error e -> O.failf "solve: %s" (Ooc.error_to_string e)
+        | Ok st -> (
+            let expected = Tiles.color ~tile inst in
+            match Ooc.read_starts ~tile ~dir src with
+            | Error e -> O.failf "read_starts: %s" (Ooc.error_to_string e)
+            | Ok starts ->
+                if starts <> expected then
+                  let v = first_mismatch expected starts in
+                  O.failf
+                    "out-of-core start %d at vertex %d, in-core tiled %d"
+                    starts.(v) v expected.(v)
+                else
+                  O.all_of
+                    [
+                      (fun () -> certify inst ~who:"out-of-core solve" starts);
+                      (fun () ->
+                        match Ooc.verify ~tile ~dir src with
+                        | Error e ->
+                            O.failf "verify: %s" (Ooc.error_to_string e)
+                        | Ok mc ->
+                            O.check (mc = st.Ooc.maxcolor)
+                              "streaming verify maxcolor %d <> solve \
+                               maxcolor %d"
+                              mc st.Ooc.maxcolor);
+                      (fun () ->
+                        match Ooc.solve ~tile ~dir src with
+                        | Error e ->
+                            O.failf "resume: %s" (Ooc.error_to_string e)
+                        | Ok st' ->
+                            O.check
+                              (st'.Ooc.resumed = st'.Ooc.tiles
+                              && st'.Ooc.solved = 0)
+                              "resume recomputed %d of %d tiles"
+                              st'.Ooc.solved st'.Ooc.tiles);
+                    ]));
+  }
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let all =
@@ -763,6 +843,7 @@ let all =
     portfolio;
     crash_resume;
     chaos;
+    ooc;
   ]
 
 let find name =

@@ -53,6 +53,15 @@ val crash_resume : Oracle.t
     sheds are allowed: chaos may eat requests, never falsify them. *)
 val chaos : Oracle.t
 
+(** Out-of-core differential: the instance streams through the
+    spill-based tiled solve ({!Ivc_ooc.Ooc}, tile edge pinned to 2 so
+    even small instances decompose into many tiles) and must reproduce
+    the in-core Z-order tiled sweep bit for bit; the streaming verify
+    must certify at the solve's maxcolor; and a second run over the
+    same spill directory must resume every tile and recompute
+    nothing. *)
+val ooc : Oracle.t
+
 (** Every production oracle above, in a stable order. *)
 val all : Oracle.t list
 

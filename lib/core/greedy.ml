@@ -114,7 +114,7 @@ end
 
 type state = Ff.t
 
-let create = Ff.create
+let create inst = Ff.create inst
 let instance = Ff.instance
 let start = Ff.start
 let is_colored = Ff.is_colored

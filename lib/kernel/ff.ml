@@ -8,17 +8,24 @@
    copies an [Array.sub] per vertex. This engine does the same scan
    with zero allocation per vertex:
 
-   - flat SoA scratch: [nb_s]/[nb_f] are two preallocated [int array]s
-     holding the filled prefix of neighbor starts and finishes;
+   - flat SoA scratch on [Bigarray]: [nb_s]/[nb_f] hold the filled
+     prefix of neighbor starts and finishes as unboxed machine ints,
+     accessed unsafely (the prefix length is bounded by [max_deg]);
    - insertion sort on that prefix: stencil degrees are bounded (8 in
      2D, 26 in 3D), where insertion sort beats [Array.sort] and
      allocates nothing;
    - a word-scanned bitset occupancy fast path when the whole
      neighborhood fits a small color window (the common small-weight
-     case), which skips sorting entirely;
+     case), which skips sorting entirely; interval marking and the
+     free-run doubling are branchless word ops, with a single-word
+     specialization when the window fits one machine word;
+   - strength-reduced coordinate decode: the per-vertex [v / y] /
+     [v mod z] divisions are replaced by a precomputed magic
+     multiply-shift (exact for all v < 2^30; larger instances fall
+     back to hardware division);
    - manually inlined 2D/3D neighbor loops: interior cells take an
      unrolled offset path with a single boundary test, bypassing the
-     [Stencil.iter_neighbors] closure. *)
+     [Stencil.iter_neighbors] closure, and append branchlessly. *)
 
 module Stencil = Ivc_grid.Stencil
 
@@ -26,7 +33,9 @@ let uncolored = -1
 
 (* The kernel is the production greedy engine, so it feeds the original
    greedy counters (dashboards and tests key on these names), plus two
-   kernel-specific ones for the fast-path split. *)
+   kernel-specific ones for the fast-path split. The fast-path counters
+   are batched in scratch and flushed per sweep ([color_range] /
+   [flush_stats]), never per vertex. *)
 let c_vertices = Ivc_obs.Counter.make "greedy.vertices_colored"
 let c_intervals = Ivc_obs.Counter.make "greedy.intervals_scanned"
 let c_bitset = Ivc_obs.Counter.make "kernel.bitset_fits"
@@ -42,46 +51,121 @@ let word_bits = Sys.int_size
 let bs_words = 4
 let bs_capacity = word_bits * bs_words
 
+(* Crossover from sort+scan to the bitset path, by gathered-interval
+   count. The bitset pays a fixed clear + mark + doubling cost over the
+   live words, so it needs enough intervals to amortize; the break-even
+   differs per family because 2D gathers at most 8 intervals into a
+   usually-one-word window while 3D gathers up to 26 into several.
+   Defaults below are measured (see EXPERIMENTS.md, PR 8 sweep). *)
+let default_bitset_min_cnt_2d = 7
+let default_bitset_min_cnt_3d = 8
+
+let default_bitset_min_cnt inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 _ -> default_bitset_min_cnt_2d
+  | Stencil.D3 _ -> default_bitset_min_cnt_3d
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ints n : ints =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0;
+  a
+
+let[@inline] iget (a : ints) i = Bigarray.Array1.unsafe_get a i
+let[@inline] iset (a : ints) i v = Bigarray.Array1.unsafe_set a i v
+
+(* Strength-reduced division: for divisor [d >= 1] and dividend
+   [0 <= v < 2^30], [(v * m) lsr p = v / d] with [p = 30 + ceil(log2 d)]
+   and [m = 2^p / d + 1] (Granlund–Montgomery round-up method; the
+   error term [m*d - 2^p = d - 2^p mod d] is at most [d <= 2^(p-30)],
+   which the theorem requires). Products stay below 2^61, inside
+   OCaml's 63-bit native int. *)
+let magic_bound = 1 lsl 30
+
+let magic d =
+  let l = ref 0 in
+  while 1 lsl !l < d do incr l done;
+  let p = 30 + !l in
+  (((1 lsl p) / d) + 1, p)
+
 type scratch = {
   w : int array;
   x : int;
   y : int;
   z : int; (* 0 for 2D instances *)
+  my : int; (* magic multiplier for / y, 0 when out of magic range *)
+  py : int;
+  mz : int; (* magic multiplier for / z (3D only) *)
+  pz : int;
+  bs_min : int; (* bitset-path crossover: min gathered-interval count *)
   mutable cnt : int; (* filled prefix of nb_s / nb_f *)
   mutable maxf : int; (* max finish over the gathered intervals *)
-  nb_s : int array;
-  nb_f : int array;
-  occ : int array; (* bitset words: occupied colors *)
-  run : int array; (* doubling scratch: positions starting a free run *)
-  tmp : int array;
+  nb_s : ints;
+  nb_f : ints;
+  occ : ints; (* bitset words: occupied colors *)
+  run : ints; (* doubling scratch: positions starting a free run *)
+  mutable n_bitset : int; (* batched counter: bitset fits since flush *)
+  mutable n_scan : int; (* batched counter: sorted scans since flush *)
 }
 
-let make_scratch inst =
+let make_scratch ?bitset_min_cnt inst =
   let w = (inst : Stencil.t).w in
   let x, y, z =
     match (inst : Stencil.t).dims with
     | Stencil.D2 (x, y) -> (x, y, 0)
     | Stencil.D3 (x, y, z) -> (x, y, z)
   in
+  let n = Array.length w in
+  let in_range = n <= magic_bound in
+  let my, py = if in_range then magic y else (0, 0) in
+  let mz, pz = if in_range && z > 0 then magic z else (0, 0) in
+  let bs_min =
+    match bitset_min_cnt with
+    | Some m -> max 1 m
+    | None ->
+        if z = 0 then default_bitset_min_cnt_2d else default_bitset_min_cnt_3d
+  in
   {
     w;
     x;
     y;
     z;
+    my;
+    py;
+    mz;
+    pz;
+    bs_min;
     cnt = 0;
     maxf = 0;
-    nb_s = Array.make max_deg 0;
-    nb_f = Array.make max_deg 0;
-    occ = Array.make bs_words 0;
-    run = Array.make bs_words 0;
-    tmp = Array.make bs_words 0;
+    nb_s = ints max_deg;
+    nb_f = ints max_deg;
+    occ = ints bs_words;
+    run = ints bs_words;
+    n_bitset = 0;
+    n_scan = 0;
   }
 
 let weights sc = sc.w
+let bitset_min_cnt sc = sc.bs_min
+
+let flush_stats sc =
+  if sc.n_bitset > 0 then begin
+    Ivc_obs.Counter.add c_bitset sc.n_bitset;
+    sc.n_bitset <- 0
+  end;
+  if sc.n_scan > 0 then begin
+    Ivc_obs.Counter.add c_scan sc.n_scan;
+    sc.n_scan <- 0
+  end
 
 (* Append neighbor [u]'s interval to the scratch prefix if it is
-   colored and non-empty. Top-level so every call is a direct call: no
-   closure is allocated per gather. *)
+   colored and non-empty. The guards stay as branches on purpose: in
+   any fixed sweep order each inlined call site sees a near-constant
+   colored/uncolored pattern, so they predict essentially perfectly —
+   a branchless sign-extraction variant measured 20% slower on both
+   families (see EXPERIMENTS.md, PR 8). Top-level so every call is a
+   direct call: no closure is allocated per gather. *)
 let[@inline] add sc starts u =
   let s = Array.unsafe_get starts u in
   if s >= 0 then begin
@@ -89,8 +173,8 @@ let[@inline] add sc starts u =
     if wu > 0 then begin
       let f = s + wu in
       let c = sc.cnt in
-      Array.unsafe_set sc.nb_s c s;
-      Array.unsafe_set sc.nb_f c f;
+      iset sc.nb_s c s;
+      iset sc.nb_f c f;
       sc.cnt <- c + 1;
       if f > sc.maxf then sc.maxf <- f
     end
@@ -105,7 +189,8 @@ let gather2 sc starts v =
   sc.cnt <- 0;
   sc.maxf <- 0;
   let y = sc.y in
-  let i = v / y and j = v mod y in
+  let i = if sc.my = 0 then v / y else (v * sc.my) lsr sc.py in
+  let j = v - (i * y) in
   if i > 0 && i < sc.x - 1 && j > 0 && j < y - 1 then begin
     (* interior: 8 neighbors, no bounds checks *)
     let a = v - y and b = v + y in
@@ -136,9 +221,10 @@ let gather3 sc starts v =
   sc.cnt <- 0;
   sc.maxf <- 0;
   let z = sc.z and y = sc.y in
-  let k = v mod z in
-  let ij = v / z in
-  let i = ij / y and j = ij mod y in
+  let ij = if sc.mz = 0 then v / z else (v * sc.mz) lsr sc.pz in
+  let k = v - (ij * z) in
+  let i = if sc.my = 0 then ij / y else (ij * sc.my) lsr sc.py in
+  let j = ij - (i * y) in
   if i > 0 && i < sc.x - 1 && j > 0 && j < y - 1 && k > 0 && k < z - 1 then begin
     (* interior: 26 neighbors, no bounds checks *)
     let yz = y * z in
@@ -180,15 +266,15 @@ let[@inline] gather sc starts v =
 let insertion_sort sc =
   let a = sc.nb_s and b = sc.nb_f in
   for i = 1 to sc.cnt - 1 do
-    let s = a.(i) and f = b.(i) in
+    let s = iget a i and f = iget b i in
     let j = ref (i - 1) in
-    while !j >= 0 && a.(!j) > s do
-      a.(!j + 1) <- a.(!j);
-      b.(!j + 1) <- b.(!j);
+    while !j >= 0 && iget a !j > s do
+      iset a (!j + 1) (iget a !j);
+      iset b (!j + 1) (iget b !j);
       decr j
     done;
-    a.(!j + 1) <- s;
-    b.(!j + 1) <- f
+    iset a (!j + 1) s;
+    iset b (!j + 1) f
   done
 
 (* First gap of width [len] in the sorted prefix (the reference scan,
@@ -198,122 +284,135 @@ let scan_sorted sc len =
   let n = sc.cnt in
   let cur = ref 0 and res = ref (-1) and i = ref 0 in
   while !res < 0 && !i < n do
-    let s = Array.unsafe_get a !i in
+    let s = iget a !i in
     if !cur + len <= s then res := !cur
     else begin
-      let f = Array.unsafe_get b !i in
+      let f = iget b !i in
       if f > !cur then cur := f;
       incr i
     end
   done;
   if !res >= 0 then !res else !cur
 
-(* Index of the lowest set bit; [v] must be nonzero. *)
-let ntz v =
-  let v = v land -v in
-  let n = ref 0 in
-  let v = ref v in
-  if !v land 0xFFFFFFFF = 0 then begin
-    n := !n + 32;
-    v := !v lsr 32
-  end;
-  if !v land 0xFFFF = 0 then begin
-    n := !n + 16;
-    v := !v lsr 16
-  end;
-  if !v land 0xFF = 0 then begin
-    n := !n + 8;
-    v := !v lsr 8
-  end;
-  if !v land 0xF = 0 then begin
-    n := !n + 4;
-    v := !v lsr 4
-  end;
-  if !v land 0x3 = 0 then begin
-    n := !n + 2;
-    v := !v lsr 2
-  end;
-  if !v land 0x1 = 0 then incr n;
-  !n
+(* Branchless population count (SWAR); values are nonnegative so the
+   63-bit truncation of the usual 64-bit constants is exact. The final
+   multiply accumulates the byte sums into the top bits; the total is
+   at most 63, which fits. *)
+let m1 = 0x5555555555555555
+let m2 = 0x3333333333333333
+let m4 = 0x0F0F0F0F0F0F0F0F
+let h01 = 0x0101010101010101
+
+let[@inline] popcount v =
+  let v = v - ((v lsr 1) land m1) in
+  let v = (v land m2) + ((v lsr 2) land m2) in
+  let v = (v + (v lsr 4)) land m4 in
+  (v * h01) lsr 56 land 127
+
+(* Index of the lowest set bit; [v] must be nonzero. Branchless:
+   isolate the lowest set bit, then count the ones below it. *)
+let[@inline] ntz v = popcount ((v land -v) - 1)
+
+(* Branchless mask of an interval's bits within one word:
+   bits [lo, lo + k) for [1 <= k], saturating at the word top. The
+   [(2 lsl (k - 1)) - 1] form gives all-ones at [k = word_bits] via
+   modular wrap, where [(1 lsl k) - 1] would be an out-of-range
+   shift. *)
+let[@inline] span_mask lo k = ((2 lsl (k - 1)) - 1) lsl lo
 
 (* Bitset fast path: mark every neighbor interval in a small occupancy
    bitmask, then find the first run of [len] free bits by the classic
    and-shift doubling. Precondition: [sc.maxf + len <= bs_capacity]
    (so the answer — at most [sc.maxf] — and its whole run lie inside
-   the window) and [len > 0]. No sorting needed. *)
+   the window) and [len > 0]. No sorting needed. Only the words that
+   can influence the answer ([nw] of them) are cleared, marked and
+   doubled; shifted-in zeros at the top only discard positions whose
+   run would leave the window. *)
 let bitset_fit sc len =
-  let occ = sc.occ in
-  for wd = 0 to bs_words - 1 do
-    occ.(wd) <- 0
-  done;
-  for t = 0 to sc.cnt - 1 do
-    let s = sc.nb_s.(t) and f = sc.nb_f.(t) in
-    let w0 = s / word_bits and w1 = (f - 1) / word_bits in
-    if w0 = w1 then begin
-      let lo = s mod word_bits in
-      let k = f - s in
-      let m = if k >= word_bits then -1 else ((1 lsl k) - 1) lsl lo in
-      occ.(w0) <- occ.(w0) lor m
-    end
-    else begin
-      occ.(w0) <- occ.(w0) lor (-1 lsl (s mod word_bits));
-      for wm = w0 + 1 to w1 - 1 do
-        occ.(wm) <- -1
-      done;
-      let hi = (f - 1) mod word_bits in
-      let m = if hi = word_bits - 1 then -1 else (1 lsl (hi + 1)) - 1 in
-      occ.(w1) <- occ.(w1) lor m
-    end
-  done;
-  (* run.(bit p) = "colors p .. p+k-1 are all free", grown by doubling
-     k until it reaches [len]; shifted-in zeros at the top only discard
-     positions whose run would leave the window. *)
-  let m = sc.run and tmp = sc.tmp in
-  for wd = 0 to bs_words - 1 do
-    m.(wd) <- lnot occ.(wd)
-  done;
-  let k = ref 1 in
-  while !k < len do
-    let sh = if !k <= len - !k then !k else len - !k in
-    let ws = sh / word_bits and bs = sh mod word_bits in
-    for wd = 0 to bs_words - 1 do
-      let src = wd + ws in
-      let lo = if src < bs_words then m.(src) else 0 in
-      tmp.(wd) <-
-        (if bs = 0 then lo
-         else
-           let hi = if src + 1 < bs_words then m.(src + 1) else 0 in
-           (lo lsr bs) lor (hi lsl (word_bits - bs)))
+  let win = sc.maxf + len in
+  if win <= word_bits then begin
+    (* single-word specialization: the whole window is one int *)
+    let occ = ref 0 in
+    let ns = sc.nb_s and nf = sc.nb_f in
+    for t = 0 to sc.cnt - 1 do
+      let s = iget ns t and f = iget nf t in
+      occ := !occ lor span_mask s (f - s)
     done;
-    for wd = 0 to bs_words - 1 do
-      m.(wd) <- m.(wd) land tmp.(wd)
+    let m = ref (lnot !occ) in
+    let k = ref 1 in
+    while !k < len do
+      let sh = if !k <= len - !k then !k else len - !k in
+      m := !m land (!m lsr sh);
+      k := !k + sh
     done;
-    k := !k + sh
-  done;
-  let res = ref (-1) and wd = ref 0 in
-  while !res < 0 && !wd < bs_words do
-    let bits = m.(!wd) in
-    if bits <> 0 then res := (!wd * word_bits) + ntz bits;
-    incr wd
-  done;
-  !res
-
-(* The bitset path pays a fixed ~[bs_words * log len] word-op cost, so
-   it only beats insertion sort once the prefix is past 2D size: an
-   8-interval sort+scan is cheaper than clearing and doubling the
-   window, a 26-interval one is not. *)
-let bitset_min_cnt = 12
+    ntz !m
+  end
+  else begin
+    let nw = (win + word_bits - 1) / word_bits in
+    let occ = sc.occ in
+    for wd = 0 to nw - 1 do
+      iset occ wd 0
+    done;
+    let ns = sc.nb_s and nf = sc.nb_f in
+    for t = 0 to sc.cnt - 1 do
+      let s = iget ns t and f = iget nf t in
+      let w0 = s / word_bits and w1 = (f - 1) / word_bits in
+      if w0 = w1 then
+        iset occ w0 (iget occ w0 lor span_mask (s - (w0 * word_bits)) (f - s))
+      else begin
+        iset occ w0 (iget occ w0 lor (-1 lsl (s - (w0 * word_bits))));
+        for wm = w0 + 1 to w1 - 1 do
+          iset occ wm (-1)
+        done;
+        iset occ w1 (iget occ w1 lor span_mask 0 (f - (w1 * word_bits)))
+      end
+    done;
+    (* run.(bit p) = "colors p .. p+k-1 are all free", grown by doubling
+       k until it reaches [len]. *)
+    let m = sc.run in
+    for wd = 0 to nw - 1 do
+      iset m wd (lnot (iget occ wd))
+    done;
+    let k = ref 1 in
+    while !k < len do
+      let sh = if !k <= len - !k then !k else len - !k in
+      let ws = sh / word_bits and bs = sh mod word_bits in
+      if bs = 0 then
+        for wd = 0 to nw - 1 do
+          let src = wd + ws in
+          let lo = if src < nw then iget m src else 0 in
+          iset m wd (iget m wd land lo)
+        done
+      else begin
+        let inv = word_bits - bs in
+        for wd = 0 to nw - 1 do
+          let src = wd + ws in
+          let lo = if src < nw then iget m src else 0
+          and hi = if src + 1 < nw then iget m (src + 1) else 0 in
+          iset m wd (iget m wd land ((lo lsr bs) lor (hi lsl inv)))
+        done
+      end;
+      k := !k + sh
+    done;
+    let res = ref (-1) and wd = ref 0 in
+    while !res < 0 && !wd < nw do
+      let bits = iget m !wd in
+      if bits <> 0 then res := (!wd * word_bits) + ntz bits;
+      incr wd
+    done;
+    !res
+  end
 
 (* First-fit placement for an interval of width [len] against the
    gathered scratch prefix. *)
 let fit sc len =
   if len = 0 || sc.cnt = 0 then 0
-  else if sc.cnt >= bitset_min_cnt && sc.maxf + len <= bs_capacity then begin
-    Ivc_obs.Counter.incr c_bitset;
+  else if sc.cnt >= sc.bs_min && sc.maxf + len <= bs_capacity then begin
+    sc.n_bitset <- sc.n_bitset + 1;
     bitset_fit sc len
   end
   else begin
-    Ivc_obs.Counter.incr c_scan;
+    sc.n_scan <- sc.n_scan + 1;
     insertion_sort sc;
     scan_sorted sc len
   end
@@ -331,11 +430,11 @@ type t = {
   mutable uncolored_count : int;
 }
 
-let create inst =
+let create ?bitset_min_cnt inst =
   let n = Stencil.n_vertices inst in
   {
     inst;
-    sc = make_scratch inst;
+    sc = make_scratch ?bitset_min_cnt inst;
     starts = Array.make n uncolored;
     uncolored_count = n;
   }
@@ -365,6 +464,7 @@ let color_vertex t v =
     t.uncolored_count <- t.uncolored_count - 1;
     Ivc_obs.Counter.incr c_vertices;
     Ivc_obs.Counter.add c_intervals t.sc.cnt;
+    flush_stats t.sc;
     s
   end
 
@@ -380,7 +480,7 @@ let recolor t v =
 
 (* Sweep a slice of an order array. The dimension dispatch happens once
    per sweep, not once per vertex; counters are flushed once at the
-   end so the disabled-observability cost stays off the inner loop. *)
+   end so the observability cost stays off the inner loop entirely. *)
 let color_range t order ~lo ~hi =
   let sc = t.sc and starts = t.starts in
   let w = sc.w in
@@ -407,13 +507,14 @@ let color_range t order ~lo ~hi =
     done;
   t.uncolored_count <- t.uncolored_count - !colored;
   Ivc_obs.Counter.add c_vertices !colored;
-  Ivc_obs.Counter.add c_intervals !scanned
+  Ivc_obs.Counter.add c_intervals !scanned;
+  flush_stats sc
 
-let color_in_order inst order =
+let color_in_order ?bitset_min_cnt inst order =
   let n = Stencil.n_vertices inst in
   if Array.length order <> n then
     invalid_arg "Ivc_kernel.Ff.color_in_order: order length mismatch";
-  let t = create inst in
+  let t = create ?bitset_min_cnt inst in
   color_range t order ~lo:0 ~hi:n;
   if t.uncolored_count <> 0 then
     invalid_arg "Ivc_kernel.Ff.color_in_order: order is not a permutation";

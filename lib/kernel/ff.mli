@@ -13,13 +13,33 @@
     intervals, zero-weight vertices placed at 0. *)
 
 (** Reusable per-worker scratch: neighbor SoA buffers plus the bitset
-    window. One scratch must not be shared between domains. *)
+    window, held in [Bigarray] so the inner loops run on unboxed
+    machine ints with unsafe accesses. One scratch must not be shared
+    between domains. *)
 type scratch
 
-val make_scratch : Ivc_grid.Stencil.t -> scratch
+(** [make_scratch ?bitset_min_cnt inst] builds scratch for [inst].
+    [bitset_min_cnt] overrides the gathered-interval count above which
+    the bitset occupancy path is taken instead of sort+scan; the
+    default is per stencil family (see {!default_bitset_min_cnt}). *)
+val make_scratch : ?bitset_min_cnt:int -> Ivc_grid.Stencil.t -> scratch
 
 (** The instance's weight array (shared, not copied). *)
 val weights : scratch -> int array
+
+(** The measured per-family default crossover from sort+scan to the
+    bitset occupancy path (2D and 3D differ: degree 8 vs 26). *)
+val default_bitset_min_cnt : Ivc_grid.Stencil.t -> int
+
+(** The crossover this scratch was built with. *)
+val bitset_min_cnt : scratch -> int
+
+(** Flush the batched fast-path counters ([kernel.bitset_fits],
+    [kernel.sorted_scans]) to the observability registry. The per-fit
+    counts accumulate in scratch so the hot loop never touches an
+    atomic; {!color_range} flushes automatically, engines driving
+    {!first_fit_for} directly should flush once per sweep. *)
+val flush_stats : scratch -> unit
 
 (** [first_fit_for sc ~starts v] is the lowest start for [v]'s weight
     that avoids every colored ([>= 0]) positive-weight neighbor of [v]
@@ -33,7 +53,7 @@ val first_fit_for : scratch -> starts:int array -> int -> int
 type t
 
 (** Fresh engine with every vertex uncolored. *)
-val create : Ivc_grid.Stencil.t -> t
+val create : ?bitset_min_cnt:int -> Ivc_grid.Stencil.t -> t
 
 val instance : t -> Ivc_grid.Stencil.t
 
@@ -64,4 +84,5 @@ val recolor : t -> int -> int
 val color_range : t -> int array -> lo:int -> hi:int -> unit
 
 (** One-shot full sweep; [order] must be a permutation. *)
-val color_in_order : Ivc_grid.Stencil.t -> int array -> int array
+val color_in_order :
+  ?bitset_min_cnt:int -> Ivc_grid.Stencil.t -> int array -> int array

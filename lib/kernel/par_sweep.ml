@@ -1,40 +1,92 @@
-(* Deterministic tiled parallel sweep.
+(* Deterministic tiled parallel sweep on work-stealing deques.
 
    The grid is cut into tiles (Tiles.tile_size). A cell is *interior*
    to its tile when every existing stencil neighbor lies in the same
    tile; interior cells of two distinct tiles are therefore never
-   adjacent, so all tile interiors can be colored concurrently with no
+   adjacent, so all tile interiors color concurrently with no
    synchronization and no speculation — every read a tile's first-fit
-   performs is of its own tile's cells. The remaining *seam* cells (at
-   most a tile-boundary-sized fraction) are finished in one sequential
-   pass that sees every interior color.
+   performs is of its own tile's cells.
 
-   The result is deterministic regardless of scheduling and equal to a
-   sequential kernel sweep of {!equivalent_order} (tile interiors in
-   tile Z-order, then the seam), which is what the differential tests
-   assert. This complements the speculative Ivc_parcolor engine: no
-   conflict-detection rounds, at the price of a sequential seam. *)
+   The remaining *seam* cells are finished in parallel too, in a fixed
+   sequence of phases — one per nonempty subset of "boundary axes". A
+   cell's boundary axes are the axes along which it touches a
+   neighboring tile ([lc = 0] with a tile before, or [lc = tw - 1]
+   with a tile after). Within one phase every cell has the same
+   boundary-axis set S, and cells are grouped into clusters keyed by
+   the tile *junction* they touch along each axis of S (the pair of
+   facing tile sides shares a junction) and by their tile along every
+   other axis. Two same-phase cells of different clusters are never
+   adjacent: along an axis of S their junctions differ, putting their
+   coordinates at least [tw - 1] apart, and along another axis their
+   tiles differ while neither cell sits on a facing side, a gap of at
+   least 3 — so for [tw >= 3] every phase is an independent task set.
+   For [tw < 3] the whole seam degrades to one single-task phase
+   (sequential), which is also the shape par-diff exercises.
+
+   Tasks (tile interiors, then each phase's clusters) run on
+   Taskpar.Steal work-stealing deques with a barrier between phases.
+   The coloring is deterministic regardless of scheduling and equal to
+   a sequential kernel sweep of {!equivalent_order} (tile interiors in
+   tile Z-order, then the seam phase by phase, clusters in key order,
+   each in tiled Z-order), which is what the differential tests
+   assert. *)
 
 module Stencil = Ivc_grid.Stencil
-module Zorder = Ivc_grid.Zorder
 
 type stats = {
   tiles : int;
   interior : int;
   seam : int;
+  seam_phases : int;
+  seam_clusters : int;
   workers : int;
+  steals : int;
+  steal_attempts : int;
   elapsed_s : float;
 }
 
 let c_tiles = Ivc_obs.Counter.make "kernel.par_tiles"
 let c_seam = Ivc_obs.Counter.make "kernel.par_seam_cells"
+let c_clusters = Ivc_obs.Counter.make "kernel.par_seam_clusters"
 
 (* Cells ordered by (seam?, tile Morton key, local Morton key).
    Interior cells come first, grouped by tile; the per-tile groups are
    the parallel tasks and the key order inside each group is the
    deterministic coloring order. One {!Tiles.iter_cells} walk splits
    the stream into the interior prefix (recording a segment per tile)
-   and the seam suffix — no n-sized sort or partition pass. *)
+   and the seam suffix — no n-sized sort or partition pass. The seam
+   suffix is then regrouped into phases and clusters (see above) by one
+   stable radix sort of the seam cells only. *)
+
+(* Per-axis tables, indexed by coordinate:
+   - [bnd.(c)]: this coordinate faces a neighboring tile;
+   - [grp.(c)]: the junction index when boundary ([c / tw] for the low
+     side of the junction, [c / tw - 1] for the high side — facing
+     sides share it), the tile index otherwise. *)
+let axis_tables tw dim =
+  let bnd = Array.make dim false and grp = Array.make dim 0 in
+  for c = 0 to dim - 1 do
+    let lc = c mod tw in
+    let t = c / tw in
+    if lc = 0 && c <> 0 then begin
+      bnd.(c) <- true;
+      grp.(c) <- t - 1
+    end
+    else if lc = tw - 1 && c <> dim - 1 then begin
+      bnd.(c) <- true;
+      grp.(c) <- t
+    end
+    else grp.(c) <- t
+  done;
+  (bnd, grp)
+
+type decomposition = {
+  order : int array; (* interior (by tile), then seam (by phase) *)
+  segments : (int * int) array; (* interior [lo, hi) per tile *)
+  seam_lo : int;
+  phases : (int * int) array array; (* cluster [lo, hi) per seam phase *)
+}
+
 let decompose ?tile inst =
   let tw = Tiles.tile_size ?tile inst in
   let n = Stencil.n_vertices inst in
@@ -72,7 +124,7 @@ let decompose ?tile inst =
           done
         done
       done);
-  let interior = Array.make n 0 and seam_cells = Array.make n 0 in
+  let interior = Array.make n 0 and seam_cells = Array.make (max 1 n) 0 in
   let ip = ref 0 and sp = ref 0 in
   let segments = ref [] in
   let seg_lo = ref 0 in
@@ -93,12 +145,87 @@ let decompose ?tile inst =
       end);
   flush_tile ();
   let seam_lo = !ip in
-  Array.blit seam_cells 0 interior seam_lo !sp;
-  (interior, Array.of_list (List.rev !segments), seam_lo)
+  let sp = !sp in
+  let phases =
+    if sp = 0 then [||]
+    else if tw < 3 then begin
+      (* clusters would touch across a junction: one sequential phase *)
+      Array.blit seam_cells 0 interior seam_lo sp;
+      [| [| (seam_lo, seam_lo + sp) |] |]
+    end
+    else begin
+      (* phase = nonempty boundary-axis set (bit per axis), cluster =
+         junction/tile group along each axis; one stable radix sort of
+         the seam by (phase, cluster) keeps the tiled Z-order inside
+         each cluster. *)
+      let seam_arr = Array.sub seam_cells 0 sp in
+      let keys = Array.make n 0 in
+      let nphases, nclusters =
+        match (inst : Stencil.t).dims with
+        | Stencil.D2 (x, y) ->
+            let bx, gx = axis_tables tw x and by, gy = axis_tables tw y in
+            let ty = ((y + tw - 1) / tw) + 1 in
+            let tx = ((x + tw - 1) / tw) + 1 in
+            let span = tx * ty in
+            for t = 0 to sp - 1 do
+              let v = seam_arr.(t) in
+              let i = v / y and j = v mod y in
+              let m = Bool.to_int bx.(i) lor (Bool.to_int by.(j) lsl 1) in
+              keys.(v) <- (((m - 1) * span) + (gx.(i) * ty) + gy.(j))
+            done;
+            (3, span)
+        | Stencil.D3 (x, y, z) ->
+            let bx, gx = axis_tables tw x
+            and by, gy = axis_tables tw y
+            and bz, gz = axis_tables tw z in
+            let tx = ((x + tw - 1) / tw) + 1 in
+            let ty = ((y + tw - 1) / tw) + 1 in
+            let tz = ((z + tw - 1) / tw) + 1 in
+            let span = tx * ty * tz in
+            for t = 0 to sp - 1 do
+              let v = seam_arr.(t) in
+              let ij = v / z in
+              let k = v - (ij * z) in
+              let i = ij / y and j = ij - (ij / y * y) in
+              let m =
+                Bool.to_int bx.(i)
+                lor (Bool.to_int by.(j) lsl 1)
+                lor (Bool.to_int bz.(k) lsl 2)
+              in
+              keys.(v) <-
+                (((m - 1) * span) + (((gx.(i) * ty) + gy.(j)) * tz) + gz.(k))
+            done;
+            (7, span)
+      in
+      Tiles.sort_by_keys keys seam_arr;
+      Array.blit seam_arr 0 interior seam_lo sp;
+      (* split the sorted seam into per-phase cluster segments *)
+      let phases = Array.make nphases [] in
+      let t = ref 0 in
+      while !t < sp do
+        let key = keys.(seam_arr.(!t)) in
+        let lo = !t in
+        while !t < sp && keys.(seam_arr.(!t)) = key do
+          incr t
+        done;
+        let p = key / nclusters in
+        phases.(p) <- (seam_lo + lo, seam_lo + !t) :: phases.(p)
+      done;
+      let phases =
+        Array.map (fun cs -> Array.of_list (List.rev cs)) phases
+      in
+      Array.of_seq
+        (Seq.filter (fun cs -> Array.length cs > 0) (Array.to_seq phases))
+    end
+  in
+  {
+    order = interior;
+    segments = Array.of_list (List.rev !segments);
+    seam_lo;
+    phases;
+  }
 
-let equivalent_order ?tile inst =
-  let order, _, _ = decompose ?tile inst in
-  order
+let equivalent_order ?tile inst = (decompose ?tile inst).order
 
 let color ?workers ?tile inst =
   let t0 = Ivc_obs.now_ns () in
@@ -106,12 +233,16 @@ let color ?workers ?tile inst =
     ~args:[ ("instance", Stencil.describe inst) ]
     "kernel.par_sweep"
   @@ fun () ->
-  let order, segments, seam_lo =
+  let d =
     Ivc_obs.Span.record ~cat:"kernel" "kernel.par_sweep.decompose" (fun () ->
         decompose ?tile inst)
   in
+  let { order; segments; seam_lo; phases } = d in
   let n = Stencil.n_vertices inst in
   let tiles = Array.length segments in
+  let seam_clusters =
+    Array.fold_left (fun acc cs -> acc + Array.length cs) 0 phases
+  in
   let workers =
     match workers with
     | Some p -> max 1 p
@@ -121,52 +252,42 @@ let color ?workers ?tile inst =
   let starts = Array.make n (-1) in
   Ivc_obs.Counter.add c_tiles tiles;
   Ivc_obs.Counter.add c_seam (n - seam_lo);
-  (* Interior phase on the domains pool: one task per tile, no DAG
-     edges — tile interiors are mutually non-adjacent by construction,
-     so there is nothing to order. Each task colors its segment with
-     its own scratch against the shared starts array; it only ever
-     reads cells of its own tile. *)
-  if tiles > 0 then begin
-    let dag =
-      {
-        Taskpar.Dag.n = tiles;
-        cost =
-          Array.map (fun (lo, hi) -> Float.of_int (hi - lo)) segments;
-        succ = Array.make tiles [||];
-        n_pred = Array.make tiles 0;
-        priority = Array.init tiles Fun.id;
-      }
-    in
-    let work tid =
-      let lo, hi = segments.(tid) in
-      let sc = Ff.make_scratch inst in
-      for idx = lo to hi - 1 do
-        let v = order.(idx) in
-        starts.(v) <- Ff.first_fit_for sc ~starts v
-      done
-    in
+  Ivc_obs.Counter.add c_clusters seam_clusters;
+  (* One scratch per worker, reused across every task it runs. *)
+  let scratches = Array.init workers (fun _ -> Ff.make_scratch inst) in
+  let counts = Array.append [| tiles |] (Array.map Array.length phases) in
+  let run_segment sc (lo, hi) =
+    for idx = lo to hi - 1 do
+      let v = order.(idx) in
+      starts.(v) <- Ff.first_fit_for sc ~starts v
+    done;
+    Ff.flush_stats sc
+  in
+  let work ~worker ~phase task =
+    let sc = scratches.(worker) in
+    if phase = 0 then run_segment sc segments.(task)
+    else run_segment sc phases.(phase - 1).(task)
+  in
+  let st =
     Ivc_obs.Span.record ~cat:"kernel"
       ~args:
-        [ ("tiles", string_of_int tiles); ("workers", string_of_int workers) ]
-      "kernel.par_sweep.interior"
-      (fun () -> ignore (Taskpar.Pool.run dag ~workers ~work))
-  end;
-  (* Sequential seam pass: sees every interior color, colored in the
-     deterministic (tile key, local key) order. *)
-  Ivc_obs.Span.record ~cat:"kernel"
-    ~args:[ ("cells", string_of_int (n - seam_lo)) ]
-    "kernel.par_sweep.seam"
-    (fun () ->
-      let sc = Ff.make_scratch inst in
-      for idx = seam_lo to n - 1 do
-        let v = order.(idx) in
-        starts.(v) <- Ff.first_fit_for sc ~starts v
-      done);
+        [
+          ("tiles", string_of_int tiles);
+          ("clusters", string_of_int seam_clusters);
+          ("workers", string_of_int workers);
+        ]
+      "kernel.par_sweep.phases"
+      (fun () -> Taskpar.Steal.run_phases ~workers ~counts ~work)
+  in
   ( starts,
     {
       tiles;
       interior = seam_lo;
       seam = n - seam_lo;
+      seam_phases = Array.length phases;
+      seam_clusters;
       workers;
+      steals = st.Taskpar.Steal.steals;
+      steal_attempts = st.Taskpar.Steal.attempts;
       elapsed_s = Ivc_obs.elapsed_s ~since:t0;
     } )

@@ -1,17 +1,26 @@
-(** Deterministic tiled parallel coloring on the domains pool.
+(** Deterministic tiled parallel coloring on work-stealing deques.
 
     Tile interiors (cells all of whose neighbors are in the same tile)
     are mutually non-adjacent across tiles, so they color concurrently
-    with no speculation and no conflicts; the seam cells on tile
-    boundaries are finished in one sequential pass. The result is
+    with no speculation and no conflicts. The seam cells on tile
+    boundaries are finished in a fixed sequence of parallel phases —
+    one per nonempty boundary-axis subset — whose clusters (keyed by
+    tile junction along the boundary axes and tile index along the
+    rest) are mutually non-adjacent whenever the tile width is at
+    least 3; narrower tiles fall back to one sequential seam phase.
+    All tasks run on {!Taskpar.Steal} Chase–Lev deques. The result is
     scheduling-independent and equals the sequential kernel sweep of
     {!equivalent_order}. *)
 
 type stats = {
   tiles : int;  (** parallel tasks (tiles with a nonempty interior) *)
   interior : int;  (** cells colored concurrently *)
-  seam : int;  (** cells finished by the sequential seam pass *)
+  seam : int;  (** cells finished by the seam phases *)
+  seam_phases : int;  (** nonempty seam phases (0–3 in 2D, 0–7 in 3D) *)
+  seam_clusters : int;  (** independent seam tasks over all phases *)
   workers : int;  (** domains actually used *)
+  steals : int;  (** tasks executed by a non-owner worker *)
+  steal_attempts : int;  (** steal attempts, including misses *)
   elapsed_s : float;
 }
 

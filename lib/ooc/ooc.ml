@@ -1,0 +1,521 @@
+(* Out-of-core tiled solve: stream a grid larger than RAM.
+
+   The traversal is exactly {!Ivc_kernel.Tiles} — tiles in Morton order
+   of their tile coordinates, cells in ascending local Morton code —
+   but only one tile is ever materialized. Each tile is solved inside a
+   [(tw+2)^d] *window*: the tile's cells sit at window-interior
+   positions with a one-cell halo ring around them, so the kernel's
+   first-fit sees exactly the neighbor set the in-core sweep would.
+   Halo cells of tiles that precede the current tile in traversal order
+   carry their final starts (fetched from that tile's spill through a
+   small LRU cache); halo cells of later tiles are uncolored (-1), as
+   they would be mid-sweep in core; cells outside the grid get weight 0
+   and are ignored by the gather. The resulting coloring is
+   bit-identical to [Tiles.color] — the differential suite asserts it.
+
+   Completed tiles spill through {!Ivc_persist.Snapshot} (CRC-framed,
+   fingerprint-keyed, atomic rename), one file per tile. Because spills
+   land in traversal order and installation is atomic, a [kill -9] at
+   any instant leaves a valid prefix: re-running [solve] loads each
+   tile's spill, keeps the valid ones (anything corrupt, truncated, or
+   from a different source fails closed and is recomputed), and resumes
+   where the crash struck. Halo fills only ever need tiles *earlier* in
+   the traversal, which by then always have a valid spill.
+
+   Peak memory is O(window + cache cap + tiles-count metadata),
+   independent of the number of cells: a billion-cell grid needs a few
+   MiB of tile ranks plus the resident-tile budget. *)
+
+module Stencil = Ivc_grid.Stencil
+module Zorder = Ivc_grid.Zorder
+module Snapshot = Ivc_persist.Snapshot
+module Codec = Ivc_persist.Codec
+module Ff = Ivc_kernel.Ff
+module Tiles = Ivc_kernel.Tiles
+
+type stats = {
+  tiles : int;
+  solved : int;
+  resumed : int;
+  cells : int;
+  spill_bytes : int;
+  halo_loads : int;
+  halo_hits : int;
+  halo_bytes : int;
+  resident_hw : int;
+  maxcolor : int;
+  elapsed_s : float;
+}
+
+type error =
+  | Spill of string * Snapshot.error
+  | Uncolored of int
+  | Conflict of int * int
+
+let error_to_string = function
+  | Spill (path, e) ->
+      Printf.sprintf "spill %s: %s" path (Snapshot.error_to_string e)
+  | Uncolored v -> Printf.sprintf "vertex %d is uncolored" v
+  | Conflict (u, v) ->
+      Printf.sprintf "vertices %d and %d have overlapping intervals" u v
+
+exception Fail of error
+
+let c_solved = Ivc_obs.Counter.make "ooc.tiles_solved"
+let c_resumed = Ivc_obs.Counter.make "ooc.tiles_resumed"
+let c_spill_bytes = Ivc_obs.Counter.make "ooc.spill_bytes"
+let c_halo_loads = Ivc_obs.Counter.make "ooc.halo_loads"
+let c_halo_hits = Ivc_obs.Counter.make "ooc.halo_hits"
+
+let snap_kind = "ooc-tile"
+let spill_file ~dir t = Filename.concat dir (Printf.sprintf "tile-%d.snap" t)
+let default_mem_budget = 64 * 1024 * 1024
+
+let tile_size ?tile src =
+  match tile with
+  | Some t -> if t < 2 then invalid_arg "Ivc_ooc.Ooc: tile must be >= 2" else t
+  | None -> (
+      match Source.dims src with
+      | Stencil.D2 _ -> Tiles.default_tile2
+      | Stencil.D3 _ -> Tiles.default_tile3)
+
+(* The solve plan: dimensions normalized to 3D with [z = 1] for 2D
+   instances (every id formula then reduces to the 2D one), the tile
+   traversal order and its inverse rank, and the local Morton decode
+   tables — the same tables {!Tiles.iter_cells} builds. *)
+type plan = {
+  x : int;
+  y : int;
+  z : int; (* 1 in 2D *)
+  is3d : bool;
+  tw : int;
+  ty : int; (* tiles along y *)
+  tz : int; (* tiles along z; 1 in 2D *)
+  nt : int;
+  tiles : int array; (* tile ids in traversal (Morton) order *)
+  rank : int array; (* rank.(t) = position of tile t in [tiles] *)
+  lspace : int;
+  li_of : int array;
+  lj_of : int array;
+  lk_of : int array;
+  wy : int; (* window edge: tw + 2 *)
+  wz : int; (* window z-extent: tw + 2 in 3D, 1 in 2D *)
+  kadd : int; (* local k -> window k: +1 in 3D, 0 in 2D *)
+}
+
+let make_plan src tw =
+  let (x, y, z), is3d =
+    match Source.dims src with
+    | Stencil.D2 (x, y) -> ((x, y, 1), false)
+    | Stencil.D3 (x, y, z) -> ((x, y, z), true)
+  in
+  let tpc d = (d + tw - 1) / tw in
+  let tx = tpc x and ty = tpc y and tz = tpc z in
+  let nt = tx * ty * tz in
+  let tiles = Array.init nt Fun.id in
+  let tkeys =
+    Array.init nt (fun t ->
+        if is3d then
+          let tk = t mod tz in
+          let tij = t / tz in
+          Zorder.key3 (tij / ty) (tij mod ty) tk
+        else Zorder.key2 (t / ty) (t mod ty))
+  in
+  Tiles.sort_by_keys tkeys tiles;
+  let rank = Array.make nt 0 in
+  Array.iteri (fun r t -> rank.(t) <- r) tiles;
+  let lb = Tiles.bits_for tw in
+  let lspace = 1 lsl ((if is3d then 3 else 2) * lb) in
+  let li_of = Array.make lspace (-1)
+  and lj_of = Array.make lspace 0
+  and lk_of = Array.make lspace 0 in
+  (if is3d then
+     for li = 0 to tw - 1 do
+       for lj = 0 to tw - 1 do
+         for lk = 0 to tw - 1 do
+           let c = Zorder.key3 li lj lk in
+           li_of.(c) <- li;
+           lj_of.(c) <- lj;
+           lk_of.(c) <- lk
+         done
+       done
+     done
+   else
+     for li = 0 to tw - 1 do
+       for lj = 0 to tw - 1 do
+         let c = Zorder.key2 li lj in
+         li_of.(c) <- li;
+         lj_of.(c) <- lj
+       done
+     done);
+  {
+    x;
+    y;
+    z;
+    is3d;
+    tw;
+    ty;
+    tz;
+    nt;
+    tiles;
+    rank;
+    lspace;
+    li_of;
+    lj_of;
+    lk_of;
+    wy = tw + 2;
+    wz = (if is3d then tw + 2 else 1);
+    kadd = (if is3d then 1 else 0);
+  }
+
+let n_tiles ?tile src = (make_plan src (tile_size ?tile src)).nt
+
+(* tile linear id t = ((ti * ty) + tj) * tz + tk, as in Tiles *)
+let tile_box p t =
+  let tk = t mod p.tz in
+  let tij = t / p.tz in
+  let ti = tij / p.ty and tj = tij mod p.ty in
+  let i0 = ti * p.tw and j0 = tj * p.tw and k0 = tk * p.tw in
+  (i0, j0, k0, min p.tw (p.x - i0), min p.tw (p.y - j0), min p.tw (p.z - k0))
+
+(* Owning tile of a global cell, plus the cell's index in that tile's
+   spilled row-major starts (strides use the owner's clipped extents). *)
+let owner_index p ~gi ~gj ~gk =
+  let ti = gi / p.tw and tj = gj / p.tw and tk = gk / p.tw in
+  let t = (((ti * p.ty) + tj) * p.tz) + tk in
+  let sy = min p.tw (p.y - (tj * p.tw)) and sz = min p.tw (p.z - (tk * p.tw)) in
+  let li = gi - (ti * p.tw)
+  and lj = gj - (tj * p.tw)
+  and lk = gk - (tk * p.tw) in
+  (t, (((li * sy) + lj) * sz) + lk)
+
+(* Spill payload: source fingerprint, tile id, tile width, then the
+   tile's starts in row-major local order. Everything is validated on
+   load — fingerprint, id, width, length — so a spill can never be
+   resumed against a different source or a different tiling. *)
+let save_tile src p ~dir t data =
+  let w = Codec.W.create () in
+  Codec.W.i64 w (Source.fingerprint src);
+  Codec.W.int w t;
+  Codec.W.int w p.tw;
+  Codec.W.int_array w data;
+  let snap = { Snapshot.kind = snap_kind; payload = Codec.W.contents w } in
+  Snapshot.save (spill_file ~dir t) snap;
+  String.length (Snapshot.to_string snap)
+
+let load_tile src p ~dir t =
+  let path = spill_file ~dir t in
+  match Snapshot.load path with
+  | Error e -> Error (Spill (path, e))
+  | Ok snap -> (
+      let r =
+        Snapshot.decode snap ~kind:snap_kind (fun r ->
+            let fp = Codec.R.i64 r in
+            let tid = Codec.R.int r in
+            let tw = Codec.R.int r in
+            let data = Codec.R.int_array r in
+            (fp, tid, tw, data))
+      in
+      match r with
+      | Error e -> Error (Spill (path, e))
+      | Ok (fp, tid, tw, data) ->
+          let _, _, _, sx, sy, sz = tile_box p t in
+          if fp <> Source.fingerprint src then
+            Error (Spill (path, Snapshot.Instance_mismatch))
+          else if tid <> t || tw <> p.tw || Array.length data <> sx * sy * sz
+          then Error (Spill (path, Snapshot.Bad_payload "tile geometry mismatch"))
+          else Ok data)
+
+(* LRU cache of spilled tile starts, capped in tiles. Misses load from
+   the spill file; eviction drops the least recently touched entry. *)
+type cache = {
+  tbl : (int, int array * int ref) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable hw : int; (* resident high-water, incl. the active window *)
+  mutable loads : int;
+  mutable hits : int;
+  mutable load_bytes : int;
+}
+
+let cache_make p mem_budget =
+  let tile_bytes = 8 * p.tw * p.tw * (if p.is3d then p.tw else 1) in
+  let cap = max 2 (mem_budget / tile_bytes) in
+  {
+    tbl = Hashtbl.create 64;
+    cap;
+    tick = 0;
+    hw = 1;
+    loads = 0;
+    hits = 0;
+    load_bytes = 0;
+  }
+
+let cache_touch c (_, tick) =
+  c.tick <- c.tick + 1;
+  tick := c.tick
+
+let cache_put c t data =
+  if Hashtbl.length c.tbl >= c.cap then begin
+    let victim = ref (-1) and oldest = ref max_int in
+    Hashtbl.iter
+      (fun t (_, tick) ->
+        if !tick < !oldest then begin
+          oldest := !tick;
+          victim := t
+        end)
+      c.tbl;
+    if !victim >= 0 then Hashtbl.remove c.tbl !victim
+  end;
+  let e = (data, ref 0) in
+  cache_touch c e;
+  Hashtbl.replace c.tbl t e;
+  c.hw <- max c.hw (Hashtbl.length c.tbl + 1)
+
+let cache_get c src p ~dir t =
+  match Hashtbl.find_opt c.tbl t with
+  | Some ((data, _) as e) ->
+      cache_touch c e;
+      c.hits <- c.hits + 1;
+      data
+  | None -> (
+      match load_tile src p ~dir t with
+      | Error e -> raise (Fail e)
+      | Ok data ->
+          c.loads <- c.loads + 1;
+          c.load_bytes <- c.load_bytes + (8 * Array.length data);
+          cache_put c t data;
+          data)
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Fill the window for tile [t]: every in-grid window cell gets its
+   weight from the source and its start from [start_of] (out-of-grid
+   cells get weight 0 / start -1, which the kernel's gather skips).
+   Returns the tile's origin and clipped extents. *)
+let fill_window src p t ~win_w ~win_starts ~start_of =
+  let i0, j0, k0, sx, sy, sz = tile_box p t in
+  let koff = -p.kadd in
+  for wi = 0 to p.wy - 1 do
+    let gi = i0 + wi - 1 in
+    for wj = 0 to p.wy - 1 do
+      let gj = j0 + wj - 1 in
+      for wk = 0 to p.wz - 1 do
+        let gk = k0 + wk + koff in
+        let wid = (((wi * p.wy) + wj) * p.wz) + wk in
+        if gi >= 0 && gi < p.x && gj >= 0 && gj < p.y && gk >= 0 && gk < p.z
+        then begin
+          let gid = (((gi * p.y) + gj) * p.z) + gk in
+          win_w.(wid) <- Source.weight src gid;
+          win_starts.(wid) <- start_of ~gi ~gj ~gk
+        end
+        else begin
+          win_w.(wid) <- 0;
+          win_starts.(wid) <- -1
+        end
+      done
+    done
+  done;
+  (i0, j0, k0, sx, sy, sz)
+
+let make_window p =
+  if p.is3d then
+    Stencil.make3 ~x:p.wy ~y:p.wy ~z:p.wz (Array.make (p.wy * p.wy * p.wz) 0)
+  else Stencil.make2 ~x:p.wy ~y:p.wy (Array.make (p.wy * p.wy) 0)
+
+let describe src =
+  match Source.dims src with
+  | Stencil.D2 (x, y) -> Printf.sprintf "2D %dx%d" x y
+  | Stencil.D3 (x, y, z) -> Printf.sprintf "3D %dx%dx%d" x y z
+
+let solve ?tile ?(mem_budget = default_mem_budget) ~dir src =
+  let t0 = Ivc_obs.now_ns () in
+  Ivc_obs.Span.record ~cat:"ooc"
+    ~args:[ ("instance", describe src); ("dir", dir) ]
+    "ooc.solve"
+  @@ fun () ->
+  let p = make_plan src (tile_size ?tile src) in
+  mkdirs dir;
+  let cache = cache_make p mem_budget in
+  let win = make_window p in
+  let sc = Ff.make_scratch win in
+  let win_w = (win : Stencil.t).w in
+  let win_starts = Array.make (Array.length win_w) (-1) in
+  let solved = ref 0
+  and resumed = ref 0
+  and cells = ref 0
+  and spill_bytes = ref 0
+  and maxcolor = ref 0 in
+  try
+    Array.iter
+      (fun t ->
+        match load_tile src p ~dir t with
+        | Ok data ->
+            (* valid spill from an earlier (crashed) run: keep it *)
+            incr resumed;
+            let i0, j0, k0, sx, sy, sz = tile_box p t in
+            let idx = ref 0 in
+            for li = 0 to sx - 1 do
+              for lj = 0 to sy - 1 do
+                for lk = 0 to sz - 1 do
+                  let gid =
+                    ((((i0 + li) * p.y) + (j0 + lj)) * p.z) + (k0 + lk)
+                  in
+                  let w = Source.weight src gid in
+                  if w > 0 then maxcolor := max !maxcolor (data.(!idx) + w);
+                  incr idx
+                done
+              done
+            done;
+            cache_put cache t data
+        | Error _ ->
+            (* no spill, or one that failed closed: (re)compute *)
+            let _, _, _, sx, sy, sz =
+              fill_window src p t ~win_w ~win_starts
+                ~start_of:(fun ~gi ~gj ~gk ->
+                  let ot, oi = owner_index p ~gi ~gj ~gk in
+                  if p.rank.(ot) < p.rank.(t) then
+                    (cache_get cache src p ~dir ot).(oi)
+                  else -1)
+            in
+            for c = 0 to p.lspace - 1 do
+              let li = Array.unsafe_get p.li_of c in
+              if li >= 0 && li < sx then begin
+                let lj = Array.unsafe_get p.lj_of c
+                and lk = Array.unsafe_get p.lk_of c in
+                if lj < sy && lk < sz then begin
+                  let wid =
+                    ((((li + 1) * p.wy) + (lj + 1)) * p.wz) + lk + p.kadd
+                  in
+                  let s = Ff.first_fit_for sc ~starts:win_starts wid in
+                  win_starts.(wid) <- s;
+                  let w = win_w.(wid) in
+                  if w > 0 then maxcolor := max !maxcolor (s + w);
+                  incr cells
+                end
+              end
+            done;
+            Ff.flush_stats sc;
+            let data = Array.make (sx * sy * sz) 0 in
+            let idx = ref 0 in
+            for li = 0 to sx - 1 do
+              for lj = 0 to sy - 1 do
+                for lk = 0 to sz - 1 do
+                  data.(!idx) <-
+                    win_starts.(((((li + 1) * p.wy) + (lj + 1)) * p.wz)
+                                + lk + p.kadd);
+                  incr idx
+                done
+              done
+            done;
+            spill_bytes := !spill_bytes + save_tile src p ~dir t data;
+            cache_put cache t data;
+            incr solved)
+      p.tiles;
+    Ivc_obs.Counter.add c_solved !solved;
+    Ivc_obs.Counter.add c_resumed !resumed;
+    Ivc_obs.Counter.add c_spill_bytes !spill_bytes;
+    Ivc_obs.Counter.add c_halo_loads cache.loads;
+    Ivc_obs.Counter.add c_halo_hits cache.hits;
+    Ok
+      {
+        tiles = p.nt;
+        solved = !solved;
+        resumed = !resumed;
+        cells = !cells;
+        spill_bytes = !spill_bytes;
+        halo_loads = cache.loads;
+        halo_hits = cache.hits;
+        halo_bytes = cache.load_bytes;
+        resident_hw = cache.hw;
+        maxcolor = !maxcolor;
+        elapsed_s = Ivc_obs.elapsed_s ~since:t0;
+      }
+  with Fail e -> Error e
+
+let verify ?tile ?(mem_budget = default_mem_budget) ~dir src =
+  Ivc_obs.Span.record ~cat:"ooc"
+    ~args:[ ("instance", describe src); ("dir", dir) ]
+    "ooc.verify"
+  @@ fun () ->
+  let p = make_plan src (tile_size ?tile src) in
+  let cache = cache_make p mem_budget in
+  let win = make_window p in
+  let win_w = (win : Stencil.t).w in
+  let win_starts = Array.make (Array.length win_w) (-1) in
+  let koff = -p.kadd in
+  let maxc = ref 0 in
+  try
+    Array.iter
+      (fun t ->
+        match load_tile src p ~dir t with
+        | Error e -> raise (Fail e)
+        | Ok data ->
+            (* both-side halos: every in-grid window cell is final now *)
+            let i0, j0, k0, sx, sy, sz =
+              fill_window src p t ~win_w ~win_starts
+                ~start_of:(fun ~gi ~gj ~gk ->
+                  let ot, oi = owner_index p ~gi ~gj ~gk in
+                  if ot = t then data.(oi)
+                  else (cache_get cache src p ~dir ot).(oi))
+            in
+            let global_of wid =
+              let wk = wid mod p.wz in
+              let wij = wid / p.wz in
+              let gi = i0 + (wij / p.wy) - 1
+              and gj = j0 + (wij mod p.wy) - 1
+              and gk = k0 + wk + koff in
+              (((gi * p.y) + gj) * p.z) + gk
+            in
+            for li = 0 to sx - 1 do
+              for lj = 0 to sy - 1 do
+                for lk = 0 to sz - 1 do
+                  let wid =
+                    ((((li + 1) * p.wy) + (lj + 1)) * p.wz) + lk + p.kadd
+                  in
+                  let s = win_starts.(wid) in
+                  if s < 0 then raise (Fail (Uncolored (global_of wid)));
+                  let w = win_w.(wid) in
+                  if w > 0 then begin
+                    if s + w > !maxc then maxc := s + w;
+                    Stencil.iter_neighbors win wid (fun wu ->
+                        let wu_w = win_w.(wu) and su = win_starts.(wu) in
+                        if wu_w > 0 && su >= 0 && su < s + w && s < su + wu_w
+                        then
+                          raise
+                            (Fail (Conflict (global_of wid, global_of wu))))
+                  end
+                done
+              done
+            done)
+      p.tiles;
+    Ok !maxc
+  with Fail e -> Error e
+
+let read_starts ?tile ~dir src =
+  let p = make_plan src (tile_size ?tile src) in
+  let starts = Array.make (Source.n_vertices src) (-1) in
+  try
+    Array.iter
+      (fun t ->
+        match load_tile src p ~dir t with
+        | Error e -> raise (Fail e)
+        | Ok data ->
+            let i0, j0, k0, sx, sy, sz = tile_box p t in
+            let idx = ref 0 in
+            for li = 0 to sx - 1 do
+              for lj = 0 to sy - 1 do
+                for lk = 0 to sz - 1 do
+                  starts.((((i0 + li) * p.y) + (j0 + lj)) * p.z + (k0 + lk)) <-
+                    data.(!idx);
+                  incr idx
+                done
+              done
+            done)
+      p.tiles;
+    Ok starts
+  with Fail e -> Error e

@@ -1,0 +1,72 @@
+(** Out-of-core tiled solves: color grids larger than RAM.
+
+    The grid streams through the exact {!Ivc_kernel.Tiles} traversal
+    (tiles in Morton order, cells in ascending local Morton code), one
+    [(tw+2)^d] window at a time. The window holds the tile plus a
+    one-cell halo ring whose starts come from the already-spilled
+    neighboring tiles, so the kernel's first-fit sees exactly the
+    neighbor state the in-core sweep would — the coloring is
+    bit-identical to [Tiles.color], which the differential suite
+    asserts.
+
+    Completed tiles spill through {!Ivc_persist.Snapshot} (CRC-framed,
+    fingerprint-keyed, atomically installed), one file per tile, in
+    traversal order — so a [kill -9] leaves a valid prefix and
+    re-running {!solve} resumes from it, recomputing anything corrupt
+    fail-closed. Peak memory is the window plus the halo-cache budget
+    plus tile-count metadata, independent of the cell count. *)
+
+type stats = {
+  tiles : int;  (** tiles in the decomposition *)
+  solved : int;  (** tiles computed this run *)
+  resumed : int;  (** tiles skipped because a valid spill existed *)
+  cells : int;  (** cells colored this run (resumed tiles excluded) *)
+  spill_bytes : int;  (** bytes written to spill files this run *)
+  halo_loads : int;  (** halo-cache misses (tile loads from disk) *)
+  halo_hits : int;  (** halo-cache hits *)
+  halo_bytes : int;  (** bytes read back for halos *)
+  resident_hw : int;  (** resident-tile high-water (cache + window) *)
+  maxcolor : int;  (** number of colors of the full coloring *)
+  elapsed_s : float;
+}
+
+type error =
+  | Spill of string * Ivc_persist.Snapshot.error
+      (** a spill file this operation required is missing or invalid *)
+  | Uncolored of int  (** verify: cell with no start *)
+  | Conflict of int * int  (** verify: adjacent intervals overlap *)
+
+val error_to_string : error -> string
+
+(** Tile edge the solve will use — same defaults as {!Ivc_kernel.Tiles}
+    (64 in 2D, 16 in 3D; override must be >= 2). *)
+val tile_size : ?tile:int -> Source.t -> int
+
+val n_tiles : ?tile:int -> Source.t -> int
+
+(** Spill path of tile [t] under [dir] — exposed for the corruption and
+    crash-recovery tests. *)
+val spill_file : dir:string -> int -> string
+
+val default_mem_budget : int
+(** 64 MiB of resident halo tiles. *)
+
+val solve :
+  ?tile:int -> ?mem_budget:int -> dir:string -> Source.t -> (stats, error) result
+(** [solve ~dir src] streams the whole grid, spilling each completed
+    tile to [dir] (created if missing). Tiles with a valid spill for
+    this source are kept and counted as [resumed]; anything else —
+    missing, truncated, corrupt, wrong source, wrong tiling — is
+    recomputed. [mem_budget] bounds the halo cache in bytes. Raises
+    [Sys_error] / [Unix.Unix_error] only if [dir] is unwritable. *)
+
+val verify :
+  ?tile:int -> ?mem_budget:int -> dir:string -> Source.t -> (int, error) result
+(** Streaming certification of a completed solve: re-reads every tile
+    with both-side halos and checks every adjacent interval pair.
+    [Ok maxcolor] is a full certificate; memory use is the same window
+    + cache bound as {!solve}. *)
+
+val read_starts : ?tile:int -> dir:string -> Source.t -> (int array, error) result
+(** Materialize the full starts array from the spill directory — O(n)
+    memory; for differential tests and small instances only. *)

@@ -1,0 +1,30 @@
+(** Pure weight sources for out-of-core solves: grid dimensions, a
+    pure [id -> weight] function, and a stable fingerprint — never a
+    materialized weight array, so a source costs O(1) memory at any
+    grid size. *)
+
+type t
+
+(** Wrap a materialized instance. The fingerprint equals
+    [Ivc_persist.Snapshot.fingerprint inst], so out-of-core spills of
+    this source validate against the same identity the rest of the
+    persistence layer uses. *)
+val of_stencil : Ivc_grid.Stencil.t -> t
+
+(** Counter-mode splitmix64 weights in [0, bound) from (seed, id);
+    deterministic, O(1) memory, any grid size. *)
+val seeded2 : x:int -> y:int -> seed:int -> bound:int -> t
+
+val seeded3 : x:int -> y:int -> z:int -> seed:int -> bound:int -> t
+val dims : t -> Ivc_grid.Stencil.dims
+val n_vertices : t -> int
+
+(** Stable identity embedded in every spill file (fail-closed resume:
+    a spill of a different source never validates). *)
+val fingerprint : t -> int64
+
+val weight : t -> int -> int
+
+(** Materialize the full stencil — O(n) memory; for differential tests
+    and small-instance certification only. *)
+val materialize : t -> Ivc_grid.Stencil.t

@@ -1,0 +1,188 @@
+(* Work-stealing phase executor on Chase–Lev deques.
+
+   Runs a sequence of phases; phase [p] consists of tasks
+   [0 .. counts.(p) - 1], every task independent of every other task in
+   the same phase (the caller's decomposition guarantees it — for the
+   tiled sweep, interior tiles and seam clusters are mutually
+   non-adjacent). Phases are separated by a sense-reversing spin
+   barrier, so phase [p+1] never observes a phase-[p] task in flight.
+
+   Each worker owns one deque, pre-filled with a contiguous block of
+   the phase's tasks pushed in reverse so the owner pops them in
+   ascending order (sequential tiles stay cache-adjacent). A worker
+   that drains its deque steals from victims round-robin; completion is
+   detected with a per-phase remaining-task counter (armed by worker 0
+   before the fill barrier, so no decrement can precede the reset), so
+   in-flight stolen tasks are always waited out before the barrier.
+
+   Failure hardening matches Taskpar.Pool: an exception escaping a
+   task body is captured (a dead domain would hang the barrier),
+   recorded, and the phase keeps draining; the first failure is
+   re-raised after all domains join. *)
+
+module Obs = Ivc_obs
+
+let c_steals = Obs.Counter.make "steal.tasks_stolen"
+let c_attempts = Obs.Counter.make "steal.attempts"
+let c_tasks = Obs.Counter.make "steal.tasks_run"
+
+type stats = {
+  tasks : int; (* tasks executed over all phases *)
+  steals : int; (* tasks executed by a non-owner *)
+  attempts : int; (* steal attempts, including misses *)
+}
+
+(* Sense-reversing barrier: each worker flips a private sense and waits
+   for the shared one to match. The last arrival resets the count and
+   publishes the new sense. *)
+type barrier = { count : int Atomic.t; sense : bool Atomic.t; total : int }
+
+let barrier_make total =
+  { count = Atomic.make 0; sense = Atomic.make false; total }
+
+(* Bounded spinning: a short [cpu_relax] burst (cheap when the wait is
+   a few hundred cycles), then micro-sleeps so oversubscribed domains
+   (more workers than cores) release their timeslice instead of
+   starving whoever holds the actual work. *)
+let[@inline] backoff tries =
+  if !tries < 64 then begin
+    incr tries;
+    Domain.cpu_relax ()
+  end
+  else Unix.sleepf 20e-6
+
+let barrier_await bar my_sense =
+  if Atomic.fetch_and_add bar.count 1 = bar.total - 1 then begin
+    Atomic.set bar.count 0;
+    Atomic.set bar.sense my_sense
+  end
+  else begin
+    let tries = ref 0 in
+    while Atomic.get bar.sense <> my_sense do
+      backoff tries
+    done
+  end
+
+type shared = {
+  counts : int array; (* tasks per phase *)
+  deques : Wsdeque.t array;
+  remaining : int Atomic.t; (* tasks of the current phase not yet done *)
+  bar : barrier;
+  first_error : exn option Atomic.t;
+  steals : int Atomic.t;
+  attempts : int Atomic.t;
+}
+
+let[@inline] run_task sh work w p task =
+  (match work ~worker:w ~phase:p task with
+  | () -> ()
+  | exception e -> ignore (Atomic.compare_and_set sh.first_error None (Some e)));
+  Atomic.decr sh.remaining
+
+(* Steal until the current phase completes. Victims are scanned
+   round-robin from [w + 1]; [Retry] results rescan the same victim,
+   a fully empty sweep backs off with [cpu_relax] until the in-flight
+   tasks of the phase finish. *)
+let steal_loop sh work p w nworkers attempts steals =
+  let tries = ref 0 in
+  while Atomic.get sh.remaining > 0 do
+    let progressed = ref false in
+    for i = 1 to nworkers - 1 do
+      let v = (w + i) mod nworkers in
+      let continue = ref true in
+      while !continue do
+        incr attempts;
+        match Wsdeque.steal sh.deques.(v) with
+        | Wsdeque.Stolen task ->
+            incr steals;
+            progressed := true;
+            run_task sh work w p task
+        | Wsdeque.Retry ->
+            progressed := true;
+            Domain.cpu_relax ()
+        | Wsdeque.Empty -> continue := false
+      done
+    done;
+    if !progressed then tries := 0 else backoff tries
+  done
+
+let worker sh work w =
+  let nworkers = Array.length sh.deques in
+  let my = sh.deques.(w) in
+  let sense = ref true in
+  let steals = ref 0 and attempts = ref 0 in
+  Array.iteri
+    (fun p n ->
+      (* worker 0 arms the phase's completion counter before the fill
+         barrier: no task of the phase runs (hence decrements) until
+         every worker has passed it. *)
+      if w = 0 then Atomic.set sh.remaining n;
+      let chunk = (n + nworkers - 1) / nworkers in
+      let lo = min n (w * chunk) in
+      let hi = min n (lo + chunk) in
+      Wsdeque.reset my;
+      for task = hi - 1 downto lo do
+        Wsdeque.push my task
+      done;
+      barrier_await sh.bar !sense;
+      sense := not !sense;
+      let continue = ref true in
+      while !continue do
+        match Wsdeque.pop my with
+        | Some task -> run_task sh work w p task
+        | None -> continue := false
+      done;
+      steal_loop sh work p w nworkers attempts steals;
+      (* drain barrier: the phase is complete everywhere before any
+         deque is reset for the next one *)
+      barrier_await sh.bar !sense;
+      sense := not !sense)
+    sh.counts;
+  ignore (Atomic.fetch_and_add sh.steals !steals);
+  ignore (Atomic.fetch_and_add sh.attempts !attempts)
+
+let run_phases ~workers ~counts ~work =
+  if workers < 1 then invalid_arg "Steal.run_phases: need at least one worker";
+  let total = Array.fold_left ( + ) 0 counts in
+  if workers = 1 || total = 0 then begin
+    (* no domains, no barriers: plain loops in phase order *)
+    let err = ref None in
+    Array.iteri
+      (fun p n ->
+        for task = 0 to n - 1 do
+          match work ~worker:0 ~phase:p task with
+          | () -> ()
+          | exception e -> if !err = None then err := Some e
+        done)
+      counts;
+    Obs.Counter.add c_tasks total;
+    (match !err with Some e -> raise e | None -> ());
+    { tasks = total; steals = 0; attempts = 0 }
+  end
+  else begin
+    let cap =
+      Array.fold_left (fun acc n -> max acc ((n + workers - 1) / workers)) 1 counts
+    in
+    let sh =
+      {
+        counts;
+        deques = Array.init workers (fun _ -> Wsdeque.create cap);
+        remaining = Atomic.make 0;
+        bar = barrier_make workers;
+        first_error = Atomic.make None;
+        steals = Atomic.make 0;
+        attempts = Atomic.make 0;
+      }
+    in
+    let domains =
+      List.init (workers - 1) (fun i ->
+          Domain.spawn (fun () -> worker sh work (i + 1)))
+    in
+    worker sh work 0;
+    List.iter Domain.join domains;
+    Obs.Counter.add c_tasks total;
+    Obs.Counter.add c_steals (Atomic.get sh.steals);
+    Obs.Counter.add c_attempts (Atomic.get sh.attempts);
+    (match Atomic.get sh.first_error with Some e -> raise e | None -> ());
+    { tasks = total; steals = Atomic.get sh.steals; attempts = Atomic.get sh.attempts }
+  end

@@ -1,0 +1,32 @@
+(** Work-stealing phase executor on {!Wsdeque} Chase–Lev deques.
+
+    The caller supplies a sequence of phases; tasks within one phase
+    must be mutually independent (any execution order and interleaving
+    yields the same result — for the tiled sweep this is the
+    non-adjacency of interior tiles and of seam clusters). The executor
+    guarantees: every task of phase [p] finishes before any task of
+    phase [p+1] starts; tasks are block-partitioned across per-worker
+    deques and idle workers steal from the top, so load imbalance
+    (boundary tiles, ragged grids) migrates automatically. *)
+
+type stats = {
+  tasks : int;  (** tasks executed over all phases *)
+  steals : int;  (** tasks executed by a non-owner worker *)
+  attempts : int;  (** steal attempts, including misses *)
+}
+
+(** [run_phases ~workers ~counts ~work] runs, for each phase [p] in
+    order, the tasks [work ~worker ~phase:p t] for [0 <= t < counts.(p)]
+    on [workers] domains (including the caller; [workers = 1] runs
+    plain sequential loops with no domain spawn or atomics). [worker]
+    is the index of the executing domain in [0, workers): use it to
+    index per-worker scratch without domain-local storage.
+
+    A task body that raises is captured — the phase still drains, the
+    barrier still forms — and the first such exception is re-raised
+    after all domains join. *)
+val run_phases :
+  workers:int ->
+  counts:int array ->
+  work:(worker:int -> phase:int -> int -> unit) ->
+  stats

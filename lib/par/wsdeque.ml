@@ -1,0 +1,87 @@
+(* Chase–Lev work-stealing deque, specialized to [int] tasks.
+
+   The owner pushes and pops at the bottom; thieves steal single tasks
+   from the top with a CAS. This is the classic fixed-capacity variant
+   (Chase & Lev, SPAA'05; Lê et al., PPoPP'13 for the memory-model
+   treatment): our schedulers know the total task count of a phase up
+   front, so the buffer is sized once and never grows — which also
+   removes the one data race the growable version has to argue away
+   (slot reuse under wrap-around). Every slot is written at most once
+   between [reset]s, and the write happens-before any thief's read
+   through the SC operations on [bottom], so plain [int array] slots
+   are safe.
+
+   OCaml's [Atomic.t] operations are sequentially consistent, which is
+   stronger than the fences the published algorithm needs. *)
+
+type t = {
+  top : int Atomic.t; (* next index thieves take *)
+  bottom : int Atomic.t; (* next index the owner pushes *)
+  slots : int array;
+  cap : int;
+  mask : int; (* slots length - 1; length is a power of two *)
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Wsdeque.create: capacity must be positive";
+  let len = ref 1 in
+  while !len < cap do len := !len * 2 done;
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    slots = Array.make !len 0;
+    cap;
+    mask = !len - 1;
+  }
+
+let capacity d = d.cap
+
+(* Owner only. Quiescent reuse: callers must ensure no thief is active
+   (our executors reset between phase barriers). *)
+let reset d =
+  Atomic.set d.top 0;
+  Atomic.set d.bottom 0
+
+let size d =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  if b > t then b - t else 0
+
+(* Owner only. Raises if the fixed buffer is exhausted — by
+   construction a phase never pushes more than [cap] tasks. *)
+let push d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  if b - t >= d.cap then invalid_arg "Wsdeque.push: deque is full";
+  Array.unsafe_set d.slots (b land d.mask) x;
+  Atomic.set d.bottom (b + 1)
+
+(* Owner only: LIFO end. *)
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b > t then Some (Array.unsafe_get d.slots (b land d.mask))
+  else if b = t then begin
+    (* last element: race with thieves, arbitrated by the CAS on top *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then Some (Array.unsafe_get d.slots (b land d.mask)) else None
+  end
+  else begin
+    Atomic.set d.bottom t;
+    None
+  end
+
+type steal_result = Stolen of int | Empty | Retry
+
+(* Thief: FIFO end. [Retry] means the CAS lost to a concurrent steal or
+   to the owner taking the last element — the deque may still be
+   non-empty. *)
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t < b then begin
+    let x = Array.unsafe_get d.slots (t land d.mask) in
+    if Atomic.compare_and_set d.top t (t + 1) then Stolen x else Retry
+  end
+  else Empty

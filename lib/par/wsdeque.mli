@@ -1,0 +1,38 @@
+(** Chase–Lev work-stealing deque over [int] tasks, fixed capacity.
+
+    One owner domain pushes/pops at the bottom (LIFO); any number of
+    thief domains steal from the top (FIFO) with a CAS. The buffer
+    never grows: capacity is fixed at creation and [push] past it is a
+    programming error. This matches the schedulers in {!Steal}, which
+    know each phase's task count up front, and closes the slot-reuse
+    race of the growable variant. *)
+
+type t
+
+(** [create cap] is an empty deque holding at most [cap] tasks. *)
+val create : int -> t
+
+val capacity : t -> int
+
+(** Snapshot of the current length (racy; advisory only). *)
+val size : t -> int
+
+(** Owner only: empty the deque. Only safe when no thief is active
+    (call between phase barriers). *)
+val reset : t -> unit
+
+(** Owner only: push a task at the bottom. Raises [Invalid_argument]
+    if the fixed buffer is full. *)
+val push : t -> int -> unit
+
+(** Owner only: pop from the bottom. [None] when empty (including
+    losing the last-element race to a thief). *)
+val pop : t -> int option
+
+type steal_result =
+  | Stolen of int
+  | Empty  (** nothing to take at the time of the read *)
+  | Retry  (** lost a CAS race; the deque may still be non-empty *)
+
+(** Thief: take the oldest task from the top. *)
+val steal : t -> steal_result

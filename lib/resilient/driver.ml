@@ -113,6 +113,69 @@ let decode_resume ~inst snap =
       (fun p -> Exact_stage p)
       (Ivc_exact.Optimize.plan_resume ~inst snap)
 
+(* ---- out-of-core solves ----------------------------------------------
+
+   Larger-than-RAM instances bypass the portfolio (every stage needs
+   the full starts array) and stream through the out-of-core tiled
+   engine instead. Certification is double-gated: the streaming verify
+   re-reads every spilled tile with both-side halos and checks every
+   adjacent interval pair under the same memory bound as the solve,
+   and — when the instance is small enough to materialize — the
+   coloring additionally passes the ordinary in-core {!Cert} gate, so
+   the streaming verifier is itself cross-validated on every
+   test-scale run. *)
+
+type ooc_outcome = {
+  ooc_maxcolor : int;
+  ooc_stats : Ivc_ooc.Ooc.stats;
+  ooc_cert_in_core : bool;
+}
+
+type ooc_error =
+  | Ooc_failed of Ivc_ooc.Ooc.error
+  | Ooc_cert of Cert.error
+
+let ooc_error_to_string = function
+  | Ooc_failed e -> Ivc_ooc.Ooc.error_to_string e
+  | Ooc_cert e -> Cert.to_string e
+
+(* In-core cross-certification cap: a million cells is ~16 MB of
+   weights + starts, cheap next to the solve it double-checks. *)
+let ooc_cert_threshold = 1 lsl 20
+
+let solve_ooc ?tile ?mem_budget ~dir src =
+  match Ivc_ooc.Ooc.solve ?tile ?mem_budget ~dir src with
+  | Error e -> Error (Ooc_failed e)
+  | Ok st -> (
+      match Ivc_ooc.Ooc.verify ?tile ?mem_budget ~dir src with
+      | Error e -> Error (Ooc_failed e)
+      | Ok mc when mc <> st.Ivc_ooc.Ooc.maxcolor ->
+          (* the solve's running maxcolor and the verifier's must agree;
+             a mismatch means a spill changed between solve and verify *)
+          Error
+            (Ooc_cert
+               (Cert.Wrong_length
+                  { expected = st.Ivc_ooc.Ooc.maxcolor; got = mc }))
+      | Ok mc ->
+          if Ivc_ooc.Source.n_vertices src <= ooc_cert_threshold then
+            match Ivc_ooc.Ooc.read_starts ?tile ~dir src with
+            | Error e -> Error (Ooc_failed e)
+            | Ok starts -> (
+                let inst = Ivc_ooc.Source.materialize src in
+                match Cert.check inst starts with
+                | Error e -> Error (Ooc_cert e)
+                | Ok mc' when mc' <> mc ->
+                    Error (Ooc_cert (Cert.Wrong_length { expected = mc; got = mc' }))
+                | Ok _ ->
+                    Ok
+                      {
+                        ooc_maxcolor = mc;
+                        ooc_stats = st;
+                        ooc_cert_in_core = true;
+                      })
+          else
+            Ok { ooc_maxcolor = mc; ooc_stats = st; ooc_cert_in_core = false })
+
 let solve ?deadline_s ?deadline ?cancel ?(budget = 200_000) ?(improve = true)
     ?(exact = true) ?autosave ?resume inst =
   Ivc_obs.Span.record ~cat:"resilient"

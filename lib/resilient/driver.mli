@@ -90,6 +90,40 @@ val decode_resume :
     Fails closed with a typed error; callers fall back to a fresh
     solve and report the reason. *)
 
+(** {1 Out-of-core solves}
+
+    Larger-than-RAM instances bypass the portfolio (every stage needs
+    the full starts array in memory) and stream through
+    {!Ivc_ooc.Ooc} instead, double-gated: the streaming verifier
+    re-checks every adjacent interval pair under the same memory bound
+    as the solve, and instances small enough to materialize
+    additionally pass the ordinary in-core {!Cert} gate. *)
+
+type ooc_outcome = {
+  ooc_maxcolor : int;  (** certified color count *)
+  ooc_stats : Ivc_ooc.Ooc.stats;
+  ooc_cert_in_core : bool;
+      (** the coloring also passed the in-core {!Cert} gate (small
+          instances only) *)
+}
+
+type ooc_error =
+  | Ooc_failed of Ivc_ooc.Ooc.error
+  | Ooc_cert of Cert.error
+
+val ooc_error_to_string : ooc_error -> string
+
+(** [solve_ooc ~dir src] streams [src] through the out-of-core engine,
+    spilling to [dir] (resuming automatically from any valid spills
+    there), then certifies the result. Peak memory is bounded by
+    [mem_budget] plus the window, independent of the instance size. *)
+val solve_ooc :
+  ?tile:int ->
+  ?mem_budget:int ->
+  dir:string ->
+  Ivc_ooc.Source.t ->
+  (ooc_outcome, ooc_error) result
+
 (** [solve ?deadline_s ?deadline ?cancel ?budget ?improve ?autosave
     ?resume inst]. [deadline_s] bounds the wall-clock time (monotonic);
     [deadline] instead hands the driver a caller-owned {!Deadline}

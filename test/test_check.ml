@@ -266,7 +266,7 @@ let test_fuzz_repro_files_replay () =
 (* ---- oracle registry ------------------------------------------------------- *)
 
 let test_registry_lookup () =
-  Alcotest.(check int) "eleven production oracles" 11 (List.length Oracles.all);
+  Alcotest.(check int) "twelve production oracles" 12 (List.length Oracles.all);
   List.iter
     (fun (o : Oracle.t) ->
       match Oracles.find o.Oracle.name with

@@ -27,6 +27,7 @@ let () =
       ("hardness", Test_hardness.suite);
       ("parallel-coloring", Test_parcolor.suite);
       ("resilience", Test_resilient.suite);
+      ("out-of-core", Test_ooc.suite);
       ("check", Test_check.suite);
       ("persist", Test_persist.suite);
       ("server", Test_server.suite);

@@ -1,0 +1,388 @@
+(* Out-of-core tiled solves and the work-stealing executor.
+
+   The differential core is the shared [ooc] oracle (bit-identical to
+   the in-core tiled sweep, certified streaming verify, full resume),
+   applied here to qcheck-generated and handcrafted ragged grids.
+   On top of that: crash recovery (a kill -9 leaves an arbitrary valid
+   subset of spill files; resuming from any subset must match an
+   uninterrupted solve), fail-closed spill validation (truncation,
+   corruption, wrong source), the memory-budget ceiling, and unit
+   coverage of the Chase-Lev deque and the phase executor. *)
+
+module S = Ivc_grid.Stencil
+module Tiles = Ivc_kernel.Tiles
+module Par = Ivc_kernel.Par_sweep
+module Ooc = Ivc_ooc.Ooc
+module Src = Ivc_ooc.Source
+module Wsdeque = Taskpar.Wsdeque
+module Steal = Taskpar.Steal
+module O = Ivc_check.Oracles
+
+let prop_ooc_matches inst = Util.oracle_holds O.ooc inst
+
+(* Fresh spill directory per test, removed with its contents. *)
+let with_dir f =
+  let dir = Filename.temp_file "ivc-test-ooc" ".spill" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let solve_ok ?tile ?mem_budget ~dir src =
+  match Ooc.solve ?tile ?mem_budget ~dir src with
+  | Ok st -> st
+  | Error e -> Alcotest.failf "ooc solve: %s" (Ooc.error_to_string e)
+
+let starts_ok ?tile ~dir src =
+  match Ooc.read_starts ?tile ~dir src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "read_starts: %s" (Ooc.error_to_string e)
+
+let check_same_starts what expected got =
+  if got <> expected then begin
+    let v = ref 0 in
+    while got.(!v) = expected.(!v) do incr v done;
+    Alcotest.failf "%s: vertex %d got %d, expected %d" what !v got.(!v)
+      expected.(!v)
+  end
+
+(* Handcrafted ragged shapes: non-square, non-power-of-two, ribbons,
+   and extents not divisible by the tile edge, across tile sizes. *)
+let test_ragged_differential () =
+  let insts =
+    [
+      Util.random_inst2 ~seed:21 ~x:13 ~y:7 ~bound:9;
+      Util.random_inst2 ~seed:22 ~x:1 ~y:40 ~bound:6;
+      Util.random_inst2 ~seed:23 ~x:40 ~y:1 ~bound:6;
+      Util.random_inst3 ~seed:24 ~x:5 ~y:3 ~z:7 ~bound:8;
+      Util.random_inst3 ~seed:25 ~x:1 ~y:1 ~z:9 ~bound:30;
+      S.init2 ~x:17 ~y:17 (fun _ _ -> 0);
+    ]
+  in
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun tile ->
+          with_dir @@ fun dir ->
+          let src = Src.of_stencil inst in
+          ignore (solve_ok ?tile ~dir src);
+          check_same_starts
+            (Printf.sprintf "tile %s"
+               (match tile with Some t -> string_of_int t | None -> "default"))
+            (Tiles.color ?tile inst)
+            (starts_ok ?tile ~dir src))
+        [ Some 2; Some 3; Some 5; None ])
+    insts
+
+(* A kill -9 mid-solve leaves some subset of the spill files (in
+   reality a traversal-order prefix; any subset is strictly more
+   adversarial). Resuming from every such wreckage must reproduce the
+   uninterrupted solve exactly, recomputing precisely the missing
+   tiles. *)
+let test_kill_resume_matches () =
+  let inst = Util.random_inst2 ~seed:31 ~x:14 ~y:10 ~bound:12 in
+  let src = Src.of_stencil inst in
+  let tile = 4 in
+  with_dir @@ fun dir ->
+  let st = solve_ok ~tile ~dir src in
+  let expected = starts_ok ~tile ~dir src in
+  let rng = Spatial_data.Rng.create 404 in
+  for trial = 1 to 6 do
+    (* wreck: delete each spill independently with probability 1/2 *)
+    let deleted = ref 0 in
+    for t = 0 to st.Ooc.tiles - 1 do
+      if Spatial_data.Rng.int rng 2 = 0 then begin
+        Sys.remove (Ooc.spill_file ~dir t);
+        incr deleted
+      end
+    done;
+    let st' = solve_ok ~tile ~dir src in
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: recomputes exactly the deleted tiles" trial)
+      !deleted st'.Ooc.solved;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: resumes the survivors" trial)
+      (st.Ooc.tiles - !deleted)
+      st'.Ooc.resumed;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: maxcolor survives" trial)
+      st.Ooc.maxcolor st'.Ooc.maxcolor;
+    check_same_starts
+      (Printf.sprintf "trial %d: resumed = uninterrupted" trial)
+      expected (starts_ok ~tile ~dir src)
+  done
+
+(* Damaged spills must be detected and recomputed, never trusted:
+   truncation, bit flips in the payload, and plain garbage all fail
+   the CRC/fingerprint gate closed. *)
+let test_corrupt_spill_fail_closed () =
+  let inst = Util.random_inst3 ~seed:32 ~x:6 ~y:5 ~z:4 ~bound:7 in
+  let src = Src.of_stencil inst in
+  let tile = 2 in
+  with_dir @@ fun dir ->
+  let st = solve_ok ~tile ~dir src in
+  let expected = starts_ok ~tile ~dir src in
+  let damage t f =
+    let path = Ooc.spill_file ~dir t in
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (f data))
+  in
+  damage 0 (fun d -> String.sub d 0 (String.length d / 2));
+  damage 1 (fun d ->
+      let b = Bytes.of_string d in
+      Bytes.set b (Bytes.length b / 2)
+        (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0x40));
+      Bytes.to_string b);
+  damage 2 (fun _ -> "not a snapshot at all");
+  let st' = solve_ok ~tile ~dir src in
+  Alcotest.(check int) "three tiles recomputed" 3 st'.Ooc.solved;
+  Alcotest.(check int) "the rest resumed" (st.Ooc.tiles - 3) st'.Ooc.resumed;
+  check_same_starts "repaired solve = original" expected
+    (starts_ok ~tile ~dir src)
+
+(* Spills carry the source fingerprint: a directory full of some other
+   instance's tiles must be recomputed wholesale, and the foreign
+   spills must not leak into the result. *)
+let test_fingerprint_mismatch_rejected () =
+  let inst_a = Util.random_inst2 ~seed:33 ~x:12 ~y:9 ~bound:10 in
+  let inst_b = Util.random_inst2 ~seed:34 ~x:12 ~y:9 ~bound:10 in
+  let tile = 3 in
+  with_dir @@ fun dir ->
+  ignore (solve_ok ~tile ~dir (Src.of_stencil inst_a));
+  let st = solve_ok ~tile ~dir (Src.of_stencil inst_b) in
+  Alcotest.(check int) "no foreign tile resumed" 0 st.Ooc.resumed;
+  check_same_starts "solve over foreign spills = in-core"
+    (Tiles.color ~tile inst_b)
+    (starts_ok ~tile ~dir (Src.of_stencil inst_b))
+
+(* The halo cache respects its byte budget: with the budget floored,
+   the resident high-water is the floor cap (2 tiles) plus the active
+   window, regardless of grid size — and the coloring is unaffected. *)
+let test_mem_budget_ceiling () =
+  let inst = Util.random_inst2 ~seed:35 ~x:24 ~y:24 ~bound:8 in
+  let src = Src.of_stencil inst in
+  let tile = 4 in
+  with_dir @@ fun dir ->
+  let st = solve_ok ~tile ~mem_budget:0 ~dir src in
+  Alcotest.(check bool)
+    (Printf.sprintf "resident high-water %d <= 3 tiles" st.Ooc.resident_hw)
+    true (st.Ooc.resident_hw <= 3);
+  Alcotest.(check bool) "cache misses happened" true (st.Ooc.halo_loads > 0);
+  check_same_starts "starved cache still exact" (Tiles.color ~tile inst)
+    (starts_ok ~tile ~dir src)
+
+(* Seeded counter-mode sources: deterministic, in range, and their
+   materialization agrees with the pure weight function. *)
+let test_seeded_sources () =
+  let src = Src.seeded2 ~x:9 ~y:7 ~seed:42 ~bound:13 in
+  Alcotest.(check int) "n_vertices" 63 (Src.n_vertices src);
+  let m = Src.materialize src in
+  for id = 0 to 62 do
+    let w = Src.weight src id in
+    Alcotest.(check bool) "in range" true (w >= 0 && w < 13);
+    Alcotest.(check int) "materialize agrees" w (m : S.t).w.(id);
+    Alcotest.(check int) "deterministic" w (Src.weight src id)
+  done;
+  let other = Src.seeded2 ~x:9 ~y:7 ~seed:43 ~bound:13 in
+  Alcotest.(check bool) "seed changes the fingerprint" true
+    (Src.fingerprint src <> Src.fingerprint other);
+  let src3 = Src.seeded3 ~x:4 ~y:3 ~z:5 ~seed:42 ~bound:9 in
+  Alcotest.(check bool) "2D/3D fingerprints are distinct" true
+    (Src.fingerprint src3 <> Src.fingerprint src);
+  (* the seeded solve itself is exact w.r.t. its materialization *)
+  with_dir @@ fun dir ->
+  ignore (solve_ok ~tile:3 ~dir src);
+  check_same_starts "seeded source ooc = in-core" (Tiles.color ~tile:3 m)
+    (starts_ok ~tile:3 ~dir src)
+
+(* ---- work-stealing executor ---------------------------------------------- *)
+
+let test_wsdeque_lifo_fifo () =
+  let q = Wsdeque.create 8 in
+  Alcotest.(check int) "capacity" 8 (Wsdeque.capacity q);
+  Alcotest.(check bool) "pop on empty" true (Wsdeque.pop q = None);
+  Alcotest.(check bool) "steal on empty" true (Wsdeque.steal q = Wsdeque.Empty);
+  for i = 1 to 4 do
+    Wsdeque.push q i
+  done;
+  Alcotest.(check int) "size" 4 (Wsdeque.size q);
+  (* owner pops newest first *)
+  Alcotest.(check bool) "pop LIFO" true (Wsdeque.pop q = Some 4);
+  (* thief steals oldest first *)
+  Alcotest.(check bool) "steal FIFO" true (Wsdeque.steal q = Wsdeque.Stolen 1);
+  Alcotest.(check bool) "steal FIFO next" true
+    (Wsdeque.steal q = Wsdeque.Stolen 2);
+  Alcotest.(check bool) "pop meets steal" true (Wsdeque.pop q = Some 3);
+  Alcotest.(check bool) "drained" true (Wsdeque.pop q = None);
+  Wsdeque.push q 9;
+  Wsdeque.reset q;
+  Alcotest.(check bool) "reset empties" true (Wsdeque.pop q = None);
+  let full = Wsdeque.create 2 in
+  Wsdeque.push full 1;
+  Wsdeque.push full 2;
+  Alcotest.(check bool) "push past capacity raises" true
+    (match Wsdeque.push full 3 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* One owner + concurrent thieves over a known task set: every task is
+   executed exactly once across pop and steal, nothing invented. *)
+let test_wsdeque_concurrent_steal () =
+  let n = 2000 in
+  let q = Wsdeque.create n in
+  let seen = Array.make n (-1) in
+  let mark who t =
+    if seen.(t) <> -1 then
+      Alcotest.failf "task %d taken twice (by %d and %d)" t seen.(t) who
+    else seen.(t) <- who
+  in
+  let stop = Atomic.make false in
+  let thief id () =
+    let got = ref 0 in
+    while not (Atomic.get stop) do
+      match Wsdeque.steal q with
+      | Wsdeque.Stolen t ->
+          mark id t;
+          incr got
+      | Wsdeque.Empty | Wsdeque.Retry -> Domain.cpu_relax ()
+    done;
+    !got
+  in
+  let thieves = List.init 2 (fun i -> Domain.spawn (thief (i + 1))) in
+  for t = 0 to n - 1 do
+    Wsdeque.push q t;
+    if t land 3 = 0 then
+      match Wsdeque.pop q with Some t' -> mark 0 t' | None -> ()
+  done;
+  let rec drain () =
+    match Wsdeque.pop q with
+    | Some t ->
+        mark 0 t;
+        drain ()
+    | None -> if Wsdeque.size q > 0 then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen = List.fold_left (fun a d -> a + Domain.join d) 0 thieves in
+  Alcotest.(check bool) "all tasks executed exactly once" true
+    (Array.for_all (fun w -> w >= 0) seen);
+  Alcotest.(check bool) "steal count consistent" true
+    (stolen >= 0 && stolen <= n)
+
+(* Phase barrier: with several workers, every task of phase p runs
+   before any task of phase p+1, each task exactly once. *)
+let test_steal_phase_barrier () =
+  let counts = [| 7; 1; 13; 0; 5 |] in
+  let total = Array.fold_left ( + ) 0 counts in
+  let done_in = Array.map (fun c -> Array.make c 0) counts in
+  let finished = Array.map (fun _ -> Atomic.make 0) counts in
+  let errors = Atomic.make [] in
+  let work ~worker:_ ~phase t =
+    for p = 0 to phase - 1 do
+      if Atomic.get finished.(p) <> counts.(p) then
+        Atomic.set errors
+          (Printf.sprintf "phase %d task %d ran before phase %d drained"
+             phase t p
+          :: Atomic.get errors)
+    done;
+    done_in.(phase).(t) <- done_in.(phase).(t) + 1;
+    Atomic.incr finished.(phase)
+  in
+  List.iter
+    (fun workers ->
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) done_in;
+      Array.iter (fun f -> Atomic.set f 0) finished;
+      Atomic.set errors [];
+      let stats = Steal.run_phases ~workers ~counts ~work in
+      (match Atomic.get errors with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "workers %d: %s" workers e);
+      Alcotest.(check int)
+        (Printf.sprintf "workers %d: all tasks ran" workers)
+        total stats.Steal.tasks;
+      Array.iteri
+        (fun p per ->
+          Array.iteri
+            (fun t c ->
+              if c <> 1 then
+                Alcotest.failf "workers %d: phase %d task %d ran %d times"
+                  workers p t c)
+            per)
+        done_in)
+    [ 1; 2; Util.workers () ]
+
+let test_steal_exception_propagates () =
+  let ran = Atomic.make 0 in
+  let boom ~worker:_ ~phase:_ t =
+    Atomic.incr ran;
+    if t = 3 then failwith "task 3 exploded"
+  in
+  List.iter
+    (fun workers ->
+      Atomic.set ran 0;
+      (match Steal.run_phases ~workers ~counts:[| 6 |] ~work:boom with
+      | _ -> Alcotest.failf "workers %d: exception swallowed" workers
+      | exception Failure m ->
+          Alcotest.(check string) "first exception surfaces" "task 3 exploded" m);
+      (* the phase still drains: every task ran despite the failure *)
+      Alcotest.(check int)
+        (Printf.sprintf "workers %d: phase drained" workers)
+        6 (Atomic.get ran))
+    [ 1; 2 ]
+
+(* The work-stealing sweep is deterministic across every worker count:
+   all of them reproduce the sequential reference on equivalent_order,
+   beyond the 1-2 workers the par-diff oracle covers. *)
+let test_par_sweep_every_worker_count () =
+  List.iter
+    (fun inst ->
+      let order = Par.equivalent_order ~tile:2 inst in
+      let expected = Ivc.Greedy.Reference.color_in_order inst order in
+      List.iter
+        (fun workers ->
+          let starts, stats = Par.color ~workers ~tile:2 inst in
+          check_same_starts
+            (Printf.sprintf "workers %d" workers)
+            expected starts;
+          Alcotest.(check int)
+            (Printf.sprintf "workers %d: interior + seam = n" workers)
+            (S.n_vertices inst)
+            (stats.Par.interior + stats.Par.seam))
+        [ 1; 2; 3; 4; 5 ])
+    [
+      Util.random_inst2 ~seed:41 ~x:11 ~y:9 ~bound:10;
+      Util.random_inst3 ~seed:42 ~x:5 ~y:4 ~z:3 ~bound:6;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "ragged grids differential" `Quick
+      test_ragged_differential;
+    Alcotest.test_case "kill -9 wreckage resumes exactly" `Quick
+      test_kill_resume_matches;
+    Alcotest.test_case "corrupt spills fail closed" `Quick
+      test_corrupt_spill_fail_closed;
+    Alcotest.test_case "foreign fingerprints rejected" `Quick
+      test_fingerprint_mismatch_rejected;
+    Alcotest.test_case "memory budget ceiling" `Quick test_mem_budget_ceiling;
+    Alcotest.test_case "seeded sources" `Quick test_seeded_sources;
+    Alcotest.test_case "wsdeque LIFO/FIFO semantics" `Quick
+      test_wsdeque_lifo_fifo;
+    Alcotest.test_case "wsdeque concurrent steals" `Quick
+      test_wsdeque_concurrent_steal;
+    Alcotest.test_case "steal phase barrier" `Quick test_steal_phase_barrier;
+    Alcotest.test_case "steal exception propagation" `Quick
+      test_steal_exception_propagates;
+    Alcotest.test_case "par sweep at every worker count" `Quick
+      test_par_sweep_every_worker_count;
+    Util.qtest ~count:40 "ooc oracle (2D)" Util.gen_inst2 prop_ooc_matches;
+    Util.qtest ~count:25 "ooc oracle (3D)" Util.gen_inst3 prop_ooc_matches;
+  ]
