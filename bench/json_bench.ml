@@ -29,13 +29,18 @@
    Schema 7 adds the "ooc" block inside "perf" (out-of-core tiled
    sweep: vertices/s, spill and halo bytes, resident-tile high-water,
    resume count) and the bytes_moved / peak_rss_bytes columns on every
-   throughput row. *)
+   throughput row.
+
+   Schema 8 adds the "incremental" block: repair latency percentiles
+   of seeded 1-cell bumps on the 512x512 GLL grid against the
+   full-resolve fallback baseline, plus the p50 speedup (see
+   incremental_bench.ml). Reported, not gated. *)
 
 module Cat = Spatial_data.Catalog
 module S = Ivc_grid.Stencil
 module Json = Ivc_obs.Json
 
-let schema_version = 7
+let schema_version = 8
 
 (* Deadline given to the resilient portfolio on each instance; small, so
    the bench stays CI-friendly — hard instances report heuristic or
@@ -68,7 +73,8 @@ let portfolio_of ~id inst =
         (Ivc_resilient.Cert.to_string e);
       exit 1
 
-let document ~scale ~subsample ~reps ~perf ~server ~chaos runs ids portfolios =
+let document ~scale ~subsample ~reps ~perf ~server ~chaos ~incremental runs
+    ids portfolios =
   let algo_names = Array.to_list Common.algo_names in
   let instances =
     List.map2
@@ -196,6 +202,7 @@ let document ~scale ~subsample ~reps ~perf ~server ~chaos runs ids portfolios =
       ("perf", Perf.to_json perf);
       ("server", server);
       ("chaos", chaos);
+      ("incremental", incremental);
       ("metrics", Ivc_obs.Export.metrics ());
     ]
 
@@ -278,8 +285,10 @@ let run ?(out = "BENCH_PR.json") ?baseline ?perf_baseline ?(scale = 0.05)
   let perf = Perf.measure ~reps () in
   let server = Server_bench.summary () in
   let chaos = Server_bench.chaos_summary () in
+  let incremental = Incremental_bench.summary () in
   let doc =
-    document ~scale ~subsample ~reps ~perf ~server ~chaos runs ids portfolios
+    document ~scale ~subsample ~reps ~perf ~server ~chaos ~incremental runs
+      ids portfolios
   in
   Ivc_obs.set_enabled false;
   let oc = open_out out in

@@ -17,6 +17,13 @@ let () =
   match args with
   | "json" :: rest -> Json_bench.main rest
   | "micro" :: rest -> Micro.run ~ooc:(List.mem "--ooc" rest) ()
+  | "incremental" :: rest ->
+      let bumps =
+        match rest with
+        | "--bumps" :: v :: _ -> int_of_string v
+        | _ -> 128
+      in
+      ignore (Incremental_bench.summary ~bumps ())
   | "tune" :: _ -> Tune.run ()
   | _ ->
   let full = List.mem "--full" args in

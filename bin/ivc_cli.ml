@@ -1203,6 +1203,127 @@ let client_burst_cmd =
       $ deadline_t $ priority_t $ no_cache_t $ req_budget_t $ no_improve_t
       $ total_t $ conc_t $ repeat_every_t $ mix3d_t $ retries_t)
 
+(* Exercise the v3 incremental-repair path end to end: solve once so
+   the daemon holds repair state for the instance, then walk a seeded
+   delta chain against the cached fingerprint. Every reply is
+   re-verified client-side — the instance mirror after
+   [Delta.apply_pure], the chain key after [Delta.chain_fp], and the
+   full certificate — so a wrong repair cannot pass silently. CI's
+   incremental-smoke job greps the summary line. *)
+let client_delta_cmd =
+  let module D = Ivc_incremental.Delta in
+  let count_t =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of delta requests.")
+  in
+  let delta_seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "delta-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the generated delta chain (weight bumps, batches and \
+             dimension extensions valid against the evolving instance).")
+  in
+  let repair_budget_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repair-budget" ] ~docv:"N"
+          ~doc:
+            "Per-request repair-front budget; 0 forces the server's \
+             full-sweep fallback on every delta.")
+  in
+  let run inst socket tcp deadline priority no_cache budget no_improve count
+      dseed rbudget =
+    let addr = addr_of socket tcp in
+    let opts =
+      {
+        Proto.deadline_s = deadline;
+        priority;
+        budget;
+        improve = not no_improve;
+        use_cache = not no_cache;
+      }
+    in
+    let c = connect_or_die addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (* seed the daemon's repair state (a cache hit seeds it too) *)
+    (match Client.solve c ~opts inst with
+    | Ok (Proto.Solution s) ->
+        ignore (Ivc_resilient.Cert.assert_ok inst s.Proto.starts)
+    | Ok r ->
+        print_response 0 r;
+        exit 1
+    | Error e ->
+        Format.eprintf "solve failed: %s@." (Client.error_to_string e);
+        exit 1);
+    let deltas = Ivc_check.Gen.delta_stream ~length:count ~seed:dseed inst in
+    let repaired = ref 0 and resolved = ref 0 and failures = ref 0 in
+    let latencies = ref [] in
+    let mirror = ref inst in
+    let fp = ref (Ivc_persist.Snapshot.fingerprint inst) in
+    List.iteri
+      (fun i d ->
+        let t0 = Ivc_obs.now_ns () in
+        match Client.delta c ?budget:rbudget ~fp:!fp d with
+        | Ok (Proto.Solution s) -> (
+            latencies := Ivc_obs.elapsed_s ~since:t0 :: !latencies;
+            match D.apply_pure !mirror d with
+            | Error m ->
+                Format.eprintf "request %d: client mirror rejected: %s@." i m;
+                incr failures
+            | Ok inst' -> (
+                let fp' = D.chain_fp !fp d in
+                (* the server applied it, so the chain advances even if
+                   verification is about to fail loudly *)
+                mirror := inst';
+                fp := fp';
+                match Client.verify_delta ~expect_fp:fp' inst' s with
+                | Ok _ ->
+                    if
+                      String.length s.Proto.provenance >= 8
+                      && String.sub s.Proto.provenance 0 8 = "repaired"
+                    then incr repaired
+                    else incr resolved
+                | Error e ->
+                    Format.eprintf "request %d failed verification: %s@." i
+                      (Client.error_to_string e);
+                    incr failures))
+        | Ok r ->
+            print_response i r;
+            incr failures
+        | Error e ->
+            Format.eprintf "request %d failed: %s@." i
+              (Client.error_to_string e);
+            incr failures)
+      deltas;
+    let percentile p =
+      match List.sort compare !latencies with
+      | [] -> 0.0
+      | l ->
+          let n = List.length l in
+          let k = min (n - 1) (int_of_float (p *. Float.of_int n)) in
+          1000.0 *. List.nth l k
+    in
+    Format.printf
+      "delta: count=%d repaired=%d resolved=%d verified=%d failures=%d \
+       p50=%.3fms p95=%.3fms@."
+      (List.length deltas) !repaired !resolved
+      (!repaired + !resolved)
+      !failures (percentile 0.50) (percentile 0.95);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:
+         "Solve, then stream incremental deltas against the daemon's \
+          cached solution, verifying every repaired answer")
+    Term.(
+      const run $ instance_t $ sock_t $ tcp_t $ deadline_t $ priority_t
+      $ no_cache_t $ req_budget_t $ no_improve_t $ count_t $ delta_seed_t
+      $ repair_budget_t)
+
 (* Stand-alone netfault proxy, the CLI face of Ivc_server.Netfaults:
    CI boots the daemon behind it and fires a verified burst through
    the fault plan. *)
@@ -1275,6 +1396,7 @@ let client_cmd =
       client_stats_cmd;
       client_shutdown_cmd;
       client_burst_cmd;
+      client_delta_cmd;
     ]
 
 (* ---- save ------------------------------------------------------------------- *)

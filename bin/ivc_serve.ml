@@ -55,6 +55,14 @@ let cache_t =
     & info [ "cache-cap" ] ~docv:"N"
         ~doc:"Fingerprint solution-cache entries (0 disables caching).")
 
+let repair_t =
+  Arg.(
+    value & opt int 16
+    & info [ "repair-cap" ] ~docv:"N"
+        ~doc:
+          "Live incremental-repair states (one per solved instance, keyed \
+           by chain fingerprint; 0 disables the v3 delta path).")
+
 let max_vertices_t =
   Arg.(
     value & opt int 4_000_000
@@ -280,10 +288,10 @@ let supervise_loop scfg cfg metrics pid_file =
   in
   loop Supervise.initial
 
-let run socket tcp workers queue_cap cache_cap max_vertices default_deadline
-    deadline_cap autosave_dir autosave_every idle_timeout io_timeout
-    brownout_low brownout_high brownout_budget metrics supervise pid_file
-    min_uptime max_rapid backoff_seed =
+let run socket tcp workers queue_cap cache_cap repair_cap max_vertices
+    default_deadline deadline_cap autosave_dir autosave_every idle_timeout
+    io_timeout brownout_low brownout_high brownout_budget metrics supervise
+    pid_file min_uptime max_rapid backoff_seed =
   let addr =
     match (socket, tcp) with
     | Some path, None -> Server.Unix_sock path
@@ -297,6 +305,7 @@ let run socket tcp workers queue_cap cache_cap max_vertices default_deadline
       Server.workers;
       queue_capacity = queue_cap;
       cache_capacity = cache_cap;
+      repair_capacity = repair_cap;
       max_vertices;
       default_deadline_s = default_deadline;
       deadline_cap_s = deadline_cap;
@@ -326,7 +335,7 @@ let cmd =
     (Cmd.info "ivc-serve" ~version:"1.0.0"
        ~doc:"Multi-tenant interval-stencil-coloring solve daemon")
     Term.(
-      const run $ socket_t $ tcp_t $ workers_t $ queue_t $ cache_t
+      const run $ socket_t $ tcp_t $ workers_t $ queue_t $ cache_t $ repair_t
       $ max_vertices_t $ default_deadline_t $ deadline_cap_t $ autosave_dir_t
       $ autosave_every_t $ idle_timeout_t $ io_timeout_t $ brownout_low_t
       $ brownout_high_t $ brownout_budget_t $ metrics_t $ supervise_t

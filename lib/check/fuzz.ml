@@ -12,6 +12,7 @@ type failure = {
   message : string;
   original : S.t;
   shrunk : S.t;
+  shrunk_deltas : Ivc_incremental.Delta.t list;
   shrunk_message : string;
   repro_path : string option;
 }
@@ -104,7 +105,7 @@ let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
-let write_repro ~out_dir ~seed ~index (o : Oracle.t) shrunk =
+let write_repro ~out_dir ~seed ~index ?(deltas = []) (o : Oracle.t) shrunk =
   match out_dir with
   | None -> None
   | Some dir ->
@@ -121,6 +122,7 @@ let write_repro ~out_dir ~seed ~index (o : Oracle.t) shrunk =
           Repro.oracle = o.Oracle.name;
           seed = Some seed;
           note = Some (S.describe shrunk);
+          deltas;
           instance = shrunk;
         };
       Some path
@@ -200,19 +202,46 @@ let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
               Ivc_obs.Counter.incr c_failures;
               incr n_failures;
               bump_stat o.Oracle.name ~fail:true;
-              let fails i =
-                match o.Oracle.run i with
-                | Oracle.Fail _ -> true
-                | Oracle.Pass -> false
-              in
-              let shrunk = Shrink.shrink ~fails inst in
-              let shrunk_message =
-                match o.Oracle.run shrunk with
-                | Oracle.Fail m -> m
-                | Oracle.Pass -> message
+              (* The incremental oracle's counterexample is an
+                 (instance, delta stream) pair; shrink them jointly and
+                 persist the stream in the repro so the one file
+                 replays the exact failure. *)
+              let shrunk, shrunk_deltas, shrunk_message =
+                if o.Oracle.name = Oracles.incremental.Oracle.name then begin
+                  let fails i ds =
+                    match Oracles.incremental_check i ds with
+                    | Oracle.Fail _ -> true
+                    | Oracle.Pass -> false
+                  in
+                  let si, sd =
+                    Shrink.shrink_deltas ~fails inst
+                      (Oracles.incremental_deltas inst)
+                  in
+                  let m =
+                    match Oracles.incremental_check si sd with
+                    | Oracle.Fail m -> m
+                    | Oracle.Pass -> message
+                  in
+                  (si, sd, m)
+                end
+                else begin
+                  let fails i =
+                    match o.Oracle.run i with
+                    | Oracle.Fail _ -> true
+                    | Oracle.Pass -> false
+                  in
+                  let shrunk = Shrink.shrink ~fails inst in
+                  let m =
+                    match o.Oracle.run shrunk with
+                    | Oracle.Fail m -> m
+                    | Oracle.Pass -> message
+                  in
+                  (shrunk, [], m)
+                end
               in
               let repro_path =
-                write_repro ~out_dir ~seed ~index:i o shrunk
+                write_repro ~out_dir ~seed ~index:i ~deltas:shrunk_deltas o
+                  shrunk
               in
               failures :=
                 {
@@ -221,6 +250,7 @@ let run ?(seed = 42) ?(budget_s = 10.0) ?(max_instances = max_int)
                   message;
                   original = inst;
                   shrunk;
+                  shrunk_deltas;
                   shrunk_message;
                   repro_path;
                 }
@@ -254,4 +284,14 @@ let replay ?oracles path =
       invalid_arg
         (Printf.sprintf "Ivc_check.Fuzz.replay: unknown oracle %s in %s"
            r.Repro.oracle path)
-  | Some o -> (o.Oracle.name, o.Oracle.run r.Repro.instance)
+  | Some o ->
+      if r.Repro.deltas = [] then (o.Oracle.name, o.Oracle.run r.Repro.instance)
+      else if o.Oracle.name = Oracles.incremental.Oracle.name then
+        (* explicit stream from the file, not the hash-derived one *)
+        (o.Oracle.name, Oracles.incremental_check r.Repro.instance r.Repro.deltas)
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Ivc_check.Fuzz.replay: %s carries deltas but oracle %s does \
+              not take them"
+             path r.Repro.oracle)

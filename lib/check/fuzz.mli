@@ -15,6 +15,10 @@ type failure = {
   message : string;  (** oracle diagnosis on the original instance *)
   original : Ivc_grid.Stencil.t;
   shrunk : Ivc_grid.Stencil.t;
+  shrunk_deltas : Ivc_incremental.Delta.t list;
+      (** for the incremental oracle, the jointly shrunk delta stream
+          (persisted in the repro file); [[]] for every other
+          oracle *)
   shrunk_message : string;  (** diagnosis on the shrunk instance *)
   repro_path : string option;  (** where the repro file was written *)
 }
@@ -89,7 +93,10 @@ val run :
   report
 
 (** [replay path] loads a repro file and runs its oracle on its
-    instance, returning the oracle name and the verdict. Raises
+    instance, returning the oracle name and the verdict. A file
+    carrying [delta] lines replays through
+    {!Oracles.incremental_check} with exactly that stream (and is
+    rejected for any other oracle). Raises
     {!Spatial_data.Io.Io_error} on a malformed file and
     [Invalid_argument] on an unknown oracle name. [oracles] defaults
     to the full registry plus [kernel-diff!bug]. *)

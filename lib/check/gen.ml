@@ -146,6 +146,64 @@ let instance ~seed ~index =
      shift instance i+1 *)
   build (family_of_index ~index) (rng ~seed ~stream:(100 + index))
 
+(* ---- delta streams ---------------------------------------------------
+
+   A delta stream is valid by construction against the instance it was
+   drawn for: generation tracks the evolving weights (and dimensions,
+   across Extends) so every bump stays in range and never drives a
+   weight negative. Like everything else here it is a pure function of
+   (seed, instance shape), so the incremental oracle can derive its
+   stream from the instance hash and a repro replays with no extra
+   state. *)
+
+module Delta = Ivc_incremental.Delta
+
+let delta_extend_max_n = 512
+
+let delta_stream ?length ~seed inst =
+  let r = rng ~seed ~stream:19 in
+  (* evolving mirror of the instance the deltas apply to *)
+  let w = ref (Array.copy (inst : S.t).w) in
+  let slice = Delta.slice_size inst in
+  let count = match length with Some l -> max 0 l | None -> 3 + int r 5 in
+  let bump_at v =
+    let cur = !w.(v) in
+    (* negative drift one time in three, never below zero *)
+    if cur > 0 && int r 3 = 0 then -(1 + int r cur) else 1 + int r 6
+  in
+  let ops = ref [] in
+  for _ = 1 to count do
+    let n = Array.length !w in
+    let kind = int r 8 in
+    let d =
+      if kind = 7 && n <= delta_extend_max_n then begin
+        let slabs = 1 + int r 2 in
+        Delta.Extend
+          { slabs; w = Array.init (slabs * slice) (fun _ -> int r 9) }
+      end
+      else if kind >= 4 then begin
+        let k = 1 + int r 6 in
+        Delta.Batch
+          (Array.init k (fun _ ->
+               let v = int r n in
+               let dw = bump_at v in
+               !w.(v) <- !w.(v) + dw;
+               (v, dw)))
+      end
+      else begin
+        let v = int r n in
+        let dw = bump_at v in
+        Delta.Bump { v; dw }
+      end
+    in
+    (match d with
+    | Delta.Bump { v; dw } -> !w.(v) <- !w.(v) + dw
+    | Delta.Batch _ -> () (* already applied while drawing *)
+    | Delta.Extend { slabs = _; w = ext } -> w := Array.append !w ext);
+    ops := d :: !ops
+  done;
+  List.rev !ops
+
 let small2 ~seed =
   let r = rng ~seed ~stream:50 in
   let x = 2 + int r 5 and y = 2 + int r 5 in

@@ -63,6 +63,26 @@ val instance : seed:int -> index:int -> Ivc_grid.Stencil.t
 (** Family of stream element [index] (for labeling). *)
 val family_of_index : index:int -> family
 
+(** {1 Delta streams}
+
+    Seeded streams of {!Ivc_incremental.Delta.t} values for the
+    incremental-repair oracle and the streaming tests. Valid by
+    construction: generation tracks the evolving weights and
+    dimensions, so every bump is in range and no weight goes negative
+    even across [Extend]s. The incremental oracle derives its stream
+    from [hash inst], so a plain instance repro replays the exact
+    stream with no extra state; explicit delta lines in a repro file
+    override it. *)
+
+(** [delta_stream ?length ~seed inst] draws a mixed stream of bumps,
+    batches and (on instances up to 512 cells) leading-axis
+    extensions. Default length is seeded, 3–7. *)
+val delta_stream :
+  ?length:int ->
+  seed:int ->
+  Ivc_grid.Stencil.t ->
+  Ivc_incremental.Delta.t list
+
 (** {1 Small-instance generators shared with the qcheck suites} *)
 
 (** 2D instance with dims 2..6 and weights 0..15 — the distribution

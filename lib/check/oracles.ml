@@ -828,6 +828,93 @@ let ooc =
                     ]));
   }
 
+(* ---- incremental ---------------------------------------------------------------- *)
+
+(* Repair-vs-resolve metamorphic equivalence: apply a seeded delta
+   stream to an incremental engine and require, after every single
+   delta, that the repaired coloring is bit-identical to a
+   from-scratch canonical resolve of the delta'd instance, passes the
+   full independent certificate at the engine's claimed maxcolor, and
+   that Repaired provenance stayed within the repair budget. The
+   stream derives from the instance hash, so a plain instance repro
+   replays it; repro files may instead carry explicit delta lines,
+   which enter through [incremental_check]. *)
+module Inc = Ivc_incremental.Engine
+module Delta = Ivc_incremental.Delta
+
+let incremental_max_n = 4096
+
+let incremental_deltas inst = Gen.delta_stream ~seed:(Gen.hash inst) inst
+
+let incremental_check inst deltas =
+  match Inc.create inst with
+  | exception Cert.Rejected e ->
+      O.failf "engine create rejected: %s" (Cert.to_string e)
+  | t ->
+      let pure = ref inst in
+      let step i d () =
+        match Delta.apply_pure !pure d with
+        | Error e -> O.failf "delta %d (%s): %s" i (Delta.describe d) e
+        | Ok inst' -> (
+            match Inc.apply t d with
+            | Error e ->
+                O.failf "delta %d (%s): engine: %s" i (Delta.describe d)
+                  (Inc.error_to_string e)
+            | Ok o ->
+                pure := inst';
+                let got = Inc.starts t in
+                let expected = Inc.resolve inst' in
+                if Array.length got <> Array.length expected then
+                  O.failf "delta %d: engine has %d cells, instance %d" i
+                    (Array.length got) (Array.length expected)
+                else if got <> expected then begin
+                  let v = first_mismatch expected got in
+                  O.failf
+                    "delta %d (%s): repaired start %d at vertex %d, \
+                     from-scratch resolve %d"
+                    i (Delta.describe d) got.(v) v expected.(v)
+                end
+                else if (Inc.instance t : S.t).w <> (inst' : S.t).w then
+                  O.failf "delta %d: engine weights diverged from the delta"
+                    i
+                else
+                  O.all_of
+                    [
+                      (fun () ->
+                        match Cert.check inst' got with
+                        | Error e ->
+                            O.failf "delta %d: repaired coloring: %s" i
+                              (Cert.to_string e)
+                        | Ok mc ->
+                            O.check (mc = o.Inc.maxcolor)
+                              "delta %d: engine maxcolor %d, certified %d" i
+                              o.Inc.maxcolor mc);
+                      (fun () ->
+                        match o.Inc.provenance with
+                        | Inc.Resolved -> O.Pass
+                        | Inc.Repaired { front_cells; waves = _ } ->
+                            O.check
+                              (front_cells <= Inc.budget t)
+                              "delta %d: repair front %d exceeds budget %d"
+                              i front_cells (Inc.budget t));
+                    ])
+      in
+      O.all_of (List.mapi step deltas)
+
+let incremental =
+  {
+    O.name = "incremental";
+    description =
+      "incremental repair over a seeded delta stream = from-scratch \
+       canonical resolve, bit-exact and certified, within the repair \
+       budget";
+    applies =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        n > 0 && n <= incremental_max_n);
+    run = (fun inst -> incremental_check inst (incremental_deltas inst));
+  }
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let all =
@@ -844,6 +931,7 @@ let all =
     crash_resume;
     chaos;
     ooc;
+    incremental;
   ]
 
 let find name =

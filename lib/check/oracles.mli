@@ -62,6 +62,25 @@ val chaos : Oracle.t
     nothing. *)
 val ooc : Oracle.t
 
+(** Repair-vs-resolve metamorphic equivalence: a seeded delta stream
+    (derived from the instance hash, so a plain repro replays it) is
+    applied to an {!Ivc_incremental.Engine}; after every delta the
+    repaired coloring must be bit-identical to a from-scratch
+    canonical resolve of the delta'd instance, pass the full
+    certificate gate at the engine's claimed maxcolor, and [Repaired]
+    provenance must report a front within the repair budget. *)
+val incremental : Oracle.t
+
+(** The incremental oracle's check against an explicit delta stream
+    (the entry point for repro files carrying [delta] lines). *)
+val incremental_check :
+  Ivc_grid.Stencil.t -> Ivc_incremental.Delta.t list -> Oracle.result
+
+(** The seeded stream the [incremental] oracle derives for an
+    instance. *)
+val incremental_deltas :
+  Ivc_grid.Stencil.t -> Ivc_incremental.Delta.t list
+
 (** Every production oracle above, in a stable order. *)
 val all : Oracle.t list
 

@@ -1,13 +1,29 @@
 module Io = Spatial_data.Io
+module Delta = Ivc_incremental.Delta
 
 type t = {
   oracle : string;
   seed : int option;
   note : string option;
+  deltas : Delta.t list;
   instance : Ivc_grid.Stencil.t;
 }
 
 let magic = "ivc-repro 1"
+
+let delta_to_line d =
+  match d with
+  | Delta.Bump { v; dw } -> Printf.sprintf "delta bump %d %d" v dw
+  | Delta.Batch ops ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "delta batch";
+      Array.iter (fun (v, dw) -> Buffer.add_string b (Printf.sprintf " %d %d" v dw)) ops;
+      Buffer.contents b
+  | Delta.Extend { slabs; w } ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "delta extend %d" slabs);
+      Array.iter (fun x -> Buffer.add_string b (Printf.sprintf " %d" x)) w;
+      Buffer.contents b
 
 let to_string r =
   let b = Buffer.create 256 in
@@ -16,10 +32,46 @@ let to_string r =
   Buffer.add_string b ("oracle " ^ r.oracle ^ "\n");
   Option.iter (fun s -> Buffer.add_string b (Printf.sprintf "seed %d\n" s)) r.seed;
   Option.iter (fun n -> Buffer.add_string b ("note " ^ n ^ "\n")) r.note;
+  List.iter (fun d -> Buffer.add_string b (delta_to_line d ^ "\n")) r.deltas;
   Buffer.add_string b (Io.instance_to_string r.instance);
   Buffer.contents b
 
 let error ?file ?line msg = raise (Io.Io_error { file; line; msg })
+
+(* One "delta ..." header value: kind keyword then whitespace-separated
+   ints. Structural errors only; semantic validity (ranges, payload
+   lengths) is checked at apply time against the instance. *)
+let delta_of_value ?file ~line value =
+  let ints tokens =
+    List.map
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some n -> n
+        | None -> error ?file ~line ("bad delta number: " ^ tok))
+      tokens
+  in
+  let tokens =
+    String.split_on_char ' ' value |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | "bump" :: rest -> (
+      match ints rest with
+      | [ v; dw ] -> Delta.Bump { v; dw }
+      | _ -> error ?file ~line "delta bump needs exactly 'V DW'")
+  | "batch" :: rest ->
+      let xs = ints rest in
+      let rec pairs = function
+        | [] -> []
+        | v :: dw :: tl -> (v, dw) :: pairs tl
+        | [ _ ] -> error ?file ~line "delta batch needs V DW pairs"
+      in
+      Delta.Batch (Array.of_list (pairs xs))
+  | "extend" :: rest -> (
+      match ints rest with
+      | slabs :: w -> Delta.Extend { slabs; w = Array.of_list w }
+      | [] -> error ?file ~line "delta extend needs 'SLABS W...'")
+  | kw :: _ -> error ?file ~line ("unknown delta kind: " ^ kw)
+  | [] -> error ?file ~line "empty delta line"
 
 let of_string ?file s =
   let lines = String.split_on_char '\n' s in
@@ -28,6 +80,7 @@ let of_string ?file s =
   | _ -> error ?file ~line:1 (Printf.sprintf "expected '%s' header" magic));
   (* header key-value lines until the ivc2/ivc3 instance block *)
   let oracle = ref None and seed = ref None and note = ref None in
+  let deltas = ref [] in
   let rec split_header lineno = function
     | [] -> error ?file "missing ivc2/ivc3 instance block"
     | line :: rest as all ->
@@ -54,6 +107,8 @@ let of_string ?file s =
               | Some n -> seed := Some n
               | None -> error ?file ~line:lineno ("bad seed: " ^ value))
           | "note" -> note := Some value
+          | "delta" ->
+              deltas := delta_of_value ?file ~line:lineno value :: !deltas
           | other ->
               error ?file ~line:lineno ("unknown repro field: " ^ other));
           split_header (lineno + 1) rest
@@ -62,7 +117,8 @@ let of_string ?file s =
   let instance = Io.instance_of_string ?file (String.concat "\n" body) in
   match !oracle with
   | None -> error ?file "repro has no 'oracle' line"
-  | Some oracle -> { oracle; seed = !seed; note = !note; instance }
+  | Some oracle ->
+      { oracle; seed = !seed; note = !note; deltas = List.rev !deltas; instance }
 
 (* Atomic install: a repro file is the one artifact of a failed fuzz
    campaign, so a crash mid-write must not leave a half-written file

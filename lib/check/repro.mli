@@ -13,6 +13,13 @@
     1 0 4 2 2 1
     v}
 
+    Incremental-oracle counterexamples additionally carry their delta
+    stream, one header line per delta, applied in file order to the
+    instance below ([delta bump V DW], [delta batch V DW V DW ...],
+    [delta extend SLABS W...]); the whole counterexample — instance
+    plus stream — replays from the single file. Files without delta
+    lines parse exactly as before.
+
     The trailing instance block is exactly the [ivc2]/[ivc3] format of
     {!Spatial_data.Io}, so a repro's instance can also be fed to every
     other CLI subcommand via [--from-file] after stripping the header.
@@ -23,6 +30,9 @@ type t = {
   oracle : string;
   seed : int option;  (** the fuzz campaign seed, informational *)
   note : string option;
+  deltas : Ivc_incremental.Delta.t list;
+      (** delta stream for the incremental oracle, in application
+          order; [[]] for every other oracle *)
   instance : Ivc_grid.Stencil.t;
 }
 

@@ -23,21 +23,54 @@ let axis_cuts d =
     List.sort_uniq compare [ (0, half); (d - half, d); (0, d - 1); (1, d) ]
     |> List.filter (fun (a, b) -> b - a < d)
 
-let dim_candidates inst =
+(* Each cut paired with the partial old-id -> new-id map it induces,
+   so a delta stream can follow the instance through the cut. *)
+let dim_cuts inst =
   match (inst : S.t).dims with
   | S.D2 (x, y) ->
-      List.map (fun (x0, x1) -> sub2 inst ~x0 ~x1 ~y0:0 ~y1:y) (axis_cuts x)
-      @ List.map (fun (y0, y1) -> sub2 inst ~x0:0 ~x1:x ~y0 ~y1) (axis_cuts y)
-  | S.D3 (x, y, z) ->
       List.map
-        (fun (x0, x1) -> sub3 inst ~x0 ~x1 ~y0:0 ~y1:y ~z0:0 ~z1:z)
+        (fun (x0, x1) ->
+          ( sub2 inst ~x0 ~x1 ~y0:0 ~y1:y,
+            fun v ->
+              let i = v / y and j = v mod y in
+              if i >= x0 && i < x1 then Some (((i - x0) * y) + j) else None ))
         (axis_cuts x)
       @ List.map
-          (fun (y0, y1) -> sub3 inst ~x0:0 ~x1:x ~y0 ~y1 ~z0:0 ~z1:z)
+          (fun (y0, y1) ->
+            ( sub2 inst ~x0:0 ~x1:x ~y0 ~y1,
+              fun v ->
+                let i = v / y and j = v mod y in
+                if j >= y0 && j < y1 then Some ((i * (y1 - y0)) + (j - y0))
+                else None ))
+          (axis_cuts y)
+  | S.D3 (x, y, z) ->
+      List.map
+        (fun (x0, x1) ->
+          ( sub3 inst ~x0 ~x1 ~y0:0 ~y1:y ~z0:0 ~z1:z,
+            fun v ->
+              let i = v / (y * z) in
+              if i >= x0 && i < x1 then Some (v - (x0 * y * z)) else None ))
+        (axis_cuts x)
+      @ List.map
+          (fun (y0, y1) ->
+            ( sub3 inst ~x0:0 ~x1:x ~y0 ~y1 ~z0:0 ~z1:z,
+              fun v ->
+                let ij = v / z and k = v mod z in
+                let i = ij / y and j = ij mod y in
+                if j >= y0 && j < y1 then
+                  Some ((((i * (y1 - y0)) + (j - y0)) * z) + k)
+                else None ))
           (axis_cuts y)
       @ List.map
-          (fun (z0, z1) -> sub3 inst ~x0:0 ~x1:x ~y0:0 ~y1:y ~z0 ~z1)
+          (fun (z0, z1) ->
+            ( sub3 inst ~x0:0 ~x1:x ~y0:0 ~y1:y ~z0 ~z1,
+              fun v ->
+                let ij = v / z and k = v mod z in
+                if k >= z0 && k < z1 then Some ((ij * (z1 - z0)) + (k - z0))
+                else None ))
           (axis_cuts z)
+
+let dim_candidates inst = List.map fst (dim_cuts inst)
 
 let with_weight inst v wv =
   let w = Array.copy (inst : S.t).w in
@@ -93,4 +126,164 @@ let shrink ?(max_rounds = 32) ~fails inst =
         ]
     done;
     !cur
+  end
+
+(* ---- delta-stream shrinking ------------------------------------------
+
+   An incremental-oracle counterexample is an (instance, delta stream)
+   pair, minimized jointly: drop and simplify deltas first (each
+   removed bump shrinks every later pass), then cut dims while
+   remapping the surviving stream through the cut, then minimize
+   weights. Candidates whose stream is no longer valid against their
+   instance (a dropped Extend orphaning later bumps, a cut orphaning a
+   cell) are rejected before the failure predicate ever runs, so the
+   shrinker can never "succeed" by breaking the delta stream instead
+   of preserving the bug. *)
+
+module D = Ivc_incremental.Delta
+
+let deltas_valid inst ds =
+  let rec go i = function
+    | [] -> true
+    | d :: tl -> (
+        match D.apply_pure i d with Ok i' -> go i' tl | Error _ -> false)
+  in
+  go inst ds
+
+let remove_range ds a len =
+  List.filteri (fun i _ -> i < a || i >= a + len) ds
+
+let drop_candidates ds =
+  let n = List.length ds in
+  if n = 0 then []
+  else
+    let half = (n + 1) / 2 in
+    (if n > 1 then [ remove_range ds 0 half; remove_range ds (n - half) half ]
+     else [])
+    @ List.init n (fun i -> remove_range ds i 1)
+
+let halve_dw dw = if dw > 1 || dw < -1 then Some (dw / 2) else None
+
+let simplify_delta d =
+  match d with
+  | D.Bump { v; dw } -> (
+      match halve_dw dw with
+      | Some dw' -> [ D.Bump { v; dw = dw' } ]
+      | None -> [])
+  | D.Batch ops ->
+      let n = Array.length ops in
+      let drops =
+        if n <= 1 then []
+        else
+          let half = (n + 1) / 2 in
+          [
+            D.Batch (Array.sub ops half (n - half));
+            D.Batch (Array.sub ops 0 (n - half));
+          ]
+          @ List.init n (fun i ->
+                D.Batch
+                  (Array.of_list
+                     (List.filteri (fun j _ -> j <> i) (Array.to_list ops))))
+      in
+      let halves =
+        List.concat
+          (List.init n (fun i ->
+               match halve_dw (snd ops.(i)) with
+               | Some dw' ->
+                   let o = Array.copy ops in
+                   o.(i) <- (fst ops.(i), dw');
+                   [ D.Batch o ]
+               | None -> []))
+      in
+      drops @ halves
+  | D.Extend { slabs; w } ->
+      if slabs <= 1 then []
+      else
+        let slice = Array.length w / slabs in
+        let keep k = D.Extend { slabs = k; w = Array.sub w 0 (k * slice) } in
+        List.sort_uniq compare [ keep (slabs / 2); keep (slabs - 1) ]
+
+let simplify_candidates ds =
+  List.concat
+    (List.mapi
+       (fun i d ->
+         List.map
+           (fun d' -> List.mapi (fun j x -> if j = i then d' else x) ds)
+           (simplify_delta d))
+       ds)
+
+(* Extends don't survive a cut (a leading-axis cut invalidates their
+   position, any other changes the slab size); bumps into removed
+   cells are dropped with them. An invalidated stream is caught by
+   [deltas_valid] at candidate time. *)
+let remap_delta map = function
+  | D.Bump { v; dw } ->
+      Option.map (fun v' -> D.Bump { v = v'; dw }) (map v)
+  | D.Batch ops ->
+      let ops' =
+        Array.to_list ops
+        |> List.filter_map (fun (v, dw) ->
+               Option.map (fun v' -> (v', dw)) (map v))
+      in
+      if ops' = [] then None else Some (D.Batch (Array.of_list ops'))
+  | D.Extend _ -> None
+
+let shrink_deltas ?(max_rounds = 32) ~fails inst deltas =
+  let ok i ds = deltas_valid i ds && fails i ds in
+  if not (ok inst deltas) then (inst, deltas)
+  else begin
+    let try_candidate (i, ds) =
+      Ivc_obs.Counter.incr c_steps;
+      if ok i ds then begin
+        Ivc_obs.Counter.incr c_kept;
+        Some (i, ds)
+      end
+      else None
+    in
+    let cur_i = ref inst and cur_d = ref deltas in
+    let progress = ref true and rounds = ref 0 in
+    let to_fixpoint candidates =
+      let continue = ref true in
+      while !continue do
+        match List.find_map try_candidate (candidates ()) with
+        | Some (i, ds) ->
+            cur_i := i;
+            cur_d := ds;
+            progress := true
+        | None -> continue := false
+      done
+    in
+    while !progress && !rounds < max_rounds do
+      progress := false;
+      incr rounds;
+      (* deltas first: drop, then simplify in place *)
+      to_fixpoint (fun () ->
+          List.map (fun ds -> (!cur_i, ds)) (drop_candidates !cur_d));
+      to_fixpoint (fun () ->
+          List.map (fun ds -> (!cur_i, ds)) (simplify_candidates !cur_d));
+      (* dims, carrying the stream through each accepted cut *)
+      to_fixpoint (fun () ->
+          List.map
+            (fun (i', map) -> (i', List.filter_map (remap_delta map) !cur_d))
+            (dim_cuts !cur_i));
+      (* weight minimization, stream unchanged *)
+      List.iter
+        (fun reduce ->
+          for v = 0 to S.n_vertices !cur_i - 1 do
+            match reduce (S.weight !cur_i v) with
+            | Some wv -> (
+                match try_candidate (with_weight !cur_i v wv, !cur_d) with
+                | Some (i', _) ->
+                    cur_i := i';
+                    progress := true
+                | None -> ())
+            | None -> ()
+          done)
+        [
+          (fun w -> if w > 0 then Some 0 else None);
+          (fun w -> if w > 1 then Some (w / 2) else None);
+          (fun w -> if w > 0 then Some (w - 1) else None);
+        ]
+    done;
+    (!cur_i, !cur_d)
   end

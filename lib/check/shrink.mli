@@ -24,3 +24,20 @@ val shrink :
     (exposed for tests). Every candidate is strictly smaller; the list
     is empty on a 1x1 (or 1x1x1) instance. *)
 val dim_candidates : Ivc_grid.Stencil.t -> Ivc_grid.Stencil.t list
+
+(** [shrink_deltas ~fails inst deltas] jointly minimizes an
+    (instance, delta stream) counterexample of the incremental oracle:
+    whole deltas are dropped (halves, then singles) and simplified
+    (batch ops removed, bumps halved, extends trimmed) {e before}
+    dimensions are cut — each cut remaps the surviving stream's cell
+    ids through the cut — and weights are minimized last. A candidate
+    whose stream is not valid against its instance is rejected before
+    [fails] runs, so the result is always a well-formed failing pair.
+    Requires [fails inst deltas = true] (otherwise returned
+    unchanged). *)
+val shrink_deltas :
+  ?max_rounds:int ->
+  fails:(Ivc_grid.Stencil.t -> Ivc_incremental.Delta.t list -> bool) ->
+  Ivc_grid.Stencil.t ->
+  Ivc_incremental.Delta.t list ->
+  Ivc_grid.Stencil.t * Ivc_incremental.Delta.t list

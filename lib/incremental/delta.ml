@@ -1,0 +1,113 @@
+module Stencil = Ivc_grid.Stencil
+
+type t =
+  | Bump of { v : int; dw : int }
+  | Batch of (int * int) array
+  | Extend of { slabs : int; w : int array }
+
+let slice_size inst =
+  match (inst : Stencil.t).dims with
+  | Stencil.D2 (_, y) -> y
+  | Stencil.D3 (_, y, z) -> y * z
+
+let validate_ops inst ops =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  (* Transient per-cell adjustments, sparse: batches are tiny next to
+     the instance. *)
+  let adj = Hashtbl.create 16 in
+  let err = ref None in
+  (try
+     Array.iter
+       (fun (v, dw) ->
+         if v < 0 || v >= n then begin
+           err := Some (Printf.sprintf "delta: cell %d out of range [0, %d)" v n);
+           raise Exit
+         end;
+         let cur =
+           match Hashtbl.find_opt adj v with Some c -> c | None -> w.(v)
+         in
+         let nw = cur + dw in
+         if nw < 0 then begin
+           err :=
+             Some
+               (Printf.sprintf
+                  "delta: bump %+d on cell %d drives weight %d negative" dw v
+                  cur);
+           raise Exit
+         end;
+         Hashtbl.replace adj v nw)
+       ops
+   with Exit -> ());
+  match !err with Some e -> Error e | None -> Ok ()
+
+let validate inst d =
+  match d with
+  | Bump { v; dw } -> validate_ops inst [| (v, dw) |]
+  | Batch ops -> validate_ops inst ops
+  | Extend { slabs; w } ->
+      let slice = slice_size inst in
+      if slabs < 1 then Error "delta: extend needs at least one slab"
+      else if Array.length w <> slabs * slice then
+        Error
+          (Printf.sprintf "delta: extend payload has %d weights, expected %d"
+             (Array.length w) (slabs * slice))
+      else if Array.exists (fun x -> x < 0) w then
+        Error "delta: extend payload has a negative weight"
+      else Ok ()
+
+let apply_pure inst d =
+  match validate inst d with
+  | Error _ as e -> e |> Result.map (fun _ -> inst)
+  | Ok () -> (
+      match d with
+      | Bump { v; dw } ->
+          let w = Array.copy (inst : Stencil.t).w in
+          w.(v) <- w.(v) + dw;
+          Ok
+            (match inst.dims with
+            | Stencil.D2 (x, y) -> Stencil.make2 ~x ~y w
+            | Stencil.D3 (x, y, z) -> Stencil.make3 ~x ~y ~z w)
+      | Batch ops ->
+          let w = Array.copy (inst : Stencil.t).w in
+          Array.iter (fun (v, dw) -> w.(v) <- w.(v) + dw) ops;
+          Ok
+            (match inst.dims with
+            | Stencil.D2 (x, y) -> Stencil.make2 ~x ~y w
+            | Stencil.D3 (x, y, z) -> Stencil.make3 ~x ~y ~z w)
+      | Extend { slabs; w = ext } ->
+          let w = Array.append (inst : Stencil.t).w ext in
+          Ok
+            (match inst.dims with
+            | Stencil.D2 (x, y) -> Stencil.make2 ~x:(x + slabs) ~y w
+            | Stencil.D3 (x, y, z) -> Stencil.make3 ~x:(x + slabs) ~y ~z w))
+
+let op_count = function Bump _ -> 1 | Batch ops -> Array.length ops | Extend _ -> 1
+
+let describe = function
+  | Bump { v; dw } -> Printf.sprintf "bump %d %+d" v dw
+  | Batch ops -> Printf.sprintf "batch[%d]" (Array.length ops)
+  | Extend { slabs; w } ->
+      Printf.sprintf "extend +%d slab%s (%d cells)" slabs
+        (if slabs = 1 then "" else "s")
+        (Array.length w)
+
+(* 64-bit finalization mix (murmur3 fmix64): enough diffusion that
+   chains differing in one op diverge everywhere. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let feed h x = mix64 (Int64.logxor h (Int64.of_int x))
+
+let chain_fp fp d =
+  match d with
+  | Bump { v; dw } -> feed (feed (feed fp 1) v) dw
+  | Batch ops ->
+      let h = feed (feed fp 2) (Array.length ops) in
+      Array.fold_left (fun h (v, dw) -> feed (feed h v) dw) h ops
+  | Extend { slabs; w } ->
+      let h = feed (feed (feed fp 3) slabs) (Array.length w) in
+      Array.fold_left feed h w

@@ -1,0 +1,52 @@
+(** Typed deltas against a stencil instance: the inputs of incremental
+    recoloring.
+
+    A delta either perturbs weights in place ([Bump], [Batch]) or grows
+    the grid by whole slabs along the {e leading} axis ([Extend]).
+    Extension is deliberately restricted to the leading axis because
+    appending there preserves every existing flat id ([i * y + j] in
+    2D, [(i * y + j) * z + k] in 3D): the new cells take the largest
+    ids, so a canonical row-major coloring of the old instance is
+    untouched and repair only has to color the suffix. Extending any
+    other axis would renumber the whole grid and is equivalent to a
+    fresh solve. *)
+
+type t =
+  | Bump of { v : int; dw : int }
+      (** add [dw] (possibly negative) to the weight of cell [v] *)
+  | Batch of (int * int) array
+      (** [(v, dw)] bumps applied left to right; the same cell may
+          appear more than once *)
+  | Extend of { slabs : int; w : int array }
+      (** append [slabs] new leading-axis slabs whose cell weights are
+          [w], row-major; [Array.length w] must equal [slabs] times the
+          slab size ({!slice_size}) *)
+
+(** Cells per leading-axis slab: [y] in 2D, [y * z] in 3D. *)
+val slice_size : Ivc_grid.Stencil.t -> int
+
+(** [validate inst d] checks [d] against [inst]: cell ids in range,
+    no weight driven negative (batches are checked left to right, so
+    transient re-bumps of one cell are validated in application
+    order), extension payload of the right length with non-negative
+    weights. *)
+val validate : Ivc_grid.Stencil.t -> t -> (unit, string) result
+
+(** [apply_pure inst d] is the instance after the delta, built from
+    scratch — the from-scratch side of the repair-vs-resolve
+    equivalence oracle. [inst] is not mutated. *)
+val apply_pure : Ivc_grid.Stencil.t -> t -> (Ivc_grid.Stencil.t, string) result
+
+(** Number of bump operations ([Extend] counts as 1). *)
+val op_count : t -> int
+
+val describe : t -> string
+
+(** [chain_fp fp d] deterministically mixes a delta into an instance
+    fingerprint chain. The serving layer keys repair state by chain
+    fingerprint: the initial key is the solved instance's
+    {!Ivc_persist.Snapshot.fingerprint} and every applied delta
+    advances it by this O(|delta|) mix — never an O(n) re-fingerprint,
+    which would dominate a microsecond repair. Client and server
+    advance the chain independently and must agree. *)
+val chain_fp : int64 -> t -> int64

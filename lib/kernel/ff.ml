@@ -261,6 +261,76 @@ let gather3 sc starts v =
 let[@inline] gather sc starts v =
   if sc.z = 0 then gather2 sc starts v else gather3 sc starts v
 
+(* Gather only the neighbors with a smaller flat id than [v]. In
+   row-major id order those are the previous-row triple plus the left
+   cell (2D) or the nine below-plane cells, the previous-row triple and
+   the left cell (3D), so the interior fast path needs no upper-bound
+   tests on the leading coordinate. The canonical (identity-order)
+   first fit of a vertex depends on exactly these neighbors, which is
+   what makes incremental repair against the canonical coloring a
+   local recomputation. *)
+let gather2_below sc starts v =
+  sc.cnt <- 0;
+  sc.maxf <- 0;
+  let y = sc.y in
+  let i = if sc.my = 0 then v / y else (v * sc.my) lsr sc.py in
+  let j = v - (i * y) in
+  if i > 0 && j > 0 && j < y - 1 then begin
+    (* interior-below: previous row triple + left, no bounds checks *)
+    let a = v - y in
+    add sc starts (a - 1);
+    add sc starts a;
+    add sc starts (a + 1);
+    add sc starts (v - 1)
+  end
+  else begin
+    let ilo = if i > 0 then i - 1 else i
+    and jlo = if j > 0 then j - 1 else j
+    and jhi = if j < y - 1 then j + 1 else j in
+    for i' = ilo to i do
+      let base = i' * y in
+      for j' = jlo to jhi do
+        let u = base + j' in
+        if u < v then add sc starts u
+      done
+    done
+  end
+
+let gather3_below sc starts v =
+  sc.cnt <- 0;
+  sc.maxf <- 0;
+  let z = sc.z and y = sc.y in
+  let ij = if sc.mz = 0 then v / z else (v * sc.mz) lsr sc.pz in
+  let k = v - (ij * z) in
+  let i = if sc.my = 0 then ij / y else (ij * sc.my) lsr sc.py in
+  let j = ij - (i * y) in
+  if i > 0 && j > 0 && j < y - 1 && k > 0 && k < z - 1 then begin
+    (* interior-below: 9 below-plane + previous row triple + left *)
+    let yz = y * z in
+    let below = v - yz in
+    add3_row sc starts (below - z);
+    add3_row sc starts below;
+    add3_row sc starts (below + z);
+    add3_row sc starts (v - z);
+    add sc starts (v - 1)
+  end
+  else begin
+    let ilo = if i > 0 then i - 1 else i
+    and jlo = if j > 0 then j - 1 else j
+    and jhi = if j < y - 1 then j + 1 else j
+    and klo = if k > 0 then k - 1 else k
+    and khi = if k < z - 1 then k + 1 else k in
+    for i' = ilo to i do
+      for j' = jlo to jhi do
+        let base = ((i' * y) + j') * z in
+        for k' = klo to khi do
+          let u = base + k' in
+          if u < v then add sc starts u
+        done
+      done
+    done
+  end
+
 (* Sort the filled prefix of (nb_s, nb_f) by start, moving both arrays
    together. In place, no comparator closure. *)
 let insertion_sort sc =
@@ -419,6 +489,10 @@ let fit sc len =
 
 let first_fit_for sc ~starts v =
   gather sc starts v;
+  fit sc sc.w.(v)
+
+let first_fit_below sc ~starts v =
+  if sc.z = 0 then gather2_below sc starts v else gather3_below sc starts v;
   fit sc sc.w.(v)
 
 (* ---- stateful engine -------------------------------------------------- *)

@@ -48,6 +48,16 @@ val flush_stats : scratch -> unit
     the speculative parallel engine. *)
 val first_fit_for : scratch -> starts:int array -> int -> int
 
+(** [first_fit_below sc ~starts v] is {!first_fit_for} restricted to
+    the neighbors of [v] with a {e smaller flat id}. In the canonical
+    row-major sweep a vertex's start depends on exactly these
+    neighbors, so this is the recomputation primitive behind
+    incremental repair ({!Ivc_incremental.Engine}): repairing cell [v]
+    against [starts] reproduces what a from-scratch identity-order
+    sweep would assign it, given the smaller-id prefix is already
+    canonical. Pure with respect to [starts]. *)
+val first_fit_below : scratch -> starts:int array -> int -> int
+
 (** {1 Stateful engine} *)
 
 type t

@@ -64,3 +64,50 @@ let check inst starts =
 
 let assert_ok inst starts =
   match check inst starts with Ok mc -> mc | Error e -> raise (Rejected e)
+
+let c_region_pass = Ivc_obs.Counter.make "resilient.cert_region_pass"
+let c_region_reject = Ivc_obs.Counter.make "resilient.cert_region_reject"
+
+let check_cells inst starts ~cells =
+  let n = Stencil.n_vertices inst in
+  let w = (inst : Stencil.t).w in
+  let fail e =
+    Ivc_obs.Counter.incr c_region_reject;
+    Error e
+  in
+  if Array.length starts <> n then
+    fail (Wrong_length { expected = n; got = Array.length starts })
+  else begin
+    let err = ref None in
+    (try
+       Array.iter
+         (fun v ->
+           if v < 0 || v >= n then begin
+             err := Some (Uncolored { vertex = v; start = -1 });
+             raise Exit
+           end;
+           if w.(v) > 0 then begin
+             if starts.(v) < 0 then begin
+               err := Some (Uncolored { vertex = v; start = starts.(v) });
+               raise Exit
+             end;
+             (* Both edge directions: any bad edge with a changed
+                endpoint is caught regardless of id order. *)
+             Stencil.iter_neighbors inst v (fun u ->
+                 if w.(u) > 0 && starts.(u) >= 0 then begin
+                   let sv = starts.(v) and wv = w.(v) in
+                   let su = starts.(u) and wu = w.(u) in
+                   if sv < su + wu && su < sv + wv then begin
+                     err := Some (Overlap { u; su; wu; v; sv; wv });
+                     raise Exit
+                   end
+                 end)
+           end)
+         cells
+     with Exit -> ());
+    match !err with
+    | Some e -> fail e
+    | None ->
+        Ivc_obs.Counter.incr c_region_pass;
+        Ok ()
+  end

@@ -162,15 +162,17 @@ let health ?timeout_s t =
   | Ok _ -> Result.Error (Bad_response "unexpected response to health")
   | Error _ as e -> e
 
+let delta ?timeout_s t ?budget ~fp d =
+  request ?timeout_s t (Proto.Delta { fp; delta = d; budget })
+
 (* ---- verification ----------------------------------------------------- *)
 
-let verify_solution inst (s : Proto.solution) =
-  if not (Int64.equal s.Proto.fingerprint (Snapshot.fingerprint inst)) then
+let verify_against ~expect_fp inst (s : Proto.solution) =
+  if not (Int64.equal s.Proto.fingerprint expect_fp) then
     Error
       (Corrupt
-         (Printf.sprintf "fingerprint %Lx is not this instance's %Lx"
-            s.Proto.fingerprint
-            (Snapshot.fingerprint inst)))
+         (Printf.sprintf "fingerprint %Lx, expected %Lx" s.Proto.fingerprint
+            expect_fp))
   else
     match Cert.check inst s.Proto.starts with
     | Error e -> Error (Corrupt ("certificate: " ^ Cert.to_string e))
@@ -180,6 +182,18 @@ let verify_solution inst (s : Proto.solution) =
              (Printf.sprintf "claimed maxcolor %d, certified %d"
                 s.Proto.maxcolor mc))
     | Ok _ -> Ok s
+
+let verify_solution inst (s : Proto.solution) =
+  verify_against ~expect_fp:(Snapshot.fingerprint inst) inst s
+
+(* The delta analogue: the caller advanced its own instance mirror
+   (Delta.apply_pure) and its own chain fingerprint (Delta.chain_fp),
+   so the server's answer must re-certify against the mirror and echo
+   the advanced key — an [Ok] here is proof the repaired coloring is
+   valid for the delta we actually sent, not trust in the server's
+   repair path. *)
+let verify_delta ~expect_fp inst (s : Proto.solution) =
+  verify_against ~expect_fp inst s
 
 (* ---- retry layer ------------------------------------------------------ *)
 

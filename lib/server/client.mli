@@ -60,6 +60,20 @@ val shutdown : ?timeout_s:float -> t -> (unit, error) result
 val health : ?timeout_s:float -> t -> (Proto.health, error) result
 (** The server's readiness snapshot. *)
 
+val delta :
+  ?timeout_s:float ->
+  t ->
+  ?budget:int ->
+  fp:int64 ->
+  Ivc_incremental.Delta.t ->
+  (Proto.response, error) result
+(** Ask the server to incrementally repair the cached solution keyed
+    by chain fingerprint [fp] (the instance fingerprint right after a
+    solve, advanced with {!Ivc_incremental.Delta.chain_fp} per applied
+    delta). The response is [Solution] (fingerprint = the advanced
+    chain key, provenance = [repaired(...)] or [resolved]) or a typed
+    [Error] — [Unknown_fingerprint] means re-solve. *)
+
 val verify_solution :
   Ivc_grid.Stencil.t -> Proto.solution -> (Proto.solution, error) result
 (** End-to-end verification of a Solution against the instance that
@@ -67,6 +81,18 @@ val verify_solution :
     re-certify locally at its claimed maxcolor. The transport cannot
     detect in-flight payload corruption that preserves framing; this
     can. *)
+
+val verify_delta :
+  expect_fp:int64 ->
+  Ivc_grid.Stencil.t ->
+  Proto.solution ->
+  (Proto.solution, error) result
+(** End-to-end verification of a [Delta] reply: [inst] is the
+    client's own instance mirror after applying the delta locally
+    ({!Ivc_incremental.Delta.apply_pure}), [expect_fp] the client's
+    own advanced chain fingerprint. The repaired coloring must
+    re-certify against the mirror at its claimed maxcolor and the
+    server must echo the advanced key. *)
 
 (** {1 Seeded retry} *)
 

@@ -7,10 +7,11 @@
    checksum, unlike the disk path lib/persist defends. *)
 
 module S = Ivc_grid.Stencil
+module D = Ivc_incremental.Delta
 module Codec = Ivc_persist.Codec
 module Obs = Ivc_obs
 
-let version = 2
+let version = 3
 let magic = "IVCR"
 let default_max_frame = 16 * 1024 * 1024
 
@@ -37,6 +38,7 @@ type request =
   | Stats
   | Shutdown
   | Health
+  | Delta of { fp : int64; delta : D.t; budget : int option }
 
 type shed_code = Queue_full | Too_large | Expired_in_queue
 
@@ -47,6 +49,7 @@ type error_code =
   | Cert_failed
   | Internal
   | Conn_timeout
+  | Unknown_fingerprint
 
 type degrade = Shrunk_budget | Heuristic_only
 
@@ -94,6 +97,7 @@ let error_code_to_string = function
   | Cert_failed -> "cert-failed"
   | Internal -> "internal"
   | Conn_timeout -> "conn-timeout"
+  | Unknown_fingerprint -> "unknown-fingerprint"
 
 let degrade_to_string = function
   | Shrunk_budget -> "shrunk-budget"
@@ -116,6 +120,7 @@ let error_tag = function
   | Cert_failed -> 3
   | Internal -> 4
   | Conn_timeout -> 5
+  | Unknown_fingerprint -> 6
 
 let error_of_tag = function
   | 0 -> Bad_frame
@@ -124,6 +129,7 @@ let error_of_tag = function
   | 3 -> Cert_failed
   | 4 -> Internal
   | 5 -> Conn_timeout
+  | 6 -> Unknown_fingerprint
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
 
 let degrade_tag = function
@@ -168,6 +174,46 @@ let read_inst r =
        with Invalid_argument m -> raise (Codec.Corrupt m))
   | d -> raise (Codec.Corrupt (Printf.sprintf "unknown dimensionality %d" d))
 
+let write_delta b (d : D.t) =
+  match d with
+  | D.Bump { v; dw } ->
+      Codec.W.int b 0;
+      Codec.W.int b v;
+      Codec.W.int b dw
+  | D.Batch ops ->
+      Codec.W.int b 1;
+      Codec.W.int b (Array.length ops);
+      Array.iter
+        (fun (v, dw) ->
+          Codec.W.int b v;
+          Codec.W.int b dw)
+        ops
+  | D.Extend { slabs; w } ->
+      Codec.W.int b 2;
+      Codec.W.int b slabs;
+      Codec.W.int_array b w
+
+let read_delta r =
+  match Codec.R.int r with
+  | 0 ->
+      let v = Codec.R.int r in
+      let dw = Codec.R.int r in
+      D.Bump { v; dw }
+  | 1 ->
+      let n = Codec.R.int r in
+      if n < 0 || n > 1_000_000 then
+        raise (Codec.Corrupt (Printf.sprintf "batch of %d ops" n));
+      D.Batch
+        (Array.init n (fun _ ->
+             let v = Codec.R.int r in
+             let dw = Codec.R.int r in
+             (v, dw)))
+  | 2 ->
+      let slabs = Codec.R.int r in
+      let w = Codec.R.int_array r in
+      D.Extend { slabs; w }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "unknown delta tag %d" t))
+
 let write_opts b o =
   Codec.W.option b Codec.W.float o.deadline_s;
   Codec.W.int b o.priority;
@@ -194,7 +240,12 @@ let encode_request req =
       write_opts b opts
   | Stats -> Codec.W.int b 2
   | Shutdown -> Codec.W.int b 3
-  | Health -> Codec.W.int b 4);
+  | Health -> Codec.W.int b 4
+  | Delta { fp; delta; budget } ->
+      Codec.W.int b 5;
+      Codec.W.i64 b fp;
+      write_delta b delta;
+      Codec.W.option b Codec.W.int budget);
   Codec.W.contents b
 
 let decode_request body =
@@ -216,6 +267,11 @@ let decode_request body =
         | 2 -> Stats
         | 3 -> Shutdown
         | 4 -> Health
+        | 5 ->
+            let fp = Codec.R.i64 r in
+            let delta = read_delta r in
+            let budget = Codec.R.option r Codec.R.int in
+            Delta { fp; delta; budget }
         | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
       in
       Codec.R.expect_end r;

@@ -36,7 +36,9 @@
 val version : int
 (** Protocol version, embedded in every body. Version 2 added
     [Health]/[Health_reply], the solution [degraded] marker, and the
-    [Conn_timeout] error code. *)
+    [Conn_timeout] error code. Version 3 added the [Delta] request
+    (incremental repair against cached repair state, keyed by chain
+    fingerprint) and the [Unknown_fingerprint] error code. *)
 
 val magic : string
 (** 4-byte frame magic, ["IVCR"]. *)
@@ -62,6 +64,19 @@ type request =
   | Stats
   | Shutdown  (** graceful daemon stop (used by CI and tests) *)
   | Health  (** cheap liveness/readiness probe, answered inline *)
+  | Delta of {
+      fp : int64;
+          (** the chain fingerprint of the server-held repair state
+              this delta targets: the instance's
+              {!Ivc_persist.Snapshot.fingerprint} right after a solve,
+              then {!Ivc_incremental.Delta.chain_fp} of the previous
+              key after every applied delta *)
+      delta : Ivc_incremental.Delta.t;
+      budget : int option;  (** repair-front override for this apply *)
+    }
+      (** incrementally repair the cached solution instead of
+          re-solving; answered inline on the connection thread
+          (microseconds for a local repair, never queued) *)
 
 type shed_code =
   | Queue_full  (** admission queue at capacity *)
@@ -80,6 +95,10 @@ type error_code =
   | Conn_timeout
       (** the connection blew a read/write deadline; best-effort
           notice before the server closes it *)
+  | Unknown_fingerprint
+      (** a [Delta] targeted repair state the server does not hold
+          (never solved here, evicted, or the chain diverged); the
+          client falls back to a full [Solve] *)
 
 type degrade =
   | Shrunk_budget  (** exact stage capped at the brownout budget *)

@@ -35,6 +35,12 @@ let c_conns = Obs.Counter.make "server.connections_accepted"
 let c_resumed = Obs.Counter.make "server.resumed_solves"
 let c_conn_timeouts = Obs.Counter.make "server.conn_timeouts"
 let c_degraded = Obs.Counter.make "server.degraded"
+let c_deltas = Obs.Counter.make "server.deltas"
+let c_delta_repaired = Obs.Counter.make "server.delta_repaired"
+let c_delta_resolved = Obs.Counter.make "server.delta_resolved"
+let c_delta_unknown = Obs.Counter.make "server.delta_unknown_fp"
+let c_repair_seeded = Obs.Counter.make "server.repair_seeded"
+let c_repair_evicted = Obs.Counter.make "server.repair_evicted"
 let g_connections = Obs.Gauge.make "server.connections_open"
 
 type addr = Unix_sock of string | Tcp of string * int
@@ -59,6 +65,7 @@ type config = {
   brownout_low : float;
   brownout_high : float;
   brownout_budget : int;
+  repair_capacity : int;
 }
 
 let default_config addr =
@@ -78,6 +85,7 @@ let default_config addr =
     brownout_low = 0.75;
     brownout_high = 0.95;
     brownout_budget = 500;
+    repair_capacity = 16;
   }
 
 (* Brownout sits strictly below the hard queue limit: occupancy is the
@@ -89,6 +97,99 @@ let brownout_of cfg ~occupancy : Proto.degrade option =
   else if occupancy >= cfg.brownout_low then Some Proto.Shrunk_budget
   else None
 
+(* ---- repair-state table ----------------------------------------------
+
+   Incremental repair state, keyed by chain fingerprint: the key of a
+   fresh engine is the solved instance's fingerprint, and every
+   applied delta re-keys the entry through Delta.chain_fp — so a
+   client that replays the same delta sequence computes the same key
+   without ever seeing the engine. One lock covers lookup, apply and
+   re-key: applies are microseconds (worst case one O(n) fallback
+   sweep), and serializing them is what keeps two connections from
+   racing the same engine. Eviction is FIFO over seed insertions;
+   re-keying leaves the stale key in the queue, which eviction simply
+   skips (Engine state is one instance's worth of arrays, so the cap
+   is a memory bound, not a hot path). *)
+
+module Repair = struct
+  module Engine = Ivc_incremental.Engine
+
+  type t = {
+    mutex : Mutex.t;
+    capacity : int;
+    table : (int64, Engine.t) Hashtbl.t;
+    fifo : int64 Queue.t;
+  }
+
+  let create ~capacity =
+    {
+      mutex = Mutex.create ();
+      capacity = max 0 capacity;
+      table = Hashtbl.create 16;
+      fifo = Queue.create ();
+    }
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    n
+
+  let evict_to_capacity t =
+    while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.fifo) do
+      let oldest = Queue.pop t.fifo in
+      if Hashtbl.mem t.table oldest then begin
+        Hashtbl.remove t.table oldest;
+        Obs.Counter.incr c_repair_evicted
+      end
+    done
+
+  (* Seed repair state for a freshly solved instance. Idempotent per
+     fingerprint; [Cert.Rejected] (a kernel bug surfacing during the
+     engine's own canonical solve) is swallowed — serving must not die
+     because repair state could not be built. *)
+  let seed t ~fp inst =
+    if t.capacity > 0 then begin
+      Mutex.lock t.mutex;
+      (if not (Hashtbl.mem t.table fp) then
+         match Engine.create inst with
+         | engine ->
+             evict_to_capacity t;
+             Hashtbl.replace t.table fp engine;
+             Queue.push fp t.fifo;
+             Obs.Counter.incr c_repair_seeded
+         | exception Cert.Rejected _ -> ());
+      Mutex.unlock t.mutex
+    end
+
+  (* Apply one delta to the engine at [fp], re-keying the entry to the
+     advanced chain fingerprint. The whole step runs under the table
+     lock so concurrent deltas against one engine serialize. *)
+  let apply t ~fp ?budget delta =
+    Mutex.lock t.mutex;
+    let r =
+      match Hashtbl.find_opt t.table fp with
+      | None -> `Unknown
+      | Some engine -> (
+          match Engine.apply ?budget engine delta with
+          | Ok outcome ->
+              let fp' = Ivc_incremental.Delta.chain_fp fp delta in
+              Hashtbl.remove t.table fp;
+              Hashtbl.replace t.table fp' engine;
+              Queue.push fp' t.fifo;
+              `Applied (outcome, fp', Engine.starts engine)
+          | Error (Engine.Bad_delta _ as e) ->
+              (* engine untouched, entry stays *)
+              `Failed e
+          | Error (Engine.Cert_failed _ as e) ->
+              (* untrusted state: drop the entry entirely *)
+              Hashtbl.remove t.table fp;
+              `Failed e)
+    in
+    Mutex.unlock t.mutex;
+    r
+end
+
 type conn = { fd : Unix.file_descr; mutable closed : bool }
 
 type t = {
@@ -97,6 +198,7 @@ type t = {
   bound_port : int;
   pool : Taskpar.Service.t;
   cache : Cache.t;
+  repair : Repair.t;
   t0 : int64;
   state : Mutex.t;
   shutdown_cond : Condition.t;
@@ -199,7 +301,7 @@ let run_solve srv inst (opts : Proto.solve_options) ~degraded fp token mailbox
             srv.cfg.autosave_dir;
           (* a degraded answer is certified but possibly weaker than a
              healthy solve of the same instance — never cache it *)
-          if opts.use_cache && degraded = None then
+          if opts.use_cache && degraded = None then begin
             Cache.store srv.cache ~fp ~inst
               {
                 Cache.starts = o.Driver.starts;
@@ -208,6 +310,10 @@ let run_solve srv inst (opts : Proto.solve_options) ~degraded fp token mailbox
                 provenance = Driver.provenance_to_string o.Driver.provenance;
                 proven_optimal = o.Driver.proven_optimal;
               };
+            (* seed repair state on the worker domain, where the O(n)
+               canonical solve it needs belongs *)
+            Repair.seed srv.repair ~fp inst
+          end;
           Obs.Counter.incr c_solved;
           Mailbox.put mailbox
             (Proto.Solution
@@ -266,6 +372,9 @@ let handle_solve srv inst (opts : Proto.solve_options) =
     in
     match cached with
     | Some e ->
+        (* re-seed dropped/evicted repair state so a cache hit restores
+           delta service for the instance too *)
+        Repair.seed srv.repair ~fp inst;
         Proto.Solution
           {
             Proto.starts = e.Cache.starts;
@@ -324,6 +433,56 @@ let handle_solve srv inst (opts : Proto.solve_options) =
         | `Accepted -> Mailbox.take mailbox)
   end
 
+(* ---- the delta path --------------------------------------------------- *)
+
+(* Answered inline on the connection thread: a repair is microseconds
+   of work, so routing it through the solve queue would bury the very
+   latency the incremental engine exists to deliver. The reply reuses
+   [Solution]; its fingerprint is the {e advanced} chain key the
+   client must use for the next delta, its provenance records whether
+   the engine repaired locally or fell back to a full sweep. *)
+let handle_delta srv ~fp ?budget delta =
+  Obs.Counter.incr c_requests;
+  Obs.Counter.incr c_deltas;
+  let t0 = Obs.now_ns () in
+  match Repair.apply srv.repair ~fp ?budget delta with
+  | `Unknown ->
+      Obs.Counter.incr c_delta_unknown;
+      Proto.Error
+        {
+          code = Proto.Unknown_fingerprint;
+          message =
+            Printf.sprintf
+              "no repair state at %Lx (not solved here, evicted, or the \
+               chain diverged); re-solve"
+              fp;
+        }
+  | `Failed (Ivc_incremental.Engine.Bad_delta m) ->
+      Proto.Error { code = Proto.Bad_request; message = m }
+  | `Failed (Ivc_incremental.Engine.Cert_failed e) ->
+      Obs.Counter.incr c_cert_failures;
+      Proto.Error { code = Proto.Cert_failed; message = Cert.to_string e }
+  | `Applied (outcome, fp', starts) ->
+      (match outcome.Ivc_incremental.Engine.provenance with
+      | Ivc_incremental.Engine.Repaired _ -> Obs.Counter.incr c_delta_repaired
+      | Ivc_incremental.Engine.Resolved -> Obs.Counter.incr c_delta_resolved);
+      Proto.Solution
+        {
+          Proto.starts;
+          maxcolor = outcome.Ivc_incremental.Engine.maxcolor;
+          (* the repair engine certifies, it does not bound *)
+          lower_bound = 0;
+          provenance =
+            Ivc_incremental.Engine.provenance_to_string
+              outcome.Ivc_incremental.Engine.provenance;
+          proven_optimal = false;
+          elapsed_s = Obs.elapsed_s ~since:t0;
+          cache_hit = true;
+          resumed = false;
+          degraded = None;
+          fingerprint = fp';
+        }
+
 (* ---- stats & health --------------------------------------------------- *)
 
 let open_conns srv =
@@ -376,6 +535,12 @@ let stats_json srv =
                    [
                      ("size", int (Cache.size srv.cache));
                      ("capacity", int (Cache.capacity srv.cache));
+                   ] );
+               ( "repair",
+                 Json.Obj
+                   [
+                     ("size", int (Repair.size srv.repair));
+                     ("capacity", int srv.cfg.repair_capacity);
                    ] );
              ] );
          ("metrics", Obs.Export.metrics ());
@@ -465,6 +630,16 @@ let conn_loop srv conn =
                 (fun () -> handle_solve srv inst opts)
             in
             send srv fd resp;
+            loop ()
+        | Ok (Proto.Delta { fp; delta; budget }) ->
+            let resp =
+              Obs.Span.record ~cat:"server"
+                ~args:
+                  [ ("delta", Ivc_incremental.Delta.describe delta) ]
+                "server.delta"
+                (fun () -> handle_delta srv ~fp ?budget delta)
+            in
+            send srv fd resp;
             loop ())
   in
   (try loop () with
@@ -548,6 +723,7 @@ let start cfg =
         Taskpar.Service.create ~workers:cfg.workers
           ~capacity:cfg.queue_capacity;
       cache = Cache.create ~capacity:cfg.cache_capacity;
+      repair = Repair.create ~capacity:cfg.repair_capacity;
       t0 = Obs.now_ns ();
       state = Mutex.create ();
       shutdown_cond = Condition.create ();

@@ -11,6 +11,13 @@
     (queue wait counts against the deadline, and an expired-in-queue
     request is shed, not solved) → response.
 
+    [Delta] requests bypass the queue entirely: they repair the
+    incremental engine seeded by a previous healthy solve of the same
+    instance (keyed by chain fingerprint, re-keyed on every applied
+    delta), answering in microseconds when the repair front stays
+    local. Unknown keys answer a typed [Unknown_fingerprint] and the
+    client falls back to a full [Solve].
+
     With [autosave_dir] set, in-flight solves checkpoint to
     [<dir>/<fingerprint>.snap] and a restarted server resumes a
     killed solve from its snapshot on the next request for the same
@@ -46,12 +53,16 @@ type config = {
   brownout_high : float;
       (** occupancy at which admitted solves run heuristics only *)
   brownout_budget : int;  (** exact-node cap under [Shrunk_budget] *)
+  repair_capacity : int;
+      (** incremental repair-state entries served to [Delta] requests;
+          0 disables (every delta answers [Unknown_fingerprint]) *)
 }
 
 val default_config : addr -> config
 (** 2 workers, queue 32, cache 256, 4M vertex cap, 16 MiB frames, 5 s
     default / 60 s max deadline, no autosave; 300 s idle / 30 s io
-    timeouts, brownout watermarks 0.75 / 0.95 with a 500-node budget. *)
+    timeouts, brownout watermarks 0.75 / 0.95 with a 500-node budget;
+    16 repair-state entries. *)
 
 val brownout_of : config -> occupancy:float -> Proto.degrade option
 (** The pure watermark rule: occupancy ≥ [brownout_high] is

@@ -37,6 +37,11 @@ let box_of_point cfg (p : Points.point) =
   let k = Spatial_data.Gridding.cell_of ~lo:c.Points.t0 ~hi:c.Points.t1 ~cells:bz p.Points.t in
   (i, j, k)
 
+let box_id cfg p =
+  let _, by, bz = cfg.boxes in
+  let i, j, k = box_of_point cfg p in
+  (((i * by) + j) * bz) + k
+
 let points_by_box cfg =
   let bx, by, bz = cfg.boxes in
   let buckets = Array.make (bx * by * bz) [] in

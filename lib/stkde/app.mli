@@ -30,6 +30,11 @@ val make :
     counts. *)
 val coloring_instance : config -> Ivc_grid.Stencil.t
 
+(** Flat box id ([(i * by + j) * bz + k]) of the box a point falls in —
+    the same id the point's weight lands on in {!coloring_instance}.
+    Used by {!Stream} to diff per-timestep box counts. *)
+val box_id : config -> Spatial_data.Points.point -> int
+
 (** Sequential reference computation of the voxel density field. *)
 val density_sequential : config -> float array
 

@@ -1,0 +1,97 @@
+(* Streaming STKDE: as the observation window slides, per-box point
+   counts drift a little every timestep. Re-coloring the whole box
+   grid per step is the naive O(n) answer; this module diffs the new
+   counts against the engine's current weights and applies the whole
+   timestep as ONE batch delta, so the engine pays one repair wave per
+   step instead of one per changed box — and falls back to a full
+   sweep only when the drift front outgrows the budget. *)
+
+module S = Ivc_grid.Stencil
+module Engine = Ivc_incremental.Engine
+module Delta = Ivc_incremental.Delta
+module Points = Spatial_data.Points
+
+let c_steps = Ivc_obs.Counter.make "stkde.stream_steps"
+let c_repaired = Ivc_obs.Counter.make "stkde.stream_repaired"
+let c_resolved = Ivc_obs.Counter.make "stkde.stream_resolved"
+
+type stats = {
+  steps : int;
+  repaired : int;
+  resolved : int;
+  front_cells : int;
+}
+
+type t = {
+  engine : Engine.t;
+  mutable steps : int;
+  mutable repaired : int;
+  mutable resolved : int;
+  mutable front_cells : int;
+}
+
+let of_instance ?budget inst =
+  {
+    engine = Engine.create ?budget inst;
+    steps = 0;
+    repaired = 0;
+    resolved = 0;
+    front_cells = 0;
+  }
+
+let of_config ?budget cfg = of_instance ?budget (App.coloring_instance cfg)
+
+let instance t = Engine.instance t.engine
+let starts t = Engine.starts t.engine
+let maxcolor t = Engine.maxcolor t.engine
+
+let stats t =
+  {
+    steps = t.steps;
+    repaired = t.repaired;
+    resolved = t.resolved;
+    front_cells = t.front_cells;
+  }
+
+let record t (o : Engine.outcome) =
+  t.steps <- t.steps + 1;
+  Ivc_obs.Counter.incr c_steps;
+  (match o.Engine.provenance with
+  | Engine.Repaired { front_cells; _ } ->
+      t.repaired <- t.repaired + 1;
+      t.front_cells <- t.front_cells + front_cells;
+      Ivc_obs.Counter.incr c_repaired
+  | Engine.Resolved ->
+      t.resolved <- t.resolved + 1;
+      Ivc_obs.Counter.incr c_resolved);
+  o
+
+let drift t ops =
+  match Engine.apply t.engine (Delta.Batch ops) with
+  | Ok o -> Ok (record t o)
+  | Error _ as e -> e
+
+let step t ~counts =
+  let w = (instance t : S.t).w in
+  let n = Array.length w in
+  if Array.length counts <> n then
+    invalid_arg
+      (Printf.sprintf "Stkde.Stream.step: %d counts for %d boxes"
+         (Array.length counts) n);
+  let ops = ref [] in
+  for v = n - 1 downto 0 do
+    if counts.(v) <> w.(v) then ops := (v, counts.(v) - w.(v)) :: !ops
+  done;
+  drift t (Array.of_list !ops)
+
+let window_counts cfg ~t0 ~t1 =
+  let bx, by, bz = cfg.App.boxes in
+  let counts = Array.make (bx * by * bz) 0 in
+  Array.iter
+    (fun p ->
+      if p.Points.t >= t0 && p.Points.t < t1 then begin
+        let id = App.box_id cfg p in
+        counts.(id) <- counts.(id) + 1
+      end)
+    cfg.App.cloud.Points.points;
+  counts

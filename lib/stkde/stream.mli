@@ -1,0 +1,61 @@
+(** Streaming STKDE over an incremental repair engine.
+
+    As the observation window slides, per-box point counts drift a
+    little per timestep. Each timestep is applied as {e one}
+    {!Ivc_incremental.Delta.Batch} against the engine — one repair
+    wave per step, a budget-triggered full sweep only when the drift
+    front is genuinely global. The engine's invariant means the
+    coloring after every step is exactly the canonical coloring a
+    from-scratch solve of the drifted instance would produce, and
+    every step re-certifies through the engine's gate.
+
+    Counters: [stkde.stream_steps], [stkde.stream_repaired],
+    [stkde.stream_resolved]. *)
+
+type t
+
+(** Cumulative apply statistics. [front_cells] sums the repair fronts
+    of the [repaired] steps. *)
+type stats = {
+  steps : int;
+  repaired : int;
+  resolved : int;
+  front_cells : int;
+}
+
+(** [of_instance ?budget inst] seeds the stream with a canonical
+    coloring of [inst] (cost: one O(n) solve plus its certificate;
+    raises {!Ivc_resilient.Cert.Rejected} on a kernel bug). *)
+val of_instance : ?budget:int -> Ivc_grid.Stencil.t -> t
+
+(** Seed from a config's {!App.coloring_instance} (whole-cloud
+    counts). *)
+val of_config : ?budget:int -> App.config -> t
+
+val instance : t -> Ivc_grid.Stencil.t
+val starts : t -> int array
+val maxcolor : t -> int
+val stats : t -> stats
+
+(** [step t ~counts] moves the stream to a timestep whose absolute
+    per-box counts are [counts] (length must match the box grid): the
+    drift against the current weights becomes one batch delta. A
+    timestep with no drift is a certified no-op. Raises
+    [Invalid_argument] on a length mismatch; an [Error] is the
+    engine's typed failure (on [Cert_failed] discard the stream). *)
+val step :
+  t ->
+  counts:int array ->
+  (Ivc_incremental.Engine.outcome, Ivc_incremental.Engine.error) result
+
+(** [drift t ops] applies raw per-box weight deltas as one batch (the
+    lower-level entry {!step} diffs into). *)
+val drift :
+  t ->
+  (int * int) array ->
+  (Ivc_incremental.Engine.outcome, Ivc_incremental.Engine.error) result
+
+(** [window_counts cfg ~t0 ~t1] — per-box counts of the points whose
+    time lies in [[t0, t1)]: the absolute counts a sliding-window
+    timestep feeds to {!step}. *)
+val window_counts : App.config -> t0:float -> t1:float -> int array

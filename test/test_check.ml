@@ -122,6 +122,7 @@ let test_repro_roundtrip () =
       Repro.oracle = "kernel-diff";
       seed = Some 42;
       note = Some "round-trip probe";
+      deltas = [];
       instance = Gen.of_family Gen.Heavy_tail ~seed:2;
     }
   in
@@ -133,7 +134,7 @@ let test_repro_roundtrip () =
     (same_inst r.Repro.instance r'.Repro.instance);
   (* no optional fields *)
   let bare =
-    { Repro.oracle = "cert"; seed = None; note = None;
+    { Repro.oracle = "cert"; seed = None; note = None; deltas = [];
       instance = S.make2 ~x:1 ~y:2 [| 1; 1 |] }
   in
   let bare' = Repro.of_string (Repro.to_string bare) in
@@ -152,6 +153,37 @@ let test_repro_malformed () =
     "ivc-repro 1\noracle cert\nbogus 1\nivc2 1 1\n3\n";
   expect_io_error "missing instance" "ivc-repro 1\noracle cert\n";
   expect_io_error "truncated weights" "ivc-repro 1\noracle cert\nivc2 2 2\n1 2\n"
+
+let test_repro_delta_roundtrip () =
+  let module D = Ivc_incremental.Delta in
+  let deltas =
+    [
+      D.Bump { v = 3; dw = 2 };
+      D.Batch [| (0, 1); (5, -1); (0, 4) |];
+      D.Extend { slabs = 2; w = [| 1; 0; 3; 2; 2; 0 |] };
+      D.Bump { v = 7; dw = -2 };
+    ]
+  in
+  let r =
+    {
+      Repro.oracle = "incremental";
+      seed = Some 9;
+      note = Some "delta round-trip";
+      deltas;
+      instance = S.make2 ~x:3 ~y:3 [| 1; 2; 0; 3; 1; 1; 0; 2; 1 |];
+    }
+  in
+  let r' = Repro.of_string (Repro.to_string r) in
+  Alcotest.(check bool) "delta stream survives" true (r'.Repro.deltas = deltas);
+  Alcotest.(check bool) "instance survives" true
+    (same_inst r.Repro.instance r'.Repro.instance);
+  (* malformed delta lines are structural errors *)
+  expect_io_error "bad delta kind"
+    "ivc-repro 1\noracle incremental\ndelta nudge 1 2\nivc2 1 1\n3\n";
+  expect_io_error "odd batch payload"
+    "ivc-repro 1\noracle incremental\ndelta batch 1 2 3\nivc2 1 1\n3\n";
+  expect_io_error "bump arity"
+    "ivc-repro 1\noracle incremental\ndelta bump 1\nivc2 1 1\n3\n"
 
 (* ---- corpus replay -------------------------------------------------------- *)
 
@@ -187,7 +219,7 @@ let test_replay_unknown_oracle () =
     (fun () ->
       Repro.save path
         { Repro.oracle = "no-such-oracle"; seed = None; note = None;
-          instance = S.make2 ~x:1 ~y:1 [| 1 |] };
+          deltas = []; instance = S.make2 ~x:1 ~y:1 [| 1 |] };
       match Fuzz.replay path with
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail "unknown oracle must be rejected")
@@ -266,7 +298,8 @@ let test_fuzz_repro_files_replay () =
 (* ---- oracle registry ------------------------------------------------------- *)
 
 let test_registry_lookup () =
-  Alcotest.(check int) "twelve production oracles" 12 (List.length Oracles.all);
+  Alcotest.(check int) "thirteen production oracles" 13
+    (List.length Oracles.all);
   List.iter
     (fun (o : Oracle.t) ->
       match Oracles.find o.Oracle.name with
@@ -323,6 +356,8 @@ let suite =
     Alcotest.test_case "repro round-trip" `Quick test_repro_roundtrip;
     Alcotest.test_case "repro rejects malformed input" `Quick
       test_repro_malformed;
+    Alcotest.test_case "repro delta round-trip" `Quick
+      test_repro_delta_roundtrip;
     Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
     Alcotest.test_case "replay rejects unknown oracle" `Quick
       test_replay_unknown_oracle;

@@ -1,0 +1,200 @@
+(* The incremental repair engine against its from-scratch reference:
+   repair-vs-resolve equivalence over every generator family, the
+   no-op / budget-0 / batch-vs-sequential semantics the engine.mli
+   promises, determinism across runs, leading-axis extension, and
+   typed rejection of malformed deltas. *)
+
+module S = Ivc_grid.Stencil
+module Gen = Ivc_check.Gen
+module Oracles = Ivc_check.Oracles
+module Oracle = Ivc_check.Oracle
+module D = Ivc_incremental.Delta
+module E = Ivc_incremental.Engine
+
+let apply_ok t d =
+  match E.apply t d with
+  | Ok o -> o
+  | Error e ->
+      Alcotest.failf "apply %s: %s" (D.describe d) (E.error_to_string e)
+
+let expect_bad t d =
+  match E.apply t d with
+  | Error (E.Bad_delta _) -> ()
+  | Error e ->
+      Alcotest.failf "apply %s: wrong error %s" (D.describe d)
+        (E.error_to_string e)
+  | Ok _ -> Alcotest.failf "apply %s: invalid delta accepted" (D.describe d)
+
+(* The engine after a delta equals a from-scratch canonical solve of
+   the same instance, bit for bit, and the result re-certifies. *)
+let equiv_after_each_delta inst deltas =
+  let t = E.create inst in
+  List.iteri
+    (fun i d ->
+      let o = apply_ok t d in
+      let expected = E.resolve (E.instance t) in
+      if E.starts t <> expected then
+        Alcotest.failf "delta %d (%s): repair diverges from resolve" i
+          (D.describe d);
+      (match E.certify t with
+      | Ok mc ->
+          Alcotest.(check int)
+            (Printf.sprintf "delta %d maxcolor" i)
+            mc o.E.maxcolor
+      | Error _ -> Alcotest.failf "delta %d: certificate failed" i);
+      match o.E.provenance with
+      | E.Repaired { front_cells; _ } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "delta %d front within budget" i)
+            true
+            (front_cells <= E.budget t)
+      | E.Resolved -> ())
+    deltas;
+  true
+
+(* ---- qcheck: equivalence over all ten families --------------------------- *)
+
+let family_equiv f seed =
+  let inst = Gen.of_family f ~seed in
+  match Oracles.incremental_check inst (Util.deltas_of_seed ~seed inst) with
+  | Oracle.Pass -> true
+  | Oracle.Fail msg ->
+      Alcotest.failf "family %s seed %d: %s" (Gen.family_name f) seed msg
+
+let family_tests =
+  List.map
+    (fun f ->
+      Util.qtest_seed ~count:12
+        (Printf.sprintf "repair = resolve (%s)" (Gen.family_name f))
+        (family_equiv f))
+    Gen.families
+
+(* ---- unit: no-op, budget, batching, determinism --------------------------- *)
+
+let small () = Gen.small2 ~seed:31
+
+let test_zero_delta_noop () =
+  let t = E.create (small ()) in
+  let before = E.starts t and mc = E.maxcolor t in
+  let o = apply_ok t (D.Batch [||]) in
+  (match o.E.provenance with
+  | E.Repaired { front_cells = 0; waves = 0 } -> ()
+  | p ->
+      Alcotest.failf "empty batch reported %s" (E.provenance_to_string p));
+  Alcotest.(check int) "no cells changed" 0 o.E.changed_cells;
+  Alcotest.(check int) "maxcolor unchanged" mc o.E.maxcolor;
+  Alcotest.(check bool) "starts unchanged" true (E.starts t = before);
+  (* a zero-dw bump is equally a no-op *)
+  let o = apply_ok t (D.Bump { v = 0; dw = 0 }) in
+  Alcotest.(check int) "zero bump changes nothing" 0 o.E.changed_cells
+
+let test_budget_zero_always_resolves () =
+  (* any delta that dirties at least one cell must fall back *)
+  let t = E.create ~budget:0 (small ()) in
+  List.iter
+    (fun d ->
+      let o = apply_ok t d in
+      match o.E.provenance with
+      | E.Resolved -> ()
+      | E.Repaired _ ->
+          Alcotest.failf "%s repaired under budget 0" (D.describe d))
+    [
+      D.Bump { v = 0; dw = 3 };
+      D.Batch [| (1, 2); (2, 1) |];
+      D.Extend { slabs = 1; w = Array.make (D.slice_size (small ())) 1 };
+    ];
+  (* per-call override behaves the same *)
+  let t = E.create (small ()) in
+  match E.apply ~budget:0 t (D.Bump { v = 0; dw = 5 }) with
+  | Ok { E.provenance = E.Resolved; _ } -> ()
+  | Ok _ -> Alcotest.fail "per-call budget 0 repaired"
+  | Error e -> Alcotest.fail (E.error_to_string e)
+
+let test_batch_equals_sequential () =
+  let inst = Gen.small2 ~seed:77 in
+  let ops = [| (0, 4); (3, -0); (5, 2); (0, 1); (2, 3) |] in
+  let a = E.create inst and b = E.create inst in
+  ignore (apply_ok a (D.Batch ops));
+  Array.iter (fun (v, dw) -> ignore (apply_ok b (D.Bump { v; dw }))) ops;
+  Alcotest.(check bool) "same starts" true (E.starts a = E.starts b);
+  Alcotest.(check int) "same maxcolor" (E.maxcolor a) (E.maxcolor b);
+  Alcotest.(check bool) "same weights" true
+    ((E.instance a : S.t).w = (E.instance b : S.t).w)
+
+let test_repair_deterministic () =
+  let inst = Gen.of_family Gen.Heavy_tail ~seed:5 in
+  let deltas = Util.deltas_of_seed ~seed:5 inst in
+  let run () =
+    let t = E.create inst in
+    let provs =
+      List.map (fun d -> E.provenance_to_string (apply_ok t d).E.provenance)
+        deltas
+    in
+    (provs, E.starts t, E.maxcolor t)
+  in
+  let p1, s1, m1 = run () and p2, s2, m2 = run () in
+  Alcotest.(check (list string)) "same provenance trail" p1 p2;
+  Alcotest.(check bool) "same starts" true (s1 = s2);
+  Alcotest.(check int) "same maxcolor" m1 m2
+
+let test_extend_preserves_prefix () =
+  let inst = S.make2 ~x:3 ~y:4 (Array.init 12 (fun i -> (i mod 3) + 1)) in
+  let t = E.create inst in
+  let before = E.starts t in
+  let o =
+    apply_ok t (D.Extend { slabs = 2; w = Array.init 8 (fun i -> i mod 4) })
+  in
+  Alcotest.(check int) "grid grew" 20 (E.n_vertices t);
+  Alcotest.(check bool) "old cells keep their intervals" true
+    (Array.sub (E.starts t) 0 12 = before);
+  Alcotest.(check bool) "suffix certified too" true (o.E.maxcolor >= 0);
+  Alcotest.(check bool) "equals from-scratch" true
+    (E.starts t = E.resolve (E.instance t))
+
+let test_bad_deltas_rejected () =
+  let inst = small () in
+  let n = S.n_vertices inst in
+  let t = E.create inst in
+  let before = E.starts t in
+  expect_bad t (D.Bump { v = -1; dw = 1 });
+  expect_bad t (D.Bump { v = n; dw = 1 });
+  expect_bad t (D.Bump { v = 0; dw = -(S.weight inst 0) - 1 });
+  expect_bad t (D.Batch [| (0, 1); (n + 3, 1) |]);
+  expect_bad t (D.Extend { slabs = 0; w = [||] });
+  expect_bad t (D.Extend { slabs = 1; w = [| 1 |] });
+  expect_bad t (D.Extend { slabs = 1; w = Array.make (D.slice_size inst) (-1) });
+  Alcotest.(check bool) "engine unchanged after rejections" true
+    (E.starts t = before)
+
+let test_seeded_stream_equivalence_3d () =
+  let inst = Gen.small3 ~seed:4 in
+  ignore (equiv_after_each_delta inst (Util.deltas_of_seed ~seed:4 inst))
+
+let test_default_budget_floor () =
+  Alcotest.(check int) "tiny instances get the floor" 64
+    (E.default_budget (S.make2 ~x:2 ~y:2 [| 1; 1; 1; 1 |]));
+  let big = S.make2 ~x:40 ~y:40 (Array.make 1600 1) in
+  Alcotest.(check int) "large instances scale n/8" 200 (E.default_budget big)
+
+let suite =
+  family_tests
+  @ [
+      Alcotest.test_case "zero delta is a no-op" `Quick test_zero_delta_noop;
+      Alcotest.test_case "budget 0 always resolves" `Quick
+        test_budget_zero_always_resolves;
+      Alcotest.test_case "batch = one-at-a-time" `Quick
+        test_batch_equals_sequential;
+      Alcotest.test_case "repair is deterministic" `Quick
+        test_repair_deterministic;
+      Alcotest.test_case "extend preserves the prefix" `Quick
+        test_extend_preserves_prefix;
+      Alcotest.test_case "bad deltas rejected, engine intact" `Quick
+        test_bad_deltas_rejected;
+      Alcotest.test_case "3D seeded stream equivalence" `Quick
+        test_seeded_stream_equivalence_3d;
+      Alcotest.test_case "default budget" `Quick test_default_budget_floor;
+      Util.qtest ~count:20 "stream equivalence (small 2D)" Util.gen_inst2
+        (fun inst ->
+          equiv_after_each_delta inst
+            (Util.deltas_of_seed ~seed:(Gen.hash inst) inst));
+    ]

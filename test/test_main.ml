@@ -29,6 +29,7 @@ let () =
       ("resilience", Test_resilient.suite);
       ("out-of-core", Test_ooc.suite);
       ("check", Test_check.suite);
+      ("incremental", Test_incremental.suite);
       ("persist", Test_persist.suite);
       ("server", Test_server.suite);
       ("generators", Test_generators.suite);

@@ -17,6 +17,8 @@ module Net = Ivc_server.Netfaults
 module Supervise = Ivc_server.Supervise
 module Codec = Ivc_persist.Codec
 module Cert = Ivc_resilient.Cert
+module D = Ivc_incremental.Delta
+module Snapshot = Ivc_persist.Snapshot
 
 let same_inst a b =
   (a : S.t).dims = (b : S.t).dims && (a : S.t).w = (b : S.t).w
@@ -77,6 +79,24 @@ let test_request_roundtrips () =
              improve = false;
              use_cache = false;
            };
+       });
+  (* v3 delta requests: every delta shape, with and without a budget *)
+  roundtrip_request
+    (Proto.Delta
+       { fp = 0x1234_abcdL; delta = D.Bump { v = 3; dw = -2 }; budget = Some 50 });
+  roundtrip_request
+    (Proto.Delta
+       {
+         fp = Int64.min_int;
+         delta = D.Batch [| (0, 2); (7, -1); (0, 3) |];
+         budget = None;
+       });
+  roundtrip_request
+    (Proto.Delta
+       {
+         fp = -1L;
+         delta = D.Extend { slabs = 2; w = [| 1; 0; 3; 2; 2; 0 |] };
+         budget = None;
        })
 
 let roundtrip_response resp =
@@ -114,6 +134,7 @@ let test_response_roundtrips () =
     [
       Proto.Bad_frame; Proto.Bad_version; Proto.Bad_request;
       Proto.Cert_failed; Proto.Internal; Proto.Conn_timeout;
+      Proto.Unknown_fingerprint;
     ];
   roundtrip_response (Proto.Stats_reply { json = {|{"server":{}}|} });
   roundtrip_response Proto.Shutting_down;
@@ -322,6 +343,103 @@ let test_e2e_solve_and_cache () =
     solve_ok addr ~opts:{ fast_opts with Proto.use_cache = false } small_inst
   in
   Alcotest.(check bool) "no-cache bypasses the cache" false s3.Proto.cache_hit
+
+(* ---- incremental repair over the wire --------------------------------- *)
+
+let delta_ok c ?budget ~fp d =
+  match Client.delta c ?budget ~fp d with
+  | Ok (Proto.Solution s) -> s
+  | Ok (Proto.Error { code; message }) ->
+      Alcotest.failf "delta answered %s: %s"
+        (Proto.error_code_to_string code)
+        message
+  | Ok _ -> Alcotest.fail "expected a solution to the delta"
+  | Error e -> Alcotest.failf "delta failed: %s" (Client.error_to_string e)
+
+let apply_mirror inst d =
+  match D.apply_pure inst d with
+  | Ok inst' -> inst'
+  | Error m -> Alcotest.failf "mirror apply: %s" m
+
+(* Solve once, then chain deltas off the solve's fingerprint. Every
+   reply is verified against a client-side mirror: the instance after
+   [apply_pure] and the chain key after [chain_fp] — the server never
+   gets to claim a repair the client cannot re-certify. *)
+let test_e2e_delta_repair () =
+  with_server @@ fun addr ->
+  ignore (solve_ok addr ~opts:fast_opts small_inst);
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let step (inst, fp) d =
+    let s = delta_ok c ~fp d in
+    let inst' = apply_mirror inst d in
+    let fp' = D.chain_fp fp d in
+    (match Client.verify_delta ~expect_fp:fp' inst' s with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "delta reply failed verification: %s"
+          (Client.error_to_string e));
+    Alcotest.(check bool) "delta answers from repair state" true
+      s.Proto.cache_hit;
+    Alcotest.(check int) "starts cover the drifted instance"
+      (S.n_vertices inst') (Array.length s.Proto.starts);
+    (inst', fp')
+  in
+  let inst, fp =
+    List.fold_left step
+      (small_inst, Snapshot.fingerprint small_inst)
+      [
+        D.Bump { v = 0; dw = 2 };
+        D.Batch [| (5, 3); (9, 1); (5, -2) |];
+        D.Extend { slabs = 1; w = Array.make 8 1 };
+        D.Bump { v = 70; dw = 4 };
+      ]
+  in
+  (* budget 0 forbids repair: the server falls back to the full sweep
+     and says so in the provenance — still certified, same chain *)
+  let d = D.Bump { v = 1; dw = 1 } in
+  let s = delta_ok c ~budget:0 ~fp d in
+  Alcotest.(check string) "budget 0 answers by full resolve" "resolved"
+    s.Proto.provenance;
+  (match Client.verify_delta ~expect_fp:(D.chain_fp fp d) (apply_mirror inst d) s with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "resolved reply failed verification: %s"
+        (Client.error_to_string e));
+  (* the spent key is gone: replaying the original delta chain head
+     must now miss — the chain advanced past it *)
+  match Client.delta c ~fp:(Snapshot.fingerprint small_inst) d with
+  | Ok (Proto.Error { code = Proto.Unknown_fingerprint; _ }) -> ()
+  | Ok _ -> Alcotest.fail "a spent chain key must answer unknown"
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
+
+let test_e2e_delta_unknown_and_bad () =
+  with_server @@ fun addr ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* no solve yet: any fingerprint is unknown *)
+  (match Client.delta c ~fp:0x5eedL (D.Bump { v = 0; dw = 1 }) with
+  | Ok (Proto.Error { code = Proto.Unknown_fingerprint; _ }) -> ()
+  | Ok _ -> Alcotest.fail "unsolved fingerprint must be unknown"
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
+  ignore (solve_ok addr ~opts:fast_opts small_inst);
+  let fp = Snapshot.fingerprint small_inst in
+  (* a malformed delta against live repair state is typed Bad_request
+     and must not advance or poison the chain *)
+  (match Client.delta c ~fp (D.Bump { v = 100_000; dw = 1 }) with
+  | Ok (Proto.Error { code = Proto.Bad_request; _ }) -> ()
+  | Ok _ -> Alcotest.fail "out-of-range vertex must be Bad_request"
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
+  let d = D.Bump { v = 0; dw = 1 } in
+  let s = delta_ok c ~fp d in
+  match
+    Client.verify_delta ~expect_fp:(D.chain_fp fp d)
+      (apply_mirror small_inst d) s
+  with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "chain did not survive the rejected delta: %s"
+        (Client.error_to_string e)
 
 let test_e2e_ping_and_stats () =
   with_server @@ fun addr ->
@@ -916,6 +1034,10 @@ let suite =
       test_frame_oversized_stays_in_sync;
     Alcotest.test_case "e2e: solve, certify, cache" `Quick
       test_e2e_solve_and_cache;
+    Alcotest.test_case "e2e: delta chain repairs and verifies" `Quick
+      test_e2e_delta_repair;
+    Alcotest.test_case "e2e: unknown fingerprints and bad deltas are typed"
+      `Quick test_e2e_delta_unknown_and_bad;
     Alcotest.test_case "e2e: ping and stats" `Quick test_e2e_ping_and_stats;
     Alcotest.test_case "e2e: oversize admission shed" `Quick
       test_e2e_too_large;

@@ -1,7 +1,10 @@
 module K = Stkde.Kernel
 module App = Stkde.App
+module Stream = Stkde.Stream
 module P = Spatial_data.Points
 module S = Ivc_grid.Stencil
+module D = Ivc_incremental.Delta
+module E = Ivc_incremental.Engine
 
 let test_kernel_shape () =
   Alcotest.(check (float 1e-9)) "peak" 0.75 (K.epanechnikov 0.0);
@@ -93,6 +96,74 @@ let test_simulation_correlates_with_colors () =
     Alcotest.(check bool) "worse coloring never strictly faster" true
       (span_of worst_colors >= span_of best_colors)
 
+(* ---- streaming ------------------------------------------------------- *)
+
+let step_ok st ~counts =
+  match Stream.step st ~counts with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "stream step: %s" (E.error_to_string e)
+
+let test_stream_window_slide () =
+  let cfg = small_config () in
+  let st = Stream.of_config cfg in
+  let t0 = cfg.App.cloud.P.t0 and t1 = cfg.App.cloud.P.t1 in
+  let span = t1 -. t0 in
+  (* slide a half-span window across the cloud in quarter-span hops *)
+  List.iter
+    (fun lo ->
+      let counts =
+        Stream.window_counts cfg ~t0:(t0 +. (lo *. span))
+          ~t1:(t0 +. ((lo +. 0.5) *. span))
+      in
+      ignore (step_ok st ~counts);
+      (* every step leaves a certified canonical coloring *)
+      Util.check_valid (Stream.instance st) (Stream.starts st);
+      Alcotest.(check bool) "starts are canonical" true
+        (Stream.starts st = E.resolve (Stream.instance st)))
+    [ 0.0; 0.25; 0.5 ];
+  let s = Stream.stats st in
+  Alcotest.(check int) "three steps" 3 s.Stream.steps;
+  Alcotest.(check int) "every step accounted" 3
+    (s.Stream.repaired + s.Stream.resolved)
+
+let test_stream_no_drift_noop () =
+  let cfg = small_config () in
+  let st = Stream.of_config cfg in
+  let before = Stream.starts st in
+  let counts = Array.copy (Stream.instance st : S.t).w in
+  let o = step_ok st ~counts in
+  Alcotest.(check int) "nothing changed" 0 o.E.changed_cells;
+  Alcotest.(check bool) "starts unchanged" true (Stream.starts st = before);
+  match Stream.step st ~counts:[| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch must be rejected"
+
+(* Seeded drift property: the replay key for a failure is the one
+   printed seed — the stream is Gen.delta_stream on the seed's
+   instance, truncated at the first Extend (drift never resizes). *)
+let stream_drift_equiv seed =
+  let inst = Ivc_check.Gen.small3 ~seed in
+  let st = Stream.of_instance inst in
+  let rec go = function
+    | [] -> ()
+    | D.Extend _ :: _ -> ()
+    | d :: tl ->
+        let ops =
+          match d with
+          | D.Bump { v; dw } -> [| (v, dw) |]
+          | D.Batch ops -> ops
+          | D.Extend _ -> assert false
+        in
+        (match Stream.drift st ops with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "seed %d: drift: %s" seed (E.error_to_string e));
+        go tl
+  in
+  go (Util.deltas_of_seed ~seed inst);
+  Util.check_valid (Stream.instance st) (Stream.starts st);
+  Stream.starts st = E.resolve (Stream.instance st)
+
 let test_max_diff () =
   Alcotest.(check (float 0.)) "identical" 0.0 (App.max_diff [| 1.0 |] [| 1.0 |]);
   Alcotest.(check (float 1e-12)) "difference" 0.5 (App.max_diff [| 1.0 |] [| 1.5 |]);
@@ -110,4 +181,9 @@ let suite =
     Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
     Alcotest.test_case "colors vs simulated runtime" `Quick test_simulation_correlates_with_colors;
     Alcotest.test_case "max_diff" `Quick test_max_diff;
+    Alcotest.test_case "stream: sliding window" `Quick test_stream_window_slide;
+    Alcotest.test_case "stream: no drift is a no-op" `Quick
+      test_stream_no_drift_noop;
+    Util.qtest_seed ~count:30 "stream drift = from-scratch resolve"
+      stream_drift_equiv;
   ]

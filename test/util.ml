@@ -28,6 +28,21 @@ let gen_inst2 =
 let gen_inst3 =
   QCheck2.Gen.(int_range 0 1_000_000 >|= fun seed -> Ivc_check.Gen.small3 ~seed)
 
+(* Seeded delta streams for the incremental and streaming tests,
+   drawn from the fuzzer's generator instead of ad-hoc weight
+   mutation: a failing qcheck case prints the one seed that replays
+   the exact stream through Ivc_check.Gen.delta_stream. *)
+let deltas_of_seed ?length ~seed inst =
+  Ivc_check.Gen.delta_stream ?length ~seed inst
+
+let gen_seed = QCheck2.Gen.int_range 0 1_000_000
+
+let qtest_seed ?(count = 100) name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count
+       ~print:(Printf.sprintf "delta seed %d")
+       gen_seed f)
+
 (* Worker counts for Domain-spawning tests. The CI container may have
    a single CPU; requesting many domains there just adds scheduler
    noise and timing flakiness. Honor IVC_TEST_WORKERS when set,
