@@ -32,8 +32,8 @@ let validate_ops inst ops =
            err :=
              Some
                (Printf.sprintf
-                  "delta: bump %+d on cell %d drives weight %d negative" dw v
-                  cur);
+                  "delta: bump %+d on cell %d drives weight %d to %d" dw v cur
+                  nw);
            raise Exit
          end;
          Hashtbl.replace adj v nw)
@@ -46,8 +46,22 @@ let validate inst d =
   | Bump { v; dw } -> validate_ops inst [| (v, dw) |]
   | Batch ops -> validate_ops inst ops
   | Extend { slabs; w } ->
+      let n = Stencil.n_vertices inst in
       let slice = slice_size inst in
+      (* Guard the products before computing them: a wire-supplied slab
+         count near 2^62 makes [slabs * slice] (and Stencil.make2's own
+         [x * y] check) wrap mod 2^63, so a wrapped length comparison
+         would accept an instance whose dims disagree with its weight
+         array and repair would index past the starts array. *)
+      let max_slabs = (Sys.max_array_length - n) / slice in
       if slabs < 1 then Error "delta: extend needs at least one slab"
+      else if slabs > max_slabs then
+        Error
+          (Printf.sprintf
+             "delta: extend of %d slabs overflows the instance (at most %d \
+              more slab%s fit)"
+             slabs max_slabs
+             (if max_slabs = 1 then "" else "s"))
       else if Array.length w <> slabs * slice then
         Error
           (Printf.sprintf "delta: extend payload has %d weights, expected %d"

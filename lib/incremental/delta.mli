@@ -29,7 +29,11 @@ val slice_size : Ivc_grid.Stencil.t -> int
     no weight driven negative (batches are checked left to right, so
     transient re-bumps of one cell are validated in application
     order), extension payload of the right length with non-negative
-    weights. *)
+    weights. Extensions that would grow the instance past
+    [Sys.max_array_length] cells are rejected {e before} any size
+    arithmetic, so a wire-supplied slab count can never wrap the
+    length check (or the resulting instance's own dimension checks)
+    mod 2^63. *)
 val validate : Ivc_grid.Stencil.t -> t -> (unit, string) result
 
 (** [apply_pure inst d] is the instance after the delta, built from

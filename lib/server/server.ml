@@ -108,8 +108,11 @@ let brownout_of cfg ~occupancy : Proto.degrade option =
    sweep), and serializing them is what keeps two connections from
    racing the same engine. Eviction is FIFO over seed insertions;
    re-keying leaves the stale key in the queue, which eviction simply
-   skips (Engine state is one instance's worth of arrays, so the cap
-   is a memory bound, not a hot path). *)
+   skips and a periodic compaction drains (Engine state is one
+   instance's worth of arrays, so the cap is a memory bound, not a hot
+   path). Both critical sections unlock via Fun.protect: a surprise
+   exception out of the engine must cost one reply, not wedge the
+   table mutex — and with it every future delta and solve — forever. *)
 
 module Repair = struct
   module Engine = Ivc_incremental.Engine
@@ -144,22 +147,48 @@ module Repair = struct
       end
     done
 
+  (* Every successful apply pushes the advanced key and strands the old
+     one in the queue, so under sustained delta traffic the queue grows
+     even when the table does not. Once it outgrows the live table by a
+     capacity's worth of slack, rebuild it keeping only live, first-seen
+     keys (order preserved, so eviction stays oldest-first). Each
+     compaction drops at least [capacity] nodes, so the cost is O(1)
+     amortized per apply and the queue is bounded by
+     [table + capacity + 1] nodes. *)
+  let compact_fifo t =
+    if Queue.length t.fifo > Hashtbl.length t.table + t.capacity then begin
+      let seen = Hashtbl.create (Hashtbl.length t.table) in
+      let live = Queue.create () in
+      Queue.iter
+        (fun k ->
+          if Hashtbl.mem t.table k && not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            Queue.push k live
+          end)
+        t.fifo;
+      Queue.clear t.fifo;
+      Queue.transfer live t.fifo
+    end
+
   (* Seed repair state for a freshly solved instance. Idempotent per
-     fingerprint; [Cert.Rejected] (a kernel bug surfacing during the
-     engine's own canonical solve) is swallowed — serving must not die
-     because repair state could not be built. *)
+     fingerprint; any exception out of [Engine.create] — concretely
+     [Cert.Rejected], a kernel bug surfacing during the engine's own
+     canonical solve — is swallowed: serving must not die because
+     repair state could not be built. *)
   let seed t ~fp inst =
     if t.capacity > 0 then begin
       Mutex.lock t.mutex;
-      (if not (Hashtbl.mem t.table fp) then
-         match Engine.create inst with
-         | engine ->
-             evict_to_capacity t;
-             Hashtbl.replace t.table fp engine;
-             Queue.push fp t.fifo;
-             Obs.Counter.incr c_repair_seeded
-         | exception Cert.Rejected _ -> ());
-      Mutex.unlock t.mutex
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.mutex)
+        (fun () ->
+          if not (Hashtbl.mem t.table fp) then
+            match Engine.create inst with
+            | engine ->
+                evict_to_capacity t;
+                Hashtbl.replace t.table fp engine;
+                Queue.push fp t.fifo;
+                Obs.Counter.incr c_repair_seeded
+            | exception _ -> ())
     end
 
   (* Apply one delta to the engine at [fp], re-keying the entry to the
@@ -167,27 +196,32 @@ module Repair = struct
      lock so concurrent deltas against one engine serialize. *)
   let apply t ~fp ?budget delta =
     Mutex.lock t.mutex;
-    let r =
-      match Hashtbl.find_opt t.table fp with
-      | None -> `Unknown
-      | Some engine -> (
-          match Engine.apply ?budget engine delta with
-          | Ok outcome ->
-              let fp' = Ivc_incremental.Delta.chain_fp fp delta in
-              Hashtbl.remove t.table fp;
-              Hashtbl.replace t.table fp' engine;
-              Queue.push fp' t.fifo;
-              `Applied (outcome, fp', Engine.starts engine)
-          | Error (Engine.Bad_delta _ as e) ->
-              (* engine untouched, entry stays *)
-              `Failed e
-          | Error (Engine.Cert_failed _ as e) ->
-              (* untrusted state: drop the entry entirely *)
-              Hashtbl.remove t.table fp;
-              `Failed e)
-    in
-    Mutex.unlock t.mutex;
-    r
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        match Hashtbl.find_opt t.table fp with
+        | None -> `Unknown
+        | Some engine -> (
+            match Engine.apply ?budget engine delta with
+            | Ok outcome ->
+                let fp' = Ivc_incremental.Delta.chain_fp fp delta in
+                Hashtbl.remove t.table fp;
+                Hashtbl.replace t.table fp' engine;
+                Queue.push fp' t.fifo;
+                compact_fifo t;
+                `Applied (outcome, fp', Engine.starts engine)
+            | Error (Engine.Bad_delta _ as e) ->
+                (* engine untouched, entry stays *)
+                `Failed e
+            | Error (Engine.Cert_failed _ as e) ->
+                (* untrusted state: drop the entry entirely *)
+                Hashtbl.remove t.table fp;
+                `Failed e
+            | exception e ->
+                (* the engine died mid-apply, its state is unknown:
+                   drop the entry and report, rather than propagate *)
+                Hashtbl.remove t.table fp;
+                `Crashed (Printexc.to_string e)))
 end
 
 type conn = { fd : Unix.file_descr; mutable closed : bool }
@@ -462,6 +496,9 @@ let handle_delta srv ~fp ?budget delta =
   | `Failed (Ivc_incremental.Engine.Cert_failed e) ->
       Obs.Counter.incr c_cert_failures;
       Proto.Error { code = Proto.Cert_failed; message = Cert.to_string e }
+  | `Crashed message ->
+      Obs.Counter.incr c_internal;
+      Proto.Error { code = Proto.Internal; message }
   | `Applied (outcome, fp', starts) ->
       (match outcome.Ivc_incremental.Engine.provenance with
       | Ivc_incremental.Engine.Repaired _ -> Obs.Counter.incr c_delta_repaired
@@ -477,7 +514,9 @@ let handle_delta srv ~fp ?budget delta =
               outcome.Ivc_incremental.Engine.provenance;
           proven_optimal = false;
           elapsed_s = Obs.elapsed_s ~since:t0;
-          cache_hit = true;
+          (* repaired incrementally, not served from the solution
+             cache: provenance carries the repair story *)
+          cache_hit = false;
           resumed = false;
           degraded = None;
           fingerprint = fp';

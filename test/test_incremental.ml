@@ -166,6 +166,23 @@ let test_bad_deltas_rejected () =
   Alcotest.(check bool) "engine unchanged after rejections" true
     (E.starts t = before)
 
+(* A wire-supplied slab count near 2^62 must be rejected outright:
+   with slice 8, (2^60 + 1) * 8 wraps mod 2^63 to exactly 8, so an
+   8-weight payload would pass an unguarded length check and build an
+   instance whose dims disagree with its weight array. *)
+let test_extend_overflow_rejected () =
+  let inst = S.make2 ~x:2 ~y:8 (Array.make 16 1) in
+  let t = E.create inst in
+  let before = E.starts t in
+  expect_bad t (D.Extend { slabs = (1 lsl 60) + 1; w = Array.make 8 1 });
+  expect_bad t (D.Extend { slabs = max_int; w = [||] });
+  expect_bad t (D.Extend { slabs = Sys.max_array_length; w = Array.make 8 1 });
+  (match D.apply_pure inst (D.Extend { slabs = (1 lsl 60) + 1; w = Array.make 8 1 }) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "apply_pure accepted a wrapping extend");
+  Alcotest.(check bool) "engine unchanged after overflow rejections" true
+    (E.starts t = before)
+
 let test_seeded_stream_equivalence_3d () =
   let inst = Gen.small3 ~seed:4 in
   ignore (equiv_after_each_delta inst (Util.deltas_of_seed ~seed:4 inst))
@@ -190,6 +207,8 @@ let suite =
         test_extend_preserves_prefix;
       Alcotest.test_case "bad deltas rejected, engine intact" `Quick
         test_bad_deltas_rejected;
+      Alcotest.test_case "overflowing extends rejected" `Quick
+        test_extend_overflow_rejected;
       Alcotest.test_case "3D seeded stream equivalence" `Quick
         test_seeded_stream_equivalence_3d;
       Alcotest.test_case "default budget" `Quick test_default_budget_floor;

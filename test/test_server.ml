@@ -283,7 +283,7 @@ let test_frame_oversized_stays_in_sync () =
 
 let with_server ?(workers = 1) ?(queue_capacity = 8) ?(cache_capacity = 8)
     ?max_vertices ?max_frame ?idle_timeout_s ?io_timeout_s ?brownout_low
-    ?brownout_high f =
+    ?brownout_high ?repair_capacity f =
   let path = Filename.temp_file "ivc_test" ".sock" in
   let addr = Server.Unix_sock path in
   let base = Server.default_config addr in
@@ -300,6 +300,7 @@ let with_server ?(workers = 1) ?(queue_capacity = 8) ?(cache_capacity = 8)
       io_timeout_s = dflt io_timeout_s base.Server.io_timeout_s;
       brownout_low = dflt brownout_low base.Server.brownout_low;
       brownout_high = dflt brownout_high base.Server.brownout_high;
+      repair_capacity = dflt repair_capacity base.Server.repair_capacity;
     }
   in
   let srv = Server.start cfg in
@@ -379,7 +380,7 @@ let test_e2e_delta_repair () =
     | Error e ->
         Alcotest.failf "delta reply failed verification: %s"
           (Client.error_to_string e));
-    Alcotest.(check bool) "delta answers from repair state" true
+    Alcotest.(check bool) "delta replies are repairs, not cache hits" false
       s.Proto.cache_hit;
     Alcotest.(check int) "starts cover the drifted instance"
       (S.n_vertices inst') (Array.length s.Proto.starts);
@@ -430,6 +431,16 @@ let test_e2e_delta_unknown_and_bad () =
   | Ok (Proto.Error { code = Proto.Bad_request; _ }) -> ()
   | Ok _ -> Alcotest.fail "out-of-range vertex must be Bad_request"
   | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
+  (* a wire-supplied slab count whose product wraps mod 2^63 to a
+     plausible payload length ((2^60 + 1) * 8 = 8 with slice 8) must be
+     a typed rejection, not a crash that wedges the repair table *)
+  (match
+     Client.delta c ~fp
+       (D.Extend { slabs = (1 lsl 60) + 1; w = Array.make 8 1 })
+   with
+  | Ok (Proto.Error { code = Proto.Bad_request; _ }) -> ()
+  | Ok _ -> Alcotest.fail "overflowing extend must be Bad_request"
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e));
   let d = D.Bump { v = 0; dw = 1 } in
   let s = delta_ok c ~fp d in
   match
@@ -440,6 +451,45 @@ let test_e2e_delta_unknown_and_bad () =
   | Error e ->
       Alcotest.failf "chain did not survive the rejected delta: %s"
         (Client.error_to_string e)
+
+(* A long delta chain against a capacity-1 repair table: every apply
+   strands its predecessor key in the eviction FIFO, so this is the
+   workload that used to grow the queue one node per delta forever.
+   The chain must keep answering, and afterwards the stats must show a
+   table that never outgrew its capacity. *)
+let test_e2e_delta_fifo_bounded () =
+  with_server ~repair_capacity:1 @@ fun addr ->
+  ignore (solve_ok addr ~opts:fast_opts small_inst);
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let inst = ref small_inst and fp = ref (Snapshot.fingerprint small_inst) in
+  for i = 1 to 50 do
+    let d = D.Bump { v = i mod S.n_vertices small_inst; dw = 1 } in
+    let s = delta_ok c ~fp:!fp d in
+    let inst' = apply_mirror !inst d in
+    let fp' = D.chain_fp !fp d in
+    (match Client.verify_delta ~expect_fp:fp' inst' s with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "delta %d failed verification: %s" i
+          (Client.error_to_string e));
+    Alcotest.(check bool) "delta replies are not cache hits" false
+      s.Proto.cache_hit;
+    inst := inst';
+    fp := fp'
+  done;
+  match Client.stats c with
+  | Error e -> Alcotest.failf "stats failed: %s" (Client.error_to_string e)
+  | Ok json ->
+      let has needle =
+        let n = String.length needle and m = String.length json in
+        let rec at i =
+          i + n <= m && (String.sub json i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) "repair table stayed within capacity" true
+        (has {|"repair":{"size":1,"capacity":1}|})
 
 let test_e2e_ping_and_stats () =
   with_server @@ fun addr ->
@@ -1038,6 +1088,8 @@ let suite =
       test_e2e_delta_repair;
     Alcotest.test_case "e2e: unknown fingerprints and bad deltas are typed"
       `Quick test_e2e_delta_unknown_and_bad;
+    Alcotest.test_case "e2e: long delta chain keeps the repair FIFO bounded"
+      `Quick test_e2e_delta_fifo_bounded;
     Alcotest.test_case "e2e: ping and stats" `Quick test_e2e_ping_and_stats;
     Alcotest.test_case "e2e: oversize admission shed" `Quick
       test_e2e_too_large;
