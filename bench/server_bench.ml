@@ -58,7 +58,11 @@ let summary () =
       (Server.default_config (Server.Unix_sock path)) with
       Server.workers = 2;
       queue_capacity = 16;
-      cache_capacity = 16;
+      (* smaller than the burst's 9 distinct instances, so both the
+         solution cache and the repair table must evict — the burst
+         asserts those counters below *)
+      cache_capacity = 4;
+      repair_capacity = 4;
     }
   in
   let srv = Server.start cfg in
@@ -114,6 +118,53 @@ let summary () =
     Format.printf "bench json: %d server burst requests errored@." !errors;
     exit 1
   end;
+  (* the eviction/compaction counters must be live in the stats
+     document: 9 distinct instances through capacity-4 tables *)
+  let stat_int path =
+    let doc =
+      match Client.connect (Server.Unix_sock path) with
+      | Error e ->
+          Format.printf "bench json: stats connect failed: %s@."
+            (Client.error_to_string e);
+          exit 1
+      | Ok c -> (
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          match Client.stats c with
+          | Ok json -> Json.parse json
+          | Error e ->
+              Format.printf "bench json: stats failed: %s@."
+                (Client.error_to_string e);
+              exit 1)
+    in
+    fun keys ->
+      let rec dig v = function
+        | [] -> Json.to_float v
+        | k :: rest -> (
+            match Json.member k v with
+            | Some v -> dig v rest
+            | None ->
+                Format.printf "bench json: stats missing %s@."
+                  (String.concat "." keys);
+                exit 1)
+      in
+      int_of_float (dig doc ("server" :: keys))
+  in
+  let stat = stat_int path in
+  let cache_evictions = stat [ "cache"; "evictions" ] in
+  let repair_evictions = stat [ "repair"; "evictions" ] in
+  let repair_compactions = stat [ "repair"; "compactions" ] in
+  if cache_evictions <= 0 then begin
+    Format.printf "bench json: cache never evicted under pressure@.";
+    exit 1
+  end;
+  if repair_evictions <= 0 then begin
+    Format.printf "bench json: repair table never evicted under pressure@.";
+    exit 1
+  end;
+  if repair_compactions < 0 then begin
+    Format.printf "bench json: negative repair compaction count@.";
+    exit 1
+  end;
   let hit_rate =
     if !solved = 0 then 0.0
     else Float.of_int !cache_hits /. Float.of_int !solved
@@ -129,6 +180,9 @@ let summary () =
       ("sheds", Json.Num (Float.of_int !sheds));
       ("p50_ms", Json.Num (percentile !latencies 0.50));
       ("p95_ms", Json.Num (percentile !latencies 0.95));
+      ("cache_evictions", Json.Num (Float.of_int cache_evictions));
+      ("repair_evictions", Json.Num (Float.of_int repair_evictions));
+      ("repair_compactions", Json.Num (Float.of_int repair_compactions));
     ]
 
 (* ---- chaos block ------------------------------------------------------ *)

@@ -865,7 +865,8 @@ let print_response i = function
         (Proto.error_code_to_string code)
         message
   | Proto.Pong _ | Proto.Stats_reply _ | Proto.Shutting_down
-  | Proto.Health_reply _ ->
+  | Proto.Health_reply _ | Proto.Op _ | Proto.Repl_heartbeat _
+  | Proto.Promoted _ ->
       Format.printf "response %d: unexpected@." i
 
 let client_solve_cmd =
@@ -970,13 +971,19 @@ let client_health_cmd =
     let print (h : Proto.health) =
       Format.printf
         "health: ready=%b draining=%b queue=%d running=%d connections=%d \
-         brownout=%s uptime=%.1fs@."
+         brownout=%s uptime=%.1fs role=%s applied=%d lag=%d last_scrub=%s \
+         quarantined=%d@."
         h.Proto.ready h.Proto.draining h.Proto.queue_depth h.Proto.running
         h.Proto.connections
         (match h.Proto.brownout with
         | None -> "none"
         | Some d -> Proto.degrade_to_string d)
         h.Proto.uptime_s
+        (Proto.role_to_string h.Proto.role)
+        h.Proto.applied_seq h.Proto.replication_lag
+        (if h.Proto.last_scrub_s < 0.0 then "never"
+         else Printf.sprintf "%.1fs" h.Proto.last_scrub_s)
+        h.Proto.quarantined
     in
     match wait with
     | None -> (
@@ -1050,6 +1057,44 @@ let client_shutdown_cmd =
   Cmd.v (Cmd.info "shutdown" ~doc:"Gracefully stop a running daemon")
     Term.(const run $ sock_t $ tcp_t)
 
+let client_promote_cmd =
+  let run socket tcp =
+    let c = connect_or_die (addr_of socket tcp) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.promote ~timeout_s:10.0 c with
+    | Ok applied_seq -> Format.printf "promoted (applied_seq=%d)@." applied_seq
+    | Error e ->
+        Format.eprintf "promote failed: %s@." (Client.error_to_string e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Promote a warm standby to primary (it starts serving)")
+    Term.(const run $ sock_t $ tcp_t)
+
+(* Repeated --endpoint flags turn a burst into a failover client:
+   every request walks the ordered list (primary first), riding out
+   dead endpoints, Not_primary refusals and the promotion window. *)
+let endpoints_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "endpoint" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Failover endpoint (unix:PATH, HOST:PORT, or a bare socket path; \
+           repeatable, tried in order). Overrides --socket/--tcp and \
+           implies verified, retried requests.")
+
+let endpoints_of_strings = function
+  | [] -> None
+  | l ->
+      Some
+        (List.map
+           (fun s ->
+             match Client.addr_of_string s with
+             | Ok a -> a
+             | Error m -> failwith ("--endpoint: " ^ m))
+           l)
+
 (* Concurrent burst: [total] requests spread over [concurrency]
    connections (one thread per connection, one request in flight
    each). Instance [i] is deterministic from (seed, i); [repeat_every]
@@ -1082,8 +1127,9 @@ let client_burst_cmd =
       value & flag & info [ "mix-3d" ] ~doc:"Alternate 2D and 3D instances.")
   in
   let run socket tcp x y z seed bound deadline priority no_cache budget
-      no_improve total concurrency repeat_every mix3d retries =
+      no_improve total concurrency repeat_every mix3d retries endpoints =
     let addr = addr_of socket tcp in
+    let eps = endpoints_of_strings endpoints in
     let opts =
       {
         Proto.deadline_s = deadline;
@@ -1106,7 +1152,7 @@ let client_burst_cmd =
     let next = ref 0 in
     let solutions = ref 0 and certified = ref 0 and cache_hits = ref 0 in
     let shed_full = ref 0 and shed_large = ref 0 and shed_expired = ref 0 in
-    let errors = ref 0 and degraded = ref 0 in
+    let errors = ref 0 and degraded = ref 0 and failovers = ref 0 in
     let latencies = ref [] in
     let note f =
       Mutex.lock lock;
@@ -1145,6 +1191,30 @@ let client_burst_cmd =
        connection (the chaos path); without, one connection per worker
        serves its whole share (the fast path). *)
     let worker widx () =
+      match eps with
+      | Some endpoints ->
+          (* failover path: walk the endpoint list per request, with
+             enough rounds to ride out a kill + promote in between *)
+          let rounds = if retries > 0 then retries else 8 in
+          let retry =
+            retry_of ~retries:rounds ~seed:(seed + (7919 * widx)) ~deadline
+          in
+          let rec go () =
+            let i = take () in
+            if i < total then begin
+              let inst = inst_of i in
+              let t0 = Ivc_obs.now_ns () in
+              (match Client.solve_failover ~retry ~endpoints ~opts inst with
+              | Ok (r, f) ->
+                  if f.Client.failed_over then
+                    note (fun () -> incr failovers);
+                  record inst t0 (Ok r)
+              | Error e -> record inst t0 (Error e));
+              go ()
+            end
+          in
+          go ()
+      | None ->
       if retries > 0 then begin
         let retry = retry_of ~retries ~seed:(seed + (7919 * widx)) ~deadline in
         let rec go () =
@@ -1190,9 +1260,10 @@ let client_burst_cmd =
     Format.printf
       "burst: total=%d solved=%d certified=%d cache_hits=%d sheds=%d \
        (queue-full=%d too-large=%d expired=%d) degraded=%d errors=%d \
-       p50=%.1fms p95=%.1fms@."
+       failovers=%d p50=%.1fms p95=%.1fms@."
       total !solutions !certified !cache_hits sheds !shed_full !shed_large
-      !shed_expired !degraded !errors (percentile 0.50) (percentile 0.95);
+      !shed_expired !degraded !errors !failovers (percentile 0.50)
+      (percentile 0.95);
     if !errors > 0 || !certified <> !solutions then exit 1
   in
   Cmd.v
@@ -1201,7 +1272,7 @@ let client_burst_cmd =
     Term.(
       const run $ sock_t $ tcp_t $ x_t $ y_t $ z_t $ seed_t $ bound_t
       $ deadline_t $ priority_t $ no_cache_t $ req_budget_t $ no_improve_t
-      $ total_t $ conc_t $ repeat_every_t $ mix3d_t $ retries_t)
+      $ total_t $ conc_t $ repeat_every_t $ mix3d_t $ retries_t $ endpoints_t)
 
 (* Exercise the v3 incremental-repair path end to end: solve once so
    the daemon holds repair state for the instance, then walk a seeded
@@ -1235,7 +1306,7 @@ let client_delta_cmd =
              full-sweep fallback on every delta.")
   in
   let run inst socket tcp deadline priority no_cache budget no_improve count
-      dseed rbudget =
+      dseed rbudget retries =
     let addr = addr_of socket tcp in
     let opts =
       {
@@ -1263,8 +1334,44 @@ let client_delta_cmd =
     let latencies = ref [] in
     let mirror = ref inst in
     let fp = ref (Ivc_persist.Snapshot.fingerprint inst) in
+    let retry = retry_of ~retries ~seed:dseed ~deadline in
+    let verified_delta i d =
+      (* the fault-tolerant path: reconnect-per-attempt with the same
+         jittered schedule as solve --retries, plus the landed-or-not
+         probe after an ambiguous failure. The response fingerprint is
+         the authoritative next chain key — when the probe fired, the
+         chain advanced one extra no-op past our local chain_fp. *)
+      match D.apply_pure !mirror d with
+      | Error m ->
+          Format.eprintf "request %d: client mirror rejected: %s@." i m;
+          incr failures
+      | Ok inst' -> (
+          let t0 = Ivc_obs.now_ns () in
+          match
+            Client.delta_verified ~retry ~addr ?budget:rbudget ~fp:!fp
+              ~mirror:inst' d
+          with
+          | Ok (Proto.Solution s) ->
+              latencies := Ivc_obs.elapsed_s ~since:t0 :: !latencies;
+              mirror := inst';
+              fp := s.Proto.fingerprint;
+              if
+                String.length s.Proto.provenance >= 8
+                && String.sub s.Proto.provenance 0 8 = "repaired"
+              then incr repaired
+              else incr resolved
+          | Ok r ->
+              print_response i r;
+              incr failures
+          | Error e ->
+              Format.eprintf "request %d failed: %s@." i
+                (Client.error_to_string e);
+              incr failures)
+    in
     List.iteri
       (fun i d ->
+        if retries > 0 then verified_delta i d
+        else
         let t0 = Ivc_obs.now_ns () in
         match Client.delta c ?budget:rbudget ~fp:!fp d with
         | Ok (Proto.Solution s) -> (
@@ -1322,7 +1429,7 @@ let client_delta_cmd =
     Term.(
       const run $ instance_t $ sock_t $ tcp_t $ deadline_t $ priority_t
       $ no_cache_t $ req_budget_t $ no_improve_t $ count_t $ delta_seed_t
-      $ repair_budget_t)
+      $ repair_budget_t $ retries_t)
 
 (* Stand-alone netfault proxy, the CLI face of Ivc_server.Netfaults:
    CI boots the daemon behind it and fires a verified burst through
@@ -1395,6 +1502,7 @@ let client_cmd =
       client_health_cmd;
       client_stats_cmd;
       client_shutdown_cmd;
+      client_promote_cmd;
       client_burst_cmd;
       client_delta_cmd;
     ]

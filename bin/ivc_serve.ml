@@ -18,6 +18,8 @@
 open Cmdliner
 module Server = Ivc_server.Server
 module Supervise = Ivc_server.Supervise
+module Client = Ivc_server.Client
+module Replica = Ivc_server.Replica
 
 let socket_t =
   Arg.(
@@ -131,6 +133,66 @@ let brownout_budget_t =
     & info [ "brownout-budget" ] ~docv:"N"
         ~doc:"Exact-stage node cap under shrunk-budget brownout.")
 
+let replica_of_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Boot as a warm standby of the primary at $(docv) (unix:PATH or \
+           HOST:PORT): replay its op log, re-certifying every entry, and \
+           refuse solves/deltas until a client $(b,promote) or the \
+           primary's lease expires.")
+
+let wal_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Journal completed solves and applied deltas to a write-ahead op \
+           log in $(docv); replayed (and re-certified) on boot, shipped to \
+           replicas.")
+
+let wal_segment_bytes_t =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "wal-segment-bytes" ] ~docv:"N"
+        ~doc:"Rotate WAL segments at $(docv) bytes.")
+
+let no_wal_fsync_t =
+  Arg.(
+    value & flag
+    & info [ "no-wal-fsync" ]
+        ~doc:
+          "Skip the fsync per WAL append (faster, loses the tail on power \
+           loss; crash-consistency of the prefix is kept either way).")
+
+let lease_t =
+  Arg.(
+    value & opt float 10.0
+    & info [ "lease" ] ~docv:"S"
+        ~doc:
+          "Primary lease: a standby starts serving on its own only after \
+           $(docv) seconds without contact from its primary (or an \
+           explicit promote).")
+
+let scrub_every_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "scrub-every" ] ~docv:"S"
+        ~doc:
+          "Background integrity scrub period over the WAL and autosave \
+           directories: verify checksums, quarantine corrupt files, \
+           reinstall salvageable WAL prefixes (0 disables).")
+
+let scrub_dir_t =
+  Arg.(
+    value & opt_all string []
+    & info [ "scrub-dir" ] ~docv:"DIR"
+        ~doc:"Extra directory for the scrubber (repeatable).")
+
 let metrics_t =
   Arg.(
     value
@@ -186,7 +248,7 @@ let write_pid path pid =
     close_out oc
   with Sys_error m -> Format.eprintf "ivc-serve: cannot write %s: %s@." path m
 
-let run_server cfg metrics pid_file =
+let run_server cfg upstream metrics pid_file =
   Option.iter (fun p -> write_pid p (Unix.getpid ())) pid_file;
   let srv = Server.start cfg in
   let where =
@@ -197,6 +259,14 @@ let run_server cfg metrics pid_file =
   Format.printf "ivc-serve: listening on %s (workers=%d, queue=%d, cache=%d)@."
     where cfg.Server.workers cfg.Server.queue_capacity
     cfg.Server.cache_capacity;
+  let replica =
+    Option.map
+      (fun up ->
+        Format.printf "ivc-serve: standby replicating from %s (lease %.1fs)@."
+          (Server.addr_to_string up) cfg.Server.lease_s;
+        Replica.start srv ~upstream:up)
+      upstream
+  in
   (* flush so a supervisor tailing the log sees readiness immediately *)
   Format.print_flush ();
   let on_signal _ =
@@ -208,6 +278,7 @@ let run_server cfg metrics pid_file =
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
    with Invalid_argument _ | Sys_error _ -> ());
   Server.wait srv;
+  Option.iter Replica.stop replica;
   Server.stop srv;
   Option.iter
     (fun path ->
@@ -224,7 +295,7 @@ let rec waitpid_eintr pid =
 (* The supervisor owns no sockets and no domains: it forks, waits,
    forwards termination signals to the worker, and applies the pure
    Supervise policy to each exit. *)
-let supervise_loop scfg cfg metrics pid_file =
+let supervise_loop scfg cfg upstream metrics pid_file =
   let worker = ref None in
   let stop_requested = ref false in
   let forward signal =
@@ -249,7 +320,7 @@ let supervise_loop scfg cfg metrics pid_file =
          with Invalid_argument _ | Sys_error _ -> ());
         (try Sys.set_signal Sys.sigterm Sys.Signal_default
          with Invalid_argument _ | Sys_error _ -> ());
-        (try run_server cfg metrics pid_file
+        (try run_server cfg upstream metrics pid_file
          with e ->
            Format.eprintf "ivc-serve: worker failed: %s@."
              (Printexc.to_string e);
@@ -290,14 +361,23 @@ let supervise_loop scfg cfg metrics pid_file =
 
 let run socket tcp workers queue_cap cache_cap repair_cap max_vertices
     default_deadline deadline_cap autosave_dir autosave_every idle_timeout
-    io_timeout brownout_low brownout_high brownout_budget metrics supervise
-    pid_file min_uptime max_rapid backoff_seed =
+    io_timeout brownout_low brownout_high brownout_budget replica_of wal_dir
+    wal_segment_bytes no_wal_fsync lease scrub_every scrub_dirs metrics
+    supervise pid_file min_uptime max_rapid backoff_seed =
   let addr =
     match (socket, tcp) with
     | Some path, None -> Server.Unix_sock path
     | None, Some port -> Server.Tcp ("127.0.0.1", port)
     | None, None -> Server.Unix_sock "ivc_serve.sock"
     | Some _, Some _ -> failwith "choose one of --socket and --tcp"
+  in
+  let upstream =
+    Option.map
+      (fun s ->
+        match Client.addr_of_string s with
+        | Ok a -> a
+        | Error m -> failwith ("--replica-of: " ^ m))
+      replica_of
   in
   let cfg =
     {
@@ -316,6 +396,13 @@ let run socket tcp workers queue_cap cache_cap repair_cap max_vertices
       brownout_low;
       brownout_high;
       brownout_budget;
+      standby = Option.is_some upstream;
+      wal_dir;
+      wal_segment_bytes;
+      wal_fsync = not no_wal_fsync;
+      lease_s = lease;
+      scrub_every_s = scrub_every;
+      scrub_dirs;
     }
   in
   if supervise then
@@ -327,8 +414,8 @@ let run socket tcp workers queue_cap cache_cap repair_cap max_vertices
         max_rapid_crashes = max_rapid;
       }
     in
-    supervise_loop scfg cfg metrics pid_file
-  else run_server cfg metrics pid_file
+    supervise_loop scfg cfg upstream metrics pid_file
+  else run_server cfg upstream metrics pid_file
 
 let cmd =
   Cmd.v
@@ -338,7 +425,9 @@ let cmd =
       const run $ socket_t $ tcp_t $ workers_t $ queue_t $ cache_t $ repair_t
       $ max_vertices_t $ default_deadline_t $ deadline_cap_t $ autosave_dir_t
       $ autosave_every_t $ idle_timeout_t $ io_timeout_t $ brownout_low_t
-      $ brownout_high_t $ brownout_budget_t $ metrics_t $ supervise_t
-      $ pid_file_t $ min_uptime_t $ max_rapid_t $ backoff_seed_t)
+      $ brownout_high_t $ brownout_budget_t $ replica_of_t $ wal_dir_t
+      $ wal_segment_bytes_t $ no_wal_fsync_t $ lease_t $ scrub_every_t
+      $ scrub_dir_t $ metrics_t $ supervise_t $ pid_file_t $ min_uptime_t
+      $ max_rapid_t $ backoff_seed_t)
 
 let () = exit (Cmd.eval cmd)

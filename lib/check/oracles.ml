@@ -915,6 +915,358 @@ let incremental =
     run = (fun inst -> incremental_check inst (incremental_deltas inst));
   }
 
+(* ---- replication --------------------------------------------------------------- *)
+
+(* High-availability end to end: a WAL-journaling primary behind a
+   seeded netfault proxy, a warm standby replaying its op stream, and
+   a failover client running a mixed solve/delta burst. Mid-burst the
+   primary is crash-stopped (Server.kill: connections torn down, no
+   drain) and the standby promoted over the wire; the client must
+   finish the burst 100% certified, the promoted standby must serve
+   exactly the journaled WAL prefix (replayed, re-certified — asserted
+   through a cache hit and a per-op re-solve), and damaged copies of
+   the journal (truncation mid-frame, a bit flip) must fail closed on
+   replay and be quarantined by a scrub pass that stays idempotent. *)
+module Wal = Ivc_persist.Wal
+module Scrub = Ivc_persist.Scrub
+module Replica = Ivc_server.Replica
+
+let replication_max_n = 150
+
+let with_fresh_dir prefix f =
+  let dir = Filename.temp_file prefix ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if (try Sys.is_directory p with Sys_error _ -> false) then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let replication =
+  {
+    O.name = "replication";
+    description =
+      "kill -9 of the WAL-journaling primary mid-burst behind netfaults: \
+       the failover client finishes 100% certified, the promoted standby \
+       serves the re-certified journaled prefix, and damaged journal \
+       copies fail closed and are quarantined by an idempotent scrub";
+    applies =
+      (fun inst ->
+        let n = S.n_vertices inst in
+        n > 0 && n <= replication_max_n);
+    run =
+      (fun inst ->
+        with_fresh_dir "ivc-repl-p" @@ fun pdir ->
+        with_fresh_dir "ivc-repl-s" @@ fun sdir ->
+        with_fresh_dir "ivc-repl-x" @@ fun xdir ->
+        let up = Filename.temp_file "ivc-repl-up" ".sock" in
+        let front = Filename.temp_file "ivc-repl-fr" ".sock" in
+        let sb = Filename.temp_file "ivc-repl-sb" ".sock" in
+        let h = Gen.hash inst in
+        let base addr =
+          {
+            (Srv.default_config addr) with
+            Srv.workers = 1;
+            queue_capacity = 8;
+            cache_capacity = 8;
+            repair_capacity = 8;
+            default_deadline_s = 1.0;
+            idle_timeout_s = 5.0;
+            io_timeout_s = 2.0;
+            wal_segment_bytes = 1024;
+            wal_fsync = false;
+          }
+        in
+        let primary =
+          Srv.start { (base (Srv.Unix_sock up)) with Srv.wal_dir = Some pdir }
+        in
+        let standby =
+          Srv.start
+            {
+              (base (Srv.Unix_sock sb)) with
+              Srv.wal_dir = Some sdir;
+              standby = true;
+              (* the lease must not expire during the run: serving is
+                 unlocked only by the explicit promote *)
+              lease_s = 300.0;
+            }
+        in
+        let fast_retry seed =
+          {
+            Cl.default_retry with
+            Cl.attempts = 6;
+            base_delay_s = 0.02;
+            max_delay_s = 0.1;
+            seed;
+            connect_timeout_s = 2.0;
+            request_timeout_s = Some 2.0;
+          }
+        in
+        let rep =
+          Replica.start ~retry:(fast_retry h) ~recv_timeout_s:2.0 standby
+            ~upstream:(Srv.Unix_sock up)
+        in
+        (* milder than the chaos plan: the fault budget exercises the
+           retry/failover paths without eating the whole burst *)
+        let plan =
+          Net.parse
+            (Printf.sprintf "seed=%d,delay=0.05:0.001,tear=0.05,dup=0.05" h)
+        in
+        let proxy =
+          Net.start ~listen:(Srv.Unix_sock front)
+            ~upstream:(Srv.Unix_sock up) ~plan
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Net.stop proxy;
+            Replica.stop rep;
+            (* stop is idempotent and shares kill's flag *)
+            Srv.stop primary;
+            Srv.stop standby;
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ up; front; sb ])
+        @@ fun () ->
+        let opts =
+          {
+            P.default_solve_options with
+            P.deadline_s = Some 1.0;
+            budget = Some 50;
+            improve = false;
+          }
+        in
+        let violation = ref None in
+        let note m = if !violation = None then violation := Some m in
+        let endpoints = [ Srv.Unix_sock front; Srv.Unix_sock sb ] in
+        let retry = fast_retry (h + 1) in
+        let solve_fo who i =
+          match Cl.solve_failover ~retry ~endpoints ~opts i with
+          | Ok (P.Solution s, _) -> (
+              match Cert.check i s.P.starts with
+              | Ok mc when mc = s.P.maxcolor -> Some s
+              | Ok mc ->
+                  note
+                    (Printf.sprintf "%s: claimed maxcolor %d, certified %d"
+                       who s.P.maxcolor mc);
+                  None
+              | Error e ->
+                  note
+                    (Printf.sprintf "%s: uncertified: %s" who
+                       (Cert.to_string e));
+                  None)
+          | Ok (_, _) ->
+              note (who ^ ": burst request was not answered with a Solution");
+              None
+          | Error e ->
+              note (who ^ ": " ^ Cl.error_to_string e);
+              None
+        in
+        let mirror = ref inst and fp = ref (Snapshot.fingerprint inst) in
+        let delta_fo who d =
+          match Delta.apply_pure !mirror d with
+          | Error _ -> () (* the generator only draws valid deltas *)
+          | Ok inst' -> (
+              match
+                Cl.delta_failover ~retry ~endpoints ~fp:!fp ~mirror:inst' d
+              with
+              | Ok (P.Solution s, _) -> (
+                  mirror := inst';
+                  fp := s.P.fingerprint;
+                  match Cert.check inst' s.P.starts with
+                  | Ok mc when mc = s.P.maxcolor -> ()
+                  | Ok mc ->
+                      note
+                        (Printf.sprintf "%s: claimed maxcolor %d, certified %d"
+                           who s.P.maxcolor mc)
+                  | Error e ->
+                      note
+                        (Printf.sprintf "%s: uncertified: %s" who
+                           (Cert.to_string e)))
+              | Ok (_, _) ->
+                  note (who ^ ": delta was not answered with a Solution")
+              | Error e -> note (who ^ ": " ^ Cl.error_to_string e))
+        in
+        let deltas = Gen.delta_stream ~length:4 ~seed:h inst in
+        (* phase A: journal a mixed prefix through the faulty proxy *)
+        ignore (solve_fo "solve A" inst);
+        (match deltas with
+        | a :: b :: _ ->
+            delta_fo "delta A0" a;
+            delta_fo "delta A1" b
+        | [ a ] -> delta_fo "delta A0" a
+        | [] -> ());
+        (* the standby must drain to lag 0 before the crash *)
+        let t0 = Ivc_obs.now_ns () in
+        let rec drain () =
+          if Srv.repl_applied standby >= Srv.repl_head primary then Ok ()
+          else if Ivc_obs.elapsed_s ~since:t0 > 8.0 then
+            Error
+              (Printf.sprintf "standby lag stuck at %d/%d"
+                 (Srv.repl_applied standby) (Srv.repl_head primary))
+          else begin
+            Unix.sleepf 0.02;
+            drain ()
+          end
+        in
+        (match drain () with Ok () -> () | Error m -> note m);
+        let journaled = Srv.repl_head primary in
+        if journaled = 0 then note "primary journaled nothing in phase A";
+        (* crash the primary mid-burst and promote over the wire *)
+        Srv.kill primary;
+        (match Cl.connect ~timeout_s:2.0 (Srv.Unix_sock sb) with
+        | Error e -> note ("promote connect: " ^ Cl.error_to_string e)
+        | Ok c ->
+            let r = Cl.promote ~timeout_s:5.0 c in
+            Cl.close c;
+            (match r with
+            | Ok applied ->
+                if applied < journaled then
+                  note
+                    (Printf.sprintf "promoted at applied_seq %d, journaled %d"
+                       applied journaled)
+            | Error e -> note ("promote: " ^ Cl.error_to_string e)));
+        (* phase B: the burst finishes through failover; the re-solve
+           of the journaled instance must hit the replayed cache *)
+        (match solve_fo "solve B" inst with
+        | Some s ->
+            if not s.P.cache_hit then
+              note "replayed solve missed the promoted standby's cache"
+        | None -> ());
+        (match deltas with
+        | _ :: _ :: rest ->
+            List.iteri
+              (fun i d -> delta_fo (Printf.sprintf "delta B%d" i) d)
+              rest
+        | _ -> ());
+        (* the journaled prefix is the authority: decode, re-certify,
+           and require the promoted standby to serve each solved op *)
+        let ops = ref [] in
+        let recovery = Wal.replay ~dir:pdir (fun _ p -> ops := p :: !ops) in
+        let ops = List.rev !ops in
+        if recovery.Wal.truncated then
+          note "pristine primary journal reported truncation";
+        if List.length ops <> journaled then
+          note
+            (Printf.sprintf "primary WAL holds %d records, feed head was %d"
+               (List.length ops) journaled);
+        List.iteri
+          (fun i payload ->
+            match P.decode_op payload with
+            | Error m -> note (Printf.sprintf "WAL op %d undecodable: %s" i m)
+            | Ok (P.Op_delta _) -> ()
+            | Ok
+                (P.Op_solved
+                   { fp = ofp; inst = oinst; starts; maxcolor; _ }) -> (
+                (match Cert.check oinst starts with
+                | Ok mc when mc = maxcolor -> ()
+                | _ ->
+                    note
+                      (Printf.sprintf "WAL op %d fails re-certification" i));
+                match Cl.connect ~timeout_s:2.0 (Srv.Unix_sock sb) with
+                | Error e ->
+                    note
+                      (Printf.sprintf "WAL op %d: standby connect: %s" i
+                         (Cl.error_to_string e))
+                | Ok c -> (
+                    let r = Cl.solve ~timeout_s:5.0 c ~opts oinst in
+                    Cl.close c;
+                    match r with
+                    | Ok (P.Solution s) -> (
+                        if not (Int64.equal s.P.fingerprint ofp) then
+                          note
+                            (Printf.sprintf
+                               "WAL op %d: standby fingerprint mismatch" i);
+                        match Cert.check oinst s.P.starts with
+                        | Ok mc when mc = s.P.maxcolor -> ()
+                        | _ ->
+                            note
+                              (Printf.sprintf
+                                 "WAL op %d: standby answer uncertified" i))
+                    | Ok _ ->
+                        note
+                          (Printf.sprintf
+                             "WAL op %d: standby refused a journaled instance"
+                             i)
+                    | Error e ->
+                        note
+                          (Printf.sprintf "WAL op %d: standby solve: %s" i
+                             (Cl.error_to_string e)))))
+          ops;
+        (* fail-closed recovery + scrub on damaged copies of the journal *)
+        let wal_files =
+          Sys.readdir pdir |> Array.to_list
+          |> List.filter (fun n -> Wal.is_segment n || Wal.is_active n)
+          |> List.map (fun n ->
+                 let p = Filename.concat pdir n in
+                 (p, (Unix.stat p).Unix.st_size))
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        (match wal_files with
+        | (src, size) :: _ when size > 24 ->
+            let contents = read_whole src in
+            (* (i) truncation mid-frame: replay must survive and flag it *)
+            let tdir = Filename.concat xdir "trunc" in
+            Unix.mkdir tdir 0o755;
+            write_whole
+              (Filename.concat tdir "wal-0000000000000000.seg")
+              (String.sub contents 0 (size - 5));
+            (match Wal.replay ~dir:tdir (fun _ _ -> ()) with
+            | r ->
+                if not r.Wal.truncated then
+                  note "truncated journal copy did not report truncation"
+            | exception e ->
+                note
+                  (Printf.sprintf "replay of truncated copy raised %s"
+                     (Printexc.to_string e)));
+            (* (ii) a single bit flip past the magic: detected, then
+               quarantined by a scrub pass that stays idempotent *)
+            let bdir = Filename.concat xdir "flip" in
+            Unix.mkdir bdir 0o755;
+            let flipped = Filename.concat bdir "wal-0000000000000000.seg" in
+            let b = Bytes.of_string contents in
+            let off = 8 + (abs h mod (size - 8)) in
+            Bytes.set b off
+              (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+            write_whole flipped (Bytes.to_string b);
+            (match Wal.verify_file flipped with
+            | `Damaged _ -> ()
+            | `Ok _ -> note "bit flip was not detected by verify_file");
+            (match Wal.replay ~dir:bdir (fun _ _ -> ()) with
+            | _ -> ()
+            | exception e ->
+                note
+                  (Printf.sprintf "replay of bit-flipped copy raised %s"
+                     (Printexc.to_string e)));
+            let r1 = Scrub.run ~dirs:[ bdir ] () in
+            if r1.Scrub.quarantined < 1 then
+              note
+                (Printf.sprintf "scrub missed the bit flip: %s"
+                   (Scrub.report_to_string r1));
+            let r2 = Scrub.run ~dirs:[ bdir ] () in
+            if r2.Scrub.quarantined > 0 then
+              note
+                (Printf.sprintf "scrub is not idempotent: %s"
+                   (Scrub.report_to_string r2))
+        | _ -> note "primary left no journal worth damaging");
+        match !violation with Some m -> O.Fail m | None -> O.Pass);
+  }
+
 (* ---- registry ------------------------------------------------------------------ *)
 
 let all =
@@ -932,6 +1284,7 @@ let all =
     chaos;
     ooc;
     incremental;
+    replication;
   ]
 
 let find name =

@@ -81,6 +81,18 @@ val incremental_check :
 val incremental_deltas :
   Ivc_grid.Stencil.t -> Ivc_incremental.Delta.t list
 
+(** High-availability end to end: a WAL-journaling primary behind a
+    seeded netfault proxy with a warm standby replaying its op stream.
+    Mid-burst the primary is crash-stopped ({!Ivc_server.Server.kill})
+    and the standby promoted over the wire; the failover client must
+    finish the mixed solve/delta burst 100% certified, the promoted
+    standby must serve the re-certified journaled WAL prefix (asserted
+    through a cache hit and a per-op re-solve with matching
+    fingerprints), and damaged copies of the journal — truncation
+    mid-frame, a single bit flip — must fail closed on replay and be
+    quarantined by an idempotent {!Ivc_persist.Scrub} pass. *)
+val replication : Oracle.t
+
 (** Every production oracle above, in a stable order. *)
 val all : Oracle.t list
 

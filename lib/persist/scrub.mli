@@ -1,0 +1,33 @@
+(** Bit-rot scrubbing over the persist layer's on-disk state.
+
+    A scrub pass re-reads every snapshot ([.snap] — solve
+    checkpoints, spill tiles) and sealed WAL segment ([wal-*.seg])
+    through the same fail-closed readers the recovery paths use, so
+    any damage the CRCs can catch is caught here first, in the
+    background, instead of at the worst possible moment.
+
+    Policy per damaged file:
+    - moved into a [quarantine/] subdirectory of its own directory
+      (or [quarantine_dir]) — kept as evidence, never deleted;
+    - a WAL segment whose damage left a valid record prefix gets that
+      prefix re-derived at the original path (atomic tmp-then-rename
+      install), counted as both quarantined and repaired.
+
+    Active WAL segments ([.open]) and install staging files belong to
+    live writers and are skipped, as is anything the scrubber does
+    not recognize. Safe to run concurrently with a serving daemon. *)
+
+type report = {
+  scanned : int;
+  ok : int;
+  quarantined : int;  (** corrupt originals moved to quarantine *)
+  repaired : int;  (** valid WAL prefixes re-installed *)
+  skipped : int;  (** unrecognized, active, or vanished-mid-scrub *)
+}
+
+val report_to_string : report -> string
+
+val run : ?quarantine_dir:string -> dirs:string list -> unit -> report
+(** Scrub every regular file directly inside each of [dirs]
+    (duplicates and missing directories are fine; subdirectories —
+    including [quarantine/] itself — are not descended into). *)

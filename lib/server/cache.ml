@@ -21,6 +21,7 @@ type t = {
   capacity : int;
   table : (int64, slot) Hashtbl.t;
   fifo : int64 Queue.t;  (* insertion order, oldest first *)
+  mutable evicted : int;  (* per-table, served in Stats *)
 }
 
 let create ~capacity =
@@ -30,6 +31,7 @@ let create ~capacity =
     capacity;
     table = Hashtbl.create (max 16 capacity);
     fifo = Queue.create ();
+    evicted = 0;
   }
 
 let same_instance (a : S.t) (b : S.t) = a.S.dims = b.S.dims && a.S.w = b.S.w
@@ -61,6 +63,7 @@ let store t ~fp ~inst entry =
       if Hashtbl.length t.table >= t.capacity then begin
         let oldest = Queue.pop t.fifo in
         Hashtbl.remove t.table oldest;
+        t.evicted <- t.evicted + 1;
         Obs.Counter.incr c_evictions
       end;
       Hashtbl.replace t.table fp { inst; entry };
@@ -76,3 +79,9 @@ let size t =
   n
 
 let capacity t = t.capacity
+
+let evicted t =
+  Mutex.lock t.mutex;
+  let n = t.evicted in
+  Mutex.unlock t.mutex;
+  n

@@ -35,3 +35,8 @@ val store : t -> fp:int64 -> inst:Ivc_grid.Stencil.t -> entry -> unit
 
 val size : t -> int
 val capacity : t -> int
+
+val evicted : t -> int
+(** Entries this table has evicted since creation — the per-server
+    number the [Stats] reply serves (the [server.cache_evictions]
+    counter is process-wide and cannot tell two servers apart). *)

@@ -15,6 +15,7 @@
 module Snapshot = Ivc_persist.Snapshot
 module Cert = Ivc_resilient.Cert
 module Faults = Ivc_resilient.Faults
+module Delta = Ivc_incremental.Delta
 
 type error =
   | Connect of string
@@ -101,6 +102,27 @@ let close t =
   t.alive <- false;
   try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* "unix:PATH", "HOST:PORT", or a bare path (a unix socket) — the
+   endpoint syntax of --replica-of and repeated --endpoint flags. *)
+let addr_of_string s =
+  if s = "" then Error "empty endpoint"
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Server.Unix_sock s)
+    | Some i when String.sub s 0 i = "unix" ->
+        let path = String.sub s (i + 1) (String.length s - i - 1) in
+        if path = "" then Error "empty unix socket path"
+        else Ok (Server.Unix_sock path)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 ->
+            if host = "" then Error ("empty host in " ^ s)
+            else Ok (Server.Tcp (host, p))
+        | Some _ -> Error ("port out of range in " ^ s)
+        | None -> Error ("invalid port in " ^ s))
+
 let request ?timeout_s t req =
   if not t.alive then Error (Io "connection already failed")
   else begin
@@ -135,6 +157,48 @@ let request ?timeout_s t req =
             | Ok resp -> Ok resp))
   end
 
+(* Half-duplex primitives for the replication stream: after a
+   [Replicate] request the connection never returns to
+   request/response, so [Replica] sends once and then receives in a
+   loop. Same fail-fast discipline as [request]: any error kills the
+   connection. *)
+
+let send ?timeout_s t req =
+  if not t.alive then Error (Io "connection already failed")
+  else begin
+    let dead e =
+      t.alive <- false;
+      Error e
+    in
+    match
+      Proto.write_frame ?io_timeout_s:timeout_s t.fd (Proto.encode_request req)
+    with
+    | () -> Ok ()
+    | exception Proto.Write_timeout -> dead Timeout
+    | exception Unix.Unix_error (e, _, _) -> dead (Io (Unix.error_message e))
+    | exception Sys_error m -> dead (Io m)
+  end
+
+let recv ?idle_timeout_s ?io_timeout_s t =
+  if not t.alive then Error (Io "connection already failed")
+  else begin
+    let dead e =
+      t.alive <- false;
+      Error e
+    in
+    match
+      Proto.read_frame ~resync:false ?idle_timeout_s ?io_timeout_s t.fd
+    with
+    | exception Unix.Unix_error (e, _, _) -> dead (Io (Unix.error_message e))
+    | exception Sys_error m -> dead (Io m)
+    | Error Proto.Timed_out -> dead Timeout
+    | Error e -> dead (Io (Proto.frame_error_to_string e))
+    | Ok body -> (
+        match Proto.decode_response body with
+        | Error m -> dead (Bad_response m)
+        | Ok resp -> Ok resp)
+  end
+
 let ping ?timeout_s t =
   match request ?timeout_s t Proto.Ping with
   | Ok (Proto.Pong { version }) -> Result.Ok version
@@ -164,6 +228,15 @@ let health ?timeout_s t =
 
 let delta ?timeout_s t ?budget ~fp d =
   request ?timeout_s t (Proto.Delta { fp; delta = d; budget })
+
+let promote ?timeout_s t =
+  match request ?timeout_s t Proto.Promote with
+  | Ok (Proto.Promoted { applied_seq }) -> Result.Ok applied_seq
+  | Ok (Proto.Error { code; message }) ->
+      Result.Error
+        (Bad_response (Proto.error_code_to_string code ^ ": " ^ message))
+  | Ok _ -> Result.Error (Bad_response "unexpected response to promote")
+  | Error _ as e -> e
 
 (* ---- verification ----------------------------------------------------- *)
 
@@ -279,3 +352,251 @@ let solve_verified ?(retry = default_retry) ~addr
     end
   in
   attempt 0 (Connect "no attempt made")
+
+(* Deltas are NOT idempotent the way solves are: re-sending a delta
+   that already landed is rejected as [Unknown_fingerprint] (the chain
+   advanced past the key we are using), which is indistinguishable on
+   its face from eviction. The [ambiguous] flag tracks whether any
+   earlier attempt could have landed (a failure after the request may
+   have left the server applied-but-unacknowledged); only then does an
+   [Unknown_fingerprint] trigger the probe: an empty [Batch] at the
+   advanced key is a valid no-op, and a verified answer to it is proof
+   the original landed — its fingerprint is the caller's new chain
+   key. A probe that itself answers [Unknown_fingerprint] (or fails)
+   demotes to the original Unknown: the caller re-solves, which is
+   always safe. *)
+let delta_verified ?(retry = default_retry) ~addr ?budget ~fp ~mirror d =
+  let expect_fp = Delta.chain_fp fp d in
+  let probe = Delta.Batch [||] in
+  let probe_fp = Delta.chain_fp expect_fp probe in
+  let rec attempt k ambiguous last_err =
+    if k >= max 1 retry.attempts then Error last_err
+    else begin
+      if k > 0 then Thread.delay (retry_delay_s retry ~attempt:(k - 1));
+      match connect ~timeout_s:retry.connect_timeout_s addr with
+      | Error e -> attempt (k + 1) ambiguous e
+      | Ok c -> (
+          let finish r =
+            close c;
+            r
+          in
+          match
+            request ?timeout_s:retry.request_timeout_s c
+              (Proto.Delta { fp; delta = d; budget })
+          with
+          | Ok (Proto.Solution s) -> (
+              match verify_delta ~expect_fp mirror s with
+              | Ok s -> finish (Ok (Proto.Solution s))
+              | Error e ->
+                  close c;
+                  attempt (k + 1) true e)
+          | Ok (Proto.Error { code = Proto.Unknown_fingerprint; _ }) as orig
+            when ambiguous -> (
+              match
+                request ?timeout_s:retry.request_timeout_s c
+                  (Proto.Delta { fp = expect_fp; delta = probe; budget = None })
+              with
+              | Ok (Proto.Solution s) -> (
+                  match verify_delta ~expect_fp:probe_fp mirror s with
+                  | Ok s -> finish (Ok (Proto.Solution s))
+                  | Error _ -> finish orig)
+              | _ -> finish orig)
+          | Ok
+              (Proto.Error
+                 {
+                   code =
+                     ( Proto.Bad_frame | Proto.Bad_request | Proto.Bad_version
+                     | Proto.Conn_timeout );
+                   message;
+                 }) ->
+              close c;
+              attempt (k + 1) ambiguous
+                (Io ("server rejected the frame: " ^ message))
+          | Ok resp -> finish (Ok resp)
+          | Error e ->
+              close c;
+              attempt (k + 1) true e)
+    end
+  in
+  attempt 0 false (Connect "no attempt made")
+
+(* ---- multi-endpoint failover ------------------------------------------ *)
+
+type failover = {
+  endpoint : Server.addr;
+  endpoint_index : int;
+  attempt : int;
+  failed_over : bool;
+}
+
+let failover_to_string f =
+  Printf.sprintf "endpoint %d (%s), attempt %d%s" f.endpoint_index
+    (Server.addr_to_string f.endpoint)
+    f.attempt
+    (if f.failed_over then ", failed over" else "")
+
+(* One round walks the endpoint list in order; a transport failure, a
+   refused standby ([Not_primary]) or a verification failure advances
+   to the next endpoint, and an exhausted round backs off with the
+   shared jittered schedule before walking the list again — so the
+   window where a killed primary's standby has not yet been promoted
+   (or its lease has not yet expired) is ridden out by retrying, not
+   surfaced to the caller. *)
+let endpoints_of ~who = function
+  | [] -> invalid_arg ("Client." ^ who ^ ": empty endpoint list")
+  | eps -> Array.of_list eps
+
+let solve_failover ?(retry = default_retry) ~endpoints
+    ?(opts = Proto.default_solve_options) inst =
+  let eps = endpoints_of ~who:"solve_failover" endpoints in
+  let prov ~i ~attempt =
+    {
+      endpoint = eps.(i);
+      endpoint_index = i;
+      attempt;
+      failed_over = i > 0 || attempt > 0;
+    }
+  in
+  let rec round attempt last_err =
+    if attempt >= max 1 retry.attempts then Error last_err
+    else begin
+      if attempt > 0 then Thread.delay (retry_delay_s retry ~attempt:(attempt - 1));
+      let rec try_ep i last_err =
+        if i >= Array.length eps then round (attempt + 1) last_err
+        else
+          match connect ~timeout_s:retry.connect_timeout_s eps.(i) with
+          | Error e -> try_ep (i + 1) e
+          | Ok c -> (
+              let finish r =
+                close c;
+                r
+              in
+              match
+                request ?timeout_s:retry.request_timeout_s c
+                  (Proto.Solve { inst; opts })
+              with
+              | Ok (Proto.Solution s) -> (
+                  match verify_solution inst s with
+                  | Ok s -> finish (Ok (Proto.Solution s, prov ~i ~attempt))
+                  | Error e ->
+                      close c;
+                      try_ep (i + 1) e)
+              | Ok (Proto.Error { code = Proto.Not_primary; message }) ->
+                  close c;
+                  try_ep (i + 1) (Io ("standby refused: " ^ message))
+              | Ok
+                  (Proto.Error
+                     {
+                       code =
+                         ( Proto.Bad_frame | Proto.Bad_request
+                         | Proto.Bad_version | Proto.Conn_timeout );
+                       message;
+                     }) ->
+                  close c;
+                  try_ep (i + 1) (Io ("server rejected the frame: " ^ message))
+              | Ok resp -> finish (Ok (resp, prov ~i ~attempt))
+              | Error e ->
+                  close c;
+                  try_ep (i + 1) e)
+      in
+      try_ep 0 last_err
+    end
+  in
+  round 0 (Connect "no attempt made")
+
+(* The failover delta does not need the landed-or-not probe: an
+   [Unknown_fingerprint] anywhere (evicted, a standby that never saw
+   the chain, or an ambiguous retry) falls back to a full solve of the
+   caller's mirror on the same endpoint — idempotent by construction,
+   and the returned fingerprint (the mirror's own) is the new chain
+   key either way. *)
+let delta_failover ?(retry = default_retry) ~endpoints ?budget ~fp ~mirror d =
+  let eps = endpoints_of ~who:"delta_failover" endpoints in
+  let expect_fp = Delta.chain_fp fp d in
+  let prov ~i ~attempt =
+    {
+      endpoint = eps.(i);
+      endpoint_index = i;
+      attempt;
+      failed_over = i > 0 || attempt > 0;
+    }
+  in
+  let rec round attempt last_err =
+    if attempt >= max 1 retry.attempts then Error last_err
+    else begin
+      if attempt > 0 then Thread.delay (retry_delay_s retry ~attempt:(attempt - 1));
+      let rec try_ep i last_err =
+        if i >= Array.length eps then round (attempt + 1) last_err
+        else
+          match connect ~timeout_s:retry.connect_timeout_s eps.(i) with
+          | Error e -> try_ep (i + 1) e
+          | Ok c -> (
+              let finish r =
+                close c;
+                r
+              in
+              let resolve_mirror () =
+                match
+                  request ?timeout_s:retry.request_timeout_s c
+                    (Proto.Solve
+                       { inst = mirror; opts = Proto.default_solve_options })
+                with
+                | Ok (Proto.Solution s) -> (
+                    match verify_solution mirror s with
+                    | Ok s -> finish (Ok (Proto.Solution s, prov ~i ~attempt))
+                    | Error e ->
+                        close c;
+                        try_ep (i + 1) e)
+                | Ok (Proto.Error { code = Proto.Not_primary; message }) ->
+                    close c;
+                    try_ep (i + 1) (Io ("standby refused: " ^ message))
+                | Ok
+                    (Proto.Error
+                       {
+                         code =
+                           ( Proto.Bad_frame | Proto.Bad_request
+                           | Proto.Bad_version | Proto.Conn_timeout );
+                         message;
+                       }) ->
+                    close c;
+                    try_ep (i + 1)
+                      (Io ("server rejected the frame: " ^ message))
+                | Ok resp -> finish (Ok (resp, prov ~i ~attempt))
+                | Error e ->
+                    close c;
+                    try_ep (i + 1) e
+              in
+              match
+                request ?timeout_s:retry.request_timeout_s c
+                  (Proto.Delta { fp; delta = d; budget })
+              with
+              | Ok (Proto.Solution s) -> (
+                  match verify_delta ~expect_fp mirror s with
+                  | Ok s -> finish (Ok (Proto.Solution s, prov ~i ~attempt))
+                  | Error e ->
+                      close c;
+                      try_ep (i + 1) e)
+              | Ok (Proto.Error { code = Proto.Unknown_fingerprint; _ }) ->
+                  resolve_mirror ()
+              | Ok (Proto.Error { code = Proto.Not_primary; message }) ->
+                  close c;
+                  try_ep (i + 1) (Io ("standby refused: " ^ message))
+              | Ok
+                  (Proto.Error
+                     {
+                       code =
+                         ( Proto.Bad_frame | Proto.Bad_request
+                         | Proto.Bad_version | Proto.Conn_timeout );
+                       message;
+                     }) ->
+                  close c;
+                  try_ep (i + 1) (Io ("server rejected the frame: " ^ message))
+              | Ok resp -> finish (Ok (resp, prov ~i ~attempt))
+              | Error e ->
+                  close c;
+                  try_ep (i + 1) e)
+      in
+      try_ep 0 last_err
+    end
+  in
+  round 0 (Connect "no attempt made")

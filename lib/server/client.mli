@@ -32,12 +32,33 @@ val connect : ?timeout_s:float -> Server.addr -> (t, error) result
 
 val close : t -> unit
 
+val addr_of_string : string -> (Server.addr, string) result
+(** Parse an endpoint: ["unix:PATH"] or a bare path is a Unix-domain
+    socket, ["HOST:PORT"] is TCP. The syntax of [--replica-of] and
+    repeated [--endpoint] CLI flags. *)
+
 val request :
   ?timeout_s:float -> t -> Proto.request -> (Proto.response, error) result
 (** Send one request, wait for its response. [timeout_s] bounds both
     the write and the wait for the response. After any [Error] the
     connection is dead (the stream may be desynchronized) and further
     requests on it fail fast. *)
+
+val send : ?timeout_s:float -> t -> Proto.request -> (unit, error) result
+(** Write one request frame without waiting for a response — the
+    half-duplex side of a replication stream ({!Replica} sends one
+    [Replicate] and then only receives). After an [Error] the
+    connection is dead. *)
+
+val recv :
+  ?idle_timeout_s:float ->
+  ?io_timeout_s:float ->
+  t ->
+  (Proto.response, error) result
+(** Read one response frame. [idle_timeout_s] bounds the wait for the
+    frame to start (a replication stream is idle between ops;
+    heartbeats bound the silence), [io_timeout_s] the read once bytes
+    flow. After an [Error] the connection is dead. *)
 
 val ping : ?timeout_s:float -> t -> (int, error) result
 (** Round-trip; returns the server's protocol version. *)
@@ -73,6 +94,10 @@ val delta :
     delta). The response is [Solution] (fingerprint = the advanced
     chain key, provenance = [repaired(...)] or [resolved]) or a typed
     [Error] — [Unknown_fingerprint] means re-solve. *)
+
+val promote : ?timeout_s:float -> t -> (int, error) result
+(** Ask a standby to start serving ([Promote]); returns the promoted
+    server's applied sequence. Idempotent against a primary. *)
 
 val verify_solution :
   Ivc_grid.Stencil.t -> Proto.solution -> (Proto.solution, error) result
@@ -133,3 +158,71 @@ val solve_verified :
     Re-issuing after an ambiguous failure is safe because a Solve is
     idempotent, keyed by the instance fingerprint the response must
     echo. *)
+
+val delta_verified :
+  ?retry:retry ->
+  addr:Server.addr ->
+  ?budget:int ->
+  fp:int64 ->
+  mirror:Ivc_grid.Stencil.t ->
+  Ivc_incremental.Delta.t ->
+  (Proto.response, error) result
+(** {!solve_verified}'s discipline for a [Delta]: same jittered
+    schedule, same reconnect-per-attempt, same typed-rejection rules —
+    plus the re-key hazard deltas add. A delta is not idempotent: when
+    an attempt fails {e after} the request was sent, the server may
+    have applied it and advanced the chain, so the retry's
+    [Unknown_fingerprint] is ambiguous between "evicted" and "already
+    landed". In exactly that case the client probes with an empty
+    [Batch] at the advanced key (a valid no-op delta): a verified
+    answer proves the original landed and is returned — the caller
+    must adopt its [fingerprint] as the new chain key (the probe
+    advanced the chain once more). A failed probe returns the original
+    [Unknown_fingerprint], and re-solving is always safe. [mirror] is
+    the caller's instance after applying the delta locally
+    ({!Ivc_incremental.Delta.apply_pure}); every returned [Solution]
+    has passed {!verify_delta} against it. *)
+
+(** {1 Multi-endpoint failover} *)
+
+type failover = {
+  endpoint : Server.addr;  (** the endpoint that answered *)
+  endpoint_index : int;  (** its position in the caller's list *)
+  attempt : int;  (** 0-based round the answer came from *)
+  failed_over : bool;  (** anything other than first-endpoint-first-try *)
+}
+(** Provenance of a failover answer, so callers (and the failover
+    oracle) can tell a clean primary hit from a ride through the
+    endpoint list. *)
+
+val failover_to_string : failover -> string
+
+val solve_failover :
+  ?retry:retry ->
+  endpoints:Server.addr list ->
+  ?opts:Proto.solve_options ->
+  Ivc_grid.Stencil.t ->
+  (Proto.response * failover, error) result
+(** {!solve_verified} over an ordered endpoint list (primary first,
+    standbys after). Each round walks the list: transport failures,
+    verification failures and [Not_primary] refusals advance to the
+    next endpoint; an exhausted round sleeps the jittered backoff and
+    walks again — riding out the promotion window after a primary
+    dies. Raises [Invalid_argument] on an empty list. *)
+
+val delta_failover :
+  ?retry:retry ->
+  endpoints:Server.addr list ->
+  ?budget:int ->
+  fp:int64 ->
+  mirror:Ivc_grid.Stencil.t ->
+  Ivc_incremental.Delta.t ->
+  (Proto.response * failover, error) result
+(** {!solve_failover}'s shape for a delta, with the endpoint-local
+    fallback replacing {!delta_verified}'s probe: any
+    [Unknown_fingerprint] — eviction, a standby that never replayed
+    this chain, or an ambiguous retry — re-issues as a full [Solve] of
+    [mirror] on the same connection, which is idempotent and correct
+    whether or not the delta landed anywhere. The returned
+    [Solution]'s [fingerprint] is the caller's new chain key in every
+    case. *)

@@ -11,7 +11,7 @@ module D = Ivc_incremental.Delta
 module Codec = Ivc_persist.Codec
 module Obs = Ivc_obs
 
-let version = 3
+let version = 4
 let magic = "IVCR"
 let default_max_frame = 16 * 1024 * 1024
 
@@ -39,6 +39,8 @@ type request =
   | Shutdown
   | Health
   | Delta of { fp : int64; delta : D.t; budget : int option }
+  | Replicate of { from_seq : int }
+  | Promote
 
 type shed_code = Queue_full | Too_large | Expired_in_queue
 
@@ -50,6 +52,7 @@ type error_code =
   | Internal
   | Conn_timeout
   | Unknown_fingerprint
+  | Not_primary
 
 type degrade = Shrunk_budget | Heuristic_only
 
@@ -66,6 +69,8 @@ type solution = {
   fingerprint : int64;
 }
 
+type role = Primary | Standby
+
 type health = {
   ready : bool;
   draining : bool;
@@ -74,6 +79,11 @@ type health = {
   connections : int;
   brownout : degrade option;
   uptime_s : float;
+  role : role;
+  applied_seq : int;
+  replication_lag : int;
+  last_scrub_s : float;
+  quarantined : int;
 }
 
 type response =
@@ -84,6 +94,9 @@ type response =
   | Stats_reply of { json : string }
   | Shutting_down
   | Health_reply of health
+  | Op of { seq : int; head : int; payload : string }
+  | Repl_heartbeat of { head : int }
+  | Promoted of { applied_seq : int }
 
 let shed_code_to_string = function
   | Queue_full -> "queue-full"
@@ -98,10 +111,13 @@ let error_code_to_string = function
   | Internal -> "internal"
   | Conn_timeout -> "conn-timeout"
   | Unknown_fingerprint -> "unknown-fingerprint"
+  | Not_primary -> "not-primary"
 
 let degrade_to_string = function
   | Shrunk_budget -> "shrunk-budget"
   | Heuristic_only -> "heuristic-only"
+
+let role_to_string = function Primary -> "primary" | Standby -> "standby"
 
 (* ---- body codecs ---------------------------------------------------- *)
 
@@ -121,6 +137,7 @@ let error_tag = function
   | Internal -> 4
   | Conn_timeout -> 5
   | Unknown_fingerprint -> 6
+  | Not_primary -> 7
 
 let error_of_tag = function
   | 0 -> Bad_frame
@@ -130,6 +147,7 @@ let error_of_tag = function
   | 4 -> Internal
   | 5 -> Conn_timeout
   | 6 -> Unknown_fingerprint
+  | 7 -> Not_primary
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown error code %d" n))
 
 let degrade_tag = function
@@ -245,7 +263,11 @@ let encode_request req =
       Codec.W.int b 5;
       Codec.W.i64 b fp;
       write_delta b delta;
-      Codec.W.option b Codec.W.int budget);
+      Codec.W.option b Codec.W.int budget
+  | Replicate { from_seq } ->
+      Codec.W.int b 6;
+      Codec.W.int b from_seq
+  | Promote -> Codec.W.int b 7);
   Codec.W.contents b
 
 let decode_request body =
@@ -272,6 +294,14 @@ let decode_request body =
             let delta = read_delta r in
             let budget = Codec.R.option r Codec.R.int in
             Delta { fp; delta; budget }
+        | 6 ->
+            let from_seq = Codec.R.int r in
+            if from_seq < 0 then
+              raise
+                (Codec.Corrupt
+                   (Printf.sprintf "negative replication cursor %d" from_seq));
+            Replicate { from_seq }
+        | 7 -> Promote
         | t -> raise (Codec.Corrupt (Printf.sprintf "unknown request tag %d" t))
       in
       Codec.R.expect_end r;
@@ -317,6 +347,13 @@ let read_solution r =
     fingerprint;
   }
 
+let role_tag = function Primary -> 0 | Standby -> 1
+
+let role_of_tag = function
+  | 0 -> Primary
+  | 1 -> Standby
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown role %d" n))
+
 let write_health b h =
   Codec.W.bool b h.ready;
   Codec.W.bool b h.draining;
@@ -324,7 +361,12 @@ let write_health b h =
   Codec.W.int b h.running;
   Codec.W.int b h.connections;
   Codec.W.int b (degrade_tag h.brownout);
-  Codec.W.float b h.uptime_s
+  Codec.W.float b h.uptime_s;
+  Codec.W.int b (role_tag h.role);
+  Codec.W.int b h.applied_seq;
+  Codec.W.int b h.replication_lag;
+  Codec.W.float b h.last_scrub_s;
+  Codec.W.int b h.quarantined
 
 let read_health r =
   let ready = Codec.R.bool r in
@@ -334,7 +376,25 @@ let read_health r =
   let connections = Codec.R.int r in
   let brownout = degrade_of_tag (Codec.R.int r) in
   let uptime_s = Codec.R.float r in
-  { ready; draining; queue_depth; running; connections; brownout; uptime_s }
+  let role = role_of_tag (Codec.R.int r) in
+  let applied_seq = Codec.R.int r in
+  let replication_lag = Codec.R.int r in
+  let last_scrub_s = Codec.R.float r in
+  let quarantined = Codec.R.int r in
+  {
+    ready;
+    draining;
+    queue_depth;
+    running;
+    connections;
+    brownout;
+    uptime_s;
+    role;
+    applied_seq;
+    replication_lag;
+    last_scrub_s;
+    quarantined;
+  }
 
 let encode_response resp =
   let b = Codec.W.create () in
@@ -361,7 +421,18 @@ let encode_response resp =
   | Shutting_down -> Codec.W.int b 5
   | Health_reply h ->
       Codec.W.int b 6;
-      write_health b h);
+      write_health b h
+  | Op { seq; head; payload } ->
+      Codec.W.int b 7;
+      Codec.W.int b seq;
+      Codec.W.int b head;
+      Codec.W.string b payload
+  | Repl_heartbeat { head } ->
+      Codec.W.int b 8;
+      Codec.W.int b head
+  | Promoted { applied_seq } ->
+      Codec.W.int b 9;
+      Codec.W.int b applied_seq);
   Codec.W.contents b
 
 let decode_response body =
@@ -388,11 +459,106 @@ let decode_response body =
         | 4 -> Stats_reply { json = Codec.R.string r }
         | 5 -> Shutting_down
         | 6 -> Health_reply (read_health r)
+        | 7 ->
+            let seq = Codec.R.int r in
+            let head = Codec.R.int r in
+            let payload = Codec.R.string r in
+            if seq < 0 || head < seq then
+              raise
+                (Codec.Corrupt
+                   (Printf.sprintf "op cursor %d ahead of head %d" seq head));
+            Op { seq; head; payload }
+        | 8 -> Repl_heartbeat { head = Codec.R.int r }
+        | 9 -> Promoted { applied_seq = Codec.R.int r }
         | t ->
             raise (Codec.Corrupt (Printf.sprintf "unknown response tag %d" t))
       in
       Codec.R.expect_end r;
       Result.Ok resp
+    end
+  with
+  | result -> result
+  | exception Codec.Corrupt m -> Result.Error m
+
+(* ---- replicated operations ------------------------------------------ *)
+
+(* The payload of one WAL record / replication [Op] frame: a completed
+   operation the primary journaled. Versioned independently of the
+   request/response codec (the version int up front) because these
+   bytes live on disk and outlive any single connection. *)
+
+type op =
+  | Op_solved of {
+      fp : int64;
+      inst : S.t;
+      starts : int array;
+      maxcolor : int;
+      lower_bound : int;
+      provenance : string;
+      proven_optimal : bool;
+    }
+  | Op_delta of { fp : int64; delta : D.t }
+
+let describe_op = function
+  | Op_solved { fp; _ } -> Printf.sprintf "solved(%Lx)" fp
+  | Op_delta { fp; delta } ->
+      Printf.sprintf "delta(%Lx,%s)" fp (D.describe delta)
+
+let encode_op op =
+  let b = Codec.W.create () in
+  Codec.W.int b version;
+  (match op with
+  | Op_solved { fp; inst; starts; maxcolor; lower_bound; provenance;
+                proven_optimal } ->
+      Codec.W.int b 0;
+      Codec.W.i64 b fp;
+      write_inst b inst;
+      Codec.W.int_array b starts;
+      Codec.W.int b maxcolor;
+      Codec.W.int b lower_bound;
+      Codec.W.string b provenance;
+      Codec.W.bool b proven_optimal
+  | Op_delta { fp; delta } ->
+      Codec.W.int b 1;
+      Codec.W.i64 b fp;
+      write_delta b delta);
+  Codec.W.contents b
+
+let decode_op body =
+  match
+    let r = Codec.R.of_string body in
+    let v = Codec.R.int r in
+    if v <> version then
+      Result.Error (Printf.sprintf "op version %d, want %d" v version)
+    else begin
+      let op =
+        match Codec.R.int r with
+        | 0 ->
+            let fp = Codec.R.i64 r in
+            let inst = read_inst r in
+            let starts = Codec.R.int_array r in
+            let maxcolor = Codec.R.int r in
+            let lower_bound = Codec.R.int r in
+            let provenance = Codec.R.string r in
+            let proven_optimal = Codec.R.bool r in
+            Op_solved
+              {
+                fp;
+                inst;
+                starts;
+                maxcolor;
+                lower_bound;
+                provenance;
+                proven_optimal;
+              }
+        | 1 ->
+            let fp = Codec.R.i64 r in
+            let delta = read_delta r in
+            Op_delta { fp; delta }
+        | t -> raise (Codec.Corrupt (Printf.sprintf "unknown op tag %d" t))
+      in
+      Codec.R.expect_end r;
+      Result.Ok op
     end
   with
   | result -> result

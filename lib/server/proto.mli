@@ -38,7 +38,11 @@ val version : int
     [Health]/[Health_reply], the solution [degraded] marker, and the
     [Conn_timeout] error code. Version 3 added the [Delta] request
     (incremental repair against cached repair state, keyed by chain
-    fingerprint) and the [Unknown_fingerprint] error code. *)
+    fingerprint) and the [Unknown_fingerprint] error code. Version 4
+    added the replication stream ([Replicate] → [Op]/[Repl_heartbeat]
+    frames), [Promote]/[Promoted], the [Not_primary] error code, the
+    {!op} journal codec, and the health record's role / replication /
+    scrub fields. *)
 
 val magic : string
 (** 4-byte frame magic, ["IVCR"]. *)
@@ -77,6 +81,16 @@ type request =
       (** incrementally repair the cached solution instead of
           re-solving; answered inline on the connection thread
           (microseconds for a local repair, never queued) *)
+  | Replicate of { from_seq : int }
+      (** switch this connection into a replication stream: the server
+          ships every journaled operation from sequence [from_seq] on
+          as [Op] frames, interleaved with [Repl_heartbeat] while the
+          log is quiet. The connection never returns to
+          request/response mode. *)
+  | Promote
+      (** make a standby serve: flips the role to primary, detaches
+          its upstream replication, answers [Promoted]. Idempotent on
+          a server that is already primary. *)
 
 type shed_code =
   | Queue_full  (** admission queue at capacity *)
@@ -99,6 +113,11 @@ type error_code =
       (** a [Delta] targeted repair state the server does not hold
           (never solved here, evicted, or the chain diverged); the
           client falls back to a full [Solve] *)
+  | Not_primary
+      (** a standby refused a [Solve]/[Delta]: its replayed state may
+          trail the primary, so it serves only after an explicit
+          [Promote] or its primary lease expires (split-brain
+          safety); the client fails over to the next endpoint *)
 
 type degrade =
   | Shrunk_budget  (** exact stage capped at the brownout budget *)
@@ -117,6 +136,12 @@ type solution = {
   fingerprint : int64;  (** splitmix64 instance fingerprint *)
 }
 
+type role =
+  | Primary  (** journals and ships; serves everything *)
+  | Standby
+      (** replays a primary's log; serves solves/deltas only after
+          [Promote] or primary lease expiry *)
+
 type health = {
   ready : bool;  (** accepting and able to admit work *)
   draining : bool;  (** stop in progress *)
@@ -125,6 +150,16 @@ type health = {
   connections : int;
   brownout : degrade option;  (** current admission degradation level *)
   uptime_s : float;
+  role : role;
+  applied_seq : int;
+      (** ops journaled (primary) / replayed and accepted (standby) *)
+  replication_lag : int;
+      (** standby: primary's last-seen head minus [applied_seq];
+          always 0 on a primary *)
+  last_scrub_s : float;
+      (** seconds since the last completed scrub pass; negative when
+          none has run *)
+  quarantined : int;  (** files quarantined by scrub since boot *)
 }
 
 type response =
@@ -135,10 +170,19 @@ type response =
   | Stats_reply of { json : string }
   | Shutting_down
   | Health_reply of health
+  | Op of { seq : int; head : int; payload : string }
+      (** one journaled operation on a replication stream: [payload]
+          is an {!encode_op} body, [head] the shipper's current log
+          head (the standby's lag gauge) *)
+  | Repl_heartbeat of { head : int }
+      (** replication keep-alive while the log is quiet; carries the
+          head so lag stays honest and renews the standby's lease *)
+  | Promoted of { applied_seq : int }
 
 val shed_code_to_string : shed_code -> string
 val error_code_to_string : error_code -> string
 val degrade_to_string : degrade -> string
+val role_to_string : role -> string
 
 (** {1 Body codecs} *)
 
@@ -151,6 +195,37 @@ val decode_request : string -> (request, error_code * string) result
     trailing bytes) is [Bad_request]. *)
 
 val decode_response : string -> (response, string) result
+
+(** {1 Replicated operations}
+
+    The journal payload: one completed operation the primary
+    persisted to its WAL and ships to standbys. Opaque to
+    {!Ivc_persist.Wal} (which frames and checksums it); a replayer
+    decodes it here and {e re-certifies} the coloring before
+    accepting it — the op stream is an optimization, never an
+    authority. *)
+
+type op =
+  | Op_solved of {
+      fp : int64;  (** instance fingerprint, the cache key *)
+      inst : Ivc_grid.Stencil.t;
+      starts : int array;
+      maxcolor : int;
+      lower_bound : int;
+      provenance : string;
+      proven_optimal : bool;
+    }  (** a completed, certified, cached solve *)
+  | Op_delta of { fp : int64; delta : Ivc_incremental.Delta.t }
+      (** a delta applied to the repair chain keyed [fp]; the replayer
+          advances its own chain through its own engine (which
+          re-certifies internally) *)
+
+val describe_op : op -> string
+val encode_op : op -> string
+
+val decode_op : string -> (op, string) result
+(** Fails closed like the other codecs: version mismatch, unknown
+    tags, truncation and trailing bytes are all [Error]. *)
 
 (** {1 Frame transport} *)
 

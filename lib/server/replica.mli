@@ -1,0 +1,32 @@
+(** Warm-standby replication: the pull loop that keeps a standby
+    {!Server} warm from a primary's op log.
+
+    [start srv ~upstream] spawns one thread that connects to
+    [upstream], switches the connection into a replication stream
+    ([Replicate] from the standby's own applied cursor), and feeds
+    every shipped op through {!Server.apply_replicated} — where it is
+    decoded, {e re-certified}, journaled into the standby's own WAL
+    and made servable (cache + repair state). Heartbeats and ops both
+    renew the standby's primary lease via
+    {!Server.note_primary_contact}.
+
+    The loop reconnects forever with {!Client}'s jittered backoff,
+    re-reading the cursor each time, so a killed-and-restarted primary
+    is resumed from exactly the last accepted op. It registers itself
+    through {!Server.set_on_promote}: promotion detaches the loop, so
+    a promoted standby never applies another op from the primary it
+    replaced. *)
+
+type t
+
+val start :
+  ?retry:Client.retry -> ?recv_timeout_s:float -> Server.t -> upstream:Server.addr -> t
+(** [retry] shapes the reconnect backoff (and connect timeout);
+    [recv_timeout_s] (default 15 s) bounds how long the loop waits for
+    a frame — the primary heartbeats at a fraction of its lease, so
+    silence past this is treated as a dead stream. *)
+
+val stop : t -> unit
+(** Detach (flag + close the in-flight connection) and join the loop
+    thread. Idempotent; also triggered — without the join — by
+    promotion of the underlying server. *)

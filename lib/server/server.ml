@@ -16,6 +16,8 @@
 
 module S = Ivc_grid.Stencil
 module Snapshot = Ivc_persist.Snapshot
+module Wal = Ivc_persist.Wal
+module Scrub = Ivc_persist.Scrub
 module Driver = Ivc_resilient.Driver
 module Deadline = Ivc_resilient.Deadline
 module Cert = Ivc_resilient.Cert
@@ -41,7 +43,16 @@ let c_delta_resolved = Obs.Counter.make "server.delta_resolved"
 let c_delta_unknown = Obs.Counter.make "server.delta_unknown_fp"
 let c_repair_seeded = Obs.Counter.make "server.repair_seeded"
 let c_repair_evicted = Obs.Counter.make "server.repair_evicted"
+let c_repair_compactions = Obs.Counter.make "server.repair_compactions"
+let c_wal_errors = Obs.Counter.make "server.wal_append_errors"
+let c_repl_shipped = Obs.Counter.make "server.repl_ops_shipped"
+let c_repl_applied = Obs.Counter.make "server.repl_ops_applied"
+let c_repl_rejected = Obs.Counter.make "server.repl_ops_rejected"
+let c_standby_refused = Obs.Counter.make "server.standby_refused"
+let c_promotions = Obs.Counter.make "server.promotions"
+let c_scrub_passes = Obs.Counter.make "server.scrub_passes"
 let g_connections = Obs.Gauge.make "server.connections_open"
+let g_repl_lag = Obs.Gauge.make "server.replication_lag"
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -66,6 +77,13 @@ type config = {
   brownout_high : float;
   brownout_budget : int;
   repair_capacity : int;
+  standby : bool;
+  wal_dir : string option;
+  wal_segment_bytes : int;
+  wal_fsync : bool;
+  lease_s : float;
+  scrub_every_s : float;
+  scrub_dirs : string list;
 }
 
 let default_config addr =
@@ -86,6 +104,13 @@ let default_config addr =
     brownout_high = 0.95;
     brownout_budget = 500;
     repair_capacity = 16;
+    standby = false;
+    wal_dir = None;
+    wal_segment_bytes = 1 lsl 20;
+    wal_fsync = true;
+    lease_s = 10.0;
+    scrub_every_s = 0.0;
+    scrub_dirs = [];
   }
 
 (* Brownout sits strictly below the hard queue limit: occupancy is the
@@ -122,6 +147,8 @@ module Repair = struct
     capacity : int;
     table : (int64, Engine.t) Hashtbl.t;
     fifo : int64 Queue.t;
+    mutable evicted : int;  (* per-table, served in Stats *)
+    mutable compactions : int;
   }
 
   let create ~capacity =
@@ -130,6 +157,8 @@ module Repair = struct
       capacity = max 0 capacity;
       table = Hashtbl.create 16;
       fifo = Queue.create ();
+      evicted = 0;
+      compactions = 0;
     }
 
   let size t =
@@ -138,11 +167,18 @@ module Repair = struct
     Mutex.unlock t.mutex;
     n
 
+  let counters t =
+    Mutex.lock t.mutex;
+    let r = (t.evicted, t.compactions) in
+    Mutex.unlock t.mutex;
+    r
+
   let evict_to_capacity t =
     while Hashtbl.length t.table >= t.capacity && not (Queue.is_empty t.fifo) do
       let oldest = Queue.pop t.fifo in
       if Hashtbl.mem t.table oldest then begin
         Hashtbl.remove t.table oldest;
+        t.evicted <- t.evicted + 1;
         Obs.Counter.incr c_repair_evicted
       end
     done
@@ -167,7 +203,9 @@ module Repair = struct
           end)
         t.fifo;
       Queue.clear t.fifo;
-      Queue.transfer live t.fifo
+      Queue.transfer live t.fifo;
+      t.compactions <- t.compactions + 1;
+      Obs.Counter.incr c_repair_compactions
     end
 
   (* Seed repair state for a freshly solved instance. Idempotent per
@@ -226,6 +264,31 @@ end
 
 type conn = { fd : Unix.file_descr; mutable closed : bool }
 
+(* ---- replication feed -------------------------------------------------
+
+   The in-memory op feed: ops.(i) holds the encoded journal payload
+   for sequence i, exactly mirroring the WAL's record order (a rebooted
+   primary rebuilds the feed from the WAL, so a replica's [from_seq]
+   cursor stays valid across primary restarts). One mutex + condvar
+   covers the feed, the WAL append (serializing writers), the role, and
+   the standby's lease bookkeeping; replication streams park on the
+   condvar and a heartbeat ticker broadcasts it on a period, which is
+   what lets them send keep-alives without a timed wait. *)
+
+type repl = {
+  rm : Mutex.t;
+  rcond : Condition.t;
+  mutable role : Proto.role;
+  mutable ops : string array;
+  mutable head : int;
+  wal : Wal.t option;
+  mutable applied : int;  (* standby: ops accepted from upstream *)
+  mutable known_head : int;  (* standby: primary's head last seen *)
+  mutable last_contact_ns : int64;  (* standby: lease clock *)
+  mutable on_promote : (unit -> unit) option;
+  mutable closing : bool;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
@@ -233,6 +296,7 @@ type t = {
   pool : Taskpar.Service.t;
   cache : Cache.t;
   repair : Repair.t;
+  repl : repl;
   t0 : int64;
   state : Mutex.t;
   shutdown_cond : Condition.t;
@@ -240,7 +304,41 @@ type t = {
   mutable shutdown_requested : bool;
   mutable conns : (conn * Thread.t) list;
   mutable acceptor : Thread.t option;
+  mutable aux_threads : Thread.t list;  (* heartbeat ticker, scrubber *)
+  mutable last_scrub_ns : int64 option;
+  mutable quarantined_total : int;
 }
+
+(* feed push under [rm]; doubling growth, never shrinks (an op is a
+   few hundred bytes and the cache caps how many distinct instances
+   are live, so the feed is a memory footnote, not a leak) *)
+let feed_push r payload =
+  let cap = Array.length r.ops in
+  if r.head = cap then begin
+    let bigger = Array.make (max 64 (2 * cap)) "" in
+    Array.blit r.ops 0 bigger 0 r.head;
+    r.ops <- bigger
+  end;
+  r.ops.(r.head) <- payload;
+  r.head <- r.head + 1
+
+(* Journal one completed operation: WAL first (durability), then the
+   feed (shipping), then wake the streams. A WAL append failure is
+   counted and the op still feeds — the answer was already served, so
+   availability wins locally; the replica re-certifies everything it
+   replays anyway. *)
+let journal srv payload =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  (match r.wal with
+  | Some w -> (
+      try ignore (Wal.append w payload)
+      with _ -> Obs.Counter.incr c_wal_errors)
+  | None -> ());
+  feed_push r payload;
+  if r.role = Proto.Standby then r.applied <- r.head;
+  Condition.broadcast r.rcond;
+  Mutex.unlock r.rm
 
 (* ---- one-shot response mailbox -------------------------------------- *)
 
@@ -346,7 +444,20 @@ let run_solve srv inst (opts : Proto.solve_options) ~degraded fp token mailbox
               };
             (* seed repair state on the worker domain, where the O(n)
                canonical solve it needs belongs *)
-            Repair.seed srv.repair ~fp inst
+            Repair.seed srv.repair ~fp inst;
+            journal srv
+              (Proto.encode_op
+                 (Proto.Op_solved
+                    {
+                      fp;
+                      inst;
+                      starts = o.Driver.starts;
+                      maxcolor = o.Driver.maxcolor;
+                      lower_bound = o.Driver.lower_bound;
+                      provenance =
+                        Driver.provenance_to_string o.Driver.provenance;
+                      proven_optimal = o.Driver.proven_optimal;
+                    }))
           end;
           Obs.Counter.incr c_solved;
           Mailbox.put mailbox
@@ -503,6 +614,10 @@ let handle_delta srv ~fp ?budget delta =
       (match outcome.Ivc_incremental.Engine.provenance with
       | Ivc_incremental.Engine.Repaired _ -> Obs.Counter.incr c_delta_repaired
       | Ivc_incremental.Engine.Resolved -> Obs.Counter.incr c_delta_resolved);
+      (* journal by the PRE-apply chain key: a replayer holding the
+         same chain applies the same delta through its own engine and
+         derives fp' itself *)
+      journal srv (Proto.encode_op (Proto.Op_delta { fp; delta }));
       Proto.Solution
         {
           Proto.starts;
@@ -522,6 +637,143 @@ let handle_delta srv ~fp ?budget delta =
           fingerprint = fp';
         }
 
+(* ---- replication ------------------------------------------------------ *)
+
+(* Apply one journaled op to this server's own cache / repair table.
+   Fail closed on every path: a solved op is re-certified before it is
+   stored (the log is an optimization, never an authority), a delta op
+   goes through the repair engine's own certificate gate, and anything
+   that does not check out is rejected — counted, skipped, serving
+   intact. *)
+let apply_op srv op =
+  match op with
+  | Proto.Op_solved
+      { fp; inst; starts; maxcolor; lower_bound; provenance; proven_optimal }
+    -> (
+      match Cert.check inst starts with
+      | Ok mc when mc = maxcolor ->
+          Cache.store srv.cache ~fp ~inst
+            { Cache.starts; maxcolor; lower_bound; provenance; proven_optimal };
+          Repair.seed srv.repair ~fp inst;
+          true
+      | Ok _ | Error _ -> false
+      | exception _ -> false)
+  | Proto.Op_delta { fp; delta } -> (
+      match Repair.apply srv.repair ~fp delta with
+      | `Applied _ -> true
+      | `Unknown | `Failed _ | `Crashed _ -> false)
+
+let role srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let role = r.role in
+  Mutex.unlock r.rm;
+  role
+
+let repl_head srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let h = r.head in
+  Mutex.unlock r.rm;
+  h
+
+let repl_applied srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let a = r.applied in
+  Mutex.unlock r.rm;
+  a
+
+let note_primary_contact srv ~head =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  r.known_head <- max r.known_head head;
+  r.last_contact_ns <- Obs.now_ns ();
+  Obs.Gauge.set g_repl_lag (Float.of_int (max 0 (r.known_head - r.applied)));
+  Mutex.unlock r.rm
+
+(* One replicated op from upstream, in strict sequence. Decode, apply
+   (re-certifying), then journal into our OWN wal/feed — so a promoted
+   standby is durable and can feed standbys of its own. The op lands
+   in the feed even if certification rejected it: feed indices must
+   mirror the upstream log or a cursor would mean different ops on
+   different hosts. *)
+let apply_replicated srv ~seq payload =
+  let r = srv.repl in
+  if seq <> repl_applied srv then
+    Error
+      (Printf.sprintf "replication cursor %d, expected %d" seq
+         (repl_applied srv))
+  else begin
+    (match Proto.decode_op payload with
+    | Ok op ->
+        if apply_op srv op then Obs.Counter.incr c_repl_applied
+        else Obs.Counter.incr c_repl_rejected
+    | Error _ -> Obs.Counter.incr c_repl_rejected);
+    Mutex.lock r.rm;
+    (match r.wal with
+    | Some w -> (
+        try ignore (Wal.append w payload)
+        with _ -> Obs.Counter.incr c_wal_errors)
+    | None -> ());
+    feed_push r payload;
+    r.applied <- r.head;
+    r.last_contact_ns <- Obs.now_ns ();
+    Obs.Gauge.set g_repl_lag (Float.of_int (max 0 (r.known_head - r.applied)));
+    Condition.broadcast r.rcond;
+    Mutex.unlock r.rm;
+    Ok ()
+  end
+
+let set_on_promote srv f =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  r.on_promote <- Some f;
+  Mutex.unlock r.rm
+
+(* Split-brain-safe promotion: flipping the role also detaches the
+   upstream replication loop (the hook), so a revived old primary can
+   never silently rewrite a promoted standby's state. Idempotent. *)
+let promote srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let hook = if r.role = Proto.Standby then r.on_promote else None in
+  let was = r.role in
+  r.role <- Proto.Primary;
+  let applied = r.head in
+  Condition.broadcast r.rcond;
+  Mutex.unlock r.rm;
+  if was = Proto.Standby then Obs.Counter.incr c_promotions;
+  Option.iter (fun f -> f ()) hook;
+  applied
+
+(* The admission rule for solves and deltas. A standby serves only
+   once its primary lease has lapsed (no op or heartbeat for
+   [lease_s]) — while the primary is demonstrably alive, answering
+   from replayed state would risk serving a stale chain alongside a
+   live one. [Promote] flips the role and ends the question. *)
+let serving srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let ok =
+    r.role = Proto.Primary
+    || Obs.elapsed_s ~since:r.last_contact_ns >= srv.cfg.lease_s
+  in
+  Mutex.unlock r.rm;
+  ok
+
+let standby_refusal srv =
+  Obs.Counter.incr c_standby_refused;
+  Proto.Error
+    {
+      code = Proto.Not_primary;
+      message =
+        Printf.sprintf
+          "standby at seq %d holds its primary's lease; Promote it or wait \
+           out the lease"
+          (repl_applied srv);
+    }
+
 (* ---- stats & health --------------------------------------------------- *)
 
 let open_conns srv =
@@ -538,6 +790,18 @@ let health srv =
     d
   in
   let brownout = brownout_of srv.cfg ~occupancy:(occupancy srv) in
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  let role = r.role in
+  let applied_seq =
+    match role with Proto.Primary -> r.head | Proto.Standby -> r.applied
+  in
+  let replication_lag =
+    match role with
+    | Proto.Primary -> 0
+    | Proto.Standby -> max 0 (r.known_head - r.applied)
+  in
+  Mutex.unlock r.rm;
   {
     Proto.ready = not draining;
     draining;
@@ -546,6 +810,14 @@ let health srv =
     connections = open_conns srv;
     brownout;
     uptime_s = Obs.elapsed_s ~since:srv.t0;
+    role;
+    applied_seq;
+    replication_lag;
+    last_scrub_s =
+      (match srv.last_scrub_ns with
+      | None -> -1.0
+      | Some t -> Obs.elapsed_s ~since:t);
+    quarantined = srv.quarantined_total;
   }
 
 let stats_json srv =
@@ -574,12 +846,31 @@ let stats_json srv =
                    [
                      ("size", int (Cache.size srv.cache));
                      ("capacity", int (Cache.capacity srv.cache));
+                     ("evictions", int (Cache.evicted srv.cache));
                    ] );
                ( "repair",
+                 let evicted, compactions = Repair.counters srv.repair in
                  Json.Obj
                    [
                      ("size", int (Repair.size srv.repair));
                      ("capacity", int srv.cfg.repair_capacity);
+                     ("evictions", int evicted);
+                     ("compactions", int compactions);
+                   ] );
+               ( "replication",
+                 let h = health srv in
+                 Json.Obj
+                   [
+                     ("role", Json.Str (Proto.role_to_string h.Proto.role));
+                     ("applied_seq", int h.Proto.applied_seq);
+                     ("lag", int h.Proto.replication_lag);
+                   ] );
+               ( "scrub",
+                 let h = health srv in
+                 Json.Obj
+                   [
+                     ("last_s", num h.Proto.last_scrub_s);
+                     ("quarantined", int h.Proto.quarantined);
                    ] );
              ] );
          ("metrics", Obs.Export.metrics ());
@@ -600,6 +891,47 @@ let request_shutdown srv =
   srv.shutdown_requested <- true;
   Condition.broadcast srv.shutdown_cond;
   Mutex.unlock srv.state
+
+(* Ship the journal from [from_seq] on, then follow the head. Parks on
+   the feed condvar; the heartbeat ticker broadcasts it on a period, so
+   every wakeup with no new op sends a [Repl_heartbeat] — the standby's
+   lease renewal and lag gauge. Runs on the connection's own thread
+   until the peer drops, a write times out, or the server stops. *)
+let stream_ops srv fd ~from_seq =
+  let r = srv.repl in
+  let send_resp resp =
+    Proto.write_frame
+      ?io_timeout_s:(timeout_opt srv.cfg.io_timeout_s)
+      fd
+      (Proto.encode_response resp)
+  in
+  let rec go seq =
+    Mutex.lock r.rm;
+    if seq >= r.head && not r.closing then Condition.wait r.rcond r.rm;
+    let head = r.head in
+    let payload = if seq < head then Some r.ops.(seq) else None in
+    let closing = r.closing in
+    Mutex.unlock r.rm;
+    if not closing then
+      match payload with
+      | Some payload ->
+          send_resp (Proto.Op { seq; head; payload });
+          Obs.Counter.incr c_repl_shipped;
+          go (seq + 1)
+      | None ->
+          send_resp (Proto.Repl_heartbeat { head });
+          go seq
+  in
+  if from_seq < 0 || from_seq > repl_head srv then
+    send_resp
+      (Proto.Error
+         {
+           code = Proto.Bad_request;
+           message =
+             Printf.sprintf "replication cursor %d outside the log (head %d)"
+               from_seq (repl_head srv);
+         })
+  else go from_seq
 
 let conn_loop srv conn =
   let fd = conn.fd in
@@ -661,25 +993,46 @@ let conn_loop srv conn =
         | Ok Proto.Shutdown ->
             send srv fd Proto.Shutting_down;
             request_shutdown srv
-        | Ok (Proto.Solve { inst; opts }) ->
-            let resp =
-              Obs.Span.record ~cat:"server"
-                ~args:[ ("instance", S.describe inst) ]
-                "server.request"
-                (fun () -> handle_solve srv inst opts)
-            in
-            send srv fd resp;
+        | Ok Proto.Promote ->
+            let applied_seq = promote srv in
+            send srv fd (Proto.Promoted { applied_seq });
             loop ()
+        | Ok (Proto.Replicate { from_seq }) ->
+            (* the connection becomes a one-way op stream; when
+               stream_ops returns the peer is gone or we are stopping,
+               either way the connection is done *)
+            stream_ops srv fd ~from_seq
+        | Ok (Proto.Solve { inst; opts }) ->
+            if not (serving srv) then begin
+              send srv fd (standby_refusal srv);
+              loop ()
+            end
+            else begin
+              let resp =
+                Obs.Span.record ~cat:"server"
+                  ~args:[ ("instance", S.describe inst) ]
+                  "server.request"
+                  (fun () -> handle_solve srv inst opts)
+              in
+              send srv fd resp;
+              loop ()
+            end
         | Ok (Proto.Delta { fp; delta; budget }) ->
-            let resp =
-              Obs.Span.record ~cat:"server"
-                ~args:
-                  [ ("delta", Ivc_incremental.Delta.describe delta) ]
-                "server.delta"
-                (fun () -> handle_delta srv ~fp ?budget delta)
-            in
-            send srv fd resp;
-            loop ())
+            if not (serving srv) then begin
+              send srv fd (standby_refusal srv);
+              loop ()
+            end
+            else begin
+              let resp =
+                Obs.Span.record ~cat:"server"
+                  ~args:
+                    [ ("delta", Ivc_incremental.Delta.describe delta) ]
+                  "server.delta"
+                  (fun () -> handle_delta srv ~fp ?budget delta)
+              in
+              send srv fd resp;
+              loop ()
+            end)
   in
   (try loop () with
   | Unix.Unix_error _ | Sys_error _ -> ()
@@ -744,6 +1097,63 @@ let bind_listen = function
       in
       (fd, bound)
 
+(* Heartbeat ticker: broadcasts the feed condvar on a period so
+   parked replication streams wake up and send keep-alives even when
+   the log is quiet. Cheap enough to always run. *)
+let ticker_loop srv =
+  let r = srv.repl in
+  let period = Float.max 0.05 (Float.min 1.0 (srv.cfg.lease_s /. 4.0)) in
+  let rec go () =
+    Mutex.lock r.rm;
+    let closing = r.closing in
+    Mutex.unlock r.rm;
+    if not closing then begin
+      Thread.delay period;
+      Mutex.lock r.rm;
+      Condition.broadcast r.rcond;
+      Mutex.unlock r.rm;
+      go ()
+    end
+  in
+  go ()
+
+let scrub_dirs_of cfg =
+  (match cfg.wal_dir with Some d -> [ d ] | None -> [])
+  @ (match cfg.autosave_dir with Some d -> [ d ] | None -> [])
+  @ cfg.scrub_dirs
+
+let scrub_loop srv =
+  let r = srv.repl in
+  let dirs = scrub_dirs_of srv.cfg in
+  let rec nap remaining =
+    if remaining > 0.0 then begin
+      Mutex.lock r.rm;
+      let closing = r.closing in
+      Mutex.unlock r.rm;
+      if not closing then begin
+        Thread.delay (Float.min 0.2 remaining);
+        nap (remaining -. 0.2)
+      end
+    end
+  in
+  let rec go () =
+    nap srv.cfg.scrub_every_s;
+    Mutex.lock r.rm;
+    let closing = r.closing in
+    Mutex.unlock r.rm;
+    if not closing then begin
+      (match Scrub.run ~dirs () with
+      | report ->
+          srv.last_scrub_ns <- Some (Obs.now_ns ());
+          srv.quarantined_total <-
+            srv.quarantined_total + report.Scrub.quarantined;
+          Obs.Counter.incr c_scrub_passes
+      | exception _ -> ());
+      go ()
+    end
+  in
+  go ()
+
 let start cfg =
   if cfg.workers < 1 then invalid_arg "Server.start: need at least one worker";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -752,6 +1162,20 @@ let start cfg =
   Option.iter
     (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
     cfg.autosave_dir;
+  (* Open (and fail-closed recover) the WAL before binding: the boot
+     replay below must finish before the first request can race it. *)
+  let wal, boot_ops =
+    match cfg.wal_dir with
+    | None -> (None, [])
+    | Some dir ->
+        let acc = ref [] in
+        let w, _recovery =
+          Wal.open_log ~segment_bytes:cfg.wal_segment_bytes
+            ~fsync:cfg.wal_fsync ~dir
+            (fun _seq payload -> acc := payload :: !acc)
+        in
+        (Some w, List.rev !acc)
+  in
   let listen_fd, bound_port = bind_listen cfg.addr in
   let srv =
     {
@@ -763,6 +1187,20 @@ let start cfg =
           ~capacity:cfg.queue_capacity;
       cache = Cache.create ~capacity:cfg.cache_capacity;
       repair = Repair.create ~capacity:cfg.repair_capacity;
+      repl =
+        {
+          rm = Mutex.create ();
+          rcond = Condition.create ();
+          role = (if cfg.standby then Proto.Standby else Proto.Primary);
+          ops = [||];
+          head = 0;
+          wal;
+          applied = 0;
+          known_head = 0;
+          last_contact_ns = Obs.now_ns ();
+          on_promote = None;
+          closing = false;
+        };
       t0 = Obs.now_ns ();
       state = Mutex.create ();
       shutdown_cond = Condition.create ();
@@ -770,9 +1208,30 @@ let start cfg =
       shutdown_requested = false;
       conns = [];
       acceptor = None;
+      aux_threads = [];
+      last_scrub_ns = None;
+      quarantined_total = 0;
     }
   in
+  (* Boot replay: rebuild cache/repair state from the journaled
+     prefix, re-certifying every op (fail closed: a bad op is skipped,
+     not served). The feed mirrors the WAL record-for-record so
+     replica cursors survive a primary restart. *)
+  List.iter
+    (fun payload ->
+      (match Proto.decode_op payload with
+      | Ok op ->
+          if apply_op srv op then Obs.Counter.incr c_repl_applied
+          else Obs.Counter.incr c_repl_rejected
+      | Error _ -> Obs.Counter.incr c_repl_rejected);
+      feed_push srv.repl payload)
+    boot_ops;
+  srv.repl.applied <- srv.repl.head;
   srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+  srv.aux_threads <- [ Thread.create (fun () -> ticker_loop srv) () ];
+  if cfg.scrub_every_s > 0.0 then
+    srv.aux_threads <-
+      Thread.create (fun () -> scrub_loop srv) () :: srv.aux_threads;
   srv
 
 let port srv = srv.bound_port
@@ -803,18 +1262,40 @@ let poke_acceptor cfg bound_port =
     Unix.close fd
   with Unix.Unix_error _ -> ()
 
-let stop srv =
+(* Wake replication streams, the ticker and the scrubber so they can
+   observe shutdown; streams parked on the condvar exit their loop. *)
+let close_repl srv =
+  let r = srv.repl in
+  Mutex.lock r.rm;
+  r.closing <- true;
+  Condition.broadcast r.rcond;
+  Mutex.unlock r.rm
+
+let stop_common srv ~graceful =
   Mutex.lock srv.state;
   let fresh = not srv.stopping in
   srv.stopping <- true;
   Mutex.unlock srv.state;
   if fresh then begin
+    close_repl srv;
     poke_acceptor srv.cfg srv.bound_port;
     Option.iter Thread.join srv.acceptor;
     (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
     (match srv.cfg.addr with
     | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
     | Tcp _ -> ());
+    if not graceful then begin
+      (* crash-style: tear every connection down both ways NOW, so
+         in-flight requests see a reset instead of an answer *)
+      Mutex.lock srv.state;
+      List.iter
+        (fun (c, _) ->
+          if not c.closed then
+            try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+        srv.conns;
+      Mutex.unlock srv.state
+    end;
     (* drain: every admitted solve still delivers to its mailbox, so
        the connection threads below all terminate *)
     Taskpar.Service.shutdown srv.pool;
@@ -828,8 +1309,15 @@ let stop srv =
       conns;
     Mutex.unlock srv.state;
     List.iter (fun (_, thread) -> Thread.join thread) conns;
+    List.iter Thread.join srv.aux_threads;
+    (match srv.repl.wal with
+    | Some w -> ( try Wal.close w with _ -> ())
+    | None -> ());
     Mutex.lock srv.state;
     srv.shutdown_requested <- true;
     Condition.broadcast srv.shutdown_cond;
     Mutex.unlock srv.state
   end
+
+let stop srv = stop_common srv ~graceful:true
+let kill srv = stop_common srv ~graceful:false

@@ -56,13 +56,32 @@ type config = {
   repair_capacity : int;
       (** incremental repair-state entries served to [Delta] requests;
           0 disables (every delta answers [Unknown_fingerprint]) *)
+  standby : bool;
+      (** boot as a warm standby: solves/deltas answer [Not_primary]
+          until a [Promote] request or primary lease expiry; a
+          {!Replica} loop feeds the state (see {!apply_replicated}) *)
+  wal_dir : string option;
+      (** write-ahead op log directory: completed solves and applied
+          deltas are journaled ({!Ivc_persist.Wal}), replayed on boot
+          (re-certified), and shipped to replicas over [Replicate]
+          streams. [None] disables journaling and replication *)
+  wal_segment_bytes : int;  (** WAL segment size before rotation *)
+  wal_fsync : bool;  (** fsync every WAL append *)
+  lease_s : float;
+      (** how long a standby honors its primary's lease after the last
+          op/heartbeat before serving on its own *)
+  scrub_every_s : float;
+      (** background scrub period over WAL/autosave/[scrub_dirs]
+          directories; 0 disables *)
+  scrub_dirs : string list;  (** extra directories for the scrubber *)
 }
 
 val default_config : addr -> config
 (** 2 workers, queue 32, cache 256, 4M vertex cap, 16 MiB frames, 5 s
     default / 60 s max deadline, no autosave; 300 s idle / 30 s io
     timeouts, brownout watermarks 0.75 / 0.95 with a 500-node budget;
-    16 repair-state entries. *)
+    16 repair-state entries. Primary role, no WAL, 1 MiB fsynced
+    segments, 10 s lease, scrubbing off. *)
 
 val brownout_of : config -> occupancy:float -> Proto.degrade option
 (** The pure watermark rule: occupancy ≥ [brownout_high] is
@@ -101,3 +120,45 @@ val stop : t -> unit
 (** Graceful stop: stop accepting, drain queued solves (their
     responses are still delivered), close connections, join every
     thread and worker domain. Idempotent. *)
+
+val kill : t -> unit
+(** Crash-style stop for tests and oracles: connections are torn down
+    both ways {e before} the drain, so in-flight requests observe a
+    reset instead of an answer — the closest an in-process server
+    gets to kill -9. Threads and domains are still reclaimed (the
+    process goes on to run assertions). Idempotent, shared flag with
+    {!stop}. *)
+
+(** {1 Replication}
+
+    The hooks {!Replica} drives on a standby, plus role plumbing.
+    Everything here is safe from any thread. *)
+
+val role : t -> Proto.role
+
+val promote : t -> int
+(** Make this server primary (idempotent); detaches the standby's
+    upstream loop via the {!set_on_promote} hook. Returns the feed
+    head — the op count the promoted state was replayed from. *)
+
+val repl_head : t -> int
+(** Ops in the feed/journal; the next sequence number. *)
+
+val repl_applied : t -> int
+(** Standby: ops accepted from upstream (= its replication cursor).
+    Primary: equals {!repl_head}. *)
+
+val apply_replicated : t -> seq:int -> string -> (unit, string) result
+(** Apply one shipped op payload at sequence [seq] (must equal
+    {!repl_applied} — strict order, no holes). The op is decoded,
+    {e re-certified} (a coloring that fails the gate is rejected and
+    only journaled for cursor fidelity), stored into cache/repair
+    state, and appended to this server's own WAL and feed. *)
+
+val note_primary_contact : t -> head:int -> unit
+(** Record a sign of life (op or heartbeat) from the upstream
+    primary: renews the standby's lease and updates its lag. *)
+
+val set_on_promote : t -> (unit -> unit) -> unit
+(** Hook run once when a standby is promoted — {!Replica} uses it to
+    stop pulling from the now-dethroned primary. *)

@@ -9,6 +9,8 @@ module S = Ivc_grid.Stencil
 module Codec = Ivc_persist.Codec
 module Snapshot = Ivc_persist.Snapshot
 module Autosave = Ivc_persist.Autosave
+module Wal = Ivc_persist.Wal
+module Scrub = Ivc_persist.Scrub
 module Order_bb = Ivc_exact.Order_bb
 module Cp = Ivc_exact.Cp
 module Optimize = Ivc_exact.Optimize
@@ -513,6 +515,204 @@ let test_crash_resume_oracle () =
     ignore (Util.oracle_holds Ivc_check.Oracles.crash_resume inst)
   done
 
+(* ---- write-ahead log -------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ivc-wal-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) @@ fun () ->
+  f dir
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc s
+
+let payload i = Printf.sprintf "record-%03d-%s" i (String.make 200 'x')
+
+let wal_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Wal.is_segment n || Wal.is_active n)
+  |> List.sort compare
+
+let collect () =
+  let seen = ref [] in
+  let f seq p = seen := (seq, p) :: !seen in
+  (f, fun () -> List.rev !seen)
+
+(* Fill a log past several rotations, replay it back in order, and
+   reopen it for appending: sequence numbers must continue where the
+   previous writer stopped, across the seal/rotate boundary. *)
+let test_wal_append_rotate_reopen () =
+  with_temp_dir @@ fun dir ->
+  let f, _ = collect () in
+  let w, r0 = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  Alcotest.(check int) "fresh log is empty" 0 r0.Wal.records;
+  let n = 60 in
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "append returns the sequence" i
+      (Wal.append w (payload i))
+  done;
+  Alcotest.(check int) "head counts appends" n (Wal.head w);
+  Wal.close w;
+  Alcotest.(check bool) "appends crossed a rotation" true
+    (List.length (wal_files dir) > 1);
+  let f, got = collect () in
+  let r = Wal.replay ~dir f in
+  Alcotest.(check bool) "clean log is not truncated" false r.Wal.truncated;
+  Alcotest.(check int) "replay sees every record" n r.Wal.records;
+  List.iteri
+    (fun i (seq, p) ->
+      Alcotest.(check int) "replay in append order" i seq;
+      Alcotest.(check string) "payload intact" (payload i) p)
+    (got ());
+  (* reopen: the writer resumes after the last valid record *)
+  let f, _ = collect () in
+  let w, r = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  Alcotest.(check int) "reopen replays everything" n r.Wal.records;
+  Alcotest.(check int) "sequence continues" n (Wal.append w "tail");
+  Wal.close w
+
+(* Cut the log mid-frame: replay must fail closed on the valid prefix
+   (never raise, never skip a hole), and open_log must truncate the
+   damage so the next writer appends onto a clean prefix. *)
+let test_wal_truncation_fail_closed () =
+  with_temp_dir @@ fun dir ->
+  let f, _ = collect () in
+  let w, _ = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  let n = 10 in
+  for i = 0 to n - 1 do
+    ignore (Wal.append w (payload i))
+  done;
+  Wal.close w;
+  let last = Filename.concat dir (List.hd (List.rev (wal_files dir))) in
+  let s = read_whole last in
+  write_whole last (String.sub s 0 (String.length s - 5));
+  let f, got = collect () in
+  let r = Wal.replay ~dir f in
+  Alcotest.(check bool) "truncation detected" true r.Wal.truncated;
+  Alcotest.(check int) "one record lost" (n - 1) r.Wal.records;
+  Alcotest.(check bool) "dropped bytes accounted" true (r.Wal.dropped_bytes > 0);
+  List.iteri
+    (fun i (seq, p) ->
+      Alcotest.(check int) "prefix in order" i seq;
+      Alcotest.(check string) "prefix payloads intact" (payload i) p)
+    (got ());
+  (* open_log repairs to the prefix; a fresh replay is clean again *)
+  let f, _ = collect () in
+  let w, r = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  Alcotest.(check int) "repair keeps the prefix" (n - 1) r.Wal.records;
+  Alcotest.(check int) "writer resumes at the cut" (n - 1)
+    (Wal.append w "replacement");
+  Wal.close w;
+  let f, _ = collect () in
+  let r = Wal.replay ~dir f in
+  Alcotest.(check bool) "repaired log replays clean" false r.Wal.truncated;
+  Alcotest.(check int) "repaired log has the prefix plus the new tail" n
+    r.Wal.records
+
+(* A single flipped bit in a sealed segment must be caught by the CRC:
+   verify_file reports the damage, replay stops at the frame before
+   it, and records from any earlier segment survive untouched. *)
+let test_wal_bitflip_fail_closed () =
+  with_temp_dir @@ fun dir ->
+  let f, _ = collect () in
+  let w, _ = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  let n = 60 in
+  for i = 0 to n - 1 do
+    ignore (Wal.append w (payload i))
+  done;
+  Wal.close w;
+  let sealed =
+    match List.filter Wal.is_segment (wal_files dir) with
+    | s :: _ -> Filename.concat dir s
+    | [] -> Alcotest.fail "no sealed segment to damage"
+  in
+  (match Wal.verify_file sealed with
+  | `Ok records -> Alcotest.(check bool) "sealed has records" true (records > 0)
+  | `Damaged _ -> Alcotest.fail "undamaged segment reported damaged");
+  let s = read_whole sealed in
+  let off = 8 + ((String.length s - 8) / 2) in
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code s.[off] lxor 0x10));
+  write_whole sealed (Bytes.to_string b);
+  (match Wal.verify_file sealed with
+  | `Damaged (valid_records, valid_bytes) ->
+      Alcotest.(check bool) "damage located at a frame boundary" true
+        (valid_records >= 0 && valid_bytes >= 8)
+  | `Ok _ -> Alcotest.fail "bit flip escaped the CRC");
+  let f, got = collect () in
+  let r = Wal.replay ~dir f in
+  Alcotest.(check bool) "replay fails closed on the flip" true r.Wal.truncated;
+  Alcotest.(check bool) "replay kept a strict prefix" true (r.Wal.records < n);
+  List.iteri
+    (fun i (seq, p) ->
+      Alcotest.(check int) "no holes before the damage" i seq;
+      Alcotest.(check string) "prefix payloads intact" (payload i) p)
+    (got ())
+
+(* The scrub pass over a mixed directory: damaged sealed segments are
+   quarantined (and their valid prefix re-installed), live [.open]
+   segments and unknown files are skipped, and a second pass finds
+   nothing left to do. *)
+let test_scrub_quarantines_wal_damage () =
+  with_temp_dir @@ fun dir ->
+  let f, _ = collect () in
+  let w, _ = Wal.open_log ~segment_bytes:4096 ~fsync:false ~dir f in
+  for i = 0 to 59 do
+    ignore (Wal.append w (payload i))
+  done;
+  Wal.close w;
+  write_whole (Filename.concat dir "notes.txt") "not ours";
+  (* resurrect an [.open] basename: scrub must not touch a live
+     writer's active segment even if it is damaged *)
+  let active = Filename.concat dir "wal-00000000000000ff.open" in
+  write_whole active "garbage that is not a WAL";
+  let sealed =
+    match List.filter Wal.is_segment (wal_files dir) with
+    | s :: _ -> Filename.concat dir s
+    | [] -> Alcotest.fail "no sealed segment to damage"
+  in
+  let s = read_whole sealed in
+  let off = 8 + ((String.length s - 8) / 3) in
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code s.[off] lxor 0x40));
+  write_whole sealed (Bytes.to_string b);
+  let rep = Scrub.run ~dirs:[ dir ] () in
+  Alcotest.(check int) "damaged segment quarantined" 1 rep.Scrub.quarantined;
+  Alcotest.(check bool) "skipped the active segment and the stray file" true
+    (rep.Scrub.skipped >= 2);
+  let q = Filename.concat dir "quarantine" in
+  Alcotest.(check bool) "evidence kept in quarantine/" true
+    (Sys.file_exists q && Array.length (Sys.readdir q) = 1);
+  (if rep.Scrub.repaired > 0 then
+     (* the re-installed prefix must verify clean *)
+     match Wal.verify_file sealed with
+     | `Ok _ -> ()
+     | `Damaged _ -> Alcotest.fail "re-installed prefix still damaged");
+  (* drop the fake active segment (its garbage would — correctly —
+     trip a fail-closed replay); what scrub left must replay clean *)
+  Sys.remove active;
+  let f, _ = collect () in
+  let r = Wal.replay ~dir f in
+  Alcotest.(check bool) "post-scrub replay is clean" false r.Wal.truncated;
+  let rep2 = Scrub.run ~dirs:[ dir ] () in
+  Alcotest.(check int) "second pass finds nothing" 0 rep2.Scrub.quarantined;
+  Alcotest.(check int) "second pass repairs nothing" 0 rep2.Scrub.repaired
+
 let suite =
   [
     Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
@@ -546,4 +746,12 @@ let suite =
     Alcotest.test_case "kill-resume: fuzz campaign" `Quick
       test_kill_resume_fuzz;
     Alcotest.test_case "crash-resume oracle" `Slow test_crash_resume_oracle;
+    Alcotest.test_case "wal: append, rotate, reopen" `Quick
+      test_wal_append_rotate_reopen;
+    Alcotest.test_case "wal: truncation fails closed" `Quick
+      test_wal_truncation_fail_closed;
+    Alcotest.test_case "wal: bit flip fails closed" `Quick
+      test_wal_bitflip_fail_closed;
+    Alcotest.test_case "scrub: quarantine is idempotent" `Quick
+      test_scrub_quarantines_wal_damage;
   ]

@@ -15,6 +15,7 @@ module Server = Ivc_server.Server
 module Client = Ivc_server.Client
 module Net = Ivc_server.Netfaults
 module Supervise = Ivc_server.Supervise
+module Replica = Ivc_server.Replica
 module Codec = Ivc_persist.Codec
 module Cert = Ivc_resilient.Cert
 module D = Ivc_incremental.Delta
@@ -134,25 +135,39 @@ let test_response_roundtrips () =
     [
       Proto.Bad_frame; Proto.Bad_version; Proto.Bad_request;
       Proto.Cert_failed; Proto.Internal; Proto.Conn_timeout;
-      Proto.Unknown_fingerprint;
+      Proto.Unknown_fingerprint; Proto.Not_primary;
     ];
   roundtrip_response (Proto.Stats_reply { json = {|{"server":{}}|} });
   roundtrip_response Proto.Shutting_down;
   roundtrip_request Proto.Health;
   List.iter
     (fun brownout ->
-      roundtrip_response
-        (Proto.Health_reply
-           {
-             Proto.ready = true;
-             draining = false;
-             queue_depth = 3;
-             running = 2;
-             connections = 7;
-             brownout;
-             uptime_s = 12.5;
-           }))
-    [ None; Some Proto.Shrunk_budget; Some Proto.Heuristic_only ]
+      List.iter
+        (fun role ->
+          roundtrip_response
+            (Proto.Health_reply
+               {
+                 Proto.ready = true;
+                 draining = false;
+                 queue_depth = 3;
+                 running = 2;
+                 connections = 7;
+                 brownout;
+                 uptime_s = 12.5;
+                 role;
+                 applied_seq = 41;
+                 replication_lag = 3;
+                 last_scrub_s = 7.25;
+                 quarantined = 1;
+               }))
+        [ Proto.Primary; Proto.Standby ])
+    [ None; Some Proto.Shrunk_budget; Some Proto.Heuristic_only ];
+  (* v4 replication messages *)
+  roundtrip_request (Proto.Replicate { from_seq = 17 });
+  roundtrip_request Proto.Promote;
+  roundtrip_response (Proto.Op { seq = 3; head = 9; payload = "op-bytes" });
+  roundtrip_response (Proto.Repl_heartbeat { head = 12 });
+  roundtrip_response (Proto.Promoted { applied_seq = 12 })
 
 let qtest_solve_roundtrip =
   Util.qtest ~count:60 "solve request round-trips" Util.gen_inst2
@@ -489,7 +504,7 @@ let test_e2e_delta_fifo_bounded () =
         at 0
       in
       Alcotest.(check bool) "repair table stayed within capacity" true
-        (has {|"repair":{"size":1,"capacity":1}|})
+        (has {|"repair":{"size":1,"capacity":1,|})
 
 let test_e2e_ping_and_stats () =
   with_server @@ fun addr ->
@@ -927,6 +942,68 @@ let test_supervise_policy () =
       (Supervise.backoff_s jcfg ~attempt:a)
   done
 
+(* The policy's edges: "rapid" is strictly below [min_uptime_s], a
+   healthy run refunds the whole rapid-crash budget (not just one
+   crash), and backoff saturates exactly at the cap. *)
+let test_supervise_boundaries () =
+  let cfg =
+    {
+      Supervise.seed = 5;
+      base_backoff_s = 0.1;
+      max_backoff_s = 1.0;
+      jitter = 0.0;
+      min_uptime_s = 1.0;
+      max_rapid_crashes = 3;
+    }
+  in
+  let crash st uptime =
+    Supervise.on_exit cfg st ~uptime_s:uptime ~status:(Unix.WEXITED 2)
+  in
+  let rapid st =
+    match crash st 0.01 with
+    | st', Supervise.Restart_after _ -> st'
+    | _ -> Alcotest.fail "a rapid crash under the cap must restart"
+  in
+  (* a crash at exactly min_uptime is a healthy run *)
+  let mid = { Supervise.streak = 2; restarts = 2 } in
+  (match crash mid cfg.Supervise.min_uptime_s with
+  | st', Supervise.Restart_after _ ->
+      Alcotest.(check int) "uptime = min_uptime resets the streak" 1
+        st'.Supervise.streak
+  | _ -> Alcotest.fail "the boundary crash must restart");
+  (match crash mid (cfg.Supervise.min_uptime_s -. 1e-9) with
+  | st', Supervise.Restart_after _ ->
+      Alcotest.(check int) "just under min_uptime grows the streak" 3
+        st'.Supervise.streak
+  | _ -> Alcotest.fail "a rapid crash under the cap must restart");
+  (* ride to the cap, recover, and the full budget is available again *)
+  let st = rapid (rapid (rapid Supervise.initial)) in
+  Alcotest.(check int) "streak at the cap" 3 st.Supervise.streak;
+  let st =
+    match crash st 60.0 with
+    | st', Supervise.Restart_after _ -> st'
+    | _ -> Alcotest.fail "a crash after a healthy run must restart"
+  in
+  let st = rapid (rapid st) in
+  Alcotest.(check int) "budget refunded by the healthy run" 3
+    st.Supervise.streak;
+  (match crash st 0.01 with
+  | _, Supervise.Give_up _ -> ()
+  | _ -> Alcotest.fail "exceeding the refunded budget must give up");
+  (* zero-jitter backoff is monotone and pins to the cap forever *)
+  let prev = ref 0.0 in
+  for a = 0 to 11 do
+    let d = Supervise.backoff_s cfg ~attempt:a in
+    Alcotest.(check bool) "backoff monotone under zero jitter" true
+      (d >= !prev);
+    prev := d
+  done;
+  Alcotest.(check (float 1e-12)) "cap reached" cfg.Supervise.max_backoff_s
+    (Supervise.backoff_s cfg ~attempt:4);
+  Alcotest.(check (float 1e-12)) "cap saturates, no overflow"
+    cfg.Supervise.max_backoff_s
+    (Supervise.backoff_s cfg ~attempt:60)
+
 (* ---- typed client failures -------------------------------------------- *)
 
 let test_connect_errors_typed () =
@@ -1069,6 +1146,275 @@ let test_e2e_proxy_resets_recovered () =
       Alcotest.failf "retries did not survive the reset plan: %s"
         (Client.error_to_string e)
 
+(* ---- replication, promotion, failover --------------------------------- *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+let test_addr_of_string () =
+  let ok s want =
+    match Client.addr_of_string s with
+    | Ok got -> Alcotest.(check bool) s true (got = want)
+    | Error m -> Alcotest.failf "%s rejected: %s" s m
+  in
+  ok "unix:/tmp/x.sock" (Server.Unix_sock "/tmp/x.sock");
+  ok "/tmp/plain.sock" (Server.Unix_sock "/tmp/plain.sock");
+  ok "example.com:9000" (Server.Tcp ("example.com", 9000));
+  List.iter
+    (fun s ->
+      match Client.addr_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" s)
+    [ ""; "unix:"; "host:99999"; "host:-1"; "host:nan"; ":4000" ]
+
+(* A full failover story in-process: a WAL-journaling primary with a
+   warm standby replaying its op stream; the primary is crash-stopped,
+   the standby promoted over the wire, and the promoted daemon must
+   serve the replayed solve from cache and keep the replayed delta
+   chain alive. *)
+let test_e2e_replication_promote () =
+  let pdir = temp_dir "ivc-ha-p" and sdir = temp_dir "ivc-ha-s" in
+  let psock = Filename.temp_file "ivc_ha_p" ".sock"
+  and ssock = Filename.temp_file "ivc_ha_s" ".sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ psock; ssock ];
+      List.iter
+        (fun d -> try rm_rf d with Sys_error _ | Unix.Unix_error _ -> ())
+        [ pdir; sdir ])
+  @@ fun () ->
+  let cfg sock =
+    {
+      (Server.default_config (Server.Unix_sock sock)) with
+      Server.workers = 1;
+      queue_capacity = 8;
+      cache_capacity = 8;
+      repair_capacity = 8;
+      wal_fsync = false;
+    }
+  in
+  let primary = Server.start { (cfg psock) with Server.wal_dir = Some pdir } in
+  let standby =
+    Server.start
+      {
+        (cfg ssock) with
+        Server.wal_dir = Some sdir;
+        standby = true;
+        lease_s = 300.0;
+      }
+  in
+  let repl =
+    Replica.start ~recv_timeout_s:2.0 standby
+      ~upstream:(Server.Unix_sock psock)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Replica.stop repl;
+      Server.stop primary;
+      Server.stop standby)
+  @@ fun () ->
+  (* journal a solve and two deltas on the primary *)
+  let s0 = solve_ok (Server.Unix_sock psock) ~opts:fast_opts small_inst in
+  let c = connect (Server.Unix_sock psock) in
+  let inst1, fp1 =
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.fold_left
+      (fun (inst, fp) d ->
+        ignore (delta_ok c ~fp d);
+        (apply_mirror inst d, D.chain_fp fp d))
+      (small_inst, s0.Proto.fingerprint)
+      [ D.Bump { v = 1; dw = 2 }; D.Batch [| (3, 1); (0, 2) |] ]
+  in
+  (* the warm standby refuses to serve while the primary holds the lease *)
+  (let sc = connect (Server.Unix_sock ssock) in
+   Fun.protect ~finally:(fun () -> Client.close sc) @@ fun () ->
+   match Client.solve sc ~opts:fast_opts small_inst with
+   | Ok (Proto.Error { code = Proto.Not_primary; _ }) -> ()
+   | Ok _ -> Alcotest.fail "standby served inside the lease"
+   | Error e ->
+       Alcotest.failf "standby request failed: %s" (Client.error_to_string e));
+  (* the op stream drains *)
+  let deadline = Unix.gettimeofday () +. 8.0 in
+  let rec drain () =
+    if Server.repl_applied standby >= Server.repl_head primary then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "replication never drained: applied %d of %d"
+        (Server.repl_applied standby)
+        (Server.repl_head primary)
+    else begin
+      Thread.delay 0.02;
+      drain ()
+    end
+  in
+  drain ();
+  let journaled = Server.repl_head primary in
+  Alcotest.(check int) "solve and deltas journaled" 3 journaled;
+  (* crash the primary, promote the standby over the wire *)
+  Server.kill primary;
+  (let sc = connect (Server.Unix_sock ssock) in
+   match
+     Fun.protect ~finally:(fun () -> Client.close sc) @@ fun () ->
+     Client.promote sc
+   with
+   | Ok applied ->
+       Alcotest.(check int) "promotion applied the whole journal" journaled
+         applied
+   | Error e -> Alcotest.failf "promote failed: %s" (Client.error_to_string e));
+  (match Server.role standby with
+  | Proto.Primary -> ()
+  | Proto.Standby -> Alcotest.fail "promoted standby still reports Standby");
+  (* the replayed, re-certified base solve is already in its cache *)
+  let s = solve_ok (Server.Unix_sock ssock) ~opts:fast_opts small_inst in
+  Alcotest.(check bool) "replayed solve answers from cache" true
+    s.Proto.cache_hit;
+  Alcotest.(check int) "same certified maxcolor" s0.Proto.maxcolor
+    s.Proto.maxcolor;
+  ignore (Cert.assert_ok small_inst s.Proto.starts);
+  (* and the replayed delta chain is alive: extend it one more step *)
+  let d = D.Bump { v = 0; dw = 1 } in
+  let sc = connect (Server.Unix_sock ssock) in
+  Fun.protect ~finally:(fun () -> Client.close sc) @@ fun () ->
+  match Client.delta sc ~fp:fp1 d with
+  | Ok (Proto.Solution s) -> (
+      match
+        Client.verify_delta ~expect_fp:(D.chain_fp fp1 d)
+          (apply_mirror inst1 d) s
+      with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "replayed chain delta failed verification: %s"
+            (Client.error_to_string e))
+  | Ok (Proto.Error { code; message }) ->
+      Alcotest.failf "replayed chain rejected the delta %s: %s"
+        (Proto.error_code_to_string code)
+        message
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error e -> Alcotest.failf "delta failed: %s" (Client.error_to_string e)
+
+let test_e2e_client_failover () =
+  with_server @@ fun addr ->
+  let dead = Filename.temp_file "ivc_dead" ".sock" in
+  Sys.remove dead;
+  (* first endpoint refuses connections: the answer rides to the second *)
+  (match
+     Client.solve_failover
+       ~endpoints:[ Server.Unix_sock dead; addr ]
+       ~opts:fast_opts small_inst
+   with
+  | Ok (Proto.Solution s, f) ->
+      ignore (Cert.assert_ok small_inst s.Proto.starts);
+      Alcotest.(check bool) "answer rode the failover path" true
+        f.Client.failed_over;
+      Alcotest.(check int) "second endpoint answered" 1 f.Client.endpoint_index;
+      Alcotest.(check int) "first round sufficed" 0 f.Client.attempt
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error e ->
+      Alcotest.failf "failover solve failed: %s" (Client.error_to_string e));
+  (* a healthy first endpoint is a clean hit, no failover provenance *)
+  match Client.solve_failover ~endpoints:[ addr ] ~opts:fast_opts small_inst with
+  | Ok (Proto.Solution _, f) ->
+      Alcotest.(check bool) "clean first-endpoint hit" false f.Client.failed_over
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error e ->
+      Alcotest.failf "failover solve failed: %s" (Client.error_to_string e)
+
+(* The delta re-key discipline: a clean (unambiguous) retry of a spent
+   chain key must surface Unknown_fingerprint — never trigger the
+   probe — and delta_failover recovers the same situation by
+   re-solving the mirror, whose fingerprint is the new chain key. *)
+let test_e2e_delta_rekey_discipline () =
+  with_server @@ fun addr ->
+  let s0 = solve_ok addr ~opts:fast_opts small_inst in
+  let fp = s0.Proto.fingerprint in
+  let d = D.Bump { v = 2; dw = 3 } in
+  let mirror = apply_mirror small_inst d in
+  (* happy path: delta_verified repairs and verifies against the mirror *)
+  (match Client.delta_verified ~addr ~fp ~mirror d with
+  | Ok (Proto.Solution s) ->
+      Alcotest.(check bool) "chain advanced by one link" true
+        (Int64.equal s.Proto.fingerprint (D.chain_fp fp d))
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error e ->
+      Alcotest.failf "delta_verified failed: %s" (Client.error_to_string e));
+  let fp1 = D.chain_fp fp d in
+  let d2 = D.Bump { v = 4; dw = 1 } in
+  let mirror2 = apply_mirror mirror d2 in
+  (* the server applies d2 but the caller never learns: simulate the
+     lost answer by issuing it on a throwaway connection *)
+  (let c = connect addr in
+   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+   ignore (delta_ok c ~fp:fp1 d2));
+  (* the retry is NOT ambiguous (no transport failure happened inside
+     this call), so the spent key must answer Unknown, not probe *)
+  (match Client.delta_verified ~addr ~fp:fp1 ~mirror:mirror2 d2 with
+  | Ok (Proto.Error { code = Proto.Unknown_fingerprint; _ }) -> ()
+  | Ok _ -> Alcotest.fail "a clean Unknown must surface, not trigger a probe"
+  | Error e ->
+      Alcotest.failf "delta_verified failed: %s" (Client.error_to_string e));
+  (* delta_failover's fallback re-solves the mirror on the same
+     connection — always safe, and the answer carries the new key *)
+  match
+    Client.delta_failover ~endpoints:[ addr ] ~fp:fp1 ~mirror:mirror2 d2
+  with
+  | Ok (Proto.Solution s, _) ->
+      ignore (Cert.assert_ok mirror2 s.Proto.starts);
+      Alcotest.(check bool) "fallback answer keys the new chain" true
+        (Int64.equal s.Proto.fingerprint (Snapshot.fingerprint mirror2))
+  | Ok _ -> Alcotest.fail "expected a solution"
+  | Error e ->
+      Alcotest.failf "delta_failover failed: %s" (Client.error_to_string e)
+
+(* Split-brain safety: an unpromoted standby refuses while its lease
+   is fresh, serves (without flipping role) once the lease expires
+   with no primary contact, and re-arms on renewed contact. *)
+let test_e2e_standby_lease_expiry () =
+  let sock = Filename.temp_file "ivc_lease" ".sock" in
+  let cfg =
+    {
+      (Server.default_config (Server.Unix_sock sock)) with
+      Server.workers = 1;
+      standby = true;
+      lease_s = 0.4;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove sock with Sys_error _ -> ())
+  @@ fun () ->
+  let addr = Server.Unix_sock sock in
+  let expect_refusal why =
+    let c = connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.solve c ~opts:fast_opts small_inst with
+    | Ok (Proto.Error { code = Proto.Not_primary; _ }) -> ()
+    | Ok _ -> Alcotest.fail why
+    | Error e ->
+        Alcotest.failf "request failed: %s" (Client.error_to_string e)
+  in
+  expect_refusal "standby served inside the lease";
+  Thread.delay 0.6;
+  let s = solve_ok addr ~opts:fast_opts small_inst in
+  ignore (Cert.assert_ok small_inst s.Proto.starts);
+  (match Server.role srv with
+  | Proto.Standby -> ()
+  | Proto.Primary -> Alcotest.fail "lease expiry must not flip the role");
+  Server.note_primary_contact srv ~head:0;
+  expect_refusal "fresh primary contact must re-arm the refusal"
+
 let suite =
   [
     Alcotest.test_case "request bodies round-trip" `Quick
@@ -1130,4 +1476,16 @@ let suite =
       test_e2e_proxy_benign;
     Alcotest.test_case "e2e: retries recover from a reset-heavy link" `Slow
       test_e2e_proxy_resets_recovered;
+    Alcotest.test_case "supervisor policy: boundary cases" `Quick
+      test_supervise_boundaries;
+    Alcotest.test_case "endpoint syntax parses and rejects" `Quick
+      test_addr_of_string;
+    Alcotest.test_case "e2e: replicate, kill, promote, serve" `Quick
+      test_e2e_replication_promote;
+    Alcotest.test_case "e2e: client failover walks the endpoint list" `Quick
+      test_e2e_client_failover;
+    Alcotest.test_case "e2e: delta re-key discipline" `Quick
+      test_e2e_delta_rekey_discipline;
+    Alcotest.test_case "e2e: standby lease expiry" `Quick
+      test_e2e_standby_lease_expiry;
   ]
